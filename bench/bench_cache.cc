@@ -1,0 +1,129 @@
+// §3(c) experiment: cache interference makes retrieval cost an L-shaped
+// random variable, and the competition model turns that into policy.
+//
+// "Even if a single column selectivity is estimated with good precision
+// ... the actual cost of index scan and data record fetches measured in
+// physical I/Os is often unpredictable because the pattern of caching the
+// disk pages is influenced by many asynchronous processes totally
+// unrelated to a given retrieval."
+//
+// Part 1 measures the same indexed retrieval under randomized cache
+// interference and reports the cost distribution (the right skew is the
+// L-shape's signature). Part 2 feeds the *measured* costs of two
+// alternative plans into the §3 direct-competition calculus as
+// EmpiricalCost distributions and reports the optimal probe policy — the
+// bridge from observed engine behaviour to competition arithmetic.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "catalog/database.h"
+#include "competition/competition.h"
+#include "core/static_optimizer.h"
+#include "util/ascii_chart.h"
+#include "workload/workload.h"
+
+namespace dynopt {
+namespace {
+
+double RunPlan(Database* db, const RetrievalSpec& spec,
+               const StaticPlanChoice& choice, const ParamMap& params) {
+  StaticRetrieval exec(db, spec, choice);
+  CostMeter before = db->meter();
+  exec.Open(params).ok();
+  OutputRow row;
+  for (;;) {
+    auto more = exec.Next(&row);
+    if (!more.ok() || !*more) break;
+  }
+  return (db->meter() - before).Cost(db->cost_weights());
+}
+
+void Run() {
+  std::printf("=== §3(c): cache interference and measured-cost competition "
+              "===\n\n");
+  Database db(DatabaseOptions{.pool_pages = 1200});
+  auto table = BuildFamilies(&db, 40000, 42, /*payload_bytes=*/150);
+  if (!table.ok()) return;
+  (*table)->CreateIndex("by_income", {"income"}).ok();
+
+  RetrievalSpec spec;
+  spec.table = *table;
+  spec.restriction =
+      Predicate::Between(2, Operand::Literal(Value(int64_t{0})),
+                         Operand::Literal(Value(int64_t{8000})));
+  spec.projection = {0, 2};
+  ParamMap params;
+
+  StaticPlanChoice fscan;
+  fscan.kind = StaticPlanChoice::Kind::kFscan;
+  fscan.index = *(*table)->GetIndex("by_income");
+  StaticPlanChoice tscan;
+  tscan.kind = StaticPlanChoice::Kind::kTscan;
+
+  // Part 1: one plan, many cache states.
+  Rng rng(17);
+  RunPlan(&db, spec, fscan, params);  // prime
+  double warm = RunPlan(&db, spec, fscan, params);
+  std::vector<double> costs;
+  for (int i = 0; i < 60; ++i) {
+    // Interference is usually light, occasionally devastating (cubing the
+    // uniform draw skews it) — that asymmetry is where the L-shape of the
+    // cost distribution comes from.
+    double hit = std::pow(rng.NextDouble(), 3.0);
+    db.pool()->ScrambleCache(rng, hit).ok();
+    costs.push_back(RunPlan(&db, spec, fscan, params));
+  }
+  std::sort(costs.begin(), costs.end());
+  double mean = 0;
+  for (double c : costs) mean += c;
+  mean /= costs.size();
+  std::printf("same Fscan, 60 runs under random interference:\n");
+  std::printf("  warm-cache cost %12.0f\n", warm);
+  std::printf("  min / median    %12.0f %12.0f\n", costs.front(),
+              costs[costs.size() / 2]);
+  std::printf("  mean / p95 / max%12.0f %12.0f %12.0f\n", mean,
+              costs[costs.size() * 95 / 100], costs.back());
+  std::printf("  skew (mean/median) = %.2f   sorted costs: %s\n\n",
+              mean / costs[costs.size() / 2],
+              Sparkline(Downsample(costs, 30)).c_str());
+
+  // Part 2: measured costs of two plans -> empirical competition policy.
+  std::vector<double> fscan_costs, tscan_costs;
+  for (int i = 0; i < 40; ++i) {
+    db.pool()->ScrambleCache(rng, std::pow(rng.NextDouble(), 3.0)).ok();
+    fscan_costs.push_back(RunPlan(&db, spec, fscan, params));
+    db.pool()->ScrambleCache(rng, std::pow(rng.NextDouble(), 3.0)).ok();
+    tscan_costs.push_back(RunPlan(&db, spec, tscan, params));
+  }
+  EmpiricalCost fscan_dist(fscan_costs);
+  EmpiricalCost tscan_dist(tscan_costs);
+  const CostDistribution* a1 = &fscan_dist;  // lower mean by construction?
+  const CostDistribution* a2 = &tscan_dist;
+  if (a1->Mean() > a2->Mean()) std::swap(a1, a2);
+  DirectCompetition comp(a1, a2);
+  auto policy = comp.Optimize(16);
+  std::printf("measured plan-cost distributions fed into the §3 model:\n");
+  std::printf("  Fscan mean %-10.0f Tscan mean %-10.0f\n", fscan_dist.Mean(),
+              tscan_dist.Mean());
+  std::printf("  single best (traditional):  %10.0f\n", policy.single_best);
+  std::printf("  best probe-then-switch:     %10.0f (budget %.0f)\n",
+              policy.best_probe, policy.best_probe_budget);
+  std::printf("  best simultaneous race:     %10.0f (alpha %.2f)\n",
+              policy.best_simultaneous, policy.best_alpha);
+  std::printf(
+      "\nWhen interference keeps plan costs spread, the competition policy\n"
+      "undercuts committing to either plan; when the measured spread is\n"
+      "tight, Optimize() collapses to (near) single-best — the model only\n"
+      "prescribes racing where uncertainty actually lives.\n");
+}
+
+}  // namespace
+}  // namespace dynopt
+
+int main() {
+  dynopt::Run();
+  return 0;
+}

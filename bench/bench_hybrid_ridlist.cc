@@ -1,0 +1,95 @@
+// §6 hybrid RID-list ablation (google-benchmark).
+//
+// "Engineering around the L-shape": because list sizes are L-distributed,
+// most lists are tiny, so the zero-cost inline region and the
+// allocation-free shortcut matter. Compares the hybrid arrangement with
+// two degenerate configurations (always-heap, always-spill) across list
+// sizes; wall time plus metered spill I/O are reported.
+
+#include <benchmark/benchmark.h>
+
+#include "exec/rid_set.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_store.h"
+#include "util/rng.h"
+
+namespace dynopt {
+namespace {
+
+enum Config : int { kHybrid = 0, kAlwaysHeap = 1, kAlwaysSpill = 2 };
+
+HybridRidList::Options MakeOptions(Config config, int64_t size) {
+  HybridRidList::Options opt;
+  switch (config) {
+    case kHybrid:
+      break;  // defaults: 20 inline, 4096 heap, spill beyond
+    case kAlwaysHeap:
+      opt.inline_capacity = 0;
+      opt.memory_capacity = static_cast<size_t>(size) + 1;
+      break;
+    case kAlwaysSpill:
+      opt.inline_capacity = 0;
+      opt.memory_capacity = 1;
+      break;
+  }
+  return opt;
+}
+
+void BM_RidListBuildAndProbe(benchmark::State& state) {
+  const int64_t size = state.range(0);
+  const Config config = static_cast<Config>(state.range(1));
+  PageStore store;
+  CostMeter meter;
+  BufferPool pool(&store, 256, &meter);
+  Rng rng(1);
+
+  uint64_t spill_io = 0;
+  for (auto _ : state) {
+    CostMeter before = meter;
+    HybridRidList list(&pool, MakeOptions(config, size));
+    for (int64_t i = 0; i < size; ++i) {
+      benchmark::DoNotOptimize(
+          list.Append(Rid{static_cast<PageId>(i * 7 + 1), 0}));
+    }
+    list.Seal().ok();
+    bool hit = false;
+    for (int64_t i = 0; i < size; ++i) {
+      hit ^= list.MightContain(Rid{static_cast<PageId>(i * 7 + 1), 0});
+    }
+    benchmark::DoNotOptimize(hit);
+    CostMeter delta = meter - before;
+    spill_io += delta.physical_writes + delta.physical_reads +
+                delta.logical_reads;
+  }
+  state.counters["spill_io/iter"] = benchmark::Counter(
+      static_cast<double>(spill_io), benchmark::Counter::kAvgIterations);
+}
+
+BENCHMARK(BM_RidListBuildAndProbe)
+    ->ArgsProduct({{0, 5, 20, 200, 5000, 50000},
+                   {kHybrid, kAlwaysHeap, kAlwaysSpill}})
+    ->ArgNames({"rids", "config"});
+
+void BM_RidListSortedDrain(benchmark::State& state) {
+  const int64_t size = state.range(0);
+  const Config config = static_cast<Config>(state.range(1));
+  PageStore store;
+  BufferPool pool(&store, 256);
+  for (auto _ : state) {
+    HybridRidList list(&pool, MakeOptions(config, size));
+    for (int64_t i = size; i > 0; --i) {
+      list.Append(Rid{static_cast<PageId>(i), 0}).ok();
+    }
+    auto sorted = list.ToSortedVector();
+    benchmark::DoNotOptimize(sorted);
+  }
+}
+
+BENCHMARK(BM_RidListSortedDrain)
+    ->ArgsProduct({{20, 5000, 50000}, {kHybrid, kAlwaysSpill}})
+    ->ArgNames({"rids", "config"});
+
+}  // namespace
+}  // namespace dynopt
+
+BENCHMARK_MAIN();

@@ -1,0 +1,181 @@
+// §6 experiment: dynamically-controlled Jscan vs the statically-
+// thresholded joint scan of Mohan et al. [MoHa90].
+//
+// The static variant decides from initial estimates only and never aborts
+// a scan it started; the dynamic variant re-projects the final retrieval
+// cost from the live keep rate and ratchets the guaranteed best down as
+// lists complete. Two workloads separate them:
+//
+//   correlated   — two restrictions whose ranges look equally selective
+//                  but select the *same* rows (b tracks a), so the second
+//                  index scan shrinks nothing: the paper's "one
+//                  ill-predicted alternative execution cost ... can put
+//                  further execution off-balance";
+//   independent  — a control where intersection genuinely pays and both
+//                  variants should perform alike (dynamic overhead ~ 0).
+
+#include <cstdio>
+#include <vector>
+
+#include "catalog/database.h"
+#include "core/access_path.h"
+#include "core/jscan.h"
+#include "workload/workload.h"
+
+namespace dynopt {
+namespace {
+
+constexpr int64_t kRows = 60000;
+
+struct Outcome {
+  double cost = 0;
+  uint64_t final_rids = 0;
+  int completed = 0, discarded = 0, skipped = 0;
+  Jscan::Phase phase = Jscan::Phase::kScanning;
+};
+
+Outcome RunJscan(Database* db, const RetrievalSpec& spec, bool dynamic) {
+  db->pool()->EvictAll().ok();
+  ParamMap params;
+  auto analysis = AnalyzeAccessPaths(spec, params);
+  if (!analysis.ok()) return Outcome{};
+  std::vector<const IndexClassification*> cands;
+  for (size_t pos : analysis->jscan_order) {
+    cands.push_back(&analysis->indexes[pos]);
+  }
+  Jscan::Options opt;
+  opt.dynamic_thresholds = dynamic;
+  CostMeter before = db->meter();
+  Jscan jscan(db, spec, params, cands, opt);
+  jscan.RunToCompletion().ok();
+  // Charge the full retrieval either way: drain the final RID list like
+  // Fin would, or fall back to the recommended table scan.
+  if (jscan.phase() == Jscan::Phase::kComplete) {
+    auto rids = jscan.final_list()->ToSortedVector();
+    if (rids.ok()) {
+      std::string bytes;
+      for (const Rid& r : *rids) {
+        spec.table->heap()->Fetch(r, &bytes).ok();
+      }
+    }
+  } else {
+    auto cursor = spec.table->heap()->NewCursor();
+    std::string bytes;
+    Rid rid;
+    for (;;) {
+      auto more = cursor.Next(&bytes, &rid);
+      if (!more.ok() || !*more) break;
+    }
+  }
+  Outcome out;
+  out.cost = (db->meter() - before).Cost(db->cost_weights());
+  out.phase = jscan.phase();
+  if (jscan.final_list() != nullptr) out.final_rids = jscan.final_list()->size();
+  for (const auto& o : jscan.outcomes()) {
+    switch (o.kind) {
+      case Jscan::IndexOutcomeKind::kCompleted:
+        out.completed++;
+        break;
+      case Jscan::IndexOutcomeKind::kDiscarded:
+        out.discarded++;
+        break;
+      case Jscan::IndexOutcomeKind::kSkipped:
+        out.skipped++;
+        break;
+    }
+  }
+  return out;
+}
+
+void RunScenario(const char* name, Table* table, Database* db,
+                 PredicateRef pred) {
+  RetrievalSpec spec;
+  spec.table = table;
+  spec.restriction = std::move(pred);
+  spec.projection = {0};
+
+  Outcome dyn = RunJscan(db, spec, /*dynamic=*/true);
+  Outcome sta = RunJscan(db, spec, /*dynamic=*/false);
+  std::printf("%-34s | %9.0f %9.0f | %6.2fx | dyn(c/d/s)=%d/%d/%d "
+              "sta=%d/%d/%d | rids dyn=%llu sta=%llu\n",
+              name, dyn.cost, sta.cost, sta.cost / std::max(dyn.cost, 1.0),
+              dyn.completed, dyn.discarded, dyn.skipped, sta.completed,
+              sta.discarded, sta.skipped,
+              static_cast<unsigned long long>(dyn.final_rids),
+              static_cast<unsigned long long>(sta.final_rids));
+}
+
+void Run() {
+  std::printf("=== §6: dynamic two-stage Jscan vs static-threshold "
+              "[MoHa90] ===\n\n");
+  Database db(DatabaseOptions{.pool_pages = 1024});
+
+  // Value-correlated, physically scattered: b and c track a (+ noise), so
+  // any range on b or c that contains the matching rows shrinks nothing —
+  // but their estimates look reasonable to a static optimizer.
+  TableSpec ct;
+  ct.name = "corr";
+  ct.columns = {
+      {{"id", ValueType::kInt64}, SequentialInt()},
+      {{"a", ValueType::kInt64}, UniformInt(0, 99999)},
+      {{"b", ValueType::kInt64}, DerivedInt(1, 500)},
+      {{"c", ValueType::kInt64}, DerivedInt(1, 500)},
+  };
+  auto corr = BuildTable(&db, ct, kRows, 7);
+  (*corr)->CreateIndex("corr_a", {"a"}).ok();
+  (*corr)->CreateIndex("corr_b", {"b"}).ok();
+  (*corr)->CreateIndex("corr_c", {"c"}).ok();
+
+  // Independent control: same shapes, no correlation.
+  TableSpec it;
+  it.name = "indep";
+  it.columns = {
+      {{"id", ValueType::kInt64}, SequentialInt()},
+      {{"a", ValueType::kInt64}, UniformInt(0, 99999)},
+      {{"b", ValueType::kInt64}, UniformInt(0, 99999)},
+      {{"c", ValueType::kInt64}, UniformInt(0, 99999)},
+  };
+  auto indep = BuildTable(&db, it, kRows, 8);
+  (*indep)->CreateIndex("ind_a", {"a"}).ok();
+  (*indep)->CreateIndex("ind_b", {"b"}).ok();
+  (*indep)->CreateIndex("ind_c", {"c"}).ok();
+
+  // a narrowly restricted; b and c with wide ranges that contain all the
+  // a-matches (guaranteed on the correlated table by the +noise bound).
+  auto pred = [](int64_t x, int64_t narrow, int64_t wide) {
+    return Predicate::And(
+        {Predicate::Between(1, Operand::Literal(Value(x)),
+                            Operand::Literal(Value(x + narrow))),
+         Predicate::Between(2, Operand::Literal(Value(x - 1000)),
+                            Operand::Literal(Value(x + wide))),
+         Predicate::Between(3, Operand::Literal(Value(x - 1000)),
+                            Operand::Literal(Value(x + wide)))});
+  };
+
+  std::printf("%-34s | %9s %9s | %7s | per-index outcomes | final lists\n",
+              "scenario", "dyn cost", "static", "speedup");
+  for (auto [wide, label] : std::vector<std::pair<int64_t, const char*>>{
+           {10000, "correlated, wide ranges 10%"},
+           {20000, "correlated, wide ranges 20%"},
+           {30000, "correlated, wide ranges 30%"}}) {
+    RunScenario(label, *corr, &db, pred(40000, 300, wide));
+  }
+  for (auto [wide, label] : std::vector<std::pair<int64_t, const char*>>{
+           {10000, "independent, wide ranges 10%"},
+           {30000, "independent, wide ranges 30%"}}) {
+    RunScenario(label, *indep, &db, pred(40000, 300, wide));
+  }
+  std::printf(
+      "\nExpected shape: on correlated data the dynamic variant aborts the\n"
+      "non-shrinking wide scans within a few dozen entries while [MoHa90]\n"
+      "runs them to completion; on independent data the wide scans do\n"
+      "shrink the list, and the two variants behave alike.\n");
+}
+
+}  // namespace
+}  // namespace dynopt
+
+int main() {
+  dynopt::Run();
+  return 0;
+}

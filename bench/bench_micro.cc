@@ -1,0 +1,166 @@
+// Micro-benchmarks of the substrate primitives (google-benchmark):
+// order-preserving codec, B+-tree insert/lookup/scan, buffer-pool hit and
+// miss paths, the §5 descent estimation, and §2 distribution operators.
+
+#include <benchmark/benchmark.h>
+
+#include "catalog/database.h"
+#include "index/btree.h"
+#include "stats/selectivity_dist.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_store.h"
+#include "util/key_codec.h"
+#include "util/rng.h"
+
+namespace dynopt {
+namespace {
+
+void BM_EncodeInt64(benchmark::State& state) {
+  Rng rng(1);
+  std::string buf;
+  for (auto _ : state) {
+    buf.clear();
+    EncodeInt64(static_cast<int64_t>(rng.Next()), &buf);
+    benchmark::DoNotOptimize(buf);
+  }
+}
+BENCHMARK(BM_EncodeInt64);
+
+void BM_DecodeInt64(benchmark::State& state) {
+  std::string buf;
+  EncodeInt64(123456789, &buf);
+  for (auto _ : state) {
+    std::string_view sv(buf);
+    int64_t v;
+    DecodeInt64(&sv, &v).ok();
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_DecodeInt64);
+
+void BM_EncodeString(benchmark::State& state) {
+  std::string value(state.range(0), 'x');
+  std::string buf;
+  for (auto _ : state) {
+    buf.clear();
+    EncodeString(value, &buf);
+    benchmark::DoNotOptimize(buf);
+  }
+}
+BENCHMARK(BM_EncodeString)->Arg(8)->Arg(64)->Arg(512);
+
+struct TreeEnv {
+  PageStore store;
+  BufferPool pool{&store, 8192};
+  std::unique_ptr<BTree> tree;
+  Rng rng{7};
+
+  explicit TreeEnv(int64_t n) {
+    tree = std::move(*BTree::Create(&pool));
+    for (int64_t i = 0; i < n; ++i) {
+      std::string key;
+      EncodeInt64(i, &key);
+      tree->Insert(key, Rid{static_cast<PageId>(i), 0}).ok();
+    }
+  }
+};
+
+void BM_BTreeInsert(benchmark::State& state) {
+  PageStore store;
+  BufferPool pool(&store, 8192);
+  auto tree = std::move(*BTree::Create(&pool));
+  int64_t i = 0;
+  for (auto _ : state) {
+    std::string key;
+    EncodeInt64(i++, &key);
+    benchmark::DoNotOptimize(tree->Insert(key, Rid{1, 0}));
+  }
+}
+BENCHMARK(BM_BTreeInsert);
+
+void BM_BTreePointLookup(benchmark::State& state) {
+  TreeEnv env(state.range(0));
+  for (auto _ : state) {
+    std::string key;
+    EncodeInt64(env.rng.NextInt(0, state.range(0) - 1), &key);
+    auto cursor = env.tree->NewCursor();
+    cursor.Seek(key).ok();
+    std::string k;
+    Rid rid;
+    benchmark::DoNotOptimize(cursor.Next(&k, &rid));
+  }
+}
+BENCHMARK(BM_BTreePointLookup)->Arg(10000)->Arg(100000);
+
+void BM_BTreeRangeScan1000(benchmark::State& state) {
+  TreeEnv env(100000);
+  for (auto _ : state) {
+    std::string key;
+    EncodeInt64(env.rng.NextInt(0, 99000), &key);
+    auto cursor = env.tree->NewCursor();
+    cursor.Seek(key).ok();
+    std::string k;
+    Rid rid;
+    for (int i = 0; i < 1000; ++i) {
+      auto more = cursor.Next(&k, &rid);
+      if (!more.ok() || !*more) break;
+    }
+  }
+}
+BENCHMARK(BM_BTreeRangeScan1000);
+
+void BM_BTreeEstimateRange(benchmark::State& state) {
+  TreeEnv env(100000);
+  for (auto _ : state) {
+    int64_t lo = env.rng.NextInt(0, 90000);
+    EncodedRange r;
+    EncodeInt64(lo, &r.lo);
+    EncodeInt64(lo + 5000, &r.hi);
+    benchmark::DoNotOptimize(env.tree->EstimateRange(r));
+  }
+}
+BENCHMARK(BM_BTreeEstimateRange);
+
+void BM_BTreeSampleRanked(benchmark::State& state) {
+  TreeEnv env(100000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        env.tree->SampleRange(EncodedRange::All(), env.rng));
+  }
+}
+BENCHMARK(BM_BTreeSampleRanked);
+
+void BM_BufferPoolHit(benchmark::State& state) {
+  PageStore store;
+  BufferPool pool(&store, 64);
+  PageId id = (*pool.NewPage()).id();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.Pin(id));
+  }
+}
+BENCHMARK(BM_BufferPoolHit);
+
+void BM_BufferPoolMissEvict(benchmark::State& state) {
+  PageStore store;
+  BufferPool pool(&store, 4);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 16; ++i) ids.push_back((*pool.NewPage()).id());
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.Pin(ids[i++ % ids.size()]));
+  }
+}
+BENCHMARK(BM_BufferPoolMissEvict);
+
+void BM_DistAndUnknown(benchmark::State& state) {
+  auto u = SelectivityDist::Uniform();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(u.AndUnknown(u));
+  }
+}
+BENCHMARK(BM_DistAndUnknown)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dynopt
+
+BENCHMARK_MAIN();

@@ -1,0 +1,298 @@
+// §7 experiment: each shipped tactic against its naive single-strategy
+// alternatives, plus the §4 goal-setting effect.
+//
+//  goal        cost-to-first-K vs cost-to-completion under fast-first and
+//              total-time goals for the same query (§4: "improves query
+//              performance up to a few decimal orders");
+//  bgr-only    Background-Only (Jscan + Fin) vs classical Fscan on the
+//              best single index vs Tscan;
+//  fast-first  the borrowing foreground vs pure Fscan and pure Jscan under
+//              early and late termination;
+//  sorted      order-delivering Fscan + Jscan filter vs unfiltered Fscan;
+//  index-only  Sscan/Jscan race vs each alone.
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "catalog/database.h"
+#include "core/retrieval.h"
+#include "core/static_optimizer.h"
+#include "workload/workload.h"
+
+namespace dynopt {
+namespace {
+
+constexpr int64_t kRows = 60000;
+
+/// Runs `engine` until `k` rows (0 = all); returns metered cost.
+double RunEngine(Database* db, DynamicRetrieval* engine, const ParamMap& p,
+                 uint64_t k, uint64_t* rows_out = nullptr) {
+  db->pool()->EvictAll().ok();
+  CostMeter before = db->meter();
+  engine->Open(p).ok();
+  OutputRow row;
+  uint64_t n = 0;
+  for (;;) {
+    auto more = engine->Next(&row);
+    if (!more.ok() || !*more) break;
+    if (++n == k) break;
+  }
+  if (rows_out != nullptr) *rows_out = n;
+  return (db->meter() - before).Cost(db->cost_weights());
+}
+
+double RunFrozen(Database* db, const RetrievalSpec& spec,
+                 StaticPlanChoice choice, const ParamMap& p, uint64_t k) {
+  db->pool()->EvictAll().ok();
+  CostMeter before = db->meter();
+  StaticRetrieval exec(db, spec, std::move(choice));
+  exec.Open(p).ok();
+  OutputRow row;
+  uint64_t n = 0;
+  for (;;) {
+    auto more = exec.Next(&row);
+    if (!more.ok() || !*more) break;
+    if (++n == k) break;
+  }
+  return (db->meter() - before).Cost(db->cost_weights());
+}
+
+StaticPlanChoice Frozen(StaticPlanChoice::Kind kind,
+                        SecondaryIndex* index = nullptr) {
+  StaticPlanChoice c;
+  c.kind = kind;
+  c.index = index;
+  return c;
+}
+
+void GoalSection(Database* db, Table* table) {
+  std::printf("--- §4 goal setting: EXISTS-style first-row delivery, "
+              "income in [0:4000] (2%%) AND age <= 90 ---\n");
+  RetrievalSpec spec;
+  spec.table = table;
+  spec.restriction = Predicate::And(
+      {Predicate::Between(2, Operand::Literal(Value(int64_t{0})),
+                          Operand::Literal(Value(int64_t{4000}))),
+       Predicate::Compare(1, CompareOp::kLe,
+                          Operand::Literal(Value(int64_t{90})))});
+  spec.projection = {0, 1, 2};
+  ParamMap p;
+
+  spec.goal = OptimizationGoal::kFastFirst;
+  DynamicRetrieval ff(db, spec);
+  spec.goal = OptimizationGoal::kTotalTime;
+  DynamicRetrieval tt(db, spec);
+
+  double ff_first = RunEngine(db, &ff, p, 1);
+  double tt_first = RunEngine(db, &tt, p, 1);
+  double ff_all = RunEngine(db, &ff, p, 0);
+  double tt_all = RunEngine(db, &tt, p, 0);
+  std::printf("%24s %14s %14s\n", "goal", "first-row cost", "full cost");
+  std::printf("%24s %14.0f %14.0f\n", "fast-first", ff_first, ff_all);
+  std::printf("%24s %14.0f %14.0f\n", "total-time", tt_first, tt_all);
+  std::printf("  An EXISTS probe under fast-first answers %.1fx cheaper "
+              "(no offline RID-list phase before the first record); the\n"
+              "  full drain stays within %.2fx of the total-time run.\n\n",
+              tt_first / std::max(ff_first, 1.0),
+              ff_all / std::max(tt_all, 1.0));
+}
+
+void BackgroundOnlySection(Database* db, Table* table) {
+  std::printf("--- Background-Only vs classical alternatives: income in "
+              "[0:4000] (2%%) AND age in [0:30] (31%%) ---\n");
+  RetrievalSpec spec;
+  spec.table = table;
+  spec.restriction = Predicate::And(
+      {Predicate::Between(2, Operand::Literal(Value(int64_t{0})),
+                          Operand::Literal(Value(int64_t{4000}))),
+       Predicate::Between(1, Operand::Literal(Value(int64_t{0})),
+                          Operand::Literal(Value(int64_t{30})))});
+  spec.projection = {0, 1, 2, 3};
+  ParamMap p;
+
+  DynamicRetrieval engine(db, spec);
+  uint64_t rows = 0;
+  double dyn = RunEngine(db, &engine, p, 0, &rows);
+  double f_income = RunFrozen(
+      db, spec, Frozen(StaticPlanChoice::Kind::kFscan,
+                       *table->GetIndex("by_income")),
+      p, 0);
+  double f_age = RunFrozen(db, spec,
+                           Frozen(StaticPlanChoice::Kind::kFscan,
+                                  *table->GetIndex("by_age")),
+                           p, 0);
+  double tscan = RunFrozen(db, spec, Frozen(StaticPlanChoice::Kind::kTscan),
+                           p, 0);
+  std::printf("  result rows: %llu  (tactic: %s)\n",
+              static_cast<unsigned long long>(rows),
+              std::string(TacticName(engine.tactic())).c_str());
+  std::printf("%28s %12s\n", "strategy", "cost");
+  std::printf("%28s %12.0f\n", "dynamic (background-only)", dyn);
+  std::printf("%28s %12.0f\n", "Fscan(by_income)", f_income);
+  std::printf("%28s %12.0f\n", "Fscan(by_age)", f_age);
+  std::printf("%28s %12.0f\n", "Tscan", tscan);
+  std::printf("  speedup vs best classical: %.2fx, vs worst: %.1fx\n\n",
+              std::min({f_income, f_age, tscan}) / std::max(dyn, 1.0),
+              std::max({f_income, f_age, tscan}) / std::max(dyn, 1.0));
+}
+
+void FastFirstSection(Database* db, Table* table) {
+  std::printf("--- Fast-First vs pure strategies: income in [0:4000] AND "
+              "age in [0:30], stop after 10 vs drain ---\n");
+  RetrievalSpec spec;
+  spec.table = table;
+  spec.restriction = Predicate::And(
+      {Predicate::Between(2, Operand::Literal(Value(int64_t{0})),
+                          Operand::Literal(Value(int64_t{4000}))),
+       Predicate::Between(1, Operand::Literal(Value(int64_t{0})),
+                          Operand::Literal(Value(int64_t{30})))});
+  spec.projection = {0, 1, 2, 3};
+  spec.goal = OptimizationGoal::kFastFirst;
+  ParamMap p;
+
+  DynamicRetrieval ff(db, spec);
+  RetrievalSpec tt_spec = spec;
+  tt_spec.goal = OptimizationGoal::kTotalTime;
+  DynamicRetrieval jscan_only(db, tt_spec);
+
+  std::printf("%28s %14s %14s\n", "strategy", "first-10 cost", "drain cost");
+  for (auto [label, run] :
+       std::vector<std::pair<const char*, std::function<double(uint64_t)>>>{
+           {"fast-first tactic",
+            [&](uint64_t k) { return RunEngine(db, &ff, p, k); }},
+           {"pure Jscan (total-time)",
+            [&](uint64_t k) { return RunEngine(db, &jscan_only, p, k); }},
+           {"pure Fscan(by_income)",
+            [&](uint64_t k) {
+              return RunFrozen(db, spec,
+                               Frozen(StaticPlanChoice::Kind::kFscan,
+                                      *table->GetIndex("by_income")),
+                               p, k);
+            }},
+       }) {
+    std::printf("%28s %14.0f %14.0f\n", label, run(10), run(0));
+  }
+  std::printf("  Expected: fast-first near-Fscan on the early stop, "
+              "near-Jscan on the drain — the best of both worlds.\n\n");
+}
+
+void SortedSection(Database* db, Table* table) {
+  std::printf("--- Sorted tactic: ORDER BY age, restriction income in "
+              "[0:2000] (1%%) ---\n");
+  RetrievalSpec spec;
+  spec.table = table;
+  spec.restriction =
+      Predicate::Between(2, Operand::Literal(Value(int64_t{0})),
+                         Operand::Literal(Value(int64_t{2000})));
+  spec.projection = {0, 1, 2, 3};
+  spec.order_by_column = 1;
+  spec.goal = OptimizationGoal::kFastFirst;
+  ParamMap p;
+
+  DynamicRetrieval sorted_engine(db, spec);
+  uint64_t rows = 0;
+  double dyn = RunEngine(db, &sorted_engine, p, 0, &rows);
+  // Naive ordered alternative: plain Fscan over by_age (delivers order,
+  // fetches everything in the age range = the whole table).
+  double plain = RunFrozen(db, spec,
+                           Frozen(StaticPlanChoice::Kind::kFscan,
+                                  *table->GetIndex("by_age")),
+                           p, 0);
+  std::printf("  result rows: %llu (tactic %s)\n",
+              static_cast<unsigned long long>(rows),
+              std::string(TacticName(sorted_engine.tactic())).c_str());
+  std::printf("%34s %12s\n", "strategy", "cost");
+  std::printf("%34s %12.0f\n", "sorted tactic (Fscan + filter)", dyn);
+  std::printf("%34s %12.0f\n", "plain ordered Fscan(by_age)", plain);
+  std::printf("  filter saves %.1fx by rejecting RIDs before their "
+              "fetches.\n\n",
+              plain / std::max(dyn, 1.0));
+}
+
+void IndexOnlySection(Database* db) {
+  std::printf("--- Index-Only tactic: covering (age,income) index races "
+              "Jscan over by_income2 ---\n");
+  TableSpec ts;
+  ts.name = "families2";
+  ts.columns = {
+      {{"id", ValueType::kInt64}, SequentialInt()},
+      {{"age", ValueType::kInt64}, UniformInt(0, 99)},
+      {{"income", ValueType::kInt64}, UniformInt(0, 200000)},
+      {{"payload", ValueType::kString},
+       CategoricalString(std::string(290, 'p'), 100)},
+  };
+  auto table2 = BuildTable(db, ts, kRows, 99);
+  if (!table2.ok()) return;
+  (*table2)->CreateIndex("cover_age_income", {"age", "income"}).ok();
+  (*table2)->CreateIndex("by_income2", {"income"}).ok();
+
+  RetrievalSpec spec;
+  spec.table = *table2;
+  spec.restriction = Predicate::And(
+      {Predicate::Between(1, Operand::Literal(Value(int64_t{0})),
+                          Operand::Literal(Value(int64_t{40}))),
+       Predicate::Between(2, Operand::Literal(Value(int64_t{0})),
+                          Operand::Literal(Value(int64_t{3000})))});
+  spec.projection = {1, 2};
+  ParamMap p;
+
+  DynamicRetrieval engine(db, spec);
+  uint64_t rows = 0;
+  double dyn = RunEngine(db, &engine, p, 0, &rows);
+  double sscan = RunFrozen(db, spec,
+                           Frozen(StaticPlanChoice::Kind::kSscan,
+                                  *(*table2)->GetIndex("cover_age_income")),
+                           p, 0);
+  double fscan = RunFrozen(db, spec,
+                           Frozen(StaticPlanChoice::Kind::kFscan,
+                                  *(*table2)->GetIndex("by_income2")),
+                           p, 0);
+  std::printf("  result rows: %llu (tactic %s)\n",
+              static_cast<unsigned long long>(rows),
+              std::string(TacticName(engine.tactic())).c_str());
+  std::printf("%28s %12s\n", "strategy", "cost");
+  std::printf("%28s %12.0f\n", "index-only race", dyn);
+  std::printf("%28s %12.0f\n", "pure Sscan(covering)", sscan);
+  std::printf("%28s %12.0f\n", "pure Fscan(by_income2)", fscan);
+  std::printf("  race lands within overhead of the better side "
+              "(%.2fx of min).\n",
+              dyn / std::max(std::min(sscan, fscan), 1.0));
+}
+
+void Run() {
+  std::printf("=== §7 retrieval tactics vs naive alternatives (%lld rows) "
+              "===\n\n",
+              static_cast<long long>(kRows));
+  Database db(DatabaseOptions{.pool_pages = 1024});
+  // Padded records (~25 per page) so page-fetch economics resemble the
+  // paper's era; fat rows are what make RID-list shrinking pay.
+  TableSpec ts;
+  ts.name = "families";
+  ts.columns = {
+      {{"id", ValueType::kInt64}, SequentialInt()},
+      {{"age", ValueType::kInt64}, UniformInt(0, 99)},
+      {{"income", ValueType::kInt64}, UniformInt(0, 200000)},
+      {{"payload", ValueType::kString},
+       CategoricalString(std::string(290, 'p'), 100)},
+  };
+  auto table = BuildTable(&db, ts, kRows, 42);
+  if (!table.ok()) return;
+  (*table)->CreateIndex("by_age", {"age"}).ok();
+  (*table)->CreateIndex("by_income", {"income"}).ok();
+
+  GoalSection(&db, *table);
+  BackgroundOnlySection(&db, *table);
+  FastFirstSection(&db, *table);
+  SortedSection(&db, *table);
+  IndexOnlySection(&db);
+}
+
+}  // namespace
+}  // namespace dynopt
+
+int main() {
+  dynopt::Run();
+  return 0;
+}

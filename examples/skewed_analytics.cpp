@@ -1,0 +1,99 @@
+// Skewed analytics: the host-variable sensitivity problem on Zipf data.
+//
+// ORDERS.customer follows a Zipf distribution: customer 0 owns ~10% of all
+// orders while the long tail owns a handful each. The same parametric
+// query — "total amount of :customer's orders above :floor" — therefore
+// has wildly different optimal plans per parameter value. A frozen static
+// plan is wrong for one end of the skew; the dynamic engine re-optimizes
+// per execution.
+//
+//   build/examples/skewed_analytics
+
+#include <algorithm>
+#include <cstdio>
+
+#include "catalog/database.h"
+#include "core/retrieval.h"
+#include "core/static_optimizer.h"
+#include "workload/workload.h"
+
+using namespace dynopt;
+
+namespace {
+
+double RunOnce(Database* db, DynamicRetrieval* engine, const ParamMap& p,
+               uint64_t* rows, double* total_amount) {
+  db->pool()->EvictAll().ok();
+  CostMeter before = db->meter();
+  engine->Open(p).ok();
+  OutputRow row;
+  *rows = 0;
+  *total_amount = 0;
+  for (;;) {
+    auto more = engine->Next(&row);
+    if (!more.ok() || !*more) break;
+    (*rows)++;
+    *total_amount += static_cast<double>(row.values[1].AsInt64());
+  }
+  return (db->meter() - before).Cost(db->cost_weights());
+}
+
+}  // namespace
+
+int main() {
+  Database db(DatabaseOptions{.pool_pages = 1024});
+  auto orders_or = BuildOrders(&db, 150000, /*zipf_theta=*/1.05);
+  if (!orders_or.ok()) {
+    std::printf("setup failed: %s\n", orders_or.status().ToString().c_str());
+    return 1;
+  }
+  Table* orders = *orders_or;
+  orders->CreateIndex("by_customer", {"customer"}).ok();
+  orders->CreateIndex("by_amount", {"amount"}).ok();
+
+  // select order_id, amount from ORDERS
+  //  where customer = :customer and amount >= :floor
+  RetrievalSpec spec;
+  spec.table = orders;
+  spec.restriction = Predicate::And(
+      {Predicate::Compare(1, CompareOp::kEq, Operand::HostVar("customer")),
+       Predicate::Compare(2, CompareOp::kGe, Operand::HostVar("floor"))});
+  spec.projection = {0, 2};
+
+  // What a static optimizer would freeze with both variables unknown:
+  ParamMap compile_time;
+  auto frozen = ChooseStaticPlan(&db, spec, compile_time);
+  std::printf("static compile-time choice (variables unknown): %s\n\n",
+              frozen.ok() ? frozen->ToString().c_str()
+                          : frozen.status().ToString().c_str());
+
+  DynamicRetrieval engine(&db, spec);
+  std::printf("%10s %10s | %8s %12s %10s | %s\n", "customer", "floor",
+              "orders", "sum(amount)", "cost", "tactic");
+  struct Case {
+    int64_t customer, floor;
+  };
+  for (const Case& c : {Case{0, 1},        // hottest customer, everything
+                        Case{0, 95000},    // hottest customer, rare amounts
+                        Case{17, 1},       // warm customer
+                        Case{9000, 1},     // tail customer
+                        Case{9999999, 1}}  // non-existent customer
+  ) {
+    ParamMap params{{"customer", Value(c.customer)},
+                    {"floor", Value(c.floor)}};
+    uint64_t rows;
+    double total;
+    double cost = RunOnce(&db, &engine, params, &rows, &total);
+    std::printf("%10lld %10lld | %8llu %12.0f %10.0f | %s\n",
+                static_cast<long long>(c.customer),
+                static_cast<long long>(c.floor),
+                static_cast<unsigned long long>(rows), total, cost,
+                std::string(TacticName(engine.tactic())).c_str());
+  }
+  std::printf(
+      "\nThe hot customer runs a joint scan (or falls back to a scan),\n"
+      "tail customers take the tiny-range shortcut, and the non-existent\n"
+      "customer is answered from the index root descent alone — one plan\n"
+      "could not do all of that.\n");
+  return 0;
+}

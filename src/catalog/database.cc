@@ -1,0 +1,24 @@
+#include "catalog/database.h"
+
+namespace dynopt {
+
+Result<Table*> Database::CreateTable(std::string name, Schema schema) {
+  if (tables_.find(name) != tables_.end()) {
+    return Status::InvalidArgument("table name already in use");
+  }
+  DYNOPT_ASSIGN_OR_RETURN(std::unique_ptr<Table> table,
+                          Table::Create(&pool_, name, std::move(schema)));
+  Table* raw = table.get();
+  tables_[std::move(name)] = std::move(table);
+  return raw;
+}
+
+Result<Table*> Database::GetTable(std::string_view name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named " + std::string(name));
+  }
+  return it->second.get();
+}
+
+}  // namespace dynopt

@@ -1,0 +1,52 @@
+// Database: the top-level facade owning storage, cache, cost meter, tables.
+
+#ifndef DYNOPT_CATALOG_DATABASE_H_
+#define DYNOPT_CATALOG_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "catalog/table.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_store.h"
+#include "util/cost_meter.h"
+#include "util/status.h"
+
+namespace dynopt {
+
+struct DatabaseOptions {
+  /// Buffer-pool frames (8 KiB each). The cache-to-data ratio is the main
+  /// lever for how much cost uncertainty the paper's §3(c) effect injects.
+  size_t pool_pages = 1024;
+  CostWeights cost_weights;
+};
+
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = DatabaseOptions())
+      : options_(options), pool_(&store_, options.pool_pages, &meter_) {}
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  Result<Table*> CreateTable(std::string name, Schema schema);
+  Result<Table*> GetTable(std::string_view name);
+
+  BufferPool* pool() { return &pool_; }
+  const CostMeter& meter() const { return meter_; }
+  const CostWeights& cost_weights() const { return options_.cost_weights; }
+  /// Scalar cost accumulated so far (the dynamic execution metric).
+  double CurrentCost() const { return meter_.Cost(options_.cost_weights); }
+
+ private:
+  DatabaseOptions options_;
+  PageStore store_;
+  CostMeter meter_;
+  BufferPool pool_;
+  std::map<std::string, std::unique_ptr<Table>, std::less<>> tables_;
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_CATALOG_DATABASE_H_

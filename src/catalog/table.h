@@ -1,0 +1,60 @@
+// Tables: schema + heap storage + secondary indexes, kept consistent.
+
+#ifndef DYNOPT_CATALOG_TABLE_H_
+#define DYNOPT_CATALOG_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/index.h"
+#include "expr/value.h"
+#include "storage/heap_file.h"
+#include "util/status.h"
+
+namespace dynopt {
+
+class Table {
+ public:
+  static Result<std::unique_ptr<Table>> Create(BufferPool* pool,
+                                               std::string name,
+                                               Schema schema);
+
+  /// Validates, stores, and indexes a record.
+  Result<Rid> Insert(const Record& record);
+
+  /// Removes a record from the heap and every index.
+  Status Delete(Rid rid);
+
+  /// Reads and decodes the record at `rid`.
+  Result<Record> Fetch(Rid rid);
+
+  /// Creates an index over the named columns and backfills it from the
+  /// existing rows.
+  Result<SecondaryIndex*> CreateIndex(
+      std::string index_name, const std::vector<std::string>& column_names);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  HeapFile* heap() { return heap_.get(); }
+  uint64_t record_count() const { return heap_->record_count(); }
+
+  const std::vector<std::unique_ptr<SecondaryIndex>>& indexes() const {
+    return indexes_;
+  }
+  Result<SecondaryIndex*> GetIndex(std::string_view index_name);
+
+ private:
+  Table(BufferPool* pool, std::string name, Schema schema)
+      : pool_(pool), name_(std::move(name)), schema_(std::move(schema)) {}
+
+  BufferPool* pool_;
+  std::string name_;
+  Schema schema_;
+  std::unique_ptr<HeapFile> heap_;
+  std::vector<std::unique_ptr<SecondaryIndex>> indexes_;
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_CATALOG_TABLE_H_

@@ -1,0 +1,80 @@
+#include "core/explain.h"
+
+#include <sstream>
+
+namespace dynopt {
+
+namespace {
+
+std::string_view OutcomeName(Jscan::IndexOutcomeKind kind) {
+  switch (kind) {
+    case Jscan::IndexOutcomeKind::kCompleted:
+      return "completed";
+    case Jscan::IndexOutcomeKind::kDiscarded:
+      return "discarded";
+    case Jscan::IndexOutcomeKind::kSkipped:
+      return "skipped";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string ExplainExecution(const DynamicRetrieval& engine,
+                             const CostWeights& weights) {
+  std::ostringstream os;
+  os << "=== dynamic retrieval report ===\n";
+  os << "tactic: " << TacticName(engine.tactic()) << "\n";
+
+  os << "access paths:\n";
+  for (const auto& c : engine.analysis().indexes) {
+    os << "  " << c.index->name() << ": ";
+    if (c.self_sufficient) os << "self-sufficient ";
+    if (c.order_needed) os << "order-needed ";
+    os << (c.has_restriction ? "restricted" : "unrestricted");
+    if (c.has_restriction) {
+      os << " (" << c.ranges.size()
+         << (c.ranges.size() == 1 ? " range" : " ranges") << ")";
+    }
+    if (c.estimated) {
+      os << ", estimate " << c.estimate.estimated_rids << " rids"
+         << (c.estimate.exact ? " (exact)" : "") << " at split level "
+         << c.estimate.split_level << " in " << c.estimate.descent_pages
+         << " page reads";
+    }
+    os << "\n";
+  }
+  if (engine.analysis().empty_shortcut) {
+    os << "  -> empty-range shortcut: end of data without retrieval\n";
+  }
+  if (engine.analysis().tiny_shortcut) {
+    os << "  -> tiny-range shortcut: straight to the final fetch stage\n";
+  }
+
+  if (engine.jscan() != nullptr) {
+    const Jscan& jscan = *engine.jscan();
+    os << "joint scan:\n";
+    os << "  guaranteed best cost: " << jscan.guaranteed_best_cost()
+       << " (tscan estimate " << jscan.tscan_cost_estimate() << ")\n";
+    for (const auto& o : jscan.outcomes()) {
+      os << "  " << o.index_name << ": " << OutcomeName(o.kind) << ", "
+         << o.entries_scanned << " entries scanned, " << o.kept
+         << " rids kept\n";
+    }
+    if (jscan.reordered()) {
+      os << "  adjacent race flipped the scan order\n";
+    }
+  }
+
+  os << "decision trace:\n";
+  for (const auto& line : engine.trace()) {
+    os << "  " << line << "\n";
+  }
+
+  CostMeter cost = engine.CostSinceOpen();
+  os << "cost: " << cost.Cost(weights) << " units " << cost.ToString()
+     << "\n";
+  return os.str();
+}
+
+}  // namespace dynopt

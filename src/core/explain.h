@@ -1,0 +1,27 @@
+// Execution reports — the user-visible "dynamic execution metrics".
+//
+// The paper's abstract notes that "the basic concepts, operational
+// structures, and dynamic execution metrics have been available to the
+// user community since version 4.0": Rdb/VMS exposed its run-time strategy
+// decisions to users (via debug flags / RDO output). ExplainExecution
+// renders the same information for a completed DynamicRetrieval execution:
+// the access-path analysis, the chosen tactic, every competition decision,
+// per-index Jscan outcomes, and the metered cost breakdown.
+
+#ifndef DYNOPT_CORE_EXPLAIN_H_
+#define DYNOPT_CORE_EXPLAIN_H_
+
+#include <string>
+
+#include "core/retrieval.h"
+
+namespace dynopt {
+
+/// Renders a human-readable execution report for the engine's most recent
+/// execution (call after draining Next(), or mid-flight for a snapshot).
+std::string ExplainExecution(const DynamicRetrieval& engine,
+                             const CostWeights& weights = CostWeights());
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_CORE_EXPLAIN_H_

@@ -1,0 +1,323 @@
+#include "core/jscan.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dynopt {
+
+Jscan::Jscan(Database* db, const RetrievalSpec& spec, const ParamMap& params,
+             std::vector<const IndexClassification*> candidates,
+             Options options)
+    : db_(db),
+      spec_(spec),
+      params_(params),
+      candidates_(std::move(candidates)),
+      options_(options) {
+  tscan_cost_ = EstimateTscanCost(spec_, db_->cost_weights());
+  gbc_ = tscan_cost_;
+  if (candidates_.empty()) {
+    phase_ = Phase::kTscanRecommended;
+  }
+}
+
+std::unique_ptr<Jscan::ActiveScan> Jscan::StartScan(
+    const IndexClassification* cand) {
+  auto scan = std::make_unique<ActiveScan>(cand);
+  scan->list = std::make_unique<HybridRidList>(db_->pool(), options_.rid_list);
+  borrow_generation_++;
+  return scan;
+}
+
+bool Jscan::ShouldSkip(const IndexClassification& cand) const {
+  double est_entries = cand.estimate.estimated_rids;
+  double fanout = std::max(cand.index->tree()->AvgFanout(), 1.0);
+  double scan_cost =
+      EstimateIndexScanCost(est_entries, fanout, db_->cost_weights());
+  if (options_.dynamic_thresholds) {
+    // Sound rule: even a scan whose list fetched for free cannot pay off
+    // once the scan alone costs the guaranteed best. Anything cheaper is
+    // worth *starting* — the run-time path projection aborts it early if
+    // it turns out unproductive.
+    return scan_cost >= gbc_;
+  }
+  // [MoHa90]: a fixed compile-time threshold against the Tscan estimate is
+  // the only gate an index ever faces.
+  return scan_cost > options_.scan_cost_limit_fraction * tscan_cost_;
+}
+
+Status Jscan::Advance() {
+  // Promote the secondary when the primary slot is empty.
+  if (primary_ == nullptr && secondary_ != nullptr) {
+    primary_ = std::move(secondary_);
+    borrow_generation_++;  // the borrowable list changed
+  }
+  while (primary_ == nullptr && next_candidate_ < candidates_.size()) {
+    const IndexClassification* cand = candidates_[next_candidate_++];
+    if (ShouldSkip(*cand)) {
+      outcomes_.push_back(
+          IndexOutcome{cand->index->name(), IndexOutcomeKind::kSkipped, 0, 0});
+      continue;
+    }
+    primary_ = StartScan(cand);
+  }
+  if (primary_ == nullptr) {
+    // Nothing left to scan.
+    phase_ = completed_list_ != nullptr ? Phase::kComplete
+                                        : Phase::kTscanRecommended;
+    return Status::OK();
+  }
+  // Open a racing secondary on the next candidate when allowed.
+  if (options_.simultaneous_adjacent && options_.dynamic_thresholds &&
+      secondary_ == nullptr && next_candidate_ < candidates_.size()) {
+    const IndexClassification* cand = candidates_[next_candidate_];
+    if (!ShouldSkip(*cand)) {
+      next_candidate_++;
+      secondary_ = StartScan(cand);
+    }
+  }
+  return Status::OK();
+}
+
+Result<bool> Jscan::StepScan(ActiveScan* scan) {
+  MeterScope scope(db_->pool(), &scan->accrued);
+  std::string key;
+  Rid rid;
+  DYNOPT_ASSIGN_OR_RETURN(bool more, scan->cursor.Next(&key, &rid));
+  if (!more) {
+    scan->exhausted = true;
+    return false;
+  }
+  scan->entries_scanned++;
+  if (completed_list_ != nullptr && !completed_list_->MightContain(rid)) {
+    return true;  // filtered out: intersection drops it
+  }
+  if (scan->cand->covered_residual != nullptr) {
+    // Index screening: reject from the key alone, before the entry ever
+    // reaches a RID list (and long before any record fetch).
+    std::vector<std::optional<Value>> sparse;
+    DYNOPT_RETURN_IF_ERROR(
+        scan->cand->index->DecodeKeyColumns(key, &sparse));
+    RowView view(&sparse);
+    db_->pool()->meter_ptr()->record_evals++;
+    DYNOPT_ASSIGN_OR_RETURN(bool pass,
+                            scan->cand->covered_residual->Eval(view, params_));
+    if (!pass) return true;
+  }
+  DYNOPT_RETURN_IF_ERROR(scan->list->Append(rid));
+  scan->kept++;
+  scan->kept_pages.insert(rid.page);
+  return true;
+}
+
+double Jscan::ProjectedFinalCost(const ActiveScan& scan) const {
+  // Extrapolate the keep rate over the estimated range size: "the cost of
+  // the final RID list retrieval can be reliably estimated from the
+  // current RID list". Page touches come from the *measured* page spread
+  // of the kept RIDs so far (clustered lists project cheap, §3b), capped
+  // by the random-placement Cardenas bound.
+  double est_total = std::max(scan.cand->estimate.estimated_rids,
+                              static_cast<double>(scan.entries_scanned));
+  double scale = scan.entries_scanned == 0
+                     ? 1.0
+                     : est_total / static_cast<double>(scan.entries_scanned);
+  double projected_kept = scan.entries_scanned == 0
+                              ? est_total
+                              : static_cast<double>(scan.kept) * scale;
+  double total_pages =
+      static_cast<double>(spec_.table->heap()->pages().size());
+  double linear_pages = static_cast<double>(scan.kept_pages.size()) * scale;
+  double cardenas =
+      total_pages > 0
+          ? total_pages *
+                (1.0 - std::pow(1.0 - 1.0 / total_pages, projected_kept))
+          : 0.0;
+  double pages = std::min({linear_pages, cardenas, total_pages});
+  return FetchCostFromPages(pages, projected_kept, db_->cost_weights());
+}
+
+bool Jscan::ShouldDiscard(const ActiveScan& scan) const {
+  if (!options_.dynamic_thresholds) return false;  // [MoHa90] never aborts
+  if (scan.entries_scanned < options_.min_scan_before_projection) {
+    return false;
+  }
+  // Two-stage competition over the whole remaining path: spent scan cost +
+  // projected rest-of-scan + projected final retrieval, against the
+  // guaranteed best. This unifies the paper's projected-cost criterion
+  // with its index-scan cost limit: a scan is abandoned exactly when its
+  // completed future cannot undercut what is already guaranteed.
+  double spent = scan.accrued.Cost(db_->cost_weights());
+  double est_total = std::max(scan.cand->estimate.estimated_rids,
+                              static_cast<double>(scan.entries_scanned));
+  // Remaining-scan cost from the analytic model, not from extrapolating
+  // the measured per-entry cost: the first few entries carry the descent
+  // and first-leaf faults and would project absurdly high.
+  double fanout = std::max(scan.cand->index->tree()->AvgFanout(), 1.0);
+  double remaining_scan = EstimateIndexScanCost(
+      est_total - static_cast<double>(scan.entries_scanned), fanout,
+      db_->cost_weights());
+  double projected_path = spent + remaining_scan + ProjectedFinalCost(scan);
+  if (projected_path >= options_.switch_threshold * gbc_) return true;
+  // Safety cap for wildly wrong range estimates: a scan that alone has
+  // consumed the guaranteed best can never pay off.
+  return spent > options_.scan_cost_limit_fraction * gbc_;
+}
+
+void Jscan::RecordOutcome(const ActiveScan& scan, IndexOutcomeKind kind) {
+  outcomes_.push_back(IndexOutcome{scan.cand->index->name(), kind,
+                                   scan.entries_scanned, scan.kept});
+  accrued_ += scan.accrued;
+}
+
+Status Jscan::RefilterPartial(ActiveScan* scan) {
+  // The loser of an adjacent race keeps its partial list by refiltering the
+  // in-memory RIDs through the newly completed filter — cheap, and the
+  // reason the race "does not continue beyond the memory buffer".
+  MeterScope scope(db_->pool(), &scan->accrued);
+  auto fresh = std::make_unique<HybridRidList>(db_->pool(), options_.rid_list);
+  size_t n = scan->list->InMemorySize();
+  uint64_t kept = 0;
+  for (size_t i = 0; i < n; ++i) {
+    Rid rid = scan->list->GetInMemory(i);
+    if (completed_list_->MightContain(rid)) {
+      DYNOPT_RETURN_IF_ERROR(fresh->Append(rid));
+      kept++;
+    }
+  }
+  scan->list = std::move(fresh);
+  scan->kept = kept;
+  borrow_generation_++;
+  return Status::OK();
+}
+
+Status Jscan::CompleteScan(std::unique_ptr<ActiveScan> scan) {
+  DYNOPT_RETURN_IF_ERROR(scan->list->Seal());
+  RecordOutcome(*scan, IndexOutcomeKind::kCompleted);
+  completed_names_.push_back(scan->cand->index->name());
+
+  // The complete list's page spread is now *known*, not estimated.
+  double final_cost = FetchCostFromPages(
+      static_cast<double>(scan->kept_pages.size()),
+      static_cast<double>(scan->kept), db_->cost_weights());
+  bool improves = final_cost < gbc_ || completed_list_ != nullptr;
+  if (options_.dynamic_thresholds) {
+    gbc_ = std::min(gbc_, final_cost);
+  }
+  if (improves) {
+    // Later lists are intersections of earlier ones, so they always
+    // replace; a *first* list only survives if it beats Tscan.
+    completed_list_ = std::move(scan->list);
+    borrow_generation_++;
+  } else {
+    // The completed list cannot beat a table scan; drop it so the verdict
+    // can be Tscan if nothing better comes.
+    outcomes_.back().kind = IndexOutcomeKind::kDiscarded;
+    completed_names_.pop_back();
+  }
+  return Status::OK();
+}
+
+Result<bool> Jscan::Step() {
+  if (phase_ != Phase::kScanning) return false;
+  if (primary_ == nullptr) {
+    DYNOPT_RETURN_IF_ERROR(Advance());
+    if (phase_ != Phase::kScanning) return false;
+  }
+
+  // Dissolve the race when either list has left main memory.
+  if (secondary_ != nullptr &&
+      (primary_->list->storage() == HybridRidList::Storage::kSpilled ||
+       secondary_->list->storage() == HybridRidList::Storage::kSpilled)) {
+    // The secondary's partial work is abandoned; its candidate re-enters
+    // the queue to be scanned (with a better filter) later.
+    accrued_ += secondary_->accrued;
+    next_candidate_--;  // un-consume the secondary's candidate
+    secondary_.reset();
+    step_secondary_next_ = false;
+  }
+
+  // Pick which scan advances this step (alternation = equal speeds).
+  ActiveScan* scan = primary_.get();
+  bool stepping_secondary = false;
+  if (secondary_ != nullptr && step_secondary_next_) {
+    scan = secondary_.get();
+    stepping_secondary = true;
+  }
+  step_secondary_next_ = !step_secondary_next_;
+
+  DYNOPT_ASSIGN_OR_RETURN(bool progressed, StepScan(scan));
+
+  if (!progressed) {
+    // This scan exhausted its range: it completes and delivers the filter.
+    std::unique_ptr<ActiveScan> winner =
+        stepping_secondary ? std::move(secondary_) : std::move(primary_);
+    std::unique_ptr<ActiveScan> loser =
+        stepping_secondary ? std::move(primary_) : std::move(secondary_);
+    if (stepping_secondary) {
+      reordered_ = true;  // the "later" index finished first: order flipped
+    }
+    DYNOPT_RETURN_IF_ERROR(CompleteScan(std::move(winner)));
+    if (loser != nullptr && completed_list_ != nullptr) {
+      DYNOPT_RETURN_IF_ERROR(RefilterPartial(loser.get()));
+      primary_ = std::move(loser);
+    } else if (loser != nullptr) {
+      // No filter materialized (first list judged useless): the loser
+      // continues unchanged.
+      primary_ = std::move(loser);
+    }
+    secondary_.reset();
+    step_secondary_next_ = false;
+    if (primary_ == nullptr) {
+      DYNOPT_RETURN_IF_ERROR(Advance());
+    }
+    return phase_ == Phase::kScanning;
+  }
+
+  if (ShouldDiscard(*scan)) {
+    if (stepping_secondary) {
+      // The racing secondary is provisional: it is evaluated in a position
+      // it will not ultimately occupy (the primary's filter does not exist
+      // yet), so competition dissolves the race and requeues the candidate
+      // to be scanned later in its proper, filtered position.
+      accrued_ += secondary_->accrued;
+      next_candidate_--;  // un-consume the secondary's candidate
+      secondary_.reset();
+    } else {
+      RecordOutcome(*primary_, IndexOutcomeKind::kDiscarded);
+      primary_.reset();
+      if (secondary_ != nullptr) {
+        primary_ = std::move(secondary_);
+        borrow_generation_++;  // the borrowable list changed
+      } else {
+        DYNOPT_RETURN_IF_ERROR(Advance());
+      }
+    }
+    step_secondary_next_ = false;
+    return phase_ == Phase::kScanning;
+  }
+  return true;
+}
+
+Status Jscan::RunToCompletion() {
+  for (;;) {
+    DYNOPT_ASSIGN_OR_RETURN(bool more, Step());
+    if (!more) return Status::OK();
+  }
+}
+
+std::optional<Rid> Jscan::BorrowNextRid() {
+  HybridRidList* source = nullptr;
+  if (primary_ != nullptr) {
+    source = primary_->list.get();
+  } else if (completed_list_ != nullptr) {
+    source = completed_list_.get();
+  }
+  if (source == nullptr) return std::nullopt;
+  if (borrow_source_generation_ != borrow_generation_) {
+    borrow_source_generation_ = borrow_generation_;
+    borrow_pos_ = 0;
+  }
+  if (borrow_pos_ >= source->InMemorySize()) return std::nullopt;
+  return source->GetInMemory(borrow_pos_++);
+}
+
+}  // namespace dynopt

@@ -1,0 +1,194 @@
+// Jscan — joint scan of fetch-needed indexes (§6, Figure 6).
+//
+// Scans the preselected indexes in ascending-selectivity order. Each scan
+// builds a RID list (hybrid storage, §6) that is the intersection of its
+// own range with the previously completed list; the completed list doubles
+// as the membership filter for the next scan. Unproductive scans are
+// eliminated by a live two-stage competition:
+//
+//   * projected-cost criterion — during each index scan, the final
+//     RID-list retrieval cost is continuously re-projected from the
+//     current list's keep rate; the scan is terminated and discarded when
+//     the projection "approaches (e.g. becomes 95% of) the guaranteed best
+//     retrieval cost";
+//   * scan-cost limit — a direct competition of the scan itself against
+//     the final stage: an index scan whose own accrued cost exceeds a set
+//     proportion of the guaranteed best is abandoned;
+//   * the guaranteed best cost starts at the Tscan estimate and ratchets
+//     down every time a list completes (fetch-by-list beats it).
+//
+// Simultaneous adjacent scanning: two neighbouring indexes race step for
+// step inside the memory buffer; the first to finish delivers the filter,
+// and the loser's in-memory partial list is refiltered (cheap) so its scan
+// continues without restarting — the paper's dynamic partial reordering.
+// The race dissolves if either list outgrows main memory.
+//
+// Setting `dynamic_thresholds = false` freezes the guaranteed best at the
+// initial Tscan estimate and disables run-time termination — the
+// statically-thresholded Jscan of Mohan et al. [MoHa90], kept as the
+// baseline the benches compare against.
+
+#ifndef DYNOPT_CORE_JSCAN_H_
+#define DYNOPT_CORE_JSCAN_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "catalog/database.h"
+#include "core/access_path.h"
+#include "exec/retrieval_spec.h"
+#include "exec/rid_set.h"
+#include "exec/steppers.h"
+#include "index/multi_range_cursor.h"
+
+namespace dynopt {
+
+class Jscan {
+ public:
+  struct Options {
+    /// Terminate a scan when its projected final cost reaches this
+    /// fraction of the guaranteed best ("a bit before ... equalized").
+    double switch_threshold = 0.95;
+    /// Safety cap: abandon a scan whose own accrued cost alone exceeds
+    /// this fraction of the guaranteed best (protects against wildly wrong
+    /// range estimates in the path projection). In static [MoHa90] mode
+    /// this is the compile-time inclusion threshold vs the Tscan estimate.
+    double scan_cost_limit_fraction = 1.0;
+    /// Entries to scan before trusting the keep-rate extrapolation.
+    uint64_t min_scan_before_projection = 32;
+    /// Race adjacent indexes inside the memory buffer.
+    bool simultaneous_adjacent = true;
+    /// false = [MoHa90] static-threshold baseline (no run-time switching).
+    bool dynamic_thresholds = true;
+    HybridRidList::Options rid_list;
+  };
+
+  enum class Phase : uint8_t { kScanning, kComplete, kTscanRecommended };
+
+  enum class IndexOutcomeKind : uint8_t {
+    kCompleted,  // delivered a RID list / filter
+    kDiscarded,  // terminated mid-scan by competition
+    kSkipped,    // never started (estimate alone disqualified it)
+  };
+
+  struct IndexOutcome {
+    std::string index_name;
+    IndexOutcomeKind kind;
+    uint64_t entries_scanned = 0;
+    uint64_t kept = 0;
+  };
+
+  /// `candidates` must outlive the Jscan; they come from the initial
+  /// stage's jscan_order (ascending estimated RIDs). `params` (bound host
+  /// variables) is used for index-screening evaluation.
+  Jscan(Database* db, const RetrievalSpec& spec, const ParamMap& params,
+        std::vector<const IndexClassification*> candidates, Options options);
+
+  /// Advances one unit of work. Returns false once phase() != kScanning.
+  Result<bool> Step();
+
+  /// Runs Step() to completion (convenience for background-only callers
+  /// with no foreground to interleave).
+  Status RunToCompletion();
+
+  Phase phase() const { return phase_; }
+
+  /// The final (sealed) RID list; non-null iff phase() == kComplete.
+  HybridRidList* final_list() { return completed_list_.get(); }
+
+  /// Current "guaranteed best" remaining-retrieval cost estimate.
+  double guaranteed_best_cost() const { return gbc_; }
+  double tscan_cost_estimate() const { return tscan_cost_; }
+
+  /// Total cost accrued by all Jscan work (scans + discarded work).
+  const CostMeter& accrued() const { return accrued_; }
+
+  /// Like accrued(), but including the scans still in flight — what the
+  /// engine compares against the foreground when pacing the race.
+  double accrued_live_cost(const CostWeights& w) const {
+    double c = accrued_.Cost(w);
+    if (primary_ != nullptr) c += primary_->accrued.Cost(w);
+    if (secondary_ != nullptr) c += secondary_->accrued.Cost(w);
+    return c;
+  }
+
+  const std::vector<IndexOutcome>& outcomes() const { return outcomes_; }
+  /// True when the adjacent race flipped the scan order at least once.
+  bool reordered() const { return reordered_; }
+
+  /// Names of indexes that completed, in completion order — fed back as
+  /// the next execution's estimation preorder (§5).
+  const std::vector<std::string>& completed_order() const {
+    return completed_names_;
+  }
+
+  /// Fast-first cooperation (§7): hands out the next not-yet-borrowed RID
+  /// from the in-memory part of the list currently being built (or, once
+  /// complete, the final list). nullopt when nothing new is available.
+  std::optional<Rid> BorrowNextRid();
+
+ private:
+  struct ActiveScan {
+    const IndexClassification* cand = nullptr;
+    MultiRangeCursor cursor;
+    bool exhausted = false;
+    uint64_t entries_scanned = 0;
+    uint64_t kept = 0;
+    std::unique_ptr<HybridRidList> list;
+    CostMeter accrued;
+    /// Distinct heap pages among kept RIDs: the live clustering
+    /// measurement the final-cost projection is built from (§3b).
+    std::unordered_set<PageId> kept_pages;
+
+    explicit ActiveScan(const IndexClassification* c)
+        : cand(c), cursor(c->index->tree(), &c->ranges) {}
+  };
+
+  /// Starts scans for the next candidate(s); updates phase when none left.
+  Status Advance();
+  std::unique_ptr<ActiveScan> StartScan(const IndexClassification* cand);
+  /// One index-entry step; applies the previous filter.
+  Result<bool> StepScan(ActiveScan* scan);
+  /// Competition checks; true = the scan must be discarded now.
+  bool ShouldDiscard(const ActiveScan& scan) const;
+  double ProjectedFinalCost(const ActiveScan& scan) const;
+  /// Estimate-only disqualification before a scan starts.
+  bool ShouldSkip(const IndexClassification& cand) const;
+  /// Seals `scan`'s list and installs it as the completed list/filter.
+  Status CompleteScan(std::unique_ptr<ActiveScan> scan);
+  void RecordOutcome(const ActiveScan& scan, IndexOutcomeKind kind);
+  /// Rebuilds `scan`'s in-memory partial list through the new filter.
+  Status RefilterPartial(ActiveScan* scan);
+
+  Database* db_;
+  const RetrievalSpec& spec_;
+  const ParamMap& params_;
+  std::vector<const IndexClassification*> candidates_;
+  Options options_;
+
+  Phase phase_ = Phase::kScanning;
+  size_t next_candidate_ = 0;
+  std::unique_ptr<ActiveScan> primary_;
+  std::unique_ptr<ActiveScan> secondary_;
+  bool step_secondary_next_ = false;
+
+  std::unique_ptr<HybridRidList> completed_list_;  // last completed, sealed
+  double tscan_cost_ = 0;
+  double gbc_ = 0;
+
+  CostMeter accrued_;
+  std::vector<IndexOutcome> outcomes_;
+  std::vector<std::string> completed_names_;
+  bool reordered_ = false;
+
+  uint64_t borrow_generation_ = 0;
+  uint64_t borrow_source_generation_ = ~uint64_t{0};
+  size_t borrow_pos_ = 0;
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_CORE_JSCAN_H_

@@ -1,0 +1,191 @@
+#include "core/plan.h"
+
+#include <algorithm>
+
+namespace dynopt {
+
+std::unique_ptr<PlanNode> PlanNode::Retrieve(RetrievalSpec spec) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = Kind::kRetrieve;
+  node->spec = std::move(spec);
+  return node;
+}
+
+std::unique_ptr<PlanNode> PlanNode::Sort(std::unique_ptr<PlanNode> child,
+                                         size_t column) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = Kind::kSort;
+  node->child = std::move(child);
+  node->column = column;
+  return node;
+}
+
+std::unique_ptr<PlanNode> PlanNode::Distinct(std::unique_ptr<PlanNode> child) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = Kind::kDistinct;
+  node->child = std::move(child);
+  return node;
+}
+
+std::unique_ptr<PlanNode> PlanNode::Limit(std::unique_ptr<PlanNode> child,
+                                          uint64_t n) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = Kind::kLimit;
+  node->child = std::move(child);
+  node->limit = n;
+  return node;
+}
+
+std::unique_ptr<PlanNode> PlanNode::Exists(std::unique_ptr<PlanNode> child) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = Kind::kExists;
+  node->child = std::move(child);
+  return node;
+}
+
+std::unique_ptr<PlanNode> PlanNode::Aggregate(std::unique_ptr<PlanNode> child,
+                                              AggregateKind kind,
+                                              size_t column) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = Kind::kAggregate;
+  node->child = std::move(child);
+  node->agg = kind;
+  node->column = column;
+  return node;
+}
+
+namespace {
+
+enum class Controller : uint8_t { kNone, kFastFirst, kTotalTime };
+
+void InferInto(PlanNode* node, Controller controller,
+               OptimizationGoal default_goal) {
+  switch (node->kind) {
+    case PlanNode::Kind::kRetrieve:
+      if (!node->spec.goal_is_explicit) {
+        switch (controller) {
+          case Controller::kFastFirst:
+            node->spec.goal = OptimizationGoal::kFastFirst;
+            break;
+          case Controller::kTotalTime:
+            node->spec.goal = OptimizationGoal::kTotalTime;
+            break;
+          case Controller::kNone:
+            node->spec.goal = default_goal;
+            break;
+        }
+      }
+      return;
+    case PlanNode::Kind::kLimit:
+    case PlanNode::Kind::kExists:
+      controller = Controller::kFastFirst;
+      break;
+    case PlanNode::Kind::kSort:
+    case PlanNode::Kind::kDistinct:
+    case PlanNode::Kind::kAggregate:
+      controller = Controller::kTotalTime;
+      break;
+  }
+  if (node->child != nullptr) {
+    InferInto(node->child.get(), controller, default_goal);
+  }
+}
+
+}  // namespace
+
+void InferGoals(PlanNode* root, OptimizationGoal default_goal) {
+  InferInto(root, Controller::kNone, default_goal);
+}
+
+DynamicRetrievalOperator::DynamicRetrievalOperator(Database* db,
+                                                   RetrievalSpec spec,
+                                                   RetrievalOptions options,
+                                                   const ParamMap* params)
+    : spec_(spec),
+      params_(params),
+      engine_(db, std::move(spec), std::move(options)) {}
+
+Status DynamicRetrievalOperator::Open() {
+  sorted_rows_.clear();
+  sorted_pos_ = 0;
+  sort_fallback_ = false;
+  DYNOPT_RETURN_IF_ERROR(engine_.Open(*params_));
+  if (spec_.order_by_column.has_value() && !engine_.delivers_order()) {
+    // No order-needed index: materialize and sort on the projected
+    // position of the order column.
+    auto it = std::find(spec_.projection.begin(), spec_.projection.end(),
+                        *spec_.order_by_column);
+    if (it == spec_.projection.end()) {
+      return Status::InvalidArgument(
+          "ORDER BY column must be projected for sort fallback");
+    }
+    size_t pos = it - spec_.projection.begin();
+    OutputRow row;
+    for (;;) {
+      DYNOPT_ASSIGN_OR_RETURN(bool more, engine_.Next(&row));
+      if (!more) break;
+      sorted_rows_.push_back(std::move(row.values));
+    }
+    std::stable_sort(sorted_rows_.begin(), sorted_rows_.end(),
+                     [pos](const auto& a, const auto& b) {
+                       return TotalValueLess(a[pos], b[pos]);
+                     });
+    sort_fallback_ = true;
+  }
+  return Status::OK();
+}
+
+Result<bool> DynamicRetrievalOperator::Next(std::vector<Value>* row) {
+  if (sort_fallback_) {
+    if (sorted_pos_ >= sorted_rows_.size()) return false;
+    *row = sorted_rows_[sorted_pos_++];
+    return true;
+  }
+  OutputRow out;
+  DYNOPT_ASSIGN_OR_RETURN(bool more, engine_.Next(&out));
+  if (!more) return false;
+  *row = std::move(out.values);
+  return true;
+}
+
+Result<RowOperatorPtr> CompilePlan(Database* db, const PlanNode& plan,
+                                   const ParamMap* params) {
+  switch (plan.kind) {
+    case PlanNode::Kind::kRetrieve:
+      return RowOperatorPtr(std::make_unique<DynamicRetrievalOperator>(
+          db, plan.spec, plan.retrieval_options, params));
+    case PlanNode::Kind::kSort: {
+      DYNOPT_ASSIGN_OR_RETURN(RowOperatorPtr child,
+                              CompilePlan(db, *plan.child, params));
+      return RowOperatorPtr(
+          std::make_unique<SortOperator>(std::move(child), plan.column));
+    }
+    case PlanNode::Kind::kDistinct: {
+      DYNOPT_ASSIGN_OR_RETURN(RowOperatorPtr child,
+                              CompilePlan(db, *plan.child, params));
+      return RowOperatorPtr(
+          std::make_unique<DistinctOperator>(std::move(child)));
+    }
+    case PlanNode::Kind::kLimit: {
+      DYNOPT_ASSIGN_OR_RETURN(RowOperatorPtr child,
+                              CompilePlan(db, *plan.child, params));
+      return RowOperatorPtr(
+          std::make_unique<LimitOperator>(std::move(child), plan.limit));
+    }
+    case PlanNode::Kind::kExists: {
+      DYNOPT_ASSIGN_OR_RETURN(RowOperatorPtr child,
+                              CompilePlan(db, *plan.child, params));
+      return RowOperatorPtr(
+          std::make_unique<ExistsOperator>(std::move(child)));
+    }
+    case PlanNode::Kind::kAggregate: {
+      DYNOPT_ASSIGN_OR_RETURN(RowOperatorPtr child,
+                              CompilePlan(db, *plan.child, params));
+      return RowOperatorPtr(std::make_unique<AggregateOperator>(
+          std::move(child), plan.agg, plan.column));
+    }
+  }
+  return Status::Internal("unknown plan node kind");
+}
+
+}  // namespace dynopt

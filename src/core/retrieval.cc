@@ -1,0 +1,483 @@
+#include "core/retrieval.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dynopt {
+
+std::string_view TacticName(Tactic t) {
+  switch (t) {
+    case Tactic::kUndecided:
+      return "undecided";
+    case Tactic::kShortcutEmpty:
+      return "shortcut-empty";
+    case Tactic::kShortcutTiny:
+      return "shortcut-tiny";
+    case Tactic::kStaticTscan:
+      return "static-tscan";
+    case Tactic::kStaticSscan:
+      return "static-sscan";
+    case Tactic::kBackgroundOnly:
+      return "background-only";
+    case Tactic::kFastFirst:
+      return "fast-first";
+    case Tactic::kSorted:
+      return "sorted";
+    case Tactic::kIndexOnly:
+      return "index-only";
+  }
+  return "?";
+}
+
+DynamicRetrieval::DynamicRetrieval(Database* db, RetrievalSpec spec,
+                                   RetrievalOptions options)
+    : db_(db), spec_(std::move(spec)), options_(options) {
+  if (spec_.restriction == nullptr) spec_.restriction = Predicate::True();
+}
+
+Status DynamicRetrieval::Open(const ParamMap& params) {
+  params_ = params;
+  queue_.clear();
+  delivered_.clear();
+  trace_.clear();
+  jscan_.reset();
+  single_.reset();
+  fscan_fgr_.reset();
+  sscan_fgr_.reset();
+  fgr_accrued_ = CostMeter();
+  fgr_active_ = false;
+  track_delivered_ = false;
+  final_rids_.clear();
+  final_pos_ = 0;
+  delivers_order_ = false;
+  open_snapshot_ = db_->meter();
+
+  DYNOPT_ASSIGN_OR_RETURN(
+      analysis_,
+      AnalyzeAccessPaths(spec_, params_, options_.initial,
+                         options_.remember_order && !previous_order_.empty()
+                             ? &previous_order_
+                             : nullptr));
+  TraceEvent(analysis_.ToString());
+  DYNOPT_RETURN_IF_ERROR(DecideTactic());
+  TraceEvent("tactic: " + std::string(TacticName(tactic_)));
+  return SetUpTactic();
+}
+
+Status DynamicRetrieval::DecideTactic() {
+  if (analysis_.empty_shortcut) {
+    tactic_ = Tactic::kShortcutEmpty;
+    return Status::OK();
+  }
+  if (analysis_.tiny_shortcut) {
+    tactic_ = Tactic::kShortcutTiny;
+    return Status::OK();
+  }
+  bool has_ss = analysis_.best_self_sufficient >= 0;
+  // Jscan candidates other than the covering index itself: racing an Sscan
+  // against a joint scan of the same index resolves nothing.
+  bool has_jscan = false;
+  for (size_t pos : analysis_.jscan_order) {
+    if (!has_ss ||
+        static_cast<int>(pos) != analysis_.best_self_sufficient) {
+      has_jscan = true;
+    }
+  }
+  bool has_ord =
+      spec_.order_by_column.has_value() && analysis_.order_needed >= 0;
+
+  if (has_ord) {
+    // An order-needed index exists: the Sorted tactic covers both goals
+    // (its background Jscan may be empty, degenerating to a plain Fscan).
+    tactic_ = Tactic::kSorted;
+    return Status::OK();
+  }
+  if (has_ss && has_jscan) {
+    tactic_ = Tactic::kIndexOnly;
+    return Status::OK();
+  }
+  if (has_ss) {
+    tactic_ = Tactic::kStaticSscan;  // §4's clear static case
+    return Status::OK();
+  }
+  if (!has_jscan) {
+    tactic_ = Tactic::kStaticTscan;  // §4's other clear static case
+    return Status::OK();
+  }
+  tactic_ = spec_.goal == OptimizationGoal::kFastFirst
+                ? Tactic::kFastFirst
+                : Tactic::kBackgroundOnly;
+  return Status::OK();
+}
+
+Status DynamicRetrieval::SetUpTactic() {
+  auto jscan_candidates =
+      [&](int exclude) -> std::vector<const IndexClassification*> {
+    std::vector<const IndexClassification*> cands;
+    for (size_t pos : analysis_.jscan_order) {
+      if (static_cast<int>(pos) == exclude) continue;
+      cands.push_back(&analysis_.indexes[pos]);
+    }
+    return cands;
+  };
+
+  switch (tactic_) {
+    case Tactic::kShortcutEmpty:
+      mode_ = Mode::kDone;
+      TraceEvent("empty range: end of data at once");
+      return Status::OK();
+
+    case Tactic::kShortcutTiny: {
+      const IndexClassification& c = analysis_.indexes[analysis_.tiny_index];
+      std::vector<Rid> rids;
+      MultiRangeCursor cursor(c.index->tree(), &c.ranges);
+      std::string key;
+      Rid rid;
+      for (;;) {
+        DYNOPT_ASSIGN_OR_RETURN(bool more, cursor.Next(&key, &rid));
+        if (!more) break;
+        rids.push_back(rid);
+      }
+      TraceEvent("tiny range on " + c.index->name() + ": " +
+                 std::to_string(rids.size()) + " rids straight to final");
+      return BeginFinalStage(std::move(rids));
+    }
+
+    case Tactic::kStaticTscan:
+      single_ = std::make_unique<TscanStepper>(db_->pool(), spec_, params_);
+      mode_ = Mode::kSingle;
+      return Status::OK();
+
+    case Tactic::kStaticSscan: {
+      const IndexClassification& c =
+          analysis_.indexes[analysis_.best_self_sufficient];
+      single_ = std::make_unique<SscanStepper>(db_->pool(), spec_, params_,
+                                               c.index, c.ranges);
+      delivers_order_ = spec_.order_by_column.has_value() && c.order_needed;
+      mode_ = Mode::kSingle;
+      return Status::OK();
+    }
+
+    case Tactic::kBackgroundOnly:
+      jscan_ = std::make_unique<Jscan>(db_, spec_, params_,
+                                       jscan_candidates(-1), options_.jscan);
+      mode_ = Mode::kBackground;
+      return Status::OK();
+
+    case Tactic::kFastFirst:
+      jscan_ = std::make_unique<Jscan>(db_, spec_, params_,
+                                       jscan_candidates(-1), options_.jscan);
+      fgr_active_ = true;
+      track_delivered_ = true;
+      mode_ = Mode::kRace;
+      return Status::OK();
+
+    case Tactic::kSorted: {
+      const IndexClassification& c = analysis_.indexes[analysis_.order_needed];
+      fscan_fgr_ = std::make_unique<FscanStepper>(db_->pool(), spec_, params_,
+                                                  c.index, c.ranges);
+      if (c.covered_residual != nullptr) {
+        fscan_fgr_->SetScreen(c.covered_residual);
+      }
+      delivers_order_ = true;
+      auto rest = jscan_candidates(analysis_.order_needed);
+      if (rest.empty()) {
+        TraceEvent("sorted: no background candidates, plain Fscan");
+        single_ = std::move(fscan_fgr_);
+        mode_ = Mode::kSingle;
+        return Status::OK();
+      }
+      jscan_ = std::make_unique<Jscan>(db_, spec_, params_, std::move(rest),
+                                       options_.jscan);
+      mode_ = Mode::kRace;
+      return Status::OK();
+    }
+
+    case Tactic::kIndexOnly: {
+      const IndexClassification& c =
+          analysis_.indexes[analysis_.best_self_sufficient];
+      sscan_fgr_ = std::make_unique<SscanStepper>(db_->pool(), spec_, params_,
+                                                  c.index, c.ranges);
+      delivers_order_ = spec_.order_by_column.has_value() && c.order_needed;
+      jscan_ = std::make_unique<Jscan>(
+          db_, spec_, params_,
+          jscan_candidates(analysis_.best_self_sufficient), options_.jscan);
+      track_delivered_ = true;
+      mode_ = Mode::kRace;
+      return Status::OK();
+    }
+
+    case Tactic::kUndecided:
+      break;
+  }
+  return Status::Internal("tactic decision failed");
+}
+
+Result<bool> DynamicRetrieval::Next(OutputRow* row) {
+  for (;;) {
+    if (!queue_.empty()) {
+      *row = std::move(queue_.front());
+      queue_.pop_front();
+      return true;
+    }
+    if (mode_ == Mode::kDone) return false;
+    DYNOPT_RETURN_IF_ERROR(Pump());
+  }
+}
+
+Status DynamicRetrieval::Pump() {
+  switch (mode_) {
+    case Mode::kSingle:
+      return StepSingle();
+    case Mode::kBackground:
+      return StepBackground();
+    case Mode::kRace:
+      return StepRace();
+    case Mode::kFinal:
+      return StepFinal();
+    case Mode::kDone:
+      return Status::OK();
+  }
+  return Status::Internal("invalid retrieval mode");
+}
+
+Status DynamicRetrieval::StepSingle() {
+  std::vector<OutputRow> rows;
+  DYNOPT_ASSIGN_OR_RETURN(bool more, single_->Step(&rows));
+  for (auto& r : rows) {
+    if (track_delivered_ && delivered_.count(r.rid) > 0) continue;
+    queue_.push_back(std::move(r));
+  }
+  if (!more) {
+    mode_ = Mode::kDone;
+    TraceEvent(single_->label() + " completed retrieval");
+  }
+  return Status::OK();
+}
+
+Status DynamicRetrieval::StepBackground() {
+  DYNOPT_RETURN_IF_ERROR(jscan_->RunToCompletion());
+  if (options_.remember_order && !jscan_->completed_order().empty()) {
+    previous_order_ = jscan_->completed_order();
+  }
+  if (jscan_->phase() == Jscan::Phase::kComplete) {
+    DYNOPT_ASSIGN_OR_RETURN(std::vector<Rid> rids,
+                            jscan_->final_list()->ToSortedVector());
+    TraceEvent("jscan complete: " + std::to_string(rids.size()) +
+               " rids to final stage");
+    return BeginFinalStage(std::move(rids));
+  }
+  TraceEvent("jscan recommended tscan");
+  single_ = std::make_unique<TscanStepper>(db_->pool(), spec_, params_);
+  mode_ = Mode::kSingle;
+  return Status::OK();
+}
+
+double DynamicRetrieval::ForegroundCost() const {
+  const CostWeights& w = db_->cost_weights();
+  switch (tactic_) {
+    case Tactic::kFastFirst:
+      return fgr_accrued_.Cost(w);
+    case Tactic::kSorted:
+      return fscan_fgr_ != nullptr ? fscan_fgr_->AccruedCost(w) : 0;
+    case Tactic::kIndexOnly:
+      return sscan_fgr_ != nullptr ? sscan_fgr_->AccruedCost(w) : 0;
+    default:
+      return 0;
+  }
+}
+
+Status DynamicRetrieval::StepRace() {
+  if (jscan_->phase() != Jscan::Phase::kScanning) {
+    return OnBackgroundSettled();
+  }
+  double fgr_cost = ForegroundCost();
+  double bgr_cost = jscan_->accrued_live_cost(db_->cost_weights());
+  if (bgr_cost <= options_.fgr_bgr_cost_ratio * fgr_cost) {
+    DYNOPT_RETURN_IF_ERROR(jscan_->Step().status());
+    return Status::OK();
+  }
+  return StepForeground();
+}
+
+Status DynamicRetrieval::StepForeground() {
+  switch (tactic_) {
+    case Tactic::kFastFirst: {
+      std::optional<Rid> rid;
+      {
+        MeterScope scope(db_->pool(), &fgr_accrued_);
+        rid = jscan_->BorrowNextRid();
+        if (rid.has_value() && delivered_.count(*rid) == 0) {
+          DYNOPT_RETURN_IF_ERROR(DeliverByRid(*rid, /*record=*/true));
+        }
+      }
+      if (!rid.has_value()) {
+        // Starved: nothing new to borrow, give the quantum to the Jscan.
+        DYNOPT_RETURN_IF_ERROR(jscan_->Step().status());
+        return Status::OK();
+      }
+      // Competition criteria for terminating the foreground (§7).
+      if (delivered_.size() >= options_.fgr_buffer_capacity) {
+        TraceEvent("fgr buffer overflow: fall back to background-only");
+        fgr_active_ = false;
+        mode_ = Mode::kBackground;
+        return Status::OK();
+      }
+      if (fgr_accrued_.Cost(db_->cost_weights()) >
+          options_.fgr_cost_limit_fraction * jscan_->guaranteed_best_cost()) {
+        TraceEvent("fgr cost limit reached: fall back to background-only");
+        fgr_active_ = false;
+        mode_ = Mode::kBackground;
+      }
+      return Status::OK();
+    }
+
+    case Tactic::kSorted: {
+      std::vector<OutputRow> rows;
+      DYNOPT_ASSIGN_OR_RETURN(bool more, fscan_fgr_->Step(&rows));
+      for (auto& r : rows) queue_.push_back(std::move(r));
+      if (!more) {
+        TraceEvent("fscan completed first: jscan abandoned");
+        mode_ = Mode::kDone;
+      }
+      return Status::OK();
+    }
+
+    case Tactic::kIndexOnly: {
+      std::vector<OutputRow> rows;
+      DYNOPT_ASSIGN_OR_RETURN(bool more, sscan_fgr_->Step(&rows));
+      for (auto& r : rows) {
+        if (track_delivered_) delivered_.insert(r.rid);
+        queue_.push_back(std::move(r));
+      }
+      if (!more) {
+        TraceEvent("sscan completed first: jscan abandoned");
+        mode_ = Mode::kDone;
+        return Status::OK();
+      }
+      if (track_delivered_ &&
+          delivered_.size() >= options_.fgr_buffer_capacity) {
+        // The safer strategy survives the buffer overflow (§7).
+        TraceEvent("fgr buffer overflow: jscan terminated, sscan continues");
+        track_delivered_ = false;
+        delivered_.clear();
+        single_ = std::move(sscan_fgr_);
+        mode_ = Mode::kSingle;
+      }
+      return Status::OK();
+    }
+
+    default:
+      return Status::Internal("foreground step in non-race tactic");
+  }
+}
+
+Status DynamicRetrieval::OnBackgroundSettled() {
+  if (options_.remember_order && !jscan_->completed_order().empty()) {
+    previous_order_ = jscan_->completed_order();
+  }
+  bool complete = jscan_->phase() == Jscan::Phase::kComplete;
+  switch (tactic_) {
+    case Tactic::kFastFirst:
+      if (complete) {
+        DYNOPT_ASSIGN_OR_RETURN(std::vector<Rid> rids,
+                                jscan_->final_list()->ToSortedVector());
+        TraceEvent("jscan complete during race: final stage (" +
+                   std::to_string(rids.size()) + " rids, " +
+                   std::to_string(delivered_.size()) + " already delivered)");
+        return BeginFinalStage(std::move(rids));
+      }
+      TraceEvent("jscan recommended tscan: foreground switches to tscan");
+      single_ = std::make_unique<TscanStepper>(db_->pool(), spec_, params_);
+      mode_ = Mode::kSingle;  // delivered_ still filters duplicates
+      return Status::OK();
+
+    case Tactic::kSorted:
+      if (complete) {
+        TraceEvent("jscan filter installed into fscan");
+        fscan_fgr_->SetPreFetchFilter(jscan_->final_list());
+      } else {
+        TraceEvent("jscan found no useful filter: fscan continues plain");
+      }
+      single_ = std::move(fscan_fgr_);
+      mode_ = Mode::kSingle;
+      return Status::OK();
+
+    case Tactic::kIndexOnly:
+      if (complete) {
+        // §7: the Sscan is abandoned only "with a small enough RID list" —
+        // when the sure final-stage fetch undercuts what finishing the
+        // (safer) Sscan is still expected to cost.
+        const CostWeights& w = db_->cost_weights();
+        const IndexClassification& ss =
+            analysis_.indexes[analysis_.best_self_sufficient];
+        double ss_entries =
+            ss.estimated
+                ? ss.estimate.estimated_rids
+                : static_cast<double>(ss.index->tree()->entry_count());
+        double ss_total = EstimateIndexScanCost(
+            ss_entries, std::max(ss.index->tree()->AvgFanout(), 1.0), w);
+        double ss_remaining =
+            std::max(0.0, ss_total - sscan_fgr_->AccruedCost(w));
+        double fin_cost = EstimateFetchCost(
+            static_cast<double>(jscan_->final_list()->size()), spec_, w);
+        if (fin_cost < ss_remaining) {
+          DYNOPT_ASSIGN_OR_RETURN(std::vector<Rid> rids,
+                                  jscan_->final_list()->ToSortedVector());
+          TraceEvent("jscan won the race: sscan abandoned, final stage (" +
+                     std::to_string(rids.size()) + " rids)");
+          sscan_fgr_.reset();
+          return BeginFinalStage(std::move(rids));
+        }
+        TraceEvent("jscan list too costly to fetch: sscan continues alone");
+      } else {
+        TraceEvent("jscan recommended tscan: sscan (safer) continues alone");
+      }
+      track_delivered_ = false;
+      delivered_.clear();
+      single_ = std::move(sscan_fgr_);
+      mode_ = Mode::kSingle;
+      return Status::OK();
+
+    default:
+      return Status::Internal("background settled in non-race tactic");
+  }
+}
+
+Status DynamicRetrieval::BeginFinalStage(std::vector<Rid> rids) {
+  std::sort(rids.begin(), rids.end());
+  final_rids_ = std::move(rids);
+  final_pos_ = 0;
+  mode_ = Mode::kFinal;
+  return Status::OK();
+}
+
+Status DynamicRetrieval::StepFinal() {
+  if (final_pos_ >= final_rids_.size()) {
+    mode_ = Mode::kDone;
+    TraceEvent("final stage complete");
+    return Status::OK();
+  }
+  Rid rid = final_rids_[final_pos_++];
+  if (track_delivered_ && delivered_.count(rid) > 0) return Status::OK();
+  return DeliverByRid(rid, /*record=*/false);
+}
+
+Status DynamicRetrieval::DeliverByRid(Rid rid, bool record) {
+  auto fetched = spec_.table->Fetch(rid);
+  if (!fetched.ok()) {
+    if (fetched.status().IsNotFound()) return Status::OK();  // deleted row
+    return fetched.status();
+  }
+  const Record& rec = *fetched;
+  RowView view(&rec);
+  db_->pool()->meter_ptr()->record_evals++;
+  DYNOPT_ASSIGN_OR_RETURN(bool keep, spec_.restriction->Eval(view, params_));
+  if (record) delivered_.insert(rid);
+  if (keep) {
+    queue_.push_back(OutputRow{ProjectRecord(spec_, rec), rid});
+  }
+  return Status::OK();
+}
+
+}  // namespace dynopt

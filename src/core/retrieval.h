@@ -1,0 +1,160 @@
+// DynamicRetrieval — the paper's single-table retrieval subsystem (Fig 4).
+//
+// One object per retrieval node; Open(params) re-optimizes per execution
+// (the cure for host-variable sensitivity), then Next() pulls rows while
+// the engine runs its tactic underneath:
+//
+//   Shortcuts (§5)     empty range → no rows at once; tiny exact range →
+//                      straight to the final fetch stage.
+//   Static clear cases Tscan when no index helps; Sscan when one covering
+//                      index obviously wins.
+//   Background-Only    Jscan to completion, then the final stage (Fin)
+//                      fetches the sorted RID list (§7).
+//   Fast-First         a foreground process borrows RIDs from the live
+//                      Jscan, fetches and delivers immediately, and is
+//                      terminated by competition when fast-first
+//                      satisfaction stops being realistic (§7).
+//   Sorted             Fscan on the best order-needed index races Jscan
+//                      over the remaining indexes; the completed Jscan
+//                      filter is installed into the Fscan to reject RIDs
+//                      before their record fetches (§7).
+//   Index-Only         the best Sscan races Jscan; Sscan survives a
+//                      foreground-buffer overflow (it is the safer
+//                      strategy), Jscan wins by finishing small (§7).
+//
+// The foreground/background "simultaneous" run is a deterministic
+// interleaving paced by accrued cost at a configurable ratio. Every
+// decision the engine takes is appended to a human-readable trace that
+// tests assert against (the Fig 4/Fig 6 state transitions).
+
+#ifndef DYNOPT_CORE_RETRIEVAL_H_
+#define DYNOPT_CORE_RETRIEVAL_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "catalog/database.h"
+#include "core/access_path.h"
+#include "core/jscan.h"
+#include "exec/retrieval_spec.h"
+#include "exec/steppers.h"
+#include "index/multi_range_cursor.h"
+
+namespace dynopt {
+
+enum class Tactic : uint8_t {
+  kUndecided,
+  kShortcutEmpty,
+  kShortcutTiny,
+  kStaticTscan,
+  kStaticSscan,
+  kBackgroundOnly,
+  kFastFirst,
+  kSorted,
+  kIndexOnly,
+};
+
+std::string_view TacticName(Tactic t);
+
+struct RetrievalOptions {
+  Jscan::Options jscan;
+  InitialStageOptions initial;
+  /// Foreground delivered-RID buffer capacity; overflow hands control to
+  /// the background (fast-first) or kills it (index-only keeps Sscan).
+  size_t fgr_buffer_capacity = 1024;
+  /// The foreground is abandoned once its accrued cost exceeds this
+  /// fraction of the current guaranteed best (fast-first only).
+  double fgr_cost_limit_fraction = 0.5;
+  /// Proportional speeds: step the background while its accrued cost is
+  /// below `fgr_bgr_cost_ratio` times the foreground's.
+  double fgr_bgr_cost_ratio = 1.0;
+  /// Feed each execution's completed index order into the next one's
+  /// estimation preorder (§5).
+  bool remember_order = true;
+};
+
+class DynamicRetrieval {
+ public:
+  DynamicRetrieval(Database* db, RetrievalSpec spec,
+                   RetrievalOptions options = RetrievalOptions());
+
+  /// Binds parameters and (re)optimizes. May be called repeatedly; each
+  /// call is an independent execution that reuses learned index order.
+  Status Open(const ParamMap& params);
+
+  /// Delivers the next row; false at end of retrieval.
+  Result<bool> Next(OutputRow* row);
+
+  Tactic tactic() const { return tactic_; }
+  /// True when rows come out in the requested order (the plan layer adds
+  /// a sort otherwise).
+  bool delivers_order() const { return delivers_order_; }
+  const std::vector<std::string>& trace() const { return trace_; }
+  const AccessPathAnalysis& analysis() const { return analysis_; }
+  const Jscan* jscan() const { return jscan_.get(); }
+
+  /// Cost accrued by this execution so far (database-meter delta).
+  CostMeter CostSinceOpen() const { return db_->meter() - open_snapshot_; }
+
+ private:
+  enum class Mode : uint8_t {
+    kSingle,      // one stepper runs alone (Tscan/Sscan/filtered Fscan)
+    kBackground,  // Jscan alone, then final stage
+    kRace,        // foreground + background interleaved
+    kFinal,       // fetching the final RID list
+    kDone,
+  };
+
+  void TraceEvent(std::string what) { trace_.push_back(std::move(what)); }
+  Status DecideTactic();
+  Status SetUpTactic();
+  /// One scheduling quantum; may enqueue rows.
+  Status Pump();
+  Status StepSingle();
+  Status StepBackground();
+  Status StepRace();
+  Status StepFinal();
+  /// The race's background finished: route per tactic.
+  Status OnBackgroundSettled();
+  /// One foreground quantum inside the race.
+  Status StepForeground();
+  Status BeginFinalStage(std::vector<Rid> rids);
+  /// Fetch+evaluate+deliver one RID (final stage / fast-first borrow).
+  Status DeliverByRid(Rid rid, bool record_delivered);
+  double ForegroundCost() const;
+
+  Database* db_;
+  RetrievalSpec spec_;
+  RetrievalOptions options_;
+  ParamMap params_;
+
+  Tactic tactic_ = Tactic::kUndecided;
+  Mode mode_ = Mode::kDone;
+  bool delivers_order_ = false;
+  AccessPathAnalysis analysis_;
+  std::vector<std::string> trace_;
+  std::vector<std::string> previous_order_;
+  CostMeter open_snapshot_;
+
+  std::unique_ptr<Jscan> jscan_;
+  std::unique_ptr<ScanStepper> single_;     // kSingle stepper
+  std::unique_ptr<FscanStepper> fscan_fgr_; // Sorted foreground
+  std::unique_ptr<SscanStepper> sscan_fgr_; // Index-Only foreground
+  CostMeter fgr_accrued_;                   // Fast-First foreground cost
+  bool fgr_active_ = false;
+
+  std::unordered_set<Rid> delivered_;
+  bool track_delivered_ = false;
+
+  std::vector<Rid> final_rids_;
+  size_t final_pos_ = 0;
+
+  std::deque<OutputRow> queue_;
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_CORE_RETRIEVAL_H_

@@ -1,0 +1,173 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+
+namespace dynopt {
+
+namespace {
+
+bool RowLess(const std::vector<Value>& a, const std::vector<Value>& b) {
+  for (size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+    if (TotalValueLess(a[i], b[i])) return true;
+    if (TotalValueLess(b[i], a[i])) return false;
+  }
+  return a.size() < b.size();
+}
+
+}  // namespace
+
+SortOperator::SortOperator(RowOperatorPtr child, size_t sort_col)
+    : child_(std::move(child)), sort_col_(sort_col) {}
+
+Status SortOperator::Open() {
+  DYNOPT_RETURN_IF_ERROR(child_->Open());
+  rows_.clear();
+  pos_ = 0;
+  std::vector<Value> row;
+  for (;;) {
+    DYNOPT_ASSIGN_OR_RETURN(bool more, child_->Next(&row));
+    if (!more) break;
+    if (sort_col_ >= row.size()) {
+      return Status::InvalidArgument("sort column beyond row arity");
+    }
+    rows_.push_back(row);
+  }
+  std::stable_sort(rows_.begin(), rows_.end(),
+                   [this](const auto& a, const auto& b) {
+                     return TotalValueLess(a[sort_col_], b[sort_col_]);
+                   });
+  return Status::OK();
+}
+
+Result<bool> SortOperator::Next(std::vector<Value>* row) {
+  if (pos_ >= rows_.size()) return false;
+  *row = rows_[pos_++];
+  return true;
+}
+
+LimitOperator::LimitOperator(RowOperatorPtr child, uint64_t limit)
+    : child_(std::move(child)), limit_(limit) {}
+
+Status LimitOperator::Open() {
+  produced_ = 0;
+  return child_->Open();
+}
+
+Result<bool> LimitOperator::Next(std::vector<Value>* row) {
+  if (produced_ >= limit_) return false;
+  DYNOPT_ASSIGN_OR_RETURN(bool more, child_->Next(row));
+  if (!more) return false;
+  produced_++;
+  return true;
+}
+
+ExistsOperator::ExistsOperator(RowOperatorPtr child)
+    : child_(std::move(child)) {}
+
+Status ExistsOperator::Open() {
+  done_ = false;
+  return child_->Open();
+}
+
+Result<bool> ExistsOperator::Next(std::vector<Value>* row) {
+  if (done_) return false;
+  done_ = true;
+  std::vector<Value> ignored;
+  DYNOPT_ASSIGN_OR_RETURN(bool any, child_->Next(&ignored));
+  row->clear();
+  row->push_back(Value(static_cast<int64_t>(any ? 1 : 0)));
+  return true;
+}
+
+DistinctOperator::DistinctOperator(RowOperatorPtr child)
+    : child_(std::move(child)) {}
+
+Status DistinctOperator::Open() {
+  DYNOPT_RETURN_IF_ERROR(child_->Open());
+  rows_.clear();
+  pos_ = 0;
+  std::vector<Value> row;
+  for (;;) {
+    DYNOPT_ASSIGN_OR_RETURN(bool more, child_->Next(&row));
+    if (!more) break;
+    rows_.push_back(row);
+  }
+  std::sort(rows_.begin(), rows_.end(), RowLess);
+  rows_.erase(std::unique(rows_.begin(), rows_.end()), rows_.end());
+  return Status::OK();
+}
+
+Result<bool> DistinctOperator::Next(std::vector<Value>* row) {
+  if (pos_ >= rows_.size()) return false;
+  *row = rows_[pos_++];
+  return true;
+}
+
+AggregateOperator::AggregateOperator(RowOperatorPtr child, AggregateKind kind,
+                                     size_t col)
+    : child_(std::move(child)), kind_(kind), col_(col) {}
+
+Status AggregateOperator::Open() {
+  DYNOPT_RETURN_IF_ERROR(child_->Open());
+  done_ = false;
+  result_.clear();
+
+  int64_t count = 0;
+  double sum = 0;
+  bool any = false;
+  Value best;
+  std::vector<Value> row;
+  for (;;) {
+    DYNOPT_ASSIGN_OR_RETURN(bool more, child_->Next(&row));
+    if (!more) break;
+    count++;
+    if (kind_ == AggregateKind::kCount) continue;
+    if (col_ >= row.size()) {
+      return Status::InvalidArgument("aggregate column beyond row arity");
+    }
+    const Value& v = row[col_];
+    switch (kind_) {
+      case AggregateKind::kSum:
+        if (v.is_int64()) {
+          sum += static_cast<double>(v.AsInt64());
+        } else if (v.is_double()) {
+          sum += v.AsDouble();
+        } else {
+          return Status::InvalidArgument("SUM over non-numeric column");
+        }
+        break;
+      case AggregateKind::kMin:
+        if (!any || TotalValueLess(v, best)) best = v;
+        break;
+      case AggregateKind::kMax:
+        if (!any || TotalValueLess(best, v)) best = v;
+        break;
+      case AggregateKind::kCount:
+        break;
+    }
+    any = true;
+  }
+  switch (kind_) {
+    case AggregateKind::kCount:
+      result_.push_back(Value(count));
+      break;
+    case AggregateKind::kSum:
+      result_.push_back(Value(sum));
+      break;
+    case AggregateKind::kMin:
+    case AggregateKind::kMax:
+      if (!any) return Status::NotFound("MIN/MAX over empty input");
+      result_.push_back(best);
+      break;
+  }
+  return Status::OK();
+}
+
+Result<bool> AggregateOperator::Next(std::vector<Value>* row) {
+  if (done_) return false;
+  done_ = true;
+  *row = result_;
+  return true;
+}
+
+}  // namespace dynopt

@@ -1,0 +1,126 @@
+// Volcano-style row operators.
+//
+// A thin pull-based executor sits above single-table retrieval so the goal
+// inference of §4 has real plans to walk: SORT / DISTINCT / aggregates are
+// pipeline breakers (total-time), LIMIT / EXISTS are early terminators
+// (fast-first). Rows are plain value vectors.
+
+#ifndef DYNOPT_EXEC_OPERATORS_H_
+#define DYNOPT_EXEC_OPERATORS_H_
+
+#include <memory>
+#include <vector>
+
+#include "expr/value.h"
+#include "util/status.h"
+
+namespace dynopt {
+
+class RowOperator {
+ public:
+  virtual ~RowOperator() = default;
+
+  /// Prepares the operator; must be called once before Next().
+  virtual Status Open() = 0;
+
+  /// Produces the next row; returns false at end of stream.
+  virtual Result<bool> Next(std::vector<Value>* row) = 0;
+};
+
+using RowOperatorPtr = std::unique_ptr<RowOperator>;
+
+/// Materializing sort on row position `sort_col` (ascending).
+class SortOperator final : public RowOperator {
+ public:
+  SortOperator(RowOperatorPtr child, size_t sort_col);
+  Status Open() override;
+  Result<bool> Next(std::vector<Value>* row) override;
+
+ private:
+  RowOperatorPtr child_;
+  size_t sort_col_;
+  std::vector<std::vector<Value>> rows_;
+  size_t pos_ = 0;
+};
+
+/// Passes through the first `limit` rows, then stops pulling the child —
+/// the forceful "close retrieval" that makes fast-first pay off.
+class LimitOperator final : public RowOperator {
+ public:
+  LimitOperator(RowOperatorPtr child, uint64_t limit);
+  Status Open() override;
+  Result<bool> Next(std::vector<Value>* row) override;
+
+ private:
+  RowOperatorPtr child_;
+  uint64_t limit_;
+  uint64_t produced_ = 0;
+};
+
+/// Emits one row [INT64 0|1]: whether the child produced any row. Stops
+/// the child after the first row (EXISTS semantics).
+class ExistsOperator final : public RowOperator {
+ public:
+  explicit ExistsOperator(RowOperatorPtr child);
+  Status Open() override;
+  Result<bool> Next(std::vector<Value>* row) override;
+
+ private:
+  RowOperatorPtr child_;
+  bool done_ = false;
+};
+
+/// Sort-based duplicate elimination over whole rows.
+class DistinctOperator final : public RowOperator {
+ public:
+  explicit DistinctOperator(RowOperatorPtr child);
+  Status Open() override;
+  Result<bool> Next(std::vector<Value>* row) override;
+
+ private:
+  RowOperatorPtr child_;
+  std::vector<std::vector<Value>> rows_;
+  size_t pos_ = 0;
+};
+
+enum class AggregateKind : uint8_t { kCount, kSum, kMin, kMax };
+
+/// Drains the child and emits a single aggregate row. COUNT emits INT64;
+/// SUM/MIN/MAX operate on row position `col` (INT64 or DOUBLE).
+class AggregateOperator final : public RowOperator {
+ public:
+  AggregateOperator(RowOperatorPtr child, AggregateKind kind, size_t col = 0);
+  Status Open() override;
+  Result<bool> Next(std::vector<Value>* row) override;
+
+ private:
+  RowOperatorPtr child_;
+  AggregateKind kind_;
+  size_t col_;
+  bool done_ = false;
+  std::vector<Value> result_;
+};
+
+/// Test/bench helper: serves a fixed vector of rows.
+class VectorSourceOperator final : public RowOperator {
+ public:
+  explicit VectorSourceOperator(std::vector<std::vector<Value>> rows)
+      : rows_(std::move(rows)) {}
+  Status Open() override {
+    pos_ = 0;
+    return Status::OK();
+  }
+  Result<bool> Next(std::vector<Value>* row) override {
+    if (pos_ >= rows_.size()) return false;
+    *row = rows_[pos_++];
+    return true;
+  }
+
+ private:
+  std::vector<std::vector<Value>> rows_;
+  size_t pos_ = 0;
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_EXEC_OPERATORS_H_

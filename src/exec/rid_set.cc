@@ -1,0 +1,147 @@
+#include "exec/rid_set.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dynopt {
+
+namespace {
+
+uint64_t MixRid(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+HybridRidList::HybridRidList(BufferPool* pool, Options options)
+    : pool_(pool), options_(options) {
+  options_.inline_capacity =
+      std::min(options_.inline_capacity, inline_buf_.size());
+  if (options_.memory_capacity < options_.inline_capacity) {
+    options_.memory_capacity = options_.inline_capacity;
+  }
+  if (options_.bitmap_bits == 0) options_.bitmap_bits = 64;
+}
+
+void HybridRidList::SetBit(Rid rid) {
+  uint64_t bit = MixRid(rid.ToU64()) % options_.bitmap_bits;
+  bitmap_[bit / 64] |= uint64_t{1} << (bit % 64);
+}
+
+Status HybridRidList::Append(Rid rid) {
+  if (sealed_) return Status::Internal("append to sealed RID list");
+  if (pool_ != nullptr) pool_->meter_ptr()->rid_ops++;
+  switch (storage_) {
+    case Storage::kInline:
+      if (size_ < options_.inline_capacity) {
+        inline_buf_[size_++] = rid;
+        return Status::OK();
+      }
+      // Promote: copy the inline region into an allocated buffer.
+      heap_buf_.reserve(options_.inline_capacity * 2);
+      heap_buf_.assign(inline_buf_.begin(),
+                       inline_buf_.begin() + size_);
+      storage_ = Storage::kHeap;
+      [[fallthrough]];
+    case Storage::kHeap:
+      if (heap_buf_.size() < options_.memory_capacity) {
+        heap_buf_.push_back(rid);
+        size_++;
+        return Status::OK();
+      }
+      // Overflow: open the temporary table and build the bitmap over
+      // everything seen so far.
+      if (pool_ == nullptr) {
+        return Status::ResourceExhausted(
+            "RID list exceeded memory capacity with no spill pool");
+      }
+      spill_ = std::make_unique<TempRidFile>(pool_);
+      bitmap_.assign((options_.bitmap_bits + 63) / 64, 0);
+      for (const Rid& r : heap_buf_) SetBit(r);
+      storage_ = Storage::kSpilled;
+      [[fallthrough]];
+    case Storage::kSpilled:
+      DYNOPT_RETURN_IF_ERROR(spill_->Append(rid));
+      SetBit(rid);
+      size_++;
+      return Status::OK();
+  }
+  return Status::Internal("unreachable RID storage state");
+}
+
+Status HybridRidList::Seal() {
+  if (sealed_) return Status::OK();
+  sealed_ = true;
+  if (storage_ == Storage::kInline) {
+    std::sort(inline_buf_.begin(), inline_buf_.begin() + size_);
+  } else {
+    std::sort(heap_buf_.begin(), heap_buf_.end());
+  }
+  return Status::OK();
+}
+
+bool HybridRidList::MightContain(Rid rid) const {
+  assert(sealed_ && "filter probed before Seal()");
+  if (pool_ != nullptr) pool_->meter_ptr()->rid_ops++;
+  switch (storage_) {
+    case Storage::kInline:
+      return std::binary_search(inline_buf_.begin(),
+                                inline_buf_.begin() + size_, rid);
+    case Storage::kHeap:
+      return std::binary_search(heap_buf_.begin(), heap_buf_.end(), rid);
+    case Storage::kSpilled: {
+      uint64_t bit = MixRid(rid.ToU64()) % options_.bitmap_bits;
+      return (bitmap_[bit / 64] >> (bit % 64)) & 1;
+    }
+  }
+  return false;
+}
+
+Result<std::vector<Rid>> HybridRidList::ToSortedVector() {
+  std::vector<Rid> out;
+  out.reserve(size_);
+  if (storage_ == Storage::kInline) {
+    out.assign(inline_buf_.begin(), inline_buf_.begin() + size_);
+  } else {
+    out = heap_buf_;
+    if (spill_ != nullptr) {
+      auto cursor = spill_->NewCursor();
+      Rid rid;
+      for (;;) {
+        DYNOPT_ASSIGN_OR_RETURN(bool more, cursor.Next(&rid));
+        if (!more) break;
+        out.push_back(rid);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<bool> HybridRidList::Cursor::Next(Rid* rid) {
+  size_t mem_size = list_->storage_ == Storage::kInline
+                        ? list_->size_
+                        : list_->heap_buf_.size();
+  if (mem_pos_ < mem_size) {
+    *rid = list_->storage_ == Storage::kInline
+               ? list_->inline_buf_[mem_pos_]
+               : list_->heap_buf_[mem_pos_];
+    mem_pos_++;
+    return true;
+  }
+  if (list_->spill_ != nullptr) {
+    if (spill_cursor_ == nullptr) {
+      spill_cursor_ =
+          std::make_unique<TempRidFile::Cursor>(list_->spill_->NewCursor());
+    }
+    return spill_cursor_->Next(rid);
+  }
+  return false;
+}
+
+}  // namespace dynopt

@@ -1,0 +1,119 @@
+// Hybrid RID lists and filters (§6).
+//
+// "The RID list size quantity is split into several monotonically
+// increasing regions": a zero-length list shortcuts retrieval, lists up to
+// ~20 RIDs live in a small statically-allocated buffer (no allocation
+// overhead), bigger lists move to an allocated heap buffer, and bigger
+// still spill to a temporary table while a hashed bitmap [Babb79] of "a
+// size as small as necessary" stands in as the membership filter.
+//
+// After Seal(), a list answers MightContain() probes: exact for in-memory
+// storage, no-false-negative (possible false positives) for the spilled
+// bitmap. False positives are harmless to the engine — the final stage
+// re-evaluates the full restriction on fetched records anyway.
+
+#ifndef DYNOPT_EXEC_RID_SET_H_
+#define DYNOPT_EXEC_RID_SET_H_
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "storage/temp_rid_file.h"
+#include "util/status.h"
+
+namespace dynopt {
+
+class HybridRidList {
+ public:
+  struct Options {
+    /// Capacity of the statically-allocated region (the paper's "up to 20
+    /// RIDs ... avoiding any run-time allocation").
+    size_t inline_capacity = 20;
+    /// RIDs held in the allocated heap buffer before spilling to a temp
+    /// table — the Jscan "main memory buffer".
+    size_t memory_capacity = 4096;
+    /// Hashed-bitmap size (bits) used as the filter once spilled.
+    size_t bitmap_bits = 1 << 16;
+  };
+
+  enum class Storage { kInline, kHeap, kSpilled };
+
+  /// `pool` is only used if the list spills; it may be null when
+  /// memory_capacity is never exceeded by construction.
+  explicit HybridRidList(BufferPool* pool) : HybridRidList(pool, Options()) {}
+  HybridRidList(BufferPool* pool, Options options);
+
+  /// Appends a RID (duplicates are the caller's concern). Charges one
+  /// rid_op; spilling charges real temp-table I/O through the pool.
+  Status Append(Rid rid);
+
+  uint64_t size() const { return size_; }
+  Storage storage() const { return storage_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Finalizes the list for filtering: sorts the in-memory region. Appends
+  /// after Seal() are rejected.
+  Status Seal();
+
+  /// Membership probe (requires Seal()). Exact unless spilled; spilled
+  /// lists answer through the bitmap (no false negatives).
+  bool MightContain(Rid rid) const;
+
+  /// True when probes are exact (no bitmap involved).
+  bool filter_is_exact() const { return storage_ != Storage::kSpilled; }
+
+  /// Materializes all RIDs in sorted order (reads back any spill — that
+  /// cost is the point of the hybrid arrangement). The paper sorts the
+  /// final list so several records on one page are fetched together.
+  Result<std::vector<Rid>> ToSortedVector();
+
+  /// Number of RIDs held in memory (inline or heap region) — the portion a
+  /// fast-first foreground may borrow from (§7). Spilled RIDs are excluded.
+  size_t InMemorySize() const {
+    return storage_ == Storage::kInline ? static_cast<size_t>(size_)
+                                        : heap_buf_.size();
+  }
+
+  /// In-memory RID at position `i` (i < InMemorySize()). Order is append
+  /// order before Seal(), sorted order after.
+  Rid GetInMemory(size_t i) const {
+    return storage_ == Storage::kInline ? inline_buf_[i] : heap_buf_[i];
+  }
+
+  /// Streams RIDs in append order without materializing (spill-aware).
+  class Cursor {
+   public:
+    explicit Cursor(HybridRidList* list) : list_(list) {}
+    Result<bool> Next(Rid* rid);
+
+   private:
+    HybridRidList* list_;
+    size_t mem_pos_ = 0;
+    std::unique_ptr<TempRidFile::Cursor> spill_cursor_;
+  };
+
+  Cursor NewCursor() { return Cursor(this); }
+
+ private:
+  friend class Cursor;
+
+  void SetBit(Rid rid);
+
+  BufferPool* pool_;
+  Options options_;
+  Storage storage_ = Storage::kInline;
+  bool sealed_ = false;
+  uint64_t size_ = 0;
+
+  std::array<Rid, 32> inline_buf_;            // first region (<= capacity)
+  std::vector<Rid> heap_buf_;                 // second region
+  std::unique_ptr<TempRidFile> spill_;        // third region (overflow only)
+  std::vector<uint64_t> bitmap_;              // filter for the spilled case
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_EXEC_RID_SET_H_

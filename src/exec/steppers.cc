@@ -1,0 +1,144 @@
+#include "exec/steppers.h"
+
+namespace dynopt {
+
+std::vector<Value> ProjectRecord(const RetrievalSpec& spec,
+                                 const Record& record) {
+  std::vector<Value> out;
+  out.reserve(spec.projection.size());
+  for (uint32_t c : spec.projection) out.push_back(record[c]);
+  return out;
+}
+
+Result<std::vector<Value>> ProjectSparse(
+    const RetrievalSpec& spec, const std::vector<std::optional<Value>>& row) {
+  std::vector<Value> out;
+  out.reserve(spec.projection.size());
+  for (uint32_t c : spec.projection) {
+    if (c >= row.size() || !row[c].has_value()) {
+      return Status::Internal("projection column missing from sparse row");
+    }
+    out.push_back(*row[c]);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------ Tscan
+
+TscanStepper::TscanStepper(BufferPool* pool, const RetrievalSpec& spec,
+                           const ParamMap& params)
+    : ScanStepper("Tscan"),
+      pool_(pool),
+      spec_(spec),
+      params_(params),
+      cursor_(spec.table->heap()->NewCursor()) {}
+
+Result<bool> TscanStepper::Step(std::vector<OutputRow>* out) {
+  if (exhausted_) return false;
+  MeterScope scope(pool_, &accrued_);
+  std::string bytes;
+  Rid rid;
+  DYNOPT_ASSIGN_OR_RETURN(bool more, cursor_.Next(&bytes, &rid));
+  if (!more) {
+    exhausted_ = true;
+    return false;
+  }
+  records_scanned_++;
+  Record record;
+  DYNOPT_RETURN_IF_ERROR(
+      DeserializeRecord(spec_.table->schema(), bytes, &record));
+  RowView view(&record);
+  pool_->meter_ptr()->record_evals++;
+  DYNOPT_ASSIGN_OR_RETURN(bool keep, spec_.restriction->Eval(view, params_));
+  if (keep) {
+    out->push_back(OutputRow{ProjectRecord(spec_, record), rid});
+  }
+  return true;
+}
+
+// ------------------------------------------------------------------ Fscan
+
+FscanStepper::FscanStepper(BufferPool* pool, const RetrievalSpec& spec,
+                           const ParamMap& params, SecondaryIndex* index,
+                           RangeSet ranges)
+    : ScanStepper("Fscan(" + index->name() + ")"),
+      pool_(pool),
+      spec_(spec),
+      params_(params),
+      index_(index),
+      ranges_(std::move(ranges)),
+      cursor_(index->tree(), &ranges_) {}
+
+Result<bool> FscanStepper::Step(std::vector<OutputRow>* out) {
+  if (exhausted_) return false;
+  MeterScope scope(pool_, &accrued_);
+  std::string key;
+  Rid rid;
+  DYNOPT_ASSIGN_OR_RETURN(bool more, cursor_.Next(&key, &rid));
+  if (!more) {
+    exhausted_ = true;
+    return false;
+  }
+  entries_scanned_++;
+  if (filter_ != nullptr && !filter_->MightContain(rid)) {
+    return true;  // rejected before the expensive fetch (Sorted tactic)
+  }
+  if (screen_ != nullptr) {
+    std::vector<std::optional<Value>> sparse;
+    DYNOPT_RETURN_IF_ERROR(index_->DecodeKeyColumns(key, &sparse));
+    RowView sview(&sparse);
+    pool_->meter_ptr()->record_evals++;
+    DYNOPT_ASSIGN_OR_RETURN(bool pass, screen_->Eval(sview, params_));
+    if (!pass) return true;  // screened out from the key alone
+  }
+  Record record;
+  DYNOPT_ASSIGN_OR_RETURN(record, spec_.table->Fetch(rid));
+  records_fetched_++;
+  RowView view(&record);
+  pool_->meter_ptr()->record_evals++;
+  DYNOPT_ASSIGN_OR_RETURN(bool keep, spec_.restriction->Eval(view, params_));
+  if (keep) {
+    out->push_back(OutputRow{ProjectRecord(spec_, record), rid});
+    rows_delivered_++;
+  }
+  return true;
+}
+
+// ------------------------------------------------------------------ Sscan
+
+SscanStepper::SscanStepper(BufferPool* pool, const RetrievalSpec& spec,
+                           const ParamMap& params, SecondaryIndex* index,
+                           RangeSet ranges)
+    : ScanStepper("Sscan(" + index->name() + ")"),
+      pool_(pool),
+      spec_(spec),
+      params_(params),
+      index_(index),
+      ranges_(std::move(ranges)),
+      cursor_(index->tree(), &ranges_) {}
+
+Result<bool> SscanStepper::Step(std::vector<OutputRow>* out) {
+  if (exhausted_) return false;
+  MeterScope scope(pool_, &accrued_);
+  std::string key;
+  Rid rid;
+  DYNOPT_ASSIGN_OR_RETURN(bool more, cursor_.Next(&key, &rid));
+  if (!more) {
+    exhausted_ = true;
+    return false;
+  }
+  entries_scanned_++;
+  std::vector<std::optional<Value>> sparse;
+  DYNOPT_RETURN_IF_ERROR(index_->DecodeKeyColumns(key, &sparse));
+  RowView view(&sparse);
+  pool_->meter_ptr()->record_evals++;
+  DYNOPT_ASSIGN_OR_RETURN(bool keep, spec_.restriction->Eval(view, params_));
+  if (keep) {
+    DYNOPT_ASSIGN_OR_RETURN(std::vector<Value> values,
+                            ProjectSparse(spec_, sparse));
+    out->push_back(OutputRow{std::move(values), rid});
+  }
+  return true;
+}
+
+}  // namespace dynopt

@@ -1,0 +1,155 @@
+// Resumable scan step machines.
+//
+// The paper's foreground/background "simultaneous" runs (§4, §7) are
+// realized as deterministic interleavings of resumable scans: each stepper
+// advances one unit of work per Step() call (one record / one index entry)
+// and meters its own cost, so the retrieval engine can race strategies at
+// proportional speeds and compare their accrued/projected costs exactly.
+//
+// Tscan, Fscan and Sscan live here; Jscan — the paper's contribution — is
+// built on top of these pieces in src/core/jscan.h.
+
+#ifndef DYNOPT_EXEC_STEPPERS_H_
+#define DYNOPT_EXEC_STEPPERS_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/index.h"
+#include "exec/retrieval_spec.h"
+#include "exec/rid_set.h"
+#include "index/btree.h"
+#include "index/multi_range_cursor.h"
+#include "storage/heap_file.h"
+#include "util/cost_meter.h"
+
+namespace dynopt {
+
+/// Accumulates the global-meter delta of a scope into a private meter —
+/// how each strategy's individual cost is attributed.
+class MeterScope {
+ public:
+  MeterScope(BufferPool* pool, CostMeter* acc)
+      : pool_(pool), acc_(acc), snapshot_(pool->meter()) {}
+  ~MeterScope() { *acc_ += pool_->meter() - snapshot_; }
+  MeterScope(const MeterScope&) = delete;
+  MeterScope& operator=(const MeterScope&) = delete;
+
+ private:
+  BufferPool* pool_;
+  CostMeter* acc_;
+  CostMeter snapshot_;
+};
+
+class ScanStepper {
+ public:
+  virtual ~ScanStepper() = default;
+
+  /// Performs one unit of work, appending any produced row to `*out`.
+  /// Returns false once the scan is exhausted (idempotent afterwards).
+  virtual Result<bool> Step(std::vector<OutputRow>* out) = 0;
+
+  bool exhausted() const { return exhausted_; }
+  /// Cost this scan has accrued so far (its private meter).
+  const CostMeter& accrued() const { return accrued_; }
+  double AccruedCost(const CostWeights& w) const { return accrued_.Cost(w); }
+  const std::string& label() const { return label_; }
+
+ protected:
+  explicit ScanStepper(std::string label) : label_(std::move(label)) {}
+
+  std::string label_;
+  CostMeter accrued_;
+  bool exhausted_ = false;
+};
+
+/// Projects `record` (full, schema order) onto the spec's projection.
+std::vector<Value> ProjectRecord(const RetrievalSpec& spec,
+                                 const Record& record);
+/// Projects a sparse (index-only) row; all projection columns must be set.
+Result<std::vector<Value>> ProjectSparse(
+    const RetrievalSpec& spec, const std::vector<std::optional<Value>>& row);
+
+/// Full table scan: the classical sequential retrieval.
+class TscanStepper final : public ScanStepper {
+ public:
+  TscanStepper(BufferPool* pool, const RetrievalSpec& spec,
+               const ParamMap& params);
+
+  Result<bool> Step(std::vector<OutputRow>* out) override;
+
+  uint64_t records_scanned() const { return records_scanned_; }
+
+ private:
+  BufferPool* pool_;
+  const RetrievalSpec& spec_;
+  const ParamMap& params_;
+  HeapFile::Cursor cursor_;
+  uint64_t records_scanned_ = 0;
+};
+
+/// Fetch-needed index scan with immediate record fetches: the classical
+/// indexed retrieval. Optionally filters RIDs through a Jscan-produced
+/// filter *before* fetching (the Sorted tactic's cooperation, §7).
+class FscanStepper final : public ScanStepper {
+ public:
+  FscanStepper(BufferPool* pool, const RetrievalSpec& spec,
+               const ParamMap& params, SecondaryIndex* index,
+               RangeSet ranges);
+
+  Result<bool> Step(std::vector<OutputRow>* out) override;
+
+  /// Installs a pre-fetch RID filter (must outlive the stepper; must be
+  /// sealed). RIDs rejected by it skip the (expensive) record fetch.
+  void SetPreFetchFilter(const HybridRidList* filter) { filter_ = filter; }
+
+  /// Installs an index-screening predicate: restriction conjuncts covered
+  /// by the index's columns, evaluated from the key alone so failing
+  /// entries never reach their record fetch.
+  void SetScreen(PredicateRef screen) { screen_ = std::move(screen); }
+
+  uint64_t entries_scanned() const { return entries_scanned_; }
+  uint64_t records_fetched() const { return records_fetched_; }
+  uint64_t rows_delivered() const { return rows_delivered_; }
+
+ private:
+  BufferPool* pool_;
+  const RetrievalSpec& spec_;
+  const ParamMap& params_;
+  SecondaryIndex* index_;
+  RangeSet ranges_;
+  MultiRangeCursor cursor_;
+  const HybridRidList* filter_ = nullptr;
+  PredicateRef screen_;
+  uint64_t entries_scanned_ = 0;
+  uint64_t records_fetched_ = 0;
+  uint64_t rows_delivered_ = 0;
+};
+
+/// Self-sufficient index scan: delivers results from index keys alone.
+/// The planner must verify the index covers restriction + projection.
+class SscanStepper final : public ScanStepper {
+ public:
+  SscanStepper(BufferPool* pool, const RetrievalSpec& spec,
+               const ParamMap& params, SecondaryIndex* index,
+               RangeSet ranges);
+
+  Result<bool> Step(std::vector<OutputRow>* out) override;
+
+  uint64_t entries_scanned() const { return entries_scanned_; }
+
+ private:
+  BufferPool* pool_;
+  const RetrievalSpec& spec_;
+  const ParamMap& params_;
+  SecondaryIndex* index_;
+  RangeSet ranges_;
+  MultiRangeCursor cursor_;
+  uint64_t entries_scanned_ = 0;
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_EXEC_STEPPERS_H_

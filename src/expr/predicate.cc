@@ -1,0 +1,542 @@
+#include "expr/predicate.h"
+
+#include <cassert>
+#include <functional>
+#include <sstream>
+
+#include "util/key_codec.h"
+
+namespace dynopt {
+
+Result<Value> Operand::Bind(const ParamMap& params) const {
+  if (!is_host_var()) return literal_;
+  auto it = params.find(var_name_);
+  if (it == params.end()) {
+    return Status::InvalidArgument("unbound host variable :" + var_name_);
+  }
+  return it->second;
+}
+
+std::string Operand::ToString() const {
+  if (is_host_var()) return ":" + var_name_;
+  return literal_.ToString();
+}
+
+std::string_view CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+Result<const Value*> RowView::Get(uint32_t col) const {
+  if (full_ != nullptr) {
+    if (col >= full_->size()) {
+      return Status::Internal("column index out of record range");
+    }
+    return &(*full_)[col];
+  }
+  if (sparse_ != nullptr) {
+    if (col >= sparse_->size() || !(*sparse_)[col].has_value()) {
+      return Status::Internal(
+          "predicate evaluated on sparse row lacking column " +
+          std::to_string(col));
+    }
+    return &*(*sparse_)[col];
+  }
+  return Status::Internal("empty row view");
+}
+
+namespace {
+
+class TruePredicate final : public Predicate {
+ public:
+  TruePredicate() : Predicate(Kind::kTrue) {}
+  Result<bool> Eval(const RowView&, const ParamMap&) const override {
+    return true;
+  }
+  void CollectColumns(std::set<uint32_t>*) const override {}
+  std::string ToString() const override { return "TRUE"; }
+};
+
+class ComparePredicate final : public Predicate {
+ public:
+  ComparePredicate(uint32_t col, CompareOp op, Operand operand)
+      : Predicate(Kind::kCompare),
+        col_(col),
+        op_(op),
+        operand_(std::move(operand)) {}
+
+  Result<bool> Eval(const RowView& row, const ParamMap& params) const override {
+    DYNOPT_ASSIGN_OR_RETURN(const Value* v, row.Get(col_));
+    DYNOPT_ASSIGN_OR_RETURN(Value bound, operand_.Bind(params));
+    DYNOPT_ASSIGN_OR_RETURN(int c, v->Compare(bound));
+    switch (op_) {
+      case CompareOp::kEq:
+        return c == 0;
+      case CompareOp::kNe:
+        return c != 0;
+      case CompareOp::kLt:
+        return c < 0;
+      case CompareOp::kLe:
+        return c <= 0;
+      case CompareOp::kGt:
+        return c > 0;
+      case CompareOp::kGe:
+        return c >= 0;
+    }
+    return Status::Internal("unreachable compare op");
+  }
+
+  void CollectColumns(std::set<uint32_t>* cols) const override {
+    cols->insert(col_);
+  }
+
+  std::string ToString() const override {
+    std::ostringstream os;
+    os << "c" << col_ << " " << CompareOpName(op_) << " "
+       << operand_.ToString();
+    return os.str();
+  }
+
+  uint32_t col() const { return col_; }
+  CompareOp op() const { return op_; }
+  const Operand& operand() const { return operand_; }
+
+ private:
+  uint32_t col_;
+  CompareOp op_;
+  Operand operand_;
+};
+
+class BetweenPredicate final : public Predicate {
+ public:
+  BetweenPredicate(uint32_t col, Operand lo, Operand hi)
+      : Predicate(Kind::kBetween),
+        col_(col),
+        lo_(std::move(lo)),
+        hi_(std::move(hi)) {}
+
+  Result<bool> Eval(const RowView& row, const ParamMap& params) const override {
+    DYNOPT_ASSIGN_OR_RETURN(const Value* v, row.Get(col_));
+    DYNOPT_ASSIGN_OR_RETURN(Value lo, lo_.Bind(params));
+    DYNOPT_ASSIGN_OR_RETURN(Value hi, hi_.Bind(params));
+    DYNOPT_ASSIGN_OR_RETURN(int cl, v->Compare(lo));
+    if (cl < 0) return false;
+    DYNOPT_ASSIGN_OR_RETURN(int ch, v->Compare(hi));
+    return ch <= 0;
+  }
+
+  void CollectColumns(std::set<uint32_t>* cols) const override {
+    cols->insert(col_);
+  }
+
+  std::string ToString() const override {
+    std::ostringstream os;
+    os << "c" << col_ << " BETWEEN " << lo_.ToString() << " AND "
+       << hi_.ToString();
+    return os.str();
+  }
+
+  uint32_t col() const { return col_; }
+  const Operand& lo() const { return lo_; }
+  const Operand& hi() const { return hi_; }
+
+ private:
+  uint32_t col_;
+  Operand lo_;
+  Operand hi_;
+};
+
+class ContainsPredicate final : public Predicate {
+ public:
+  ContainsPredicate(uint32_t col, std::string needle)
+      : Predicate(Kind::kContains), col_(col), needle_(std::move(needle)) {}
+
+  Result<bool> Eval(const RowView& row, const ParamMap&) const override {
+    DYNOPT_ASSIGN_OR_RETURN(const Value* v, row.Get(col_));
+    if (!v->is_string()) {
+      return Status::InvalidArgument("CONTAINS on non-string column");
+    }
+    return v->AsString().find(needle_) != std::string::npos;
+  }
+
+  void CollectColumns(std::set<uint32_t>* cols) const override {
+    cols->insert(col_);
+  }
+
+  std::string ToString() const override {
+    return "c" + std::to_string(col_) + " CONTAINS \"" + needle_ + "\"";
+  }
+
+ private:
+  uint32_t col_;
+  std::string needle_;
+};
+
+class ModPredicate final : public Predicate {
+ public:
+  ModPredicate(uint32_t col, int64_t modulus, int64_t residue)
+      : Predicate(Kind::kMod), col_(col), modulus_(modulus), residue_(residue) {
+    assert(modulus != 0);
+  }
+
+  Result<bool> Eval(const RowView& row, const ParamMap&) const override {
+    DYNOPT_ASSIGN_OR_RETURN(const Value* v, row.Get(col_));
+    if (!v->is_int64()) {
+      return Status::InvalidArgument("MOD on non-int column");
+    }
+    if (modulus_ == 0) return Status::InvalidArgument("MOD by zero");
+    int64_t m = v->AsInt64() % modulus_;
+    if (m < 0) m += modulus_ < 0 ? -modulus_ : modulus_;
+    return m == residue_;
+  }
+
+  void CollectColumns(std::set<uint32_t>* cols) const override {
+    cols->insert(col_);
+  }
+
+  std::string ToString() const override {
+    std::ostringstream os;
+    os << "c" << col_ << " % " << modulus_ << " = " << residue_;
+    return os.str();
+  }
+
+ private:
+  uint32_t col_;
+  int64_t modulus_;
+  int64_t residue_;
+};
+
+class NaryPredicate final : public Predicate {
+ public:
+  NaryPredicate(Kind kind, std::vector<PredicateRef> children)
+      : Predicate(kind), children_(std::move(children)) {
+    assert(kind == Kind::kAnd || kind == Kind::kOr);
+  }
+
+  Result<bool> Eval(const RowView& row, const ParamMap& params) const override {
+    bool is_and = kind() == Kind::kAnd;
+    for (const auto& child : children_) {
+      DYNOPT_ASSIGN_OR_RETURN(bool v, child->Eval(row, params));
+      if (is_and && !v) return false;
+      if (!is_and && v) return true;
+    }
+    return is_and;
+  }
+
+  void CollectColumns(std::set<uint32_t>* cols) const override {
+    for (const auto& child : children_) child->CollectColumns(cols);
+  }
+
+  std::string ToString() const override {
+    std::ostringstream os;
+    os << "(";
+    for (size_t i = 0; i < children_.size(); ++i) {
+      if (i > 0) os << (kind() == Kind::kAnd ? " AND " : " OR ");
+      os << children_[i]->ToString();
+    }
+    os << ")";
+    return os.str();
+  }
+
+  const std::vector<PredicateRef>& children() const { return children_; }
+
+ private:
+  std::vector<PredicateRef> children_;
+};
+
+class NotPredicate final : public Predicate {
+ public:
+  explicit NotPredicate(PredicateRef child)
+      : Predicate(Kind::kNot), child_(std::move(child)) {}
+
+  Result<bool> Eval(const RowView& row, const ParamMap& params) const override {
+    DYNOPT_ASSIGN_OR_RETURN(bool v, child_->Eval(row, params));
+    return !v;
+  }
+
+  void CollectColumns(std::set<uint32_t>* cols) const override {
+    child_->CollectColumns(cols);
+  }
+
+  std::string ToString() const override {
+    return "NOT " + child_->ToString();
+  }
+
+  const PredicateRef& child() const { return child_; }
+
+ private:
+  PredicateRef child_;
+};
+
+/// Range implied by `v OP value` for the keyed column. A Gt past the top of
+/// the key space yields a provably-empty range.
+EncodedRange RangeForCompare(CompareOp op, const Value& v) {
+  std::string enc;
+  v.EncodeKey(&enc);
+  EncodedRange r;
+  switch (op) {
+    case CompareOp::kEq:
+      r.lo = enc;
+      // Empty successor means the value owns the top of the key space; an
+      // unbounded high end is then the correct (and tight) bound.
+      r.hi = PrefixSuccessor(enc);
+      break;
+    case CompareOp::kGe:
+      r.lo = enc;
+      break;
+    case CompareOp::kGt: {
+      std::string succ = PrefixSuccessor(enc);
+      if (succ.empty()) {
+        // No key exceeds an all-0xff prefix: provably empty.
+        r.lo = enc;
+        r.hi = enc;
+      } else {
+        r.lo = succ;
+      }
+      break;
+    }
+    case CompareOp::kLt:
+      r.hi = enc;
+      break;
+    case CompareOp::kLe: {
+      std::string succ = PrefixSuccessor(enc);
+      r.hi = succ;  // empty succ == +infinity: correct for <= max key
+      break;
+    }
+    case CompareOp::kNe:
+      break;  // not sargable as a single range
+  }
+  return r;
+}
+
+/// A derived set plus whether it *exactly* characterizes satisfaction as a
+/// function of this column (needed for sound complementation under NOT —
+/// the complement of a superset is not a superset of the complement).
+struct DerivedSet {
+  RangeSet set;
+  bool exact = false;
+};
+
+Result<DerivedSet> DeriveSet(const Predicate* pred, uint32_t col,
+                             const ParamMap& params) {
+  switch (pred->kind()) {
+    case Predicate::Kind::kTrue:
+      return DerivedSet{RangeSet::All(), true};
+    case Predicate::Kind::kCompare: {
+      const auto* cmp = static_cast<const ComparePredicate*>(pred);
+      if (cmp->col() != col) return DerivedSet{RangeSet::All(), false};
+      DYNOPT_ASSIGN_OR_RETURN(Value v, cmp->operand().Bind(params));
+      if (cmp->op() == CompareOp::kNe) {
+        // col <> v: everything outside the equality range — two ranges.
+        return DerivedSet{
+            RangeSet::Of(RangeForCompare(CompareOp::kEq, v)).Complement(),
+            true};
+      }
+      return DerivedSet{RangeSet::Of(RangeForCompare(cmp->op(), v)), true};
+    }
+    case Predicate::Kind::kBetween: {
+      const auto* btw = static_cast<const BetweenPredicate*>(pred);
+      if (btw->col() != col) return DerivedSet{RangeSet::All(), false};
+      DYNOPT_ASSIGN_OR_RETURN(Value lo, btw->lo().Bind(params));
+      DYNOPT_ASSIGN_OR_RETURN(Value hi, btw->hi().Bind(params));
+      RangeSet set =
+          RangeSet::Of(RangeForCompare(CompareOp::kGe, lo))
+              .IntersectWith(RangeSet::Of(RangeForCompare(CompareOp::kLe, hi)));
+      return DerivedSet{std::move(set), true};
+    }
+    case Predicate::Kind::kContains:
+    case Predicate::Kind::kMod:
+      // Not sargable: unconstrained on this column (and inexact, so a NOT
+      // above cannot complement it into a false emptiness proof).
+      return DerivedSet{RangeSet::All(), false};
+    case Predicate::Kind::kAnd: {
+      const auto* nary = static_cast<const NaryPredicate*>(pred);
+      DerivedSet acc{RangeSet::All(), true};
+      for (const auto& child : nary->children()) {
+        DYNOPT_ASSIGN_OR_RETURN(DerivedSet d,
+                                DeriveSet(child.get(), col, params));
+        acc.set = acc.set.IntersectWith(d.set);
+        acc.exact &= d.exact;
+      }
+      return acc;
+    }
+    case Predicate::Kind::kOr: {
+      const auto* nary = static_cast<const NaryPredicate*>(pred);
+      DerivedSet acc{RangeSet::Empty(), true};
+      for (const auto& child : nary->children()) {
+        DYNOPT_ASSIGN_OR_RETURN(DerivedSet d,
+                                DeriveSet(child.get(), col, params));
+        acc.set = acc.set.UnionWith(d.set);
+        acc.exact &= d.exact;
+      }
+      return acc;
+    }
+    case Predicate::Kind::kNot: {
+      const auto* neg = static_cast<const NotPredicate*>(pred);
+      DYNOPT_ASSIGN_OR_RETURN(DerivedSet d,
+                              DeriveSet(neg->child().get(), col, params));
+      if (!d.exact) return DerivedSet{RangeSet::All(), false};
+      return DerivedSet{d.set.Complement(), true};
+    }
+  }
+  return Status::Internal("unreachable predicate kind");
+}
+
+}  // namespace
+
+PredicateRef Predicate::True() { return std::make_shared<TruePredicate>(); }
+
+PredicateRef Predicate::Compare(uint32_t col, CompareOp op, Operand operand) {
+  return std::make_shared<ComparePredicate>(col, op, std::move(operand));
+}
+
+PredicateRef Predicate::Between(uint32_t col, Operand lo, Operand hi) {
+  return std::make_shared<BetweenPredicate>(col, std::move(lo), std::move(hi));
+}
+
+PredicateRef Predicate::Contains(uint32_t col, std::string needle) {
+  return std::make_shared<ContainsPredicate>(col, std::move(needle));
+}
+
+PredicateRef Predicate::Mod(uint32_t col, int64_t modulus, int64_t residue) {
+  return std::make_shared<ModPredicate>(col, modulus, residue);
+}
+
+PredicateRef Predicate::And(std::vector<PredicateRef> children) {
+  return std::make_shared<NaryPredicate>(Kind::kAnd, std::move(children));
+}
+
+PredicateRef Predicate::Or(std::vector<PredicateRef> children) {
+  return std::make_shared<NaryPredicate>(Kind::kOr, std::move(children));
+}
+
+PredicateRef Predicate::Not(PredicateRef child) {
+  return std::make_shared<NotPredicate>(std::move(child));
+}
+
+Result<EncodedRange> ExtractRange(const PredicateRef& pred, uint32_t col,
+                                  const ParamMap& params) {
+  DYNOPT_ASSIGN_OR_RETURN(RangeSet set, ExtractRangeSet(pred, col, params));
+  return set.Hull();
+}
+
+Result<RangeSet> ExtractRangeSet(const PredicateRef& pred, uint32_t col,
+                                 const ParamMap& params) {
+  DYNOPT_ASSIGN_OR_RETURN(DerivedSet d, DeriveSet(pred.get(), col, params));
+  return std::move(d.set);
+}
+
+namespace {
+
+void SummarizeInto(const Predicate* pred, uint32_t col, SargSummary* out) {
+  switch (pred->kind()) {
+    case Predicate::Kind::kAnd: {
+      const auto* nary = static_cast<const NaryPredicate*>(pred);
+      for (const auto& child : nary->children()) {
+        SummarizeInto(child.get(), col, out);
+      }
+      return;
+    }
+    case Predicate::Kind::kCompare: {
+      const auto* cmp = static_cast<const ComparePredicate*>(pred);
+      if (cmp->col() != col) return;
+      out->any_host_var |= cmp->operand().is_host_var();
+      if (cmp->op() == CompareOp::kEq) {
+        out->eq_conjuncts++;
+      } else if (cmp->op() != CompareOp::kNe) {
+        out->range_conjuncts++;
+      }
+      return;
+    }
+    case Predicate::Kind::kBetween: {
+      const auto* btw = static_cast<const BetweenPredicate*>(pred);
+      if (btw->col() != col) return;
+      out->any_host_var |=
+          btw->lo().is_host_var() || btw->hi().is_host_var();
+      out->range_conjuncts += 2;
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace
+
+SargSummary SummarizeSargs(const PredicateRef& pred, uint32_t col) {
+  SargSummary out;
+  SummarizeInto(pred.get(), col, &out);
+  return out;
+}
+
+bool PredicateCoveredBy(const PredicateRef& pred,
+                        const std::set<uint32_t>& available) {
+  std::set<uint32_t> cols;
+  pred->CollectColumns(&cols);
+  for (uint32_t c : cols) {
+    if (available.find(c) == available.end()) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// True for plain comparisons/BETWEENs on `col` — conjuncts fully
+/// expressible as key ranges.
+bool IsPlainSargOn(const PredicateRef& pred, uint32_t col) {
+  if (pred->kind() == Predicate::Kind::kCompare) {
+    return static_cast<const ComparePredicate*>(pred.get())->col() == col;
+  }
+  if (pred->kind() == Predicate::Kind::kBetween) {
+    return static_cast<const BetweenPredicate*>(pred.get())->col() == col;
+  }
+  return false;
+}
+
+PredicateRef FilterConjuncts(
+    const PredicateRef& pred,
+    const std::function<bool(const PredicateRef&)>& keep) {
+  if (pred->kind() == Predicate::Kind::kAnd) {
+    const auto* nary = static_cast<const NaryPredicate*>(pred.get());
+    std::vector<PredicateRef> kept;
+    for (const auto& child : nary->children()) {
+      if (keep(child)) kept.push_back(child);
+    }
+    if (kept.empty()) return nullptr;
+    if (kept.size() == 1) return kept[0];
+    return Predicate::And(std::move(kept));
+  }
+  return keep(pred) ? pred : nullptr;
+}
+
+}  // namespace
+
+PredicateRef CoveredConjunction(const PredicateRef& pred,
+                                const std::set<uint32_t>& available) {
+  return FilterConjuncts(pred, [&](const PredicateRef& p) {
+    return PredicateCoveredBy(p, available);
+  });
+}
+
+PredicateRef ScreeningConjunction(const PredicateRef& pred,
+                                  const std::set<uint32_t>& available,
+                                  uint32_t sarg_col) {
+  return FilterConjuncts(pred, [&](const PredicateRef& p) {
+    return PredicateCoveredBy(p, available) && !IsPlainSargOn(p, sarg_col);
+  });
+}
+
+}  // namespace dynopt

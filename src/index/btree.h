@@ -1,0 +1,181 @@
+// B+-tree index.
+//
+// A page-based B+-tree over order-preserving byte-string keys with Rid
+// payloads. Beyond the usual insert/delete/scan, the tree exposes the three
+// estimation primitives the dynamic optimizer builds on:
+//
+//  * EstimateRange — the paper's §5 "descent to split node" hierarchical-
+//    histogram estimate `RangeRIDs ≈ k·f^(l−1)`: O(height) page reads,
+//    always up to date, exact for ranges that resolve inside one leaf
+//    (including the crucial empty-range shortcut).
+//  * CountRange / RankOfKey — exact range cardinality in O(height) using
+//    the per-child subtree counts (the "ranked" structure of [Ant92]).
+//  * SampleRange / SampleAcceptReject — uniform random leaf entries, via
+//    ranked selection (cheap, never rejects) or the Olken-Rotem
+//    acceptance/rejection baseline [OlRo89].
+//
+// Keys must be unique: duplicate column values are handled one layer up by
+// suffixing the RID onto the encoded key (the standard secondary-index
+// technique), which keeps every separator a strict divider across splits.
+// Deletion is lazy about underflow: nodes may become
+// arbitrarily underfull (empty leaves are skipped by cursors); this trades
+// worst-case space for simplicity and matches the read-dominated workloads
+// the retrieval experiments run. ValidateInvariants() checks structural
+// integrity in tests.
+
+#ifndef DYNOPT_INDEX_BTREE_H_
+#define DYNOPT_INDEX_BTREE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "index/encoded_range.h"
+#include "index/node.h"
+#include "storage/buffer_pool.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace dynopt {
+
+/// A materialized index entry.
+struct IndexEntry {
+  std::string key;
+  Rid rid;
+};
+
+/// Result of the §5 descent-to-split-node estimation.
+struct RangeEstimate {
+  double estimated_rids = 0;  // k * f^(l-1)
+  uint32_t split_level = 1;   // l; 1 = resolved at a leaf
+  uint64_t k = 0;             // spanning children minus one (or exact count)
+  double fanout_used = 0;     // f
+  bool exact = false;         // true when resolved at leaf level
+  uint64_t descent_pages = 0; // pages pinned by the estimation descent
+};
+
+class BTree {
+ public:
+  /// Creates an empty tree (a single empty leaf as root).
+  static Result<std::unique_ptr<BTree>> Create(BufferPool* pool);
+
+  /// Inserts an entry; InvalidArgument when `key` is already present.
+  Status Insert(std::string_view key, Rid rid);
+
+  /// Removes the entry equal to `key` (NotFound if absent).
+  Status Delete(std::string_view key);
+
+  /// §5 estimation by descent to the split node.
+  Result<RangeEstimate> EstimateRange(const EncodedRange& range);
+
+  /// Sum of per-range descents over a whole RangeSet (the OR-coverage
+  /// extension): exact iff every component resolved at a leaf.
+  Result<RangeEstimate> EstimateRanges(const RangeSet& set);
+
+  /// Exact number of entries in `range`, via subtree counts (O(height)).
+  Result<uint64_t> CountRange(const EncodedRange& range);
+
+  /// Number of entries with key strictly below `key`.
+  Result<uint64_t> RankOfKey(std::string_view key);
+
+  /// Uniform random entry within `range`; nullopt when the range is empty.
+  Result<std::optional<IndexEntry>> SampleRange(const EncodedRange& range,
+                                                Rng& rng);
+
+  /// One Olken-Rotem acceptance/rejection trial over the whole tree;
+  /// nullopt means the trial was rejected (caller retries).
+  Result<std::optional<IndexEntry>> SampleAcceptReject(Rng& rng);
+
+  /// Forward scan cursor. Not stable across concurrent tree mutation.
+  /// Holds a pin on its current leaf, so iterating entries within one page
+  /// costs key comparisons only — buffer charges accrue per page, which is
+  /// what makes index scans "typically 10-100 times cheaper" than record
+  /// fetches (§6).
+  class Cursor {
+   public:
+    explicit Cursor(BTree* tree) : tree_(tree) {}
+    Cursor(Cursor&&) = default;
+    Cursor& operator=(Cursor&&) = default;
+
+    /// Positions at the first entry with key >= `key`.
+    Status Seek(std::string_view key);
+    Status SeekFirst() { return Seek(std::string_view()); }
+
+    /// Produces the entry under the cursor and advances. False at end.
+    Result<bool> Next(std::string* key, Rid* rid);
+
+   private:
+    BTree* tree_ = nullptr;
+    PageId leaf_ = kInvalidPageId;
+    PageGuard guard_;  // pin on `leaf_` while positioned
+    uint16_t pos_ = 0;
+    bool exhausted_ = true;
+  };
+
+  Cursor NewCursor() { return Cursor(this); }
+
+  uint64_t entry_count() const { return entry_count_; }
+  uint32_t height() const { return height_; }
+  uint64_t node_count() const { return node_count_; }
+  uint64_t leaf_count() const { return leaf_count_; }
+  /// Average entries per node across all nodes (the estimator's f).
+  double AvgFanout() const;
+
+  /// Structural self-check for tests: key ordering inside nodes, separator
+  /// invariants, subtree-count exactness, leaf-chain completeness, and the
+  /// bookkeeping counters. Returns Corruption describing the first problem.
+  Status ValidateInvariants();
+
+ private:
+  explicit BTree(BufferPool* pool) : pool_(pool) {}
+
+  struct PathStep {
+    PageId page;
+    uint16_t child_idx;
+  };
+
+  struct SplitResult {
+    bool split = false;
+    std::string separator;
+    PageId right_page = kInvalidPageId;
+    uint64_t left_count = 0;
+    uint64_t right_count = 0;
+  };
+
+  /// Walks from the root to the leaf that owns `key`, filling `path` with
+  /// the internal steps (root first).
+  Result<PageId> DescendToLeaf(std::string_view key,
+                               std::vector<PathStep>* path);
+
+  Result<SplitResult> InsertIntoLeaf(PageId leaf_id, std::string_view key,
+                                     Rid rid);
+  /// Inserts a separator into internal node `node_id` at `pos`, splitting
+  /// the node if necessary.
+  Result<SplitResult> InsertSeparator(PageId node_id, uint16_t pos,
+                                      std::string_view sep, PageId child,
+                                      uint64_t child_count);
+  Status GrowRoot(const SplitResult& sr);
+
+  Result<uint64_t> RankInternal(std::string_view key, bool key_is_infinity);
+
+  Status ValidateNode(PageId id, uint32_t expected_level,
+                      const std::string& lo, const std::string& hi,
+                      uint64_t* leaf_entries, uint64_t* nodes,
+                      uint64_t* leaves, uint64_t* slots,
+                      std::vector<PageId>* leaf_chain);
+
+  BufferPool* pool_;
+  PageId root_ = kInvalidPageId;
+  uint32_t height_ = 1;
+  uint64_t entry_count_ = 0;
+  uint64_t node_count_ = 0;
+  uint64_t leaf_count_ = 0;
+  uint64_t slot_sum_ = 0;       // total entries across all nodes
+  uint64_t max_fanout_seen_ = 1;
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_INDEX_BTREE_H_

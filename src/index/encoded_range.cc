@@ -1,0 +1,143 @@
+#include "index/encoded_range.h"
+
+#include <algorithm>
+
+namespace dynopt {
+
+namespace {
+
+/// Compares upper bounds where the empty string means +infinity.
+bool HiLess(const std::string& a, const std::string& b) {
+  if (a.empty()) return false;  // +inf is never less
+  if (b.empty()) return true;
+  return a < b;
+}
+
+const std::string& HiMin(const std::string& a, const std::string& b) {
+  return HiLess(a, b) ? a : b;
+}
+const std::string& HiMax(const std::string& a, const std::string& b) {
+  return HiLess(a, b) ? b : a;
+}
+
+/// lo `cmp` hi where hi may be +infinity.
+bool LoBelowHi(const std::string& lo, const std::string& hi) {
+  return hi.empty() || lo < hi;
+}
+bool LoAtOrBelowHi(const std::string& lo, const std::string& hi) {
+  return hi.empty() || lo <= hi;
+}
+
+}  // namespace
+
+RangeSet RangeSet::All() { return Of(EncodedRange::All()); }
+
+RangeSet RangeSet::Empty() { return RangeSet(); }
+
+RangeSet RangeSet::Of(EncodedRange range) {
+  RangeSet out;
+  if (!range.DefinitelyEmpty()) out.ranges_.push_back(std::move(range));
+  return out;
+}
+
+RangeSet RangeSet::FromRanges(std::vector<EncodedRange> ranges) {
+  std::vector<EncodedRange> live;
+  for (auto& r : ranges) {
+    if (!r.DefinitelyEmpty()) live.push_back(std::move(r));
+  }
+  std::sort(live.begin(), live.end(),
+            [](const EncodedRange& a, const EncodedRange& b) {
+              if (a.lo != b.lo) return a.lo < b.lo;
+              return HiLess(a.hi, b.hi);
+            });
+  RangeSet out;
+  for (auto& r : live) {
+    if (!out.ranges_.empty() &&
+        LoAtOrBelowHi(r.lo, out.ranges_.back().hi)) {
+      // Overlaps or abuts the previous range: extend it.
+      out.ranges_.back().hi = HiMax(out.ranges_.back().hi, r.hi);
+    } else {
+      out.ranges_.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+bool RangeSet::Contains(std::string_view key) const {
+  // Binary search the last range with lo <= key.
+  auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), key,
+      [](std::string_view k, const EncodedRange& r) { return k < r.lo; });
+  if (it == ranges_.begin()) return false;
+  return std::prev(it)->Contains(key);
+}
+
+RangeSet RangeSet::IntersectWith(const RangeSet& other) const {
+  RangeSet out;
+  size_t i = 0, j = 0;
+  while (i < ranges_.size() && j < other.ranges_.size()) {
+    const EncodedRange& a = ranges_[i];
+    const EncodedRange& b = other.ranges_[j];
+    EncodedRange cut;
+    cut.lo = std::max(a.lo, b.lo);
+    cut.hi = HiMin(a.hi, b.hi);
+    if (!cut.DefinitelyEmpty() && LoBelowHi(cut.lo, cut.hi)) {
+      out.ranges_.push_back(std::move(cut));
+    }
+    // Advance whichever range ends first.
+    if (HiLess(a.hi, b.hi)) {
+      ++i;
+    } else if (HiLess(b.hi, a.hi)) {
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+RangeSet RangeSet::UnionWith(const RangeSet& other) const {
+  std::vector<EncodedRange> all = ranges_;
+  all.insert(all.end(), other.ranges_.begin(), other.ranges_.end());
+  return FromRanges(std::move(all));
+}
+
+RangeSet RangeSet::Complement() const {
+  RangeSet out;
+  std::string cursor;  // current low bound (-infinity initially)
+  bool cursor_open = true;
+  for (const EncodedRange& r : ranges_) {
+    if (cursor_open && cursor < r.lo) {
+      out.ranges_.push_back(EncodedRange{cursor, r.lo});
+    } else if (cursor_open && cursor == r.lo) {
+      // no gap
+    }
+    if (r.hi.empty()) {
+      cursor_open = false;  // covered through +infinity
+      break;
+    }
+    cursor = r.hi;
+  }
+  if (cursor_open) {
+    out.ranges_.push_back(EncodedRange{cursor, std::string()});
+  }
+  // Handle the empty-set complement (no ranges at all): the loop above
+  // already emitted [-inf, +inf) via the trailing push.
+  return out;
+}
+
+EncodedRange RangeSet::Hull() const {
+  if (ranges_.empty()) {
+    EncodedRange dead;
+    dead.lo = std::string(1, '\x00');
+    dead.hi = dead.lo;  // hi <= lo and hi nonempty: DefinitelyEmpty
+    return dead;
+  }
+  EncodedRange hull;
+  hull.lo = ranges_.front().lo;
+  hull.hi = ranges_.back().hi;
+  return hull;
+}
+
+}  // namespace dynopt

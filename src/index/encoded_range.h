@@ -1,0 +1,80 @@
+// Half-open key ranges in encoded-key space.
+//
+// All index range logic operates on [lo, hi) byte-string intervals. The
+// expression layer converts typed column bounds into encoded bounds using
+// the order-preserving codec: an inclusive upper bound on a column prefix
+// becomes PrefixSuccessor(encoding), so inclusivity never needs special
+// cases below this point.
+
+#ifndef DYNOPT_INDEX_ENCODED_RANGE_H_
+#define DYNOPT_INDEX_ENCODED_RANGE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dynopt {
+
+struct EncodedRange {
+  std::string lo;  // inclusive lower bound; empty means -infinity
+  std::string hi;  // exclusive upper bound; empty means +infinity
+
+  bool Contains(std::string_view key) const {
+    return key >= lo && (hi.empty() || key < hi);
+  }
+
+  /// True when no key can satisfy the range.
+  bool DefinitelyEmpty() const { return !hi.empty() && hi <= lo; }
+
+  /// The unrestricted range (full index scan).
+  static EncodedRange All() { return EncodedRange(); }
+
+  bool IsAll() const { return lo.empty() && hi.empty(); }
+
+  bool operator==(const EncodedRange&) const = default;
+};
+
+/// A normalized union of disjoint, non-empty, ascending [lo, hi) ranges —
+/// what OR-connected restrictions compile to (the §7 "covering ORs"
+/// extension). The empty set is provably unsatisfiable; the single
+/// unbounded range is "unrestricted".
+class RangeSet {
+ public:
+  /// The unrestricted set (one all-covering range).
+  static RangeSet All();
+  /// The provably-empty set.
+  static RangeSet Empty();
+  /// A set holding one range (normalized away if empty).
+  static RangeSet Of(EncodedRange range);
+  /// Normalizes arbitrary ranges: drops empties, sorts, merges overlaps
+  /// and adjacencies.
+  static RangeSet FromRanges(std::vector<EncodedRange> ranges);
+
+  bool unrestricted() const {
+    return ranges_.size() == 1 && ranges_[0].IsAll();
+  }
+  bool DefinitelyEmpty() const { return ranges_.empty(); }
+  const std::vector<EncodedRange>& ranges() const { return ranges_; }
+  size_t size() const { return ranges_.size(); }
+
+  bool Contains(std::string_view key) const;
+
+  RangeSet IntersectWith(const RangeSet& other) const;
+  RangeSet UnionWith(const RangeSet& other) const;
+  /// The set of keys NOT in this set (gaps between ranges).
+  RangeSet Complement() const;
+
+  /// The tightest single range covering the whole set (All when
+  /// unrestricted, a DefinitelyEmpty range when empty) — what a classical
+  /// single-range access path falls back to.
+  EncodedRange Hull() const;
+
+  bool operator==(const RangeSet&) const = default;
+
+ private:
+  std::vector<EncodedRange> ranges_;  // normalized
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_INDEX_ENCODED_RANGE_H_

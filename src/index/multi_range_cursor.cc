@@ -1,0 +1,33 @@
+#include "index/multi_range_cursor.h"
+
+namespace dynopt {
+
+Result<bool> MultiRangeCursor::Next(std::string* key, Rid* rid) {
+  if (exhausted_) return false;
+  for (;;) {
+    if (range_idx_ >= ranges_->ranges().size()) {
+      exhausted_ = true;
+      return false;
+    }
+    const EncodedRange& range = ranges_->ranges()[range_idx_];
+    if (!range_open_) {
+      DYNOPT_RETURN_IF_ERROR(cursor_.Seek(range.lo));
+      range_open_ = true;
+    }
+    DYNOPT_ASSIGN_OR_RETURN(bool more, cursor_.Next(key, rid));
+    if (more && (range.hi.empty() || *key < range.hi)) {
+      return true;
+    }
+    // Current range exhausted (or tree ended): move to the next range.
+    range_idx_++;
+    range_open_ = false;
+    if (!more) {
+      // Tree itself is exhausted; later ranges can hold nothing either
+      // (ranges ascend), but a fresh Seek would also just return nothing.
+      exhausted_ = true;
+      return false;
+    }
+  }
+}
+
+}  // namespace dynopt

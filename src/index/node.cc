@@ -1,0 +1,194 @@
+#include "index/node.h"
+
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+namespace dynopt {
+
+void NodeRef::Init(NodeType type, uint8_t level) {
+  std::memset(p_, 0, kNodeHeaderSize);
+  p_[0] = static_cast<uint8_t>(type);
+  p_[1] = level;
+  set_count(0);
+  set_free_off(kNodeHeaderSize);
+  set_dead_bytes(0);
+  set_next_leaf(kInvalidPageId);
+}
+
+std::string_view NodeRef::Key(uint16_t i) const {
+  assert(i < count());
+  uint16_t off = SlotOffset(i);
+  uint16_t klen = PageRead<uint16_t>(p_, off);
+  return std::string_view(reinterpret_cast<const char*>(p_) + off + 2, klen);
+}
+
+Rid NodeRef::LeafRid(uint16_t i) const {
+  assert(is_leaf() && i < count());
+  uint16_t off = SlotOffset(i);
+  uint16_t klen = PageRead<uint16_t>(p_, off);
+  return Rid::FromU64(PageRead<uint64_t>(p_, off + 2 + klen));
+}
+
+PageId NodeRef::ChildId(uint16_t i) const {
+  assert(!is_leaf() && i < count());
+  uint16_t off = SlotOffset(i);
+  uint16_t klen = PageRead<uint16_t>(p_, off);
+  return PageRead<PageId>(p_, off + 2 + klen);
+}
+
+uint64_t NodeRef::ChildCount(uint16_t i) const {
+  assert(!is_leaf() && i < count());
+  uint16_t off = SlotOffset(i);
+  uint16_t klen = PageRead<uint16_t>(p_, off);
+  return PageRead<uint64_t>(p_, off + 2 + klen + 4);
+}
+
+void NodeRef::SetChildCount(uint16_t i, uint64_t c) {
+  assert(!is_leaf() && i < count());
+  uint16_t off = SlotOffset(i);
+  uint16_t klen = PageRead<uint16_t>(p_, off);
+  PageWrite<uint64_t>(p_, off + 2 + klen + 4, c);
+}
+
+uint16_t NodeRef::LowerBound(std::string_view key, uint64_t* compares) const {
+  uint16_t lo = 0, hi = count();
+  while (lo < hi) {
+    uint16_t mid = lo + (hi - lo) / 2;
+    if (compares != nullptr) (*compares)++;
+    if (Key(mid) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+uint16_t NodeRef::UpperBound(std::string_view key, uint64_t* compares) const {
+  uint16_t lo = 0, hi = count();
+  while (lo < hi) {
+    uint16_t mid = lo + (hi - lo) / 2;
+    if (compares != nullptr) (*compares)++;
+    if (Key(mid) <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+uint16_t NodeRef::ChildIndexFor(std::string_view key,
+                                uint64_t* compares) const {
+  uint16_t ub = UpperBound(key, compares);
+  assert(ub > 0 && "internal node missing -infinity sentinel entry");
+  return static_cast<uint16_t>(ub - 1);
+}
+
+size_t NodeRef::EntrySize(uint16_t i) const {
+  uint16_t off = SlotOffset(i);
+  uint16_t klen = PageRead<uint16_t>(p_, off);
+  return 2 + klen + PayloadSize();
+}
+
+size_t NodeRef::FreeSpace() const {
+  size_t slots_start = kPageSize - 2 * count();
+  size_t fo = free_off();
+  assert(slots_start >= fo);
+  return slots_start - fo;
+}
+
+bool NodeRef::Fits(size_t key_len) const {
+  return FreeSpace() >= 2 + key_len + PayloadSize() + 2;
+}
+
+bool NodeRef::FitsAfterCompaction(size_t key_len) const {
+  return FreeSpace() + dead_bytes() >= 2 + key_len + PayloadSize() + 2;
+}
+
+Status NodeRef::InsertRaw(uint16_t pos, std::string_view key,
+                          const uint8_t* payload, size_t payload_size) {
+  assert(pos <= count());
+  if (key.size() > kMaxKeySize) {
+    return Status::InvalidArgument("index key exceeds kMaxKeySize");
+  }
+  size_t need = 2 + key.size() + payload_size;
+  if (FreeSpace() < need + 2) {
+    if (FreeSpace() + dead_bytes() < need + 2) {
+      return Status::ResourceExhausted("node full");  // caller must split
+    }
+    Compact();
+  }
+  uint16_t off = free_off();
+  PageWrite<uint16_t>(p_, off, static_cast<uint16_t>(key.size()));
+  std::memcpy(p_ + off + 2, key.data(), key.size());
+  std::memcpy(p_ + off + 2 + key.size(), payload, payload_size);
+  // Open slot `pos`: shift slots [pos, count) one position further down.
+  uint16_t n = count();
+  if (pos < n) {
+    // Slot i lives at kPageSize - 2(i+1); moving logical slots pos..n-1 to
+    // pos+1..n means moving bytes [kPageSize-2n, kPageSize-2pos) down 2.
+    std::memmove(p_ + kPageSize - 2 * (n + 1), p_ + kPageSize - 2 * n,
+                 2 * (n - pos));
+  }
+  set_count(static_cast<uint16_t>(n + 1));
+  SetSlotOffset(pos, off);
+  set_free_off(static_cast<uint16_t>(off + need));
+  return Status::OK();
+}
+
+Status NodeRef::InsertLeafEntry(uint16_t pos, std::string_view key, Rid rid) {
+  assert(is_leaf());
+  uint8_t payload[8];
+  uint64_t v = rid.ToU64();
+  std::memcpy(payload, &v, 8);
+  return InsertRaw(pos, key, payload, 8);
+}
+
+Status NodeRef::InsertInternalEntry(uint16_t pos, std::string_view key,
+                                    PageId child, uint64_t cnt) {
+  assert(!is_leaf());
+  uint8_t payload[12];
+  std::memcpy(payload, &child, 4);
+  std::memcpy(payload + 4, &cnt, 8);
+  return InsertRaw(pos, key, payload, 12);
+}
+
+void NodeRef::RemoveEntry(uint16_t pos) {
+  uint16_t n = count();
+  assert(pos < n);
+  set_dead_bytes(static_cast<uint16_t>(dead_bytes() + EntrySize(pos)));
+  // Close slot `pos`: shift slots (pos, n) one position up.
+  if (pos + 1 < n) {
+    std::memmove(p_ + kPageSize - 2 * n + 2, p_ + kPageSize - 2 * n,
+                 2 * (n - pos - 1));
+  }
+  set_count(static_cast<uint16_t>(n - 1));
+}
+
+void NodeRef::Compact() {
+  uint16_t n = count();
+  std::vector<uint8_t> area;
+  area.reserve(free_off());
+  std::vector<uint16_t> new_offsets(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    uint16_t off = SlotOffset(i);
+    size_t sz = EntrySize(i);
+    new_offsets[i] = static_cast<uint16_t>(kNodeHeaderSize + area.size());
+    area.insert(area.end(), p_ + off, p_ + off + sz);
+  }
+  std::memcpy(p_ + kNodeHeaderSize, area.data(), area.size());
+  for (uint16_t i = 0; i < n; ++i) SetSlotOffset(i, new_offsets[i]);
+  set_free_off(static_cast<uint16_t>(kNodeHeaderSize + area.size()));
+  set_dead_bytes(0);
+}
+
+uint64_t NodeRef::SubtreeCount() const {
+  if (is_leaf()) return count();
+  uint64_t total = 0;
+  for (uint16_t i = 0; i < count(); ++i) total += ChildCount(i);
+  return total;
+}
+
+}  // namespace dynopt

@@ -1,0 +1,127 @@
+// B+-tree node page layout.
+//
+// Nodes are slotted variable-length-key pages:
+//
+//   header (16 bytes)
+//     [0]      uint8  type        (1 = leaf, 2 = internal)
+//     [1]      uint8  level       (leaf = 1, grows toward the root)
+//     [2..4)   uint16 count       number of entries
+//     [4..6)   uint16 free_off    first unused byte of the entry area
+//     [6..8)   uint16 dead_bytes  reclaimable space from deleted entries
+//     [8..12)  uint32 next_leaf   right-sibling chain (leaf only)
+//     [12..16) reserved
+//   entry area grows up from byte 16; the slot directory (2-byte entry
+//   offsets, ordered by key) grows down from the page end.
+//
+//   leaf entry:     uint16 key_len | key bytes | uint64 rid
+//   internal entry: uint16 key_len | key bytes | uint32 child | uint64 count
+//
+// `count` on an internal entry is the (exactly maintained) number of leaf
+// entries in the child's subtree. These are the "ranks" that power both the
+// pseudo-ranked sampling of [Ant92] and exact range counting; the
+// descent-to-split estimator of §5 deliberately ignores them and uses only
+// fanout, as the paper's estimator does.
+//
+// Internal node semantics: entry i covers keys in [key_i, key_{i+1}); the
+// first entry's key is the empty string (−infinity sentinel).
+
+#ifndef DYNOPT_INDEX_NODE_H_
+#define DYNOPT_INDEX_NODE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace dynopt {
+
+inline constexpr size_t kNodeHeaderSize = 16;
+inline constexpr size_t kMaxKeySize = 1800;  // guarantees fanout >= 4
+
+enum class NodeType : uint8_t { kLeaf = 1, kInternal = 2 };
+
+/// A typed view over a pinned node page. Does not own the page.
+class NodeRef {
+ public:
+  explicit NodeRef(uint8_t* p) : p_(p) {}
+
+  void Init(NodeType type, uint8_t level);
+
+  NodeType type() const { return static_cast<NodeType>(p_[0]); }
+  bool is_leaf() const { return type() == NodeType::kLeaf; }
+  uint8_t level() const { return p_[1]; }
+  uint16_t count() const { return PageRead<uint16_t>(p_, 2); }
+  uint16_t free_off() const { return PageRead<uint16_t>(p_, 4); }
+  uint16_t dead_bytes() const { return PageRead<uint16_t>(p_, 6); }
+  PageId next_leaf() const { return PageRead<PageId>(p_, 8); }
+  void set_next_leaf(PageId id) { PageWrite<PageId>(p_, 8, id); }
+
+  /// Key of entry `i` (view into the page; invalidated by mutation).
+  std::string_view Key(uint16_t i) const;
+
+  /// Leaf payload.
+  Rid LeafRid(uint16_t i) const;
+
+  /// Internal payload.
+  PageId ChildId(uint16_t i) const;
+  uint64_t ChildCount(uint16_t i) const;
+  void SetChildCount(uint16_t i, uint64_t count);  // in-place patch
+
+  /// First entry index whose key is >= `key` (== count() when none).
+  /// `*compares` (optional) accumulates key comparisons for cost metering.
+  uint16_t LowerBound(std::string_view key, uint64_t* compares = nullptr) const;
+  /// First entry index whose key is > `key`.
+  uint16_t UpperBound(std::string_view key, uint64_t* compares = nullptr) const;
+
+  /// Index of the child covering `key`: UpperBound(key) - 1. Requires the
+  /// internal-node invariant key_0 == "" (so the result is always valid).
+  uint16_t ChildIndexFor(std::string_view key,
+                         uint64_t* compares = nullptr) const;
+
+  /// Bytes available for a new entry + its slot.
+  size_t FreeSpace() const;
+
+  /// True when an entry of `key_len` bytes fits (possibly after compaction).
+  bool FitsAfterCompaction(size_t key_len) const;
+  bool Fits(size_t key_len) const;
+
+  /// Inserts an entry at slot position `pos`, compacting first if needed.
+  /// Caller guarantees FitsAfterCompaction(). Leaf form:
+  Status InsertLeafEntry(uint16_t pos, std::string_view key, Rid rid);
+  /// Internal form:
+  Status InsertInternalEntry(uint16_t pos, std::string_view key, PageId child,
+                             uint64_t count);
+
+  /// Removes entry `pos`, leaving its bytes dead until compaction.
+  void RemoveEntry(uint16_t pos);
+
+  /// Rewrites the entry area densely, clearing dead bytes.
+  void Compact();
+
+  /// Total leaf-entry count represented by this node (sum of child counts
+  /// for internal nodes, count() for leaves).
+  uint64_t SubtreeCount() const;
+
+ private:
+  size_t EntrySize(uint16_t i) const;
+  uint16_t SlotOffset(uint16_t i) const {
+    return PageRead<uint16_t>(p_, kPageSize - 2 * (i + 1));
+  }
+  void SetSlotOffset(uint16_t i, uint16_t off) {
+    PageWrite<uint16_t>(p_, kPageSize - 2 * (i + 1), off);
+  }
+  void set_count(uint16_t v) { PageWrite<uint16_t>(p_, 2, v); }
+  void set_free_off(uint16_t v) { PageWrite<uint16_t>(p_, 4, v); }
+  void set_dead_bytes(uint16_t v) { PageWrite<uint16_t>(p_, 6, v); }
+  size_t PayloadSize() const { return is_leaf() ? 8 : 12; }
+  Status InsertRaw(uint16_t pos, std::string_view key, const uint8_t* payload,
+                   size_t payload_size);
+
+  uint8_t* p_;
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_INDEX_NODE_H_

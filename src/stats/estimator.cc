@@ -1,0 +1,195 @@
+#include "stats/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dynopt {
+
+Result<RangeEstimate> SplitNodeEstimate(SecondaryIndex* index,
+                                        const EncodedRange& range) {
+  return index->tree()->EstimateRange(range);
+}
+
+Result<double> EquiWidthHistogram::ToDouble(const Value& v) const {
+  if (v.type() != column_type_) {
+    return Status::InvalidArgument("histogram bound type mismatch");
+  }
+  if (v.is_int64()) return static_cast<double>(v.AsInt64());
+  if (v.is_double()) return v.AsDouble();
+  return Status::InvalidArgument("histogram supports numeric columns only");
+}
+
+Result<EquiWidthHistogram> EquiWidthHistogram::Build(Table* table,
+                                                     uint32_t column,
+                                                     int buckets) {
+  if (buckets <= 0) {
+    return Status::InvalidArgument("histogram needs at least one bucket");
+  }
+  if (column >= table->schema().num_columns()) {
+    return Status::InvalidArgument("histogram column out of range");
+  }
+  ValueType type = table->schema().column(column).type;
+  if (type == ValueType::kString) {
+    return Status::NotSupported("histograms cover numeric columns only");
+  }
+
+  // Pass 1: min/max. Pass 2: bucket counts. Two full scans are exactly the
+  // "costly data rescans for histogram maintenance" of §5 — both metered.
+  EquiWidthHistogram h;
+  h.column_type_ = type;
+  h.counts_.assign(buckets, 0);
+
+  double min_v = std::numeric_limits<double>::infinity();
+  double max_v = -std::numeric_limits<double>::infinity();
+  {
+    auto cursor = table->heap()->NewCursor();
+    std::string bytes;
+    Rid rid;
+    for (;;) {
+      DYNOPT_ASSIGN_OR_RETURN(bool more, cursor.Next(&bytes, &rid));
+      if (!more) break;
+      Record rec;
+      DYNOPT_RETURN_IF_ERROR(DeserializeRecord(table->schema(), bytes, &rec));
+      DYNOPT_ASSIGN_OR_RETURN(double v, h.ToDouble(rec[column]));
+      min_v = std::min(min_v, v);
+      max_v = std::max(max_v, v);
+    }
+  }
+  if (min_v > max_v) {  // empty table
+    h.min_ = 0;
+    h.max_ = 0;
+    h.width_ = 1;
+    return h;
+  }
+  h.min_ = min_v;
+  h.max_ = max_v;
+  h.width_ = (max_v - min_v) / buckets;
+  if (h.width_ <= 0) h.width_ = 1;
+
+  auto cursor = table->heap()->NewCursor();
+  std::string bytes;
+  Rid rid;
+  for (;;) {
+    DYNOPT_ASSIGN_OR_RETURN(bool more, cursor.Next(&bytes, &rid));
+    if (!more) break;
+    Record rec;
+    DYNOPT_RETURN_IF_ERROR(DeserializeRecord(table->schema(), bytes, &rec));
+    DYNOPT_ASSIGN_OR_RETURN(double v, h.ToDouble(rec[column]));
+    int b = static_cast<int>((v - h.min_) / h.width_);
+    b = std::clamp(b, 0, buckets - 1);
+    h.counts_[b]++;
+    h.total_rows_++;
+  }
+  return h;
+}
+
+Result<double> EquiWidthHistogram::EstimateRange(const Value& lo,
+                                                 const Value& hi) const {
+  DYNOPT_ASSIGN_OR_RETURN(double lo_v, ToDouble(lo));
+  DYNOPT_ASSIGN_OR_RETURN(double hi_v, ToDouble(hi));
+  if (lo_v > hi_v || total_rows_ == 0) return 0.0;
+  // Integer ranges are inclusive on whole values: [x, x] spans width 1.
+  if (column_type_ == ValueType::kInt64) hi_v += 1.0;
+  double est = 0.0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    double b_lo = min_ + b * width_;
+    double b_hi = b_lo + width_;
+    double overlap_lo = std::max(lo_v, b_lo);
+    double overlap_hi = std::min(hi_v, b_hi);
+    if (overlap_hi <= overlap_lo) continue;
+    // Uniformity-within-bucket assumption: exactly what hides small ranges
+    // below the bucket granularity.
+    est += counts_[b] * (overlap_hi - overlap_lo) / width_;
+  }
+  return std::min(est, static_cast<double>(total_rows_));
+}
+
+Result<SampleEstimate> SampleEstimateRange(SecondaryIndex* index,
+                                           const EncodedRange& range,
+                                           const PredicateRef& residual,
+                                           const ParamMap& params,
+                                           uint64_t num_samples,
+                                           SamplingMethod method, Rng& rng) {
+  SampleEstimate out;
+  BTree* tree = index->tree();
+  DYNOPT_ASSIGN_OR_RETURN(out.range_count, tree->CountRange(range));
+  if (out.range_count == 0 || num_samples == 0) return out;
+
+  uint64_t qualifying = 0;
+  const uint64_t max_trials = num_samples * 256 + 1024;
+  while (out.samples_taken < num_samples && out.trials < max_trials) {
+    out.trials++;
+    std::optional<IndexEntry> entry;
+    if (method == SamplingMethod::kRanked) {
+      DYNOPT_ASSIGN_OR_RETURN(entry, tree->SampleRange(range, rng));
+    } else {
+      DYNOPT_ASSIGN_OR_RETURN(entry, tree->SampleAcceptReject(rng));
+      // Range restriction by rejection: keep only in-range samples.
+      if (entry.has_value() && !range.Contains(entry->key)) {
+        entry.reset();
+      }
+    }
+    if (!entry.has_value()) continue;
+    out.samples_taken++;
+    std::vector<std::optional<Value>> sparse;
+    DYNOPT_RETURN_IF_ERROR(index->DecodeKeyColumns(entry->key, &sparse));
+    RowView view(&sparse);
+    DYNOPT_ASSIGN_OR_RETURN(bool ok, residual->Eval(view, params));
+    if (ok) qualifying++;
+  }
+  if (out.samples_taken > 0) {
+    out.estimated_rids = static_cast<double>(out.range_count) *
+                         static_cast<double>(qualifying) /
+                         static_cast<double>(out.samples_taken);
+  }
+  return out;
+}
+
+Result<SampleEstimate> SampleEstimateRanges(SecondaryIndex* index,
+                                            const RangeSet& ranges,
+                                            const PredicateRef& residual,
+                                            const ParamMap& params,
+                                            uint64_t num_samples, Rng& rng) {
+  SampleEstimate out;
+  BTree* tree = index->tree();
+  // Exact per-range counts drive both the sampling allocation and the
+  // basis the qualifying fraction scales.
+  std::vector<uint64_t> counts;
+  counts.reserve(ranges.ranges().size());
+  for (const EncodedRange& r : ranges.ranges()) {
+    DYNOPT_ASSIGN_OR_RETURN(uint64_t c, tree->CountRange(r));
+    counts.push_back(c);
+    out.range_count += c;
+  }
+  if (out.range_count == 0 || num_samples == 0) return out;
+
+  uint64_t qualifying = 0;
+  for (uint64_t s = 0; s < num_samples; ++s) {
+    out.trials++;
+    // Pick a component range proportionally to its count.
+    uint64_t pick = rng.NextBounded(out.range_count);
+    size_t r = 0;
+    while (r < counts.size() && pick >= counts[r]) {
+      pick -= counts[r];
+      r++;
+    }
+    if (r >= counts.size()) continue;  // all-zero guard
+    DYNOPT_ASSIGN_OR_RETURN(std::optional<IndexEntry> entry,
+                            tree->SampleRange(ranges.ranges()[r], rng));
+    if (!entry.has_value()) continue;
+    out.samples_taken++;
+    std::vector<std::optional<Value>> sparse;
+    DYNOPT_RETURN_IF_ERROR(index->DecodeKeyColumns(entry->key, &sparse));
+    RowView view(&sparse);
+    DYNOPT_ASSIGN_OR_RETURN(bool ok, residual->Eval(view, params));
+    if (ok) qualifying++;
+  }
+  if (out.samples_taken > 0) {
+    out.estimated_rids = static_cast<double>(out.range_count) *
+                         static_cast<double>(qualifying) /
+                         static_cast<double>(out.samples_taken);
+  }
+  return out;
+}
+
+}  // namespace dynopt

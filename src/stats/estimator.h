@@ -1,0 +1,96 @@
+// Range/selectivity estimators (§5).
+//
+// Three ways of answering "how many RIDs satisfy this restriction?", with
+// very different cost/coverage/freshness profiles:
+//
+//  * SplitNodeEstimate — the paper's method: descent to the split node of
+//    the index B-tree, O(height) I/O, always up to date, exact for small
+//    ranges (including empty — the OLTP shortcut). Only covers ranges on
+//    the index's leading column.
+//  * EquiWidthHistogram — the criticized industry baseline: requires a full
+//    table rescan to (re)build, goes stale, and cannot see ranges below
+//    bucket granularity. Only covers range predicates on numeric columns.
+//  * SamplingEstimator — uniform random index-entry sampling ([Ant92]-style
+//    ranked sampling or the [OlRo89] acceptance/rejection baseline), able
+//    to estimate *arbitrary* residual predicates (pattern match, MOD
+//    arithmetic) within a range, at a per-sample I/O cost.
+
+#ifndef DYNOPT_STATS_ESTIMATOR_H_
+#define DYNOPT_STATS_ESTIMATOR_H_
+
+#include <vector>
+
+#include "catalog/index.h"
+#include "catalog/table.h"
+#include "expr/predicate.h"
+#include "index/btree.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace dynopt {
+
+/// The paper's descent-to-split-node estimate for `range` on `index`.
+/// (Thin wrapper so callers don't reach into the tree; see Fig 5.)
+Result<RangeEstimate> SplitNodeEstimate(SecondaryIndex* index,
+                                        const EncodedRange& range);
+
+/// Classic equi-width histogram over one numeric column.
+class EquiWidthHistogram {
+ public:
+  /// Scans the whole table once (metered — that is the point) and buckets
+  /// `column`, which must be INT64 or DOUBLE.
+  static Result<EquiWidthHistogram> Build(Table* table, uint32_t column,
+                                          int buckets);
+
+  /// Estimated record count with column value in [lo, hi] (inclusive),
+  /// by linear interpolation within partially-covered buckets.
+  Result<double> EstimateRange(const Value& lo, const Value& hi) const;
+
+  int buckets() const { return static_cast<int>(counts_.size()); }
+  uint64_t total_rows() const { return total_rows_; }
+  double bucket_width() const { return width_; }
+
+ private:
+  EquiWidthHistogram() = default;
+
+  Result<double> ToDouble(const Value& v) const;
+
+  ValueType column_type_ = ValueType::kInt64;
+  double min_ = 0, max_ = 0, width_ = 1;
+  uint64_t total_rows_ = 0;
+  std::vector<uint64_t> counts_;
+};
+
+enum class SamplingMethod {
+  kRanked,        // pseudo-ranked B+-tree selection [Ant92]; never rejects
+  kAcceptReject,  // Olken-Rotem random descent [OlRo89]; rejects often
+};
+
+struct SampleEstimate {
+  double estimated_rids = 0;    // range_count * qualifying fraction
+  uint64_t range_count = 0;     // exact entries in the sampled range
+  uint64_t samples_taken = 0;   // accepted samples evaluated
+  uint64_t trials = 0;          // descents incl. rejected trials
+};
+
+/// Estimates how many index entries in `range` also satisfy `residual`
+/// (evaluated over the index's own columns — the predicate must be covered
+/// by them, e.g. pattern matching on an indexed string column).
+Result<SampleEstimate> SampleEstimateRange(SecondaryIndex* index,
+                                           const EncodedRange& range,
+                                           const PredicateRef& residual,
+                                           const ParamMap& params,
+                                           uint64_t num_samples,
+                                           SamplingMethod method, Rng& rng);
+
+/// RangeSet variant: samples each component range in proportion to its
+/// exact entry count (ranked sampling only).
+Result<SampleEstimate> SampleEstimateRanges(SecondaryIndex* index,
+                                            const RangeSet& ranges,
+                                            const PredicateRef& residual,
+                                            const ParamMap& params,
+                                            uint64_t num_samples, Rng& rng);
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_STATS_ESTIMATOR_H_

@@ -1,0 +1,119 @@
+#include "stats/hyperbola.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dynopt {
+
+double HyperbolaDensity(double b, double s) {
+  double a = 1.0 / std::log((1.0 + b) / b);
+  return a / (s + b);
+}
+
+double HyperbolaRelativeError(const SelectivityDist& dist, double b) {
+  double pmax = -std::numeric_limits<double>::infinity();
+  double pmin = std::numeric_limits<double>::infinity();
+  double max_abs = 0.0;
+  for (int i = 0; i < SelectivityDist::kBins; ++i) {
+    double s = (i + 0.5) / SelectivityDist::kBins;
+    double p = dist.DensityAt(i);
+    pmax = std::max(pmax, p);
+    pmin = std::min(pmin, p);
+    max_abs = std::max(max_abs, std::abs(p - HyperbolaDensity(b, s)));
+  }
+  double spread = pmax - pmin;
+  if (spread <= 0.0) return max_abs > 0.0 ? 1.0 : 0.0;
+  return max_abs / spread;
+}
+
+HyperbolaFit FitHyperbola(const SelectivityDist& dist) {
+  // Golden-section search over log10(b) in [-6, 2]; the error is unimodal
+  // in practice for the L-shaped targets this is used on. A coarse scan
+  // first avoids landing in a flat shoulder.
+  auto err_at = [&](double log_b) {
+    return HyperbolaRelativeError(dist, std::pow(10.0, log_b));
+  };
+  double best_lb = -6.0, best_err = err_at(-6.0);
+  for (double lb = -6.0; lb <= 2.0; lb += 0.25) {
+    double e = err_at(lb);
+    if (e < best_err) {
+      best_err = e;
+      best_lb = lb;
+    }
+  }
+  double lo = best_lb - 0.25, hi = best_lb + 0.25;
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double x1 = hi - phi * (hi - lo), x2 = lo + phi * (hi - lo);
+  double f1 = err_at(x1), f2 = err_at(x2);
+  for (int it = 0; it < 60; ++it) {
+    if (f1 < f2) {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - phi * (hi - lo);
+      f1 = err_at(x1);
+    } else {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + phi * (hi - lo);
+      f2 = err_at(x2);
+    }
+  }
+  HyperbolaFit fit;
+  double lb = (lo + hi) / 2.0;
+  fit.b = std::pow(10.0, lb);
+  fit.a = 1.0 / std::log((1.0 + fit.b) / fit.b);
+  fit.relative_error = err_at(lb);
+  return fit;
+}
+
+double HyperbolaRelativeErrorFree(const SelectivityDist& dist, double b,
+                                  double a) {
+  double pmax = -std::numeric_limits<double>::infinity();
+  double pmin = std::numeric_limits<double>::infinity();
+  double max_abs = 0.0;
+  for (int i = 0; i < SelectivityDist::kBins; ++i) {
+    double s = (i + 0.5) / SelectivityDist::kBins;
+    double p = dist.DensityAt(i);
+    pmax = std::max(pmax, p);
+    pmin = std::min(pmin, p);
+    max_abs = std::max(max_abs, std::abs(p - a / (s + b)));
+  }
+  double spread = pmax - pmin;
+  if (spread <= 0.0) return max_abs > 0.0 ? 1.0 : 0.0;
+  return max_abs / spread;
+}
+
+HyperbolaFit FitHyperbolaFree(const SelectivityDist& dist) {
+  HyperbolaFit best;
+  best.relative_error = std::numeric_limits<double>::infinity();
+  for (double lb = -7.0; lb <= 1.0; lb += 0.05) {
+    double b = std::pow(10.0, lb);
+    // For fixed b the error is convex in a: ternary search.
+    double lo = 0.0;
+    double hi =
+        dist.DensityAt(0) * (1.0 / SelectivityDist::kBins + b) * 2.0 + 1.0;
+    for (int it = 0; it < 120; ++it) {
+      double a1 = lo + (hi - lo) / 3.0;
+      double a2 = hi - (hi - lo) / 3.0;
+      if (HyperbolaRelativeErrorFree(dist, b, a1) <
+          HyperbolaRelativeErrorFree(dist, b, a2)) {
+        hi = a2;
+      } else {
+        lo = a1;
+      }
+    }
+    double a = (lo + hi) / 2.0;
+    double err = HyperbolaRelativeErrorFree(dist, b, a);
+    if (err < best.relative_error) {
+      best.relative_error = err;
+      best.a = a;
+      best.b = b;
+    }
+  }
+  return best;
+}
+
+}  // namespace dynopt

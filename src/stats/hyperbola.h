@@ -1,0 +1,51 @@
+// Truncated-hyperbola fitting (§2).
+//
+// The paper reports that the asymmetric AND/OR transforms of uniform
+// selectivity are "well approximated (but not fully matched) by truncated
+// hyperbolas", quoting relative fit errors of about 1/4 for &X, 1/7 for
+// &&X, 1/23 for &&&X. We fit the one-parameter normalized family
+//
+//     h_b(s) = a / (s + b),   a = 1 / ln((1+b)/b),   s ∈ [0,1], b > 0
+//
+// minimizing the paper's relative error metric
+//
+//     err = max_s |p(s) - h(s)| / (max_s p(s) - min_s p(s)).
+//
+// Mirror-symmetric L-shapes (OR chains) are fitted against the mirrored
+// density by the caller.
+
+#ifndef DYNOPT_STATS_HYPERBOLA_H_
+#define DYNOPT_STATS_HYPERBOLA_H_
+
+#include "stats/selectivity_dist.h"
+
+namespace dynopt {
+
+struct HyperbolaFit {
+  double b = 0;               // pole offset; smaller b = more skew
+  double a = 0;               // normalization: integral over [0,1] is 1
+  double relative_error = 0;  // the paper's max-relative-error metric
+};
+
+/// Density of the normalized truncated hyperbola h_b at s.
+double HyperbolaDensity(double b, double s);
+
+/// Fits h_b to `dist` by golden-section search on log(b).
+HyperbolaFit FitHyperbola(const SelectivityDist& dist);
+
+/// The paper's relative error between `dist` and h_b.
+double HyperbolaRelativeError(const SelectivityDist& dist, double b);
+
+/// Fits the unconstrained family a/(s+b) (both parameters free, no
+/// normalization) under the same max-relative-error metric. This matches
+/// the paper's reported &X / &&X / &&&X errors (1/4, 1/7, 1/23): the error
+/// drops steeply as the L-shape sharpens.
+HyperbolaFit FitHyperbolaFree(const SelectivityDist& dist);
+
+/// Relative error of the unconstrained hyperbola (a, b) against `dist`.
+double HyperbolaRelativeErrorFree(const SelectivityDist& dist, double b,
+                                  double a);
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_STATS_HYPERBOLA_H_

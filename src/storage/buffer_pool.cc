@@ -1,0 +1,166 @@
+#include "storage/buffer_pool.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dynopt {
+
+PageGuard& PageGuard::operator=(PageGuard&& o) noexcept {
+  if (this != &o) {
+    Release();
+    pool_ = o.pool_;
+    frame_ = o.frame_;
+    id_ = o.id_;
+    o.pool_ = nullptr;
+  }
+  return *this;
+}
+
+const uint8_t* PageGuard::data() const {
+  assert(valid());
+  return pool_->frames_[frame_].data.data();
+}
+
+uint8_t* PageGuard::mutable_data() {
+  assert(valid());
+  MarkDirty();
+  return pool_->frames_[frame_].data.data();
+}
+
+void PageGuard::MarkDirty() {
+  assert(valid());
+  pool_->frames_[frame_].dirty = true;
+}
+
+void PageGuard::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(PageStore* store, size_t capacity, CostMeter* meter)
+    : store_(store),
+      capacity_(capacity == 0 ? 1 : capacity),
+      meter_(meter != nullptr ? meter : &own_meter_) {
+  frames_.resize(capacity_);
+  free_frames_.reserve(capacity_);
+  for (size_t i = 0; i < capacity_; ++i) free_frames_.push_back(capacity_ - 1 - i);
+}
+
+BufferPool::~BufferPool() {
+  // Best-effort flush; errors here have nowhere to go.
+  FlushAll().ok();
+}
+
+Result<PageGuard> BufferPool::Pin(PageId id) {
+  meter_->logical_reads++;
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    Frame& f = frames_[it->second];
+    if (f.pins == 0) {
+      lru_.erase(f.lru_pos);
+    }
+    f.pins++;
+    return PageGuard(this, it->second, id);
+  }
+  DYNOPT_ASSIGN_OR_RETURN(size_t frame, GrabFrame());
+  Frame& f = frames_[frame];
+  DYNOPT_RETURN_IF_ERROR(store_->Read(id, &f.data));
+  meter_->physical_reads++;
+  f.id = id;
+  f.pins = 1;
+  f.dirty = false;
+  f.in_use = true;
+  table_[id] = frame;
+  return PageGuard(this, frame, id);
+}
+
+Result<PageGuard> BufferPool::NewPage() {
+  PageId id = store_->Allocate();
+  DYNOPT_ASSIGN_OR_RETURN(size_t frame, GrabFrame());
+  Frame& f = frames_[frame];
+  f.data.fill(0);
+  f.id = id;
+  f.pins = 1;
+  f.dirty = true;
+  f.in_use = true;
+  table_[id] = frame;
+  meter_->logical_reads++;
+  return PageGuard(this, frame, id);
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& f : frames_) {
+    if (f.in_use && f.dirty) {
+      DYNOPT_RETURN_IF_ERROR(store_->Write(f.id, f.data));
+      meter_->physical_writes++;
+      f.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::EvictAll() {
+  // Walk a copy: EvictFrame mutates lru_.
+  std::vector<size_t> victims(lru_.begin(), lru_.end());
+  for (size_t frame : victims) {
+    DYNOPT_RETURN_IF_ERROR(EvictFrame(frame));
+  }
+  return Status::OK();
+}
+
+Status BufferPool::ScrambleCache(Rng& rng, double fraction) {
+  std::vector<size_t> victims;
+  for (size_t frame : lru_) {
+    if (rng.NextDouble() < fraction) victims.push_back(frame);
+  }
+  for (size_t frame : victims) {
+    DYNOPT_RETURN_IF_ERROR(EvictFrame(frame));
+  }
+  return Status::OK();
+}
+
+void BufferPool::Unpin(size_t frame) {
+  Frame& f = frames_[frame];
+  assert(f.pins > 0);
+  f.pins--;
+  if (f.pins == 0) {
+    lru_.push_front(frame);
+    f.lru_pos = lru_.begin();
+  }
+}
+
+Status BufferPool::EvictFrame(size_t frame) {
+  Frame& f = frames_[frame];
+  assert(f.in_use && f.pins == 0);
+  if (f.dirty) {
+    DYNOPT_RETURN_IF_ERROR(store_->Write(f.id, f.data));
+    meter_->physical_writes++;
+    f.dirty = false;
+  }
+  table_.erase(f.id);
+  lru_.erase(f.lru_pos);
+  f.in_use = false;
+  f.id = kInvalidPageId;
+  free_frames_.push_back(frame);
+  return Status::OK();
+}
+
+Result<size_t> BufferPool::GrabFrame() {
+  if (!free_frames_.empty()) {
+    size_t frame = free_frames_.back();
+    free_frames_.pop_back();
+    return frame;
+  }
+  if (lru_.empty()) {
+    return Status::ResourceExhausted("all buffer-pool frames are pinned");
+  }
+  size_t victim = lru_.back();
+  DYNOPT_RETURN_IF_ERROR(EvictFrame(victim));
+  size_t frame = free_frames_.back();
+  free_frames_.pop_back();
+  return frame;
+}
+
+}  // namespace dynopt

@@ -1,0 +1,120 @@
+// BufferPool: fixed-capacity page cache with LRU replacement and cost
+// accounting.
+//
+// Every page access in the engine goes through Pin(): a hit charges one
+// logical read, a miss additionally charges one physical read (plus a
+// physical write if a dirty victim is evicted). This makes the cache-state
+// dependence of retrieval cost — the paper's §3(c) uncertainty source — a
+// first-class, measurable phenomenon. ScrambleCache() emulates the
+// "asynchronous processes totally unrelated to a given retrieval" disturbing
+// the cache between runs.
+
+#ifndef DYNOPT_STORAGE_BUFFER_POOL_H_
+#define DYNOPT_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/page.h"
+#include "storage/page_store.h"
+#include "util/cost_meter.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace dynopt {
+
+class BufferPool;
+
+/// RAII pin on a buffered page. While alive, the page stays in memory and
+/// `data()` is stable. Mark dirty before mutation so eviction flushes it.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, size_t frame, PageId id)
+      : pool_(pool), frame_(frame), id_(id) {}
+  PageGuard(PageGuard&& o) noexcept { *this = std::move(o); }
+  PageGuard& operator=(PageGuard&& o) noexcept;
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  ~PageGuard() { Release(); }
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId id() const { return id_; }
+  const uint8_t* data() const;
+  uint8_t* mutable_data();  // implies MarkDirty()
+  void MarkDirty();
+
+  /// Drops the pin early.
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  PageId id_ = kInvalidPageId;
+};
+
+class BufferPool {
+ public:
+  /// `capacity` is the number of page frames; `meter` (optional) receives
+  /// the I/O charges. The pool does not own the store or the meter.
+  BufferPool(PageStore* store, size_t capacity, CostMeter* meter = nullptr);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+  ~BufferPool();
+
+  /// Pins page `id`, faulting it from the store if needed.
+  Result<PageGuard> Pin(PageId id);
+
+  /// Allocates a fresh zeroed page in the store and pins it dirty.
+  Result<PageGuard> NewPage();
+
+  /// Writes back all dirty pages (retaining cache contents).
+  Status FlushAll();
+
+  /// Evicts every unpinned page (flushing dirty ones): a cold cache.
+  Status EvictAll();
+
+  /// Evicts a random `fraction` of unpinned cached pages — emulates cache
+  /// interference from unrelated concurrent activity (§3c).
+  Status ScrambleCache(Rng& rng, double fraction);
+
+  size_t capacity() const { return capacity_; }
+  size_t cached_pages() const { return table_.size(); }
+  const CostMeter& meter() const { return *meter_; }
+  /// Mutable meter for components charging non-I/O costs (key compares...).
+  CostMeter* meter_ptr() { return meter_; }
+  PageStore* store() { return store_; }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    PageData data;
+    PageId id = kInvalidPageId;
+    uint32_t pins = 0;
+    bool dirty = false;
+    bool in_use = false;
+    std::list<size_t>::iterator lru_pos;  // valid iff pins == 0 && in_use
+  };
+
+  void Unpin(size_t frame);
+  Status EvictFrame(size_t frame);
+  /// Finds a frame to (re)use: a free frame or the LRU unpinned victim.
+  Result<size_t> GrabFrame();
+
+  PageStore* store_;
+  size_t capacity_;
+  CostMeter own_meter_;
+  CostMeter* meter_;
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_frames_;
+  std::unordered_map<PageId, size_t> table_;
+  std::list<size_t> lru_;  // front = most recent; only unpinned frames
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,79 @@
+// HeapFile: slotted-page record storage.
+//
+// Records are opaque byte strings placed in insertion order on a chain of
+// slotted pages; a record's address is its Rid (page, slot). The heap file
+// is the "data record" store of the paper: Tscan walks it sequentially,
+// Fscan and the final Jscan stage fetch from it by RID (the expensive random
+// operation every tactic tries to minimize).
+
+#ifndef DYNOPT_STORAGE_HEAP_FILE_H_
+#define DYNOPT_STORAGE_HEAP_FILE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace dynopt {
+
+class HeapFile {
+ public:
+  /// Creates an empty heap file with one allocated page.
+  static Result<std::unique_ptr<HeapFile>> Create(BufferPool* pool);
+
+  /// Appends a record; fails with InvalidArgument when the record cannot fit
+  /// on an empty page.
+  Result<Rid> Insert(std::string_view record);
+
+  /// Reads the record at `rid` into `*out`. NotFound for deleted/invalid rids.
+  Status Fetch(const Rid& rid, std::string* out);
+
+  /// Tombstones the record at `rid`.
+  Status Delete(const Rid& rid);
+
+  uint64_t record_count() const { return record_count_; }
+  const std::vector<PageId>& pages() const { return pages_; }
+
+  /// Forward cursor over live records in physical order. Holds a pin on
+  /// the current page, so iterating records within one page is CPU-only
+  /// and buffer charges accrue once per page (sequential-scan economics).
+  class Cursor {
+   public:
+    explicit Cursor(HeapFile* file) : file_(file) {}
+    Cursor(Cursor&&) = default;
+    Cursor& operator=(Cursor&&) = default;
+
+    /// Advances to the next live record. Returns false at end of file.
+    Result<bool> Next(std::string* record, Rid* rid);
+
+    /// Restarts from the beginning.
+    void Reset() {
+      page_index_ = 0;
+      next_slot_ = 0;
+      guard_.Release();
+    }
+
+   private:
+    HeapFile* file_;
+    size_t page_index_ = 0;
+    uint16_t next_slot_ = 0;
+    PageGuard guard_;
+  };
+
+  Cursor NewCursor() { return Cursor(this); }
+
+ private:
+  explicit HeapFile(BufferPool* pool) : pool_(pool) {}
+
+  BufferPool* pool_;
+  std::vector<PageId> pages_;
+  uint64_t record_count_ = 0;
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_STORAGE_HEAP_FILE_H_

@@ -1,0 +1,70 @@
+// Fixed-size page abstraction.
+//
+// All persistent structures (heap files, B+-tree nodes, temp RID files) are
+// laid out on 8 KiB pages addressed by PageId and moved between the
+// simulated disk (PageStore) and main memory (BufferPool).
+
+#ifndef DYNOPT_STORAGE_PAGE_H_
+#define DYNOPT_STORAGE_PAGE_H_
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+
+namespace dynopt {
+
+inline constexpr size_t kPageSize = 8192;
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0xffffffffu;
+
+using PageData = std::array<uint8_t, kPageSize>;
+
+/// Unaligned little-endian scalar accessors used by all page layouts.
+template <typename T>
+inline T PageRead(const uint8_t* p, size_t offset) {
+  T v;
+  std::memcpy(&v, p + offset, sizeof(T));
+  return v;
+}
+
+template <typename T>
+inline void PageWrite(uint8_t* p, size_t offset, T v) {
+  std::memcpy(p + offset, &v, sizeof(T));
+}
+
+/// Record identifier: physical location of a record in a heap file.
+///
+/// RIDs are the currency of the dynamic optimizer — Jscan produces RID
+/// lists, filters reject RIDs, the final stage fetches by RID. They pack
+/// into a uint64 for compact list/bitmap handling.
+struct Rid {
+  PageId page = kInvalidPageId;
+  uint16_t slot = 0;
+
+  uint64_t ToU64() const {
+    return (static_cast<uint64_t>(page) << 16) | slot;
+  }
+  static Rid FromU64(uint64_t v) {
+    Rid r;
+    r.page = static_cast<PageId>(v >> 16);
+    r.slot = static_cast<uint16_t>(v & 0xffff);
+    return r;
+  }
+  bool valid() const { return page != kInvalidPageId; }
+
+  auto operator<=>(const Rid&) const = default;
+};
+
+}  // namespace dynopt
+
+template <>
+struct std::hash<dynopt::Rid> {
+  size_t operator()(const dynopt::Rid& r) const noexcept {
+    return std::hash<uint64_t>()(r.ToU64());
+  }
+};
+
+#endif  // DYNOPT_STORAGE_PAGE_H_

@@ -1,0 +1,27 @@
+#include "storage/page_store.h"
+
+namespace dynopt {
+
+PageId PageStore::Allocate() {
+  pages_.push_back(std::make_unique<PageData>());
+  pages_.back()->fill(0);
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+Status PageStore::Read(PageId id, PageData* dst) const {
+  if (id >= pages_.size()) {
+    return Status::IOError("read of unallocated page " + std::to_string(id));
+  }
+  *dst = *pages_[id];
+  return Status::OK();
+}
+
+Status PageStore::Write(PageId id, const PageData& src) {
+  if (id >= pages_.size()) {
+    return Status::IOError("write of unallocated page " + std::to_string(id));
+  }
+  *pages_[id] = src;
+  return Status::OK();
+}
+
+}  // namespace dynopt

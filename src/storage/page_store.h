@@ -1,0 +1,42 @@
+// PageStore: the simulated disk.
+//
+// An in-memory array of pages standing in for the paper's VMS disk volumes.
+// PageStore itself performs no cost accounting — the BufferPool charges
+// physical I/O when it actually faults or flushes — so reads/writes here are
+// exactly the "physical" operations of the cost model.
+
+#ifndef DYNOPT_STORAGE_PAGE_STORE_H_
+#define DYNOPT_STORAGE_PAGE_STORE_H_
+
+#include <memory>
+#include <vector>
+
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace dynopt {
+
+class PageStore {
+ public:
+  PageStore() = default;
+  PageStore(const PageStore&) = delete;
+  PageStore& operator=(const PageStore&) = delete;
+
+  /// Allocates a zeroed page and returns its id.
+  PageId Allocate();
+
+  /// Copies page `id` into `*dst`.
+  Status Read(PageId id, PageData* dst) const;
+
+  /// Copies `src` into page `id`.
+  Status Write(PageId id, const PageData& src);
+
+  size_t page_count() const { return pages_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<PageData>> pages_;
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_STORAGE_PAGE_STORE_H_

@@ -1,0 +1,43 @@
+#include "storage/temp_rid_file.h"
+
+namespace dynopt {
+
+Status TempRidFile::Append(Rid rid) {
+  if (pages_.empty() || last_page_fill_ == kRidsPerPage) {
+    DYNOPT_ASSIGN_OR_RETURN(PageGuard fresh, pool_->NewPage());
+    pages_.push_back(fresh.id());
+    last_page_fill_ = 0;
+  }
+  DYNOPT_ASSIGN_OR_RETURN(PageGuard page, pool_->Pin(pages_.back()));
+  uint8_t* p = page.mutable_data();
+  PageWrite<uint64_t>(p, kHeaderSize + last_page_fill_ * sizeof(uint64_t),
+                      rid.ToU64());
+  last_page_fill_++;
+  PageWrite<uint32_t>(p, 0, last_page_fill_);
+  count_++;
+  return Status::OK();
+}
+
+Result<bool> TempRidFile::Cursor::Next(Rid* rid) {
+  while (page_index_ < file_->pages_.size()) {
+    PageId pid = file_->pages_[page_index_];
+    if (!guard_.valid() || guard_.id() != pid) {
+      DYNOPT_ASSIGN_OR_RETURN(guard_, file_->pool_->Pin(pid));
+    }
+    const uint8_t* p = guard_.data();
+    uint32_t fill = PageRead<uint32_t>(p, 0);
+    if (next_in_page_ < fill) {
+      uint64_t v = PageRead<uint64_t>(
+          p, kHeaderSize + next_in_page_ * sizeof(uint64_t));
+      *rid = Rid::FromU64(v);
+      next_in_page_++;
+      return true;
+    }
+    page_index_++;
+    next_in_page_ = 0;
+  }
+  guard_.Release();
+  return false;
+}
+
+}  // namespace dynopt

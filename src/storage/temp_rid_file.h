@@ -1,0 +1,67 @@
+// TempRidFile: page-backed spill storage for RID lists.
+//
+// When a Jscan RID list outgrows its main-memory buffer, the overflow is
+// written to a temporary table (§6). This file stores packed 64-bit RIDs on
+// buffer-pool pages, so spilling and re-reading incur real (metered) I/O —
+// exactly the overhead the hybrid RID-list arrangement is designed to avoid
+// for small lists.
+
+#ifndef DYNOPT_STORAGE_TEMP_RID_FILE_H_
+#define DYNOPT_STORAGE_TEMP_RID_FILE_H_
+
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace dynopt {
+
+class TempRidFile {
+ public:
+  explicit TempRidFile(BufferPool* pool) : pool_(pool) {}
+
+  /// Appends one RID.
+  Status Append(Rid rid);
+
+  uint64_t size() const { return count_; }
+
+  /// Forward cursor over the spilled RIDs in append order. Pins one page
+  /// at a time (charges per page, not per RID).
+  class Cursor {
+   public:
+    explicit Cursor(TempRidFile* file) : file_(file) {}
+    Cursor(Cursor&&) = default;
+    Cursor& operator=(Cursor&&) = default;
+
+    /// Returns false at end.
+    Result<bool> Next(Rid* rid);
+    void Reset() {
+      page_index_ = 0;
+      next_in_page_ = 0;
+      guard_.Release();
+    }
+
+   private:
+    TempRidFile* file_;
+    size_t page_index_ = 0;
+    uint32_t next_in_page_ = 0;
+    PageGuard guard_;
+  };
+
+  Cursor NewCursor() { return Cursor(this); }
+
+ private:
+  static constexpr size_t kHeaderSize = 8;
+  static constexpr uint32_t kRidsPerPage =
+      static_cast<uint32_t>((kPageSize - kHeaderSize) / sizeof(uint64_t));
+
+  BufferPool* pool_;
+  std::vector<PageId> pages_;
+  uint64_t count_ = 0;
+  uint32_t last_page_fill_ = 0;
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_STORAGE_TEMP_RID_FILE_H_

@@ -1,0 +1,90 @@
+#include "util/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace dynopt {
+
+std::vector<double> Downsample(const std::vector<double>& values, int buckets) {
+  if (buckets <= 0 || values.empty()) return {};
+  if (static_cast<int>(values.size()) <= buckets) return values;
+  std::vector<double> out(buckets, 0.0);
+  size_t n = values.size();
+  for (int b = 0; b < buckets; ++b) {
+    size_t lo = b * n / buckets;
+    size_t hi = (b + 1) * n / buckets;
+    if (hi <= lo) hi = lo + 1;
+    double sum = 0.0;
+    for (size_t i = lo; i < hi && i < n; ++i) sum += values[i];
+    out[b] = sum / static_cast<double>(hi - lo);
+  }
+  return out;
+}
+
+std::string AsciiAreaChart(const std::vector<double>& values, int height,
+                           const std::string& title) {
+  std::ostringstream os;
+  if (!title.empty()) os << title << "\n";
+  if (values.empty() || height <= 0) return os.str();
+  double maxv = *std::max_element(values.begin(), values.end());
+  if (maxv <= 0.0) maxv = 1.0;
+  for (int row = height; row >= 1; --row) {
+    double threshold = maxv * (row - 0.5) / height;
+    os << "  |";
+    for (double v : values) os << (v >= threshold ? '#' : ' ');
+    os << "\n";
+  }
+  os << "  +";
+  for (size_t i = 0; i < values.size(); ++i) os << '-';
+  os << "\n   0";
+  for (size_t i = 4; i < values.size(); ++i) os << ' ';
+  os << "1\n";
+  return os.str();
+}
+
+std::string Sparkline(const std::vector<double>& values) {
+  static const char* kBlocks[] = {" ", "▁", "▂", "▃",
+                                  "▄", "▅", "▆", "▇",
+                                  "█"};
+  if (values.empty()) return "";
+  double maxv = *std::max_element(values.begin(), values.end());
+  if (maxv <= 0.0) maxv = 1.0;
+  std::string out;
+  for (double v : values) {
+    int level = static_cast<int>(std::lround(v / maxv * 8.0));
+    level = std::clamp(level, 0, 8);
+    out += kBlocks[level];
+  }
+  return out;
+}
+
+std::string FormatTable(const std::vector<std::string>& headers,
+                        const std::vector<std::vector<std::string>>& rows) {
+  std::vector<size_t> widths(headers.size(), 0);
+  for (size_t c = 0; c < headers.size(); ++c) widths[c] = headers[c].size();
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      std::string cell = c < row.size() ? row[c] : "";
+      os << "  " << cell << std::string(widths[c] - cell.size(), ' ');
+    }
+    os << "\n";
+  };
+  emit_row(headers);
+  std::vector<std::string> rule;
+  rule.reserve(headers.size());
+  for (size_t c = 0; c < headers.size(); ++c) {
+    rule.push_back(std::string(widths[c], '-'));
+  }
+  emit_row(rule);
+  for (const auto& row : rows) emit_row(row);
+  return os.str();
+}
+
+}  // namespace dynopt

@@ -1,0 +1,33 @@
+// Text rendering of density curves and result tables for the figure benches.
+//
+// The benches regenerate the paper's figures as (a) CSV series suitable for
+// external plotting and (b) compact ASCII sparkline/area charts so the shape
+// (crescent / triangle / L-shape / bell) is visible directly in terminal
+// output.
+
+#ifndef DYNOPT_UTIL_ASCII_CHART_H_
+#define DYNOPT_UTIL_ASCII_CHART_H_
+
+#include <string>
+#include <vector>
+
+namespace dynopt {
+
+/// Renders `values` as a multi-row ASCII area chart of the given height.
+/// Values are scaled to [0, max]; an optional title line is prepended.
+std::string AsciiAreaChart(const std::vector<double>& values, int height,
+                           const std::string& title = "");
+
+/// Renders `values` as a one-line unicode sparkline using eighth-blocks.
+std::string Sparkline(const std::vector<double>& values);
+
+/// Downsamples `values` to `buckets` points by averaging (for wide vectors).
+std::vector<double> Downsample(const std::vector<double>& values, int buckets);
+
+/// Simple fixed-width table printer: column headers plus string rows.
+std::string FormatTable(const std::vector<std::string>& headers,
+                        const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_UTIL_ASCII_CHART_H_

@@ -1,0 +1,16 @@
+#include "util/cost_meter.h"
+
+#include <sstream>
+
+namespace dynopt {
+
+std::string CostMeter::ToString() const {
+  std::ostringstream os;
+  os << "{pr=" << physical_reads << " pw=" << physical_writes
+     << " lr=" << logical_reads << " cmp=" << key_compares
+     << " eval=" << record_evals << " rid=" << rid_ops
+     << " cost=" << Cost() << "}";
+  return os.str();
+}
+
+}  // namespace dynopt

@@ -1,0 +1,118 @@
+#include "util/key_codec.h"
+
+#include <cstring>
+
+namespace dynopt {
+
+namespace {
+
+void AppendBigEndian64(uint64_t u, std::string* out) {
+  char buf[8];
+  for (int i = 7; i >= 0; --i) {
+    buf[i] = static_cast<char>(u & 0xff);
+    u >>= 8;
+  }
+  out->append(buf, 8);
+}
+
+Status ReadBigEndian64(std::string_view* in, uint64_t* u) {
+  if (in->size() < 8) return Status::Corruption("key too short for 64-bit field");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | static_cast<uint8_t>((*in)[i]);
+  }
+  in->remove_prefix(8);
+  *u = v;
+  return Status::OK();
+}
+
+}  // namespace
+
+void EncodeInt64(int64_t v, std::string* out) {
+  AppendBigEndian64(static_cast<uint64_t>(v) ^ (1ULL << 63), out);
+}
+
+Status DecodeInt64(std::string_view* in, int64_t* v) {
+  uint64_t u;
+  DYNOPT_RETURN_IF_ERROR(ReadBigEndian64(in, &u));
+  *v = static_cast<int64_t>(u ^ (1ULL << 63));
+  return Status::OK();
+}
+
+void EncodeDouble(double v, std::string* out) {
+  uint64_t u;
+  std::memcpy(&u, &v, 8);
+  if (u & (1ULL << 63)) {
+    u = ~u;  // negative: flip everything so more-negative sorts lower
+  } else {
+    u ^= (1ULL << 63);  // positive: set sign bit so positives sort above
+  }
+  AppendBigEndian64(u, out);
+}
+
+Status DecodeDouble(std::string_view* in, double* v) {
+  uint64_t u;
+  DYNOPT_RETURN_IF_ERROR(ReadBigEndian64(in, &u));
+  if (u & (1ULL << 63)) {
+    u ^= (1ULL << 63);
+  } else {
+    u = ~u;
+  }
+  std::memcpy(v, &u, 8);
+  return Status::OK();
+}
+
+void EncodeString(std::string_view v, std::string* out) {
+  for (char c : v) {
+    if (c == '\x00') {
+      out->push_back('\x00');
+      out->push_back('\xff');
+    } else {
+      out->push_back(c);
+    }
+  }
+  out->push_back('\x00');
+  out->push_back('\x01');
+}
+
+Status DecodeString(std::string_view* in, std::string* v) {
+  v->clear();
+  size_t i = 0;
+  while (i < in->size()) {
+    char c = (*in)[i];
+    if (c != '\x00') {
+      v->push_back(c);
+      ++i;
+      continue;
+    }
+    if (i + 1 >= in->size()) {
+      return Status::Corruption("truncated string escape");
+    }
+    char next = (*in)[i + 1];
+    if (next == '\x01') {
+      in->remove_prefix(i + 2);
+      return Status::OK();
+    }
+    if (next == '\xff') {
+      v->push_back('\x00');
+      i += 2;
+      continue;
+    }
+    return Status::Corruption("invalid string escape byte");
+  }
+  return Status::Corruption("unterminated string encoding");
+}
+
+std::string PrefixSuccessor(std::string_view key) {
+  std::string out(key);
+  while (!out.empty()) {
+    if (static_cast<uint8_t>(out.back()) != 0xff) {
+      out.back() = static_cast<char>(static_cast<uint8_t>(out.back()) + 1);
+      return out;
+    }
+    out.pop_back();
+  }
+  return out;  // empty: caller interprets as +infinity
+}
+
+}  // namespace dynopt

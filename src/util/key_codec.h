@@ -1,0 +1,52 @@
+// Order-preserving key encoding.
+//
+// B+-tree keys are byte strings compared with memcmp. The codec maps typed
+// values (int64, double, string) to byte strings such that the byte-wise
+// order of encodings equals the natural order of the values, including
+// across composite (multi-column) keys. This is the standard technique used
+// by production engines (MySQL/InnoDB, CockroachDB, FoundationDB layers).
+//
+// Encodings:
+//   int64   8 bytes big-endian with the sign bit flipped.
+//   double  8 bytes: positive values get the sign bit flipped, negative
+//           values get all bits flipped (IEEE-754 total-order trick).
+//           NaNs are rejected at the expression layer.
+//   string  bytes with 0x00 escaped as {0x00,0xFF}, terminated by
+//           {0x00,0x01}. The terminator sorts below any continuation, so
+//           "ab" < "ab\x00..." < "abc" holds and composite suffixes cannot
+//           bleed across column boundaries.
+//
+// Composite keys are simple concatenations of column encodings.
+
+#ifndef DYNOPT_UTIL_KEY_CODEC_H_
+#define DYNOPT_UTIL_KEY_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace dynopt {
+
+/// Appends the order-preserving encoding of `v` to `*out`.
+void EncodeInt64(int64_t v, std::string* out);
+void EncodeDouble(double v, std::string* out);
+void EncodeString(std::string_view v, std::string* out);
+
+/// Decodes a value from the front of `*in`, advancing `*in` past it.
+/// Returns Corruption when `*in` is too short or malformed.
+Status DecodeInt64(std::string_view* in, int64_t* v);
+Status DecodeDouble(std::string_view* in, double* v);
+Status DecodeString(std::string_view* in, std::string* v);
+
+/// Returns the smallest key strictly greater than every key having `key` as
+/// a prefix — i.e. `key` with a 0xFF... tail conceptually; implemented as the
+/// shortest byte-string successor (increment last non-0xFF byte). Returns an
+/// empty string when `key` is all 0xFF (no successor: caller treats it as
+/// +infinity).
+std::string PrefixSuccessor(std::string_view key);
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_UTIL_KEY_CODEC_H_

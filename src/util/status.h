@@ -1,0 +1,169 @@
+// Status / Result error-handling primitives.
+//
+// dynopt follows the RocksDB/Arrow convention: fallible operations return a
+// Status (or Result<T> when they also produce a value) instead of throwing.
+// Exceptions are never thrown on engine paths.
+
+#ifndef DYNOPT_UTIL_STATUS_H_
+#define DYNOPT_UTIL_STATUS_H_
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace dynopt {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kInvalidArgument = 2,
+  kIOError = 3,
+  kCorruption = 4,
+  kNotSupported = 5,
+  kResourceExhausted = 6,
+  kInternal = 7,
+};
+
+/// Returns a stable human-readable name for a status code ("Ok", "NotFound"...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation: a code plus an optional message.
+///
+/// The OK status carries no allocation; error statuses carry a message.
+/// Statuses are cheap to copy and move.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg = "") {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg = "") {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg = "") {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// A value or an error Status. Modeled after arrow::Result / absl::StatusOr.
+///
+/// Accessing the value of a non-OK Result is a programming error (asserts in
+/// debug builds, undefined in release).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common return path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) status_ = Status::Internal("OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace dynopt
+
+/// Propagates an error status out of the current function.
+#define DYNOPT_RETURN_IF_ERROR(expr)                  \
+  do {                                                \
+    ::dynopt::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                        \
+  } while (0)
+
+#define DYNOPT_CONCAT_IMPL(x, y) x##y
+#define DYNOPT_CONCAT(x, y) DYNOPT_CONCAT_IMPL(x, y)
+
+/// Evaluates a Result<T> expression; on error returns the status, otherwise
+/// move-assigns the value into `lhs` (which may include a declaration).
+#define DYNOPT_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  DYNOPT_ASSIGN_OR_RETURN_IMPL(DYNOPT_CONCAT(_res_, __LINE__), lhs, rexpr)
+
+#define DYNOPT_ASSIGN_OR_RETURN_IMPL(res, lhs, rexpr) \
+  auto res = (rexpr);                                 \
+  if (!res.ok()) return res.status();                 \
+  lhs = std::move(res).value()
+
+#endif  // DYNOPT_UTIL_STATUS_H_

@@ -1,0 +1,208 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "competition/competition.h"
+#include "competition/cost_dist.h"
+#include "util/rng.h"
+
+namespace dynopt {
+namespace {
+
+// -------------------------------------------------- TruncatedHyperbola
+
+TEST(TruncatedHyperbolaCostTest, CdfQuantileInverse) {
+  TruncatedHyperbolaCost d(0.5, 1000.0);
+  for (double p : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    EXPECT_NEAR(d.Cdf(d.Quantile(p)), p, 1e-9);
+  }
+  EXPECT_EQ(d.Cdf(-1.0), 0.0);
+  EXPECT_EQ(d.Cdf(2000.0), 1.0);
+}
+
+TEST(TruncatedHyperbolaCostTest, MeanMatchesMonteCarlo) {
+  TruncatedHyperbolaCost d(1.0, 500.0);
+  Rng rng(1);
+  double sum = 0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) sum += d.Sample(rng);
+  EXPECT_NEAR(sum / n, d.Mean(), d.Mean() * 0.02);
+}
+
+TEST(TruncatedHyperbolaCostTest, LShapeMedianFarBelowMean) {
+  // The defining property the competition exploits: median << mean.
+  TruncatedHyperbolaCost d(0.1, 1000.0);
+  EXPECT_LT(d.Quantile(0.5) * 5, d.Mean());
+}
+
+TEST(TruncatedHyperbolaCostTest, MeanBelowIsConditionalMean) {
+  TruncatedHyperbolaCost d(0.5, 1000.0);
+  double x = d.Quantile(0.5);
+  Rng rng(2);
+  double sum = 0;
+  int cnt = 0;
+  for (int i = 0; i < 400000; ++i) {
+    double v = d.Sample(rng);
+    if (v <= x) {
+      sum += v;
+      cnt++;
+    }
+  }
+  EXPECT_NEAR(sum / cnt, d.MeanBelow(x), d.MeanBelow(x) * 0.05 + 0.01);
+  EXPECT_EQ(d.MeanBelow(-1.0), 0.0);
+}
+
+// ---------------------------------------------------------- Empirical
+
+TEST(EmpiricalCostTest, MatchesSampleStatistics) {
+  EmpiricalCost d({5, 1, 3, 2, 4});
+  EXPECT_DOUBLE_EQ(d.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(d.Cdf(2.5), 0.4);
+  EXPECT_DOUBLE_EQ(d.Cdf(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.Quantile(0.2), 1.0);
+  EXPECT_DOUBLE_EQ(d.Quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(d.MeanBelow(3.5), 2.0);
+  EXPECT_DOUBLE_EQ(d.MaxCost(), 5.0);
+}
+
+TEST(EmpiricalCostTest, HyperbolaSamplesRoundTrip) {
+  TruncatedHyperbolaCost truth(0.5, 100.0);
+  Rng rng(3);
+  std::vector<double> samples;
+  for (int i = 0; i < 200000; ++i) samples.push_back(truth.Sample(rng));
+  EmpiricalCost emp(std::move(samples));
+  EXPECT_NEAR(emp.Mean(), truth.Mean(), truth.Mean() * 0.03);
+  EXPECT_NEAR(emp.Quantile(0.5), truth.Quantile(0.5),
+              truth.Quantile(0.5) * 0.1 + 0.05);
+}
+
+// --------------------------------------------------- DirectCompetition
+
+TEST(DirectCompetitionTest, PaperArithmeticExample) {
+  // §3: with L-shapes (50% of mass in [0, c2], c2 << M1), probing A2 to c2
+  // and then switching costs about (m2 + c2 + M1)/2 — roughly half of M1.
+  TruncatedHyperbolaCost a1(0.05, 2000.0);  // M1 ~ 198
+  TruncatedHyperbolaCost a2(0.05, 3000.0);  // M2 >= M1
+  ASSERT_LE(a1.Mean(), a2.Mean());
+  DirectCompetition comp(&a1, &a2);
+
+  double c2 = a2.Quantile(0.5);  // 50% of mass below c2
+  ASSERT_LT(c2 * 10, a1.Mean()) << "c2 must be << M1 for the paper's setup";
+
+  double expected =
+      0.5 * a2.MeanBelow(c2) + 0.5 * (c2 + a1.Mean());  // the paper formula
+  EXPECT_NEAR(comp.ExpectedProbeThenSwitch(c2), expected, 1e-9);
+  // "about twice smaller than the traditional M1"
+  EXPECT_LT(comp.ExpectedProbeThenSwitch(c2), 0.6 * comp.ExpectedSingleBest());
+  EXPECT_GT(comp.ExpectedProbeThenSwitch(c2), 0.4 * comp.ExpectedSingleBest());
+}
+
+TEST(DirectCompetitionTest, QuadratureMatchesMonteCarlo) {
+  TruncatedHyperbolaCost a1(0.2, 800.0);
+  TruncatedHyperbolaCost a2(0.1, 1500.0);
+  DirectCompetition comp(&a1, &a2);
+  Rng rng(4);
+  for (CompetitionPolicy p : {CompetitionPolicy{1.0, a2.Quantile(0.5)},
+                              CompetitionPolicy{0.5, a2.Quantile(0.6)},
+                              CompetitionPolicy{0.3, a2.Quantile(0.4)}}) {
+    double quad = comp.ExpectedSimultaneous(p, 512);
+    double mc = comp.SimulatePolicy(p, rng, 300000);
+    EXPECT_NEAR(quad, mc, std::max(quad, mc) * 0.03)
+        << "alpha=" << p.alpha << " budget=" << p.budget2;
+  }
+}
+
+TEST(DirectCompetitionTest, ProbeEqualsAlphaOneRace) {
+  TruncatedHyperbolaCost a1(0.2, 800.0);
+  TruncatedHyperbolaCost a2(0.1, 1500.0);
+  DirectCompetition comp(&a1, &a2);
+  double budget = a2.Quantile(0.5);
+  CompetitionPolicy p{1.0, budget};
+  EXPECT_NEAR(comp.ExpectedSimultaneous(p, 1024),
+              comp.ExpectedProbeThenSwitch(budget),
+              comp.ExpectedProbeThenSwitch(budget) * 0.02);
+}
+
+TEST(DirectCompetitionTest, RaceCostCases) {
+  CompetitionPolicy p{0.5, 10.0};
+  // A2 wins before budget: total = w2/alpha.
+  EXPECT_DOUBLE_EQ(DirectCompetition::RaceCost(100.0, 4.0, p), 8.0);
+  // A1 wins first: total = w1/(1-alpha).
+  EXPECT_DOUBLE_EQ(DirectCompetition::RaceCost(3.0, 100.0, p), 6.0);
+  // Budget wall: tb = 20, A1 progress 10, remaining 90: total 110.
+  EXPECT_DOUBLE_EQ(DirectCompetition::RaceCost(100.0, 50.0, p), 110.0);
+  // Pure probe (alpha = 1): no A1 progress during probe.
+  CompetitionPolicy probe{1.0, 10.0};
+  EXPECT_DOUBLE_EQ(DirectCompetition::RaceCost(100.0, 50.0, probe), 110.0);
+  EXPECT_DOUBLE_EQ(DirectCompetition::RaceCost(100.0, 7.0, probe), 7.0);
+  // All effort on A1 (alpha = 0).
+  CompetitionPolicy a1_only{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(DirectCompetition::RaceCost(42.0, 5.0, a1_only), 42.0);
+}
+
+TEST(DirectCompetitionTest, OptimizedCompetitionBeatsSingleBest) {
+  // On heavy L-shapes every competition arrangement should win big, and the
+  // proportional simultaneous race should be at least as good as the pure
+  // probe (§3's "still better approach").
+  TruncatedHyperbolaCost a1(0.02, 1000.0);
+  TruncatedHyperbolaCost a2(0.02, 1200.0);
+  DirectCompetition comp(&a1, &a2);
+  auto r = comp.Optimize(24);
+  EXPECT_LT(r.best_probe, r.single_best * 0.75);
+  EXPECT_LE(r.best_simultaneous, r.best_probe * 1.02);
+  EXPECT_GT(r.best_alpha, 0.0);
+  EXPECT_LT(r.best_alpha, 1.0);
+}
+
+TEST(DirectCompetitionTest, NoAdvantageWhenCostsAreCertain) {
+  // Point-like (narrow) costs: probing the worse plan only adds overhead,
+  // and the optimizer should fall back to (near) single-best.
+  EmpiricalCost a1({100.0, 101.0, 99.0});
+  EmpiricalCost a2({150.0, 151.0, 149.0});
+  DirectCompetition comp(&a1, &a2);
+  auto r = comp.Optimize(16);
+  EXPECT_GE(r.best_probe, r.single_best * 0.99);
+}
+
+// --------------------------------------------------- TwoStageCompetition
+
+TEST(TwoStageCompetitionTest, DynamicNeverWorseThanStatic) {
+  TruncatedHyperbolaCost stage2(0.05, 2000.0);
+  for (double alt : {50.0, 200.0, 1000.0}) {
+    TwoStageCompetition ts(5.0, &stage2, alt);
+    EXPECT_LE(ts.ExpectedDynamic(0.95), ts.ExpectedStatic() + 5.0 + 1e-6)
+        << "alt=" << alt;
+  }
+}
+
+TEST(TwoStageCompetitionTest, BigWinWhenStage2IsUncertain) {
+  // Stage 1 costs 1% of the alternative; stage 2 is hyperbola-distributed
+  // with a huge tail. Observing stage 2's true cost before committing
+  // should cut the expectation far below both static options.
+  TruncatedHyperbolaCost stage2(0.05, 5000.0);
+  double alt = stage2.Mean();  // evenly matched statically
+  TwoStageCompetition ts(alt * 0.01, &stage2, alt);
+  EXPECT_LT(ts.ExpectedDynamic(0.95), 0.6 * ts.ExpectedStatic());
+}
+
+TEST(TwoStageCompetitionTest, QuadratureMatchesMonteCarlo) {
+  TruncatedHyperbolaCost stage2(0.1, 1000.0);
+  TwoStageCompetition ts(3.0, &stage2, 120.0);
+  Rng rng(5);
+  double quad = ts.ExpectedDynamic(0.95);
+  double mc = ts.SimulateDynamic(0.95, rng, 400000);
+  EXPECT_NEAR(quad, mc, quad * 0.03);
+}
+
+TEST(TwoStageCompetitionTest, ThetaBelowOneGivesUpLittle) {
+  // The 95% early-termination margin costs almost nothing vs theta = 1
+  // (it only misroutes outcomes in the narrow [0.95·M1, M1) band).
+  TruncatedHyperbolaCost stage2(0.05, 2000.0);
+  TwoStageCompetition ts(2.0, &stage2, 200.0);
+  double at_1 = ts.ExpectedDynamic(1.0);
+  double at_95 = ts.ExpectedDynamic(0.95);
+  EXPECT_LT(std::abs(at_95 - at_1), 0.02 * at_1);
+}
+
+}  // namespace
+}  // namespace dynopt

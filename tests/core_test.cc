@@ -1,0 +1,989 @@
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "catalog/database.h"
+#include "core/access_path.h"
+#include "core/jscan.h"
+#include "core/plan.h"
+#include "core/retrieval.h"
+#include "core/static_optimizer.h"
+#include "util/rng.h"
+
+namespace dynopt {
+namespace {
+
+// Test database: FAMILIES(id, age, income, city) — the paper's motivating
+// table, with indexes created per test.
+struct Families {
+  Database db;
+  Table* table = nullptr;
+
+  explicit Families(int n = 5000, size_t pool_pages = 4096)
+      : db(DatabaseOptions{.pool_pages = pool_pages}) {
+    auto t = db.CreateTable(
+        "families", Schema({{"id", ValueType::kInt64},
+                            {"age", ValueType::kInt64},
+                            {"income", ValueType::kInt64},
+                            {"city", ValueType::kString}}));
+    EXPECT_TRUE(t.ok());
+    table = *t;
+    Rng rng(42);
+    for (int i = 0; i < n; ++i) {
+      int64_t age = rng.NextInt(0, 99);
+      int64_t income = rng.NextInt(0, 200000);
+      std::string city = "city" + std::to_string(rng.NextBounded(50));
+      EXPECT_TRUE(
+          table->Insert(Record{int64_t{i}, age, income, city}).ok());
+    }
+  }
+
+  void Index(const std::string& name, std::vector<std::string> cols) {
+    auto idx = table->CreateIndex(name, cols);
+    ASSERT_TRUE(idx.ok()) << idx.status();
+  }
+
+  RetrievalSpec Spec(PredicateRef pred, std::vector<uint32_t> proj,
+                     OptimizationGoal goal = OptimizationGoal::kTotalTime) {
+    RetrievalSpec s;
+    s.table = table;
+    s.restriction = std::move(pred);
+    s.projection = std::move(proj);
+    s.goal = goal;
+    return s;
+  }
+};
+
+std::multiset<uint64_t> DrainRids(DynamicRetrieval* engine) {
+  std::multiset<uint64_t> rids;
+  OutputRow row;
+  for (;;) {
+    auto more = engine->Next(&row);
+    EXPECT_TRUE(more.ok()) << more.status();
+    if (!more.ok() || !*more) break;
+    rids.insert(row.rid.ToU64());
+  }
+  return rids;
+}
+
+std::multiset<uint64_t> NaiveRids(Database* db, const RetrievalSpec& spec,
+                                  const ParamMap& params) {
+  std::multiset<uint64_t> rids;
+  TscanStepper scan(db->pool(), spec, params);
+  std::vector<OutputRow> rows;
+  for (;;) {
+    auto more = scan.Step(&rows);
+    EXPECT_TRUE(more.ok()) << more.status();
+    if (!*more) break;
+  }
+  for (const auto& r : rows) rids.insert(r.rid.ToU64());
+  return rids;
+}
+
+bool TraceContains(const DynamicRetrieval& e, const std::string& needle) {
+  for (const auto& line : e.trace()) {
+    if (line.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+PredicateRef AgeGe(Operand op) {
+  return Predicate::Compare(1, CompareOp::kGe, std::move(op));
+}
+PredicateRef AgeBetween(int64_t lo, int64_t hi) {
+  return Predicate::Between(1, Operand::Literal(Value(lo)),
+                            Operand::Literal(Value(hi)));
+}
+
+// ---------------------------------------------------------- access paths
+
+TEST(AccessPathTest, ClassifiesIndexes) {
+  Families f(2000);
+  f.Index("by_age", {"age"});
+  f.Index("by_age_income", {"age", "income"});
+  f.Index("by_city", {"city"});
+
+  RetrievalSpec spec = f.Spec(AgeBetween(10, 20), {1, 2});
+  ParamMap params;
+  auto a = AnalyzeAccessPaths(spec, params);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_EQ(a->indexes.size(), 3u);
+  EXPECT_TRUE(a->indexes[0].has_restriction);       // by_age
+  EXPECT_FALSE(a->indexes[0].self_sufficient);      // lacks income
+  EXPECT_TRUE(a->indexes[1].self_sufficient);       // (age, income)
+  EXPECT_FALSE(a->indexes[2].has_restriction);      // by_city
+  EXPECT_EQ(a->best_self_sufficient, 1);
+  EXPECT_FALSE(a->empty_shortcut);
+}
+
+TEST(AccessPathTest, EmptyShortcutFromContradiction) {
+  Families f(500);
+  f.Index("by_age", {"age"});
+  auto pred = Predicate::And({AgeGe(Operand::Literal(Value(int64_t{50}))),
+                              Predicate::Compare(
+                                  1, CompareOp::kLt,
+                                  Operand::Literal(Value(int64_t{10})))});
+  RetrievalSpec spec = f.Spec(pred, {0});
+  ParamMap params;
+  auto a = AnalyzeAccessPaths(spec, params);
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(a->empty_shortcut);
+}
+
+TEST(AccessPathTest, OrderNeededDetection) {
+  Families f(500);
+  f.Index("by_age", {"age"});
+  f.Index("by_income", {"income"});
+  RetrievalSpec spec = f.Spec(Predicate::True(), {1});
+  spec.order_by_column = 1;  // age
+  ParamMap params;
+  auto a = AnalyzeAccessPaths(spec, params);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->order_needed, 0);
+  EXPECT_TRUE(a->indexes[0].order_needed);
+  EXPECT_FALSE(a->indexes[1].order_needed);
+}
+
+TEST(AccessPathTest, JscanOrderAscendingByEstimate) {
+  Families f(5000);
+  f.Index("by_age", {"age"});     // restriction: 50% of rows
+  f.Index("by_income", {"income"});  // restriction: ~1% of rows
+  auto pred = Predicate::And(
+      {AgeGe(Operand::Literal(Value(int64_t{50}))),
+       Predicate::Compare(2, CompareOp::kLt,
+                          Operand::Literal(Value(int64_t{2000})))});
+  RetrievalSpec spec = f.Spec(pred, {0});
+  ParamMap params;
+  auto a = AnalyzeAccessPaths(spec, params);
+  ASSERT_TRUE(a.ok());
+  ASSERT_EQ(a->jscan_order.size(), 2u);
+  EXPECT_EQ(a->indexes[a->jscan_order[0]].index->name(), "by_income");
+  EXPECT_EQ(a->indexes[a->jscan_order[1]].index->name(), "by_age");
+}
+
+// ------------------------------------------------------ tactic selection
+
+TEST(TacticTest, NoIndexesMeansStaticTscan) {
+  Families f(500);
+  DynamicRetrieval engine(&f.db, f.Spec(AgeBetween(10, 20), {0, 1}));
+  ParamMap params;
+  ASSERT_TRUE(engine.Open(params).ok());
+  EXPECT_EQ(engine.tactic(), Tactic::kStaticTscan);
+  EXPECT_EQ(DrainRids(&engine), NaiveRids(&f.db, engine.analysis().indexes
+                                                     .empty()
+                                              ? f.Spec(AgeBetween(10, 20),
+                                                       {0, 1})
+                                              : f.Spec(AgeBetween(10, 20),
+                                                       {0, 1}),
+                                          params));
+}
+
+TEST(TacticTest, EmptyRangeShortcut) {
+  Families f(500);
+  f.Index("by_age", {"age"});
+  DynamicRetrieval engine(&f.db,
+                          f.Spec(AgeGe(Operand::Literal(Value(int64_t{100}))),
+                                 {0}));
+  ParamMap params;
+  CostMeter before = f.db.meter();
+  ASSERT_TRUE(engine.Open(params).ok());
+  EXPECT_EQ(engine.tactic(), Tactic::kShortcutEmpty);
+  OutputRow row;
+  auto more = engine.Next(&row);
+  ASSERT_TRUE(more.ok());
+  EXPECT_FALSE(*more);
+  // The whole run costs a handful of index-page reads (OLTP shortcut).
+  EXPECT_LT((f.db.meter() - before).logical_reads, 10u);
+}
+
+TEST(TacticTest, TinyRangeShortcut) {
+  Families f(5000);
+  f.Index("by_id", {"id"});
+  auto pred = Predicate::Compare(0, CompareOp::kEq,
+                                 Operand::Literal(Value(int64_t{777})));
+  DynamicRetrieval engine(&f.db, f.Spec(pred, {0, 1}));
+  ParamMap params;
+  ASSERT_TRUE(engine.Open(params).ok());
+  EXPECT_EQ(engine.tactic(), Tactic::kShortcutTiny);
+  auto rids = DrainRids(&engine);
+  EXPECT_EQ(rids.size(), 1u);
+}
+
+TEST(TacticTest, TotalTimeWithFetchNeededIndexIsBackgroundOnly) {
+  Families f(5000);
+  f.Index("by_age", {"age"});
+  DynamicRetrieval engine(&f.db, f.Spec(AgeBetween(10, 15), {0, 3}));
+  ParamMap params;
+  ASSERT_TRUE(engine.Open(params).ok());
+  EXPECT_EQ(engine.tactic(), Tactic::kBackgroundOnly);
+  EXPECT_EQ(DrainRids(&engine),
+            NaiveRids(&f.db, f.Spec(AgeBetween(10, 15), {0, 3}), params));
+}
+
+TEST(TacticTest, FastFirstGoalUsesFastFirstTactic) {
+  Families f(5000);
+  f.Index("by_age", {"age"});
+  DynamicRetrieval engine(
+      &f.db,
+      f.Spec(AgeBetween(10, 15), {0, 3}, OptimizationGoal::kFastFirst));
+  ParamMap params;
+  ASSERT_TRUE(engine.Open(params).ok());
+  EXPECT_EQ(engine.tactic(), Tactic::kFastFirst);
+  EXPECT_EQ(DrainRids(&engine),
+            NaiveRids(&f.db, f.Spec(AgeBetween(10, 15), {0, 3}), params));
+}
+
+TEST(TacticTest, OrderedRequestUsesSortedTactic) {
+  Families f(5000);
+  f.Index("by_age", {"age"});
+  f.Index("by_income", {"income"});
+  auto pred = Predicate::And(
+      {AgeBetween(10, 60),
+       Predicate::Compare(2, CompareOp::kLt,
+                          Operand::Literal(Value(int64_t{50000})))});
+  RetrievalSpec spec = f.Spec(pred, {0, 1, 2}, OptimizationGoal::kFastFirst);
+  spec.order_by_column = 1;
+  DynamicRetrieval engine(&f.db, spec);
+  ParamMap params;
+  ASSERT_TRUE(engine.Open(params).ok());
+  EXPECT_EQ(engine.tactic(), Tactic::kSorted);
+  EXPECT_TRUE(engine.delivers_order());
+
+  // Rows must come out age-ascending and match the naive set.
+  std::multiset<uint64_t> rids;
+  OutputRow row;
+  int64_t last_age = -1;
+  for (;;) {
+    auto more = engine.Next(&row);
+    ASSERT_TRUE(more.ok()) << more.status();
+    if (!*more) break;
+    EXPECT_GE(row.values[1].AsInt64(), last_age);
+    last_age = row.values[1].AsInt64();
+    rids.insert(row.rid.ToU64());
+  }
+  EXPECT_EQ(rids, NaiveRids(&f.db, spec, params));
+}
+
+TEST(TacticTest, CoveringPlusFetchNeededUsesIndexOnly) {
+  Families f(5000);
+  f.Index("by_age_income", {"age", "income"});
+  f.Index("by_income", {"income"});
+  auto pred = Predicate::And(
+      {AgeBetween(20, 60),
+       Predicate::Compare(2, CompareOp::kLt,
+                          Operand::Literal(Value(int64_t{10000})))});
+  RetrievalSpec spec = f.Spec(pred, {1, 2});
+  DynamicRetrieval engine(&f.db, spec);
+  ParamMap params;
+  ASSERT_TRUE(engine.Open(params).ok());
+  EXPECT_EQ(engine.tactic(), Tactic::kIndexOnly);
+  EXPECT_EQ(DrainRids(&engine), NaiveRids(&f.db, spec, params));
+}
+
+TEST(TacticTest, CoveringIndexAloneIsStaticSscan) {
+  Families f(2000);
+  f.Index("by_age_income", {"age", "income"});
+  auto pred = AgeBetween(10, 90);  // wide: not tiny
+  RetrievalSpec spec = f.Spec(pred, {1, 2});
+  DynamicRetrieval engine(&f.db, spec);
+  ParamMap params;
+  ASSERT_TRUE(engine.Open(params).ok());
+  EXPECT_EQ(engine.tactic(), Tactic::kStaticSscan);
+  EXPECT_EQ(DrainRids(&engine), NaiveRids(&f.db, spec, params));
+}
+
+// --------------------------------------------- the paper's §4 example
+
+TEST(HostVariableTest, DynamicEngineAdaptsPerRun) {
+  // select * from FAMILIES where AGE >= :A1 — :A1 = 0 delivers everything
+  // (sequential wins), :A1 = 95 delivers little (index wins), :A1 = 200
+  // delivers nothing (the empty shortcut wins). One engine, three runs.
+  Families f(8000);
+  f.Index("by_age", {"age"});
+  RetrievalSpec spec = f.Spec(AgeGe(Operand::HostVar("A1")), {0, 1, 2, 3});
+  DynamicRetrieval engine(&f.db, spec);
+
+  // Run 1: A1 = 0 — everything qualifies; Jscan must conclude Tscan.
+  ParamMap run1{{"A1", Value(int64_t{0})}};
+  ASSERT_TRUE(engine.Open(run1).ok());
+  auto rids1 = DrainRids(&engine);
+  EXPECT_EQ(rids1.size(), 8000u);
+  EXPECT_TRUE(TraceContains(engine, "tscan"))
+      << "wide range should end in a table scan";
+  double cost1 = engine.CostSinceOpen().Cost(f.db.cost_weights());
+
+  // Run 2: A1 = 95 — ~5% qualify; the index path must be taken.
+  ParamMap run2{{"A1", Value(int64_t{95})}};
+  ASSERT_TRUE(engine.Open(run2).ok());
+  auto rids2 = DrainRids(&engine);
+  EXPECT_EQ(rids2, NaiveRids(&f.db, spec, run2));
+  EXPECT_GT(rids2.size(), 100u);
+  EXPECT_LT(rids2.size(), 1000u);
+
+  // Run 3: A1 = 200 — nothing qualifies: immediate end of data.
+  ParamMap run3{{"A1", Value(int64_t{200})}};
+  ASSERT_TRUE(engine.Open(run3).ok());
+  EXPECT_EQ(engine.tactic(), Tactic::kShortcutEmpty);
+  EXPECT_TRUE(DrainRids(&engine).empty());
+  double cost3 = engine.CostSinceOpen().Cost(f.db.cost_weights());
+  EXPECT_LT(cost3 * 50, cost1) << "empty run must be orders cheaper";
+}
+
+// ----------------------------------------------------------------- Jscan
+
+struct JscanFixture {
+  Families f;
+  PredicateRef pred;
+  RetrievalSpec spec;
+  ParamMap params;
+  AccessPathAnalysis analysis;
+
+  JscanFixture(int n, PredicateRef p, std::vector<std::string> index_cols)
+      : f(n) {
+    for (size_t i = 0; i < index_cols.size(); ++i) {
+      f.Index("idx" + std::to_string(i), {index_cols[i]});
+    }
+    pred = std::move(p);
+    spec = f.Spec(pred, {0});
+    auto a = AnalyzeAccessPaths(spec, params);
+    EXPECT_TRUE(a.ok());
+    analysis = std::move(*a);
+  }
+
+  std::vector<const IndexClassification*> Candidates() {
+    std::vector<const IndexClassification*> out;
+    for (size_t pos : analysis.jscan_order) {
+      out.push_back(&analysis.indexes[pos]);
+    }
+    return out;
+  }
+};
+
+TEST(JscanTest, IntersectsTwoIndexes) {
+  // income < 4000 is ~2% and age <= 3 is ~4%: their intersection (~0.08%)
+  // is far below one-RID-per-page density, so completing the second scan
+  // decisively beats fetching the first list alone.
+  auto pred = Predicate::And(
+      {Predicate::Between(1, Operand::Literal(Value(int64_t{0})),
+                          Operand::Literal(Value(int64_t{3}))),
+       Predicate::Compare(2, CompareOp::kLt,
+                          Operand::Literal(Value(int64_t{4000})))});
+  JscanFixture jf(30000, pred, {"age", "income"});
+  Jscan jscan(&jf.f.db, jf.spec, jf.params, jf.Candidates(), Jscan::Options());
+  ASSERT_TRUE(jscan.RunToCompletion().ok());
+  ASSERT_EQ(jscan.phase(), Jscan::Phase::kComplete);
+
+  auto rids = jscan.final_list()->ToSortedVector();
+  ASSERT_TRUE(rids.ok());
+  // The final list must contain every truly-matching RID (it may contain
+  // extras only if a bitmap filter was involved).
+  auto naive = NaiveRids(&jf.f.db, jf.spec, jf.params);
+  std::set<uint64_t> final_set;
+  for (const Rid& r : *rids) final_set.insert(r.ToU64());
+  for (uint64_t r : naive) {
+    EXPECT_TRUE(final_set.count(r) > 0) << "missing rid " << r;
+  }
+  EXPECT_GE(final_set.size(), naive.size());
+  // And it is a real intersection: far smaller than either range alone
+  // (~600 and ~1200 entries respectively).
+  EXPECT_LT(final_set.size(), 100u);
+  // Both indexes contributed a completed list.
+  int completed = 0;
+  for (const auto& o : jscan.outcomes()) {
+    if (o.kind == Jscan::IndexOutcomeKind::kCompleted) completed++;
+  }
+  EXPECT_EQ(completed, 2);
+}
+
+TEST(JscanTest, UnproductiveWideIndexGetsSkippedOrDiscarded) {
+  // income < 1000 is ~0.5%; age >= 10 is 90% — the age index cannot pay
+  // off and must not be scanned to completion.
+  auto pred = Predicate::And(
+      {AgeGe(Operand::Literal(Value(int64_t{10}))),
+       Predicate::Compare(2, CompareOp::kLt,
+                          Operand::Literal(Value(int64_t{1000})))});
+  JscanFixture jf(8000, pred, {"age", "income"});
+  Jscan jscan(&jf.f.db, jf.spec, jf.params, jf.Candidates(), Jscan::Options());
+  ASSERT_TRUE(jscan.RunToCompletion().ok());
+  ASSERT_EQ(jscan.phase(), Jscan::Phase::kComplete);
+  bool age_unproductive = false;
+  for (const auto& o : jscan.outcomes()) {
+    if (o.index_name == "idx0" &&
+        o.kind != Jscan::IndexOutcomeKind::kCompleted) {
+      age_unproductive = true;
+      // If it was started at all, it must have stopped early.
+      EXPECT_LT(o.entries_scanned, 7000u);
+    }
+  }
+  EXPECT_TRUE(age_unproductive);
+}
+
+TEST(JscanTest, AllWideIndexesRecommendTscan) {
+  auto pred = AgeGe(Operand::Literal(Value(int64_t{1})));  // ~99%
+  JscanFixture jf(8000, pred, {"age"});
+  Jscan jscan(&jf.f.db, jf.spec, jf.params, jf.Candidates(), Jscan::Options());
+  ASSERT_TRUE(jscan.RunToCompletion().ok());
+  EXPECT_EQ(jscan.phase(), Jscan::Phase::kTscanRecommended);
+  EXPECT_EQ(jscan.final_list(), nullptr);
+}
+
+TEST(JscanTest, StaticThresholdBaselineNeverAborts) {
+  // Same workload as the discard test, but [MoHa90]-style: scans it ever
+  // starts run to completion.
+  auto pred = Predicate::And(
+      {AgeGe(Operand::Literal(Value(int64_t{10}))),
+       Predicate::Compare(2, CompareOp::kLt,
+                          Operand::Literal(Value(int64_t{1000})))});
+  JscanFixture jf(8000, pred, {"age", "income"});
+  Jscan::Options opt;
+  opt.dynamic_thresholds = false;
+  Jscan jscan(&jf.f.db, jf.spec, jf.params, jf.Candidates(), opt);
+  ASSERT_TRUE(jscan.RunToCompletion().ok());
+  for (const auto& o : jscan.outcomes()) {
+    EXPECT_NE(o.kind, Jscan::IndexOutcomeKind::kDiscarded)
+        << o.index_name << " was aborted mid-scan in static mode";
+  }
+}
+
+TEST(JscanTest, MisorderedCandidatesGetReordered) {
+  // Feed candidates in deliberately wrong order (wide index first): the
+  // adjacent simultaneous race must let the narrow index win.
+  auto pred = Predicate::And(
+      {AgeBetween(0, 60),  // ~60%
+       Predicate::Compare(2, CompareOp::kLt,
+                          Operand::Literal(Value(int64_t{4000})))});  // ~2%
+  JscanFixture jf(8000, pred, {"age", "income"});
+  auto cands = jf.Candidates();
+  ASSERT_EQ(cands.size(), 2u);
+  // jscan_order put income first; flip it.
+  std::swap(cands[0], cands[1]);
+  Jscan::Options opt;
+  opt.switch_threshold = 10.0;  // suppress discards; isolate the race
+  opt.scan_cost_limit_fraction = 100.0;
+  Jscan jscan(&jf.f.db, jf.spec, jf.params, cands, opt);
+  ASSERT_TRUE(jscan.RunToCompletion().ok());
+  ASSERT_EQ(jscan.phase(), Jscan::Phase::kComplete);
+  EXPECT_TRUE(jscan.reordered());
+  ASSERT_FALSE(jscan.completed_order().empty());
+  EXPECT_EQ(jscan.completed_order()[0], "idx1");  // income finished first
+}
+
+TEST(JscanTest, BorrowedRidsComeFromTheLiveList) {
+  auto pred = AgeBetween(10, 15);
+  JscanFixture jf(8000, pred, {"age"});
+  Jscan jscan(&jf.f.db, jf.spec, jf.params, jf.Candidates(), Jscan::Options());
+  std::set<uint64_t> borrowed;
+  for (int i = 0; i < 100000 && jscan.phase() == Jscan::Phase::kScanning;
+       ++i) {
+    auto more = jscan.Step();
+    ASSERT_TRUE(more.ok());
+    auto rid = jscan.BorrowNextRid();
+    if (rid.has_value()) borrowed.insert(rid->ToU64());
+    if (!*more) break;
+  }
+  EXPECT_GT(borrowed.size(), 0u);
+  auto naive = NaiveRids(&jf.f.db, jf.spec, jf.params);
+  std::set<uint64_t> naive_set(naive.begin(), naive.end());
+  for (uint64_t b : borrowed) {
+    EXPECT_TRUE(naive_set.count(b)) << "borrowed rid outside the range";
+  }
+}
+
+// ----------------------------------------------------- static optimizer
+
+TEST(StaticOptimizerTest, PicksIndexForSelectiveLiteral) {
+  Families f(8000);
+  f.Index("by_income", {"income"});
+  // income < 500 is ~20 rows: cheap enough to beat Tscan even under the
+  // static model's per-tuple random-fetch costing.
+  RetrievalSpec spec = f.Spec(
+      Predicate::Compare(2, CompareOp::kLt,
+                         Operand::Literal(Value(int64_t{500}))),
+      {0, 1});
+  ParamMap none;
+  auto choice = ChooseStaticPlan(&f.db, spec, none);
+  ASSERT_TRUE(choice.ok());
+  EXPECT_EQ(choice->kind, StaticPlanChoice::Kind::kFscan);
+  EXPECT_FALSE(choice->used_magic_selectivity);
+
+  StaticRetrieval exec(&f.db, spec, *choice);
+  ASSERT_TRUE(exec.Open(none).ok());
+  std::multiset<uint64_t> rids;
+  OutputRow row;
+  for (;;) {
+    auto more = exec.Next(&row);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    rids.insert(row.rid.ToU64());
+  }
+  EXPECT_EQ(rids, NaiveRids(&f.db, spec, none));
+}
+
+TEST(StaticOptimizerTest, PicksTscanForWideLiteral) {
+  Families f(8000);
+  f.Index("by_age", {"age"});
+  RetrievalSpec spec = f.Spec(AgeGe(Operand::Literal(Value(int64_t{1}))),
+                              {0, 1});
+  ParamMap none;
+  auto choice = ChooseStaticPlan(&f.db, spec, none);
+  ASSERT_TRUE(choice.ok());
+  EXPECT_EQ(choice->kind, StaticPlanChoice::Kind::kTscan);
+}
+
+TEST(StaticOptimizerTest, HostVariableForcesMagicGuess) {
+  Families f(8000);
+  f.Index("by_age", {"age"});
+  RetrievalSpec spec = f.Spec(AgeGe(Operand::HostVar("A1")), {0, 1});
+  ParamMap none;  // compile time: A1 unknown
+  auto choice = ChooseStaticPlan(&f.db, spec, none);
+  ASSERT_TRUE(choice.ok());
+  EXPECT_TRUE(choice->used_magic_selectivity);
+  // System R's 1/3 range-selectivity guess makes the index look too
+  // expensive: the frozen plan is a table scan regardless of :A1.
+  EXPECT_EQ(choice->kind, StaticPlanChoice::Kind::kTscan);
+  // Whatever it picked, it is frozen: both runs use the same plan kind.
+  StaticRetrieval exec(&f.db, spec, *choice);
+  for (int64_t a1 : {0, 95}) {
+    ParamMap run{{"A1", Value(a1)}};
+    ASSERT_TRUE(exec.Open(run).ok());
+    std::multiset<uint64_t> rids;
+    OutputRow row;
+    for (;;) {
+      auto more = exec.Next(&row);
+      ASSERT_TRUE(more.ok());
+      if (!*more) break;
+      rids.insert(row.rid.ToU64());
+    }
+    EXPECT_EQ(rids, NaiveRids(&f.db, spec, run)) << "A1=" << a1;
+  }
+}
+
+TEST(StaticOptimizerTest, SscanWhenIndexCovers) {
+  Families f(8000);
+  f.Index("by_age_income", {"age", "income"});
+  RetrievalSpec spec = f.Spec(AgeBetween(10, 12), {1, 2});
+  ParamMap none;
+  auto choice = ChooseStaticPlan(&f.db, spec, none);
+  ASSERT_TRUE(choice.ok());
+  EXPECT_EQ(choice->kind, StaticPlanChoice::Kind::kSscan);
+}
+
+// -------------------------------------------------------- goal inference
+
+TEST(GoalInferenceTest, PaperExampleChain) {
+  // The paper's example: LIMIT controls C (fast-first), DISTINCT controls
+  // B (total-time), explicit TOTAL TIME for A.
+  Families f(100);
+  f.Index("by_age", {"age"});
+
+  // "limit to 2 rows" over a retrieval.
+  auto c = PlanNode::Limit(
+      PlanNode::Retrieve(f.Spec(Predicate::True(), {0})), 2);
+  InferGoals(c.get(), OptimizationGoal::kTotalTime);
+  EXPECT_EQ(c->child->spec.goal, OptimizationGoal::kFastFirst);
+
+  // "select distinct" over a retrieval.
+  auto b = PlanNode::Distinct(PlanNode::Retrieve(f.Spec(Predicate::True(),
+                                                        {1})));
+  InferGoals(b.get(), OptimizationGoal::kFastFirst);
+  EXPECT_EQ(b->child->spec.goal, OptimizationGoal::kTotalTime);
+
+  // Explicit user request survives inference.
+  RetrievalSpec explicit_spec = f.Spec(Predicate::True(), {0});
+  explicit_spec.goal = OptimizationGoal::kFastFirst;
+  explicit_spec.goal_is_explicit = true;
+  auto a = PlanNode::Aggregate(PlanNode::Retrieve(explicit_spec),
+                               AggregateKind::kCount);
+  InferGoals(a.get(), OptimizationGoal::kTotalTime);
+  EXPECT_EQ(a->child->spec.goal, OptimizationGoal::kFastFirst);
+}
+
+TEST(GoalInferenceTest, NearestControllerWins) {
+  Families f(100);
+  // SORT over LIMIT over retrieve: LIMIT is nearer → fast-first.
+  auto plan = PlanNode::Sort(
+      PlanNode::Limit(PlanNode::Retrieve(f.Spec(Predicate::True(), {0})), 5),
+      0);
+  InferGoals(plan.get(), OptimizationGoal::kTotalTime);
+  EXPECT_EQ(plan->child->child->spec.goal, OptimizationGoal::kFastFirst);
+
+  // LIMIT over SORT over retrieve: SORT is nearer → total-time (a sort
+  // must consume everything no matter the limit above it).
+  auto plan2 = PlanNode::Limit(
+      PlanNode::Sort(PlanNode::Retrieve(f.Spec(Predicate::True(), {0})), 0),
+      5);
+  InferGoals(plan2.get(), OptimizationGoal::kFastFirst);
+  EXPECT_EQ(plan2->child->child->spec.goal, OptimizationGoal::kTotalTime);
+
+  // EXISTS → fast-first.
+  auto plan3 =
+      PlanNode::Exists(PlanNode::Retrieve(f.Spec(Predicate::True(), {0})));
+  InferGoals(plan3.get(), OptimizationGoal::kTotalTime);
+  EXPECT_EQ(plan3->child->spec.goal, OptimizationGoal::kFastFirst);
+}
+
+TEST(PlanCompileTest, EndToEndLimitQuery) {
+  Families f(3000);
+  f.Index("by_age", {"age"});
+  ParamMap params;
+  auto plan = PlanNode::Limit(
+      PlanNode::Retrieve(f.Spec(AgeBetween(20, 40), {0, 1})), 7);
+  InferGoals(plan.get(), OptimizationGoal::kTotalTime);
+  auto op = CompilePlan(&f.db, *plan, &params);
+  ASSERT_TRUE(op.ok());
+  ASSERT_TRUE((*op)->Open().ok());
+  std::vector<Value> row;
+  int n = 0;
+  for (;;) {
+    auto more = (*op)->Next(&row);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    n++;
+    EXPECT_GE(row[1].AsInt64(), 20);
+    EXPECT_LE(row[1].AsInt64(), 40);
+  }
+  EXPECT_EQ(n, 7);
+}
+
+TEST(PlanCompileTest, OrderBySortFallbackWithoutOrderIndex) {
+  Families f(2000);
+  f.Index("by_income", {"income"});
+  ParamMap params;
+  RetrievalSpec spec = f.Spec(
+      Predicate::Compare(2, CompareOp::kLt,
+                         Operand::Literal(Value(int64_t{20000}))),
+      {1, 2});
+  spec.order_by_column = 1;  // age — no index on age
+  auto plan = PlanNode::Retrieve(spec);
+  auto op = CompilePlan(&f.db, *plan, &params);
+  ASSERT_TRUE(op.ok());
+  ASSERT_TRUE((*op)->Open().ok());
+  std::vector<Value> row;
+  int64_t last = -1;
+  int n = 0;
+  for (;;) {
+    auto more = (*op)->Next(&row);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    EXPECT_GE(row[0].AsInt64(), last);
+    last = row[0].AsInt64();
+    n++;
+  }
+  EXPECT_GT(n, 0);
+}
+
+// ----------------------------------------- foreground/background switches
+
+TEST(RaceTest, FastFirstBufferOverflowFallsBackToBackground) {
+  Families f(8000);
+  f.Index("by_age", {"age"});
+  RetrievalOptions opt;
+  opt.fgr_buffer_capacity = 8;   // force the overflow quickly
+  opt.fgr_bgr_cost_ratio = 0.0;  // starve the background: fgr races ahead
+  RetrievalSpec spec =
+      f.Spec(AgeBetween(10, 15), {0, 1}, OptimizationGoal::kFastFirst);
+  DynamicRetrieval engine(&f.db, spec, opt);
+  ParamMap params;
+  ASSERT_TRUE(engine.Open(params).ok());
+  auto rids = DrainRids(&engine);
+  EXPECT_EQ(rids, NaiveRids(&f.db, spec, params));
+  EXPECT_TRUE(TraceContains(engine, "fgr buffer overflow"));
+}
+
+TEST(RaceTest, IndexOnlySurvivesJscanTermination) {
+  Families f(8000);
+  f.Index("by_age_income", {"age", "income"});
+  f.Index("by_income", {"income"});
+  auto pred = Predicate::And(
+      {AgeBetween(5, 95),
+       Predicate::Compare(2, CompareOp::kLt,
+                          Operand::Literal(Value(int64_t{190000})))});
+  RetrievalOptions opt;
+  opt.fgr_buffer_capacity = 16;
+  RetrievalSpec spec = f.Spec(pred, {1, 2});
+  DynamicRetrieval engine(&f.db, spec, opt);
+  ParamMap params;
+  ASSERT_TRUE(engine.Open(params).ok());
+  ASSERT_EQ(engine.tactic(), Tactic::kIndexOnly);
+  auto rids = DrainRids(&engine);
+  EXPECT_EQ(rids, NaiveRids(&f.db, spec, params));
+}
+
+TEST(RaceTest, SortedTacticInstallsFilterOrFinishesFirst) {
+  Families f(8000);
+  f.Index("by_age", {"age"});
+  f.Index("by_income", {"income"});
+  auto pred = Predicate::And(
+      {AgeBetween(0, 99),
+       Predicate::Compare(2, CompareOp::kLt,
+                          Operand::Literal(Value(int64_t{2000})))});
+  RetrievalSpec spec = f.Spec(pred, {0, 1, 2});
+  spec.order_by_column = 1;
+  DynamicRetrieval engine(&f.db, spec);
+  ParamMap params;
+  ASSERT_TRUE(engine.Open(params).ok());
+  ASSERT_EQ(engine.tactic(), Tactic::kSorted);
+  auto rids = DrainRids(&engine);
+  EXPECT_EQ(rids, NaiveRids(&f.db, spec, params));
+  EXPECT_TRUE(TraceContains(engine, "filter installed") ||
+              TraceContains(engine, "fscan completed first") ||
+              TraceContains(engine, "no useful filter"));
+}
+
+// ------------------------------------------- §7 extension: OR coverage
+
+TEST(OrCoverageTest, InListUsesMultiRangeIndexScan) {
+  Families f(8000);
+  f.Index("by_age", {"age"});
+  // age IN (7, 42, 93): three point ranges on one index.
+  auto pred = Predicate::Or(
+      {Predicate::Compare(1, CompareOp::kEq,
+                          Operand::Literal(Value(int64_t{7}))),
+       Predicate::Compare(1, CompareOp::kEq,
+                          Operand::Literal(Value(int64_t{42}))),
+       Predicate::Compare(1, CompareOp::kEq,
+                          Operand::Literal(Value(int64_t{93})))});
+  RetrievalSpec spec = f.Spec(pred, {0, 1});
+  DynamicRetrieval engine(&f.db, spec);
+  ParamMap params;
+  ASSERT_TRUE(engine.Open(params).ok());
+  EXPECT_NE(engine.tactic(), Tactic::kStaticTscan)
+      << "the IN-list must be index-servable";
+  auto rids = DrainRids(&engine);
+  EXPECT_EQ(rids, NaiveRids(&f.db, spec, params));
+  EXPECT_GT(rids.size(), 100u);
+}
+
+TEST(OrCoverageTest, DisjointRangesResolveExactlyOrCheaply) {
+  Families f(8000);
+  f.Index("by_income", {"income"});
+  // Two rare bands OR-ed: (income < 300) OR (income BETWEEN 150000+)
+  auto pred = Predicate::Or(
+      {Predicate::Compare(2, CompareOp::kLt,
+                          Operand::Literal(Value(int64_t{300}))),
+       Predicate::Between(2, Operand::Literal(Value(int64_t{199000})),
+                          Operand::Literal(Value(int64_t{199300})))});
+  RetrievalSpec spec = f.Spec(pred, {0, 2});
+  DynamicRetrieval engine(&f.db, spec);
+  ParamMap params;
+  CostMeter before = f.db.meter();
+  ASSERT_TRUE(engine.Open(params).ok());
+  auto rids = DrainRids(&engine);
+  EXPECT_EQ(rids, NaiveRids(&f.db, spec, params));
+  double cost = (f.db.meter() - before).Cost(f.db.cost_weights());
+  double tscan_cost = EstimateTscanCost(spec, f.db.cost_weights());
+  EXPECT_LT(cost * 3, tscan_cost)
+      << "two tiny OR bands must beat a table scan";
+}
+
+TEST(OrCoverageTest, UnsatisfiableDisjunctionShortcuts) {
+  Families f(1000);
+  f.Index("by_age", {"age"});
+  auto pred = Predicate::Or(
+      {Predicate::Compare(1, CompareOp::kGt,
+                          Operand::Literal(Value(int64_t{150}))),
+       Predicate::Compare(1, CompareOp::kLt,
+                          Operand::Literal(Value(int64_t{-5})))});
+  RetrievalSpec spec = f.Spec(pred, {0});
+  DynamicRetrieval engine(&f.db, spec);
+  ParamMap params;
+  ASSERT_TRUE(engine.Open(params).ok());
+  EXPECT_EQ(engine.tactic(), Tactic::kShortcutEmpty);
+}
+
+class OrOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OrOracleTest, RandomDisjunctionsMatchNaive) {
+  Rng rng(GetParam());
+  Families f(4000);
+  f.Index("by_age", {"age"});
+  f.Index("by_income", {"income"});
+  for (int q = 0; q < 10; ++q) {
+    // Random OR of same-column predicates, optionally ANDed with another.
+    uint32_t col = rng.NextBool() ? 1u : 2u;
+    int64_t max_v = col == 1 ? 99 : 200000;
+    std::vector<PredicateRef> branches;
+    int n = 2 + static_cast<int>(rng.NextBounded(3));
+    for (int i = 0; i < n; ++i) {
+      int64_t lo = rng.NextInt(0, max_v);
+      if (rng.NextBool()) {
+        branches.push_back(Predicate::Compare(
+            col, CompareOp::kEq, Operand::Literal(Value(lo))));
+      } else {
+        branches.push_back(Predicate::Between(
+            col, Operand::Literal(Value(lo)),
+            Operand::Literal(Value(lo + rng.NextInt(0, max_v / 10)))));
+      }
+    }
+    PredicateRef pred = Predicate::Or(std::move(branches));
+    if (rng.NextBool(0.4)) {
+      pred = Predicate::And(
+          {pred, Predicate::Mod(0, 2 + rng.NextInt(0, 3), 0)});
+    }
+    if (rng.NextBool(0.2)) pred = Predicate::Not(pred);
+    RetrievalSpec spec = f.Spec(pred, {0, 1, 2});
+    DynamicRetrieval engine(&f.db, spec);
+    ParamMap params;
+    ASSERT_TRUE(engine.Open(params).ok());
+    ASSERT_EQ(DrainRids(&engine), NaiveRids(&f.db, spec, params))
+        << pred->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrOracleTest,
+                         ::testing::Values(71, 72, 73));
+
+// ------------------------------------------------- learned index order
+
+TEST(SessionTest, CompletedOrderSeedsNextExecution) {
+  Families f(8000);
+  f.Index("by_age", {"age"});
+  f.Index("by_income", {"income"});
+  auto pred = Predicate::And(
+      {Predicate::Between(1, Operand::HostVar("lo"), Operand::HostVar("hi")),
+       Predicate::Compare(2, CompareOp::kLt, Operand::HostVar("cap"))});
+  RetrievalSpec spec = f.Spec(pred, {0});
+  DynamicRetrieval engine(&f.db, spec);
+  ParamMap run{{"lo", Value(int64_t{0})},
+               {"hi", Value(int64_t{50})},
+               {"cap", Value(int64_t{3000})}};
+  ASSERT_TRUE(engine.Open(run).ok());
+  auto first = DrainRids(&engine);
+  ASSERT_TRUE(engine.Open(run).ok());
+  auto second = DrainRids(&engine);
+  EXPECT_EQ(first, second);
+}
+
+TEST(RaceTest, FastFirstCostLimitTriggersFallback) {
+  Families f(8000);
+  f.Index("by_age", {"age"});
+  RetrievalOptions opt;
+  opt.fgr_cost_limit_fraction = 1e-6;  // any fetch busts the limit
+  opt.fgr_bgr_cost_ratio = 0.0;        // foreground goes first
+  RetrievalSpec spec =
+      f.Spec(AgeBetween(10, 15), {0, 1}, OptimizationGoal::kFastFirst);
+  DynamicRetrieval engine(&f.db, spec, opt);
+  ParamMap params;
+  ASSERT_TRUE(engine.Open(params).ok());
+  auto rids = DrainRids(&engine);
+  EXPECT_EQ(rids, NaiveRids(&f.db, spec, params));
+  EXPECT_TRUE(TraceContains(engine, "fgr cost limit"));
+}
+
+TEST(TacticTest, SortedTacticAlsoServesTotalTime) {
+  Families f(5000);
+  f.Index("by_age", {"age"});
+  f.Index("by_income", {"income"});
+  auto pred = Predicate::And(
+      {AgeBetween(0, 99),
+       Predicate::Compare(2, CompareOp::kLt,
+                          Operand::Literal(Value(int64_t{5000})))});
+  RetrievalSpec spec = f.Spec(pred, {0, 1, 2}, OptimizationGoal::kTotalTime);
+  spec.order_by_column = 1;
+  DynamicRetrieval engine(&f.db, spec);
+  ParamMap params;
+  ASSERT_TRUE(engine.Open(params).ok());
+  EXPECT_EQ(engine.tactic(), Tactic::kSorted);
+  EXPECT_TRUE(engine.delivers_order());
+  EXPECT_EQ(DrainRids(&engine), NaiveRids(&f.db, spec, params));
+}
+
+TEST(TacticTest, FastFirstDeliversFirstRowBeforeJscanCompletes) {
+  Families f(20000);
+  f.Index("by_age", {"age"});
+  RetrievalSpec spec =
+      f.Spec(AgeBetween(30, 60), {0, 1}, OptimizationGoal::kFastFirst);
+  DynamicRetrieval engine(&f.db, spec);
+  ParamMap params;
+  ASSERT_TRUE(engine.Open(params).ok());
+  OutputRow row;
+  auto more = engine.Next(&row);
+  ASSERT_TRUE(more.ok());
+  ASSERT_TRUE(*more);
+  // The first row arrived while the background is still scanning (or just
+  // settled): the engine must not have drained the whole result yet.
+  ASSERT_NE(engine.jscan(), nullptr);
+}
+
+// -------------------------------------------- randomized oracle property
+
+struct RandomCase {
+  uint64_t seed;
+};
+
+class EngineOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EngineOracleTest, DynamicMatchesNaiveAcrossRandomQueries) {
+  Rng rng(GetParam());
+  Families f(4000, 2048);
+  // Random subset of indexes.
+  if (rng.NextBool(0.8)) f.Index("by_age", {"age"});
+  if (rng.NextBool(0.8)) f.Index("by_income", {"income"});
+  if (rng.NextBool(0.5)) f.Index("by_age_income", {"age", "income"});
+  if (rng.NextBool(0.3)) f.Index("by_city", {"city"});
+
+  for (int q = 0; q < 12; ++q) {
+    // Random conjunction.
+    std::vector<PredicateRef> conj;
+    int terms = 1 + static_cast<int>(rng.NextBounded(3));
+    for (int t = 0; t < terms; ++t) {
+      switch (rng.NextBounded(5)) {
+        case 0: {
+          int64_t lo = rng.NextInt(0, 99);
+          conj.push_back(Predicate::Between(
+              1, Operand::Literal(Value(lo)),
+              Operand::Literal(Value(lo + rng.NextInt(0, 40)))));
+          break;
+        }
+        case 1:
+          conj.push_back(Predicate::Compare(
+              2, CompareOp::kLt,
+              Operand::Literal(Value(rng.NextInt(0, 200000)))));
+          break;
+        case 2:
+          conj.push_back(Predicate::Mod(0, 2 + rng.NextInt(0, 5),
+                                        rng.NextInt(0, 1)));
+          break;
+        case 3:
+          conj.push_back(Predicate::Contains(
+              3, std::to_string(rng.NextBounded(10))));
+          break;
+        case 4:
+          conj.push_back(Predicate::Or(
+              {Predicate::Compare(
+                   1, CompareOp::kLt,
+                   Operand::Literal(Value(rng.NextInt(0, 50)))),
+               Predicate::Compare(
+                   2, CompareOp::kGt,
+                   Operand::Literal(Value(rng.NextInt(0, 200000))))}));
+          break;
+      }
+    }
+    auto pred = Predicate::And(std::move(conj));
+    RetrievalSpec spec = f.Spec(pred, {0, 1, 2, 3},
+                                rng.NextBool() ? OptimizationGoal::kFastFirst
+                                               : OptimizationGoal::kTotalTime);
+    RetrievalOptions opt;
+    if (rng.NextBool(0.3)) opt.fgr_buffer_capacity = 4;
+    if (rng.NextBool(0.3)) opt.jscan.rid_list.memory_capacity = 64;
+    DynamicRetrieval engine(&f.db, spec, opt);
+    ParamMap params;
+    ASSERT_TRUE(engine.Open(params).ok());
+    auto got = DrainRids(&engine);
+    auto want = NaiveRids(&f.db, spec, params);
+    ASSERT_EQ(got, want) << "query " << q << " seed " << GetParam()
+                         << " tactic " << TacticName(engine.tactic())
+                         << " pred " << pred->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineOracleTest,
+                         ::testing::Values(1001, 2002, 3003, 4004, 5005,
+                                           6006));
+
+}  // namespace
+}  // namespace dynopt

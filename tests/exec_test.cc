@@ -1,0 +1,379 @@
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "catalog/database.h"
+#include "exec/operators.h"
+#include "exec/retrieval_spec.h"
+#include "exec/rid_set.h"
+#include "exec/steppers.h"
+#include "util/rng.h"
+
+namespace dynopt {
+namespace {
+
+// --------------------------------------------------------- HybridRidList
+
+TEST(HybridRidListTest, RegionTransitions) {
+  PageStore store;
+  BufferPool pool(&store, 16);
+  HybridRidList::Options opt;
+  opt.inline_capacity = 4;
+  opt.memory_capacity = 10;
+  HybridRidList list(&pool, opt);
+
+  EXPECT_EQ(list.storage(), HybridRidList::Storage::kInline);
+  for (uint32_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(list.Append(Rid{i, 0}).ok());
+  }
+  EXPECT_EQ(list.storage(), HybridRidList::Storage::kInline);
+  ASSERT_TRUE(list.Append(Rid{4, 0}).ok());
+  EXPECT_EQ(list.storage(), HybridRidList::Storage::kHeap);
+  for (uint32_t i = 5; i < 10; ++i) {
+    ASSERT_TRUE(list.Append(Rid{i, 0}).ok());
+  }
+  EXPECT_EQ(list.storage(), HybridRidList::Storage::kHeap);
+  ASSERT_TRUE(list.Append(Rid{10, 0}).ok());
+  EXPECT_EQ(list.storage(), HybridRidList::Storage::kSpilled);
+  EXPECT_EQ(list.size(), 11u);
+}
+
+TEST(HybridRidListTest, ExactMembershipInMemory) {
+  PageStore store;
+  BufferPool pool(&store, 4);
+  HybridRidList list(&pool);
+  for (uint32_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(list.Append(Rid{i * 2, 0}).ok());
+  }
+  ASSERT_TRUE(list.Seal().ok());
+  EXPECT_TRUE(list.filter_is_exact());
+  for (uint32_t i = 0; i < 100; ++i) {
+    EXPECT_TRUE(list.MightContain(Rid{i * 2, 0}));
+    EXPECT_FALSE(list.MightContain(Rid{i * 2 + 1, 0}));
+  }
+}
+
+TEST(HybridRidListTest, SpilledBitmapHasNoFalseNegatives) {
+  PageStore store;
+  BufferPool pool(&store, 16);
+  HybridRidList::Options opt;
+  opt.memory_capacity = 64;
+  opt.bitmap_bits = 1 << 12;
+  HybridRidList list(&pool, opt);
+  std::vector<Rid> members;
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    Rid r{static_cast<PageId>(rng.NextBounded(1 << 20)),
+          static_cast<uint16_t>(rng.NextBounded(100))};
+    members.push_back(r);
+    ASSERT_TRUE(list.Append(r).ok());
+  }
+  ASSERT_TRUE(list.Seal().ok());
+  EXPECT_EQ(list.storage(), HybridRidList::Storage::kSpilled);
+  EXPECT_FALSE(list.filter_is_exact());
+  for (const Rid& r : members) {
+    EXPECT_TRUE(list.MightContain(r));  // never a false negative
+  }
+  // False positives exist but must be bounded well below 1.
+  int fp = 0;
+  for (int i = 0; i < 10000; ++i) {
+    Rid r{static_cast<PageId>((1 << 21) + i), 0};
+    if (list.MightContain(r)) fp++;
+  }
+  EXPECT_LT(fp, 5000);
+}
+
+TEST(HybridRidListTest, ToSortedVectorSpansSpill) {
+  PageStore store;
+  BufferPool pool(&store, 16);
+  HybridRidList::Options opt;
+  opt.memory_capacity = 50;
+  HybridRidList list(&pool, opt);
+  // Append in descending order to prove sorting.
+  for (uint32_t i = 500; i > 0; --i) {
+    ASSERT_TRUE(list.Append(Rid{i, 0}).ok());
+  }
+  auto sorted = list.ToSortedVector();
+  ASSERT_TRUE(sorted.ok());
+  ASSERT_EQ(sorted->size(), 500u);
+  EXPECT_TRUE(std::is_sorted(sorted->begin(), sorted->end()));
+  EXPECT_EQ((*sorted)[0].page, 1u);
+}
+
+TEST(HybridRidListTest, CursorStreamsEverything) {
+  PageStore store;
+  BufferPool pool(&store, 16);
+  HybridRidList::Options opt;
+  opt.memory_capacity = 30;
+  HybridRidList list(&pool, opt);
+  for (uint32_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(list.Append(Rid{i, 0}).ok());
+  }
+  auto cursor = list.NewCursor();
+  Rid rid;
+  std::set<uint32_t> seen;
+  for (;;) {
+    auto more = cursor.Next(&rid);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    seen.insert(rid.page);
+  }
+  EXPECT_EQ(seen.size(), 200u);
+}
+
+TEST(HybridRidListTest, AppendAfterSealRejected) {
+  HybridRidList list(nullptr);
+  ASSERT_TRUE(list.Append(Rid{1, 0}).ok());
+  ASSERT_TRUE(list.Seal().ok());
+  EXPECT_TRUE(list.Append(Rid{2, 0}).IsInternal());
+}
+
+TEST(HybridRidListTest, NoPoolOverflowIsResourceExhausted) {
+  HybridRidList::Options opt;
+  opt.inline_capacity = 4;
+  opt.memory_capacity = 8;
+  HybridRidList list(nullptr, opt);
+  Status last = Status::OK();
+  for (uint32_t i = 0; i < 20 && last.ok(); ++i) {
+    last = list.Append(Rid{i, 0});
+  }
+  EXPECT_TRUE(last.IsResourceExhausted());
+}
+
+TEST(HybridRidListTest, InMemoryAccessors) {
+  HybridRidList list(nullptr);
+  for (uint32_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(list.Append(Rid{i, 0}).ok());
+  }
+  ASSERT_EQ(list.InMemorySize(), 5u);
+  EXPECT_EQ(list.GetInMemory(3).page, 3u);  // append order before Seal
+}
+
+// -------------------------------------------------------------- Steppers
+
+struct ScanFixture {
+  Database db;
+  Table* table = nullptr;
+  SecondaryIndex* by_age = nullptr;
+  SecondaryIndex* by_age_name = nullptr;
+  ParamMap params;
+
+  ScanFixture() {
+    auto t = db.CreateTable(
+        "people", Schema({{"id", ValueType::kInt64},
+                          {"age", ValueType::kInt64},
+                          {"name", ValueType::kString}}));
+    EXPECT_TRUE(t.ok());
+    table = *t;
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_TRUE(table
+                      ->Insert(Record{int64_t{i}, int64_t{i % 100},
+                                      std::string(i % 2 ? "odd" : "even")})
+                      .ok());
+    }
+    auto i1 = table->CreateIndex("by_age", {"age"});
+    EXPECT_TRUE(i1.ok());
+    by_age = *i1;
+    auto i2 = table->CreateIndex("by_age_name", {"age", "name"});
+    EXPECT_TRUE(i2.ok());
+    by_age_name = *i2;
+  }
+
+  RetrievalSpec Spec(PredicateRef pred, std::vector<uint32_t> proj) {
+    RetrievalSpec s;
+    s.table = table;
+    s.restriction = std::move(pred);
+    s.projection = std::move(proj);
+    return s;
+  }
+
+  RangeSet AgeRange(const PredicateRef& pred) {
+    auto r = ExtractRangeSet(pred, 1, params);
+    EXPECT_TRUE(r.ok());
+    return *r;
+  }
+
+  static std::vector<OutputRow> Drain(ScanStepper* s) {
+    std::vector<OutputRow> rows;
+    for (;;) {
+      auto more = s->Step(&rows);
+      EXPECT_TRUE(more.ok()) << more.status();
+      if (!*more) break;
+    }
+    return rows;
+  }
+};
+
+TEST(StepperTest, TscanFindsAllMatches) {
+  ScanFixture f;
+  auto pred = Predicate::Compare(1, CompareOp::kEq,
+                                 Operand::Literal(Value(int64_t{42})));
+  auto spec = f.Spec(pred, {0, 1});
+  TscanStepper scan(f.db.pool(), spec, f.params);
+  auto rows = ScanFixture::Drain(&scan);
+  EXPECT_EQ(rows.size(), 10u);  // ages cycle mod 100 over 1000 rows
+  for (const auto& r : rows) EXPECT_EQ(r.values[1].AsInt64(), 42);
+  EXPECT_EQ(scan.records_scanned(), 1000u);
+  EXPECT_TRUE(scan.exhausted());
+}
+
+TEST(StepperTest, FscanScansOnlyTheRange) {
+  ScanFixture f;
+  auto pred = Predicate::Between(1, Operand::Literal(Value(int64_t{10})),
+                                 Operand::Literal(Value(int64_t{12})));
+  auto spec = f.Spec(pred, {0, 1, 2});
+  FscanStepper scan(f.db.pool(), spec, f.params, f.by_age, f.AgeRange(pred));
+  auto rows = ScanFixture::Drain(&scan);
+  EXPECT_EQ(rows.size(), 30u);
+  EXPECT_EQ(scan.entries_scanned(), 30u);  // never leaves the range
+  EXPECT_EQ(scan.records_fetched(), 30u);
+}
+
+TEST(StepperTest, FscanPreFetchFilterSkipsFetches) {
+  ScanFixture f;
+  auto pred = Predicate::Between(1, Operand::Literal(Value(int64_t{10})),
+                                 Operand::Literal(Value(int64_t{12})));
+  auto spec = f.Spec(pred, {0});
+  FscanStepper scan(f.db.pool(), spec, f.params, f.by_age, f.AgeRange(pred));
+
+  // Filter admitting nothing: every fetch is skipped.
+  HybridRidList empty_filter(nullptr);
+  ASSERT_TRUE(empty_filter.Seal().ok());
+  scan.SetPreFetchFilter(&empty_filter);
+  auto rows = ScanFixture::Drain(&scan);
+  EXPECT_EQ(rows.size(), 0u);
+  EXPECT_EQ(scan.entries_scanned(), 30u);
+  EXPECT_EQ(scan.records_fetched(), 0u);
+}
+
+TEST(StepperTest, SscanAnswersFromIndexAlone) {
+  ScanFixture f;
+  // Restriction and projection both covered by (age, name).
+  auto pred = Predicate::And(
+      {Predicate::Compare(1, CompareOp::kEq,
+                          Operand::Literal(Value(int64_t{7}))),
+       Predicate::Contains(2, "od")});
+  auto spec = f.Spec(pred, {1, 2});
+  SscanStepper scan(f.db.pool(), spec, f.params, f.by_age_name,
+                    f.AgeRange(pred));
+  CostMeter before = f.db.meter();
+  auto rows = ScanFixture::Drain(&scan);
+  EXPECT_EQ(rows.size(), 10u);  // age 7 rows are all "odd"
+  for (const auto& r : rows) {
+    EXPECT_EQ(r.values[0].AsInt64(), 7);
+    EXPECT_EQ(r.values[1].AsString(), "odd");
+  }
+}
+
+TEST(StepperTest, CostAttributionIsPerStepper) {
+  ScanFixture f;
+  auto pred = Predicate::True();
+  auto spec = f.Spec(pred, {0});
+  TscanStepper a(f.db.pool(), spec, f.params);
+  TscanStepper b(f.db.pool(), spec, f.params);
+  std::vector<OutputRow> rows;
+  ASSERT_TRUE(a.Step(&rows).ok());
+  ASSERT_TRUE(a.Step(&rows).ok());
+  ASSERT_TRUE(b.Step(&rows).ok());
+  EXPECT_GT(a.accrued().logical_reads + a.accrued().record_evals, 0u);
+  EXPECT_GE(a.accrued().record_evals, 2u);
+  EXPECT_LE(b.accrued().record_evals, 1u);
+}
+
+// -------------------------------------------------------------- Operators
+
+RowOperatorPtr Source(std::vector<std::vector<Value>> rows) {
+  return std::make_unique<VectorSourceOperator>(std::move(rows));
+}
+
+std::vector<std::vector<Value>> DrainOp(RowOperator* op) {
+  EXPECT_TRUE(op->Open().ok());
+  std::vector<std::vector<Value>> out;
+  std::vector<Value> row;
+  for (;;) {
+    auto more = op->Next(&row);
+    EXPECT_TRUE(more.ok());
+    if (!*more) break;
+    out.push_back(row);
+  }
+  return out;
+}
+
+TEST(OperatorTest, SortOrdersByColumn) {
+  SortOperator op(Source({{Value(int64_t{3})}, {Value(int64_t{1})},
+                          {Value(int64_t{2})}}),
+                  0);
+  auto rows = DrainOp(&op);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][0].AsInt64(), 1);
+  EXPECT_EQ(rows[2][0].AsInt64(), 3);
+}
+
+TEST(OperatorTest, LimitStopsEarly) {
+  LimitOperator op(Source({{Value(int64_t{1})},
+                           {Value(int64_t{2})},
+                           {Value(int64_t{3})}}),
+                   2);
+  auto rows = DrainOp(&op);
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST(OperatorTest, ExistsEmitsBooleanRow) {
+  ExistsOperator yes(Source({{Value(int64_t{1})}}));
+  auto rows = DrainOp(&yes);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsInt64(), 1);
+
+  ExistsOperator no(Source({}));
+  rows = DrainOp(&no);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsInt64(), 0);
+}
+
+TEST(OperatorTest, DistinctRemovesDuplicates) {
+  DistinctOperator op(Source({{Value(int64_t{2})}, {Value(int64_t{1})},
+                              {Value(int64_t{2})}, {Value(int64_t{1})}}));
+  auto rows = DrainOp(&op);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0].AsInt64(), 1);
+  EXPECT_EQ(rows[1][0].AsInt64(), 2);
+}
+
+TEST(OperatorTest, Aggregates) {
+  {
+    AggregateOperator op(Source({{Value(int64_t{5})}, {Value(int64_t{7})}}),
+                         AggregateKind::kCount);
+    auto rows = DrainOp(&op);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0][0].AsInt64(), 2);
+  }
+  {
+    AggregateOperator op(Source({{Value(int64_t{5})}, {Value(int64_t{7})}}),
+                         AggregateKind::kSum, 0);
+    auto rows = DrainOp(&op);
+    EXPECT_DOUBLE_EQ(rows[0][0].AsDouble(), 12.0);
+  }
+  {
+    AggregateOperator op(Source({{Value(int64_t{5})}, {Value(int64_t{7})}}),
+                         AggregateKind::kMin, 0);
+    auto rows = DrainOp(&op);
+    EXPECT_EQ(rows[0][0].AsInt64(), 5);
+  }
+  {
+    AggregateOperator op(Source({{Value(int64_t{5})}, {Value(int64_t{7})}}),
+                         AggregateKind::kMax, 0);
+    auto rows = DrainOp(&op);
+    EXPECT_EQ(rows[0][0].AsInt64(), 7);
+  }
+}
+
+TEST(OperatorTest, MinOverEmptyIsNotFound) {
+  AggregateOperator op(Source({}), AggregateKind::kMin, 0);
+  EXPECT_TRUE(op.Open().IsNotFound());
+}
+
+}  // namespace
+}  // namespace dynopt

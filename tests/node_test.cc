@@ -1,0 +1,182 @@
+// Unit tests for the B+-tree node page layout (slotted variable-length
+// entries, in-place patching, removal, compaction).
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "index/node.h"
+#include "util/rng.h"
+
+namespace dynopt {
+namespace {
+
+struct NodePage {
+  PageData data;
+  NodeRef node{data.data()};
+
+  explicit NodePage(NodeType type, uint8_t level = 1) {
+    node.Init(type, level);
+  }
+};
+
+TEST(NodeTest, InitLeaf) {
+  NodePage p(NodeType::kLeaf);
+  EXPECT_TRUE(p.node.is_leaf());
+  EXPECT_EQ(p.node.level(), 1);
+  EXPECT_EQ(p.node.count(), 0);
+  EXPECT_EQ(p.node.next_leaf(), kInvalidPageId);
+  EXPECT_GT(p.node.FreeSpace(), kPageSize - 64);
+}
+
+TEST(NodeTest, LeafInsertAtPositionsKeepsOrder) {
+  NodePage p(NodeType::kLeaf);
+  ASSERT_TRUE(p.node.InsertLeafEntry(0, "m", Rid{1, 0}).ok());
+  ASSERT_TRUE(p.node.InsertLeafEntry(0, "a", Rid{2, 0}).ok());  // front
+  ASSERT_TRUE(p.node.InsertLeafEntry(2, "z", Rid{3, 0}).ok());  // back
+  ASSERT_TRUE(p.node.InsertLeafEntry(1, "f", Rid{4, 0}).ok());  // middle
+  ASSERT_EQ(p.node.count(), 4);
+  EXPECT_EQ(p.node.Key(0), "a");
+  EXPECT_EQ(p.node.Key(1), "f");
+  EXPECT_EQ(p.node.Key(2), "m");
+  EXPECT_EQ(p.node.Key(3), "z");
+  EXPECT_EQ(p.node.LeafRid(1).page, 4u);
+}
+
+TEST(NodeTest, InternalEntriesCarryChildAndCount) {
+  NodePage p(NodeType::kInternal, 2);
+  ASSERT_TRUE(p.node.InsertInternalEntry(0, "", 7, 100).ok());
+  ASSERT_TRUE(p.node.InsertInternalEntry(1, "k", 9, 50).ok());
+  EXPECT_EQ(p.node.ChildId(0), 7u);
+  EXPECT_EQ(p.node.ChildCount(0), 100u);
+  EXPECT_EQ(p.node.ChildId(1), 9u);
+  EXPECT_EQ(p.node.SubtreeCount(), 150u);
+  p.node.SetChildCount(1, 51);
+  EXPECT_EQ(p.node.ChildCount(1), 51u);
+  EXPECT_EQ(p.node.Key(1), "k");  // patch left the key intact
+}
+
+TEST(NodeTest, BoundsSearches) {
+  NodePage p(NodeType::kLeaf);
+  for (const char* k : {"b", "d", "f", "h"}) {
+    p.node.InsertLeafEntry(p.node.count(), k, Rid{1, 0}).ok();
+  }
+  EXPECT_EQ(p.node.LowerBound("a"), 0);
+  EXPECT_EQ(p.node.LowerBound("d"), 1);
+  EXPECT_EQ(p.node.LowerBound("e"), 2);
+  EXPECT_EQ(p.node.LowerBound("z"), 4);
+  EXPECT_EQ(p.node.UpperBound("d"), 2);
+  uint64_t compares = 0;
+  p.node.LowerBound("f", &compares);
+  EXPECT_GT(compares, 0u);
+}
+
+TEST(NodeTest, ChildIndexForUsesSentinel) {
+  NodePage p(NodeType::kInternal, 2);
+  p.node.InsertInternalEntry(0, "", 1, 10).ok();
+  p.node.InsertInternalEntry(1, "g", 2, 10).ok();
+  p.node.InsertInternalEntry(2, "p", 3, 10).ok();
+  EXPECT_EQ(p.node.ChildIndexFor("a"), 0);
+  EXPECT_EQ(p.node.ChildIndexFor("g"), 1);  // == separator goes right
+  EXPECT_EQ(p.node.ChildIndexFor("k"), 1);
+  EXPECT_EQ(p.node.ChildIndexFor("z"), 2);
+}
+
+TEST(NodeTest, RemoveLeavesDeadBytesCompactReclaims) {
+  NodePage p(NodeType::kLeaf);
+  for (int i = 0; i < 10; ++i) {
+    p.node.InsertLeafEntry(i, "key" + std::to_string(i),
+                           Rid{static_cast<PageId>(i), 0})
+        .ok();
+  }
+  size_t free_before = p.node.FreeSpace();
+  p.node.RemoveEntry(3);
+  p.node.RemoveEntry(3);
+  EXPECT_EQ(p.node.count(), 8);
+  EXPECT_GT(p.node.dead_bytes(), 0);
+  // Slots shifted: the logical order skips the removed keys.
+  EXPECT_EQ(p.node.Key(3), "key5");
+  // Free space grew only by the slot bytes until compaction.
+  EXPECT_EQ(p.node.FreeSpace(), free_before + 2 * 2);
+  size_t dead = p.node.dead_bytes();
+  p.node.Compact();
+  EXPECT_EQ(p.node.dead_bytes(), 0);
+  EXPECT_EQ(p.node.FreeSpace(), free_before + 2 * 2 + dead);
+  EXPECT_EQ(p.node.Key(0), "key0");
+  EXPECT_EQ(p.node.Key(7), "key9");
+}
+
+TEST(NodeTest, InsertCompactsAutomaticallyWhenDeadSpaceSuffices) {
+  NodePage p(NodeType::kLeaf);
+  std::string big(1500, 'x');
+  int inserted = 0;
+  while (p.node.Fits(big.size())) {
+    ASSERT_TRUE(
+        p.node.InsertLeafEntry(p.node.count(), big + std::to_string(inserted),
+                               Rid{1, 0})
+            .ok());
+    inserted++;
+  }
+  ASSERT_GE(inserted, 4);
+  // Page full. Remove one entry (dead bytes, no contiguous space).
+  p.node.RemoveEntry(0);
+  EXPECT_FALSE(p.node.Fits(big.size()));
+  EXPECT_TRUE(p.node.FitsAfterCompaction(big.size()));
+  // Insert triggers the internal compaction.
+  ASSERT_TRUE(p.node.InsertLeafEntry(p.node.count(), big + "new", Rid{2, 0})
+                  .ok());
+  EXPECT_EQ(p.node.count(), inserted);
+}
+
+TEST(NodeTest, FullNodeReportsResourceExhausted) {
+  NodePage p(NodeType::kLeaf);
+  std::string big(1500, 'x');
+  while (p.node.Fits(big.size())) {
+    p.node.InsertLeafEntry(p.node.count(), big + std::to_string(p.node.count()),
+                           Rid{1, 0})
+        .ok();
+  }
+  Status st = p.node.InsertLeafEntry(0, big + "overflow", Rid{1, 0});
+  EXPECT_TRUE(st.IsResourceExhausted());
+}
+
+TEST(NodeTest, OversizeKeyRejected) {
+  NodePage p(NodeType::kLeaf);
+  std::string huge(kMaxKeySize + 1, 'k');
+  EXPECT_TRUE(p.node.InsertLeafEntry(0, huge, Rid{1, 0}).IsInvalidArgument());
+}
+
+TEST(NodeTest, RandomizedOracle) {
+  Rng rng(31);
+  NodePage p(NodeType::kLeaf);
+  std::vector<std::pair<std::string, uint64_t>> oracle;
+  for (int op = 0; op < 3000; ++op) {
+    if (oracle.empty() || rng.NextBool(0.7)) {
+      std::string key(1 + rng.NextBounded(40), 'a');
+      key += std::to_string(rng.Next());
+      Rid rid{static_cast<PageId>(op), 0};
+      // Keep oracle sorted; insert at lower bound like the tree does.
+      auto it = std::lower_bound(
+          oracle.begin(), oracle.end(), key,
+          [](const auto& a, const std::string& k) { return a.first < k; });
+      uint16_t pos = static_cast<uint16_t>(it - oracle.begin());
+      if (!p.node.FitsAfterCompaction(key.size())) continue;
+      ASSERT_TRUE(p.node.InsertLeafEntry(pos, key, rid).ok());
+      oracle.insert(it, {key, rid.ToU64()});
+    } else {
+      uint16_t pos = static_cast<uint16_t>(rng.NextBounded(oracle.size()));
+      p.node.RemoveEntry(pos);
+      oracle.erase(oracle.begin() + pos);
+    }
+    ASSERT_EQ(p.node.count(), oracle.size());
+  }
+  for (size_t i = 0; i < oracle.size(); ++i) {
+    EXPECT_EQ(p.node.Key(static_cast<uint16_t>(i)), oracle[i].first);
+    EXPECT_EQ(p.node.LeafRid(static_cast<uint16_t>(i)).ToU64(),
+              oracle[i].second);
+  }
+}
+
+}  // namespace
+}  // namespace dynopt

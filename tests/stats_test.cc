@@ -1,0 +1,426 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "catalog/database.h"
+#include "stats/estimator.h"
+#include "stats/hyperbola.h"
+#include "stats/selectivity_dist.h"
+#include "util/rng.h"
+
+namespace dynopt {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// ----------------------------------------------------- SelectivityDist
+
+TEST(SelectivityDistTest, ConstructorsConserveMass) {
+  EXPECT_NEAR(SelectivityDist::Uniform().TotalMass(), 1.0, 1e-12);
+  EXPECT_NEAR(SelectivityDist::Point(0.3).TotalMass(), 1.0, 1e-12);
+  EXPECT_NEAR(SelectivityDist::Bell(0.2, 0.05).TotalMass(), 1.0, 1e-12);
+}
+
+TEST(SelectivityDistTest, UniformMoments) {
+  auto u = SelectivityDist::Uniform();
+  EXPECT_NEAR(u.Mean(), 0.5, 1e-6);
+  EXPECT_NEAR(u.Variance(), 1.0 / 12.0, 1e-4);
+}
+
+TEST(SelectivityDistTest, PointHasZeroVariance) {
+  auto p = SelectivityDist::Point(0.2);
+  EXPECT_NEAR(p.Mean(), 0.2, 1e-3);
+  EXPECT_NEAR(p.Variance(), 0.0, 1e-6);
+}
+
+TEST(SelectivityDistTest, NegateMirrorsAndIsInvolution) {
+  auto bell = SelectivityDist::Bell(0.2, 0.05);
+  auto neg = bell.Negate();
+  EXPECT_NEAR(neg.Mean(), 0.8, 1e-3);
+  auto back = neg.Negate();
+  for (int i = 0; i < SelectivityDist::kBins; ++i) {
+    EXPECT_NEAR(back.MassAt(i), bell.MassAt(i), 1e-12);
+  }
+}
+
+TEST(SelectivityDistTest, OperatorsConserveMass) {
+  auto u = SelectivityDist::Uniform();
+  EXPECT_NEAR(u.AndWith(u, 0.0).TotalMass(), 1.0, 1e-9);
+  EXPECT_NEAR(u.AndWith(u, 1.0).TotalMass(), 1.0, 1e-9);
+  EXPECT_NEAR(u.AndWith(u, -1.0).TotalMass(), 1.0, 1e-9);
+  EXPECT_NEAR(u.OrWith(u, 0.0).TotalMass(), 1.0, 1e-9);
+  EXPECT_NEAR(u.AndUnknown(u).TotalMass(), 1.0, 1e-9);
+  EXPECT_NEAR(u.OrUnknown(u).TotalMass(), 1.0, 1e-9);
+}
+
+TEST(SelectivityDistTest, PointAndComposesAnchors) {
+  // For point masses the AND anchors are exact arithmetic.
+  auto x = SelectivityDist::Point(0.6);
+  auto y = SelectivityDist::Point(0.7);
+  EXPECT_NEAR(x.AndWith(y, 0.0).Mean(), 0.42, 0.01);       // sx*sy
+  EXPECT_NEAR(x.AndWith(y, 1.0).Mean(), 0.6, 0.01);        // min
+  EXPECT_NEAR(x.AndWith(y, -1.0).Mean(), 0.3, 0.01);       // sx+sy-1
+  EXPECT_NEAR(x.OrWith(y, 0.0).Mean(), 0.88, 0.01);        // sx+sy-sx*sy
+  EXPECT_NEAR(x.OrWith(y, 1.0).Mean(), 0.7, 0.01);         // max
+  EXPECT_NEAR(x.OrWith(y, -1.0).Mean(), 1.0, 0.01);        // min(1, s+s)
+}
+
+TEST(SelectivityDistTest, AndIsCommutativeInDistribution) {
+  auto a = SelectivityDist::Bell(0.3, 0.1);
+  auto b = SelectivityDist::Bell(0.6, 0.05);
+  auto ab = a.AndWith(b, 0.0);
+  auto ba = b.AndWith(a, 0.0);
+  for (int i = 0; i < SelectivityDist::kBins; ++i) {
+    EXPECT_NEAR(ab.MassAt(i), ba.MassAt(i), 1e-9);
+  }
+}
+
+TEST(SelectivityDistTest, DeMorganDualityUnderIndependence) {
+  // ~(~X & ~Y) == X | Y at correlation 0.
+  auto x = SelectivityDist::Bell(0.4, 0.08);
+  auto y = SelectivityDist::Bell(0.5, 0.06);
+  auto direct = x.OrWith(y, 0.0);
+  auto demorgan = x.Negate().AndWith(y.Negate(), 0.0).Negate();
+  EXPECT_NEAR(direct.Mean(), demorgan.Mean(), 2e-3);
+  EXPECT_NEAR(direct.StdDev(), demorgan.StdDev(), 2e-3);
+}
+
+TEST(SelectivityDistTest, AndingUniformSkewsTowardZero) {
+  // §2: repeated ANDing of uniforms concentrates mass near 0, with skew
+  // increasing per operator.
+  auto u = SelectivityDist::Uniform();
+  auto and1 = ApplyOpChain(u, "&", kNaN);
+  auto and2 = ApplyOpChain(u, "&&", kNaN);
+  auto and3 = ApplyOpChain(u, "&&&", kNaN);
+  EXPECT_LT(and1.Mean(), u.Mean());
+  EXPECT_LT(and2.Mean(), and1.Mean());
+  EXPECT_LT(and3.Mean(), and2.Mean());
+  EXPECT_GT(and1.LowToHighDecileRatio(), 1.0);
+  EXPECT_GT(and2.LowToHighDecileRatio(), and1.LowToHighDecileRatio());
+  EXPECT_GT(and3.LowToHighDecileRatio(), and2.LowToHighDecileRatio());
+}
+
+TEST(SelectivityDistTest, OringMirrorsAnding) {
+  // §2 point (C): OR-dominance is the mirror of AND-dominance.
+  auto u = SelectivityDist::Uniform();
+  auto ors = ApplyOpChain(u, "||", kNaN);
+  auto ands = ApplyOpChain(u, "&&", kNaN);
+  EXPECT_NEAR(ors.Mean(), 1.0 - ands.Mean(), 0.01);
+  EXPECT_LT(ors.LowToHighDecileRatio(), 1.0);
+}
+
+TEST(SelectivityDistTest, BalancedMixFlattenstowardUniform) {
+  // §2: equal numbers of ANDs and ORs restore near-uniform flatness —
+  // the mixed chain stays bounded near the uniform density while the pure
+  // chain spikes by an order of magnitude, and its spread returns to the
+  // uniform's.
+  auto u = SelectivityDist::Uniform();
+  auto mixed = ApplyOpChain(u, "&|", kNaN);
+  auto pure_and = ApplyOpChain(u, "&&", kNaN);
+  EXPECT_NEAR(mixed.Mean(), 0.5, 0.15);
+  EXPECT_NEAR(mixed.StdDev(), u.StdDev(), 0.05);
+  auto mixed_curve = mixed.DensityCurve();
+  auto pure_curve = pure_and.DensityCurve();
+  double mixed_max =
+      *std::max_element(mixed_curve.begin(), mixed_curve.end());
+  double pure_max = *std::max_element(pure_curve.begin(), pure_curve.end());
+  EXPECT_LT(mixed_max, pure_max / 4.0);
+  EXPECT_GT(pure_max, 10.0);
+}
+
+TEST(SelectivityDistTest, PositiveCorrelationReducesSkew) {
+  // Figure 2.1: &_{+1}X on uniform is min(sX, sY) — the "triangle" shape
+  // with density 2(1-s) and mean 1/3; skew grows as correlation decreases
+  // ("crescent" at 0, L-shape toward -1).
+  auto u = SelectivityDist::Uniform();
+  auto plus1 = u.AndWith(u, 1.0);
+  auto zero = u.AndWith(u, 0.0);
+  auto minus = u.AndWith(u, -0.9);
+  EXPECT_NEAR(plus1.Mean(), 1.0 / 3.0, 0.01);
+  EXPECT_NEAR(plus1.DensityAt(0), 2.0, 0.05);  // triangle density at s=0
+  EXPECT_LT(zero.Mean(), plus1.Mean());
+  EXPECT_LT(minus.Mean(), zero.Mean());
+  EXPECT_GT(zero.LowToHighDecileRatio(), plus1.LowToHighDecileRatio());
+  EXPECT_GT(minus.LowToHighDecileRatio(), zero.LowToHighDecileRatio());
+}
+
+TEST(SelectivityDistTest, SingleOpNullifiesBellPrecision) {
+  // §2 statement (1): one AND/OR blows a tight bell's spread up to the
+  // order of its distance from the interval end.
+  auto bell = SelectivityDist::Bell(0.2, 0.005);
+  auto anded = bell.AndUnknown(bell);
+  auto ored = bell.OrUnknown(bell);
+  EXPECT_GT(anded.StdDev(), 10 * bell.StdDev());
+  EXPECT_GT(ored.StdDev(), 10 * bell.StdDev());
+}
+
+TEST(SelectivityDistTest, QuantileAndCdfAgree) {
+  auto bell = SelectivityDist::Bell(0.4, 0.1);
+  for (double p : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    double q = bell.Quantile(p);
+    EXPECT_NEAR(bell.CdfAt(q), p, 0.02);
+  }
+}
+
+TEST(SelectivityDistTest, SampleMatchesDistribution) {
+  auto bell = SelectivityDist::Bell(0.3, 0.05);
+  Rng rng(77);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += bell.Sample(rng);
+  EXPECT_NEAR(sum / n, bell.Mean(), 0.01);
+}
+
+TEST(SelectivityDistTest, JoinChainErrorGrowsWithChainLength) {
+  // §2: "The JOIN operator behaves almost identically to the AND operator
+  // when multiple joins use the same key" — so an AND chain models an
+  // n-way join's selectivity, and its relative uncertainty (stddev/mean)
+  // must grow with n, the [IoCh91] error-propagation effect that motivates
+  // abandoning single-plan optimization.
+  auto est = SelectivityDist::Bell(0.3, 0.02);  // a decent base estimate
+  double prev_ratio = est.StdDev() / est.Mean();
+  SelectivityDist cur = est;
+  for (int joins = 1; joins <= 4; ++joins) {
+    cur = cur.AndUnknown(est);
+    double ratio = cur.StdDev() / cur.Mean();
+    EXPECT_GT(ratio, prev_ratio)
+        << "relative error must grow at join depth " << joins;
+    prev_ratio = ratio;
+  }
+  EXPECT_GT(prev_ratio, 5.0 * (est.StdDev() / est.Mean()))
+      << "four joins should blow the relative error up several-fold";
+}
+
+// ------------------------------------------------------------ Hyperbola
+
+TEST(HyperbolaTest, DensityIntegratesToOne) {
+  for (double b : {0.01, 0.1, 1.0}) {
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+      sum += HyperbolaDensity(b, (i + 0.5) / n) / n;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-6) << "b=" << b;
+  }
+}
+
+TEST(HyperbolaTest, FitsAndChainsWithPaperLikeErrors) {
+  // §2: truncated hyperbolas fit &X with error ~1/4, &&X ~1/7, &&&X ~1/23 —
+  // a steeply improving fit as the L-shape sharpens. The unconstrained fit
+  // reproduces the strictly-decreasing sequence in the paper's ballpark;
+  // the normalized fit lands within a factor ~2 of it.
+  auto u = SelectivityDist::Uniform();
+  auto d1 = ApplyOpChain(u, "&", kNaN);
+  auto d2 = ApplyOpChain(u, "&&", kNaN);
+  auto d3 = ApplyOpChain(u, "&&&", kNaN);
+  auto f1 = FitHyperbolaFree(d1);
+  auto f2 = FitHyperbolaFree(d2);
+  auto f3 = FitHyperbolaFree(d3);
+  EXPECT_LT(f2.relative_error, f1.relative_error);
+  EXPECT_LT(f3.relative_error, f2.relative_error);
+  EXPECT_LT(f1.relative_error, 0.30);  // ~1/4 in the paper
+  EXPECT_LT(f2.relative_error, 0.15);  // ~1/7
+  EXPECT_LT(f3.relative_error, 0.06);  // ~1/23
+  // Sharper L-shapes need a pole closer to zero.
+  EXPECT_LT(f3.b, f1.b);
+  // The normalized family agrees on && almost exactly (1/7 = 0.143).
+  auto n2 = FitHyperbola(d2);
+  EXPECT_NEAR(n2.relative_error, 1.0 / 7.0, 0.03);
+}
+
+TEST(HyperbolaTest, ErrorMetricZeroForExactHyperbola) {
+  std::vector<double> w(SelectivityDist::kBins);
+  double b = 0.05;
+  for (int i = 0; i < SelectivityDist::kBins; ++i) {
+    w[i] = HyperbolaDensity(b, (i + 0.5) / SelectivityDist::kBins);
+  }
+  auto d = SelectivityDist::FromWeights(std::move(w));
+  EXPECT_LT(HyperbolaRelativeError(d, b), 0.01);
+  auto fit = FitHyperbola(d);
+  EXPECT_LT(fit.relative_error, 0.01);
+  EXPECT_NEAR(std::log10(fit.b), std::log10(b), 0.3);
+}
+
+// ------------------------------------------------------------ Estimators
+
+Schema NumSchema() {
+  return Schema({{"k", ValueType::kInt64}, {"payload", ValueType::kString}});
+}
+
+struct EstFixture {
+  Database db;
+  Table* table = nullptr;
+  SecondaryIndex* index = nullptr;
+
+  explicit EstFixture(int n, uint64_t seed = 1, double zipf_theta = -1.0) {
+    auto t = db.CreateTable("t", NumSchema());
+    EXPECT_TRUE(t.ok());
+    table = *t;
+    auto idx = table->CreateIndex("by_k", {"k"});
+    EXPECT_TRUE(idx.ok());
+    index = *idx;
+    Rng rng(seed);
+    std::unique_ptr<ZipfGenerator> zipf;
+    if (zipf_theta >= 0) zipf = std::make_unique<ZipfGenerator>(1000, zipf_theta);
+    for (int i = 0; i < n; ++i) {
+      int64_t k = zipf ? static_cast<int64_t>(zipf->Next(rng))
+                       : rng.NextInt(0, 99999);
+      EXPECT_TRUE(
+          table->Insert(Record{k, std::string("row") + std::to_string(i)})
+              .ok());
+    }
+  }
+
+  EncodedRange Range(int64_t lo, int64_t hi) {
+    ParamMap none;
+    auto p = Predicate::Between(0, Operand::Literal(Value(lo)),
+                                Operand::Literal(Value(hi)));
+    auto r = ExtractRange(p, 0, none);
+    EXPECT_TRUE(r.ok());
+    return *r;
+  }
+};
+
+TEST(SplitNodeEstimateTest, TracksTruthWithinFactor) {
+  EstFixture f(30000);
+  for (auto [lo, hi] : std::vector<std::pair<int64_t, int64_t>>{
+           {0, 99999}, {10000, 30000}, {50000, 51000}}) {
+    auto est = SplitNodeEstimate(f.index, f.Range(lo, hi));
+    ASSERT_TRUE(est.ok());
+    auto truth = f.index->tree()->CountRange(f.Range(lo, hi));
+    ASSERT_TRUE(truth.ok());
+    double t = static_cast<double>(*truth);
+    EXPECT_GT(est->estimated_rids, t / 10.0) << lo << ".." << hi;
+    EXPECT_LT(est->estimated_rids, t * 10.0 + 10) << lo << ".." << hi;
+  }
+}
+
+TEST(HistogramTest, BuildAndEstimateUniform) {
+  EstFixture f(20000);
+  auto h = EquiWidthHistogram::Build(f.table, 0, 100);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->total_rows(), 20000u);
+  auto est = h->EstimateRange(Value(int64_t{0}), Value(int64_t{99999}));
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(*est, 20000.0, 20000 * 0.02);
+  est = h->EstimateRange(Value(int64_t{25000}), Value(int64_t{49999}));
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(*est, 5000.0, 5000 * 0.15);
+}
+
+TEST(HistogramTest, MissesBelowGranularityWhereSplitNodeDoesNot) {
+  // §5's criticism: a range much smaller than a bucket gets a smeared
+  // estimate from the histogram while the descent method resolves it
+  // exactly (it reaches the leaf).
+  EstFixture f(20000);
+  // Plant a dense cluster in [70000, 70002].
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(
+        f.table->Insert(Record{int64_t{70001}, std::string("cluster")}).ok());
+  }
+  auto h = EquiWidthHistogram::Build(f.table, 0, 100);  // bucket width ~1000
+  ASSERT_TRUE(h.ok());
+  auto hist_est = h->EstimateRange(Value(int64_t{70001}), Value(int64_t{70001}));
+  ASSERT_TRUE(hist_est.ok());
+
+  auto split_est = SplitNodeEstimate(f.index, f.Range(70001, 70001));
+  ASSERT_TRUE(split_est.ok());
+  auto truth = f.index->tree()->CountRange(f.Range(70001, 70001));
+  ASSERT_TRUE(truth.ok());
+  EXPECT_GE(*truth, 300u);
+
+  double hist_err = std::abs(*hist_est - static_cast<double>(*truth));
+  double split_err =
+      std::abs(split_est->estimated_rids - static_cast<double>(*truth));
+  EXPECT_LT(split_err, hist_err)
+      << "hist=" << *hist_est << " split=" << split_est->estimated_rids
+      << " truth=" << *truth;
+}
+
+TEST(HistogramTest, RejectsStringsAndBadArgs) {
+  EstFixture f(100);
+  EXPECT_TRUE(
+      EquiWidthHistogram::Build(f.table, 1, 10).status().IsNotSupported());
+  EXPECT_TRUE(
+      EquiWidthHistogram::Build(f.table, 0, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      EquiWidthHistogram::Build(f.table, 9, 10).status().IsInvalidArgument());
+}
+
+TEST(HistogramTest, EmptyTableEstimatesZero) {
+  Database db;
+  auto t = db.CreateTable("t", NumSchema());
+  ASSERT_TRUE(t.ok());
+  auto h = EquiWidthHistogram::Build(*t, 0, 10);
+  ASSERT_TRUE(h.ok());
+  auto est = h->EstimateRange(Value(int64_t{0}), Value(int64_t{10}));
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(*est, 0.0);
+}
+
+TEST(SamplingTest, EstimatesResidualFractionWithinTolerance) {
+  EstFixture f(20000);
+  // residual: k % 5 == 0 → ~20% of any wide range.
+  auto residual = Predicate::Mod(0, 5, 0);
+  ParamMap none;
+  Rng rng(5);
+  auto est = SampleEstimateRange(f.index, f.Range(0, 99999), residual, none,
+                                 400, SamplingMethod::kRanked, rng);
+  ASSERT_TRUE(est.ok());
+  double truth = 0.2 * est->range_count;
+  EXPECT_NEAR(est->estimated_rids, truth, truth * 0.35);
+  EXPECT_EQ(est->samples_taken, 400u);
+  EXPECT_EQ(est->trials, 400u);  // ranked sampling never rejects
+}
+
+TEST(SamplingTest, AcceptRejectAgreesButWastesTrials) {
+  EstFixture f(20000);
+  auto residual = Predicate::Mod(0, 2, 0);
+  ParamMap none;
+  Rng rng(6);
+  auto est = SampleEstimateRange(f.index, f.Range(0, 99999), residual, none,
+                                 300, SamplingMethod::kAcceptReject, rng);
+  ASSERT_TRUE(est.ok());
+  EXPECT_GT(est->trials, est->samples_taken);
+  if (est->samples_taken == 300) {
+    double truth = 0.5 * est->range_count;
+    EXPECT_NEAR(est->estimated_rids, truth, truth * 0.35);
+  }
+}
+
+TEST(SamplingTest, EmptyRangeShortCircuits) {
+  EstFixture f(1000);
+  auto residual = Predicate::True();
+  ParamMap none;
+  Rng rng(7);
+  auto est = SampleEstimateRange(f.index, f.Range(500000, 600000), residual,
+                                 none, 100, SamplingMethod::kRanked, rng);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->range_count, 0u);
+  EXPECT_EQ(est->estimated_rids, 0.0);
+  EXPECT_EQ(est->trials, 0u);
+}
+
+TEST(SamplingTest, SkewedDataStillEstimatesCorrectly) {
+  EstFixture f(20000, 3, 1.1);  // Zipf keys in [0, 1000)
+  auto residual = Predicate::Mod(0, 2, 1);  // odd keys
+  ParamMap none;
+  Rng rng(8);
+  auto est = SampleEstimateRange(f.index, f.Range(0, 999), residual, none,
+                                 500, SamplingMethod::kRanked, rng);
+  ASSERT_TRUE(est.ok());
+  // Count the truth by exact range counts of odd keys.
+  uint64_t truth = 0;
+  for (int64_t k = 1; k < 1000; k += 2) {
+    auto c = f.index->tree()->CountRange(f.Range(k, k));
+    ASSERT_TRUE(c.ok());
+    truth += *c;
+  }
+  EXPECT_NEAR(est->estimated_rids, static_cast<double>(truth),
+              static_cast<double>(truth) * 0.3 + 50);
+}
+
+}  // namespace
+}  // namespace dynopt

@@ -1,0 +1,141 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "workload/workload.h"
+
+namespace dynopt {
+namespace {
+
+TEST(ColumnGeneratorTest, UniformIntStaysInRange) {
+  auto gen = UniformInt(10, 20);
+  Rng rng(1);
+  Record empty;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = gen->Next(rng, i, empty).AsInt64();
+    EXPECT_GE(v, 10);
+    EXPECT_LE(v, 20);
+  }
+}
+
+TEST(ColumnGeneratorTest, SequentialIsRowIndex) {
+  auto gen = SequentialInt();
+  Rng rng(1);
+  Record empty;
+  EXPECT_EQ(gen->Next(rng, 7, empty).AsInt64(), 7);
+  EXPECT_EQ(gen->Next(rng, 123456, empty).AsInt64(), 123456);
+}
+
+TEST(ColumnGeneratorTest, ClusteredGrowsWithRow) {
+  auto gen = ClusteredInt(2.0, 0);
+  Rng rng(1);
+  Record empty;
+  EXPECT_EQ(gen->Next(rng, 10, empty).AsInt64(), 20);
+  EXPECT_EQ(gen->Next(rng, 100, empty).AsInt64(), 200);
+}
+
+TEST(ColumnGeneratorTest, DerivedTracksSourceColumn) {
+  auto gen = DerivedInt(0, 5);
+  Rng rng(1);
+  Record row{int64_t{1000}};
+  for (int i = 0; i < 200; ++i) {
+    int64_t v = gen->Next(rng, i, row).AsInt64();
+    EXPECT_GE(v, 1000);
+    EXPECT_LE(v, 1005);
+  }
+}
+
+TEST(ColumnGeneratorTest, ZipfSkewsTowardZero) {
+  auto gen = ZipfInt(1000, 1.0);
+  Rng rng(2);
+  Record empty;
+  int zeros = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (gen->Next(rng, i, empty).AsInt64() == 0) zeros++;
+  }
+  EXPECT_GT(zeros, 500);  // rank 0 carries far more than 1/1000 of the mass
+}
+
+TEST(ColumnGeneratorTest, CategoricalStringsHaveBoundedCardinality) {
+  auto gen = CategoricalString("c", 7);
+  Rng rng(3);
+  Record empty;
+  std::set<std::string> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(gen->Next(rng, i, empty).AsString());
+  }
+  EXPECT_LE(seen.size(), 7u);
+  EXPECT_GE(seen.size(), 6u);
+}
+
+TEST(BuildTableTest, BuildsRequestedRows) {
+  Database db;
+  TableSpec spec;
+  spec.name = "t";
+  spec.columns = {{{"a", ValueType::kInt64}, SequentialInt()},
+                  {{"b", ValueType::kInt64}, DerivedInt(0, 2)}};
+  auto t = BuildTable(&db, spec, 500, 9);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->record_count(), 500u);
+  // Spot-check derived correlation on a fetched record.
+  auto cursor = (*t)->heap()->NewCursor();
+  std::string bytes;
+  Rid rid;
+  ASSERT_TRUE(*cursor.Next(&bytes, &rid));
+  Record rec;
+  ASSERT_TRUE(DeserializeRecord((*t)->schema(), bytes, &rec).ok());
+  EXPECT_GE(rec[1].AsInt64(), rec[0].AsInt64());
+  EXPECT_LE(rec[1].AsInt64(), rec[0].AsInt64() + 2);
+}
+
+TEST(BuildTableTest, DeterministicForSeed) {
+  Database db1, db2;
+  auto t1 = BuildFamilies(&db1, 200, 5);
+  auto t2 = BuildFamilies(&db2, 200, 5);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  auto c1 = (*t1)->heap()->NewCursor();
+  auto c2 = (*t2)->heap()->NewCursor();
+  std::string b1, b2;
+  Rid r1, r2;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(*c1.Next(&b1, &r1));
+    ASSERT_TRUE(*c2.Next(&b2, &r2));
+    EXPECT_EQ(b1, b2) << "row " << i;
+  }
+}
+
+TEST(BuildTableTest, PayloadWidensRecords) {
+  Database thin_db, fat_db;
+  auto thin = BuildFamilies(&thin_db, 2000, 5, 0);
+  auto fat = BuildFamilies(&fat_db, 2000, 5, 300);
+  ASSERT_TRUE(thin.ok());
+  ASSERT_TRUE(fat.ok());
+  EXPECT_GT((*fat)->heap()->pages().size(),
+            (*thin)->heap()->pages().size() * 4);
+}
+
+TEST(BuildOrdersTest, SchemaAndSkewShape) {
+  Database db;
+  auto t = BuildOrders(&db, 5000, 1.0);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->schema().num_columns(), 5u);
+  // customer 0 should dominate under theta=1 Zipf.
+  auto cursor = (*t)->heap()->NewCursor();
+  std::string bytes;
+  Rid rid;
+  int customer0 = 0;
+  for (;;) {
+    auto more = cursor.Next(&bytes, &rid);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    Record rec;
+    ASSERT_TRUE(DeserializeRecord((*t)->schema(), bytes, &rec).ok());
+    if (rec[1].AsInt64() == 0) customer0++;
+  }
+  EXPECT_GT(customer0, 150);  // ~1/10000 uniform would be ~0.5
+}
+
+}  // namespace
+}  // namespace dynopt
