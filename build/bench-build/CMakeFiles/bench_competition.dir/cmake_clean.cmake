@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_competition"
+  "../bench/bench_competition.pdb"
+  "CMakeFiles/bench_competition.dir/bench_competition.cc.o"
+  "CMakeFiles/bench_competition.dir/bench_competition.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_competition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_estimation"
+  "../bench/bench_estimation.pdb"
+  "CMakeFiles/bench_estimation.dir/bench_estimation.cc.o"
+  "CMakeFiles/bench_estimation.dir/bench_estimation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

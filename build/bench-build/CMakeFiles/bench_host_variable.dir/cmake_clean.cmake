@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_host_variable"
+  "../bench/bench_host_variable.pdb"
+  "CMakeFiles/bench_host_variable.dir/bench_host_variable.cc.o"
+  "CMakeFiles/bench_host_variable.dir/bench_host_variable.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_host_variable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_hybrid_ridlist"
+  "../bench/bench_hybrid_ridlist.pdb"
+  "CMakeFiles/bench_hybrid_ridlist.dir/bench_hybrid_ridlist.cc.o"
+  "CMakeFiles/bench_hybrid_ridlist.dir/bench_hybrid_ridlist.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hybrid_ridlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

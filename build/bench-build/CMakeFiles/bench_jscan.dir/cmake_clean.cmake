@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_jscan"
+  "../bench/bench_jscan.pdb"
+  "CMakeFiles/bench_jscan.dir/bench_jscan.cc.o"
+  "CMakeFiles/bench_jscan.dir/bench_jscan.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_jscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_or_coverage"
+  "../bench/bench_or_coverage.pdb"
+  "CMakeFiles/bench_or_coverage.dir/bench_or_coverage.cc.o"
+  "CMakeFiles/bench_or_coverage.dir/bench_or_coverage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_or_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

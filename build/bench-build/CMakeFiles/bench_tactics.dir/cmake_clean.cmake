@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tactics"
+  "../bench/bench_tactics.pdb"
+  "CMakeFiles/bench_tactics.dir/bench_tactics.cc.o"
+  "CMakeFiles/bench_tactics.dir/bench_tactics.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tactics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/browse_fastfirst"
+  "../examples/browse_fastfirst.pdb"
+  "CMakeFiles/browse_fastfirst.dir/browse_fastfirst.cpp.o"
+  "CMakeFiles/browse_fastfirst.dir/browse_fastfirst.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/browse_fastfirst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

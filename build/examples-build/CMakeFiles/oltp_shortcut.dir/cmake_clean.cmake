@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/oltp_shortcut"
+  "../examples/oltp_shortcut.pdb"
+  "CMakeFiles/oltp_shortcut.dir/oltp_shortcut.cpp.o"
+  "CMakeFiles/oltp_shortcut.dir/oltp_shortcut.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oltp_shortcut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/skewed_analytics"
+  "../examples/skewed_analytics.pdb"
+  "CMakeFiles/skewed_analytics.dir/skewed_analytics.cpp.o"
+  "CMakeFiles/skewed_analytics.dir/skewed_analytics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skewed_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

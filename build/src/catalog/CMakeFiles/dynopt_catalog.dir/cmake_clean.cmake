@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynopt_catalog.dir/database.cc.o"
+  "CMakeFiles/dynopt_catalog.dir/database.cc.o.d"
+  "CMakeFiles/dynopt_catalog.dir/index.cc.o"
+  "CMakeFiles/dynopt_catalog.dir/index.cc.o.d"
+  "CMakeFiles/dynopt_catalog.dir/table.cc.o"
+  "CMakeFiles/dynopt_catalog.dir/table.cc.o.d"
+  "libdynopt_catalog.a"
+  "libdynopt_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynopt_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

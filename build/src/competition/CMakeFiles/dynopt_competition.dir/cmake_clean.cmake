@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynopt_competition.dir/competition.cc.o"
+  "CMakeFiles/dynopt_competition.dir/competition.cc.o.d"
+  "CMakeFiles/dynopt_competition.dir/cost_dist.cc.o"
+  "CMakeFiles/dynopt_competition.dir/cost_dist.cc.o.d"
+  "libdynopt_competition.a"
+  "libdynopt_competition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynopt_competition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

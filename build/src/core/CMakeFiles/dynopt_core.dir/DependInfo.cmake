@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/access_path.cc" "src/core/CMakeFiles/dynopt_core.dir/access_path.cc.o" "gcc" "src/core/CMakeFiles/dynopt_core.dir/access_path.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/core/CMakeFiles/dynopt_core.dir/explain.cc.o" "gcc" "src/core/CMakeFiles/dynopt_core.dir/explain.cc.o.d"
+  "/root/repo/src/core/jscan.cc" "src/core/CMakeFiles/dynopt_core.dir/jscan.cc.o" "gcc" "src/core/CMakeFiles/dynopt_core.dir/jscan.cc.o.d"
+  "/root/repo/src/core/plan.cc" "src/core/CMakeFiles/dynopt_core.dir/plan.cc.o" "gcc" "src/core/CMakeFiles/dynopt_core.dir/plan.cc.o.d"
+  "/root/repo/src/core/retrieval.cc" "src/core/CMakeFiles/dynopt_core.dir/retrieval.cc.o" "gcc" "src/core/CMakeFiles/dynopt_core.dir/retrieval.cc.o.d"
+  "/root/repo/src/core/static_optimizer.cc" "src/core/CMakeFiles/dynopt_core.dir/static_optimizer.cc.o" "gcc" "src/core/CMakeFiles/dynopt_core.dir/static_optimizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/dynopt_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dynopt_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/dynopt_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/competition/CMakeFiles/dynopt_competition.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/dynopt_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/dynopt_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dynopt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dynopt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynopt_core.dir/access_path.cc.o"
+  "CMakeFiles/dynopt_core.dir/access_path.cc.o.d"
+  "CMakeFiles/dynopt_core.dir/explain.cc.o"
+  "CMakeFiles/dynopt_core.dir/explain.cc.o.d"
+  "CMakeFiles/dynopt_core.dir/jscan.cc.o"
+  "CMakeFiles/dynopt_core.dir/jscan.cc.o.d"
+  "CMakeFiles/dynopt_core.dir/plan.cc.o"
+  "CMakeFiles/dynopt_core.dir/plan.cc.o.d"
+  "CMakeFiles/dynopt_core.dir/retrieval.cc.o"
+  "CMakeFiles/dynopt_core.dir/retrieval.cc.o.d"
+  "CMakeFiles/dynopt_core.dir/static_optimizer.cc.o"
+  "CMakeFiles/dynopt_core.dir/static_optimizer.cc.o.d"
+  "libdynopt_core.a"
+  "libdynopt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynopt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynopt_exec.dir/operators.cc.o"
+  "CMakeFiles/dynopt_exec.dir/operators.cc.o.d"
+  "CMakeFiles/dynopt_exec.dir/rid_set.cc.o"
+  "CMakeFiles/dynopt_exec.dir/rid_set.cc.o.d"
+  "CMakeFiles/dynopt_exec.dir/steppers.cc.o"
+  "CMakeFiles/dynopt_exec.dir/steppers.cc.o.d"
+  "libdynopt_exec.a"
+  "libdynopt_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynopt_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynopt_expr.dir/predicate.cc.o"
+  "CMakeFiles/dynopt_expr.dir/predicate.cc.o.d"
+  "CMakeFiles/dynopt_expr.dir/value.cc.o"
+  "CMakeFiles/dynopt_expr.dir/value.cc.o.d"
+  "libdynopt_expr.a"
+  "libdynopt_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynopt_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/btree.cc" "src/index/CMakeFiles/dynopt_index.dir/btree.cc.o" "gcc" "src/index/CMakeFiles/dynopt_index.dir/btree.cc.o.d"
+  "/root/repo/src/index/encoded_range.cc" "src/index/CMakeFiles/dynopt_index.dir/encoded_range.cc.o" "gcc" "src/index/CMakeFiles/dynopt_index.dir/encoded_range.cc.o.d"
+  "/root/repo/src/index/multi_range_cursor.cc" "src/index/CMakeFiles/dynopt_index.dir/multi_range_cursor.cc.o" "gcc" "src/index/CMakeFiles/dynopt_index.dir/multi_range_cursor.cc.o.d"
+  "/root/repo/src/index/node.cc" "src/index/CMakeFiles/dynopt_index.dir/node.cc.o" "gcc" "src/index/CMakeFiles/dynopt_index.dir/node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/dynopt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dynopt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynopt_index.dir/btree.cc.o"
+  "CMakeFiles/dynopt_index.dir/btree.cc.o.d"
+  "CMakeFiles/dynopt_index.dir/encoded_range.cc.o"
+  "CMakeFiles/dynopt_index.dir/encoded_range.cc.o.d"
+  "CMakeFiles/dynopt_index.dir/multi_range_cursor.cc.o"
+  "CMakeFiles/dynopt_index.dir/multi_range_cursor.cc.o.d"
+  "CMakeFiles/dynopt_index.dir/node.cc.o"
+  "CMakeFiles/dynopt_index.dir/node.cc.o.d"
+  "libdynopt_index.a"
+  "libdynopt_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynopt_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

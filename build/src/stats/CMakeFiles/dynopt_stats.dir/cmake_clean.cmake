@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynopt_stats.dir/estimator.cc.o"
+  "CMakeFiles/dynopt_stats.dir/estimator.cc.o.d"
+  "CMakeFiles/dynopt_stats.dir/hyperbola.cc.o"
+  "CMakeFiles/dynopt_stats.dir/hyperbola.cc.o.d"
+  "CMakeFiles/dynopt_stats.dir/selectivity_dist.cc.o"
+  "CMakeFiles/dynopt_stats.dir/selectivity_dist.cc.o.d"
+  "libdynopt_stats.a"
+  "libdynopt_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynopt_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynopt_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/dynopt_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/dynopt_storage.dir/heap_file.cc.o"
+  "CMakeFiles/dynopt_storage.dir/heap_file.cc.o.d"
+  "CMakeFiles/dynopt_storage.dir/page_store.cc.o"
+  "CMakeFiles/dynopt_storage.dir/page_store.cc.o.d"
+  "CMakeFiles/dynopt_storage.dir/temp_rid_file.cc.o"
+  "CMakeFiles/dynopt_storage.dir/temp_rid_file.cc.o.d"
+  "libdynopt_storage.a"
+  "libdynopt_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynopt_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/ascii_chart.cc" "src/util/CMakeFiles/dynopt_util.dir/ascii_chart.cc.o" "gcc" "src/util/CMakeFiles/dynopt_util.dir/ascii_chart.cc.o.d"
+  "/root/repo/src/util/cost_meter.cc" "src/util/CMakeFiles/dynopt_util.dir/cost_meter.cc.o" "gcc" "src/util/CMakeFiles/dynopt_util.dir/cost_meter.cc.o.d"
+  "/root/repo/src/util/key_codec.cc" "src/util/CMakeFiles/dynopt_util.dir/key_codec.cc.o" "gcc" "src/util/CMakeFiles/dynopt_util.dir/key_codec.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/util/CMakeFiles/dynopt_util.dir/rng.cc.o" "gcc" "src/util/CMakeFiles/dynopt_util.dir/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/util/CMakeFiles/dynopt_util.dir/status.cc.o" "gcc" "src/util/CMakeFiles/dynopt_util.dir/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

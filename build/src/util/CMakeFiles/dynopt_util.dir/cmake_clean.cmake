@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynopt_util.dir/ascii_chart.cc.o"
+  "CMakeFiles/dynopt_util.dir/ascii_chart.cc.o.d"
+  "CMakeFiles/dynopt_util.dir/cost_meter.cc.o"
+  "CMakeFiles/dynopt_util.dir/cost_meter.cc.o.d"
+  "CMakeFiles/dynopt_util.dir/key_codec.cc.o"
+  "CMakeFiles/dynopt_util.dir/key_codec.cc.o.d"
+  "CMakeFiles/dynopt_util.dir/rng.cc.o"
+  "CMakeFiles/dynopt_util.dir/rng.cc.o.d"
+  "CMakeFiles/dynopt_util.dir/status.cc.o"
+  "CMakeFiles/dynopt_util.dir/status.cc.o.d"
+  "libdynopt_util.a"
+  "libdynopt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynopt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

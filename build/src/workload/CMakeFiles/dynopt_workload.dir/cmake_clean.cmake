@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynopt_workload.dir/workload.cc.o"
+  "CMakeFiles/dynopt_workload.dir/workload.cc.o.d"
+  "libdynopt_workload.a"
+  "libdynopt_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynopt_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

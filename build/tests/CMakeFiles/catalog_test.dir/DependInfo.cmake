@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/catalog_test.cc" "tests/CMakeFiles/catalog_test.dir/catalog_test.cc.o" "gcc" "tests/CMakeFiles/catalog_test.dir/catalog_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/catalog/CMakeFiles/dynopt_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/dynopt_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/dynopt_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dynopt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dynopt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

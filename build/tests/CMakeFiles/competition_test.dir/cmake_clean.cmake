@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/competition_test.dir/competition_test.cc.o"
+  "CMakeFiles/competition_test.dir/competition_test.cc.o.d"
+  "competition_test"
+  "competition_test.pdb"
+  "competition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/competition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

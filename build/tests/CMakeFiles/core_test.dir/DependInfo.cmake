@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/core_test.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dynopt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/dynopt_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dynopt_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/dynopt_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/dynopt_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/dynopt_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dynopt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/competition/CMakeFiles/dynopt_competition.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dynopt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_set_test.dir/range_set_test.cc.o"
+  "CMakeFiles/range_set_test.dir/range_set_test.cc.o.d"
+  "range_set_test"
+  "range_set_test.pdb"
+  "range_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

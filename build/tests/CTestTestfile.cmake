@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/btree_test[1]_include.cmake")
+include("/root/repo/build/tests/expr_test[1]_include.cmake")
+include("/root/repo/build/tests/catalog_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/competition_test[1]_include.cmake")
+include("/root/repo/build/tests/exec_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/range_set_test[1]_include.cmake")
+include("/root/repo/build/tests/screening_test[1]_include.cmake")
+include("/root/repo/build/tests/node_test[1]_include.cmake")
+include("/root/repo/build/tests/session_sim_test[1]_include.cmake")
