@@ -22,6 +22,7 @@
 #include "catalog/database.h"
 #include "competition/competition.h"
 #include "core/static_optimizer.h"
+#include "obs/bench_report.h"
 #include "util/ascii_chart.h"
 #include "workload/workload.h"
 
@@ -89,6 +90,14 @@ void Run() {
   std::printf("  skew (mean/median) = %.2f   sorted costs: %s\n\n",
               mean / costs[costs.size() / 2],
               Sparkline(Downsample(costs, 30)).c_str());
+  BenchReport report("cache");
+  report.Add("interference.warm_cost", warm);
+  report.Add("interference.min_cost", costs.front());
+  report.Add("interference.median_cost", costs[costs.size() / 2]);
+  report.Add("interference.mean_cost", mean);
+  report.Add("interference.p95_cost", costs[costs.size() * 95 / 100]);
+  report.Add("interference.max_cost", costs.back());
+  report.Add("interference.skew", mean / costs[costs.size() / 2]);
 
   // Part 2: measured costs of two plans -> empirical competition policy.
   std::vector<double> fscan_costs, tscan_costs;
@@ -113,6 +122,13 @@ void Run() {
               policy.best_probe, policy.best_probe_budget);
   std::printf("  best simultaneous race:     %10.0f (alpha %.2f)\n",
               policy.best_simultaneous, policy.best_alpha);
+  report.Add("empirical.fscan_mean", fscan_dist.Mean());
+  report.Add("empirical.tscan_mean", tscan_dist.Mean());
+  report.Add("empirical.single_best", policy.single_best);
+  report.Add("empirical.best_probe", policy.best_probe);
+  report.Add("empirical.best_simultaneous", policy.best_simultaneous);
+  report.AddMeter("meter", db.meter());
+  report.WriteFile();
   std::printf(
       "\nWhen interference keeps plan costs spread, the competition policy\n"
       "undercuts committing to either plan; when the measured spread is\n"

@@ -17,13 +17,14 @@
 
 #include "competition/competition.h"
 #include "competition/cost_dist.h"
+#include "obs/bench_report.h"
 #include "util/ascii_chart.h"
 #include "util/rng.h"
 
 namespace dynopt {
 namespace {
 
-void DirectSection() {
+void DirectSection(BenchReport* report) {
   std::printf("=== Direct competition (§3) ===\n");
   // Two heavy L-shapes: 50%% of mass sits below ~3 cost units while the
   // means are in the hundreds (b << cmax).
@@ -42,6 +43,8 @@ void DirectSection() {
               (m2 + c2 + m1) / 2.0);
   std::printf("probe-then-switch expectation (quad)  = %.1f\n",
               comp.ExpectedProbeThenSwitch(c2));
+  report->Add("direct.paper_formula", (m2 + c2 + m1) / 2.0);
+  report->Add("direct.probe_then_switch_quad", comp.ExpectedProbeThenSwitch(c2));
   CompetitionPolicy probe{1.0, c2};
   std::printf("probe-then-switch expectation (MC)    = %.1f\n",
               comp.SimulatePolicy(probe, rng, 200000));
@@ -82,9 +85,13 @@ void DirectSection() {
               best.best_simultaneous, best.best_alpha, best.best_sim_budget);
   std::printf("  competition advantage:     %10.2fx\n\n",
               best.single_best / best.best_simultaneous);
+  report->Add("direct.single_best", best.single_best);
+  report->Add("direct.best_probe", best.best_probe);
+  report->Add("direct.best_simultaneous", best.best_simultaneous);
+  report->Add("direct.advantage", best.single_best / best.best_simultaneous);
 }
 
-void TwoStageSection() {
+void TwoStageSection(BenchReport* report) {
   std::printf("=== Two-stage competition (§3/§6) ===\n");
   std::printf(
       "A2 = cheap stage-1 (the index scan) + stage-2 whose exact cost is\n"
@@ -103,6 +110,9 @@ void TwoStageSection() {
     double dy = ts.ExpectedDynamic(0.95);
     std::printf("%10.1f %12.1f %12.1f %12.1f %9.2fx\n", m1, st, dy,
                 ts.SimulateDynamic(0.95, rng, 100000), st / dy);
+    char key[48];
+    std::snprintf(key, sizeof(key), "two_stage.m1x%g.advantage", m1_factor);
+    report->Add(key, st / dy);
   }
 
   std::printf("\n--- the 95%% early-termination margin costs almost "
@@ -119,7 +129,9 @@ void TwoStageSection() {
 }  // namespace dynopt
 
 int main() {
-  dynopt::DirectSection();
-  dynopt::TwoStageSection();
+  dynopt::BenchReport report("competition");
+  dynopt::DirectSection(&report);
+  dynopt::TwoStageSection(&report);
+  report.WriteFile();
   return 0;
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "catalog/database.h"
+#include "obs/bench_report.h"
 #include "stats/estimator.h"
 #include "util/ascii_chart.h"
 #include "workload/workload.h"
@@ -30,7 +31,7 @@ EncodedRange IntRange(int64_t lo, int64_t hi) {
   return *ExtractRange(p, 1, none);
 }
 
-void WorkedExample() {
+void WorkedExample(BenchReport* report) {
   std::printf("=== Figure 5: estimation by descent to a split node ===\n");
   Database db(DatabaseOptions{.pool_pages = 4096});
   auto table = BuildFamilies(&db, 100000);
@@ -57,11 +58,18 @@ void WorkedExample() {
                 t > 0 ? est->estimated_rids / t : est->estimated_rids,
                 static_cast<unsigned long long>(est->descent_pages),
                 est->exact ? "  (exact: leaf-resolved)" : "");
+    char key[48];
+    std::snprintf(key, sizeof(key), "descent.age_%lld_%lld",
+                  static_cast<long long>(lo), static_cast<long long>(hi));
+    std::string k(key);
+    report->Add(k + ".estimate", est->estimated_rids);
+    report->Add(k + ".true", t);
+    report->Add(k + ".pages", static_cast<double>(est->descent_pages));
   }
   std::printf("\n");
 }
 
-void ShootOut() {
+void ShootOut(BenchReport* report) {
   std::printf("=== §5 estimator comparison (100k rows, uniform ages 0-99 "
               "plus a planted 3-value hot cluster) ===\n");
   Database db(DatabaseOptions{.pool_pages = 4096});
@@ -83,6 +91,7 @@ void ShootOut() {
   std::printf("histogram: 100 buckets, build cost = %.0f units "
               "(two full table scans)\n\n",
               hist_build_cost);
+  report->Add("histogram.build_cost", hist_build_cost);
 
   ParamMap none;
   auto residual_true = Predicate::True();
@@ -121,6 +130,15 @@ void ShootOut() {
     std::printf("%22s %12.0f | %12.0f %8.1f | %12.0f %8.1f | %12.0f %8.1f\n",
                 label, truth, split->estimated_rids, split_cost, *h, h_cost,
                 samp->estimated_rids, samp_cost);
+    char key[48];
+    std::snprintf(key, sizeof(key), "income_%lld_%lld",
+                  static_cast<long long>(lo), static_cast<long long>(hi));
+    std::string k(key);
+    report->Add(k + ".true", truth);
+    report->Add(k + ".split_estimate", split->estimated_rids);
+    report->Add(k + ".split_cost", split_cost);
+    report->Add(k + ".histogram_estimate", *h);
+    report->Add(k + ".sampling_estimate", samp->estimated_rids);
   }
   std::printf("\nNote the planted cluster row: the histogram smears ~2000 "
               "records across its bucket while the descent (exact at the "
@@ -157,7 +175,9 @@ void ShootOut() {
 }  // namespace dynopt
 
 int main() {
-  dynopt::WorkedExample();
-  dynopt::ShootOut();
+  dynopt::BenchReport report("estimation");
+  dynopt::WorkedExample(&report);
+  dynopt::ShootOut(&report);
+  report.WriteFile();
   return 0;
 }

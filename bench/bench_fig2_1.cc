@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/bench_report.h"
 #include "stats/hyperbola.h"
 #include "stats/selectivity_dist.h"
 #include "util/ascii_chart.h"
@@ -65,6 +66,7 @@ void Run() {
   // Hyperbola fits (the §2 quantitative claim).
   std::printf("--- Truncated-hyperbola fit quality (paper: &X ~ 1/4 = 0.25, "
               "&&X ~ 1/7 = 0.143, &&&X ~ 1/23 = 0.043) ---\n");
+  BenchReport report("fig2_1");
   std::vector<std::vector<std::string>> rows;
   struct FitCase {
     const char* label;
@@ -82,7 +84,12 @@ void Run() {
     std::snprintf(n2, sizeof(n2), "%.3f", norm.relative_error);
     std::snprintf(n3, sizeof(n3), "%.3f", free.relative_error);
     rows.push_back({fc.label, n1, n2, n3});
+    std::string chain(fc.chain);
+    report.Add(chain + ".paper_err", fc.paper);
+    report.Add(chain + ".normalized_fit_err", norm.relative_error);
+    report.Add(chain + ".free_fit_err", free.relative_error);
   }
+  report.WriteFile();
   std::printf("%s\n",
               FormatTable({"chain", "paper_err", "normalized_fit_err",
                            "free_fit_err"},

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/bench_report.h"
 #include "stats/selectivity_dist.h"
 #include "util/ascii_chart.h"
 
@@ -63,6 +64,17 @@ void Run() {
   std::printf("precision loss from a single AND: stddev %.4f -> %.4f "
               "(x%.0f)\n",
               e0, e1, e1 / e0);
+
+  BenchReport report("fig2_2");
+  report.Add("stddev.X", e0);
+  report.Add("stddev.andX", e1);
+  report.Add("single_and_spread_factor", e1 / e0);
+  for (const auto& [label, dist] : results) {
+    if (label == "&&&X" || label == "|||X") {
+      report.Add("stddev." + label, dist.StdDev());
+    }
+  }
+  report.WriteFile();
 
   std::printf("\n--- CSV (s, then one density column per chain) ---\n");
   std::printf("s");

@@ -23,6 +23,7 @@
 #include "catalog/database.h"
 #include "core/retrieval.h"
 #include "core/static_optimizer.h"
+#include "obs/bench_report.h"
 #include "util/ascii_chart.h"
 #include "workload/workload.h"
 
@@ -121,6 +122,7 @@ void Run() {
   std::printf("%6s %8s | %12s %12s %12s %12s %12s | %s\n", "A1", "rows",
               "dynamic", "static-blind", "frozen-index", "frozen-tscan",
               "oracle", "dynamic vs oracle");
+  BenchReport report("host_variable");
   std::vector<double> dyn_curve, oracle_curve;
   for (int64_t a1 :
        std::vector<int64_t>{0, 10, 25, 50, 75, 90, 95, 98, 99, 100, 200}) {
@@ -136,7 +138,16 @@ void Run() {
                 static_cast<unsigned long long>(dyn.rows), dyn.cost,
                 blind_rc.cost, fidx.cost, ftsc.cost, oracle,
                 dyn.cost / std::max(oracle, 1.0));
+    char key[32];
+    std::snprintf(key, sizeof(key), "a1_%lld", static_cast<long long>(a1));
+    std::string k(key);
+    report.Add(k + ".dynamic_cost", dyn.cost);
+    report.Add(k + ".static_blind_cost", blind_rc.cost);
+    report.Add(k + ".oracle_cost", oracle);
+    report.Add(k + ".dynamic_vs_oracle", dyn.cost / std::max(oracle, 1.0));
   }
+  report.AddMeter("meter", db.meter());
+  report.WriteFile();
   std::printf("\n  dynamic cost over the sweep: %s\n",
               Sparkline(dyn_curve).c_str());
   std::printf("  oracle  cost over the sweep: %s\n",

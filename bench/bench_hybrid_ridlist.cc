@@ -8,6 +8,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "exec/rid_set.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_store.h"
@@ -92,4 +95,21 @@ BENCHMARK(BM_RidListSortedDrain)
 }  // namespace
 }  // namespace dynopt
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults the file reporter to
+// BENCH_hybrid_ridlist.json; command-line flags are parsed after the
+// injected defaults and override them.
+int main(int argc, char** argv) {
+  std::string out = "--benchmark_out=BENCH_hybrid_ridlist.json";
+  std::string fmt = "--benchmark_out_format=json";
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  args.push_back(out.data());
+  args.push_back(fmt.data());
+  for (int i = 1; i < argc; ++i) args.push_back(argv[i]);
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -20,6 +20,7 @@
 #include "catalog/database.h"
 #include "core/access_path.h"
 #include "core/jscan.h"
+#include "obs/bench_report.h"
 #include "workload/workload.h"
 
 namespace dynopt {
@@ -87,8 +88,8 @@ Outcome RunJscan(Database* db, const RetrievalSpec& spec, bool dynamic) {
   return out;
 }
 
-void RunScenario(const char* name, Table* table, Database* db,
-                 PredicateRef pred) {
+void RunScenario(const char* name, const char* key, Table* table,
+                 Database* db, PredicateRef pred, BenchReport* report) {
   RetrievalSpec spec;
   spec.table = table;
   spec.restriction = std::move(pred);
@@ -103,6 +104,13 @@ void RunScenario(const char* name, Table* table, Database* db,
               sta.discarded, sta.skipped,
               static_cast<unsigned long long>(dyn.final_rids),
               static_cast<unsigned long long>(sta.final_rids));
+  std::string k(key);
+  report->Add(k + ".dyn_cost", dyn.cost);
+  report->Add(k + ".static_cost", sta.cost);
+  report->Add(k + ".speedup", sta.cost / std::max(dyn.cost, 1.0));
+  report->Add(k + ".dyn_final_rids", static_cast<double>(dyn.final_rids));
+  report->Add(k + ".dyn_discarded", dyn.discarded);
+  report->Add(k + ".static_discarded", sta.discarded);
 }
 
 void Run() {
@@ -152,19 +160,24 @@ void Run() {
                             Operand::Literal(Value(x + wide)))});
   };
 
+  BenchReport report("jscan");
   std::printf("%-34s | %9s %9s | %7s | per-index outcomes | final lists\n",
               "scenario", "dyn cost", "static", "speedup");
-  for (auto [wide, label] : std::vector<std::pair<int64_t, const char*>>{
-           {10000, "correlated, wide ranges 10%"},
-           {20000, "correlated, wide ranges 20%"},
-           {30000, "correlated, wide ranges 30%"}}) {
-    RunScenario(label, *corr, &db, pred(40000, 300, wide));
+  for (auto [wide, label, key] :
+       std::vector<std::tuple<int64_t, const char*, const char*>>{
+           {10000, "correlated, wide ranges 10%", "corr10"},
+           {20000, "correlated, wide ranges 20%", "corr20"},
+           {30000, "correlated, wide ranges 30%", "corr30"}}) {
+    RunScenario(label, key, *corr, &db, pred(40000, 300, wide), &report);
   }
-  for (auto [wide, label] : std::vector<std::pair<int64_t, const char*>>{
-           {10000, "independent, wide ranges 10%"},
-           {30000, "independent, wide ranges 30%"}}) {
-    RunScenario(label, *indep, &db, pred(40000, 300, wide));
+  for (auto [wide, label, key] :
+       std::vector<std::tuple<int64_t, const char*, const char*>>{
+           {10000, "independent, wide ranges 10%", "indep10"},
+           {30000, "independent, wide ranges 30%", "indep30"}}) {
+    RunScenario(label, key, *indep, &db, pred(40000, 300, wide), &report);
   }
+  report.AddMeter("meter", db.meter());
+  report.WriteFile();
   std::printf(
       "\nExpected shape: on correlated data the dynamic variant aborts the\n"
       "non-shrinking wide scans within a few dozen entries while [MoHa90]\n"

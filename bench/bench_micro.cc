@@ -4,6 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "catalog/database.h"
 #include "index/btree.h"
 #include "stats/selectivity_dist.h"
@@ -163,4 +166,21 @@ BENCHMARK(BM_DistAndUnknown)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace dynopt
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults the file reporter to
+// BENCH_micro.json; flags passed on the command line still win because
+// they are parsed after the injected defaults.
+int main(int argc, char** argv) {
+  std::string out = "--benchmark_out=BENCH_micro.json";
+  std::string fmt = "--benchmark_out_format=json";
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  args.push_back(out.data());
+  args.push_back(fmt.data());
+  for (int i = 1; i < argc; ++i) args.push_back(argv[i]);
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -15,6 +15,7 @@
 
 #include "catalog/database.h"
 #include "core/retrieval.h"
+#include "obs/bench_report.h"
 #include "workload/workload.h"
 
 namespace dynopt {
@@ -41,6 +42,8 @@ void Run() {
     tscan_cost = EstimateTscanCost(spec, db.cost_weights());
   }
 
+  BenchReport report("or_coverage");
+  report.Add("tscan_cost_estimate", tscan_cost);
   std::printf("%6s %8s | %12s %12s | %10s | %s\n", "k", "rows", "dynamic",
               "tscan-est", "vs tscan", "tactic");
   for (int k : {1, 2, 4, 8, 16, 32, 64}) {
@@ -74,7 +77,15 @@ void Run() {
                 static_cast<unsigned long long>(rows), cost, tscan_cost,
                 tscan_cost / std::max(cost, 1.0),
                 std::string(TacticName(engine.tactic())).c_str());
+    char key[32];
+    std::snprintf(key, sizeof(key), "k%d", k);
+    std::string kk(key);
+    report.Add(kk + ".dynamic_cost", cost);
+    report.Add(kk + ".rows", static_cast<double>(rows));
+    report.Add(kk + ".vs_tscan", tscan_cost / std::max(cost, 1.0));
   }
+  report.AddMeter("meter", db.meter());
+  report.WriteFile();
   std::printf(
       "\nWithout OR coverage every one of these queries is a table scan;\n"
       "with it, narrow IN-lists run orders of magnitude cheaper and the\n"

@@ -19,6 +19,7 @@
 #include "catalog/database.h"
 #include "core/retrieval.h"
 #include "core/static_optimizer.h"
+#include "obs/bench_report.h"
 #include "workload/workload.h"
 
 namespace dynopt {
@@ -67,7 +68,7 @@ StaticPlanChoice Frozen(StaticPlanChoice::Kind kind,
   return c;
 }
 
-void GoalSection(Database* db, Table* table) {
+void GoalSection(Database* db, Table* table, BenchReport* report) {
   std::printf("--- §4 goal setting: EXISTS-style first-row delivery, "
               "income in [0:4000] (2%%) AND age <= 90 ---\n");
   RetrievalSpec spec;
@@ -97,9 +98,14 @@ void GoalSection(Database* db, Table* table) {
               "  full drain stays within %.2fx of the total-time run.\n\n",
               tt_first / std::max(ff_first, 1.0),
               ff_all / std::max(tt_all, 1.0));
+  report->Add("goal.fast_first.first_row_cost", ff_first);
+  report->Add("goal.total_time.first_row_cost", tt_first);
+  report->Add("goal.fast_first.full_cost", ff_all);
+  report->Add("goal.total_time.full_cost", tt_all);
+  report->Add("goal.first_row_speedup", tt_first / std::max(ff_first, 1.0));
 }
 
-void BackgroundOnlySection(Database* db, Table* table) {
+void BackgroundOnlySection(Database* db, Table* table, BenchReport* report) {
   std::printf("--- Background-Only vs classical alternatives: income in "
               "[0:4000] (2%%) AND age in [0:30] (31%%) ---\n");
   RetrievalSpec spec;
@@ -136,9 +142,14 @@ void BackgroundOnlySection(Database* db, Table* table) {
   std::printf("  speedup vs best classical: %.2fx, vs worst: %.1fx\n\n",
               std::min({f_income, f_age, tscan}) / std::max(dyn, 1.0),
               std::max({f_income, f_age, tscan}) / std::max(dyn, 1.0));
+  report->Add("bgr_only.dynamic_cost", dyn);
+  report->Add("bgr_only.best_classical_cost",
+              std::min({f_income, f_age, tscan}));
+  report->Add("bgr_only.speedup_vs_best",
+              std::min({f_income, f_age, tscan}) / std::max(dyn, 1.0));
 }
 
-void FastFirstSection(Database* db, Table* table) {
+void FastFirstSection(Database* db, Table* table, BenchReport* report) {
   std::printf("--- Fast-First vs pure strategies: income in [0:4000] AND "
               "age in [0:30], stop after 10 vs drain ---\n");
   RetrievalSpec spec;
@@ -158,13 +169,14 @@ void FastFirstSection(Database* db, Table* table) {
   DynamicRetrieval jscan_only(db, tt_spec);
 
   std::printf("%28s %14s %14s\n", "strategy", "first-10 cost", "drain cost");
-  for (auto [label, run] :
-       std::vector<std::pair<const char*, std::function<double(uint64_t)>>>{
-           {"fast-first tactic",
+  for (auto [label, key, run] :
+       std::vector<std::tuple<const char*, const char*,
+                              std::function<double(uint64_t)>>>{
+           {"fast-first tactic", "fast_first.tactic",
             [&](uint64_t k) { return RunEngine(db, &ff, p, k); }},
-           {"pure Jscan (total-time)",
+           {"pure Jscan (total-time)", "fast_first.pure_jscan",
             [&](uint64_t k) { return RunEngine(db, &jscan_only, p, k); }},
-           {"pure Fscan(by_income)",
+           {"pure Fscan(by_income)", "fast_first.pure_fscan",
             [&](uint64_t k) {
               return RunFrozen(db, spec,
                                Frozen(StaticPlanChoice::Kind::kFscan,
@@ -172,13 +184,17 @@ void FastFirstSection(Database* db, Table* table) {
                                p, k);
             }},
        }) {
-    std::printf("%28s %14.0f %14.0f\n", label, run(10), run(0));
+    double first10 = run(10), drain = run(0);
+    std::printf("%28s %14.0f %14.0f\n", label, first10, drain);
+    std::string k(key);
+    report->Add(k + ".first10_cost", first10);
+    report->Add(k + ".drain_cost", drain);
   }
   std::printf("  Expected: fast-first near-Fscan on the early stop, "
               "near-Jscan on the drain — the best of both worlds.\n\n");
 }
 
-void SortedSection(Database* db, Table* table) {
+void SortedSection(Database* db, Table* table, BenchReport* report) {
   std::printf("--- Sorted tactic: ORDER BY age, restriction income in "
               "[0:2000] (1%%) ---\n");
   RetrievalSpec spec;
@@ -209,9 +225,12 @@ void SortedSection(Database* db, Table* table) {
   std::printf("  filter saves %.1fx by rejecting RIDs before their "
               "fetches.\n\n",
               plain / std::max(dyn, 1.0));
+  report->Add("sorted.filtered_cost", dyn);
+  report->Add("sorted.plain_fscan_cost", plain);
+  report->Add("sorted.filter_speedup", plain / std::max(dyn, 1.0));
 }
 
-void IndexOnlySection(Database* db) {
+void IndexOnlySection(Database* db, BenchReport* report) {
   std::printf("--- Index-Only tactic: covering (age,income) index races "
               "Jscan over by_income2 ---\n");
   TableSpec ts;
@@ -259,6 +278,11 @@ void IndexOnlySection(Database* db) {
   std::printf("  race lands within overhead of the better side "
               "(%.2fx of min).\n",
               dyn / std::max(std::min(sscan, fscan), 1.0));
+  report->Add("index_only.race_cost", dyn);
+  report->Add("index_only.pure_sscan_cost", sscan);
+  report->Add("index_only.pure_fscan_cost", fscan);
+  report->Add("index_only.race_vs_min",
+              dyn / std::max(std::min(sscan, fscan), 1.0));
 }
 
 void Run() {
@@ -282,11 +306,14 @@ void Run() {
   (*table)->CreateIndex("by_age", {"age"}).ok();
   (*table)->CreateIndex("by_income", {"income"}).ok();
 
-  GoalSection(&db, *table);
-  BackgroundOnlySection(&db, *table);
-  FastFirstSection(&db, *table);
-  SortedSection(&db, *table);
-  IndexOnlySection(&db);
+  BenchReport report("tactics");
+  GoalSection(&db, *table, &report);
+  BackgroundOnlySection(&db, *table, &report);
+  FastFirstSection(&db, *table, &report);
+  SortedSection(&db, *table, &report);
+  IndexOnlySection(&db, &report);
+  report.AddMeter("meter", db.meter());
+  report.WriteFile();
 }
 
 }  // namespace

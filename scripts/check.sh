@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build the plain and sanitizer configs, run the full test
+# suite under both. Usage: scripts/check.sh [jobs]
+set -euo pipefail
+
+jobs="${1:-$(nproc 2>/dev/null || echo 4)}"
+root="$(cd "$(dirname "$0")/.." && pwd)"
+
+run_config() {
+  local dir="$1"
+  shift
+  cmake -S "$root" -B "$dir" "$@" >/dev/null
+  cmake --build "$dir" -j "$jobs"
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+}
+
+echo "== plain config (build/) =="
+run_config "$root/build"
+
+echo "== sanitizer config (build-asan/, address,undefined) =="
+run_config "$root/build-asan" -DDYNOPT_SANITIZE=address,undefined
+
+echo "== all checks passed =="

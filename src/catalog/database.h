@@ -8,6 +8,8 @@
 #include <string>
 
 #include "catalog/table.h"
+#include "obs/feedback.h"
+#include "obs/metrics.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_store.h"
 #include "util/cost_meter.h"
@@ -20,12 +22,20 @@ struct DatabaseOptions {
   /// lever for how much cost uncertainty the paper's §3(c) effect injects.
   size_t pool_pages = 1024;
   CostWeights cost_weights;
+  /// Attach the metrics registry and estimation-feedback store to this
+  /// database's components. Off, every instrumentation site in the engine
+  /// reduces to one null-pointer branch.
+  bool observability = true;
 };
 
 class Database {
  public:
   explicit Database(DatabaseOptions options = DatabaseOptions())
-      : options_(options), pool_(&store_, options.pool_pages, &meter_) {}
+      : options_(options), pool_(&store_, options.pool_pages, &meter_) {
+    // Attach before any table/index/stepper exists: they bind their
+    // counters from pool()->metrics() at construction.
+    if (options_.observability) pool_.AttachMetrics(&metrics_);
+  }
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
@@ -39,10 +49,26 @@ class Database {
   /// Scalar cost accumulated so far (the dynamic execution metric).
   double CurrentCost() const { return meter_.Cost(options_.cost_weights); }
 
+  /// Engine-wide counters/histograms; null when observability is off.
+  MetricsRegistry* metrics() {
+    return options_.observability ? &metrics_ : nullptr;
+  }
+  /// Predicted-vs-actual record per retrieval; null when observability off.
+  FeedbackStore* feedback() {
+    return options_.observability ? &feedback_ : nullptr;
+  }
+  /// Registry as JSON with a fresh cost-meter snapshot folded in.
+  std::string ExportMetricsJson() {
+    SnapshotCostMeter(&metrics_, meter_);
+    return metrics_.ToJson();
+  }
+
  private:
   DatabaseOptions options_;
   PageStore store_;
   CostMeter meter_;
+  MetricsRegistry metrics_;   // before pool_: attached in the ctor body
+  FeedbackStore feedback_;
   BufferPool pool_;
   std::map<std::string, std::unique_ptr<Table>, std::less<>> tables_;
 };

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/json.h"
+
 namespace dynopt {
 
 namespace {
@@ -75,6 +77,73 @@ std::string ExplainExecution(const DynamicRetrieval& engine,
   os << "cost: " << cost.Cost(weights) << " units " << cost.ToString()
      << "\n";
   return os.str();
+}
+
+std::string ExplainExecutionJson(const DynamicRetrieval& engine,
+                                 const CostWeights& weights) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("tactic", TacticName(engine.tactic()));
+  w.KV("delivers_order", engine.delivers_order());
+  w.KV("rows_delivered", engine.rows_delivered());
+  w.KV("predicted_rows", engine.predicted_rows());
+  w.KV("predicted_cost", engine.predicted_cost());
+
+  w.Key("access_paths").BeginArray();
+  for (const auto& c : engine.analysis().indexes) {
+    w.BeginObject();
+    w.KV("index", c.index->name());
+    w.KV("self_sufficient", c.self_sufficient);
+    w.KV("order_needed", c.order_needed);
+    w.KV("restricted", c.has_restriction);
+    w.KV("ranges", static_cast<uint64_t>(c.ranges.size()));
+    if (c.estimated) {
+      w.KV("estimated_rids", c.estimate.estimated_rids);
+      w.KV("estimate_exact", c.estimate.exact);
+      w.KV("split_level", static_cast<uint64_t>(c.estimate.split_level));
+      w.KV("descent_pages", c.estimate.descent_pages);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.KV("empty_shortcut", engine.analysis().empty_shortcut);
+  w.KV("tiny_shortcut", engine.analysis().tiny_shortcut);
+
+  if (engine.jscan() != nullptr) {
+    const Jscan& jscan = *engine.jscan();
+    w.Key("joint_scan").BeginObject();
+    w.KV("guaranteed_best_cost", jscan.guaranteed_best_cost());
+    w.KV("tscan_cost_estimate", jscan.tscan_cost_estimate());
+    w.KV("reordered", jscan.reordered());
+    w.Key("outcomes").BeginArray();
+    for (const auto& o : jscan.outcomes()) {
+      w.BeginObject();
+      w.KV("index", o.index_name);
+      w.KV("outcome", OutcomeName(o.kind));
+      w.KV("entries_scanned", o.entries_scanned);
+      w.KV("rids_kept", o.kept);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+
+  w.Key("events");
+  WriteTraceEvents(&w, engine.events());
+
+  CostMeter cost = engine.CostSinceOpen();
+  w.Key("cost").BeginObject();
+  w.KV("total", cost.Cost(weights));
+  w.KV("logical_reads", cost.logical_reads);
+  w.KV("physical_reads", cost.physical_reads);
+  w.KV("physical_writes", cost.physical_writes);
+  w.KV("key_compares", cost.key_compares);
+  w.KV("record_evals", cost.record_evals);
+  w.KV("rid_ops", cost.rid_ops);
+  w.EndObject();
+
+  w.EndObject();
+  return w.str();
 }
 
 }  // namespace dynopt

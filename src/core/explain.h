@@ -22,6 +22,11 @@ namespace dynopt {
 std::string ExplainExecution(const DynamicRetrieval& engine,
                              const CostWeights& weights = CostWeights());
 
+/// The same report as a JSON document: tactic, predictions, access paths,
+/// joint-scan outcomes, the typed event trace, and the cost breakdown.
+std::string ExplainExecutionJson(const DynamicRetrieval& engine,
+                                 const CostWeights& weights = CostWeights());
+
 }  // namespace dynopt
 
 #endif  // DYNOPT_CORE_EXPLAIN_H_

@@ -5,6 +5,19 @@
 
 namespace dynopt {
 
+namespace {
+
+std::string_view OutcomeKindName(Jscan::IndexOutcomeKind kind) {
+  switch (kind) {
+    case Jscan::IndexOutcomeKind::kCompleted: return "completed";
+    case Jscan::IndexOutcomeKind::kDiscarded: return "discarded";
+    case Jscan::IndexOutcomeKind::kSkipped: return "skipped";
+  }
+  return "?";
+}
+
+}  // namespace
+
 Jscan::Jscan(Database* db, const RetrievalSpec& spec, const ParamMap& params,
              std::vector<const IndexClassification*> candidates,
              Options options)
@@ -15,8 +28,40 @@ Jscan::Jscan(Database* db, const RetrievalSpec& spec, const ParamMap& params,
       options_(options) {
   tscan_cost_ = EstimateTscanCost(spec_, db_->cost_weights());
   gbc_ = tscan_cost_;
+  if (MetricsRegistry* r = db_->pool()->metrics()) {
+    m_entries_scanned_ = r->counter("jscan.entries_scanned");
+    m_rids_kept_ = r->counter("jscan.rids_kept");
+    m_scans_completed_ = r->counter("jscan.scans_completed");
+    m_scans_discarded_ = r->counter("jscan.scans_discarded");
+    m_scans_skipped_ = r->counter("jscan.scans_skipped");
+    m_rid_list_size_ = r->histogram(
+        "jscan.rid_list_size", {1, 4, 16, 64, 256, 1024, 4096, 16384, 65536});
+  }
   if (candidates_.empty()) {
     phase_ = Phase::kTscanRecommended;
+  }
+}
+
+void Jscan::EmitOutcome(const IndexOutcome& outcome) {
+  Bump(m_entries_scanned_, outcome.entries_scanned);
+  Bump(m_rids_kept_, outcome.kept);
+  switch (outcome.kind) {
+    case IndexOutcomeKind::kCompleted:
+      Bump(m_scans_completed_);
+      Observe(m_rid_list_size_, static_cast<double>(outcome.kept));
+      break;
+    case IndexOutcomeKind::kDiscarded:
+      Bump(m_scans_discarded_);
+      break;
+    case IndexOutcomeKind::kSkipped:
+      Bump(m_scans_skipped_);
+      break;
+  }
+  if (trace_ != nullptr) {
+    trace_->Emit(TraceEventKind::kJscanIndexOutcome, outcome.index_name,
+                 std::string(OutcomeKindName(outcome.kind)),
+                 static_cast<double>(outcome.entries_scanned),
+                 static_cast<double>(outcome.kept));
   }
 }
 
@@ -56,6 +101,7 @@ Status Jscan::Advance() {
     if (ShouldSkip(*cand)) {
       outcomes_.push_back(
           IndexOutcome{cand->index->name(), IndexOutcomeKind::kSkipped, 0, 0});
+      EmitOutcome(outcomes_.back());
       continue;
     }
     primary_ = StartScan(cand);
@@ -213,6 +259,7 @@ Status Jscan::CompleteScan(std::unique_ptr<ActiveScan> scan) {
     outcomes_.back().kind = IndexOutcomeKind::kDiscarded;
     completed_names_.pop_back();
   }
+  EmitOutcome(outcomes_.back());
   return Status::OK();
 }
 
@@ -283,6 +330,7 @@ Result<bool> Jscan::Step() {
       secondary_.reset();
     } else {
       RecordOutcome(*primary_, IndexOutcomeKind::kDiscarded);
+      EmitOutcome(outcomes_.back());
       primary_.reset();
       if (secondary_ != nullptr) {
         primary_ = std::move(secondary_);

@@ -43,6 +43,7 @@
 #include "exec/rid_set.h"
 #include "exec/steppers.h"
 #include "index/multi_range_cursor.h"
+#include "obs/trace.h"
 
 namespace dynopt {
 
@@ -125,6 +126,11 @@ class Jscan {
     return completed_names_;
   }
 
+  /// Emits a kJscanIndexOutcome event into `log` for every per-index
+  /// verdict (after the verdict is final; a completed first list demoted
+  /// for not beating Tscan reports as discarded). Null disables.
+  void set_trace(TraceLog* log) { trace_ = log; }
+
   /// Fast-first cooperation (§7): hands out the next not-yet-borrowed RID
   /// from the in-memory part of the list currently being built (or, once
   /// complete, the final list). nullopt when nothing new is available.
@@ -160,6 +166,8 @@ class Jscan {
   /// Seals `scan`'s list and installs it as the completed list/filter.
   Status CompleteScan(std::unique_ptr<ActiveScan> scan);
   void RecordOutcome(const ActiveScan& scan, IndexOutcomeKind kind);
+  /// Publishes a finalized outcome to the trace log and registry counters.
+  void EmitOutcome(const IndexOutcome& outcome);
   /// Rebuilds `scan`'s in-memory partial list through the new filter.
   Status RefilterPartial(ActiveScan* scan);
 
@@ -183,6 +191,14 @@ class Jscan {
   std::vector<IndexOutcome> outcomes_;
   std::vector<std::string> completed_names_;
   bool reordered_ = false;
+
+  TraceLog* trace_ = nullptr;
+  Counter* m_entries_scanned_ = nullptr;
+  Counter* m_rids_kept_ = nullptr;
+  Counter* m_scans_completed_ = nullptr;
+  Counter* m_scans_discarded_ = nullptr;
+  Counter* m_scans_skipped_ = nullptr;
+  Histogram* m_rid_list_size_ = nullptr;
 
   uint64_t borrow_generation_ = 0;
   uint64_t borrow_source_generation_ = ~uint64_t{0};

@@ -29,10 +29,32 @@ std::string_view TacticName(Tactic t) {
   return "?";
 }
 
+namespace {
+
+std::string_view ModeName(uint8_t mode) {
+  static constexpr std::string_view kNames[] = {"single", "background",
+                                                "race", "final", "done"};
+  return mode < 5 ? kNames[mode] : "?";
+}
+
+}  // namespace
+
 DynamicRetrieval::DynamicRetrieval(Database* db, RetrievalSpec spec,
                                    RetrievalOptions options)
     : db_(db), spec_(std::move(spec)), options_(options) {
   if (spec_.restriction == nullptr) spec_.restriction = Predicate::True();
+}
+
+void DynamicRetrieval::EnterMode(Mode mode) {
+  mode_ = mode;
+  events_.Emit(TraceEventKind::kStageTransition,
+               std::string(ModeName(static_cast<uint8_t>(mode))));
+}
+
+void DynamicRetrieval::Verdict(std::string_view subject,
+                               std::string_view detail, double a, double b) {
+  events_.Emit(TraceEventKind::kCompetitionVerdict, std::string(subject),
+               std::string(detail), a, b);
 }
 
 Status DynamicRetrieval::Open(const ParamMap& params) {
@@ -40,6 +62,7 @@ Status DynamicRetrieval::Open(const ParamMap& params) {
   queue_.clear();
   delivered_.clear();
   trace_.clear();
+  events_.Clear();
   jscan_.reset();
   single_.reset();
   fscan_fgr_.reset();
@@ -50,6 +73,10 @@ Status DynamicRetrieval::Open(const ParamMap& params) {
   final_rids_.clear();
   final_pos_ = 0;
   delivers_order_ = false;
+  rows_delivered_ = 0;
+  predicted_rows_ = 0;
+  predicted_cost_ = 0;
+  feedback_recorded_ = false;
   open_snapshot_ = db_->meter();
 
   DYNOPT_ASSIGN_OR_RETURN(
@@ -59,18 +86,100 @@ Status DynamicRetrieval::Open(const ParamMap& params) {
                              ? &previous_order_
                              : nullptr));
   TraceEvent(analysis_.ToString());
+  events_.Emit(TraceEventKind::kAnalysis, "access-paths", "",
+               static_cast<double>(analysis_.estimation_pages),
+               static_cast<double>(analysis_.indexes.size()));
   DYNOPT_RETURN_IF_ERROR(DecideTactic());
+  ComputePredictions();
   TraceEvent("tactic: " + std::string(TacticName(tactic_)));
+  events_.Emit(TraceEventKind::kTacticChosen, std::string(TacticName(tactic_)),
+               "", predicted_rows_, predicted_cost_);
   return SetUpTactic();
+}
+
+void DynamicRetrieval::ComputePredictions() {
+  const CostWeights& w = db_->cost_weights();
+  // Cardinality: the tightest restricted-index estimate, or the whole table
+  // when nothing narrows the retrieval.
+  double rows = -1;
+  for (const IndexClassification& c : analysis_.indexes) {
+    if (c.has_restriction && c.estimated) {
+      double est = c.estimate.estimated_rids;
+      if (rows < 0 || est < rows) rows = est;
+    }
+  }
+  if (rows < 0) rows = static_cast<double>(spec_.table->record_count());
+  if (tactic_ == Tactic::kShortcutEmpty) rows = 0;
+  predicted_rows_ = rows;
+
+  auto index_scan_cost = [&](const IndexClassification& c) {
+    double entries = c.estimated
+                         ? c.estimate.estimated_rids
+                         : static_cast<double>(c.index->tree()->entry_count());
+    return EstimateIndexScanCost(
+        entries, std::max(c.index->tree()->AvgFanout(), 1.0), w);
+  };
+
+  switch (tactic_) {
+    case Tactic::kShortcutEmpty:
+      predicted_cost_ = 0;
+      break;
+    case Tactic::kShortcutTiny:
+      predicted_cost_ = EstimateFetchCost(rows, spec_, w);
+      break;
+    case Tactic::kStaticTscan:
+      predicted_cost_ = EstimateTscanCost(spec_, w);
+      break;
+    case Tactic::kStaticSscan:
+    case Tactic::kIndexOnly:
+      predicted_cost_ =
+          index_scan_cost(analysis_.indexes[analysis_.best_self_sufficient]);
+      break;
+    case Tactic::kSorted:
+      predicted_cost_ =
+          index_scan_cost(analysis_.indexes[analysis_.order_needed]) +
+          EstimateFetchCost(rows, spec_, w);
+      break;
+    case Tactic::kBackgroundOnly:
+    case Tactic::kFastFirst: {
+      // First Jscan candidate's scan plus fetching the predicted list.
+      double scan = analysis_.jscan_order.empty()
+                        ? 0.0
+                        : index_scan_cost(
+                              analysis_.indexes[analysis_.jscan_order[0]]);
+      predicted_cost_ = scan + EstimateFetchCost(rows, spec_, w);
+      break;
+    }
+    case Tactic::kUndecided:
+      predicted_cost_ = 0;
+      break;
+  }
+}
+
+void DynamicRetrieval::RecordFeedback() {
+  if (feedback_recorded_) return;
+  feedback_recorded_ = true;
+  FeedbackStore* store = db_->feedback();
+  if (store == nullptr || tactic_ == Tactic::kUndecided) return;
+  FeedbackRecord rec;
+  rec.label = std::string(TacticName(tactic_));
+  rec.predicted_rows = predicted_rows_;
+  rec.actual_rows = static_cast<double>(rows_delivered_);
+  rec.predicted_cost = predicted_cost_;
+  rec.actual_cost = CostSinceOpen().Cost(db_->cost_weights());
+  store->Record(std::move(rec));
 }
 
 Status DynamicRetrieval::DecideTactic() {
   if (analysis_.empty_shortcut) {
     tactic_ = Tactic::kShortcutEmpty;
+    events_.Emit(TraceEventKind::kShortcut, "empty-range");
     return Status::OK();
   }
   if (analysis_.tiny_shortcut) {
     tactic_ = Tactic::kShortcutTiny;
+    events_.Emit(TraceEventKind::kShortcut, "tiny-range",
+                 analysis_.indexes[analysis_.tiny_index].index->name());
     return Status::OK();
   }
   bool has_ss = analysis_.best_self_sufficient >= 0;
@@ -123,7 +232,7 @@ Status DynamicRetrieval::SetUpTactic() {
 
   switch (tactic_) {
     case Tactic::kShortcutEmpty:
-      mode_ = Mode::kDone;
+      EnterMode(Mode::kDone);
       TraceEvent("empty range: end of data at once");
       return Status::OK();
 
@@ -145,7 +254,7 @@ Status DynamicRetrieval::SetUpTactic() {
 
     case Tactic::kStaticTscan:
       single_ = std::make_unique<TscanStepper>(db_->pool(), spec_, params_);
-      mode_ = Mode::kSingle;
+      EnterMode(Mode::kSingle);
       return Status::OK();
 
     case Tactic::kStaticSscan: {
@@ -154,22 +263,24 @@ Status DynamicRetrieval::SetUpTactic() {
       single_ = std::make_unique<SscanStepper>(db_->pool(), spec_, params_,
                                                c.index, c.ranges);
       delivers_order_ = spec_.order_by_column.has_value() && c.order_needed;
-      mode_ = Mode::kSingle;
+      EnterMode(Mode::kSingle);
       return Status::OK();
     }
 
     case Tactic::kBackgroundOnly:
       jscan_ = std::make_unique<Jscan>(db_, spec_, params_,
                                        jscan_candidates(-1), options_.jscan);
-      mode_ = Mode::kBackground;
+      jscan_->set_trace(&events_);
+      EnterMode(Mode::kBackground);
       return Status::OK();
 
     case Tactic::kFastFirst:
       jscan_ = std::make_unique<Jscan>(db_, spec_, params_,
                                        jscan_candidates(-1), options_.jscan);
+      jscan_->set_trace(&events_);
       fgr_active_ = true;
       track_delivered_ = true;
-      mode_ = Mode::kRace;
+      EnterMode(Mode::kRace);
       return Status::OK();
 
     case Tactic::kSorted: {
@@ -183,13 +294,15 @@ Status DynamicRetrieval::SetUpTactic() {
       auto rest = jscan_candidates(analysis_.order_needed);
       if (rest.empty()) {
         TraceEvent("sorted: no background candidates, plain Fscan");
+        Verdict("no-background", "plain fscan");
         single_ = std::move(fscan_fgr_);
-        mode_ = Mode::kSingle;
+        EnterMode(Mode::kSingle);
         return Status::OK();
       }
       jscan_ = std::make_unique<Jscan>(db_, spec_, params_, std::move(rest),
                                        options_.jscan);
-      mode_ = Mode::kRace;
+      jscan_->set_trace(&events_);
+      EnterMode(Mode::kRace);
       return Status::OK();
     }
 
@@ -202,8 +315,9 @@ Status DynamicRetrieval::SetUpTactic() {
       jscan_ = std::make_unique<Jscan>(
           db_, spec_, params_,
           jscan_candidates(analysis_.best_self_sufficient), options_.jscan);
+      jscan_->set_trace(&events_);
       track_delivered_ = true;
-      mode_ = Mode::kRace;
+      EnterMode(Mode::kRace);
       return Status::OK();
     }
 
@@ -218,9 +332,13 @@ Result<bool> DynamicRetrieval::Next(OutputRow* row) {
     if (!queue_.empty()) {
       *row = std::move(queue_.front());
       queue_.pop_front();
+      rows_delivered_++;
       return true;
     }
-    if (mode_ == Mode::kDone) return false;
+    if (mode_ == Mode::kDone) {
+      RecordFeedback();
+      return false;
+    }
     DYNOPT_RETURN_IF_ERROR(Pump());
   }
 }
@@ -249,7 +367,7 @@ Status DynamicRetrieval::StepSingle() {
     queue_.push_back(std::move(r));
   }
   if (!more) {
-    mode_ = Mode::kDone;
+    EnterMode(Mode::kDone);
     TraceEvent(single_->label() + " completed retrieval");
   }
   return Status::OK();
@@ -265,11 +383,13 @@ Status DynamicRetrieval::StepBackground() {
                             jscan_->final_list()->ToSortedVector());
     TraceEvent("jscan complete: " + std::to_string(rids.size()) +
                " rids to final stage");
+    Verdict("jscan-complete", "", static_cast<double>(rids.size()));
     return BeginFinalStage(std::move(rids));
   }
   TraceEvent("jscan recommended tscan");
+  Verdict("jscan-recommends-tscan");
   single_ = std::make_unique<TscanStepper>(db_->pool(), spec_, params_);
-  mode_ = Mode::kSingle;
+  EnterMode(Mode::kSingle);
   return Status::OK();
 }
 
@@ -319,15 +439,20 @@ Status DynamicRetrieval::StepForeground() {
       // Competition criteria for terminating the foreground (§7).
       if (delivered_.size() >= options_.fgr_buffer_capacity) {
         TraceEvent("fgr buffer overflow: fall back to background-only");
+        Verdict("fgr-buffer-overflow", "background-only",
+                static_cast<double>(delivered_.size()));
         fgr_active_ = false;
-        mode_ = Mode::kBackground;
+        EnterMode(Mode::kBackground);
         return Status::OK();
       }
       if (fgr_accrued_.Cost(db_->cost_weights()) >
           options_.fgr_cost_limit_fraction * jscan_->guaranteed_best_cost()) {
         TraceEvent("fgr cost limit reached: fall back to background-only");
+        Verdict("fgr-cost-limit", "background-only",
+                fgr_accrued_.Cost(db_->cost_weights()),
+                jscan_->guaranteed_best_cost());
         fgr_active_ = false;
-        mode_ = Mode::kBackground;
+        EnterMode(Mode::kBackground);
       }
       return Status::OK();
     }
@@ -338,7 +463,8 @@ Status DynamicRetrieval::StepForeground() {
       for (auto& r : rows) queue_.push_back(std::move(r));
       if (!more) {
         TraceEvent("fscan completed first: jscan abandoned");
-        mode_ = Mode::kDone;
+        Verdict("foreground-finished", "fscan");
+        EnterMode(Mode::kDone);
       }
       return Status::OK();
     }
@@ -352,17 +478,20 @@ Status DynamicRetrieval::StepForeground() {
       }
       if (!more) {
         TraceEvent("sscan completed first: jscan abandoned");
-        mode_ = Mode::kDone;
+        Verdict("foreground-finished", "sscan");
+        EnterMode(Mode::kDone);
         return Status::OK();
       }
       if (track_delivered_ &&
           delivered_.size() >= options_.fgr_buffer_capacity) {
         // The safer strategy survives the buffer overflow (§7).
         TraceEvent("fgr buffer overflow: jscan terminated, sscan continues");
+        Verdict("fgr-buffer-overflow", "sscan-retained",
+                static_cast<double>(delivered_.size()));
         track_delivered_ = false;
         delivered_.clear();
         single_ = std::move(sscan_fgr_);
-        mode_ = Mode::kSingle;
+        EnterMode(Mode::kSingle);
       }
       return Status::OK();
     }
@@ -385,22 +514,29 @@ Status DynamicRetrieval::OnBackgroundSettled() {
         TraceEvent("jscan complete during race: final stage (" +
                    std::to_string(rids.size()) + " rids, " +
                    std::to_string(delivered_.size()) + " already delivered)");
+        Verdict("jscan-complete", "during race",
+                static_cast<double>(rids.size()),
+                static_cast<double>(delivered_.size()));
         return BeginFinalStage(std::move(rids));
       }
       TraceEvent("jscan recommended tscan: foreground switches to tscan");
+      Verdict("jscan-recommends-tscan", "foreground switches");
       single_ = std::make_unique<TscanStepper>(db_->pool(), spec_, params_);
-      mode_ = Mode::kSingle;  // delivered_ still filters duplicates
+      EnterMode(Mode::kSingle);  // delivered_ still filters duplicates
       return Status::OK();
 
     case Tactic::kSorted:
       if (complete) {
         TraceEvent("jscan filter installed into fscan");
+        Verdict("filter-installed", "",
+                static_cast<double>(jscan_->final_list()->size()));
         fscan_fgr_->SetPreFetchFilter(jscan_->final_list());
       } else {
         TraceEvent("jscan found no useful filter: fscan continues plain");
+        Verdict("no-filter");
       }
       single_ = std::move(fscan_fgr_);
-      mode_ = Mode::kSingle;
+      EnterMode(Mode::kSingle);
       return Status::OK();
 
     case Tactic::kIndexOnly:
@@ -426,17 +562,20 @@ Status DynamicRetrieval::OnBackgroundSettled() {
                                   jscan_->final_list()->ToSortedVector());
           TraceEvent("jscan won the race: sscan abandoned, final stage (" +
                      std::to_string(rids.size()) + " rids)");
+          Verdict("jscan-won", "sscan abandoned", fin_cost, ss_remaining);
           sscan_fgr_.reset();
           return BeginFinalStage(std::move(rids));
         }
         TraceEvent("jscan list too costly to fetch: sscan continues alone");
+        Verdict("sscan-retained", "list too costly", fin_cost, ss_remaining);
       } else {
         TraceEvent("jscan recommended tscan: sscan (safer) continues alone");
+        Verdict("jscan-recommends-tscan", "sscan continues");
       }
       track_delivered_ = false;
       delivered_.clear();
       single_ = std::move(sscan_fgr_);
-      mode_ = Mode::kSingle;
+      EnterMode(Mode::kSingle);
       return Status::OK();
 
     default:
@@ -448,13 +587,13 @@ Status DynamicRetrieval::BeginFinalStage(std::vector<Rid> rids) {
   std::sort(rids.begin(), rids.end());
   final_rids_ = std::move(rids);
   final_pos_ = 0;
-  mode_ = Mode::kFinal;
+  EnterMode(Mode::kFinal);
   return Status::OK();
 }
 
 Status DynamicRetrieval::StepFinal() {
   if (final_pos_ >= final_rids_.size()) {
-    mode_ = Mode::kDone;
+    EnterMode(Mode::kDone);
     TraceEvent("final stage complete");
     return Status::OK();
   }

@@ -42,6 +42,7 @@
 #include "exec/retrieval_spec.h"
 #include "exec/steppers.h"
 #include "index/multi_range_cursor.h"
+#include "obs/trace.h"
 
 namespace dynopt {
 
@@ -93,8 +94,19 @@ class DynamicRetrieval {
   /// a sort otherwise).
   bool delivers_order() const { return delivers_order_; }
   const std::vector<std::string>& trace() const { return trace_; }
+  /// Typed trace of this execution (cleared by Open): the machine-readable
+  /// twin of trace() — analysis, shortcuts, the chosen tactic, every stage
+  /// transition and competition verdict, per-index Jscan outcomes.
+  const TraceLog& events() const { return events_; }
   const AccessPathAnalysis& analysis() const { return analysis_; }
   const Jscan* jscan() const { return jscan_.get(); }
+
+  /// Rows handed out by Next() this execution.
+  uint64_t rows_delivered() const { return rows_delivered_; }
+  /// Pre-execution predictions behind the kTacticChosen event; compared
+  /// against actuals in the database's FeedbackStore at end of retrieval.
+  double predicted_rows() const { return predicted_rows_; }
+  double predicted_cost() const { return predicted_cost_; }
 
   /// Cost accrued by this execution so far (database-meter delta).
   CostMeter CostSinceOpen() const { return db_->meter() - open_snapshot_; }
@@ -109,6 +121,15 @@ class DynamicRetrieval {
   };
 
   void TraceEvent(std::string what) { trace_.push_back(std::move(what)); }
+  /// Switches stage and emits the kStageTransition event (Fig 4 edges).
+  void EnterMode(Mode mode);
+  /// Emits a kCompetitionVerdict event (subject = stable verdict slug).
+  void Verdict(std::string_view subject, std::string_view detail = {},
+               double a = 0, double b = 0);
+  /// Fills predicted_rows_/predicted_cost_ for the decided tactic.
+  void ComputePredictions();
+  /// Reports predicted vs actual to the database's feedback store (once).
+  void RecordFeedback();
   Status DecideTactic();
   Status SetUpTactic();
   /// One scheduling quantum; may enqueue rows.
@@ -136,8 +157,13 @@ class DynamicRetrieval {
   bool delivers_order_ = false;
   AccessPathAnalysis analysis_;
   std::vector<std::string> trace_;
+  TraceLog events_;
   std::vector<std::string> previous_order_;
   CostMeter open_snapshot_;
+  uint64_t rows_delivered_ = 0;
+  double predicted_rows_ = 0;
+  double predicted_cost_ = 0;
+  bool feedback_recorded_ = false;
 
   std::unique_ptr<Jscan> jscan_;
   std::unique_ptr<ScanStepper> single_;     // kSingle stepper

@@ -27,7 +27,7 @@ Result<std::vector<Value>> ProjectSparse(
 
 TscanStepper::TscanStepper(BufferPool* pool, const RetrievalSpec& spec,
                            const ParamMap& params)
-    : ScanStepper("Tscan"),
+    : ScanStepper("Tscan", pool),
       pool_(pool),
       spec_(spec),
       params_(params),
@@ -49,9 +49,11 @@ Result<bool> TscanStepper::Step(std::vector<OutputRow>* out) {
       DeserializeRecord(spec_.table->schema(), bytes, &record));
   RowView view(&record);
   pool_->meter_ptr()->record_evals++;
+  Bump(m_rows_screened_);
   DYNOPT_ASSIGN_OR_RETURN(bool keep, spec_.restriction->Eval(view, params_));
   if (keep) {
     out->push_back(OutputRow{ProjectRecord(spec_, record), rid});
+    Bump(m_rows_delivered_);
   }
   return true;
 }
@@ -61,13 +63,17 @@ Result<bool> TscanStepper::Step(std::vector<OutputRow>* out) {
 FscanStepper::FscanStepper(BufferPool* pool, const RetrievalSpec& spec,
                            const ParamMap& params, SecondaryIndex* index,
                            RangeSet ranges)
-    : ScanStepper("Fscan(" + index->name() + ")"),
+    : ScanStepper("Fscan(" + index->name() + ")", pool),
       pool_(pool),
       spec_(spec),
       params_(params),
       index_(index),
       ranges_(std::move(ranges)),
-      cursor_(index->tree(), &ranges_) {}
+      cursor_(index->tree(), &ranges_) {
+  if (pool->metrics() != nullptr) {
+    m_records_fetched_ = pool->metrics()->counter("exec.records_fetched");
+  }
+}
 
 Result<bool> FscanStepper::Step(std::vector<OutputRow>* out) {
   if (exhausted_) return false;
@@ -88,18 +94,22 @@ Result<bool> FscanStepper::Step(std::vector<OutputRow>* out) {
     DYNOPT_RETURN_IF_ERROR(index_->DecodeKeyColumns(key, &sparse));
     RowView sview(&sparse);
     pool_->meter_ptr()->record_evals++;
+    Bump(m_rows_screened_);
     DYNOPT_ASSIGN_OR_RETURN(bool pass, screen_->Eval(sview, params_));
     if (!pass) return true;  // screened out from the key alone
   }
   Record record;
   DYNOPT_ASSIGN_OR_RETURN(record, spec_.table->Fetch(rid));
   records_fetched_++;
+  Bump(m_records_fetched_);
   RowView view(&record);
   pool_->meter_ptr()->record_evals++;
+  Bump(m_rows_screened_);
   DYNOPT_ASSIGN_OR_RETURN(bool keep, spec_.restriction->Eval(view, params_));
   if (keep) {
     out->push_back(OutputRow{ProjectRecord(spec_, record), rid});
     rows_delivered_++;
+    Bump(m_rows_delivered_);
   }
   return true;
 }
@@ -109,7 +119,7 @@ Result<bool> FscanStepper::Step(std::vector<OutputRow>* out) {
 SscanStepper::SscanStepper(BufferPool* pool, const RetrievalSpec& spec,
                            const ParamMap& params, SecondaryIndex* index,
                            RangeSet ranges)
-    : ScanStepper("Sscan(" + index->name() + ")"),
+    : ScanStepper("Sscan(" + index->name() + ")", pool),
       pool_(pool),
       spec_(spec),
       params_(params),
@@ -132,11 +142,13 @@ Result<bool> SscanStepper::Step(std::vector<OutputRow>* out) {
   DYNOPT_RETURN_IF_ERROR(index_->DecodeKeyColumns(key, &sparse));
   RowView view(&sparse);
   pool_->meter_ptr()->record_evals++;
+  Bump(m_rows_screened_);
   DYNOPT_ASSIGN_OR_RETURN(bool keep, spec_.restriction->Eval(view, params_));
   if (keep) {
     DYNOPT_ASSIGN_OR_RETURN(std::vector<Value> values,
                             ProjectSparse(spec_, sparse));
     out->push_back(OutputRow{std::move(values), rid});
+    Bump(m_rows_delivered_);
   }
   return true;
 }

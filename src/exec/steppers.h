@@ -58,11 +58,20 @@ class ScanStepper {
   const std::string& label() const { return label_; }
 
  protected:
-  explicit ScanStepper(std::string label) : label_(std::move(label)) {}
+  /// Binds the shared executor counters from `pool`'s attached registry
+  /// (null pool or detached registry leaves them disabled).
+  ScanStepper(std::string label, BufferPool* pool) : label_(std::move(label)) {
+    if (pool != nullptr && pool->metrics() != nullptr) {
+      m_rows_screened_ = pool->metrics()->counter("exec.rows_screened");
+      m_rows_delivered_ = pool->metrics()->counter("exec.rows_delivered");
+    }
+  }
 
   std::string label_;
   CostMeter accrued_;
   bool exhausted_ = false;
+  Counter* m_rows_screened_ = nullptr;   // restriction/screen evaluations
+  Counter* m_rows_delivered_ = nullptr;  // rows pushed to the output queue
 };
 
 /// Projects `record` (full, schema order) onto the spec's projection.
@@ -123,6 +132,7 @@ class FscanStepper final : public ScanStepper {
   MultiRangeCursor cursor_;
   const HybridRidList* filter_ = nullptr;
   PredicateRef screen_;
+  Counter* m_records_fetched_ = nullptr;
   uint64_t entries_scanned_ = 0;
   uint64_t records_fetched_ = 0;
   uint64_t rows_delivered_ = 0;

@@ -24,6 +24,12 @@ struct InternalEntryTmp {
 
 Result<std::unique_ptr<BTree>> BTree::Create(BufferPool* pool) {
   std::unique_ptr<BTree> tree(new BTree(pool));
+  if (MetricsRegistry* r = pool->metrics()) {
+    tree->m_descents_ = r->counter("btree.descents");
+    tree->m_node_reads_ = r->counter("btree.node_reads");
+    tree->m_estimates_ = r->counter("btree.estimates");
+    tree->m_sample_probes_ = r->counter("btree.sample_probes");
+  }
   DYNOPT_ASSIGN_OR_RETURN(PageGuard root, pool->NewPage());
   NodeRef n(root.mutable_data());
   n.Init(NodeType::kLeaf, 1);
@@ -40,10 +46,16 @@ double BTree::AvgFanout() const {
   return std::max(f, 1.0);
 }
 
+uint64_t BTree::node_reads() const {
+  return m_node_reads_ != nullptr ? m_node_reads_->value : 0;
+}
+
 Result<PageId> BTree::DescendToLeaf(std::string_view key,
                                     std::vector<PathStep>* path) {
+  Bump(m_descents_);
   PageId cur = root_;
   for (;;) {
+    Bump(m_node_reads_);
     DYNOPT_ASSIGN_OR_RETURN(PageGuard page, pool_->Pin(cur));
     NodeRef n(const_cast<uint8_t*>(page.data()));
     if (n.is_leaf()) return cur;
@@ -245,9 +257,11 @@ Result<RangeEstimate> BTree::EstimateRange(const EncodedRange& range) {
     est.exact = true;
     return est;
   }
+  Bump(m_estimates_);
   PageId cur = root_;
   uint32_t level = height_;
   for (;;) {
+    Bump(m_node_reads_);
     DYNOPT_ASSIGN_OR_RETURN(PageGuard page, pool_->Pin(cur));
     est.descent_pages++;
     NodeRef n(const_cast<uint8_t*>(page.data()));
@@ -300,9 +314,11 @@ Result<RangeEstimate> BTree::EstimateRanges(const RangeSet& set) {
 }
 
 Result<uint64_t> BTree::RankOfKey(std::string_view key) {
+  Bump(m_descents_);
   PageId cur = root_;
   uint64_t rank = 0;
   for (;;) {
+    Bump(m_node_reads_);
     DYNOPT_ASSIGN_OR_RETURN(PageGuard page, pool_->Pin(cur));
     NodeRef n(const_cast<uint8_t*>(page.data()));
     uint64_t* cmp = &pool_->meter_ptr()->key_compares;
@@ -338,10 +354,12 @@ Result<std::optional<IndexEntry>> BTree::SampleRange(const EncodedRange& range,
     DYNOPT_ASSIGN_OR_RETURN(lo_rank, RankOfKey(range.lo));
   }
   uint64_t target = lo_rank + rng.NextBounded(count);
+  Bump(m_sample_probes_);
   // Ranked selection: descend by subtree counts.
   PageId cur = root_;
   uint64_t rem = target;
   for (;;) {
+    Bump(m_node_reads_);
     DYNOPT_ASSIGN_OR_RETURN(PageGuard page, pool_->Pin(cur));
     NodeRef n(const_cast<uint8_t*>(page.data()));
     if (n.is_leaf()) {
@@ -371,8 +389,10 @@ Result<std::optional<IndexEntry>> BTree::SampleRange(const EncodedRange& range,
 
 Result<std::optional<IndexEntry>> BTree::SampleAcceptReject(Rng& rng) {
   if (entry_count_ == 0) return std::optional<IndexEntry>();
+  Bump(m_sample_probes_);
   PageId cur = root_;
   for (;;) {
+    Bump(m_node_reads_);
     DYNOPT_ASSIGN_OR_RETURN(PageGuard page, pool_->Pin(cur));
     NodeRef n(const_cast<uint8_t*>(page.data()));
     uint64_t slot = rng.NextBounded(max_fanout_seen_);

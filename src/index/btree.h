@@ -118,6 +118,7 @@ class BTree {
 
   uint64_t entry_count() const { return entry_count_; }
   uint32_t height() const { return height_; }
+  uint64_t node_reads() const;  // metered node visits (0 when detached)
   uint64_t node_count() const { return node_count_; }
   uint64_t leaf_count() const { return leaf_count_; }
   /// Average entries per node across all nodes (the estimator's f).
@@ -167,6 +168,13 @@ class BTree {
                       std::vector<PageId>* leaf_chain);
 
   BufferPool* pool_;
+  // Registry counters, bound at Create() from the pool's attached registry
+  // (null when the pool has none; Bump is then a single branch). Shared
+  // across all trees on one pool — the registry aggregates by name.
+  Counter* m_descents_ = nullptr;
+  Counter* m_node_reads_ = nullptr;
+  Counter* m_estimates_ = nullptr;
+  Counter* m_sample_probes_ = nullptr;
   PageId root_ = kInvalidPageId;
   uint32_t height_ = 1;
   uint64_t entry_count_ = 0;

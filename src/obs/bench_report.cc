@@ -1,0 +1,56 @@
+#include "obs/bench_report.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "obs/json.h"
+
+namespace dynopt {
+
+BenchReport::BenchReport(std::string bench_name)
+    : name_(std::move(bench_name)) {}
+
+void BenchReport::Add(std::string_view key, double value) {
+  values_.emplace_back(std::string(key), value);
+}
+
+void BenchReport::AddMeter(std::string_view prefix, const CostMeter& meter) {
+  std::string p(prefix);
+  Add(p + ".physical_reads", static_cast<double>(meter.physical_reads));
+  Add(p + ".physical_writes", static_cast<double>(meter.physical_writes));
+  Add(p + ".logical_reads", static_cast<double>(meter.logical_reads));
+  Add(p + ".key_compares", static_cast<double>(meter.key_compares));
+  Add(p + ".record_evals", static_cast<double>(meter.record_evals));
+  Add(p + ".rid_ops", static_cast<double>(meter.rid_ops));
+}
+
+std::string BenchReport::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("bench", name_);
+  w.Key("figures").BeginObject();
+  for (const auto& [key, value] : values_) {
+    w.KV(key, value);
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+bool BenchReport::WriteFile(const std::string& dir) const {
+  std::string path = dir + "/BENCH_" + name_ + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << ToJson() << "\n";
+  if (!out.good()) {
+    std::fprintf(stderr, "warning: short write to %s\n", path.c_str());
+    return false;
+  }
+  std::printf("[bench-report] wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace dynopt

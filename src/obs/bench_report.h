@@ -1,0 +1,42 @@
+// Machine-readable bench output.
+//
+// Every bench binary prints a human report to stdout and, through this
+// helper, drops a flat BENCH_<name>.json next to it (cwd) with its key
+// result figures and cost-meter counters — the artifact the perf
+// trajectory across PRs is tracked by.
+
+#ifndef DYNOPT_OBS_BENCH_REPORT_H_
+#define DYNOPT_OBS_BENCH_REPORT_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/cost_meter.h"
+
+namespace dynopt {
+
+class BenchReport {
+ public:
+  /// `bench_name` without the "bench_" prefix, e.g. "jscan".
+  explicit BenchReport(std::string bench_name);
+
+  void Add(std::string_view key, double value);
+  /// Adds the meter's counters as "<prefix>.physical_reads" etc.
+  void AddMeter(std::string_view prefix, const CostMeter& meter);
+
+  std::string ToJson() const;
+
+  /// Writes BENCH_<name>.json into `dir`; returns false on I/O failure
+  /// (benches warn but don't fail — stdout remains the primary report).
+  bool WriteFile(const std::string& dir = ".") const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> values_;
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_OBS_BENCH_REPORT_H_

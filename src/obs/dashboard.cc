@@ -1,0 +1,72 @@
+#include "obs/dashboard.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/ascii_chart.h"
+
+namespace dynopt {
+
+namespace {
+
+std::string Fmt(double v) {
+  char buf[32];
+  if (v == static_cast<double>(static_cast<int64_t>(v)) && v < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string RenderDashboard(const MetricsRegistry& metrics,
+                            const DashboardOptions& options) {
+  std::ostringstream os;
+  os << "== " << options.title << " ==\n";
+
+  auto counters = metrics.counters();
+  if (!counters.empty()) {
+    std::vector<std::vector<std::string>> rows;
+    for (const Counter* c : counters) {
+      rows.push_back({c->name, std::to_string(c->value)});
+    }
+    os << FormatTable({"counter", "value"}, rows);
+  }
+
+  for (const Histogram* h : metrics.histograms()) {
+    std::vector<double> heights;
+    for (uint64_t n : h->buckets()) heights.push_back(static_cast<double>(n));
+    os << h->name() << " (n=" << h->count() << ", sum=" << Fmt(h->sum())
+       << "): " << Sparkline(heights) << "\n";
+  }
+
+  if (options.meter != nullptr) {
+    os << "cost meter: " << options.meter->ToString() << "\n";
+  }
+
+  if (options.feedback != nullptr && options.feedback->size() > 0) {
+    const FeedbackStore& fb = *options.feedback;
+    auto rows_summary = fb.RowsSummary();
+    auto cost_summary = fb.CostSummary();
+    std::vector<std::vector<std::string>> rows = {
+        {"rows", Fmt(rows_summary.mean), Fmt(rows_summary.p50),
+         Fmt(rows_summary.p90), Fmt(rows_summary.p95), Fmt(rows_summary.max)},
+        {"cost", Fmt(cost_summary.mean), Fmt(cost_summary.p50),
+         Fmt(cost_summary.p90), Fmt(cost_summary.p95), Fmt(cost_summary.max)},
+    };
+    os << "estimation feedback (" << fb.size() << " executions, q-error):\n"
+       << FormatTable({"estimate", "mean", "p50", "p90", "p95", "max"}, rows);
+    std::vector<double> errors;
+    for (const FeedbackRecord& r : fb.records()) {
+      errors.push_back(r.rows_q_error);
+    }
+    os << "rows q-error per execution: "
+       << Sparkline(Downsample(errors, 60)) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dynopt

@@ -1,0 +1,30 @@
+// Workload-level ASCII dashboard.
+//
+// One call renders the registry's counters, its histograms (as sparklines
+// over bucket counts), the cost meter, and the feedback store's q-error
+// summaries as a terminal-friendly report — the human companion to the
+// JSON exports, built on util/ascii_chart.
+
+#ifndef DYNOPT_OBS_DASHBOARD_H_
+#define DYNOPT_OBS_DASHBOARD_H_
+
+#include <string>
+
+#include "obs/feedback.h"
+#include "obs/metrics.h"
+#include "util/cost_meter.h"
+
+namespace dynopt {
+
+struct DashboardOptions {
+  std::string title = "observability dashboard";
+  const CostMeter* meter = nullptr;         // optional cost snapshot
+  const FeedbackStore* feedback = nullptr;  // optional q-error section
+};
+
+std::string RenderDashboard(const MetricsRegistry& metrics,
+                            const DashboardOptions& options = {});
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_OBS_DASHBOARD_H_

@@ -1,0 +1,100 @@
+#include "obs/feedback.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dynopt {
+
+double QError(double predicted, double actual, double eps) {
+  double p = std::max(std::fabs(predicted), eps);
+  double a = std::max(std::fabs(actual), eps);
+  return std::max(p / a, a / p);
+}
+
+void FeedbackStore::Record(FeedbackRecord record) {
+  record.rows_q_error = QError(record.predicted_rows, record.actual_rows);
+  record.cost_q_error = QError(record.predicted_cost, record.actual_cost);
+  records_.push_back(std::move(record));
+}
+
+FeedbackStore::ErrorSummary FeedbackStore::Summarize(
+    std::vector<double> errors) {
+  ErrorSummary s;
+  if (errors.empty()) return s;
+  std::sort(errors.begin(), errors.end());
+  s.count = errors.size();
+  double sum = 0;
+  for (double e : errors) sum += e;
+  s.mean = sum / static_cast<double>(errors.size());
+  auto rank = [&](double p) {
+    // Nearest-rank: the smallest value with at least p of the mass at or
+    // below it.
+    size_t i = static_cast<size_t>(
+        std::ceil(p * static_cast<double>(errors.size())));
+    return errors[std::min(i == 0 ? 0 : i - 1, errors.size() - 1)];
+  };
+  s.p50 = rank(0.50);
+  s.p90 = rank(0.90);
+  s.p95 = rank(0.95);
+  s.max = errors.back();
+  return s;
+}
+
+FeedbackStore::ErrorSummary FeedbackStore::RowsSummary() const {
+  std::vector<double> errors;
+  errors.reserve(records_.size());
+  for (const FeedbackRecord& r : records_) errors.push_back(r.rows_q_error);
+  return Summarize(std::move(errors));
+}
+
+FeedbackStore::ErrorSummary FeedbackStore::CostSummary() const {
+  std::vector<double> errors;
+  errors.reserve(records_.size());
+  for (const FeedbackRecord& r : records_) errors.push_back(r.cost_q_error);
+  return Summarize(std::move(errors));
+}
+
+namespace {
+
+void WriteSummary(JsonWriter* w, const FeedbackStore::ErrorSummary& s) {
+  w->BeginObject();
+  w->KV("count", s.count);
+  w->KV("mean", s.mean);
+  w->KV("p50", s.p50);
+  w->KV("p90", s.p90);
+  w->KV("p95", s.p95);
+  w->KV("max", s.max);
+  w->EndObject();
+}
+
+}  // namespace
+
+void WriteFeedback(JsonWriter* w, const FeedbackStore& store) {
+  w->BeginObject();
+  w->Key("records").BeginArray();
+  for (const FeedbackRecord& r : store.records()) {
+    w->BeginObject();
+    w->KV("label", r.label);
+    w->KV("predicted_rows", r.predicted_rows);
+    w->KV("actual_rows", r.actual_rows);
+    w->KV("predicted_cost", r.predicted_cost);
+    w->KV("actual_cost", r.actual_cost);
+    w->KV("rows_q_error", r.rows_q_error);
+    w->KV("cost_q_error", r.cost_q_error);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->Key("rows_summary");
+  WriteSummary(w, store.RowsSummary());
+  w->Key("cost_summary");
+  WriteSummary(w, store.CostSummary());
+  w->EndObject();
+}
+
+std::string FeedbackStore::ToJson() const {
+  JsonWriter w;
+  WriteFeedback(&w, *this);
+  return w.str();
+}
+
+}  // namespace dynopt

@@ -1,0 +1,75 @@
+// Estimation-feedback store — predicted vs. actual, per execution.
+//
+// The competition tactics live or die by estimate quality, and the AQO
+// literature's core loop is exactly this record: what the estimator
+// predicted (range cardinality, plan cost) against what execution observed.
+// Every completed DynamicRetrieval deposits one record here; tests and
+// benches query the running q-error statistics, and later adaptivity work
+// (estimate correction, tactic-threshold tuning) reads the same store.
+//
+// q-error is the standard multiplicative miss measure:
+//   q(pred, act) = max(pred/act, act/pred), clamped at a small floor so
+// zero-row predictions/results stay finite. q = 1 is a perfect estimate.
+
+#ifndef DYNOPT_OBS_FEEDBACK_H_
+#define DYNOPT_OBS_FEEDBACK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace dynopt {
+
+/// max(pred/act, act/pred) with both sides floored at `eps` (so an exact
+/// zero-vs-zero is 1.0 and zero-vs-n is finite).
+double QError(double predicted, double actual, double eps = 1.0);
+
+struct FeedbackRecord {
+  std::string label;  // tactic name, query tag — whatever the caller keys by
+  double predicted_rows = 0;
+  double actual_rows = 0;
+  double predicted_cost = 0;
+  double actual_cost = 0;
+  // Filled by FeedbackStore::Record; stored so percentile queries are O(n).
+  double rows_q_error = 1;
+  double cost_q_error = 1;
+};
+
+class FeedbackStore {
+ public:
+  /// Computes the record's q-errors and appends it.
+  void Record(FeedbackRecord record);
+
+  size_t size() const { return records_.size(); }
+  const std::vector<FeedbackRecord>& records() const { return records_; }
+  void Clear() { records_.clear(); }
+
+  struct ErrorSummary {
+    uint64_t count = 0;
+    double mean = 1;
+    double p50 = 1;  // nearest-rank percentiles over all recorded q-errors
+    double p90 = 1;
+    double p95 = 1;
+    double max = 1;
+  };
+
+  /// Running q-error statistics for the cardinality estimates.
+  ErrorSummary RowsSummary() const;
+  /// Running q-error statistics for the cost estimates.
+  ErrorSummary CostSummary() const;
+
+  std::string ToJson() const;
+
+ private:
+  static ErrorSummary Summarize(std::vector<double> errors);
+
+  std::vector<FeedbackRecord> records_;
+};
+
+void WriteFeedback(JsonWriter* w, const FeedbackStore& store);
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_OBS_FEEDBACK_H_

@@ -1,0 +1,124 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace dynopt {
+
+Histogram::Histogram(std::string name, std::vector<double> bounds)
+    : name_(std::move(name)), bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Observe(double value) {
+  // First bound >= value is the owning bucket (bounds are inclusive upper
+  // limits); past the last bound lands in the overflow bucket.
+  size_t i =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
+  buckets_[i]++;
+  count_++;
+  sum_ += value;
+}
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  auto it = counters_by_name_.find(name);
+  if (it != counters_by_name_.end()) return it->second;
+  counter_slots_.push_back(Counter{std::string(name), 0});
+  Counter* c = &counter_slots_.back();
+  counters_by_name_.emplace(c->name, c);
+  return c;
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  auto it = histograms_by_name_.find(name);
+  if (it != histograms_by_name_.end()) return it->second;
+  histogram_slots_.emplace_back(std::string(name), std::move(bounds));
+  Histogram* h = &histogram_slots_.back();
+  histograms_by_name_.emplace(h->name(), h);
+  return h;
+}
+
+const Counter* MetricsRegistry::FindCounter(std::string_view name) const {
+  auto it = counters_by_name_.find(name);
+  return it == counters_by_name_.end() ? nullptr : it->second;
+}
+
+const Histogram* MetricsRegistry::FindHistogram(std::string_view name) const {
+  auto it = histograms_by_name_.find(name);
+  return it == histograms_by_name_.end() ? nullptr : it->second;
+}
+
+uint64_t MetricsRegistry::Value(std::string_view name) const {
+  const Counter* c = FindCounter(name);
+  return c == nullptr ? 0 : c->value;
+}
+
+void MetricsRegistry::Set(std::string_view name, uint64_t value) {
+  counter(name)->value = value;
+}
+
+void MetricsRegistry::Reset() {
+  for (Counter& c : counter_slots_) c.value = 0;
+  for (Histogram& h : histogram_slots_) {
+    // Re-observe from zero: buckets/count/sum reset, bounds survive.
+    h = Histogram(h.name(), h.bounds());
+  }
+  // The map points into the deque; rebuilding histograms in place above
+  // keeps addresses stable, so nothing else to fix up.
+}
+
+std::vector<const Counter*> MetricsRegistry::counters() const {
+  std::vector<const Counter*> out;
+  out.reserve(counters_by_name_.size());
+  for (const auto& [name, c] : counters_by_name_) out.push_back(c);
+  return out;
+}
+
+std::vector<const Histogram*> MetricsRegistry::histograms() const {
+  std::vector<const Histogram*> out;
+  out.reserve(histograms_by_name_.size());
+  for (const auto& [name, h] : histograms_by_name_) out.push_back(h);
+  return out;
+}
+
+void WriteMetrics(JsonWriter* w, const MetricsRegistry& registry) {
+  w->BeginObject();
+  w->Key("counters").BeginObject();
+  for (const Counter* c : registry.counters()) {
+    w->KV(c->name, c->value);
+  }
+  w->EndObject();
+  w->Key("histograms").BeginObject();
+  for (const Histogram* h : registry.histograms()) {
+    w->Key(h->name()).BeginObject();
+    w->KV("count", h->count());
+    w->KV("sum", h->sum());
+    w->Key("bounds").BeginArray();
+    for (double b : h->bounds()) w->Number(b);
+    w->EndArray();
+    w->Key("buckets").BeginArray();
+    for (uint64_t n : h->buckets()) w->Uint(n);
+    w->EndArray();
+    w->EndObject();
+  }
+  w->EndObject();
+  w->EndObject();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  JsonWriter w;
+  WriteMetrics(&w, *this);
+  return w.str();
+}
+
+void SnapshotCostMeter(MetricsRegistry* registry, const CostMeter& meter) {
+  registry->Set("cost.physical_reads", meter.physical_reads);
+  registry->Set("cost.physical_writes", meter.physical_writes);
+  registry->Set("cost.logical_reads", meter.logical_reads);
+  registry->Set("cost.key_compares", meter.key_compares);
+  registry->Set("cost.record_evals", meter.record_evals);
+  registry->Set("cost.rid_ops", meter.rid_ops);
+}
+
+}  // namespace dynopt

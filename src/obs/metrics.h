@@ -1,0 +1,112 @@
+// Metrics registry — named counters and fixed-bucket histograms.
+//
+// Engine components (buffer pool, B-tree, steppers, Jscan) register named
+// counters once at construction and bump them through raw pointers on the
+// hot path: no lookup, no allocation, no lock. When no registry is attached
+// the pointers stay null and every instrumentation site is a single
+// predictable branch — the cheap runtime guard that keeps disabled-mode
+// cost unmeasurable.
+//
+// The registry aggregates across queries (it belongs to the Database); the
+// per-execution story is told by the typed trace (obs/trace.h) and the
+// feedback store (obs/feedback.h).
+
+#ifndef DYNOPT_OBS_METRICS_H_
+#define DYNOPT_OBS_METRICS_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+#include "util/cost_meter.h"
+
+namespace dynopt {
+
+struct Counter {
+  std::string name;
+  uint64_t value = 0;
+};
+
+/// Null-safe increment: the instrumentation idiom for detachable metrics.
+inline void Bump(Counter* c, uint64_t n = 1) {
+  if (c != nullptr) c->value += n;
+}
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds;
+/// one overflow bucket catches everything above the last bound. Buckets are
+/// fixed at registration so Observe() never allocates.
+class Histogram {
+ public:
+  Histogram(std::string name, std::vector<double> bounds);
+
+  void Observe(double value);
+
+  const std::string& name() const { return name_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; last is the overflow bucket.
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::string name_;
+  std::vector<double> bounds_;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+};
+
+inline void Observe(Histogram* h, double value) {
+  if (h != nullptr) h->Observe(value);
+}
+
+class MetricsRegistry {
+ public:
+  /// Finds or creates the named counter. The returned pointer is stable for
+  /// the registry's lifetime — hold it, don't re-look it up.
+  Counter* counter(std::string_view name);
+
+  /// Finds or creates the named histogram. `bounds` applies only on
+  /// creation; later callers share the existing instance.
+  Histogram* histogram(std::string_view name, std::vector<double> bounds);
+
+  const Counter* FindCounter(std::string_view name) const;
+  const Histogram* FindHistogram(std::string_view name) const;
+  /// Counter value by name; 0 when the counter does not exist.
+  uint64_t Value(std::string_view name) const;
+  /// Gauge-style overwrite (used for snapshots, e.g. cost-meter exports).
+  void Set(std::string_view name, uint64_t value);
+
+  /// Zeroes every counter and histogram (names and buckets survive, so
+  /// held pointers stay valid).
+  void Reset();
+
+  /// Name-ordered views for rendering.
+  std::vector<const Counter*> counters() const;
+  std::vector<const Histogram*> histograms() const;
+
+  std::string ToJson() const;
+
+ private:
+  // deques: stable addresses under growth.
+  std::deque<Counter> counter_slots_;
+  std::deque<Histogram> histogram_slots_;
+  std::map<std::string, Counter*, std::less<>> counters_by_name_;
+  std::map<std::string, Histogram*, std::less<>> histograms_by_name_;
+};
+
+/// Copies a CostMeter's primitive-operation counters into "cost.*" gauges —
+/// how the dynamic execution metric shows up next to component metrics in
+/// one export.
+void SnapshotCostMeter(MetricsRegistry* registry, const CostMeter& meter);
+
+/// Renders the registry as a JSON object into an in-progress writer.
+void WriteMetrics(JsonWriter* w, const MetricsRegistry& registry);
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_OBS_METRICS_H_

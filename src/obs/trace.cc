@@ -1,0 +1,72 @@
+#include "obs/trace.h"
+
+namespace dynopt {
+
+std::string_view TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kAnalysis:
+      return "analysis";
+    case TraceEventKind::kShortcut:
+      return "shortcut";
+    case TraceEventKind::kTacticChosen:
+      return "tactic-chosen";
+    case TraceEventKind::kStageTransition:
+      return "stage-transition";
+    case TraceEventKind::kCompetitionVerdict:
+      return "competition-verdict";
+    case TraceEventKind::kJscanIndexOutcome:
+      return "jscan-index-outcome";
+  }
+  return "?";
+}
+
+const TraceEvent& TraceLog::Emit(TraceEventKind kind, std::string subject,
+                                 std::string detail, double a, double b) {
+  events_.push_back(TraceEvent{next_seq_++, kind, std::move(subject),
+                               std::move(detail), a, b});
+  return events_.back();
+}
+
+void TraceLog::Clear() {
+  events_.clear();
+  next_seq_ = 0;
+}
+
+const TraceEvent* TraceLog::Find(TraceEventKind kind,
+                                 std::string_view subject) const {
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind && e.subject == subject) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> TraceLog::Subjects(TraceEventKind kind) const {
+  std::vector<std::string> out;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind) out.push_back(e.subject);
+  }
+  return out;
+}
+
+void WriteTraceEvents(JsonWriter* w, const TraceLog& log) {
+  w->BeginArray();
+  for (const TraceEvent& e : log.events()) {
+    w->BeginObject();
+    w->KV("seq", e.seq);
+    w->KV("kind", TraceEventKindName(e.kind));
+    w->KV("subject", e.subject);
+    if (!e.detail.empty()) w->KV("detail", e.detail);
+    w->KV("a", e.a);
+    w->KV("b", e.b);
+    w->EndObject();
+  }
+  w->EndArray();
+}
+
+std::string TraceLog::ToJson() const {
+  JsonWriter w;
+  WriteTraceEvents(&w, *this);
+  return w.str();
+}
+
+}  // namespace dynopt

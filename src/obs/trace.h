@@ -1,0 +1,77 @@
+// Typed trace events — the machine-readable decision log.
+//
+// The paper's engine "watches itself run": every tactic choice, shortcut,
+// competition verdict, and stage transition is an observable decision. The
+// seed recorded those as free-form strings; this log records them as typed
+// events with a kind enum and structured fields, so tests assert on event
+// kinds instead of substring fishing and exporters render them as JSON.
+//
+// Events carry monotonic per-log sequence numbers instead of timestamps:
+// runs stay bit-deterministic, and ordering (the Fig 4 state machine) is
+// still fully reconstructible.
+
+#ifndef DYNOPT_OBS_TRACE_H_
+#define DYNOPT_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace dynopt {
+
+enum class TraceEventKind : uint8_t {
+  kAnalysis,           // initial stage done; a = estimation pages, b = #indexes
+  kShortcut,           // OLTP shortcut taken; subject = "empty-range"/"tiny-range"
+  kTacticChosen,       // subject = tactic name
+  kStageTransition,    // subject = entered stage ("race", "final", "done", ...)
+  kCompetitionVerdict, // a run-time decision; subject = verdict tag
+  kJscanIndexOutcome,  // subject = index name; a = entries scanned, b = kept
+};
+
+std::string_view TraceEventKindName(TraceEventKind kind);
+
+struct TraceEvent {
+  uint64_t seq = 0;  // monotonic within one log; deterministic, not a clock
+  TraceEventKind kind = TraceEventKind::kAnalysis;
+  std::string subject;  // the decision's object (tactic/stage/index/verdict)
+  std::string detail;   // human-readable supplement; never asserted on
+  double a = 0;         // kind-specific figures (see kind comments)
+  double b = 0;
+};
+
+/// Append-only event log. One log per retrieval execution (cleared on
+/// re-Open), or one per workload when aggregating.
+class TraceLog {
+ public:
+  const TraceEvent& Emit(TraceEventKind kind, std::string subject,
+                         std::string detail = std::string(), double a = 0,
+                         double b = 0);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void Clear();
+
+  bool Contains(TraceEventKind kind, std::string_view subject) const {
+    return Find(kind, subject) != nullptr;
+  }
+  /// First event of `kind` whose subject equals `subject`; null if absent.
+  const TraceEvent* Find(TraceEventKind kind, std::string_view subject) const;
+  /// Subjects of all events of `kind`, in emission order.
+  std::vector<std::string> Subjects(TraceEventKind kind) const;
+
+  std::string ToJson() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  uint64_t next_seq_ = 0;
+};
+
+/// Renders the log as a JSON array into an in-progress writer (for
+/// embedding inside larger documents, e.g. the EXPLAIN export).
+void WriteTraceEvents(JsonWriter* w, const TraceLog& log);
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_OBS_TRACE_H_

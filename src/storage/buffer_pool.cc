@@ -57,6 +57,7 @@ Result<PageGuard> BufferPool::Pin(PageId id) {
   meter_->logical_reads++;
   auto it = table_.find(id);
   if (it != table_.end()) {
+    Bump(hit_count_);
     Frame& f = frames_[it->second];
     if (f.pins == 0) {
       lru_.erase(f.lru_pos);
@@ -64,6 +65,7 @@ Result<PageGuard> BufferPool::Pin(PageId id) {
     f.pins++;
     return PageGuard(this, it->second, id);
   }
+  Bump(miss_count_);
   DYNOPT_ASSIGN_OR_RETURN(size_t frame, GrabFrame());
   Frame& f = frames_[frame];
   DYNOPT_RETURN_IF_ERROR(store_->Read(id, &f.data));
@@ -95,10 +97,23 @@ Status BufferPool::FlushAll() {
     if (f.in_use && f.dirty) {
       DYNOPT_RETURN_IF_ERROR(store_->Write(f.id, f.data));
       meter_->physical_writes++;
+      Bump(writeback_count_);
       f.dirty = false;
     }
   }
   return Status::OK();
+}
+
+void BufferPool::AttachMetrics(MetricsRegistry* registry) {
+  metrics_ = registry;
+  if (registry == nullptr) {
+    hit_count_ = miss_count_ = eviction_count_ = writeback_count_ = nullptr;
+    return;
+  }
+  hit_count_ = registry->counter("buffer_pool.hits");
+  miss_count_ = registry->counter("buffer_pool.misses");
+  eviction_count_ = registry->counter("buffer_pool.evictions");
+  writeback_count_ = registry->counter("buffer_pool.writebacks");
 }
 
 Status BufferPool::EvictAll() {
@@ -134,9 +149,11 @@ void BufferPool::Unpin(size_t frame) {
 Status BufferPool::EvictFrame(size_t frame) {
   Frame& f = frames_[frame];
   assert(f.in_use && f.pins == 0);
+  Bump(eviction_count_);
   if (f.dirty) {
     DYNOPT_RETURN_IF_ERROR(store_->Write(f.id, f.data));
     meter_->physical_writes++;
+    Bump(writeback_count_);
     f.dirty = false;
   }
   table_.erase(f.id);

@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "storage/page.h"
 #include "storage/page_store.h"
 #include "util/cost_meter.h"
@@ -88,6 +89,14 @@ class BufferPool {
   CostMeter* meter_ptr() { return meter_; }
   PageStore* store() { return store_; }
 
+  /// Attaches hit/miss/eviction/writeback counters and publishes `registry`
+  /// to the components built on this pool (B-trees, steppers, Jscan attach
+  /// their own counters through metrics() at construction). Null detaches;
+  /// detached instrumentation sites cost one predictable branch. Attach
+  /// before creating dependent components — they bind at construction.
+  void AttachMetrics(MetricsRegistry* registry);
+  MetricsRegistry* metrics() const { return metrics_; }
+
  private:
   friend class PageGuard;
 
@@ -109,6 +118,11 @@ class BufferPool {
   size_t capacity_;
   CostMeter own_meter_;
   CostMeter* meter_;
+  MetricsRegistry* metrics_ = nullptr;
+  Counter* hit_count_ = nullptr;
+  Counter* miss_count_ = nullptr;
+  Counter* eviction_count_ = nullptr;
+  Counter* writeback_count_ = nullptr;
   std::vector<Frame> frames_;
   std::vector<size_t> free_frames_;
   std::unordered_map<PageId, size_t> table_;

@@ -84,11 +84,17 @@ std::multiset<uint64_t> NaiveRids(Database* db, const RetrievalSpec& spec,
   return rids;
 }
 
+// Kept for one smoke test below; decision assertions use the typed event
+// log (engine.events()) everywhere else.
 bool TraceContains(const DynamicRetrieval& e, const std::string& needle) {
   for (const auto& line : e.trace()) {
     if (line.find(needle) != std::string::npos) return true;
   }
   return false;
+}
+
+bool SawVerdict(const DynamicRetrieval& e, std::string_view subject) {
+  return e.events().Contains(TraceEventKind::kCompetitionVerdict, subject);
 }
 
 PredicateRef AgeGe(Operand op) {
@@ -312,6 +318,8 @@ TEST(HostVariableTest, DynamicEngineAdaptsPerRun) {
   ASSERT_TRUE(engine.Open(run1).ok());
   auto rids1 = DrainRids(&engine);
   EXPECT_EQ(rids1.size(), 8000u);
+  // The string-trace smoke test: the free-form log stays populated and
+  // greppable alongside the typed events.
   EXPECT_TRUE(TraceContains(engine, "tscan"))
       << "wide range should end in a table scan";
   double cost1 = engine.CostSinceOpen().Cost(f.db.cost_weights());
@@ -691,7 +699,7 @@ TEST(RaceTest, FastFirstBufferOverflowFallsBackToBackground) {
   ASSERT_TRUE(engine.Open(params).ok());
   auto rids = DrainRids(&engine);
   EXPECT_EQ(rids, NaiveRids(&f.db, spec, params));
-  EXPECT_TRUE(TraceContains(engine, "fgr buffer overflow"));
+  EXPECT_TRUE(SawVerdict(engine, "fgr-buffer-overflow"));
 }
 
 TEST(RaceTest, IndexOnlySurvivesJscanTermination) {
@@ -729,9 +737,9 @@ TEST(RaceTest, SortedTacticInstallsFilterOrFinishesFirst) {
   ASSERT_EQ(engine.tactic(), Tactic::kSorted);
   auto rids = DrainRids(&engine);
   EXPECT_EQ(rids, NaiveRids(&f.db, spec, params));
-  EXPECT_TRUE(TraceContains(engine, "filter installed") ||
-              TraceContains(engine, "fscan completed first") ||
-              TraceContains(engine, "no useful filter"));
+  EXPECT_TRUE(SawVerdict(engine, "filter-installed") ||
+              SawVerdict(engine, "foreground-finished") ||
+              SawVerdict(engine, "no-filter"));
 }
 
 // ------------------------------------------- §7 extension: OR coverage
@@ -871,7 +879,7 @@ TEST(RaceTest, FastFirstCostLimitTriggersFallback) {
   ASSERT_TRUE(engine.Open(params).ok());
   auto rids = DrainRids(&engine);
   EXPECT_EQ(rids, NaiveRids(&f.db, spec, params));
-  EXPECT_TRUE(TraceContains(engine, "fgr cost limit"));
+  EXPECT_TRUE(SawVerdict(engine, "fgr-cost-limit"));
 }
 
 TEST(TacticTest, SortedTacticAlsoServesTotalTime) {

@@ -1,0 +1,537 @@
+// Observability-layer tests: typed trace vs Fig 4, registry counters wired
+// through the engine, estimation-feedback q-errors, and the JSON exporters
+// (validated by a minimal recursive-descent checker — no JSON library).
+
+#include <cctype>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "catalog/database.h"
+#include "core/explain.h"
+#include "core/retrieval.h"
+#include "obs/dashboard.h"
+#include "obs/feedback.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/rng.h"
+
+namespace dynopt {
+namespace {
+
+// ----------------------------------------------------- minimal JSON checker
+//
+// Accepts exactly RFC 8259 value grammar (objects, arrays, strings with
+// escapes, numbers, true/false/null). Used to prove the hand-rolled
+// exporters emit parseable documents.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool Valid() {
+    pos_ = 0;
+    bool ok = Value();
+    Ws();
+    return ok && pos_ == s_.size();
+  }
+
+ private:
+  void Ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      pos_++;
+    }
+  }
+  bool Eat(char c) {
+    Ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      pos_++;
+      return true;
+    }
+    return false;
+  }
+  bool Lit(const char* word) {
+    size_t n = std::string_view(word).size();
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool String() {
+    if (!Eat('"')) return false;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        pos_++;
+        if (pos_ >= s_.size()) return false;
+        char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            pos_++;
+            if (pos_ >= s_.size() || !std::isxdigit(s_[pos_])) return false;
+          }
+        } else if (std::string_view("\"\\/bfnrt").find(e) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(s_[pos_]) < 0x20) {
+        return false;
+      }
+      pos_++;
+    }
+    return pos_ < s_.size() && s_[pos_++] == '"';
+  }
+  bool Number() {
+    size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') pos_++;
+    while (pos_ < s_.size() && std::isdigit(s_[pos_])) pos_++;
+    if (pos_ == start || (pos_ == start + 1 && s_[start] == '-')) return false;
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      pos_++;
+      if (pos_ >= s_.size() || !std::isdigit(s_[pos_])) return false;
+      while (pos_ < s_.size() && std::isdigit(s_[pos_])) pos_++;
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      pos_++;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) pos_++;
+      if (pos_ >= s_.size() || !std::isdigit(s_[pos_])) return false;
+      while (pos_ < s_.size() && std::isdigit(s_[pos_])) pos_++;
+    }
+    return true;
+  }
+  bool Value() {
+    Ws();
+    if (pos_ >= s_.size()) return false;
+    char c = s_[pos_];
+    if (c == '{') return Object();
+    if (c == '[') return Array();
+    if (c == '"') return String();
+    if (c == 't') return Lit("true");
+    if (c == 'f') return Lit("false");
+    if (c == 'n') return Lit("null");
+    return Number();
+  }
+  bool Object() {
+    if (!Eat('{')) return false;
+    if (Eat('}')) return true;
+    for (;;) {
+      Ws();
+      if (!String()) return false;
+      if (!Eat(':')) return false;
+      if (!Value()) return false;
+      if (Eat('}')) return true;
+      if (!Eat(',')) return false;
+    }
+  }
+  bool Array() {
+    if (!Eat('[')) return false;
+    if (Eat(']')) return true;
+    for (;;) {
+      if (!Value()) return false;
+      if (Eat(']')) return true;
+      if (!Eat(',')) return false;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+// ----------------------------------------------------------------- fixture
+
+struct Families {
+  Database db;
+  Table* table = nullptr;
+
+  explicit Families(int n = 5000, size_t pool_pages = 4096,
+                    bool observability = true)
+      : db(DatabaseOptions{.pool_pages = pool_pages,
+                           .observability = observability}) {
+    auto t = db.CreateTable(
+        "families", Schema({{"id", ValueType::kInt64},
+                            {"age", ValueType::kInt64},
+                            {"income", ValueType::kInt64},
+                            {"city", ValueType::kString}}));
+    EXPECT_TRUE(t.ok());
+    table = *t;
+    Rng rng(42);
+    for (int i = 0; i < n; ++i) {
+      int64_t age = rng.NextInt(0, 99);
+      int64_t income = rng.NextInt(0, 200000);
+      std::string city = "city" + std::to_string(rng.NextBounded(50));
+      EXPECT_TRUE(table->Insert(Record{int64_t{i}, age, income, city}).ok());
+    }
+  }
+
+  void Index(const std::string& name, std::vector<std::string> cols) {
+    auto idx = table->CreateIndex(name, cols);
+    ASSERT_TRUE(idx.ok()) << idx.status();
+  }
+
+  RetrievalSpec Spec(PredicateRef pred, std::vector<uint32_t> proj,
+                     OptimizationGoal goal = OptimizationGoal::kTotalTime) {
+    RetrievalSpec s;
+    s.table = table;
+    s.restriction = std::move(pred);
+    s.projection = std::move(proj);
+    s.goal = goal;
+    return s;
+  }
+};
+
+size_t Drain(DynamicRetrieval* engine) {
+  size_t n = 0;
+  OutputRow row;
+  for (;;) {
+    auto more = engine->Next(&row);
+    EXPECT_TRUE(more.ok()) << more.status();
+    if (!more.ok() || !*more) break;
+    n++;
+  }
+  return n;
+}
+
+PredicateRef AgeBetween(int64_t lo, int64_t hi) {
+  return Predicate::Between(1, Operand::Literal(Value(lo)),
+                            Operand::Literal(Value(hi)));
+}
+
+// ------------------------------------------------------------- typed trace
+
+TEST(TypedTraceTest, TscanFollowsFig4Transitions) {
+  Families f(1000);
+  DynamicRetrieval engine(&f.db, f.Spec(AgeBetween(10, 20), {0, 1}));
+  ParamMap params;
+  ASSERT_TRUE(engine.Open(params).ok());
+  ASSERT_EQ(engine.tactic(), Tactic::kStaticTscan);  // no indexes at all
+  Drain(&engine);
+
+  const auto& ev = engine.events().events();
+  ASSERT_GE(ev.size(), 4u);
+  // Fig 4: initial stage -> tactic decision -> execution stages.
+  EXPECT_EQ(ev[0].kind, TraceEventKind::kAnalysis);
+  EXPECT_EQ(ev[1].kind, TraceEventKind::kTacticChosen);
+  EXPECT_EQ(ev[1].subject, "static-tscan");
+  EXPECT_EQ(engine.events().Subjects(TraceEventKind::kStageTransition),
+            (std::vector<std::string>{"single", "done"}));
+  // Sequence numbers are dense and monotonic (deterministic, no clock).
+  for (size_t i = 0; i < ev.size(); ++i) EXPECT_EQ(ev[i].seq, i);
+}
+
+TEST(TypedTraceTest, EmptyRangeShortcutEmitsShortcutEvent) {
+  Families f(1000);
+  f.Index("by_age", {"age"});
+  DynamicRetrieval engine(&f.db, f.Spec(AgeBetween(200, 300), {0}));
+  ParamMap params;
+  ASSERT_TRUE(engine.Open(params).ok());
+  EXPECT_EQ(engine.tactic(), Tactic::kShortcutEmpty);
+  EXPECT_EQ(Drain(&engine), 0u);
+
+  EXPECT_TRUE(engine.events().Contains(TraceEventKind::kShortcut,
+                                       "empty-range"));
+  EXPECT_EQ(engine.events().Subjects(TraceEventKind::kStageTransition),
+            (std::vector<std::string>{"done"}));
+  const TraceEvent* chosen =
+      engine.events().Find(TraceEventKind::kTacticChosen, "shortcut-empty");
+  ASSERT_NE(chosen, nullptr);
+  EXPECT_EQ(chosen->a, 0);  // predicted rows
+}
+
+TEST(TypedTraceTest, BackgroundOnlyEmitsJscanOutcomesAndStages) {
+  Families f(5000);
+  f.Index("by_age", {"age"});
+  DynamicRetrieval engine(&f.db, f.Spec(AgeBetween(10, 15), {0, 3}));
+  ParamMap params;
+  ASSERT_TRUE(engine.Open(params).ok());
+  ASSERT_EQ(engine.tactic(), Tactic::kBackgroundOnly);
+  Drain(&engine);
+
+  auto stages = engine.events().Subjects(TraceEventKind::kStageTransition);
+  ASSERT_FALSE(stages.empty());
+  EXPECT_EQ(stages.front(), "background");
+  EXPECT_EQ(stages.back(), "done");
+
+  // Each per-index Jscan verdict shows up as one typed outcome event.
+  auto outcomes = engine.events().Subjects(TraceEventKind::kJscanIndexOutcome);
+  ASSERT_EQ(outcomes.size(), engine.jscan()->outcomes().size());
+  for (const auto& o : engine.jscan()->outcomes()) {
+    const TraceEvent* e =
+        engine.events().Find(TraceEventKind::kJscanIndexOutcome, o.index_name);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->a, static_cast<double>(o.entries_scanned));
+    EXPECT_EQ(e->b, static_cast<double>(o.kept));
+  }
+}
+
+TEST(TypedTraceTest, RaceEmitsCompetitionVerdict) {
+  Families f(5000);
+  f.Index("by_age", {"age"});
+  f.Index("by_age_income", {"age", "income"});
+  DynamicRetrieval engine(&f.db, f.Spec(AgeBetween(10, 40), {1, 2}));
+  ParamMap params;
+  ASSERT_TRUE(engine.Open(params).ok());
+  ASSERT_EQ(engine.tactic(), Tactic::kIndexOnly);
+  Drain(&engine);
+
+  static const std::set<std::string> kIndexOnlyVerdicts = {
+      "foreground-finished", "fgr-buffer-overflow", "jscan-won",
+      "sscan-retained", "jscan-recommends-tscan"};
+  auto verdicts =
+      engine.events().Subjects(TraceEventKind::kCompetitionVerdict);
+  ASSERT_FALSE(verdicts.empty()) << "a race must settle with a verdict";
+  for (const auto& v : verdicts) {
+    EXPECT_TRUE(kIndexOnlyVerdicts.count(v) > 0) << "unexpected verdict " << v;
+  }
+}
+
+// ------------------------------------------------------------------ metrics
+
+TEST(MetricsTest, BufferPoolAndBTreeCountersAreWired) {
+  // A pool far smaller than the data so Pin() actually faults and evicts.
+  Families f(5000, /*pool_pages=*/64);
+  f.Index("by_age", {"age"});
+  f.Index("by_city", {"city"});
+  MetricsRegistry* m = f.db.metrics();
+  ASSERT_NE(m, nullptr);
+
+  DynamicRetrieval engine(&f.db, f.Spec(AgeBetween(10, 15), {0, 3}));
+  ParamMap params;
+  ASSERT_TRUE(engine.Open(params).ok());
+  Drain(&engine);
+
+  EXPECT_GT(m->Value("buffer_pool.hits"), 0u);
+  EXPECT_GT(m->Value("buffer_pool.misses"), 0u);
+  EXPECT_GT(m->Value("buffer_pool.evictions"), 0u);
+  EXPECT_GT(m->Value("btree.descents"), 0u);
+  EXPECT_GT(m->Value("btree.node_reads"), 0u);
+  EXPECT_GT(m->Value("btree.estimates"), 0u);
+  EXPECT_GT(m->Value("jscan.entries_scanned"), 0u);
+}
+
+TEST(MetricsTest, StepperCountersTrackScreenedAndDelivered) {
+  Families f(3000);
+  DynamicRetrieval engine(&f.db, f.Spec(AgeBetween(10, 20), {0, 1}));
+  ParamMap params;
+  ASSERT_TRUE(engine.Open(params).ok());
+  size_t rows = Drain(&engine);
+  ASSERT_GT(rows, 0u);
+
+  MetricsRegistry* m = f.db.metrics();
+  EXPECT_EQ(m->Value("exec.rows_screened"), 3000u);  // Tscan evals all
+  EXPECT_EQ(m->Value("exec.rows_delivered"), rows);
+}
+
+TEST(MetricsTest, HistogramBucketsValuesInclusively) {
+  MetricsRegistry r;
+  Histogram* h = r.histogram("h", {1, 10, 100});
+  h->Observe(0);    // <= 1
+  h->Observe(1);    // <= 1 (inclusive upper bound)
+  h->Observe(5);    // <= 10
+  h->Observe(100);  // <= 100
+  h->Observe(101);  // overflow
+  EXPECT_EQ(h->buckets(), (std::vector<uint64_t>{2, 1, 1, 1}));
+  EXPECT_EQ(h->count(), 5u);
+  EXPECT_EQ(h->sum(), 207.0);
+}
+
+TEST(MetricsTest, DisabledObservabilityKeepsEngineWorking) {
+  Families on(2000);
+  Families off(2000, 4096, /*observability=*/false);
+  on.Index("by_age", {"age"});
+  off.Index("by_age", {"age"});
+  EXPECT_EQ(off.db.metrics(), nullptr);
+  EXPECT_EQ(off.db.feedback(), nullptr);
+
+  DynamicRetrieval e_on(&on.db, on.Spec(AgeBetween(10, 15), {0, 3}));
+  DynamicRetrieval e_off(&off.db, off.Spec(AgeBetween(10, 15), {0, 3}));
+  ParamMap params;
+  ASSERT_TRUE(e_on.Open(params).ok());
+  ASSERT_TRUE(e_off.Open(params).ok());
+  // Instrumentation must not change behaviour: same tactic, same rows.
+  EXPECT_EQ(e_on.tactic(), e_off.tactic());
+  EXPECT_EQ(Drain(&e_on), Drain(&e_off));
+  // The typed trace still works detached — it lives on the engine.
+  EXPECT_FALSE(e_off.events().events().empty());
+}
+
+TEST(MetricsTest, CostMeterSnapshotLandsInRegistry) {
+  Families f(1000);
+  DynamicRetrieval engine(&f.db, f.Spec(AgeBetween(0, 99), {0}));
+  ParamMap params;
+  ASSERT_TRUE(engine.Open(params).ok());
+  Drain(&engine);
+  std::string json = f.db.ExportMetricsJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("cost.logical_reads"), std::string::npos);
+  EXPECT_GT(f.db.metrics()->Value("cost.logical_reads"), 0u);
+}
+
+// ----------------------------------------------------------------- feedback
+
+TEST(FeedbackTest, QErrorIsSymmetricAndFloored) {
+  EXPECT_DOUBLE_EQ(QError(10, 1000), 100.0);
+  EXPECT_DOUBLE_EQ(QError(1000, 10), 100.0);
+  EXPECT_DOUBLE_EQ(QError(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(QError(0, 5), 5.0);
+  EXPECT_DOUBLE_EQ(QError(7, 7), 1.0);
+}
+
+TEST(FeedbackTest, SummaryPercentilesForKnownMisses) {
+  FeedbackStore store;
+  // Three executions with known cardinality misses: q-errors 2, 4, 8.
+  store.Record({"t", 50, 100, 10, 10, 1, 1});   // q = 2
+  store.Record({"t", 400, 100, 10, 10, 1, 1});  // q = 4
+  store.Record({"t", 100, 800, 10, 10, 1, 1});  // q = 8
+  ASSERT_EQ(store.size(), 3u);
+  EXPECT_DOUBLE_EQ(store.records()[0].rows_q_error, 2.0);
+  EXPECT_DOUBLE_EQ(store.records()[2].rows_q_error, 8.0);
+
+  auto s = store.RowsSummary();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 14.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.p50, 4.0);  // nearest rank: ceil(0.5*3) = 2nd of {2,4,8}
+  EXPECT_DOUBLE_EQ(s.p90, 8.0);
+  EXPECT_DOUBLE_EQ(s.max, 8.0);
+  // Costs were all exact.
+  EXPECT_DOUBLE_EQ(store.CostSummary().max, 1.0);
+}
+
+TEST(FeedbackTest, EngineDepositsOneRecordPerExecution) {
+  Families f(5000);
+  f.Index("by_age", {"age"});
+  FeedbackStore* fb = f.db.feedback();
+  ASSERT_NE(fb, nullptr);
+
+  DynamicRetrieval engine(&f.db, f.Spec(AgeBetween(10, 15), {0, 3}));
+  ParamMap params;
+  ASSERT_TRUE(engine.Open(params).ok());
+  size_t rows = Drain(&engine);
+  ASSERT_EQ(fb->size(), 1u);
+  const FeedbackRecord& rec = fb->records()[0];
+  EXPECT_EQ(rec.label, TacticName(engine.tactic()));
+  EXPECT_EQ(rec.actual_rows, static_cast<double>(rows));
+  EXPECT_EQ(rec.predicted_rows, engine.predicted_rows());
+  EXPECT_GT(rec.actual_cost, 0.0);
+  EXPECT_GE(rec.rows_q_error, 1.0);
+
+  // Draining past the end must not double-record.
+  OutputRow row;
+  auto more = engine.Next(&row);
+  ASSERT_TRUE(more.ok());
+  EXPECT_FALSE(*more);
+  EXPECT_EQ(fb->size(), 1u);
+
+  // A fresh Open starts a fresh record.
+  ASSERT_TRUE(engine.Open(params).ok());
+  Drain(&engine);
+  EXPECT_EQ(fb->size(), 2u);
+}
+
+// ------------------------------------------------------------ JSON exports
+
+TEST(JsonExportTest, TraceMetricsExplainAndFeedbackAllParse) {
+  Families f(5000);
+  f.Index("by_age", {"age"});
+  f.Index("by_city", {"city"});
+  DynamicRetrieval engine(&f.db, f.Spec(AgeBetween(10, 15), {0, 3}));
+  ParamMap params;
+  ASSERT_TRUE(engine.Open(params).ok());
+  Drain(&engine);
+
+  std::string trace_json = engine.events().ToJson();
+  EXPECT_TRUE(JsonChecker(trace_json).Valid()) << trace_json;
+  EXPECT_NE(trace_json.find("\"tactic-chosen\""), std::string::npos);
+
+  std::string metrics_json = f.db.ExportMetricsJson();
+  EXPECT_TRUE(JsonChecker(metrics_json).Valid()) << metrics_json;
+  EXPECT_NE(metrics_json.find("\"buffer_pool.hits\""), std::string::npos);
+
+  std::string explain_json = ExplainExecutionJson(engine);
+  EXPECT_TRUE(JsonChecker(explain_json).Valid()) << explain_json;
+  EXPECT_NE(explain_json.find("\"tactic\""), std::string::npos);
+  EXPECT_NE(explain_json.find("\"access_paths\""), std::string::npos);
+  EXPECT_NE(explain_json.find("\"events\""), std::string::npos);
+  EXPECT_NE(explain_json.find("\"cost\""), std::string::npos);
+
+  std::string feedback_json = f.db.feedback()->ToJson();
+  EXPECT_TRUE(JsonChecker(feedback_json).Valid()) << feedback_json;
+}
+
+TEST(JsonExportTest, EscapesControlAndQuoteCharacters) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("k\"ey", std::string_view("va\\l\nue\x01"));
+  w.EndObject();
+  EXPECT_TRUE(JsonChecker(w.str()).Valid()) << w.str();
+}
+
+// ------------------------------------------------------------------ explain
+
+TEST(ExplainTest, TscanReportNamesTacticAndCost) {
+  Families f(1000);
+  DynamicRetrieval engine(&f.db, f.Spec(AgeBetween(10, 20), {0, 1}));
+  ParamMap params;
+  ASSERT_TRUE(engine.Open(params).ok());
+  Drain(&engine);
+  std::string report = ExplainExecution(engine, f.db.cost_weights());
+  EXPECT_NE(report.find("tactic: static-tscan"), std::string::npos);
+  EXPECT_NE(report.find("decision trace:"), std::string::npos);
+  EXPECT_NE(report.find("Tscan completed retrieval"), std::string::npos);
+  EXPECT_NE(report.find("cost: "), std::string::npos);
+  EXPECT_NE(report.find("pr="), std::string::npos);  // meter breakdown
+}
+
+TEST(ExplainTest, ShortcutReportShowsShortcutLine) {
+  Families f(1000);
+  f.Index("by_age", {"age"});
+  DynamicRetrieval engine(&f.db, f.Spec(AgeBetween(200, 300), {0}));
+  ParamMap params;
+  ASSERT_TRUE(engine.Open(params).ok());
+  Drain(&engine);
+  std::string report = ExplainExecution(engine, f.db.cost_weights());
+  EXPECT_NE(report.find("tactic: shortcut-empty"), std::string::npos);
+  EXPECT_NE(report.find("empty-range shortcut"), std::string::npos);
+}
+
+TEST(ExplainTest, CompetitionReportShowsJscanOutcomes) {
+  Families f(5000);
+  f.Index("by_age", {"age"});
+  f.Index("by_city", {"city"});
+  DynamicRetrieval engine(&f.db, f.Spec(AgeBetween(10, 15), {0, 3}));
+  ParamMap params;
+  ASSERT_TRUE(engine.Open(params).ok());
+  Drain(&engine);
+  std::string report = ExplainExecution(engine, f.db.cost_weights());
+  EXPECT_NE(report.find("joint scan:"), std::string::npos);
+  EXPECT_NE(report.find("guaranteed best cost:"), std::string::npos);
+  EXPECT_NE(report.find("by_age:"), std::string::npos);
+  bool verdict = report.find("completed") != std::string::npos ||
+                 report.find("discarded") != std::string::npos ||
+                 report.find("skipped") != std::string::npos;
+  EXPECT_TRUE(verdict) << report;
+}
+
+// ---------------------------------------------------------------- dashboard
+
+TEST(DashboardTest, RendersCountersHistogramsAndFeedback) {
+  Families f(5000);
+  f.Index("by_age", {"age"});
+  DynamicRetrieval engine(&f.db, f.Spec(AgeBetween(10, 15), {0, 3}));
+  ParamMap params;
+  ASSERT_TRUE(engine.Open(params).ok());
+  Drain(&engine);
+
+  DashboardOptions opts;
+  opts.title = "workload";
+  CostMeter meter = f.db.meter();
+  opts.meter = &meter;
+  opts.feedback = f.db.feedback();
+  std::string board = RenderDashboard(*f.db.metrics(), opts);
+  EXPECT_NE(board.find("workload"), std::string::npos);
+  EXPECT_NE(board.find("buffer_pool.hits"), std::string::npos);
+  EXPECT_NE(board.find("q-error"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dynopt

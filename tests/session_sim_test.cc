@@ -88,6 +88,12 @@ TEST_P(SessionSimTest, MixedDmlAndQueriesStayConsistent) {
       ASSERT_EQ(got, want)
           << "op " << op << " lo=" << lo << " hi=" << hi << " cap=" << cap
           << " tactic=" << TacticName(range_engine.tactic());
+      // The typed trace must report exactly one chosen tactic per
+      // execution, and it must be the one the engine actually ran.
+      auto chosen =
+          range_engine.events().Subjects(TraceEventKind::kTacticChosen);
+      ASSERT_EQ(chosen.size(), 1u);
+      ASSERT_EQ(chosen[0], TacticName(range_engine.tactic()));
     } else {
       // Point query: existing id half the time, missing id otherwise.
       int64_t id;
