@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Builds and runs every benchmark, collecting the BENCH_<name>.json
+# reports each one writes to its working directory into a single place.
+#
+# Usage: scripts/bench.sh [output-dir] [jobs]
+#   output-dir   where benchmarks run and reports land (default:
+#                bench-results/ at the repo root)
+#   BENCH_ONLY   optional regex; only matching bench_* binaries run,
+#                e.g. BENCH_ONLY='concurrency|cache' scripts/bench.sh
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+out="${1:-$root/bench-results}"
+jobs="${2:-$(nproc 2>/dev/null || echo 4)}"
+
+cmake -S "$root" -B "$root/build" >/dev/null
+cmake --build "$root/build" -j "$jobs"
+
+mkdir -p "$out"
+cd "$out"
+for exe in "$root/build/bench"/bench_*; do
+  [[ -x "$exe" && ! -d "$exe" ]] || continue
+  name="$(basename "$exe")"
+  if [[ -n "${BENCH_ONLY:-}" && ! "$name" =~ ${BENCH_ONLY} ]]; then
+    echo "-- skipping $name (BENCH_ONLY=${BENCH_ONLY})"
+    continue
+  fi
+  echo "== $name =="
+  "$exe"
+  echo
+done
+
+echo "== reports in $out =="
+ls -1 "$out"/BENCH_*.json 2>/dev/null || echo "(no reports written)"

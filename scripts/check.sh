@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 gate: build the plain and sanitizer configs, run the full test
-# suite under both. Usage: scripts/check.sh [jobs]
+# suite under both, then run the concurrency tests under ThreadSanitizer
+# (TSan and ASan cannot share a build, hence the third tree).
+# Usage: scripts/check.sh [jobs]
 set -euo pipefail
 
 jobs="${1:-$(nproc 2>/dev/null || echo 4)}"
@@ -19,5 +21,11 @@ run_config "$root/build"
 
 echo "== sanitizer config (build-asan/, address,undefined) =="
 run_config "$root/build-asan" -DDYNOPT_SANITIZE=address,undefined
+
+echo "== thread-sanitizer config (build-tsan/, concurrency tests) =="
+cmake -S "$root" -B "$root/build-tsan" -DDYNOPT_SANITIZE=thread >/dev/null
+cmake --build "$root/build-tsan" -j "$jobs"
+ctest --test-dir "$root/build-tsan" --output-on-failure -j "$jobs" \
+  -R '(RelaxedCounter|MetricsTest|ShardedPool|SessionWorkload|BufferPool)'
 
 echo "== all checks passed =="

@@ -21,6 +21,10 @@ struct DatabaseOptions {
   /// Buffer-pool frames (8 KiB each). The cache-to-data ratio is the main
   /// lever for how much cost uncertainty the paper's §3(c) effect injects.
   size_t pool_pages = 1024;
+  /// Buffer-pool shards (power of two; 0 = auto from pool_pages). More
+  /// shards mean less lock contention between concurrent sessions; one
+  /// shard reproduces the classic global-LRU pool exactly.
+  size_t pool_shards = 0;
   CostWeights cost_weights;
   /// Attach the metrics registry and estimation-feedback store to this
   /// database's components. Off, every instrumentation site in the engine
@@ -31,7 +35,8 @@ struct DatabaseOptions {
 class Database {
  public:
   explicit Database(DatabaseOptions options = DatabaseOptions())
-      : options_(options), pool_(&store_, options.pool_pages, &meter_) {
+      : options_(options),
+        pool_(&store_, options.pool_pages, &meter_, options.pool_shards) {
     // Attach before any table/index/stepper exists: they bind their
     // counters from pool()->metrics() at construction.
     if (options_.observability) pool_.AttachMetrics(&metrics_);

@@ -47,7 +47,7 @@ double BTree::AvgFanout() const {
 }
 
 uint64_t BTree::node_reads() const {
-  return m_node_reads_ != nullptr ? m_node_reads_->value : 0;
+  return m_node_reads_ != nullptr ? m_node_reads_->value.load() : 0;
 }
 
 Result<PageId> BTree::DescendToLeaf(std::string_view key,
@@ -265,7 +265,7 @@ Result<RangeEstimate> BTree::EstimateRange(const EncodedRange& range) {
     DYNOPT_ASSIGN_OR_RETURN(PageGuard page, pool_->Pin(cur));
     est.descent_pages++;
     NodeRef n(const_cast<uint8_t*>(page.data()));
-    uint64_t* cmp = &pool_->meter_ptr()->key_compares;
+    RelaxedCounter* cmp = &pool_->meter_ptr()->key_compares;
     if (n.is_leaf()) {
       uint16_t lo_pos = n.LowerBound(range.lo, cmp);
       uint16_t hi_pos =
@@ -321,7 +321,7 @@ Result<uint64_t> BTree::RankOfKey(std::string_view key) {
     Bump(m_node_reads_);
     DYNOPT_ASSIGN_OR_RETURN(PageGuard page, pool_->Pin(cur));
     NodeRef n(const_cast<uint8_t*>(page.data()));
-    uint64_t* cmp = &pool_->meter_ptr()->key_compares;
+    RelaxedCounter* cmp = &pool_->meter_ptr()->key_compares;
     if (n.is_leaf()) {
       rank += n.LowerBound(key, cmp);
       return rank;

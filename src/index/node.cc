@@ -51,7 +51,8 @@ void NodeRef::SetChildCount(uint16_t i, uint64_t c) {
   PageWrite<uint64_t>(p_, off + 2 + klen + 4, c);
 }
 
-uint16_t NodeRef::LowerBound(std::string_view key, uint64_t* compares) const {
+uint16_t NodeRef::LowerBound(std::string_view key,
+                             RelaxedCounter* compares) const {
   uint16_t lo = 0, hi = count();
   while (lo < hi) {
     uint16_t mid = lo + (hi - lo) / 2;
@@ -65,7 +66,8 @@ uint16_t NodeRef::LowerBound(std::string_view key, uint64_t* compares) const {
   return lo;
 }
 
-uint16_t NodeRef::UpperBound(std::string_view key, uint64_t* compares) const {
+uint16_t NodeRef::UpperBound(std::string_view key,
+                             RelaxedCounter* compares) const {
   uint16_t lo = 0, hi = count();
   while (lo < hi) {
     uint16_t mid = lo + (hi - lo) / 2;
@@ -80,7 +82,7 @@ uint16_t NodeRef::UpperBound(std::string_view key, uint64_t* compares) const {
 }
 
 uint16_t NodeRef::ChildIndexFor(std::string_view key,
-                                uint64_t* compares) const {
+                                RelaxedCounter* compares) const {
   uint16_t ub = UpperBound(key, compares);
   assert(ub > 0 && "internal node missing -infinity sentinel entry");
   return static_cast<uint16_t>(ub - 1);

@@ -33,6 +33,7 @@
 #include <string_view>
 
 #include "storage/page.h"
+#include "util/atomic_counter.h"
 #include "util/status.h"
 
 namespace dynopt {
@@ -71,14 +72,16 @@ class NodeRef {
 
   /// First entry index whose key is >= `key` (== count() when none).
   /// `*compares` (optional) accumulates key comparisons for cost metering.
-  uint16_t LowerBound(std::string_view key, uint64_t* compares = nullptr) const;
+  uint16_t LowerBound(std::string_view key,
+                      RelaxedCounter* compares = nullptr) const;
   /// First entry index whose key is > `key`.
-  uint16_t UpperBound(std::string_view key, uint64_t* compares = nullptr) const;
+  uint16_t UpperBound(std::string_view key,
+                      RelaxedCounter* compares = nullptr) const;
 
   /// Index of the child covering `key`: UpperBound(key) - 1. Requires the
   /// internal-node invariant key_0 == "" (so the result is always valid).
   uint16_t ChildIndexFor(std::string_view key,
-                         uint64_t* compares = nullptr) const;
+                         RelaxedCounter* compares = nullptr) const;
 
   /// Bytes available for a new entry + its slot.
   size_t FreeSpace() const;

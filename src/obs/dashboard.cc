@@ -31,14 +31,16 @@ std::string RenderDashboard(const MetricsRegistry& metrics,
   if (!counters.empty()) {
     std::vector<std::vector<std::string>> rows;
     for (const Counter* c : counters) {
-      rows.push_back({c->name, std::to_string(c->value)});
+      rows.push_back({c->name, std::to_string(c->value.load())});
     }
     os << FormatTable({"counter", "value"}, rows);
   }
 
   for (const Histogram* h : metrics.histograms()) {
     std::vector<double> heights;
-    for (uint64_t n : h->buckets()) heights.push_back(static_cast<double>(n));
+    for (const RelaxedCounter& n : h->buckets()) {
+      heights.push_back(static_cast<double>(n.load()));
+    }
     os << h->name() << " (n=" << h->count() << ", sum=" << Fmt(h->sum())
        << "): " << Sparkline(heights) << "\n";
   }

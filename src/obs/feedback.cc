@@ -14,6 +14,7 @@ double QError(double predicted, double actual, double eps) {
 void FeedbackStore::Record(FeedbackRecord record) {
   record.rows_q_error = QError(record.predicted_rows, record.actual_rows);
   record.cost_q_error = QError(record.predicted_cost, record.actual_cost);
+  std::lock_guard<std::mutex> lock(mu_);
   records_.push_back(std::move(record));
 }
 
@@ -42,15 +43,21 @@ FeedbackStore::ErrorSummary FeedbackStore::Summarize(
 
 FeedbackStore::ErrorSummary FeedbackStore::RowsSummary() const {
   std::vector<double> errors;
-  errors.reserve(records_.size());
-  for (const FeedbackRecord& r : records_) errors.push_back(r.rows_q_error);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    errors.reserve(records_.size());
+    for (const FeedbackRecord& r : records_) errors.push_back(r.rows_q_error);
+  }
   return Summarize(std::move(errors));
 }
 
 FeedbackStore::ErrorSummary FeedbackStore::CostSummary() const {
   std::vector<double> errors;
-  errors.reserve(records_.size());
-  for (const FeedbackRecord& r : records_) errors.push_back(r.cost_q_error);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    errors.reserve(records_.size());
+    for (const FeedbackRecord& r : records_) errors.push_back(r.cost_q_error);
+  }
   return Summarize(std::move(errors));
 }
 

@@ -15,6 +15,7 @@
 #define DYNOPT_OBS_FEEDBACK_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -37,14 +38,23 @@ struct FeedbackRecord {
   double cost_q_error = 1;
 };
 
+/// Record() and the summary queries are internally locked, so concurrent
+/// sessions may deposit feedback into one shared store. records() returns
+/// an unguarded reference — read it only while no session is running.
 class FeedbackStore {
  public:
-  /// Computes the record's q-errors and appends it.
+  /// Computes the record's q-errors and appends it. Thread-safe.
   void Record(FeedbackRecord record);
 
-  size_t size() const { return records_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_.size();
+  }
   const std::vector<FeedbackRecord>& records() const { return records_; }
-  void Clear() { records_.clear(); }
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.clear();
+  }
 
   struct ErrorSummary {
     uint64_t count = 0;
@@ -65,6 +75,7 @@ class FeedbackStore {
  private:
   static ErrorSummary Summarize(std::vector<double> errors);
 
+  mutable std::mutex mu_;
   std::vector<FeedbackRecord> records_;
 };
 

@@ -12,7 +12,9 @@ Histogram::Histogram(std::string name, std::vector<double> bounds)
 
 void Histogram::Observe(double value) {
   // First bound >= value is the owning bucket (bounds are inclusive upper
-  // limits); past the last bound lands in the overflow bucket.
+  // limits); past the last bound lands in the overflow bucket. All three
+  // updates are relaxed atomics — concurrent observers never lose samples,
+  // though a concurrent reader may see count/sum/buckets mid-update.
   size_t i =
       std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
   buckets_[i]++;
@@ -21,6 +23,7 @@ void Histogram::Observe(double value) {
 }
 
 Counter* MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_by_name_.find(name);
   if (it != counters_by_name_.end()) return it->second;
   counter_slots_.push_back(Counter{std::string(name), 0});
@@ -31,6 +34,7 @@ Counter* MetricsRegistry::counter(std::string_view name) {
 
 Histogram* MetricsRegistry::histogram(std::string_view name,
                                       std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_by_name_.find(name);
   if (it != histograms_by_name_.end()) return it->second;
   histogram_slots_.emplace_back(std::string(name), std::move(bounds));
@@ -40,18 +44,20 @@ Histogram* MetricsRegistry::histogram(std::string_view name,
 }
 
 const Counter* MetricsRegistry::FindCounter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_by_name_.find(name);
   return it == counters_by_name_.end() ? nullptr : it->second;
 }
 
 const Histogram* MetricsRegistry::FindHistogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_by_name_.find(name);
   return it == histograms_by_name_.end() ? nullptr : it->second;
 }
 
 uint64_t MetricsRegistry::Value(std::string_view name) const {
   const Counter* c = FindCounter(name);
-  return c == nullptr ? 0 : c->value;
+  return c == nullptr ? 0 : c->value.load();
 }
 
 void MetricsRegistry::Set(std::string_view name, uint64_t value) {
@@ -59,6 +65,7 @@ void MetricsRegistry::Set(std::string_view name, uint64_t value) {
 }
 
 void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (Counter& c : counter_slots_) c.value = 0;
   for (Histogram& h : histogram_slots_) {
     // Re-observe from zero: buckets/count/sum reset, bounds survive.
@@ -69,6 +76,7 @@ void MetricsRegistry::Reset() {
 }
 
 std::vector<const Counter*> MetricsRegistry::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<const Counter*> out;
   out.reserve(counters_by_name_.size());
   for (const auto& [name, c] : counters_by_name_) out.push_back(c);
@@ -76,6 +84,7 @@ std::vector<const Counter*> MetricsRegistry::counters() const {
 }
 
 std::vector<const Histogram*> MetricsRegistry::histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<const Histogram*> out;
   out.reserve(histograms_by_name_.size());
   for (const auto& [name, h] : histograms_by_name_) out.push_back(h);
@@ -86,7 +95,7 @@ void WriteMetrics(JsonWriter* w, const MetricsRegistry& registry) {
   w->BeginObject();
   w->Key("counters").BeginObject();
   for (const Counter* c : registry.counters()) {
-    w->KV(c->name, c->value);
+    w->KV(c->name, c->value.load());
   }
   w->EndObject();
   w->Key("histograms").BeginObject();
@@ -98,7 +107,7 @@ void WriteMetrics(JsonWriter* w, const MetricsRegistry& registry) {
     for (double b : h->bounds()) w->Number(b);
     w->EndArray();
     w->Key("buckets").BeginArray();
-    for (uint64_t n : h->buckets()) w->Uint(n);
+    for (const RelaxedCounter& n : h->buckets()) w->Uint(n.load());
     w->EndArray();
     w->EndObject();
   }

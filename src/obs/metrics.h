@@ -17,18 +17,22 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "obs/json.h"
+#include "util/atomic_counter.h"
 #include "util/cost_meter.h"
 
 namespace dynopt {
 
+/// Counter values are relaxed atomics: many sessions bump the same held
+/// pointer concurrently, still zero-alloc and lock-free on the hot path.
 struct Counter {
   std::string name;
-  uint64_t value = 0;
+  RelaxedCounter value = 0;
 };
 
 /// Null-safe increment: the instrumentation idiom for detachable metrics.
@@ -38,7 +42,8 @@ inline void Bump(Counter* c, uint64_t n = 1) {
 
 /// Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds;
 /// one overflow bucket catches everything above the last bound. Buckets are
-/// fixed at registration so Observe() never allocates.
+/// fixed at registration so Observe() never allocates; bucket counts and
+/// the sum are relaxed atomics so concurrent observers never lose a sample.
 class Histogram {
  public:
   Histogram(std::string name, std::vector<double> bounds);
@@ -48,22 +53,24 @@ class Histogram {
   const std::string& name() const { return name_; }
   const std::vector<double>& bounds() const { return bounds_; }
   /// bounds().size() + 1 entries; last is the overflow bucket.
-  const std::vector<uint64_t>& buckets() const { return buckets_; }
+  const std::vector<RelaxedCounter>& buckets() const { return buckets_; }
   uint64_t count() const { return count_; }
   double sum() const { return sum_; }
 
  private:
   std::string name_;
   std::vector<double> bounds_;
-  std::vector<uint64_t> buckets_;
-  uint64_t count_ = 0;
-  double sum_ = 0;
+  std::vector<RelaxedCounter> buckets_;
+  RelaxedCounter count_ = 0;
+  RelaxedDouble sum_ = 0;
 };
 
 inline void Observe(Histogram* h, double value) {
   if (h != nullptr) h->Observe(value);
 }
 
+/// Registration and export take an internal lock (they're cold paths);
+/// bumps through held Counter*/Histogram* pointers stay lock-free.
 class MetricsRegistry {
  public:
   /// Finds or creates the named counter. The returned pointer is stable for
@@ -92,6 +99,7 @@ class MetricsRegistry {
   std::string ToJson() const;
 
  private:
+  mutable std::mutex mu_;  // guards the slot containers and name maps
   // deques: stable addresses under growth.
   std::deque<Counter> counter_slots_;
   std::deque<Histogram> histogram_slots_;

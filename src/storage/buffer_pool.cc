@@ -2,13 +2,41 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace dynopt {
+
+namespace {
+
+// Fibonacci hashing: sequentially allocated PageIds stripe evenly across
+// shards, and nearby ids (one heap file's pages) spread apart so one
+// table scan does not hammer a single lock.
+inline uint64_t MixPageId(PageId id) {
+  return static_cast<uint64_t>(id) * 0x9E3779B97F4A7C15ull;
+}
+
+size_t AutoShardCount(size_t capacity) {
+  // One shard per 64 frames, power of two, capped at 16. Pools under 128
+  // frames get one shard: identical behavior to the classic single-LRU
+  // pool, which the deterministic cost-model tests rely on.
+  size_t shards = 1;
+  while (shards < 16 && capacity / (shards * 2) >= 64) shards *= 2;
+  return shards;
+}
+
+size_t FloorPow2(size_t n) {
+  size_t p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+
+}  // namespace
 
 PageGuard& PageGuard::operator=(PageGuard&& o) noexcept {
   if (this != &o) {
     Release();
     pool_ = o.pool_;
+    shard_ = o.shard_;
     frame_ = o.frame_;
     id_ = o.id_;
     o.pool_ = nullptr;
@@ -18,87 +46,130 @@ PageGuard& PageGuard::operator=(PageGuard&& o) noexcept {
 
 const uint8_t* PageGuard::data() const {
   assert(valid());
-  return pool_->frames_[frame_].data.data();
+  return pool_->shards_[shard_]->frames[frame_].data.data();
 }
 
 uint8_t* PageGuard::mutable_data() {
   assert(valid());
   MarkDirty();
-  return pool_->frames_[frame_].data.data();
+  return pool_->shards_[shard_]->frames[frame_].data.data();
 }
 
 void PageGuard::MarkDirty() {
   assert(valid());
-  pool_->frames_[frame_].dirty = true;
+  pool_->shards_[shard_]->frames[frame_].dirty.store(
+      true, std::memory_order_relaxed);
 }
 
 void PageGuard::Release() {
   if (pool_ != nullptr) {
-    pool_->Unpin(frame_);
+    pool_->Unpin(shard_, frame_);
     pool_ = nullptr;
   }
 }
 
-BufferPool::BufferPool(PageStore* store, size_t capacity, CostMeter* meter)
+BufferPool::BufferPool(PageStore* store, size_t capacity, CostMeter* meter,
+                       size_t shards)
     : store_(store),
       capacity_(capacity == 0 ? 1 : capacity),
       meter_(meter != nullptr ? meter : &own_meter_) {
-  frames_.resize(capacity_);
-  free_frames_.reserve(capacity_);
-  for (size_t i = 0; i < capacity_; ++i) free_frames_.push_back(capacity_ - 1 - i);
+  size_t n = shards == 0 ? AutoShardCount(capacity_)
+                         : FloorPow2(std::min(shards, capacity_));
+  // hash >> shift selects the shard from the top log2(n) bits; n == 1
+  // would need a shift of 64 (UB), so ShardOf special-cases it.
+  shard_shift_ = 64;
+  for (size_t s = n; s > 1; s /= 2) shard_shift_--;
+  shards_.reserve(n);
+  size_t base = capacity_ / n;
+  size_t extra = capacity_ % n;  // first `extra` shards get one more frame
+  for (size_t i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->frame_count = static_cast<uint32_t>(base + (i < extra ? 1 : 0));
+    shard->frames = std::make_unique<Frame[]>(shard->frame_count);
+    shard->free_frames.reserve(shard->frame_count);
+    for (uint32_t f = 0; f < shard->frame_count; ++f) {
+      shard->free_frames.push_back(shard->frame_count - 1 - f);
+    }
+    shards_.push_back(std::move(shard));
+  }
 }
 
 BufferPool::~BufferPool() {
-  // Best-effort flush; errors here have nowhere to go.
+  // Best-effort flush; errors here have nowhere to go. No pins should be
+  // alive at destruction, so FlushAll covers every dirty page.
   FlushAll().ok();
+}
+
+size_t BufferPool::ShardOf(PageId id) const {
+  if (shard_shift_ == 64) return 0;
+  return static_cast<size_t>(MixPageId(id) >> shard_shift_);
 }
 
 Result<PageGuard> BufferPool::Pin(PageId id) {
   meter_->logical_reads++;
-  auto it = table_.find(id);
-  if (it != table_.end()) {
+  uint32_t si = static_cast<uint32_t>(ShardOf(id));
+  Shard& s = *shards_[si];
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.table.find(id);
+  if (it != s.table.end()) {
+    s.stats.hits++;
     Bump(hit_count_);
-    Frame& f = frames_[it->second];
+    Frame& f = s.frames[it->second];
     if (f.pins == 0) {
-      lru_.erase(f.lru_pos);
+      s.lru.erase(f.lru_pos);
     }
     f.pins++;
-    return PageGuard(this, it->second, id);
+    return PageGuard(this, si, it->second, id);
   }
+  s.stats.misses++;
   Bump(miss_count_);
-  DYNOPT_ASSIGN_OR_RETURN(size_t frame, GrabFrame());
-  Frame& f = frames_[frame];
-  DYNOPT_RETURN_IF_ERROR(store_->Read(id, &f.data));
+  DYNOPT_ASSIGN_OR_RETURN(uint32_t frame, GrabFrame(s));
+  Frame& f = s.frames[frame];
+  Status read = store_->Read(id, &f.data);
+  if (!read.ok()) {
+    s.free_frames.push_back(frame);  // hand the grabbed frame back
+    return read;
+  }
   meter_->physical_reads++;
   f.id = id;
   f.pins = 1;
-  f.dirty = false;
+  f.dirty.store(false, std::memory_order_relaxed);
   f.in_use = true;
-  table_[id] = frame;
-  return PageGuard(this, frame, id);
+  s.table[id] = frame;
+  return PageGuard(this, si, frame, id);
 }
 
 Result<PageGuard> BufferPool::NewPage() {
   PageId id = store_->Allocate();
-  DYNOPT_ASSIGN_OR_RETURN(size_t frame, GrabFrame());
-  Frame& f = frames_[frame];
+  uint32_t si = static_cast<uint32_t>(ShardOf(id));
+  Shard& s = *shards_[si];
+  std::lock_guard<std::mutex> lock(s.mu);
+  DYNOPT_ASSIGN_OR_RETURN(uint32_t frame, GrabFrame(s));
+  Frame& f = s.frames[frame];
   f.data.fill(0);
   f.id = id;
   f.pins = 1;
-  f.dirty = true;
+  f.dirty.store(true, std::memory_order_relaxed);
   f.in_use = true;
-  table_[id] = frame;
+  s.table[id] = frame;
   meter_->logical_reads++;
-  return PageGuard(this, frame, id);
+  return PageGuard(this, si, frame, id);
 }
 
 Status BufferPool::FlushAll() {
-  for (Frame& f : frames_) {
-    if (f.in_use && f.dirty) {
-      DYNOPT_RETURN_IF_ERROR(store_->Write(f.id, f.data));
-      meter_->physical_writes++;
-      Bump(writeback_count_);
-      f.dirty = false;
+  for (auto& shard : shards_) {
+    Shard& s = *shard;
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (uint32_t i = 0; i < s.frame_count; ++i) {
+      Frame& f = s.frames[i];
+      if (f.in_use && f.pins == 0 &&
+          f.dirty.load(std::memory_order_relaxed)) {
+        DYNOPT_RETURN_IF_ERROR(store_->Write(f.id, f.data));
+        meter_->physical_writes++;
+        s.stats.writebacks++;
+        Bump(writeback_count_);
+        f.dirty.store(false, std::memory_order_relaxed);
+      }
     }
   }
   return Status::OK();
@@ -117,66 +188,150 @@ void BufferPool::AttachMetrics(MetricsRegistry* registry) {
 }
 
 Status BufferPool::EvictAll() {
-  // Walk a copy: EvictFrame mutates lru_.
-  std::vector<size_t> victims(lru_.begin(), lru_.end());
-  for (size_t frame : victims) {
-    DYNOPT_RETURN_IF_ERROR(EvictFrame(frame));
+  for (auto& shard : shards_) {
+    Shard& s = *shard;
+    std::lock_guard<std::mutex> lock(s.mu);
+    while (!s.lru.empty()) {
+      DYNOPT_RETURN_IF_ERROR(EvictFrame(s, s.lru.back()));
+    }
   }
   return Status::OK();
 }
 
-Status BufferPool::ScrambleCache(Rng& rng, double fraction) {
-  std::vector<size_t> victims;
-  for (size_t frame : lru_) {
-    if (rng.NextDouble() < fraction) victims.push_back(frame);
+Result<size_t> BufferPool::ScrambleCache(Rng& rng, double fraction) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  size_t evicted = 0;
+  for (auto& shard : shards_) {
+    Shard& s = *shard;
+    std::lock_guard<std::mutex> lock(s.mu);
+    // Evict floor(fraction * unpinned) pages, with one rng draw deciding
+    // the fractional remainder — O(evicted), not O(cached). Victims come
+    // from the cold end, exactly where real LRU pressure from unrelated
+    // activity lands.
+    double want = fraction * static_cast<double>(s.lru.size());
+    size_t quota = static_cast<size_t>(want);
+    if (rng.NextDouble() < want - static_cast<double>(quota)) quota++;
+    for (; quota > 0; quota--) {
+      DYNOPT_RETURN_IF_ERROR(EvictFrame(s, s.lru.back()));
+      evicted++;
+    }
   }
-  for (size_t frame : victims) {
-    DYNOPT_RETURN_IF_ERROR(EvictFrame(frame));
+  return evicted;
+}
+
+size_t BufferPool::cached_pages() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->table.size();
+  }
+  return total;
+}
+
+BufferPool::ShardStats BufferPool::shard_stats(size_t shard) const {
+  const Shard& s = *shards_[shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.stats;
+}
+
+BufferPool::ShardStats BufferPool::TotalStats() const {
+  ShardStats total;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    ShardStats s = shard_stats(i);
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.evictions += s.evictions;
+    total.writebacks += s.writebacks;
+  }
+  return total;
+}
+
+Status BufferPool::CheckInvariants() const {
+  for (size_t si = 0; si < shards_.size(); ++si) {
+    const Shard& s = *shards_[si];
+    std::lock_guard<std::mutex> lock(s.mu);
+    size_t in_use = 0;
+    for (uint32_t i = 0; i < s.frame_count; ++i) {
+      const Frame& f = s.frames[i];
+      if (!f.in_use) continue;
+      in_use++;
+      auto it = s.table.find(f.id);
+      if (it == s.table.end() || it->second != i) {
+        return Status::Internal("frame id not mapped back to its frame");
+      }
+      if (ShardOf(f.id) != si) {
+        return Status::Internal("page cached in the wrong shard");
+      }
+    }
+    if (in_use != s.table.size()) {
+      return Status::Internal("table size != in-use frame count");
+    }
+    if (in_use + s.free_frames.size() != s.frame_count) {
+      return Status::Internal("free list does not cover unused frames");
+    }
+    size_t unpinned = 0;
+    for (uint32_t i = 0; i < s.frame_count; ++i) {
+      if (s.frames[i].in_use && s.frames[i].pins == 0) unpinned++;
+    }
+    if (unpinned != s.lru.size()) {
+      return Status::Internal("LRU size != unpinned in-use frame count");
+    }
+    for (uint32_t frame : s.lru) {
+      if (frame >= s.frame_count || !s.frames[frame].in_use ||
+          s.frames[frame].pins != 0) {
+        return Status::Internal("LRU entry is not an unpinned in-use frame");
+      }
+    }
   }
   return Status::OK();
 }
 
-void BufferPool::Unpin(size_t frame) {
-  Frame& f = frames_[frame];
+void BufferPool::Unpin(uint32_t shard, uint32_t frame) {
+  Shard& s = *shards_[shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  Frame& f = s.frames[frame];
   assert(f.pins > 0);
   f.pins--;
   if (f.pins == 0) {
-    lru_.push_front(frame);
-    f.lru_pos = lru_.begin();
+    s.lru.push_front(frame);
+    f.lru_pos = s.lru.begin();
   }
 }
 
-Status BufferPool::EvictFrame(size_t frame) {
-  Frame& f = frames_[frame];
+Status BufferPool::EvictFrame(Shard& s, uint32_t frame) {
+  Frame& f = s.frames[frame];
   assert(f.in_use && f.pins == 0);
+  s.stats.evictions++;
   Bump(eviction_count_);
-  if (f.dirty) {
+  if (f.dirty.load(std::memory_order_relaxed)) {
     DYNOPT_RETURN_IF_ERROR(store_->Write(f.id, f.data));
     meter_->physical_writes++;
+    s.stats.writebacks++;
     Bump(writeback_count_);
-    f.dirty = false;
+    f.dirty.store(false, std::memory_order_relaxed);
   }
-  table_.erase(f.id);
-  lru_.erase(f.lru_pos);
+  s.table.erase(f.id);
+  s.lru.erase(f.lru_pos);
   f.in_use = false;
   f.id = kInvalidPageId;
-  free_frames_.push_back(frame);
+  s.free_frames.push_back(frame);
   return Status::OK();
 }
 
-Result<size_t> BufferPool::GrabFrame() {
-  if (!free_frames_.empty()) {
-    size_t frame = free_frames_.back();
-    free_frames_.pop_back();
+Result<uint32_t> BufferPool::GrabFrame(Shard& s) {
+  if (!s.free_frames.empty()) {
+    uint32_t frame = s.free_frames.back();
+    s.free_frames.pop_back();
     return frame;
   }
-  if (lru_.empty()) {
-    return Status::ResourceExhausted("all buffer-pool frames are pinned");
+  if (s.lru.empty()) {
+    return Status::ResourceExhausted(
+        "all buffer-pool frames in this shard are pinned");
   }
-  size_t victim = lru_.back();
-  DYNOPT_RETURN_IF_ERROR(EvictFrame(victim));
-  size_t frame = free_frames_.back();
-  free_frames_.pop_back();
+  uint32_t victim = s.lru.back();
+  DYNOPT_RETURN_IF_ERROR(EvictFrame(s, victim));
+  uint32_t frame = s.free_frames.back();
+  s.free_frames.pop_back();
   return frame;
 }
 

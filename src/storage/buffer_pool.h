@@ -1,19 +1,36 @@
-// BufferPool: fixed-capacity page cache with LRU replacement and cost
-// accounting.
+// BufferPool: sharded, thread-safe page cache with per-shard LRU
+// replacement and cost accounting.
 //
 // Every page access in the engine goes through Pin(): a hit charges one
 // logical read, a miss additionally charges one physical read (plus a
 // physical write if a dirty victim is evicted). This makes the cache-state
 // dependence of retrieval cost — the paper's §3(c) uncertainty source — a
-// first-class, measurable phenomenon. ScrambleCache() emulates the
-// "asynchronous processes totally unrelated to a given retrieval" disturbing
-// the cache between runs.
+// first-class, measurable phenomenon.
+//
+// Concurrency model: the frame pool is partitioned into a power-of-two
+// number of shards by PageId hash. Each shard owns its mutex, frames, hash
+// table, LRU list, and free list, so pins of unrelated pages never touch
+// the same lock, and a fault's physical read (performed while holding only
+// its shard's lock) never blocks traffic to other shards. Cost-meter and
+// metrics charges are relaxed atomics. With multiple sessions running,
+// cache interference stops being simulated (ScrambleCache) and becomes an
+// emergent property of the shared pool — the paper's "asynchronous
+// processes totally unrelated to a given retrieval" made real.
+//
+// Single-threaded determinism: shard assignment is a pure function of
+// PageId and LRU is exact within each shard, so a serial run's
+// hit/miss/eviction sequence is fully reproducible. Pools too small to
+// benefit (fewer than 128 frames) default to one shard, which is
+// bit-for-bit the classic single-LRU behavior.
 
 #ifndef DYNOPT_STORAGE_BUFFER_POOL_H_
 #define DYNOPT_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -30,11 +47,13 @@ class BufferPool;
 
 /// RAII pin on a buffered page. While alive, the page stays in memory and
 /// `data()` is stable. Mark dirty before mutation so eviction flushes it.
+/// A guard may be released from any thread; the data it exposes must not
+/// be written by one thread while another reads the same page.
 class PageGuard {
  public:
   PageGuard() = default;
-  PageGuard(BufferPool* pool, size_t frame, PageId id)
-      : pool_(pool), frame_(frame), id_(id) {}
+  PageGuard(BufferPool* pool, uint32_t shard, uint32_t frame, PageId id)
+      : pool_(pool), shard_(shard), frame_(frame), id_(id) {}
   PageGuard(PageGuard&& o) noexcept { *this = std::move(o); }
   PageGuard& operator=(PageGuard&& o) noexcept;
   PageGuard(const PageGuard&) = delete;
@@ -52,42 +71,73 @@ class PageGuard {
 
  private:
   BufferPool* pool_ = nullptr;
-  size_t frame_ = 0;
+  uint32_t shard_ = 0;
+  uint32_t frame_ = 0;
   PageId id_ = kInvalidPageId;
 };
 
 class BufferPool {
  public:
-  /// `capacity` is the number of page frames; `meter` (optional) receives
-  /// the I/O charges. The pool does not own the store or the meter.
-  BufferPool(PageStore* store, size_t capacity, CostMeter* meter = nullptr);
+  /// Per-shard tallies, maintained under the shard lock; the concurrent
+  /// workload driver reads these to report per-shard hit rates.
+  struct ShardStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t writebacks = 0;
+  };
+
+  /// `capacity` is the total number of page frames; `meter` (optional)
+  /// receives the I/O charges. `shards` must be a power of two (rounded
+  /// down otherwise); 0 picks automatically: one shard per 64 frames,
+  /// capped at 16, minimum 1 — so small deterministic test pools keep the
+  /// classic single-LRU behavior. The pool does not own the store or meter.
+  BufferPool(PageStore* store, size_t capacity, CostMeter* meter = nullptr,
+             size_t shards = 0);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
   ~BufferPool();
 
-  /// Pins page `id`, faulting it from the store if needed.
+  /// Pins page `id`, faulting it from the store if needed. Thread-safe.
   Result<PageGuard> Pin(PageId id);
 
   /// Allocates a fresh zeroed page in the store and pins it dirty.
   Result<PageGuard> NewPage();
 
-  /// Writes back all dirty pages (retaining cache contents).
+  /// Writes back all dirty unpinned pages (retaining cache contents).
+  /// Pinned pages are skipped — their holder may be mid-mutation; they are
+  /// flushed on eviction or on a later FlushAll once released.
   Status FlushAll();
 
   /// Evicts every unpinned page (flushing dirty ones): a cold cache.
   Status EvictAll();
 
-  /// Evicts a random `fraction` of unpinned cached pages — emulates cache
-  /// interference from unrelated concurrent activity (§3c).
-  Status ScrambleCache(Rng& rng, double fraction);
+  /// Evicts ~`fraction` of the unpinned cached pages, coldest-first within
+  /// each shard — emulating the LRU pressure of unrelated concurrent
+  /// activity (§3c) in O(evicted) time. Returns how many pages were
+  /// actually evicted. `rng` only randomizes the rounding of each shard's
+  /// fractional quota.
+  Result<size_t> ScrambleCache(Rng& rng, double fraction);
 
   size_t capacity() const { return capacity_; }
-  size_t cached_pages() const { return table_.size(); }
+  size_t cached_pages() const;
   const CostMeter& meter() const { return *meter_; }
   /// Mutable meter for components charging non-I/O costs (key compares...).
   CostMeter* meter_ptr() { return meter_; }
   PageStore* store() { return store_; }
+
+  size_t shard_count() const { return shards_.size(); }
+  /// Which shard owns `id` (pure function of the id — deterministic).
+  size_t ShardOf(PageId id) const;
+  /// Snapshot of one shard's counters (takes that shard's lock).
+  ShardStats shard_stats(size_t shard) const;
+  /// Sum of all shards' counters.
+  ShardStats TotalStats() const;
+
+  /// Structural self-check (frames/table/LRU/free-list consistency and
+  /// pin counts); test support. Takes every shard lock in turn.
+  Status CheckInvariants() const;
 
   /// Attaches hit/miss/eviction/writeback counters and publishes `registry`
   /// to the components built on this pool (B-trees, steppers, Jscan attach
@@ -104,18 +154,34 @@ class BufferPool {
     PageData data;
     PageId id = kInvalidPageId;
     uint32_t pins = 0;
-    bool dirty = false;
+    // Atomic so concurrent guard holders may MarkDirty() without the shard
+    // lock; ordering rides on the shard mutex (set while pinned, read by
+    // flush/eviction only after the pin is released).
+    std::atomic<bool> dirty{false};
     bool in_use = false;
-    std::list<size_t>::iterator lru_pos;  // valid iff pins == 0 && in_use
+    std::list<uint32_t>::iterator lru_pos;  // valid iff pins == 0 && in_use
   };
 
-  void Unpin(size_t frame);
-  Status EvictFrame(size_t frame);
+  struct Shard {
+    mutable std::mutex mu;
+    std::unique_ptr<Frame[]> frames;  // fixed at construction
+    uint32_t frame_count = 0;
+    std::vector<uint32_t> free_frames;
+    std::unordered_map<PageId, uint32_t> table;
+    std::list<uint32_t> lru;  // front = most recent; only unpinned frames
+    ShardStats stats;
+  };
+
+  void Unpin(uint32_t shard, uint32_t frame);
+  /// Requires s.mu held.
+  Status EvictFrame(Shard& s, uint32_t frame);
   /// Finds a frame to (re)use: a free frame or the LRU unpinned victim.
-  Result<size_t> GrabFrame();
+  /// Requires s.mu held.
+  Result<uint32_t> GrabFrame(Shard& s);
 
   PageStore* store_;
   size_t capacity_;
+  uint32_t shard_shift_;  // ShardOf = hash(id) >> shard_shift_ (64 = 1 shard)
   CostMeter own_meter_;
   CostMeter* meter_;
   MetricsRegistry* metrics_ = nullptr;
@@ -123,10 +189,7 @@ class BufferPool {
   Counter* miss_count_ = nullptr;
   Counter* eviction_count_ = nullptr;
   Counter* writeback_count_ = nullptr;
-  std::vector<Frame> frames_;
-  std::vector<size_t> free_frames_;
-  std::unordered_map<PageId, size_t> table_;
-  std::list<size_t> lru_;  // front = most recent; only unpinned frames
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace dynopt

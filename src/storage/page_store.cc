@@ -1,14 +1,31 @@
 #include "storage/page_store.h"
 
+#include <chrono>
+#include <mutex>
+#include <thread>
+
 namespace dynopt {
 
+namespace {
+
+inline void SimulateLatency(uint32_t micros) {
+  if (micros != 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+}
+
+}  // namespace
+
 PageId PageStore::Allocate() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   pages_.push_back(std::make_unique<PageData>());
   pages_.back()->fill(0);
   return static_cast<PageId>(pages_.size() - 1);
 }
 
 Status PageStore::Read(PageId id, PageData* dst) const {
+  SimulateLatency(read_latency_micros_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (id >= pages_.size()) {
     return Status::IOError("read of unallocated page " + std::to_string(id));
   }
@@ -17,11 +34,18 @@ Status PageStore::Read(PageId id, PageData* dst) const {
 }
 
 Status PageStore::Write(PageId id, const PageData& src) {
+  SimulateLatency(write_latency_micros_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (id >= pages_.size()) {
     return Status::IOError("write of unallocated page " + std::to_string(id));
   }
   *pages_[id] = src;
   return Status::OK();
+}
+
+size_t PageStore::page_count() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return pages_.size();
 }
 
 }  // namespace dynopt

@@ -4,11 +4,26 @@
 // PageStore itself performs no cost accounting — the BufferPool charges
 // physical I/O when it actually faults or flushes — so reads/writes here are
 // exactly the "physical" operations of the cost model.
+//
+// Thread safety: Allocate/Read/Write/page_count may be called from any
+// thread. The page directory is guarded by a shared mutex (reads/writes of
+// *distinct* pages proceed in parallel; Allocate is exclusive). Callers are
+// responsible for not racing Read and Write on the *same* page — the
+// BufferPool guarantees that by owning each PageId in exactly one shard.
+//
+// set_simulated_latency() makes each physical read/write block for a fixed
+// device latency, turning the simulated disk into something sessions can
+// genuinely overlap on: with it enabled, concurrent workloads reproduce the
+// real phenomenon that total throughput is bounded by outstanding I/O, not
+// by the sum of per-session costs. Off (the default) for deterministic
+// single-threaded tests.
 
 #ifndef DYNOPT_STORAGE_PAGE_STORE_H_
 #define DYNOPT_STORAGE_PAGE_STORE_H_
 
+#include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <vector>
 
 #include "storage/page.h"
@@ -31,10 +46,21 @@ class PageStore {
   /// Copies `src` into page `id`.
   Status Write(PageId id, const PageData& src);
 
-  size_t page_count() const { return pages_.size(); }
+  size_t page_count() const;
+
+  /// Blocks each Read/Write for the given microseconds (0 = off). The
+  /// sleep happens before the directory lock is taken, so sleeping I/Os
+  /// from different sessions overlap like requests queued on a device.
+  void set_simulated_latency(uint32_t read_micros, uint32_t write_micros) {
+    read_latency_micros_ = read_micros;
+    write_latency_micros_ = write_micros;
+  }
 
  private:
+  mutable std::shared_mutex mu_;  // guards the pages_ directory
   std::vector<std::unique_ptr<PageData>> pages_;
+  uint32_t read_latency_micros_ = 0;
+  uint32_t write_latency_micros_ = 0;
 };
 
 }  // namespace dynopt

@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <string>
 
+#include "util/atomic_counter.h"
+
 namespace dynopt {
 
 /// Relative weights of the primitive operations, in abstract cost units.
@@ -27,13 +29,20 @@ struct CostWeights {
 };
 
 /// Monotonic counters of primitive operations plus their weighted total.
+///
+/// Charges are relaxed atomic RMWs, so one meter may be shared by many
+/// concurrent sessions (the shared buffer pool charges it from every
+/// worker). Snapshots copy field-by-field: each counter is exact, but a
+/// concurrent snapshot is not a consistent cut across fields — deltas taken
+/// while other sessions run include their interference, which is precisely
+/// the §3(c) cost-uncertainty the competition model consumes.
 struct CostMeter {
-  uint64_t physical_reads = 0;
-  uint64_t physical_writes = 0;
-  uint64_t logical_reads = 0;
-  uint64_t key_compares = 0;
-  uint64_t record_evals = 0;
-  uint64_t rid_ops = 0;
+  RelaxedCounter physical_reads = 0;
+  RelaxedCounter physical_writes = 0;
+  RelaxedCounter logical_reads = 0;
+  RelaxedCounter key_compares = 0;
+  RelaxedCounter record_evals = 0;
+  RelaxedCounter rid_ops = 0;
 
   /// Weighted scalar cost under `w`.
   double Cost(const CostWeights& w = CostWeights()) const {

@@ -1,0 +1,184 @@
+#include "workload/driver.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "core/retrieval.h"
+#include "util/rng.h"
+
+namespace dynopt {
+
+namespace {
+
+// 64-bit finalizer (splitmix64): RID sets fold through this so that a
+// missing row and a spurious row cannot cancel out under plain XOR of
+// small integers.
+uint64_t MixU64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// One session: its own prepared statements, rng, and outcome. The stream
+/// is generated inside Run(), so it depends only on (seed, index).
+class Session {
+ public:
+  Session(Database* db, Table* table, const SessionWorkloadOptions& opts,
+          size_t index)
+      : opts_(opts), rng_(opts.seed * 1000003 + index * 7919 + 1) {
+    RetrievalSpec range_spec;
+    range_spec.table = table;
+    range_spec.restriction = Predicate::And(
+        {Predicate::Between(1, Operand::HostVar("lo"), Operand::HostVar("hi")),
+         Predicate::Compare(2, CompareOp::kLt, Operand::HostVar("cap"))});
+    range_spec.projection = {0, 1, 2};
+    range_engine_ = std::make_unique<DynamicRetrieval>(db, range_spec);
+
+    RetrievalSpec point_spec;
+    point_spec.table = table;
+    point_spec.restriction =
+        Predicate::Compare(0, CompareOp::kEq, Operand::HostVar("id"));
+    point_spec.projection = {0};
+    point_engine_ = std::make_unique<DynamicRetrieval>(db, point_spec);
+
+    row_count_ = static_cast<int64_t>(table->record_count());
+  }
+
+  SessionOutcome Run() {
+    SessionOutcome out;
+    for (size_t q = 0; q < opts_.queries_per_session; ++q) {
+      DynamicRetrieval* engine;
+      ParamMap params;
+      if (rng_.NextDouble() < opts_.point_fraction) {
+        // Point query; a miss (id past the table) ~1/8 of the time.
+        int64_t id = rng_.NextBounded(8) == 0
+                         ? row_count_ + rng_.NextInt(1, 1000)
+                         : rng_.NextInt(0, row_count_ > 0 ? row_count_ - 1 : 0);
+        params = {{"id", Value(id)}};
+        engine = point_engine_.get();
+      } else {
+        int64_t lo = rng_.NextInt(0, 99);
+        int64_t hi = lo + rng_.NextInt(0, 10);
+        int64_t cap = rng_.NextInt(0, 240000);
+        params = {{"lo", Value(lo)}, {"hi", Value(hi)}, {"cap", Value(cap)}};
+        engine = range_engine_.get();
+      }
+      Status st = engine->Open(params);
+      uint64_t fold = 0;
+      uint64_t rows = 0;
+      if (st.ok()) {
+        OutputRow row;
+        for (;;) {
+          auto more = engine->Next(&row);
+          if (!more.ok()) {
+            st = more.status();
+            break;
+          }
+          if (!*more) break;
+          // XOR: order-insensitive within the query.
+          fold ^= MixU64(row.rid.ToU64());
+          rows++;
+        }
+      }
+      if (!st.ok()) {
+        out.error = st.ToString();
+        return out;
+      }
+      out.queries++;
+      out.rows += rows;
+      // Chain in query order so stream position matters.
+      out.result_hash = MixU64(out.result_hash ^ fold ^ (rows + 1));
+    }
+    return out;
+  }
+
+ private:
+  const SessionWorkloadOptions& opts_;
+  Rng rng_;
+  std::unique_ptr<DynamicRetrieval> range_engine_;
+  std::unique_ptr<DynamicRetrieval> point_engine_;
+  int64_t row_count_ = 0;
+};
+
+}  // namespace
+
+Result<SessionWorkloadReport> RunSessionWorkload(
+    Database* db, Table* table, const SessionWorkloadOptions& options) {
+  if (options.sessions == 0) {
+    return Status::InvalidArgument("need at least one session");
+  }
+  BufferPool* pool = db->pool();
+  std::vector<BufferPool::ShardStats> before(pool->shard_count());
+  for (size_t i = 0; i < pool->shard_count(); ++i) {
+    before[i] = pool->shard_stats(i);
+  }
+
+  // Construct sessions up front (engine construction does catalog work
+  // that should not count toward throughput).
+  std::vector<std::unique_ptr<Session>> sessions;
+  sessions.reserve(options.sessions);
+  for (size_t i = 0; i < options.sessions; ++i) {
+    sessions.push_back(
+        std::make_unique<Session>(db, table, options, i));
+  }
+
+  SessionWorkloadReport report;
+  report.sessions.resize(options.sessions);
+  auto start = std::chrono::steady_clock::now();
+  if (options.concurrent) {
+    // One thread per session, released together by a start gate so the
+    // wall clock covers only overlapped execution.
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    threads.reserve(options.sessions);
+    for (size_t i = 0; i < options.sessions; ++i) {
+      threads.emplace_back([&, i] {
+        while (!go.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        report.sessions[i] = sessions[i]->Run();
+      });
+    }
+    start = std::chrono::steady_clock::now();
+    go.store(true, std::memory_order_release);
+    for (std::thread& t : threads) t.join();
+  } else {
+    for (size_t i = 0; i < options.sessions; ++i) {
+      report.sessions[i] = sessions[i]->Run();
+    }
+  }
+  auto end = std::chrono::steady_clock::now();
+  report.wall_seconds =
+      std::chrono::duration<double>(end - start).count();
+
+  for (const SessionOutcome& s : report.sessions) {
+    report.total_queries += s.queries;
+    report.total_rows += s.rows;
+  }
+  report.queries_per_second =
+      report.wall_seconds > 0
+          ? static_cast<double>(report.total_queries) / report.wall_seconds
+          : 0;
+
+  uint64_t hits = 0, misses = 0;
+  report.shard_deltas.resize(pool->shard_count());
+  for (size_t i = 0; i < pool->shard_count(); ++i) {
+    BufferPool::ShardStats now = pool->shard_stats(i);
+    BufferPool::ShardStats& d = report.shard_deltas[i];
+    d.hits = now.hits - before[i].hits;
+    d.misses = now.misses - before[i].misses;
+    d.evictions = now.evictions - before[i].evictions;
+    d.writebacks = now.writebacks - before[i].writebacks;
+    hits += d.hits;
+    misses += d.misses;
+  }
+  report.hit_rate = (hits + misses) > 0
+                        ? static_cast<double>(hits) /
+                              static_cast<double>(hits + misses)
+                        : 0;
+  return report;
+}
+
+}  // namespace dynopt

@@ -1,0 +1,79 @@
+// Concurrent-session workload driver.
+//
+// M worker threads each run an independent stream of DynamicRetrieval
+// executions against one shared Database — the first step toward the
+// roadmap's many-user serving story, and the setting where the paper's
+// §3(c) cache interference stops being simulated: every session's
+// retrieval cost now depends on what the *other* sessions did to the
+// shared buffer pool.
+//
+// Each session's query stream is a pure function of (seed, session index),
+// so the same streams can be replayed serially (concurrent = false) and the
+// per-session result-set hashes compared: tactics and delivery order may
+// differ under interference, but result sets must not.
+//
+// The driver is read-only by design: sessions issue point and range
+// retrievals, never DML. Concurrent modification of heap files or B-trees
+// is not supported by the storage layer (single-writer; see README
+// "Concurrency model").
+
+#ifndef DYNOPT_WORKLOAD_DRIVER_H_
+#define DYNOPT_WORKLOAD_DRIVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/database.h"
+#include "storage/buffer_pool.h"
+#include "util/status.h"
+
+namespace dynopt {
+
+struct SessionWorkloadOptions {
+  /// Concurrent sessions; one thread per session when `concurrent`.
+  size_t sessions = 4;
+  size_t queries_per_session = 100;
+  /// Per-session streams derive from this; session i's stream is identical
+  /// across runs and across concurrent/serial modes.
+  uint64_t seed = 1234;
+  /// Fraction of point (id =) queries; the rest are age-range + income-cap
+  /// scans — the §4 FAMILIES shapes.
+  double point_fraction = 0.5;
+  /// false: run the same session streams one after another on the calling
+  /// thread (the determinism baseline and the 1-thread throughput anchor).
+  bool concurrent = true;
+};
+
+struct SessionOutcome {
+  uint64_t queries = 0;
+  uint64_t rows = 0;
+  /// Order-insensitive fold of each query's result RIDs, chained in query
+  /// order: equal hashes <=> identical result sets, query by query.
+  uint64_t result_hash = 0;
+  /// First failure, empty when the session completed cleanly.
+  std::string error;
+};
+
+struct SessionWorkloadReport {
+  double wall_seconds = 0;
+  uint64_t total_queries = 0;
+  uint64_t total_rows = 0;
+  double queries_per_second = 0;
+  std::vector<SessionOutcome> sessions;
+  /// Per-shard deltas over the run (hits/misses/evictions/writebacks).
+  std::vector<BufferPool::ShardStats> shard_deltas;
+  /// Aggregate hit rate over the run: hits / (hits + misses).
+  double hit_rate = 0;
+};
+
+/// Runs the session streams against `table` (FAMILIES shape: columns
+/// id, age, income, ... with indexes as created by the caller). Returns
+/// the aggregate report; per-session errors are reported in the outcomes
+/// rather than failing the whole run.
+Result<SessionWorkloadReport> RunSessionWorkload(
+    Database* db, Table* table, const SessionWorkloadOptions& options);
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_WORKLOAD_DRIVER_H_

@@ -41,6 +41,25 @@ TEST(HybridRidListTest, RegionTransitions) {
   EXPECT_EQ(list.size(), 11u);
 }
 
+TEST(HybridRidListTest, OversizedInlineCapacityIsClampedToBuffer) {
+  // Regression: an inline_capacity larger than the static buffer must be
+  // clamped, not honored — honoring it would write past inline_buf_.
+  HybridRidList::Options opt;
+  opt.inline_capacity = 1000;
+  opt.memory_capacity = 4096;
+  HybridRidList list(nullptr, opt);
+  for (uint32_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(list.Append(Rid{i, 0}).ok());
+  }
+  // Past the real buffer size the list must have moved to the heap region.
+  EXPECT_EQ(list.storage(), HybridRidList::Storage::kHeap);
+  EXPECT_EQ(list.size(), 200u);
+  ASSERT_TRUE(list.Seal().ok());
+  for (uint32_t i = 0; i < 200; ++i) {
+    EXPECT_TRUE(list.MightContain(Rid{i, 0}));
+  }
+}
+
 TEST(HybridRidListTest, ExactMembershipInMemory) {
   PageStore store;
   BufferPool pool(&store, 4);

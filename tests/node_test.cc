@@ -67,9 +67,9 @@ TEST(NodeTest, BoundsSearches) {
   EXPECT_EQ(p.node.LowerBound("e"), 2);
   EXPECT_EQ(p.node.LowerBound("z"), 4);
   EXPECT_EQ(p.node.UpperBound("d"), 2);
-  uint64_t compares = 0;
+  RelaxedCounter compares;
   p.node.LowerBound("f", &compares);
-  EXPECT_GT(compares, 0u);
+  EXPECT_GT(compares.load(), 0u);
 }
 
 TEST(NodeTest, ChildIndexForUsesSentinel) {

@@ -330,7 +330,8 @@ TEST(MetricsTest, HistogramBucketsValuesInclusively) {
   h->Observe(5);    // <= 10
   h->Observe(100);  // <= 100
   h->Observe(101);  // overflow
-  EXPECT_EQ(h->buckets(), (std::vector<uint64_t>{2, 1, 1, 1}));
+  std::vector<uint64_t> buckets(h->buckets().begin(), h->buckets().end());
+  EXPECT_EQ(buckets, (std::vector<uint64_t>{2, 1, 1, 1}));
   EXPECT_EQ(h->count(), 5u);
   EXPECT_EQ(h->sum(), 207.0);
 }

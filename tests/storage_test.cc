@@ -169,6 +169,39 @@ TEST(BufferPoolTest, ScrambleCacheCausesRefaults) {
   EXPECT_EQ((meter - before).physical_reads, 32u);
 }
 
+TEST(BufferPoolTest, ScrambleCacheReportsEvictionCount) {
+  PageStore store;
+  BufferPool pool(&store, 64);
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(pool.NewPage().ok());
+  }
+  ASSERT_EQ(pool.cached_pages(), 32u);
+  Rng rng(11);
+  auto evicted = pool.ScrambleCache(rng, 0.5);
+  ASSERT_TRUE(evicted.ok());
+  EXPECT_EQ(*evicted, 32u - pool.cached_pages());
+  EXPECT_GT(*evicted, 0u);
+  auto rest = pool.ScrambleCache(rng, 1.0);
+  ASSERT_TRUE(rest.ok());
+  EXPECT_EQ(pool.cached_pages(), 0u);
+  auto none = pool.ScrambleCache(rng, 0.0);
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(*none, 0u);
+}
+
+TEST(BufferPoolTest, ScrambleCacheSkipsPinnedPages) {
+  PageStore store;
+  BufferPool pool(&store, 8);
+  auto pinned = pool.NewPage();
+  ASSERT_TRUE(pinned.ok());
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(pool.NewPage().ok());
+  Rng rng(3);
+  auto evicted = pool.ScrambleCache(rng, 1.0);
+  ASSERT_TRUE(evicted.ok());
+  EXPECT_EQ(*evicted, 4u);
+  EXPECT_EQ(pool.cached_pages(), 1u) << "the pinned page must survive";
+}
+
 TEST(BufferPoolTest, PinGuardMoveTransfersOwnership) {
   PageStore store;
   BufferPool pool(&store, 2);
