@@ -41,7 +41,7 @@ HybridRidList::Options MakeOptions(Config config, int64_t size) {
 void BM_RidListBuildAndProbe(benchmark::State& state) {
   const int64_t size = state.range(0);
   const Config config = static_cast<Config>(state.range(1));
-  PageStore store;
+  MemPageStore store;
   CostMeter meter;
   BufferPool pool(&store, 256, &meter);
   Rng rng(1);
@@ -76,7 +76,7 @@ BENCHMARK(BM_RidListBuildAndProbe)
 void BM_RidListSortedDrain(benchmark::State& state) {
   const int64_t size = state.range(0);
   const Config config = static_cast<Config>(state.range(1));
-  PageStore store;
+  MemPageStore store;
   BufferPool pool(&store, 256);
   for (auto _ : state) {
     HybridRidList list(&pool, MakeOptions(config, size));

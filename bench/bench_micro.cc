@@ -53,7 +53,7 @@ void BM_EncodeString(benchmark::State& state) {
 BENCHMARK(BM_EncodeString)->Arg(8)->Arg(64)->Arg(512);
 
 struct TreeEnv {
-  PageStore store;
+  MemPageStore store;
   BufferPool pool{&store, 8192};
   std::unique_ptr<BTree> tree;
   Rng rng{7};
@@ -69,7 +69,7 @@ struct TreeEnv {
 };
 
 void BM_BTreeInsert(benchmark::State& state) {
-  PageStore store;
+  MemPageStore store;
   BufferPool pool(&store, 8192);
   auto tree = std::move(*BTree::Create(&pool));
   int64_t i = 0;
@@ -134,7 +134,7 @@ void BM_BTreeSampleRanked(benchmark::State& state) {
 BENCHMARK(BM_BTreeSampleRanked);
 
 void BM_BufferPoolHit(benchmark::State& state) {
-  PageStore store;
+  MemPageStore store;
   BufferPool pool(&store, 64);
   PageId id = (*pool.NewPage()).id();
   for (auto _ : state) {
@@ -144,7 +144,7 @@ void BM_BufferPoolHit(benchmark::State& state) {
 BENCHMARK(BM_BufferPoolHit);
 
 void BM_BufferPoolMissEvict(benchmark::State& state) {
-  PageStore store;
+  MemPageStore store;
   BufferPool pool(&store, 4);
   std::vector<PageId> ids;
   for (int i = 0; i < 16; ++i) ids.push_back((*pool.NewPage()).id());

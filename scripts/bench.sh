@@ -16,6 +16,9 @@ jobs="${2:-$(nproc 2>/dev/null || echo 4)}"
 cmake -S "$root" -B "$root/build" >/dev/null
 cmake --build "$root/build" -j "$jobs"
 
+sha="$(git -C "$root" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+when="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
 mkdir -p "$out"
 cd "$out"
 for exe in "$root/build/bench"/bench_*; do
@@ -30,5 +33,13 @@ for exe in "$root/build/bench"/bench_*; do
   echo
 done
 
-echo "== reports in $out =="
+# Stamp every collected report with the commit and run time, so a
+# directory of reports from different checkouts stays attributable.
+for json in "$out"/BENCH_*.json; do
+  [[ -f "$json" ]] || continue
+  grep -q '"git_sha"' "$json" && continue  # already stamped
+  sed -i "s/^{/{\"git_sha\":\"$sha\",\"run_utc\":\"$when\",/" "$json"
+done
+
+echo "== reports in $out (stamped $sha @ $when) =="
 ls -1 "$out"/BENCH_*.json 2>/dev/null || echo "(no reports written)"

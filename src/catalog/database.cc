@@ -1,6 +1,171 @@
 #include "catalog/database.h"
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
 namespace dynopt {
+namespace {
+
+// ---- Catalog serialization ------------------------------------------------
+//
+// The catalog is one blob chained across pages anchored at
+// kCatalogRootPage. Chain page layout:
+//   [0..4)   u32 magic 'DYCT'
+//   [4..8)   u32 next page (kInvalidPageId at the end of the chain)
+//   [8..12)  u32 payload bytes in this page
+//   [12..)   payload
+// Chain pages travel through the buffer pool like any data page, so their
+// images are WAL-logged by the commit that rewrote them — page checksums
+// and torn-write protection come for free.
+
+constexpr uint32_t kCatalogMagic = 0x54435944u;  // 'DYCT'
+constexpr uint32_t kCatalogVersion = 1;
+constexpr size_t kChainHeaderSize = 12;
+constexpr size_t kChainCapacity = kPageSize - kChainHeaderSize;
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+void PutStr(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+struct CatalogReader {
+  std::string_view data;
+
+  Status Raw(void* out, size_t n) {
+    if (data.size() < n) return Status::Corruption("catalog blob truncated");
+    std::memcpy(out, data.data(), n);
+    data.remove_prefix(n);
+    return Status::OK();
+  }
+  Result<uint8_t> U8() {
+    uint8_t v;
+    DYNOPT_RETURN_IF_ERROR(Raw(&v, 1));
+    return v;
+  }
+  Result<uint32_t> U32() {
+    uint32_t v;
+    DYNOPT_RETURN_IF_ERROR(Raw(&v, 4));
+    return v;
+  }
+  Result<uint64_t> U64() {
+    uint64_t v;
+    DYNOPT_RETURN_IF_ERROR(Raw(&v, 8));
+    return v;
+  }
+  Result<std::string> Str() {
+    DYNOPT_ASSIGN_OR_RETURN(uint32_t len, U32());
+    if (data.size() < len) return Status::Corruption("catalog blob truncated");
+    std::string s(data.substr(0, len));
+    data.remove_prefix(len);
+    return s;
+  }
+};
+
+void PutTreeMeta(std::string* out, const BTreeMeta& m) {
+  PutU32(out, m.root);
+  PutU32(out, m.height);
+  PutU64(out, m.entry_count);
+  PutU64(out, m.node_count);
+  PutU64(out, m.leaf_count);
+  PutU64(out, m.slot_sum);
+  PutU64(out, m.max_fanout_seen);
+}
+
+Result<BTreeMeta> ReadTreeMeta(CatalogReader* r) {
+  BTreeMeta m;
+  DYNOPT_ASSIGN_OR_RETURN(m.root, r->U32());
+  DYNOPT_ASSIGN_OR_RETURN(m.height, r->U32());
+  DYNOPT_ASSIGN_OR_RETURN(m.entry_count, r->U64());
+  DYNOPT_ASSIGN_OR_RETURN(m.node_count, r->U64());
+  DYNOPT_ASSIGN_OR_RETURN(m.leaf_count, r->U64());
+  DYNOPT_ASSIGN_OR_RETURN(m.slot_sum, r->U64());
+  DYNOPT_ASSIGN_OR_RETURN(m.max_fanout_seen, r->U64());
+  return m;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Database>> Database::Create(DatabaseOptions options) {
+  if (options.path.empty()) {
+    return Status::InvalidArgument("Database::Create needs options.path");
+  }
+  const std::string wal_path = options.path + ".wal";
+  ::unlink(options.path.c_str());
+  ::unlink(wal_path.c_str());
+
+  DYNOPT_ASSIGN_OR_RETURN(std::unique_ptr<FilePageStore> store,
+                          FilePageStore::Open(options.path, options.crash));
+  WalOptions wal_options;
+  wal_options.group_commit = options.group_commit;
+  wal_options.simulated_fsync_micros = options.simulated_fsync_micros;
+  DYNOPT_ASSIGN_OR_RETURN(
+      std::unique_ptr<Wal> wal,
+      Wal::Open(wal_path, wal_options, options.crash));
+
+  std::unique_ptr<Database> db(
+      new Database(std::move(options), std::move(store)));
+  db->file_store_ = static_cast<FilePageStore*>(db->store_.get());
+  db->wal_ = std::move(wal);
+  if (db->options_.observability) db->wal_->AttachMetrics(&db->metrics_);
+  db->pool_.EnableWalOrdering();
+
+  // The first Commit writes the (empty) catalog, allocating the chain head
+  // as the very first page — the fixed anchor Open() reads from.
+  DYNOPT_RETURN_IF_ERROR(db->Commit());
+  if (db->catalog_pages_.empty() ||
+      db->catalog_pages_[0] != kCatalogRootPage) {
+    return Status::Internal("catalog chain head is not page 0");
+  }
+  return db;
+}
+
+Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options,
+                                                 RecoveryStats* recovery) {
+  if (options.path.empty()) {
+    return Status::InvalidArgument("Database::Open needs options.path");
+  }
+  DYNOPT_ASSIGN_OR_RETURN(std::unique_ptr<FilePageStore> store,
+                          FilePageStore::Open(options.path, options.crash));
+  WalOptions wal_options;
+  wal_options.group_commit = options.group_commit;
+  wal_options.simulated_fsync_micros = options.simulated_fsync_micros;
+  DYNOPT_ASSIGN_OR_RETURN(
+      std::unique_ptr<Wal> wal,
+      Wal::Open(options.path + ".wal", wal_options, options.crash));
+
+  std::unique_ptr<Database> db(
+      new Database(std::move(options), std::move(store)));
+  db->file_store_ = static_cast<FilePageStore*>(db->store_.get());
+  db->wal_ = std::move(wal);
+  if (db->options_.observability) db->wal_->AttachMetrics(&db->metrics_);
+  db->pool_.EnableWalOrdering();
+
+  RecoveryStats stats;
+  DYNOPT_RETURN_IF_ERROR(
+      RecoverFromWal(db->file_store_, db->wal_.get(), &stats, db->metrics()));
+  if (recovery != nullptr) *recovery = stats;
+
+  if (db->store_->page_count() == 0) {
+    return Status::NotFound("no committed database at " + db->options_.path);
+  }
+  DYNOPT_RETURN_IF_ERROR(db->LoadCatalog());
+  return db;
+}
 
 Result<Table*> Database::CreateTable(std::string name, Schema schema) {
   if (tables_.find(name) != tables_.end()) {
@@ -19,6 +184,175 @@ Result<Table*> Database::GetTable(std::string_view name) {
     return Status::NotFound("no table named " + std::string(name));
   }
   return it->second.get();
+}
+
+Status Database::Commit() {
+  if (wal_ == nullptr) return Status::OK();
+  DYNOPT_RETURN_IF_ERROR(WriteCatalog());
+
+  std::vector<std::pair<PageId, PageData>> dirty;
+  uint64_t epoch = pool_.SnapshotDirtyPages(&dirty);
+  std::vector<std::pair<PageId, const PageData*>> refs;
+  refs.reserve(dirty.size());
+  for (const auto& [id, data] : dirty) refs.emplace_back(id, &data);
+
+  // The commit payload carries the allocated-page watermark so recovery
+  // can restore pages that were allocated but never written (see
+  // durability/recovery.h).
+  uint8_t payload[sizeof(uint64_t)];
+  PageWrite<uint64_t>(payload, 0, static_cast<uint64_t>(store_->page_count()));
+  DYNOPT_RETURN_IF_ERROR(wal_->Commit(
+      refs, std::string_view(reinterpret_cast<const char*>(payload),
+                             sizeof(payload))));
+  pool_.MarkCommittedUpTo(epoch);
+  return Status::OK();
+}
+
+Status Database::Checkpoint() {
+  if (wal_ == nullptr) return Status::OK();
+  DYNOPT_RETURN_IF_ERROR(Commit());
+  DYNOPT_RETURN_IF_ERROR(pool_.FlushAll());
+  DYNOPT_RETURN_IF_ERROR(file_store_->Sync());
+  DYNOPT_RETURN_IF_ERROR(
+      CrashHit(options_.crash, CrashPoint::kCheckpointBeforeSuperblock));
+  DYNOPT_RETURN_IF_ERROR(file_store_->WriteSuperblock());
+  DYNOPT_RETURN_IF_ERROR(
+      CrashHit(options_.crash, CrashPoint::kCheckpointAfterSuperblock));
+  return wal_->Reset();
+}
+
+Status Database::Close() { return Checkpoint(); }
+
+Status Database::WriteCatalog() {
+  std::string blob;
+  PutU32(&blob, kCatalogVersion);
+  PutU32(&blob, static_cast<uint32_t>(tables_.size()));
+  for (const auto& [name, table] : tables_) {
+    PutStr(&blob, name);
+    const Schema& schema = table->schema();
+    PutU32(&blob, static_cast<uint32_t>(schema.num_columns()));
+    for (const Column& col : schema.columns()) {
+      PutStr(&blob, col.name);
+      PutU8(&blob, static_cast<uint8_t>(col.type));
+    }
+    PutU64(&blob, table->record_count());
+    const std::vector<PageId>& pages = table->heap()->pages();
+    PutU32(&blob, static_cast<uint32_t>(pages.size()));
+    for (PageId p : pages) PutU32(&blob, p);
+    PutU32(&blob, static_cast<uint32_t>(table->indexes().size()));
+    for (const auto& index : table->indexes()) {
+      PutStr(&blob, index->name());
+      PutU32(&blob, static_cast<uint32_t>(index->key_columns().size()));
+      for (uint32_t c : index->key_columns()) PutU32(&blob, c);
+      PutTreeMeta(&blob, index->tree()->meta());
+    }
+  }
+
+  size_t chunks =
+      std::max<size_t>(1, (blob.size() + kChainCapacity - 1) / kChainCapacity);
+  while (catalog_pages_.size() < chunks) {
+    DYNOPT_ASSIGN_OR_RETURN(PageGuard page, pool_.NewPage());
+    catalog_pages_.push_back(page.id());
+  }
+  for (size_t i = 0; i < chunks; ++i) {
+    DYNOPT_ASSIGN_OR_RETURN(PageGuard page, pool_.Pin(catalog_pages_[i]));
+    uint8_t* p = page.mutable_data();
+    std::memset(p, 0, kPageSize);
+    size_t off = i * kChainCapacity;
+    size_t len = off < blob.size()
+                     ? std::min(kChainCapacity, blob.size() - off)
+                     : 0;
+    PageWrite<uint32_t>(p, 0, kCatalogMagic);
+    PageWrite<uint32_t>(p, 4,
+                        i + 1 < chunks ? catalog_pages_[i + 1]
+                                       : kInvalidPageId);
+    PageWrite<uint32_t>(p, 8, static_cast<uint32_t>(len));
+    if (len > 0) std::memcpy(p + kChainHeaderSize, blob.data() + off, len);
+  }
+  return Status::OK();
+}
+
+Status Database::LoadCatalog() {
+  catalog_pages_.clear();
+  tables_.clear();
+  std::string blob;
+  PageId cur = kCatalogRootPage;
+  while (cur != kInvalidPageId) {
+    if (catalog_pages_.size() >= store_->page_count()) {
+      return Status::Corruption("catalog chain is cyclic or overlong");
+    }
+    DYNOPT_ASSIGN_OR_RETURN(PageGuard page, pool_.Pin(cur));
+    const uint8_t* p = page.data();
+    if (PageRead<uint32_t>(p, 0) != kCatalogMagic) {
+      return Status::Corruption("catalog page " + std::to_string(cur) +
+                                " has bad magic");
+    }
+    PageId next = PageRead<uint32_t>(p, 4);
+    uint32_t len = PageRead<uint32_t>(p, 8);
+    if (len > kChainCapacity) {
+      return Status::Corruption("catalog page " + std::to_string(cur) +
+                                " has bad payload length");
+    }
+    blob.append(reinterpret_cast<const char*>(p) + kChainHeaderSize, len);
+    catalog_pages_.push_back(cur);
+    cur = next;
+  }
+
+  CatalogReader r{blob};
+  DYNOPT_ASSIGN_OR_RETURN(uint32_t version, r.U32());
+  if (version != kCatalogVersion) {
+    return Status::Corruption("unsupported catalog version " +
+                              std::to_string(version));
+  }
+  DYNOPT_ASSIGN_OR_RETURN(uint32_t table_count, r.U32());
+  for (uint32_t t = 0; t < table_count; ++t) {
+    DYNOPT_ASSIGN_OR_RETURN(std::string name, r.Str());
+    DYNOPT_ASSIGN_OR_RETURN(uint32_t ncols, r.U32());
+    std::vector<Column> columns;
+    columns.reserve(ncols);
+    for (uint32_t c = 0; c < ncols; ++c) {
+      Column col;
+      DYNOPT_ASSIGN_OR_RETURN(col.name, r.Str());
+      DYNOPT_ASSIGN_OR_RETURN(uint8_t type, r.U8());
+      if (type > static_cast<uint8_t>(ValueType::kString)) {
+        return Status::Corruption("catalog column has bad type tag");
+      }
+      col.type = static_cast<ValueType>(type);
+      columns.push_back(std::move(col));
+    }
+    DYNOPT_ASSIGN_OR_RETURN(uint64_t record_count, r.U64());
+    DYNOPT_ASSIGN_OR_RETURN(uint32_t npages, r.U32());
+    std::vector<PageId> pages;
+    pages.reserve(npages);
+    for (uint32_t i = 0; i < npages; ++i) {
+      DYNOPT_ASSIGN_OR_RETURN(PageId p, r.U32());
+      pages.push_back(p);
+    }
+    DYNOPT_ASSIGN_OR_RETURN(uint32_t nindexes, r.U32());
+    std::vector<TableIndexMeta> index_metas;
+    index_metas.reserve(nindexes);
+    for (uint32_t i = 0; i < nindexes; ++i) {
+      TableIndexMeta im;
+      DYNOPT_ASSIGN_OR_RETURN(im.name, r.Str());
+      DYNOPT_ASSIGN_OR_RETURN(uint32_t nkeys, r.U32());
+      im.key_columns.reserve(nkeys);
+      for (uint32_t k = 0; k < nkeys; ++k) {
+        DYNOPT_ASSIGN_OR_RETURN(uint32_t col, r.U32());
+        im.key_columns.push_back(col);
+      }
+      DYNOPT_ASSIGN_OR_RETURN(im.tree, ReadTreeMeta(&r));
+      index_metas.push_back(std::move(im));
+    }
+    DYNOPT_ASSIGN_OR_RETURN(
+        std::unique_ptr<Table> table,
+        Table::Open(&pool_, name, Schema(std::move(columns)),
+                    std::move(pages), record_count, index_metas));
+    tables_[std::move(name)] = std::move(table);
+  }
+  if (!r.data.empty()) {
+    return Status::Corruption("catalog blob has trailing bytes");
+  }
+  return Status::OK();
 }
 
 }  // namespace dynopt

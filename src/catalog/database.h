@@ -1,4 +1,28 @@
 // Database: the top-level facade owning storage, cache, cost meter, tables.
+//
+// Two storage modes share one engine:
+//
+//  * In-memory (the `Database db(options)` constructor): a MemPageStore,
+//    no WAL, Commit/Checkpoint/Close are no-ops. The default for unit
+//    tests and optimizer benchmarks.
+//  * File-backed (`Database::Create` / `Database::Open`): a FilePageStore
+//    under a write-ahead log. The catalog — table names, schemas, heap
+//    page lists, index definitions and B+-tree roots — is serialized into
+//    a page chain anchored at page 0, so the whole database (data and
+//    metadata) lives in pages and recovers through one redo mechanism.
+//
+// Commit() is the durability boundary: it rewrites the catalog chain,
+// snapshots every dirty page in the pool, appends their images plus one
+// commit record to the WAL (group commit batches concurrent sessions'
+// fsyncs), and only then unlocks those pages for write-back — the
+// WAL-before-data rule. Open() replays the log's committed images before
+// loading the catalog, so a crash at any instrumented point (see
+// durability/crash.h) loses at most the uncommitted tail.
+//
+// Concurrency: queries may run from many sessions (the pool and WAL are
+// thread-safe), but Commit/Checkpoint/Close assume a single caller with
+// no concurrent mutators — the catalog snapshot is not isolated from
+// in-flight writers.
 
 #ifndef DYNOPT_CATALOG_DATABASE_H_
 #define DYNOPT_CATALOG_DATABASE_H_
@@ -6,8 +30,14 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "catalog/table.h"
+#include "durability/crash.h"
+#include "durability/file_page_store.h"
+#include "durability/recovery.h"
+#include "durability/wal.h"
 #include "obs/feedback.h"
 #include "obs/metrics.h"
 #include "storage/buffer_pool.h"
@@ -16,6 +46,9 @@
 #include "util/status.h"
 
 namespace dynopt {
+
+/// The catalog page chain is anchored at the first page ever allocated.
+inline constexpr PageId kCatalogRootPage = 0;
 
 struct DatabaseOptions {
   /// Buffer-pool frames (8 KiB each). The cache-to-data ratio is the main
@@ -30,23 +63,62 @@ struct DatabaseOptions {
   /// database's components. Off, every instrumentation site in the engine
   /// reduces to one null-pointer branch.
   bool observability = true;
+
+  // File-backed databases only (Database::Create / Database::Open); the
+  // in-memory constructor ignores these.
+  /// Database file path; the WAL lives beside it at `path + ".wal"`.
+  std::string path;
+  /// One fsync per commit group (true) vs per commit (false) — see wal.h.
+  bool group_commit = true;
+  /// Simulated device-flush latency per WAL fsync (see WalOptions).
+  uint32_t simulated_fsync_micros = 0;
+  /// Fault-injection hooks for crash-recovery tests (not owned; may be
+  /// null). See durability/crash.h.
+  CrashController* crash = nullptr;
 };
 
 class Database {
  public:
+  /// An in-memory (volatile) database.
   explicit Database(DatabaseOptions options = DatabaseOptions())
-      : options_(options),
-        pool_(&store_, options.pool_pages, &meter_, options.pool_shards) {
-    // Attach before any table/index/stepper exists: they bind their
-    // counters from pool()->metrics() at construction.
-    if (options_.observability) pool_.AttachMetrics(&metrics_);
-  }
+      : Database(std::move(options), std::make_unique<MemPageStore>()) {}
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
+  /// Creates a fresh file-backed database at `options.path`, replacing
+  /// any existing files there, and commits the (empty) catalog.
+  static Result<std::unique_ptr<Database>> Create(DatabaseOptions options);
+
+  /// Opens an existing file-backed database: replays the WAL's committed
+  /// images (redo recovery), then loads the catalog — schemas, heap files
+  /// and B+-trees rebind to their pages with no rebuild. `recovery`
+  /// (optional) receives what the replay found.
+  static Result<std::unique_ptr<Database>> Open(DatabaseOptions options,
+                                                RecoveryStats* recovery =
+                                                    nullptr);
+
   Result<Table*> CreateTable(std::string name, Schema schema);
   Result<Table*> GetTable(std::string_view name);
+
+  /// Makes everything mutated since the last commit durable: catalog +
+  /// dirty page images into the WAL, one commit record, group-committed
+  /// fsync. No-op (OK) for in-memory databases.
+  Status Commit();
+
+  /// Commit, then migrate data to the database file: flush the pool, sync,
+  /// bump the superblock, and reset the WAL to empty. Bounds recovery work.
+  Status Checkpoint();
+
+  /// Checkpoint; call before destruction for a clean shutdown. (Skipping
+  /// it is safe — reopen replays the WAL — just slower.)
+  Status Close();
+
+  /// True when this database writes through a WAL to a file.
+  bool durable() const { return wal_ != nullptr; }
+  Wal* wal() { return wal_.get(); }
+  FilePageStore* file_store() { return file_store_; }
+  CrashController* crash() { return options_.crash; }
 
   BufferPool* pool() { return &pool_; }
   const CostMeter& meter() const { return meter_; }
@@ -69,12 +141,32 @@ class Database {
   }
 
  private:
+  Database(DatabaseOptions options, std::unique_ptr<PageStore> store)
+      : options_(std::move(options)),
+        store_(std::move(store)),
+        pool_(store_.get(), options_.pool_pages, &meter_,
+              options_.pool_shards) {
+    // Attach before any table/index/stepper exists: they bind their
+    // counters from pool()->metrics() at construction.
+    if (options_.observability) pool_.AttachMetrics(&metrics_);
+  }
+
+  /// Serializes the catalog into the page chain at kCatalogRootPage
+  /// (allocating chain pages as needed) via the pool, so catalog pages
+  /// ride the same dirty-snapshot/WAL path as data pages.
+  Status WriteCatalog();
+  /// Reads and parses the chain, reconstructing tables_.
+  Status LoadCatalog();
+
   DatabaseOptions options_;
-  PageStore store_;
+  std::unique_ptr<PageStore> store_;  // outlives pool_ (declared first)
+  FilePageStore* file_store_ = nullptr;  // store_ downcast; null in-memory
+  std::unique_ptr<Wal> wal_;             // null for in-memory databases
   CostMeter meter_;
   MetricsRegistry metrics_;   // before pool_: attached in the ctor body
   FeedbackStore feedback_;
   BufferPool pool_;
+  std::vector<PageId> catalog_pages_;  // the chain; [0] == kCatalogRootPage
   std::map<std::string, std::unique_ptr<Table>, std::less<>> tables_;
 };
 

@@ -23,6 +23,23 @@ Result<std::unique_ptr<SecondaryIndex>> SecondaryIndex::Create(
   return index;
 }
 
+Result<std::unique_ptr<SecondaryIndex>> SecondaryIndex::Open(
+    BufferPool* pool, std::string name, const Schema* schema,
+    std::vector<uint32_t> key_columns, const BTreeMeta& tree_meta) {
+  if (key_columns.empty()) {
+    return Status::Corruption("persisted index lacks key columns");
+  }
+  for (uint32_t c : key_columns) {
+    if (c >= schema->num_columns()) {
+      return Status::Corruption("persisted index key column out of range");
+    }
+  }
+  std::unique_ptr<SecondaryIndex> index(
+      new SecondaryIndex(std::move(name), schema, std::move(key_columns)));
+  index->tree_ = BTree::Open(pool, tree_meta);
+  return index;
+}
+
 Result<std::string> SecondaryIndex::MakeKeyPrefix(const Record& record) const {
   std::string key;
   for (uint32_t c : key_columns_) {

@@ -32,6 +32,12 @@ class SecondaryIndex {
       BufferPool* pool, std::string name, const Schema* schema,
       std::vector<uint32_t> key_columns);
 
+  /// Rebinds an index to its stored B+-tree from persisted metadata
+  /// (catalog reopen). `schema` must outlive the index, as with Create.
+  static Result<std::unique_ptr<SecondaryIndex>> Open(
+      BufferPool* pool, std::string name, const Schema* schema,
+      std::vector<uint32_t> key_columns, const BTreeMeta& tree_meta);
+
   /// Adds (or removes) the index entry for `record` stored at `rid`.
   Status InsertRecord(const Record& record, Rid rid);
   Status DeleteRecord(const Record& record, Rid rid);

@@ -13,6 +13,30 @@ Result<std::unique_ptr<Table>> Table::Create(BufferPool* pool,
   return table;
 }
 
+Result<std::unique_ptr<Table>> Table::Open(
+    BufferPool* pool, std::string name, Schema schema,
+    std::vector<PageId> heap_pages, uint64_t heap_record_count,
+    const std::vector<TableIndexMeta>& index_metas) {
+  if (schema.num_columns() == 0) {
+    return Status::Corruption("persisted table lacks columns");
+  }
+  if (heap_pages.empty()) {
+    return Status::Corruption("persisted table lacks heap pages");
+  }
+  std::unique_ptr<Table> table(
+      new Table(pool, std::move(name), std::move(schema)));
+  table->heap_ =
+      HeapFile::Open(pool, std::move(heap_pages), heap_record_count);
+  for (const TableIndexMeta& im : index_metas) {
+    DYNOPT_ASSIGN_OR_RETURN(
+        std::unique_ptr<SecondaryIndex> index,
+        SecondaryIndex::Open(pool, im.name, &table->schema_, im.key_columns,
+                             im.tree));
+    table->indexes_.push_back(std::move(index));
+  }
+  return table;
+}
+
 Result<Rid> Table::Insert(const Record& record) {
   std::string bytes;
   DYNOPT_RETURN_IF_ERROR(SerializeRecord(schema_, record, &bytes));

@@ -14,11 +14,26 @@
 
 namespace dynopt {
 
+/// Per-index persisted metadata: what the catalog stores to rebind a
+/// secondary index after reopen.
+struct TableIndexMeta {
+  std::string name;
+  std::vector<uint32_t> key_columns;
+  BTreeMeta tree;
+};
+
 class Table {
  public:
   static Result<std::unique_ptr<Table>> Create(BufferPool* pool,
                                                std::string name,
                                                Schema schema);
+
+  /// Rebinds a table to its stored heap pages and indexes from persisted
+  /// catalog metadata — the reopen-without-rebuild path.
+  static Result<std::unique_ptr<Table>> Open(
+      BufferPool* pool, std::string name, Schema schema,
+      std::vector<PageId> heap_pages, uint64_t heap_record_count,
+      const std::vector<TableIndexMeta>& index_metas);
 
   /// Validates, stores, and indexes a record.
   Result<Rid> Insert(const Record& record);

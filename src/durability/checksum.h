@@ -1,0 +1,29 @@
+// FNV-1a 64-bit checksums for on-disk structures (WAL records, page
+// frames, superblocks). Not cryptographic — the threat model is torn
+// writes and bit rot, detected by a cheap streaming hash.
+
+#ifndef DYNOPT_DURABILITY_CHECKSUM_H_
+#define DYNOPT_DURABILITY_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dynopt {
+
+inline constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+inline constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+inline uint64_t Fnv1a64(const void* data, size_t n,
+                        uint64_t seed = kFnvOffset) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_DURABILITY_CHECKSUM_H_

@@ -1,0 +1,71 @@
+#include "durability/crash.h"
+
+namespace dynopt {
+
+std::string_view CrashPointName(CrashPoint p) {
+  switch (p) {
+    case CrashPoint::kWalBeforeWrite:
+      return "wal_before_write";
+    case CrashPoint::kWalTornWrite:
+      return "wal_torn_write";
+    case CrashPoint::kWalBeforeSync:
+      return "wal_before_sync";
+    case CrashPoint::kWalAfterSync:
+      return "wal_after_sync";
+    case CrashPoint::kStorePageWrite:
+      return "store_page_write";
+    case CrashPoint::kStoreSync:
+      return "store_sync";
+    case CrashPoint::kCheckpointBeforeSuperblock:
+      return "checkpoint_before_superblock";
+    case CrashPoint::kCheckpointAfterSuperblock:
+      return "checkpoint_after_superblock";
+  }
+  return "unknown";
+}
+
+void CrashController::Arm(CrashPoint p, int skip_hits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_ = true;
+  point_ = p;
+  remaining_ = skip_hits;
+}
+
+void CrashController::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_ = false;
+  remaining_ = 0;
+  crashed_.store(false, std::memory_order_release);
+}
+
+Status CrashController::Hit(CrashPoint p) {
+  if (crashed()) {
+    return Status::IOError("simulated crash: storage is offline");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_ || point_ != p) return Status::OK();
+  if (remaining_-- > 0) return Status::OK();
+  armed_ = false;
+  fired_ = p;
+  crashed_.store(true, std::memory_order_release);
+  return Status::IOError("simulated crash at " + std::string(CrashPointName(p)));
+}
+
+bool CrashController::HitTear(CrashPoint p) {
+  if (crashed()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_ || point_ != p) return false;
+  if (remaining_-- > 0) return false;
+  armed_ = false;
+  return true;  // caller performs the partial write, then ForceCrash(p)
+}
+
+Status CrashController::ForceCrash(CrashPoint p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_ = false;
+  fired_ = p;
+  crashed_.store(true, std::memory_order_release);
+  return Status::IOError("simulated crash at " + std::string(CrashPointName(p)));
+}
+
+}  // namespace dynopt

@@ -1,0 +1,77 @@
+#include "durability/recovery.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace dynopt {
+
+Status RecoverFromWal(FilePageStore* store, Wal* wal, RecoveryStats* stats,
+                      MetricsRegistry* metrics) {
+  RecoveryStats local;
+  RecoveryStats* s = stats != nullptr ? stats : &local;
+  *s = RecoveryStats();
+
+  // Stage images per in-flight transaction; promote at each commit. Later
+  // commits overwrite earlier images of the same page, so `apply` ends as
+  // the newest committed post-image of every logged page.
+  std::unordered_map<PageId, PageData> staged;
+  std::unordered_map<PageId, PageData> apply;
+  size_t needed_pages = 0;
+
+  WalReplayStats replay_stats;
+  Status st = wal->Replay(
+      [&](const WalRecordView& rec) -> Status {
+        switch (rec.type) {
+          case WalRecordType::kPageImage: {
+            if (rec.payload.size() != kPageSize) {
+              return Status::Corruption("wal page image with bad size");
+            }
+            PageData& img = staged[rec.page];
+            std::memcpy(img.data(), rec.payload.data(), kPageSize);
+            break;
+          }
+          case WalRecordType::kCommit: {
+            for (auto& [page, img] : staged) {
+              apply[page] = img;
+              needed_pages = std::max<size_t>(needed_pages, page + 1);
+            }
+            staged.clear();
+            if (rec.payload.size() >= sizeof(uint64_t)) {
+              uint64_t count = PageRead<uint64_t>(
+                  reinterpret_cast<const uint8_t*>(rec.payload.data()), 0);
+              needed_pages = std::max<size_t>(needed_pages, count);
+            }
+            ++s->wal_commits;
+            break;
+          }
+          case WalRecordType::kNote:
+            break;
+        }
+        return Status::OK();
+      },
+      &replay_stats);
+  DYNOPT_RETURN_IF_ERROR(st);
+  s->wal_records = replay_stats.records;
+  s->wal_bytes = replay_stats.bytes;
+  // The tear is usually caught (and truncated) by Wal::Open before this
+  // replay runs; either sighting counts.
+  s->torn_tail = replay_stats.torn_tail || wal->tail_was_torn();
+
+  store->EnsureAllocated(needed_pages);
+  for (const auto& [page, img] : apply) {
+    DYNOPT_RETURN_IF_ERROR(store->Write(page, img));
+    ++s->pages_applied;
+  }
+  DYNOPT_RETURN_IF_ERROR(store->Sync());
+  DYNOPT_RETURN_IF_ERROR(store->WriteSuperblock());
+  DYNOPT_RETURN_IF_ERROR(wal->Reset());
+
+  if (metrics != nullptr) {
+    Bump(metrics->counter("durability.recoveries"));
+    Bump(metrics->counter("durability.recovered_commits"), s->wal_commits);
+    Bump(metrics->counter("durability.recovered_pages"), s->pages_applied);
+  }
+  return Status::OK();
+}
+
+}  // namespace dynopt

@@ -1,0 +1,49 @@
+// Redo recovery: replays the WAL's committed page images into the data
+// file at open time.
+//
+// The engine never writes an uncommitted dirty page to the data file (the
+// BufferPool's WAL-ordering gate), so recovery is pure redo: scan the
+// log's valid prefix, stage each page image, and at every commit record
+// promote the staged images to "apply". Images past the last complete
+// commit (including a torn tail) are discarded — that transaction never
+// happened. Applying is idempotent: images are full post-images, so a
+// crash during recovery just replays again.
+//
+// Commit payload convention: a Database commit record's payload begins
+// with the u64 allocated-page count at commit time, letting recovery
+// restore pages that were allocated but never written (they have no
+// image — they are zeroed by definition).
+//
+// Recovery ends with a checkpoint: data file synced, superblock bumped,
+// WAL reset — so a reopened database starts with an empty log.
+
+#ifndef DYNOPT_DURABILITY_RECOVERY_H_
+#define DYNOPT_DURABILITY_RECOVERY_H_
+
+#include <cstdint>
+
+#include "durability/file_page_store.h"
+#include "durability/wal.h"
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace dynopt {
+
+struct RecoveryStats {
+  uint64_t wal_records = 0;
+  uint64_t wal_commits = 0;  // complete commits applied
+  uint64_t wal_bytes = 0;    // valid WAL bytes scanned
+  uint64_t pages_applied = 0;  // distinct pages rewritten from images
+  bool torn_tail = false;      // the log ended in a torn/incomplete record
+};
+
+/// Replays `wal` into `store` (see file comment), then checkpoints:
+/// store->Sync(), store->WriteSuperblock(), wal->Reset(). With `metrics`,
+/// bumps durability.recoveries / durability.recovered_commits /
+/// durability.recovered_pages.
+Status RecoverFromWal(FilePageStore* store, Wal* wal, RecoveryStats* stats,
+                      MetricsRegistry* metrics = nullptr);
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_DURABILITY_RECOVERY_H_

@@ -1,0 +1,350 @@
+#include "durability/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "durability/checksum.h"
+
+namespace dynopt {
+
+namespace {
+
+constexpr uint32_t kWalMagic = 0x4C575944;     // 'DYWL'
+constexpr uint32_t kRecordMagic = 0x43455257;  // 'WREC'
+constexpr uint32_t kWalVersion = 1;
+constexpr size_t kHeaderSize = 24;
+constexpr size_t kRecordHeaderSize = 32;
+
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+/// Serializes one record (header + payload) onto `out`.
+void AppendRecord(std::string* out, WalRecordType type, uint64_t lsn,
+                  PageId page, std::string_view payload) {
+  size_t header_at = out->size();
+  PutU32(out, kRecordMagic);
+  PutU32(out, static_cast<uint32_t>(type));
+  PutU64(out, lsn);
+  PutU32(out, page);
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  uint64_t sum = Fnv1a64(out->data() + header_at, 24);
+  sum = Fnv1a64(payload.data(), payload.size(), sum);
+  PutU64(out, sum);
+  out->append(payload.data(), payload.size());
+}
+
+Status FullPwrite(int fd, const char* data, size_t n, uint64_t offset) {
+  while (n > 0) {
+    ssize_t w = ::pwrite(fd, data, n, static_cast<off_t>(offset));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("wal pwrite: ") +
+                             std::strerror(errno));
+    }
+    data += w;
+    offset += static_cast<uint64_t>(w);
+    n -= static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Wal>> Wal::Open(std::string path, WalOptions options,
+                                       CrashController* crash) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot open wal " + path + ": " +
+                           std::strerror(errno));
+  }
+  std::unique_ptr<Wal> wal(new Wal(std::move(path), fd, options, crash));
+
+  off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) return Status::IOError("wal lseek failed");
+  if (end == 0) {
+    DYNOPT_RETURN_IF_ERROR(wal->WriteHeader(/*start_lsn=*/1));
+    if (::fsync(fd) != 0) return Status::IOError("wal header fsync failed");
+    wal->next_lsn_ = 1;
+    wal->durable_lsn_ = 0;
+    wal->size_ = kHeaderSize;
+    return wal;
+  }
+
+  // Existing log: scan to the last valid record to place the append
+  // offset and LSN counters.
+  WalReplayStats stats;
+  uint64_t last_lsn = 0;
+  Status scan = wal->Replay(
+      [&last_lsn](const WalRecordView& rec) {
+        last_lsn = rec.lsn;
+        return Status::OK();
+      },
+      &stats);
+  DYNOPT_RETURN_IF_ERROR(scan);
+  // Replay validated the header and the record prefix; start_lsn is
+  // re-read here for the empty-log case.
+  uint8_t header[kHeaderSize];
+  ssize_t r = ::pread(fd, header, kHeaderSize, 0);
+  if (r != static_cast<ssize_t>(kHeaderSize)) {
+    return Status::Corruption("wal header unreadable");
+  }
+  uint64_t start_lsn = GetU64(header + 8);
+  wal->next_lsn_ = stats.records > 0 ? last_lsn + 1 : start_lsn;
+  wal->durable_lsn_ = wal->next_lsn_ - 1;
+  wal->size_ = kHeaderSize + stats.bytes;
+  wal->tail_was_torn_ = stats.torn_tail;
+  // Discard a torn tail for good: later appends land at size_, and a
+  // leftover sliver of the dead run's garbage must not outlive them.
+  if (stats.torn_tail && static_cast<uint64_t>(end) > wal->size_) {
+    if (::ftruncate(fd, static_cast<off_t>(wal->size_)) != 0) {
+      return Status::IOError("wal tail truncate failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    if (::fsync(fd) != 0) return Status::IOError("wal truncate fsync failed");
+  }
+  return wal;
+}
+
+Wal::~Wal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Wal::AttachMetrics(MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (registry == nullptr) {
+    m_commits_ = m_fsyncs_ = m_records_ = m_bytes_ = nullptr;
+    m_group_size_ = nullptr;
+    return;
+  }
+  m_commits_ = registry->counter("wal.commits");
+  m_fsyncs_ = registry->counter("wal.fsyncs");
+  m_records_ = registry->counter("wal.records");
+  m_bytes_ = registry->counter("wal.bytes");
+  m_group_size_ = registry->histogram("wal.group_size",
+                                      {1, 2, 4, 8, 16, 32, 64});
+}
+
+Status Wal::WriteHeader(uint64_t start_lsn) {
+  std::string header;
+  header.reserve(kHeaderSize);
+  PutU32(&header, kWalMagic);
+  PutU32(&header, kWalVersion);
+  PutU64(&header, start_lsn);
+  PutU64(&header, Fnv1a64(header.data(), 16));
+  return FullPwrite(fd_, header.data(), header.size(), 0);
+}
+
+Status Wal::WriteAndSync(const std::string& batch, uint64_t offset) {
+  DYNOPT_RETURN_IF_ERROR(CrashHit(crash_, CrashPoint::kWalBeforeWrite));
+  if (crash_ != nullptr && crash_->HitTear(CrashPoint::kWalTornWrite)) {
+    // The simulated device tears the batch in half mid-write and the
+    // process dies: a partial record (or partial batch with no commit
+    // record) lands in the file for recovery's checksum scan to reject.
+    FullPwrite(fd_, batch.data(), batch.size() / 2, offset).ok();
+    return crash_->ForceCrash(CrashPoint::kWalTornWrite);
+  }
+  DYNOPT_RETURN_IF_ERROR(FullPwrite(fd_, batch.data(), batch.size(), offset));
+  DYNOPT_RETURN_IF_ERROR(CrashHit(crash_, CrashPoint::kWalBeforeSync));
+  if (::fsync(fd_) != 0) {
+    return Status::IOError(std::string("wal fsync: ") + std::strerror(errno));
+  }
+  if (options_.simulated_fsync_micros != 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.simulated_fsync_micros));
+  }
+  Bump(m_fsyncs_);
+  Bump(m_bytes_, batch.size());
+  return CrashHit(crash_, CrashPoint::kWalAfterSync);
+}
+
+Status Wal::Commit(
+    const std::vector<std::pair<PageId, const PageData*>>& pages,
+    std::string_view payload) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (crash_ != nullptr && crash_->crashed()) {
+    return Status::IOError("simulated crash: wal is offline");
+  }
+  if (!last_error_.ok()) return last_error_;
+
+  // Serialize this transaction's records into the shared pending buffer
+  // under the lock (LSNs are assigned here, densely).
+  for (const auto& [id, data] : pages) {
+    AppendRecord(&pending_, WalRecordType::kPageImage, next_lsn_++, id,
+                 std::string_view(reinterpret_cast<const char*>(data->data()),
+                                  data->size()));
+    Bump(m_records_);
+  }
+  uint64_t my_lsn = next_lsn_++;
+  AppendRecord(&pending_, WalRecordType::kCommit, my_lsn, kInvalidPageId,
+               payload);
+  Bump(m_records_);
+  Bump(m_commits_);
+  pending_commits_++;
+
+  if (!options_.group_commit) {
+    // Per-commit fsync baseline: flush inline, fully serialized.
+    std::string batch;
+    batch.swap(pending_);
+    pending_commits_ = 0;
+    uint64_t offset = size_;
+    Status st = WriteAndSync(batch, offset);
+    if (st.ok()) {
+      size_ = offset + batch.size();
+      durable_lsn_ = my_lsn;
+      Observe(m_group_size_, 1);
+    }
+    return st;
+  }
+
+  for (;;) {
+    if (durable_lsn_ >= my_lsn) return Status::OK();
+    if (!last_error_.ok()) return last_error_;
+    if (!flush_in_progress_) break;  // become the leader
+    cv_.wait(lk);
+  }
+
+  // Leader: take everything pending (possibly several sessions' batches)
+  // and make it durable with one fsync.
+  flush_in_progress_ = true;
+  std::string batch;
+  batch.swap(pending_);
+  uint64_t batch_commits = pending_commits_;
+  pending_commits_ = 0;
+  uint64_t batch_last_lsn = next_lsn_ - 1;
+  uint64_t offset = size_;
+  lk.unlock();
+
+  Status st = WriteAndSync(batch, offset);
+
+  lk.lock();
+  flush_in_progress_ = false;
+  if (st.ok()) {
+    size_ = offset + batch.size();
+    durable_lsn_ = batch_last_lsn;
+    Observe(m_group_size_, static_cast<double>(batch_commits));
+  } else {
+    // A lost batch means every unacked commit is lost: poison the log so
+    // no later leader can report durability over the hole.
+    last_error_ = st;
+  }
+  cv_.notify_all();
+  return st;
+}
+
+Status Wal::Replay(const std::function<Status(const WalRecordView&)>& fn,
+                   WalReplayStats* stats) const {
+  WalReplayStats local;
+  WalReplayStats* out = stats != nullptr ? stats : &local;
+  *out = WalReplayStats();
+
+  uint8_t header[kHeaderSize];
+  ssize_t r = ::pread(fd_, header, kHeaderSize, 0);
+  if (r != static_cast<ssize_t>(kHeaderSize)) {
+    return Status::Corruption("wal header truncated");
+  }
+  if (GetU32(header) != kWalMagic || GetU32(header + 4) != kWalVersion) {
+    return Status::Corruption("wal header magic/version mismatch");
+  }
+  if (GetU64(header + 16) != Fnv1a64(header, 16)) {
+    return Status::Corruption("wal header checksum mismatch");
+  }
+  uint64_t expected_lsn = GetU64(header + 8);
+
+  uint64_t offset = kHeaderSize;
+  std::string payload;
+  for (;;) {
+    uint8_t rec[kRecordHeaderSize];
+    ssize_t got = ::pread(fd_, rec, kRecordHeaderSize,
+                          static_cast<off_t>(offset));
+    if (got < static_cast<ssize_t>(kRecordHeaderSize)) {
+      out->torn_tail = got > 0;
+      break;
+    }
+    uint32_t payload_len = GetU32(rec + 20);
+    uint64_t lsn = GetU64(rec + 8);
+    if (GetU32(rec) != kRecordMagic || lsn != expected_lsn ||
+        payload_len > (kPageSize + 64)) {
+      out->torn_tail = true;
+      break;
+    }
+    payload.resize(payload_len);
+    got = ::pread(fd_, payload.data(), payload_len,
+                  static_cast<off_t>(offset + kRecordHeaderSize));
+    if (got < static_cast<ssize_t>(payload_len)) {
+      out->torn_tail = true;
+      break;
+    }
+    uint64_t sum = Fnv1a64(rec, 24);
+    sum = Fnv1a64(payload.data(), payload.size(), sum);
+    if (sum != GetU64(rec + 24)) {
+      out->torn_tail = true;
+      break;
+    }
+    WalRecordView view;
+    view.type = static_cast<WalRecordType>(GetU32(rec + 4));
+    view.lsn = lsn;
+    view.page = GetU32(rec + 16);
+    view.payload = payload;
+    DYNOPT_RETURN_IF_ERROR(fn(view));
+    out->records++;
+    if (view.type == WalRecordType::kCommit) out->commits++;
+    offset += kRecordHeaderSize + payload_len;
+    out->bytes += kRecordHeaderSize + payload_len;
+    expected_lsn++;
+  }
+  return Status::OK();
+}
+
+Status Wal::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crash_ != nullptr && crash_->crashed()) {
+    return Status::IOError("simulated crash: wal is offline");
+  }
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::IOError("wal ftruncate failed");
+  }
+  DYNOPT_RETURN_IF_ERROR(WriteHeader(next_lsn_));
+  if (::fsync(fd_) != 0) return Status::IOError("wal fsync failed");
+  pending_.clear();
+  pending_commits_ = 0;
+  durable_lsn_ = next_lsn_ - 1;
+  size_ = kHeaderSize;
+  return Status::OK();
+}
+
+uint64_t Wal::next_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_lsn_;
+}
+
+uint64_t Wal::durable_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return durable_lsn_;
+}
+
+uint64_t Wal::size_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return size_;
+}
+
+}  // namespace dynopt

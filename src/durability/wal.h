@@ -1,0 +1,165 @@
+// Write-ahead log with physical page-image records and group commit.
+//
+// The log is a single append-only file of checksummed records:
+//
+//   file header (24 bytes)
+//     [0..4)   u32 magic 'DYWL'
+//     [4..8)   u32 version
+//     [8..16)  u64 start_lsn        LSN of the first record in this file
+//     [16..24) u64 checksum         FNV-1a over bytes [0..16)
+//   records, back to back (32-byte header + payload)
+//     [0..4)   u32 magic 'WREC'
+//     [4..8)   u32 type             WalRecordType
+//     [8..16)  u64 lsn              dense: start_lsn, start_lsn+1, ...
+//     [16..20) u32 page_id          page-image records; else kInvalidPageId
+//     [20..24) u32 payload_len
+//     [24..32) u64 checksum         FNV-1a over header[0..24) + payload
+//
+// A transaction is one Commit() call: the images of every page it touched
+// followed by one commit record, written and fsynced as a single batch.
+// Torn writes are detected on replay by the record checksums (and the
+// dense LSN sequence): replay applies page images only up to the last
+// complete commit record, so a half-written batch rolls back wholesale.
+//
+// Group commit: concurrent Commit() calls park their records in a shared
+// pending buffer; the first one in becomes the leader, writes and fsyncs
+// everyone's bytes with ONE fsync, and wakes the followers whose LSNs the
+// flush covered. Under load the fsync cost amortizes across the group —
+// bench_recovery measures the resulting commit-throughput multiple. With
+// group_commit off every Commit() pays its own fsync (the baseline).
+//
+// Thread safety: Commit() from any thread; Replay()/Reset() must not run
+// concurrently with commits (recovery and checkpointing own the engine).
+
+#ifndef DYNOPT_DURABILITY_WAL_H_
+#define DYNOPT_DURABILITY_WAL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "durability/crash.h"
+#include "obs/metrics.h"
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace dynopt {
+
+struct WalOptions {
+  /// One fsync per flush group (true) vs one fsync per commit (false).
+  bool group_commit = true;
+  /// Added device-flush latency per fsync (0 = off). Like the page store's
+  /// simulated latency, this models the rotational/flash flush cost that a
+  /// fast test filesystem hides, so group-commit batching is measurable.
+  uint32_t simulated_fsync_micros = 0;
+};
+
+enum class WalRecordType : uint32_t {
+  kPageImage = 1,  // payload: the 8 KiB post-image of page_id
+  kCommit = 2,     // payload: opaque commit annotation (engine state)
+  kNote = 3,       // payload: opaque (bench/test traffic)
+};
+
+/// A decoded record handed to the Replay callback. `payload` points into
+/// a per-call buffer — copy it to keep it.
+struct WalRecordView {
+  WalRecordType type = WalRecordType::kNote;
+  uint64_t lsn = 0;
+  PageId page = kInvalidPageId;
+  std::string_view payload;
+};
+
+struct WalReplayStats {
+  uint64_t records = 0;
+  uint64_t commits = 0;
+  uint64_t bytes = 0;      // bytes of valid records scanned
+  bool torn_tail = false;  // trailing bytes failed validation (discarded)
+};
+
+class Wal {
+ public:
+  /// Opens (creating if absent) the log at `path`. An existing log is
+  /// scanned to its last valid record; a torn tail is remembered and
+  /// ignored for appends.
+  static Result<std::unique_ptr<Wal>> Open(std::string path,
+                                           WalOptions options = WalOptions(),
+                                           CrashController* crash = nullptr);
+  ~Wal();
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Appends the page images plus one commit record carrying `payload`,
+  /// and returns once the whole batch is durable (or with the error that
+  /// prevented it). Thread-safe; this is the group-commit entry point.
+  Status Commit(const std::vector<std::pair<PageId, const PageData*>>& pages,
+                std::string_view payload);
+
+  /// A page-less transaction (bench/test traffic through the same path).
+  Status CommitNote(std::string_view note) { return Commit({}, note); }
+
+  /// Streams every valid record from the start of the file through `fn`,
+  /// stopping cleanly at the first torn/corrupt record (recorded in
+  /// `stats->torn_tail`, not an error). A non-OK status from `fn` aborts.
+  Status Replay(const std::function<Status(const WalRecordView&)>& fn,
+                WalReplayStats* stats) const;
+
+  /// Empties the log (post-checkpoint): truncates to a fresh header whose
+  /// start_lsn continues the sequence, and fsyncs.
+  Status Reset();
+
+  uint64_t next_lsn() const;
+  uint64_t durable_lsn() const;
+  /// Append offset = bytes of header + valid records.
+  uint64_t size_bytes() const;
+  /// True when Open() found (and truncated away) a torn tail — the
+  /// signature of a crash mid-append. Replay after Open no longer sees
+  /// the tail; this flag is how recovery learns it existed.
+  bool tail_was_torn() const { return tail_was_torn_; }
+
+  /// Binds wal.* counters and the group-size histogram. Call before
+  /// commit traffic; null detaches.
+  void AttachMetrics(MetricsRegistry* registry);
+
+ private:
+  Wal(std::string path, int fd, const WalOptions& options,
+      CrashController* crash)
+      : path_(std::move(path)), fd_(fd), options_(options), crash_(crash) {}
+
+  /// Writes `batch` at the append offset and fsyncs; updates size_.
+  /// Requires mu_ NOT held when group committing (leader runs unlocked).
+  Status WriteAndSync(const std::string& batch, uint64_t offset);
+
+  Status WriteHeader(uint64_t start_lsn);
+
+  std::string path_;
+  int fd_ = -1;
+  WalOptions options_;
+  CrashController* crash_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::string pending_;          // serialized, not yet written
+  uint64_t pending_commits_ = 0; // commit records inside pending_
+  uint64_t next_lsn_ = 1;
+  uint64_t durable_lsn_ = 0;
+  uint64_t size_ = 0;            // append offset (header + valid records)
+  bool flush_in_progress_ = false;
+  Status last_error_;            // poisons the log after a failed flush
+  bool tail_was_torn_ = false;   // set once at Open; never cleared
+
+  Counter* m_commits_ = nullptr;
+  Counter* m_fsyncs_ = nullptr;
+  Counter* m_records_ = nullptr;
+  Counter* m_bytes_ = nullptr;
+  Histogram* m_group_size_ = nullptr;
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_DURABILITY_WAL_H_

@@ -40,6 +40,36 @@ Result<std::unique_ptr<BTree>> BTree::Create(BufferPool* pool) {
   return tree;
 }
 
+std::unique_ptr<BTree> BTree::Open(BufferPool* pool, const BTreeMeta& meta) {
+  std::unique_ptr<BTree> tree(new BTree(pool));
+  if (MetricsRegistry* r = pool->metrics()) {
+    tree->m_descents_ = r->counter("btree.descents");
+    tree->m_node_reads_ = r->counter("btree.node_reads");
+    tree->m_estimates_ = r->counter("btree.estimates");
+    tree->m_sample_probes_ = r->counter("btree.sample_probes");
+  }
+  tree->root_ = meta.root;
+  tree->height_ = meta.height;
+  tree->entry_count_ = meta.entry_count;
+  tree->node_count_ = meta.node_count;
+  tree->leaf_count_ = meta.leaf_count;
+  tree->slot_sum_ = meta.slot_sum;
+  tree->max_fanout_seen_ = meta.max_fanout_seen;
+  return tree;
+}
+
+BTreeMeta BTree::meta() const {
+  BTreeMeta m;
+  m.root = root_;
+  m.height = height_;
+  m.entry_count = entry_count_;
+  m.node_count = node_count_;
+  m.leaf_count = leaf_count_;
+  m.slot_sum = slot_sum_;
+  m.max_fanout_seen = max_fanout_seen_;
+  return m;
+}
+
 double BTree::AvgFanout() const {
   if (node_count_ == 0) return 1.0;
   double f = static_cast<double>(slot_sum_) / static_cast<double>(node_count_);

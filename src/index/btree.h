@@ -46,6 +46,20 @@ struct IndexEntry {
   Rid rid;
 };
 
+/// The tree's structural bookkeeping, persisted by the catalog so a
+/// reopened tree rebinds to its pages without a rebuild. Everything here
+/// is derivable from the pages (ValidateInvariants recomputes it), but
+/// persisting it keeps reopen O(1).
+struct BTreeMeta {
+  PageId root = kInvalidPageId;
+  uint32_t height = 1;
+  uint64_t entry_count = 0;
+  uint64_t node_count = 0;
+  uint64_t leaf_count = 0;
+  uint64_t slot_sum = 0;
+  uint64_t max_fanout_seen = 1;
+};
+
 /// Result of the §5 descent-to-split-node estimation.
 struct RangeEstimate {
   double estimated_rids = 0;  // k * f^(l-1)
@@ -60,6 +74,13 @@ class BTree {
  public:
   /// Creates an empty tree (a single empty leaf as root).
   static Result<std::unique_ptr<BTree>> Create(BufferPool* pool);
+
+  /// Rebinds a tree to its stored pages from persisted metadata (catalog
+  /// reopen); no page is touched until the first operation.
+  static std::unique_ptr<BTree> Open(BufferPool* pool, const BTreeMeta& meta);
+
+  /// The metadata Open() needs — what the catalog persists per index.
+  BTreeMeta meta() const;
 
   /// Inserts an entry; InvalidArgument when `key` is already present.
   Status Insert(std::string_view key, Rid rid);

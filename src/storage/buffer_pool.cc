@@ -57,8 +57,10 @@ uint8_t* PageGuard::mutable_data() {
 
 void PageGuard::MarkDirty() {
   assert(valid());
-  pool_->shards_[shard_]->frames[frame_].dirty.store(
-      true, std::memory_order_relaxed);
+  BufferPool::Frame& f = pool_->shards_[shard_]->frames[frame_];
+  f.dirty.store(true, std::memory_order_relaxed);
+  f.dirty_epoch.store(pool_->mutation_epoch_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
 }
 
 void PageGuard::Release() {
@@ -150,6 +152,8 @@ Result<PageGuard> BufferPool::NewPage() {
   f.id = id;
   f.pins = 1;
   f.dirty.store(true, std::memory_order_relaxed);
+  f.dirty_epoch.store(mutation_epoch_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
   f.in_use = true;
   s.table[id] = frame;
   meter_->logical_reads++;
@@ -163,7 +167,7 @@ Status BufferPool::FlushAll() {
     for (uint32_t i = 0; i < s.frame_count; ++i) {
       Frame& f = s.frames[i];
       if (f.in_use && f.pins == 0 &&
-          f.dirty.load(std::memory_order_relaxed)) {
+          f.dirty.load(std::memory_order_relaxed) && CanWriteBack(f)) {
         DYNOPT_RETURN_IF_ERROR(store_->Write(f.id, f.data));
         meter_->physical_writes++;
         s.stats.writebacks++;
@@ -191,11 +195,48 @@ Status BufferPool::EvictAll() {
   for (auto& shard : shards_) {
     Shard& s = *shard;
     std::lock_guard<std::mutex> lock(s.mu);
-    while (!s.lru.empty()) {
-      DYNOPT_RETURN_IF_ERROR(EvictFrame(s, s.lru.back()));
+    // Collect victims first: frames holding uncommitted dirty pages are
+    // skipped (they may not reach the store before the WAL covers them).
+    std::vector<uint32_t> victims;
+    victims.reserve(s.lru.size());
+    for (uint32_t frame : s.lru) {
+      const Frame& f = s.frames[frame];
+      if (f.dirty.load(std::memory_order_relaxed) && !CanWriteBack(f)) {
+        continue;
+      }
+      victims.push_back(frame);
+    }
+    for (uint32_t frame : victims) {
+      DYNOPT_RETURN_IF_ERROR(EvictFrame(s, frame));
     }
   }
   return Status::OK();
+}
+
+uint64_t BufferPool::SnapshotDirtyPages(
+    std::vector<std::pair<PageId, PageData>>* out) {
+  // Frames dirtied from here on carry a higher epoch and are excluded; the
+  // engine is single-writer, so no mutation races the snapshot itself.
+  uint64_t epoch = mutation_epoch_.fetch_add(1, std::memory_order_relaxed);
+  for (auto& shard : shards_) {
+    Shard& s = *shard;
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (uint32_t i = 0; i < s.frame_count; ++i) {
+      Frame& f = s.frames[i];
+      if (f.in_use && f.dirty.load(std::memory_order_relaxed) &&
+          f.dirty_epoch.load(std::memory_order_relaxed) <= epoch) {
+        out->emplace_back(f.id, f.data);
+      }
+    }
+  }
+  return epoch;
+}
+
+void BufferPool::MarkCommittedUpTo(uint64_t epoch) {
+  uint64_t cur = flushable_epoch_.load(std::memory_order_relaxed);
+  while (cur < epoch && !flushable_epoch_.compare_exchange_weak(
+                            cur, epoch, std::memory_order_relaxed)) {
+  }
 }
 
 Result<size_t> BufferPool::ScrambleCache(Rng& rng, double fraction) {
@@ -207,12 +248,23 @@ Result<size_t> BufferPool::ScrambleCache(Rng& rng, double fraction) {
     // Evict floor(fraction * unpinned) pages, with one rng draw deciding
     // the fractional remainder — O(evicted), not O(cached). Victims come
     // from the cold end, exactly where real LRU pressure from unrelated
-    // activity lands.
+    // activity lands. Frames whose dirty image is not yet WAL-covered are
+    // passed over (they cannot legally reach the store).
     double want = fraction * static_cast<double>(s.lru.size());
     size_t quota = static_cast<size_t>(want);
     if (rng.NextDouble() < want - static_cast<double>(quota)) quota++;
-    for (; quota > 0; quota--) {
-      DYNOPT_RETURN_IF_ERROR(EvictFrame(s, s.lru.back()));
+    std::vector<uint32_t> victims;
+    victims.reserve(quota);
+    for (auto it = s.lru.rbegin(); it != s.lru.rend() && victims.size() < quota;
+         ++it) {
+      const Frame& f = s.frames[*it];
+      if (f.dirty.load(std::memory_order_relaxed) && !CanWriteBack(f)) {
+        continue;
+      }
+      victims.push_back(*it);
+    }
+    for (uint32_t frame : victims) {
+      DYNOPT_RETURN_IF_ERROR(EvictFrame(s, frame));
       evicted++;
     }
   }
@@ -301,6 +353,10 @@ void BufferPool::Unpin(uint32_t shard, uint32_t frame) {
 Status BufferPool::EvictFrame(Shard& s, uint32_t frame) {
   Frame& f = s.frames[frame];
   assert(f.in_use && f.pins == 0);
+  if (f.dirty.load(std::memory_order_relaxed) && !CanWriteBack(f)) {
+    return Status::ResourceExhausted(
+        "eviction of a dirty page whose image is not yet WAL-durable");
+  }
   s.stats.evictions++;
   Bump(eviction_count_);
   if (f.dirty.load(std::memory_order_relaxed)) {
@@ -328,11 +384,22 @@ Result<uint32_t> BufferPool::GrabFrame(Shard& s) {
     return Status::ResourceExhausted(
         "all buffer-pool frames in this shard are pinned");
   }
-  uint32_t victim = s.lru.back();
-  DYNOPT_RETURN_IF_ERROR(EvictFrame(s, victim));
-  uint32_t frame = s.free_frames.back();
-  s.free_frames.pop_back();
-  return frame;
+  // Coldest victim whose write-back the WAL ordering permits. When every
+  // unpinned frame holds uncommitted dirty pages the caller must commit
+  // (making them flushable) before the pool can make room.
+  for (auto it = s.lru.rbegin(); it != s.lru.rend(); ++it) {
+    const Frame& f = s.frames[*it];
+    if (f.dirty.load(std::memory_order_relaxed) && !CanWriteBack(f)) {
+      continue;
+    }
+    DYNOPT_RETURN_IF_ERROR(EvictFrame(s, *it));
+    uint32_t frame = s.free_frames.back();
+    s.free_frames.pop_back();
+    return frame;
+  }
+  return Status::ResourceExhausted(
+      "every unpinned frame in this shard holds an uncommitted dirty page; "
+      "commit to make them flushable");
 }
 
 }  // namespace dynopt

@@ -120,6 +120,35 @@ class BufferPool {
   /// fractional quota.
   Result<size_t> ScrambleCache(Rng& rng, double fraction);
 
+  // Durability support ----------------------------------------------------
+  //
+  // With a write-ahead log underneath, a dirty page must not reach the
+  // data file before its image is durable in the log. The pool enforces
+  // that ordering with epochs: every MarkDirty stamps the frame with the
+  // current mutation epoch; a commit snapshots the dirty set at an epoch
+  // boundary, logs it, and then declares that epoch flushable. Frames
+  // dirtied after the boundary stay pinned to memory (not evictable, not
+  // flushable) until a later commit covers them.
+
+  /// Turns the ordering on (off by default — volatile stores flush freely).
+  /// Called once by file-backed databases before any mutation.
+  void EnableWalOrdering() {
+    wal_ordering_ = true;
+    flushable_epoch_.store(0, std::memory_order_relaxed);
+  }
+  bool wal_ordering() const { return wal_ordering_; }
+
+  /// Stamps a snapshot boundary and copies every dirty page (pinned or
+  /// not) into `*out`. Returns the boundary epoch to hand to
+  /// MarkCommittedUpTo once the images are durable in the log. Must not
+  /// race mutators (the engine is single-writer; see README).
+  uint64_t SnapshotDirtyPages(
+      std::vector<std::pair<PageId, PageData>>* out);
+
+  /// Declares every mutation up to `epoch` log-durable, unlocking those
+  /// frames for write-back and eviction.
+  void MarkCommittedUpTo(uint64_t epoch);
+
   size_t capacity() const { return capacity_; }
   size_t cached_pages() const;
   const CostMeter& meter() const { return *meter_; }
@@ -158,6 +187,9 @@ class BufferPool {
     // lock; ordering rides on the shard mutex (set while pinned, read by
     // flush/eviction only after the pin is released).
     std::atomic<bool> dirty{false};
+    // Mutation epoch of the latest MarkDirty; a dirty frame may be written
+    // back only once flushable_epoch_ has caught up to it (WAL-before-data).
+    std::atomic<uint64_t> dirty_epoch{0};
     bool in_use = false;
     std::list<uint32_t>::iterator lru_pos;  // valid iff pins == 0 && in_use
   };
@@ -173,6 +205,13 @@ class BufferPool {
   };
 
   void Unpin(uint32_t shard, uint32_t frame);
+  /// True when `f` (if dirty) may be written back to the store under the
+  /// WAL-before-data rule. Always true when wal_ordering_ is off.
+  bool CanWriteBack(const Frame& f) const {
+    return !wal_ordering_ ||
+           f.dirty_epoch.load(std::memory_order_relaxed) <=
+               flushable_epoch_.load(std::memory_order_relaxed);
+  }
   /// Requires s.mu held.
   Status EvictFrame(Shard& s, uint32_t frame);
   /// Finds a frame to (re)use: a free frame or the LRU unpinned victim.
@@ -182,6 +221,11 @@ class BufferPool {
   PageStore* store_;
   size_t capacity_;
   uint32_t shard_shift_;  // ShardOf = hash(id) >> shard_shift_ (64 = 1 shard)
+  bool wal_ordering_ = false;
+  // MarkDirty stamps frames with mutation_epoch_; SnapshotDirtyPages bumps
+  // it; MarkCommittedUpTo advances flushable_epoch_ toward it.
+  std::atomic<uint64_t> mutation_epoch_{1};
+  std::atomic<uint64_t> flushable_epoch_{~0ull};
   CostMeter own_meter_;
   CostMeter* meter_;
   MetricsRegistry* metrics_ = nullptr;

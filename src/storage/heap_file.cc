@@ -57,6 +57,15 @@ Result<std::unique_ptr<HeapFile>> HeapFile::Create(BufferPool* pool) {
   return file;
 }
 
+std::unique_ptr<HeapFile> HeapFile::Open(BufferPool* pool,
+                                         std::vector<PageId> pages,
+                                         uint64_t record_count) {
+  std::unique_ptr<HeapFile> file(new HeapFile(pool));
+  file->pages_ = std::move(pages);
+  file->record_count_ = record_count;
+  return file;
+}
+
 Result<Rid> HeapFile::Insert(std::string_view record) {
   if (record.size() + kSlotSize > kPageSize - kHeaderSize) {
     return Status::InvalidArgument("record larger than page capacity");

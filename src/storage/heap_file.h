@@ -25,6 +25,11 @@ class HeapFile {
   /// Creates an empty heap file with one allocated page.
   static Result<std::unique_ptr<HeapFile>> Create(BufferPool* pool);
 
+  /// Rebinds a heap file to its already-stored pages (catalog reopen).
+  static std::unique_ptr<HeapFile> Open(BufferPool* pool,
+                                        std::vector<PageId> pages,
+                                        uint64_t record_count);
+
   /// Appends a record; fails with InvalidArgument when the record cannot fit
   /// on an empty page.
   Result<Rid> Insert(std::string_view record);

@@ -16,15 +16,23 @@ inline void SimulateLatency(uint32_t micros) {
 
 }  // namespace
 
-PageId PageStore::Allocate() {
+void PageStore::SimulateReadLatency() const {
+  SimulateLatency(read_latency_micros_);
+}
+
+void PageStore::SimulateWriteLatency() const {
+  SimulateLatency(write_latency_micros_);
+}
+
+PageId MemPageStore::Allocate() {
   std::unique_lock<std::shared_mutex> lock(mu_);
   pages_.push_back(std::make_unique<PageData>());
   pages_.back()->fill(0);
   return static_cast<PageId>(pages_.size() - 1);
 }
 
-Status PageStore::Read(PageId id, PageData* dst) const {
-  SimulateLatency(read_latency_micros_);
+Status MemPageStore::Read(PageId id, PageData* dst) const {
+  SimulateReadLatency();
   std::shared_lock<std::shared_mutex> lock(mu_);
   if (id >= pages_.size()) {
     return Status::IOError("read of unallocated page " + std::to_string(id));
@@ -33,8 +41,8 @@ Status PageStore::Read(PageId id, PageData* dst) const {
   return Status::OK();
 }
 
-Status PageStore::Write(PageId id, const PageData& src) {
-  SimulateLatency(write_latency_micros_);
+Status MemPageStore::Write(PageId id, const PageData& src) {
+  SimulateWriteLatency();
   std::shared_lock<std::shared_mutex> lock(mu_);
   if (id >= pages_.size()) {
     return Status::IOError("write of unallocated page " + std::to_string(id));
@@ -43,7 +51,7 @@ Status PageStore::Write(PageId id, const PageData& src) {
   return Status::OK();
 }
 
-size_t PageStore::page_count() const {
+size_t MemPageStore::page_count() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   return pages_.size();
 }

@@ -19,6 +19,11 @@ namespace dynopt {
 
 class TempRidFile {
  public:
+  /// RIDs per spill page — public so tests can exercise the exact
+  /// page-boundary cases (capacity, capacity + 1).
+  static constexpr uint32_t kRidsPerPage =
+      static_cast<uint32_t>((kPageSize - /*header*/ 8) / sizeof(uint64_t));
+
   explicit TempRidFile(BufferPool* pool) : pool_(pool) {}
 
   /// Appends one RID.
@@ -53,8 +58,7 @@ class TempRidFile {
 
  private:
   static constexpr size_t kHeaderSize = 8;
-  static constexpr uint32_t kRidsPerPage =
-      static_cast<uint32_t>((kPageSize - kHeaderSize) / sizeof(uint64_t));
+  static_assert(kRidsPerPage == (kPageSize - kHeaderSize) / sizeof(uint64_t));
 
   BufferPool* pool_;
   std::vector<PageId> pages_;

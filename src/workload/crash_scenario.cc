@@ -1,0 +1,168 @@
+#include "workload/crash_scenario.h"
+
+#include <utility>
+
+#include "workload/workload.h"
+
+namespace dynopt {
+namespace {
+
+// Same splitmix64 finalizer the driver folds RIDs through.
+uint64_t MixU64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// The second commit's rows. Values are arbitrary but reproducible — the
+/// golden and crash runs must insert byte-identical records.
+Status InsertExtraRows(Table* table, int64_t start_row, int64_t extra) {
+  for (int64_t i = 0; i < extra; ++i) {
+    int64_t id = start_row + i;
+    Record rec;
+    rec.push_back(Value(id));
+    rec.push_back(Value((id * 37) % 100));
+    rec.push_back(Value((id * 9973) % 200001));
+    rec.push_back(Value("city" + std::to_string(id % 50)));
+    DYNOPT_RETURN_IF_ERROR(table->Insert(rec).status());
+  }
+  return Status::OK();
+}
+
+struct BuiltDb {
+  std::unique_ptr<Database> db;
+  Table* table = nullptr;
+};
+
+/// Fresh file-backed FAMILIES database through its first (PRE) commit.
+Result<BuiltDb> BuildBase(const CrashScenarioOptions& options,
+                          const std::string& path, CrashController* crash) {
+  DatabaseOptions dbo;
+  dbo.pool_pages = options.pool_pages;
+  dbo.path = path;
+  dbo.crash = crash;
+  DYNOPT_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                          Database::Create(std::move(dbo)));
+  DYNOPT_ASSIGN_OR_RETURN(Table * table,
+                          BuildFamilies(db.get(), options.rows, options.seed));
+  DYNOPT_RETURN_IF_ERROR(table->CreateIndex("by_id", {"id"}).status());
+  DYNOPT_RETURN_IF_ERROR(table->CreateIndex("by_age", {"age"}).status());
+  DYNOPT_RETURN_IF_ERROR(db->Commit());
+  return BuiltDb{std::move(db), table};
+}
+
+}  // namespace
+
+CrashOutcome ExpectedOutcome(CrashPoint point) {
+  switch (point) {
+    case CrashPoint::kWalBeforeWrite:
+    case CrashPoint::kWalTornWrite:
+      return CrashOutcome::kPreState;
+    case CrashPoint::kWalBeforeSync:  // see header: pwrite already landed
+    case CrashPoint::kWalAfterSync:
+    case CrashPoint::kStorePageWrite:
+    case CrashPoint::kStoreSync:
+    case CrashPoint::kCheckpointBeforeSuperblock:
+    case CrashPoint::kCheckpointAfterSuperblock:
+      return CrashOutcome::kPostState;
+  }
+  return CrashOutcome::kPostState;
+}
+
+Result<uint64_t> WorkloadResultHash(Database* db, Table* table,
+                                    size_t sessions,
+                                    size_t queries_per_session,
+                                    uint64_t seed) {
+  SessionWorkloadOptions o;
+  o.sessions = sessions;
+  o.queries_per_session = queries_per_session;
+  o.seed = seed;
+  o.concurrent = false;
+  DYNOPT_ASSIGN_OR_RETURN(SessionWorkloadReport report,
+                          RunSessionWorkload(db, table, o));
+  uint64_t fold = 0;
+  for (const SessionOutcome& s : report.sessions) {
+    if (!s.error.empty()) {
+      return Status::Internal("workload session failed: " + s.error);
+    }
+    fold = MixU64(fold ^ s.result_hash);
+  }
+  return fold;
+}
+
+Result<CrashScenarioResult> RunCrashRestartScenario(
+    CrashPoint point, const CrashScenarioOptions& options) {
+  if (options.path.empty()) {
+    return Status::InvalidArgument("crash scenario needs options.path");
+  }
+  CrashScenarioResult res;
+  res.point = point;
+
+  // 1. Golden twin: hash the two committed states.
+  {
+    DYNOPT_ASSIGN_OR_RETURN(
+        BuiltDb g, BuildBase(options, options.path + ".golden", nullptr));
+    DYNOPT_ASSIGN_OR_RETURN(
+        res.pre_hash,
+        WorkloadResultHash(g.db.get(), g.table, options.sessions,
+                           options.queries_per_session, options.seed));
+    DYNOPT_RETURN_IF_ERROR(
+        InsertExtraRows(g.table, options.rows, options.extra_rows));
+    DYNOPT_RETURN_IF_ERROR(g.db->Commit());
+    DYNOPT_ASSIGN_OR_RETURN(
+        res.post_hash,
+        WorkloadResultHash(g.db.get(), g.table, options.sessions,
+                           options.queries_per_session, options.seed));
+  }
+
+  // 2. Identical run with the point armed across commit 2 + checkpoint.
+  CrashController crash;
+  {
+    DYNOPT_ASSIGN_OR_RETURN(BuiltDb c,
+                            BuildBase(options, options.path, &crash));
+    crash.Arm(point);
+    Status st = InsertExtraRows(c.table, options.rows, options.extra_rows);
+    if (st.ok()) st = c.db->Commit();
+    if (st.ok() && !crash.crashed()) st = c.db->Checkpoint();
+    if (!crash.crashed()) {
+      return Status::Internal("crash point " +
+                              std::string(CrashPointName(point)) +
+                              " never fired (status: " + st.ToString() + ")");
+    }
+    res.crash_fired = true;
+    // The dead engine drops here; destructor flushes are inert against the
+    // crashed store, exactly like a killed process.
+  }
+
+  // 3. Reopen: redo recovery, then replay the query streams.
+  DatabaseOptions dbo;
+  dbo.pool_pages = options.pool_pages;
+  dbo.path = options.path;
+  DYNOPT_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                          Database::Open(std::move(dbo), &res.recovery));
+  DYNOPT_ASSIGN_OR_RETURN(Table * table, db->GetTable("families"));
+  res.recovered_rows = table->record_count();
+  DYNOPT_ASSIGN_OR_RETURN(
+      res.recovered_hash,
+      WorkloadResultHash(db.get(), table, options.sessions,
+                         options.queries_per_session, options.seed));
+
+  const uint64_t pre_rows = static_cast<uint64_t>(options.rows);
+  const uint64_t post_rows =
+      static_cast<uint64_t>(options.rows + options.extra_rows);
+  if (res.recovered_hash == res.pre_hash && res.recovered_rows == pre_rows) {
+    res.outcome = CrashOutcome::kPreState;
+  } else if (res.recovered_hash == res.post_hash &&
+             res.recovered_rows == post_rows) {
+    res.outcome = CrashOutcome::kPostState;
+  } else {
+    return Status::Internal(
+        "recovered state matches neither committed state (point " +
+        std::string(CrashPointName(point)) + ", rows " +
+        std::to_string(res.recovered_rows) + ")");
+  }
+  return res;
+}
+
+}  // namespace dynopt

@@ -1,0 +1,86 @@
+// Crash-restart scenario: the end-to-end recovery correctness harness.
+//
+// For one crash point, the scenario:
+//   1. builds a *golden* file-backed FAMILIES database and records the
+//      workload result hash of two committed states — PRE (after the
+//      first commit) and POST (after a second commit that added rows);
+//   2. replays the identical operation sequence against a second file
+//      with the crash point armed between the two commits, so the engine
+//      dies inside the second commit or the checkpoint that follows;
+//   3. drops the dead engine, reopens the file (running redo recovery),
+//      and replays the PR 2 workload driver's serial query streams.
+//
+// The recovered database must answer with a result hash identical to one
+// of the two committed states — never a torn in-between — and the
+// matched state must agree with the point's expected outcome. Because
+// golden and crashed runs perform identical operation sequences on fresh
+// files, their page and RID layouts coincide, making raw hash equality
+// the strongest available check.
+
+#ifndef DYNOPT_WORKLOAD_CRASH_SCENARIO_H_
+#define DYNOPT_WORKLOAD_CRASH_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+
+#include "catalog/database.h"
+#include "durability/crash.h"
+#include "durability/recovery.h"
+#include "workload/driver.h"
+
+namespace dynopt {
+
+struct CrashScenarioOptions {
+  /// Database file path for the crash run; the golden build uses
+  /// `path + ".golden"`. Both (plus ".wal" siblings) are overwritten.
+  std::string path;
+  /// FAMILIES rows committed in the first (PRE) commit.
+  int64_t rows = 1500;
+  /// Rows added by the second (POST, crashing) commit.
+  int64_t extra_rows = 400;
+  /// Serial query streams replayed to hash each state.
+  size_t sessions = 2;
+  size_t queries_per_session = 20;
+  uint64_t seed = 1234;
+  /// Generous enough that the build phase never evicts: eviction write-back
+  /// would fire store crash points before the commit under test.
+  size_t pool_pages = 1024;
+};
+
+/// Which committed state the reopened database is expected to match.
+enum class CrashOutcome : uint8_t { kPreState, kPostState };
+
+/// The contract per point. WAL points that fire before any batch byte is
+/// durable (before-write, torn-write) roll back to PRE; everything at or
+/// after the batch write recovers POST. (kWalBeforeSync lands in POST
+/// because the simulated crash does not revoke the batch's completed
+/// pwrite the way a real power cut might — the point still proves replay
+/// of an unsynced-but-present tail.)
+CrashOutcome ExpectedOutcome(CrashPoint point);
+
+struct CrashScenarioResult {
+  CrashPoint point = CrashPoint::kWalBeforeWrite;
+  bool crash_fired = false;
+  CrashOutcome outcome = CrashOutcome::kPreState;  // state actually matched
+  uint64_t pre_hash = 0;
+  uint64_t post_hash = 0;
+  uint64_t recovered_hash = 0;
+  uint64_t recovered_rows = 0;
+  RecoveryStats recovery;
+};
+
+/// Serial (deterministic) replay of the session query streams; returns the
+/// fold of the per-session result hashes.
+Result<uint64_t> WorkloadResultHash(Database* db, Table* table,
+                                    size_t sessions,
+                                    size_t queries_per_session,
+                                    uint64_t seed);
+
+/// Runs the full scenario for `point`. Fails (non-OK) when the point never
+/// fired, recovery failed, or the recovered hash matches neither state.
+Result<CrashScenarioResult> RunCrashRestartScenario(
+    CrashPoint point, const CrashScenarioOptions& options);
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_WORKLOAD_CRASH_SCENARIO_H_

@@ -31,7 +31,7 @@ EncodedRange IntRange(int64_t lo, int64_t hi) {
 }
 
 struct TreeFixture {
-  PageStore store;
+  MemPageStore store;
   CostMeter meter;
   BufferPool pool;
   std::unique_ptr<BTree> tree;

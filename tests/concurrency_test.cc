@@ -93,13 +93,13 @@ TEST(MetricsTest, CounterAndHistogramExactUnderThreads) {
 // ------------------------------------------------------------ pool shape
 
 TEST(ShardedPoolTest, ShardCountRoundsDownToPowerOfTwo) {
-  PageStore store;
+  MemPageStore store;
   BufferPool pool(&store, 256, nullptr, 6);
   EXPECT_EQ(pool.shard_count(), 4u);
 }
 
 TEST(ShardedPoolTest, AutoShardCountScalesWithCapacity) {
-  PageStore store;
+  MemPageStore store;
   BufferPool small(&store, 64);
   EXPECT_EQ(small.shard_count(), 1u) << "small pools stay single-LRU";
   BufferPool medium(&store, 256);
@@ -109,7 +109,7 @@ TEST(ShardedPoolTest, AutoShardCountScalesWithCapacity) {
 }
 
 TEST(ShardedPoolTest, ShardOfIsDeterministicAndInRange) {
-  PageStore store;
+  MemPageStore store;
   BufferPool pool(&store, 512, nullptr, 8);
   ASSERT_EQ(pool.shard_count(), 8u);
   std::set<size_t> used;
@@ -125,7 +125,7 @@ TEST(ShardedPoolTest, ShardOfIsDeterministicAndInRange) {
 }
 
 TEST(ShardedPoolTest, StatsSumAcrossShards) {
-  PageStore store;
+  MemPageStore store;
   CostMeter meter;
   BufferPool pool(&store, 256, &meter, 4);
   std::vector<PageId> ids;
@@ -153,7 +153,7 @@ TEST(ShardedPoolTest, StatsSumAcrossShards) {
 // flushing/evicting/scrambling throughout. Verifies data integrity, pin
 // accounting, and structural invariants after the dust settles.
 TEST(ShardedPoolTest, MultiThreadedStressKeepsDataAndInvariants) {
-  PageStore store;
+  MemPageStore store;
   CostMeter meter;
   BufferPool pool(&store, 128, &meter, 8);
   ASSERT_EQ(pool.shard_count(), 8u);
@@ -255,7 +255,7 @@ TEST(ShardedPoolTest, MultiThreadedStressKeepsDataAndInvariants) {
 }
 
 TEST(ShardedPoolTest, ConcurrentNewPageYieldsDistinctIds) {
-  PageStore store;
+  MemPageStore store;
   BufferPool pool(&store, 128, nullptr, 8);
   constexpr int kThreads = 4;
   constexpr int kPages = 20;

@@ -1,0 +1,430 @@
+// Durability-layer tests: WAL record round trips and torn-tail detection,
+// group commit under concurrency, the file-backed page store's checksums
+// and superblock ping-pong, WAL-before-data ordering in the buffer pool,
+// reopen-without-rebuild through the persistent catalog, and the full
+// crash matrix — every registered crash point must recover to exactly one
+// of the two committed states around the interrupted commit.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "catalog/database.h"
+#include "durability/crash.h"
+#include "durability/file_page_store.h"
+#include "durability/recovery.h"
+#include "durability/wal.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_store.h"
+#include "workload/crash_scenario.h"
+#include "workload/workload.h"
+
+namespace dynopt {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "dynopt_" + name;
+}
+
+// ------------------------------------------------------------------- Wal
+
+TEST(WalTest, CommitReplayRoundTrip) {
+  const std::string path = TempPath("wal_roundtrip.wal");
+  ::unlink(path.c_str());
+  auto wal = Wal::Open(path);
+  ASSERT_TRUE(wal.ok()) << wal.status();
+
+  PageData a, b;
+  a.fill(0xaa);
+  b.fill(0xbb);
+  ASSERT_TRUE((*wal)->Commit({{7, &a}, {9, &b}}, "first").ok());
+  ASSERT_TRUE((*wal)->CommitNote("second").ok());
+  EXPECT_EQ((*wal)->durable_lsn(), 4u);  // 2 images + 2 commits
+
+  std::vector<uint64_t> lsns;
+  std::vector<PageId> pages;
+  std::vector<std::string> payloads;
+  WalReplayStats stats;
+  Status st = (*wal)->Replay(
+      [&](const WalRecordView& rec) {
+        lsns.push_back(rec.lsn);
+        pages.push_back(rec.page);
+        if (rec.type == WalRecordType::kCommit) {
+          payloads.emplace_back(rec.payload);
+        } else {
+          EXPECT_EQ(rec.payload.size(), kPageSize);
+        }
+        return Status::OK();
+      },
+      &stats);
+  ASSERT_TRUE(st.ok()) << st;
+  EXPECT_EQ(stats.records, 4u);
+  EXPECT_EQ(stats.commits, 2u);
+  EXPECT_FALSE(stats.torn_tail);
+  EXPECT_EQ(lsns, (std::vector<uint64_t>{1, 2, 3, 4}));
+  EXPECT_EQ(pages[0], 7u);
+  EXPECT_EQ(pages[1], 9u);
+  EXPECT_EQ(payloads, (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(WalTest, ReopenContinuesLsnSequence) {
+  const std::string path = TempPath("wal_reopen.wal");
+  ::unlink(path.c_str());
+  {
+    auto wal = Wal::Open(path);
+    ASSERT_TRUE(wal.ok()) << wal.status();
+    ASSERT_TRUE((*wal)->CommitNote("one").ok());
+  }
+  auto wal = Wal::Open(path);
+  ASSERT_TRUE(wal.ok()) << wal.status();
+  EXPECT_EQ((*wal)->durable_lsn(), 1u);
+  EXPECT_EQ((*wal)->next_lsn(), 2u);
+  ASSERT_TRUE((*wal)->CommitNote("two").ok());
+  WalReplayStats stats;
+  ASSERT_TRUE(
+      (*wal)->Replay([](const WalRecordView&) { return Status::OK(); },
+                     &stats)
+          .ok());
+  EXPECT_EQ(stats.commits, 2u);
+}
+
+TEST(WalTest, TornTailIsDetectedAndDiscarded) {
+  const std::string path = TempPath("wal_torn.wal");
+  ::unlink(path.c_str());
+  {
+    auto wal = Wal::Open(path);
+    ASSERT_TRUE(wal.ok()) << wal.status();
+    ASSERT_TRUE((*wal)->CommitNote("durable").ok());
+  }
+  {
+    // A torn write: garbage where the next record would start.
+    FILE* f = fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const char garbage[] = "WREC half-written record bytes............";
+    fwrite(garbage, 1, sizeof(garbage), f);
+    fclose(f);
+  }
+  auto wal = Wal::Open(path);
+  ASSERT_TRUE(wal.ok()) << wal.status();
+  EXPECT_TRUE((*wal)->tail_was_torn());
+  WalReplayStats stats;
+  ASSERT_TRUE(
+      (*wal)->Replay([](const WalRecordView&) { return Status::OK(); },
+                     &stats)
+          .ok());
+  EXPECT_EQ(stats.commits, 1u);
+  EXPECT_FALSE(stats.torn_tail) << "Open should have truncated the tail";
+  // Appends continue from the valid prefix.
+  ASSERT_TRUE((*wal)->CommitNote("after-tear").ok());
+  WalReplayStats stats2;
+  ASSERT_TRUE(
+      (*wal)->Replay([](const WalRecordView&) { return Status::OK(); },
+                     &stats2)
+          .ok());
+  EXPECT_EQ(stats2.commits, 2u);
+  EXPECT_FALSE(stats2.torn_tail);
+}
+
+TEST(WalTest, ResetEmptiesLogAndKeepsLsnsDense) {
+  const std::string path = TempPath("wal_reset.wal");
+  ::unlink(path.c_str());
+  auto wal = Wal::Open(path);
+  ASSERT_TRUE(wal.ok()) << wal.status();
+  ASSERT_TRUE((*wal)->CommitNote("a").ok());
+  ASSERT_TRUE((*wal)->CommitNote("b").ok());
+  uint64_t before = (*wal)->next_lsn();
+  ASSERT_TRUE((*wal)->Reset().ok());
+  WalReplayStats stats;
+  ASSERT_TRUE(
+      (*wal)->Replay([](const WalRecordView&) { return Status::OK(); },
+                     &stats)
+          .ok());
+  EXPECT_EQ(stats.records, 0u);
+  ASSERT_TRUE((*wal)->CommitNote("c").ok());
+  EXPECT_EQ((*wal)->durable_lsn(), before);  // sequence continued
+}
+
+TEST(WalTest, GroupCommitManyThreadsAllDurable) {
+  const std::string path = TempPath("wal_group.wal");
+  ::unlink(path.c_str());
+  WalOptions options;
+  options.group_commit = true;
+  options.simulated_fsync_micros = 200;  // widen the grouping window
+  auto wal = Wal::Open(path, options);
+  ASSERT_TRUE(wal.ok()) << wal.status();
+  MetricsRegistry metrics;
+  (*wal)->AttachMetrics(&metrics);
+
+  constexpr int kThreads = 8;
+  constexpr int kNotes = 20;
+  std::vector<std::thread> threads;
+  std::vector<Status> errors(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kNotes && errors[t].ok(); ++i) {
+        errors[t] = (*wal)->CommitNote("t" + std::to_string(t));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (const Status& st : errors) EXPECT_TRUE(st.ok()) << st;
+
+  WalReplayStats stats;
+  ASSERT_TRUE(
+      (*wal)->Replay([](const WalRecordView&) { return Status::OK(); },
+                     &stats)
+          .ok());
+  EXPECT_EQ(stats.commits, static_cast<uint64_t>(kThreads * kNotes));
+  EXPECT_FALSE(stats.torn_tail);
+  // Group commit: never more fsyncs than commits; with contending threads
+  // there should be measurably fewer.
+  EXPECT_LE(metrics.Value("wal.fsyncs"), metrics.Value("wal.commits"));
+}
+
+// --------------------------------------------------------- FilePageStore
+
+TEST(FilePageStoreTest, WriteReadPersistAcrossReopen) {
+  const std::string path = TempPath("fps_persist.db");
+  ::unlink(path.c_str());
+  PageData page;
+  {
+    auto store = FilePageStore::Open(path);
+    ASSERT_TRUE(store.ok()) << store.status();
+    EXPECT_EQ((*store)->page_count(), 0u);
+    PageId a = (*store)->Allocate();
+    PageId b = (*store)->Allocate();
+    EXPECT_EQ(a, 0u);
+    EXPECT_EQ(b, 1u);
+    page.fill(0x5c);
+    ASSERT_TRUE((*store)->Write(b, page).ok());
+    ASSERT_TRUE((*store)->Sync().ok());
+    ASSERT_TRUE((*store)->WriteSuperblock().ok());
+    EXPECT_EQ((*store)->superblock().seq, 1u);
+  }
+  auto store = FilePageStore::Open(path);
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_EQ((*store)->page_count(), 2u);
+  EXPECT_EQ((*store)->superblock().page_count, 2u);
+  PageData back;
+  ASSERT_TRUE((*store)->Read(1, &back).ok());
+  EXPECT_EQ(back, page);
+  // Allocated but never written: zeroed.
+  ASSERT_TRUE((*store)->Read(0, &back).ok());
+  PageData zero;
+  zero.fill(0);
+  EXPECT_EQ(back, zero);
+  // Out of range.
+  EXPECT_FALSE((*store)->Read(2, &back).ok());
+}
+
+TEST(FilePageStoreTest, ChecksumMismatchReadsAsCorruption) {
+  const std::string path = TempPath("fps_corrupt.db");
+  ::unlink(path.c_str());
+  {
+    auto store = FilePageStore::Open(path);
+    ASSERT_TRUE(store.ok()) << store.status();
+    (void)(*store)->Allocate();
+    PageData page;
+    page.fill(0x11);
+    ASSERT_TRUE((*store)->Write(0, page).ok());
+    ASSERT_TRUE((*store)->WriteSuperblock().ok());
+  }
+  {
+    // Flip one body byte of frame 0 (frames start at 8192, body at +16).
+    FILE* f = fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    fseek(f, 8192 + 16 + 100, SEEK_SET);
+    fputc(0x12, f);
+    fclose(f);
+  }
+  auto store = FilePageStore::Open(path);
+  ASSERT_TRUE(store.ok()) << store.status();
+  PageData back;
+  Status st = (*store)->Read(0, &back);
+  EXPECT_TRUE(st.IsCorruption()) << st;
+}
+
+TEST(FilePageStoreTest, SuperblockPingPongSurvivesTornSlot) {
+  const std::string path = TempPath("fps_super.db");
+  ::unlink(path.c_str());
+  {
+    auto store = FilePageStore::Open(path);
+    ASSERT_TRUE(store.ok()) << store.status();
+    (void)(*store)->Allocate();
+    ASSERT_TRUE((*store)->WriteSuperblock().ok());  // seq 1 -> slot A (off 0)
+    (void)(*store)->Allocate();
+    ASSERT_TRUE((*store)->WriteSuperblock().ok());  // seq 2 -> slot B (4096)
+    EXPECT_EQ((*store)->superblock().seq, 2u);
+  }
+  {
+    // Tear the newest slot (seq 2 lives in slot B at offset 4096).
+    FILE* f = fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    fseek(f, 4096 + 8, SEEK_SET);  // corrupt the seq field under the checksum
+    fputc(0x7f, f);
+    fclose(f);
+  }
+  auto store = FilePageStore::Open(path);
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_EQ((*store)->superblock().seq, 1u);  // fell back to the older slot
+  EXPECT_EQ((*store)->page_count(), 1u);
+}
+
+// ----------------------------------------------- WAL-before-data ordering
+
+TEST(BufferPoolWalOrderingTest, UncommittedDirtyPagesStayOutOfTheStore) {
+  MemPageStore store;
+  BufferPool pool(&store, 8);
+  pool.EnableWalOrdering();
+  PageId id;
+  {
+    auto page = pool.NewPage();
+    ASSERT_TRUE(page.ok());
+    id = page->id();
+    page->mutable_data()[0] = 42;
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+  PageData raw;
+  ASSERT_TRUE(store.Read(id, &raw).ok());
+  EXPECT_EQ(raw[0], 0) << "uncommitted dirty page leaked to the store";
+
+  std::vector<std::pair<PageId, PageData>> dirty;
+  uint64_t epoch = pool.SnapshotDirtyPages(&dirty);
+  ASSERT_EQ(dirty.size(), 1u);
+  EXPECT_EQ(dirty[0].first, id);
+  EXPECT_EQ(dirty[0].second[0], 42);
+  pool.MarkCommittedUpTo(epoch);
+  ASSERT_TRUE(pool.FlushAll().ok());
+  ASSERT_TRUE(store.Read(id, &raw).ok());
+  EXPECT_EQ(raw[0], 42);
+}
+
+TEST(BufferPoolWalOrderingTest, EvictionRefusesUncommittedDirtyFrames) {
+  MemPageStore store;
+  BufferPool pool(&store, 4, nullptr, 1);
+  pool.EnableWalOrdering();
+  // Fill the pool with uncommitted dirty pages (guards released: unpinned).
+  for (int i = 0; i < 4; ++i) {
+    auto page = pool.NewPage();
+    ASSERT_TRUE(page.ok());
+    page->mutable_data()[0] = static_cast<uint8_t>(i + 1);
+  }
+  auto overflow = pool.NewPage();
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_TRUE(overflow.status().IsResourceExhausted()) << overflow.status();
+
+  std::vector<std::pair<PageId, PageData>> dirty;
+  pool.MarkCommittedUpTo(pool.SnapshotDirtyPages(&dirty));
+  EXPECT_EQ(dirty.size(), 4u);
+  auto after = pool.NewPage();
+  EXPECT_TRUE(after.ok()) << after.status();
+}
+
+// ------------------------------------------------------ Database reopen
+
+TEST(DurabilityDatabaseTest, ReopenWithoutRebuildAnswersIdentically) {
+  const std::string path = TempPath("db_reopen.db");
+  uint64_t built_hash = 0;
+  uint64_t entries = 0;
+  uint32_t height = 0;
+  {
+    DatabaseOptions options;
+    options.path = path;
+    options.pool_pages = 512;
+    auto db = Database::Create(options);
+    ASSERT_TRUE(db.ok()) << db.status();
+    auto table = BuildFamilies(db->get(), 800, /*seed=*/42);
+    ASSERT_TRUE(table.ok()) << table.status();
+    ASSERT_TRUE((*table)->CreateIndex("by_id", {"id"}).ok());
+    ASSERT_TRUE((*table)->CreateIndex("by_age", {"age"}).ok());
+    entries = (*table)->GetIndex("by_age").value()->tree()->entry_count();
+    height = (*table)->GetIndex("by_age").value()->tree()->height();
+    auto hash = WorkloadResultHash(db->get(), *table, 2, 15, 99);
+    ASSERT_TRUE(hash.ok()) << hash.status();
+    built_hash = *hash;
+    ASSERT_TRUE((*db)->Close().ok());
+  }
+  RecoveryStats recovery;
+  DatabaseOptions options;
+  options.path = path;
+  options.pool_pages = 512;
+  auto db = Database::Open(options, &recovery);
+  ASSERT_TRUE(db.ok()) << db.status();
+  // Clean shutdown checkpointed: nothing to replay.
+  EXPECT_EQ(recovery.wal_commits, 0u);
+  auto table = (*db)->GetTable("families");
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ((*table)->record_count(), 800u);
+  EXPECT_EQ((*table)->schema().num_columns(), 4u);
+  ASSERT_EQ((*table)->indexes().size(), 2u);
+  SecondaryIndex* by_age = (*table)->GetIndex("by_age").value();
+  EXPECT_EQ(by_age->tree()->entry_count(), entries);
+  EXPECT_EQ(by_age->tree()->height(), height);
+  auto hash = WorkloadResultHash(db->get(), *table, 2, 15, 99);
+  ASSERT_TRUE(hash.ok()) << hash.status();
+  EXPECT_EQ(*hash, built_hash);
+}
+
+TEST(DurabilityDatabaseTest, ReopenWithoutCheckpointReplaysTheWal) {
+  const std::string path = TempPath("db_replay.db");
+  uint64_t built_hash = 0;
+  {
+    DatabaseOptions options;
+    options.path = path;
+    options.pool_pages = 512;
+    auto db = Database::Create(options);
+    ASSERT_TRUE(db.ok()) << db.status();
+    auto table = BuildFamilies(db->get(), 500, /*seed=*/7);
+    ASSERT_TRUE(table.ok()) << table.status();
+    ASSERT_TRUE((*table)->CreateIndex("by_id", {"id"}).ok());
+    ASSERT_TRUE((*db)->Commit().ok());
+    auto hash = WorkloadResultHash(db->get(), *table, 2, 10, 5);
+    ASSERT_TRUE(hash.ok()) << hash.status();
+    built_hash = *hash;
+    // No Close(): everything must come back through WAL replay.
+  }
+  RecoveryStats recovery;
+  DatabaseOptions options;
+  options.path = path;
+  options.pool_pages = 512;
+  auto db = Database::Open(options, &recovery);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_GT(recovery.wal_commits, 0u);
+  EXPECT_GT(recovery.pages_applied, 0u);
+  auto table = (*db)->GetTable("families");
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ((*table)->record_count(), 500u);
+  auto hash = WorkloadResultHash(db->get(), *table, 2, 10, 5);
+  ASSERT_TRUE(hash.ok()) << hash.status();
+  EXPECT_EQ(*hash, built_hash);
+}
+
+// ----------------------------------------------------------- Crash matrix
+
+TEST(CrashMatrixTest, EveryPointRecoversToItsExpectedCommittedState) {
+  for (CrashPoint point : kAllCrashPoints) {
+    SCOPED_TRACE(std::string(CrashPointName(point)));
+    CrashScenarioOptions options;
+    options.path = TempPath("crash_matrix.db");
+    options.rows = 600;
+    options.extra_rows = 150;
+    options.sessions = 2;
+    options.queries_per_session = 10;
+    auto result = RunCrashRestartScenario(point, options);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_TRUE(result->crash_fired);
+    EXPECT_EQ(static_cast<int>(result->outcome),
+              static_cast<int>(ExpectedOutcome(point)));
+    if (point == CrashPoint::kWalTornWrite) {
+      EXPECT_TRUE(result->recovery.torn_tail);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dynopt

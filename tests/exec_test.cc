@@ -18,7 +18,7 @@ namespace {
 // --------------------------------------------------------- HybridRidList
 
 TEST(HybridRidListTest, RegionTransitions) {
-  PageStore store;
+  MemPageStore store;
   BufferPool pool(&store, 16);
   HybridRidList::Options opt;
   opt.inline_capacity = 4;
@@ -61,7 +61,7 @@ TEST(HybridRidListTest, OversizedInlineCapacityIsClampedToBuffer) {
 }
 
 TEST(HybridRidListTest, ExactMembershipInMemory) {
-  PageStore store;
+  MemPageStore store;
   BufferPool pool(&store, 4);
   HybridRidList list(&pool);
   for (uint32_t i = 0; i < 100; ++i) {
@@ -76,7 +76,7 @@ TEST(HybridRidListTest, ExactMembershipInMemory) {
 }
 
 TEST(HybridRidListTest, SpilledBitmapHasNoFalseNegatives) {
-  PageStore store;
+  MemPageStore store;
   BufferPool pool(&store, 16);
   HybridRidList::Options opt;
   opt.memory_capacity = 64;
@@ -106,7 +106,7 @@ TEST(HybridRidListTest, SpilledBitmapHasNoFalseNegatives) {
 }
 
 TEST(HybridRidListTest, ToSortedVectorSpansSpill) {
-  PageStore store;
+  MemPageStore store;
   BufferPool pool(&store, 16);
   HybridRidList::Options opt;
   opt.memory_capacity = 50;
@@ -123,7 +123,7 @@ TEST(HybridRidListTest, ToSortedVectorSpansSpill) {
 }
 
 TEST(HybridRidListTest, CursorStreamsEverything) {
-  PageStore store;
+  MemPageStore store;
   BufferPool pool(&store, 16);
   HybridRidList::Options opt;
   opt.memory_capacity = 30;

@@ -283,7 +283,7 @@ TEST(ExtractRangeSetTest, RandomPredicatesAreSoundSupersets) {
 // ---------------------------------------------------- MultiRangeCursor
 
 struct TreeFixture {
-  PageStore store;
+  MemPageStore store;
   BufferPool pool{&store, 256};
   std::unique_ptr<BTree> tree;
 

@@ -41,7 +41,7 @@ TEST(RidTest, InvalidByDefault) {
 // ------------------------------------------------------------ PageStore
 
 TEST(PageStoreTest, AllocateReadWrite) {
-  PageStore store;
+  MemPageStore store;
   PageId a = store.Allocate();
   PageId b = store.Allocate();
   EXPECT_NE(a, b);
@@ -56,7 +56,7 @@ TEST(PageStoreTest, AllocateReadWrite) {
 }
 
 TEST(PageStoreTest, OutOfRangeIsIOError) {
-  PageStore store;
+  MemPageStore store;
   PageData page;
   EXPECT_TRUE(store.Read(5, &page).IsIOError());
   EXPECT_TRUE(store.Write(5, page).IsIOError());
@@ -65,7 +65,7 @@ TEST(PageStoreTest, OutOfRangeIsIOError) {
 // ------------------------------------------------------------ BufferPool
 
 TEST(BufferPoolTest, HitCostsLogicalMissCostsPhysical) {
-  PageStore store;
+  MemPageStore store;
   CostMeter meter;
   BufferPool pool(&store, 4, &meter);
   auto page = pool.NewPage();
@@ -89,7 +89,7 @@ TEST(BufferPoolTest, HitCostsLogicalMissCostsPhysical) {
 }
 
 TEST(BufferPoolTest, WritesSurviveEviction) {
-  PageStore store;
+  MemPageStore store;
   BufferPool pool(&store, 2);
   PageId id;
   {
@@ -109,7 +109,7 @@ TEST(BufferPoolTest, WritesSurviveEviction) {
 }
 
 TEST(BufferPoolTest, LruEvictsColdestPage) {
-  PageStore store;
+  MemPageStore store;
   CostMeter meter;
   BufferPool pool(&store, 2, &meter);
   PageId a, b;
@@ -138,7 +138,7 @@ TEST(BufferPoolTest, LruEvictsColdestPage) {
 }
 
 TEST(BufferPoolTest, AllFramesPinnedIsResourceExhausted) {
-  PageStore store;
+  MemPageStore store;
   BufferPool pool(&store, 2);
   auto a = pool.NewPage();
   auto b = pool.NewPage();
@@ -153,7 +153,7 @@ TEST(BufferPoolTest, AllFramesPinnedIsResourceExhausted) {
 }
 
 TEST(BufferPoolTest, ScrambleCacheCausesRefaults) {
-  PageStore store;
+  MemPageStore store;
   CostMeter meter;
   BufferPool pool(&store, 64, &meter);
   std::vector<PageId> ids;
@@ -170,7 +170,7 @@ TEST(BufferPoolTest, ScrambleCacheCausesRefaults) {
 }
 
 TEST(BufferPoolTest, ScrambleCacheReportsEvictionCount) {
-  PageStore store;
+  MemPageStore store;
   BufferPool pool(&store, 64);
   for (int i = 0; i < 32; ++i) {
     ASSERT_TRUE(pool.NewPage().ok());
@@ -190,7 +190,7 @@ TEST(BufferPoolTest, ScrambleCacheReportsEvictionCount) {
 }
 
 TEST(BufferPoolTest, ScrambleCacheSkipsPinnedPages) {
-  PageStore store;
+  MemPageStore store;
   BufferPool pool(&store, 8);
   auto pinned = pool.NewPage();
   ASSERT_TRUE(pinned.ok());
@@ -203,7 +203,7 @@ TEST(BufferPoolTest, ScrambleCacheSkipsPinnedPages) {
 }
 
 TEST(BufferPoolTest, PinGuardMoveTransfersOwnership) {
-  PageStore store;
+  MemPageStore store;
   BufferPool pool(&store, 2);
   auto a = pool.NewPage();
   ASSERT_TRUE(a.ok());
@@ -217,7 +217,7 @@ TEST(BufferPoolTest, PinGuardMoveTransfersOwnership) {
 // -------------------------------------------------------------- HeapFile
 
 TEST(HeapFileTest, InsertFetchRoundTrip) {
-  PageStore store;
+  MemPageStore store;
   BufferPool pool(&store, 16);
   auto file = HeapFile::Create(&pool);
   ASSERT_TRUE(file.ok());
@@ -229,7 +229,7 @@ TEST(HeapFileTest, InsertFetchRoundTrip) {
 }
 
 TEST(HeapFileTest, SpillsAcrossPages) {
-  PageStore store;
+  MemPageStore store;
   BufferPool pool(&store, 16);
   auto file = HeapFile::Create(&pool);
   ASSERT_TRUE(file.ok());
@@ -249,7 +249,7 @@ TEST(HeapFileTest, SpillsAcrossPages) {
 }
 
 TEST(HeapFileTest, RecordTooLargeRejected) {
-  PageStore store;
+  MemPageStore store;
   BufferPool pool(&store, 4);
   auto file = HeapFile::Create(&pool);
   ASSERT_TRUE(file.ok());
@@ -258,7 +258,7 @@ TEST(HeapFileTest, RecordTooLargeRejected) {
 }
 
 TEST(HeapFileTest, DeleteThenFetchIsNotFound) {
-  PageStore store;
+  MemPageStore store;
   BufferPool pool(&store, 4);
   auto file = HeapFile::Create(&pool);
   ASSERT_TRUE(file.ok());
@@ -273,7 +273,7 @@ TEST(HeapFileTest, DeleteThenFetchIsNotFound) {
 }
 
 TEST(HeapFileTest, CursorVisitsLiveRecordsInOrder) {
-  PageStore store;
+  MemPageStore store;
   BufferPool pool(&store, 16);
   auto file = HeapFile::Create(&pool);
   ASSERT_TRUE(file.ok());
@@ -304,7 +304,7 @@ TEST(HeapFileTest, CursorVisitsLiveRecordsInOrder) {
 }
 
 TEST(HeapFileTest, CursorResetRestarts) {
-  PageStore store;
+  MemPageStore store;
   BufferPool pool(&store, 4);
   auto file = HeapFile::Create(&pool);
   ASSERT_TRUE(file.ok());
@@ -322,7 +322,7 @@ TEST(HeapFileTest, CursorResetRestarts) {
 class HeapFileRandomTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(HeapFileRandomTest, MatchesOracleUnderRandomOps) {
-  PageStore store;
+  MemPageStore store;
   BufferPool pool(&store, 32);
   auto file = HeapFile::Create(&pool);
   ASSERT_TRUE(file.ok());
@@ -365,7 +365,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, HeapFileRandomTest,
 // ----------------------------------------------------------- TempRidFile
 
 TEST(TempRidFileTest, AppendAndReplay) {
-  PageStore store;
+  MemPageStore store;
   BufferPool pool(&store, 8);
   TempRidFile file(&pool);
   std::vector<Rid> rids;
@@ -389,7 +389,7 @@ TEST(TempRidFileTest, AppendAndReplay) {
 }
 
 TEST(TempRidFileTest, EmptyFileReplaysNothing) {
-  PageStore store;
+  MemPageStore store;
   BufferPool pool(&store, 2);
   TempRidFile file(&pool);
   auto cursor = file.NewCursor();
@@ -399,8 +399,73 @@ TEST(TempRidFileTest, EmptyFileReplaysNothing) {
   EXPECT_FALSE(*more);
 }
 
+// Page-capacity boundaries: 0, exactly one page, and one RID over. The
+// page count must grow only when the capacity is *exceeded*, and re-read
+// order must stay append order across the page seam.
+TEST(TempRidFileTest, BoundaryZeroRidsAllocatesNoPages) {
+  MemPageStore store;
+  BufferPool pool(&store, 4);
+  TempRidFile file(&pool);
+  EXPECT_EQ(file.size(), 0u);
+  EXPECT_EQ(store.page_count(), 0u);
+  auto cursor = file.NewCursor();
+  Rid out;
+  auto more = cursor.Next(&out);
+  ASSERT_TRUE(more.ok());
+  EXPECT_FALSE(*more);
+}
+
+TEST(TempRidFileTest, BoundaryExactCapacityFitsOnePage) {
+  MemPageStore store;
+  BufferPool pool(&store, 4);
+  TempRidFile file(&pool);
+  for (uint32_t i = 0; i < TempRidFile::kRidsPerPage; ++i) {
+    ASSERT_TRUE(file.Append(Rid{i, 1}).ok());
+  }
+  EXPECT_EQ(file.size(), TempRidFile::kRidsPerPage);
+  EXPECT_EQ(store.page_count(), 1u);
+  auto cursor = file.NewCursor();
+  Rid out;
+  for (uint32_t i = 0; i < TempRidFile::kRidsPerPage; ++i) {
+    auto more = cursor.Next(&out);
+    ASSERT_TRUE(more.ok());
+    ASSERT_TRUE(*more);
+    ASSERT_EQ(out, (Rid{i, 1}));
+  }
+  auto more = cursor.Next(&out);
+  ASSERT_TRUE(more.ok());
+  EXPECT_FALSE(*more);
+}
+
+TEST(TempRidFileTest, BoundaryCapacityPlusOneSpillsToSecondPage) {
+  MemPageStore store;
+  BufferPool pool(&store, 4);
+  TempRidFile file(&pool);
+  const uint32_t n = TempRidFile::kRidsPerPage + 1;
+  for (uint32_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(file.Append(Rid{i, 2}).ok());
+  }
+  EXPECT_EQ(file.size(), n);
+  EXPECT_EQ(store.page_count(), 2u);
+  // Append order survives the page seam; a second pass after Reset too.
+  auto cursor = file.NewCursor();
+  for (int pass = 0; pass < 2; ++pass) {
+    Rid out;
+    for (uint32_t i = 0; i < n; ++i) {
+      auto more = cursor.Next(&out);
+      ASSERT_TRUE(more.ok());
+      ASSERT_TRUE(*more);
+      ASSERT_EQ(out, (Rid{i, 2}));
+    }
+    auto more = cursor.Next(&out);
+    ASSERT_TRUE(more.ok());
+    EXPECT_FALSE(*more);
+    cursor.Reset();
+  }
+}
+
 TEST(TempRidFileTest, SpillIncursPhysicalWritesWhenPoolIsSmall) {
-  PageStore store;
+  MemPageStore store;
   CostMeter meter;
   BufferPool pool(&store, 2, &meter);
   TempRidFile file(&pool);
