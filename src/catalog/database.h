@@ -35,6 +35,7 @@
 
 #include "catalog/table.h"
 #include "durability/crash.h"
+#include "governance/query_context.h"
 #include "durability/file_page_store.h"
 #include "durability/recovery.h"
 #include "durability/wal.h"
@@ -82,6 +83,19 @@ class Database {
   /// An in-memory (volatile) database.
   explicit Database(DatabaseOptions options = DatabaseOptions())
       : Database(std::move(options), std::make_unique<MemPageStore>()) {}
+
+  /// An in-memory database over a caller-supplied page store — the seam
+  /// fault-injection tests use to slide a FaultInjectingPageStore under
+  /// the whole engine. No WAL; Commit/Checkpoint/Close are no-ops.
+  Database(DatabaseOptions options, std::unique_ptr<PageStore> store)
+      : options_(std::move(options)),
+        store_(std::move(store)),
+        pool_(store_.get(), options_.pool_pages, &meter_,
+              options_.pool_shards) {
+    // Attach before any table/index/stepper exists: they bind their
+    // counters from pool()->metrics() at construction.
+    if (options_.observability) pool_.AttachMetrics(&metrics_);
+  }
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
@@ -140,17 +154,14 @@ class Database {
     return metrics_.ToJson();
   }
 
- private:
-  Database(DatabaseOptions options, std::unique_ptr<PageStore> store)
-      : options_(std::move(options)),
-        store_(std::move(store)),
-        pool_(store_.get(), options_.pool_pages, &meter_,
-              options_.pool_shards) {
-    // Attach before any table/index/stepper exists: they bind their
-    // counters from pool()->metrics() at construction.
-    if (options_.observability) pool_.AttachMetrics(&metrics_);
+  /// A governance context for one query against this database, bound to
+  /// its metrics registry (trip counters land in governance.*).
+  std::unique_ptr<QueryContext> NewQueryContext(
+      QueryGovernanceOptions opts = QueryGovernanceOptions()) {
+    return std::make_unique<QueryContext>(opts, metrics());
   }
 
+ private:
   /// Serializes the catalog into the page chain at kCatalogRootPage
   /// (allocating chain pages as needed) via the pool, so catalog pages
   /// ride the same dirty-snapshot/WAL path as data pages.

@@ -29,6 +29,7 @@ Jscan::Jscan(Database* db, const RetrievalSpec& spec, const ParamMap& params,
   tscan_cost_ = EstimateTscanCost(spec_, db_->cost_weights());
   gbc_ = tscan_cost_;
   if (MetricsRegistry* r = db_->pool()->metrics()) {
+    m_strategy_fallbacks_ = r->counter("governance.strategy_fallbacks");
     m_entries_scanned_ = r->counter("jscan.entries_scanned");
     m_rids_kept_ = r->counter("jscan.rids_kept");
     m_scans_completed_ = r->counter("jscan.scans_completed");
@@ -69,6 +70,7 @@ std::unique_ptr<Jscan::ActiveScan> Jscan::StartScan(
     const IndexClassification* cand) {
   auto scan = std::make_unique<ActiveScan>(cand);
   scan->list = std::make_unique<HybridRidList>(db_->pool(), options_.rid_list);
+  scan->list->set_context(ctx_);
   borrow_generation_++;
   return scan;
 }
@@ -220,6 +222,7 @@ Status Jscan::RefilterPartial(ActiveScan* scan) {
   // reason the race "does not continue beyond the memory buffer".
   MeterScope scope(db_->pool(), &scan->accrued);
   auto fresh = std::make_unique<HybridRidList>(db_->pool(), options_.rid_list);
+  fresh->set_context(ctx_);
   size_t n = scan->list->InMemorySize();
   uint64_t kept = 0;
   for (size_t i = 0; i < n; ++i) {
@@ -263,8 +266,50 @@ Status Jscan::CompleteScan(std::unique_ptr<ActiveScan> scan) {
   return Status::OK();
 }
 
+Status Jscan::PollGovernance() {
+  if (ctx_ == nullptr) return Status::OK();
+  // Cumulative reads: retired scans live in accrued_, in-flight ones in
+  // their private meters — the sum is monotone across scan hand-offs.
+  uint64_t reads = accrued_.logical_reads;
+  if (primary_ != nullptr) reads += primary_->accrued.logical_reads;
+  if (secondary_ != nullptr) reads += secondary_->accrued.logical_reads;
+  if (reads > charged_reads_) {
+    ctx_->ChargePagesRead(reads - charged_reads_);
+    charged_reads_ = reads;
+  }
+  return ctx_->Check();
+}
+
+Status Jscan::DisqualifyScan(bool stepping_secondary, const Status& cause) {
+  ActiveScan* scan = stepping_secondary ? secondary_.get() : primary_.get();
+  if (trace_ != nullptr) {
+    trace_->Emit(TraceEventKind::kStrategyDisqualified,
+                 "Jscan(" + scan->cand->index->name() + ")",
+                 "io_fault: " + cause.message());
+  }
+  Bump(m_strategy_fallbacks_);
+  RecordOutcome(*scan, IndexOutcomeKind::kDiscarded);
+  EmitOutcome(outcomes_.back());
+  if (stepping_secondary) {
+    // Unlike a competition requeue, the candidate does NOT re-enter the
+    // queue: its index is unreadable and would only fault again.
+    secondary_.reset();
+  } else {
+    primary_.reset();
+    if (secondary_ != nullptr) {
+      primary_ = std::move(secondary_);
+      borrow_generation_++;
+    } else {
+      DYNOPT_RETURN_IF_ERROR(Advance());
+    }
+  }
+  step_secondary_next_ = false;
+  return Status::OK();
+}
+
 Result<bool> Jscan::Step() {
   if (phase_ != Phase::kScanning) return false;
+  DYNOPT_RETURN_IF_ERROR(PollGovernance());
   if (primary_ == nullptr) {
     DYNOPT_RETURN_IF_ERROR(Advance());
     if (phase_ != Phase::kScanning) return false;
@@ -291,7 +336,16 @@ Result<bool> Jscan::Step() {
   }
   step_secondary_next_ = !step_secondary_next_;
 
-  DYNOPT_ASSIGN_OR_RETURN(bool progressed, StepScan(scan));
+  auto stepped = StepScan(scan);
+  if (!stepped.ok()) {
+    const Status& st = stepped.status();
+    if (!tolerate_io_faults_ || !IsIoFault(st)) return st;
+    // The scan's index (or its spill) is unreadable: disqualify this
+    // strategy and let the competition continue with the survivors.
+    DYNOPT_RETURN_IF_ERROR(DisqualifyScan(stepping_secondary, st));
+    return phase_ == Phase::kScanning;
+  }
+  bool progressed = *stepped;
 
   if (!progressed) {
     // This scan exhausted its range: it completes and delivers the filter.

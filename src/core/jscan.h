@@ -131,6 +131,18 @@ class Jscan {
   /// for not beating Tscan reports as discarded). Null disables.
   void set_trace(TraceLog* log) { trace_ = log; }
 
+  /// Attaches governance: every Step() charges the cumulative Jscan page
+  /// reads and polls the context. Call before the first Step so the RID
+  /// lists pick up spill/RID-byte accounting too.
+  void set_context(QueryContext* ctx) { ctx_ = ctx; }
+
+  /// When true, an I/O fault (EIO/corruption) inside an index scan
+  /// disqualifies that scan through the competition bookkeeping — trace
+  /// event kStrategyDisqualified, outcome kDiscarded, candidate *not*
+  /// requeued — and the Jscan continues with the survivors, ending in
+  /// kTscanRecommended when none remain. Off (fail the Jscan) by default.
+  void set_tolerate_io_faults(bool v) { tolerate_io_faults_ = v; }
+
   /// Fast-first cooperation (§7): hands out the next not-yet-borrowed RID
   /// from the in-memory part of the list currently being built (or, once
   /// complete, the final list). nullopt when nothing new is available.
@@ -170,6 +182,11 @@ class Jscan {
   void EmitOutcome(const IndexOutcome& outcome);
   /// Rebuilds `scan`'s in-memory partial list through the new filter.
   Status RefilterPartial(ActiveScan* scan);
+  /// Charges accumulated page reads to ctx_ and polls it.
+  Status PollGovernance();
+  /// Retires the faulted scan (primary or secondary) as disqualified and
+  /// moves the competition along.
+  Status DisqualifyScan(bool stepping_secondary, const Status& cause);
 
   Database* db_;
   const RetrievalSpec& spec_;
@@ -193,6 +210,10 @@ class Jscan {
   bool reordered_ = false;
 
   TraceLog* trace_ = nullptr;
+  QueryContext* ctx_ = nullptr;
+  bool tolerate_io_faults_ = false;
+  uint64_t charged_reads_ = 0;  // page reads already charged to ctx_
+  Counter* m_strategy_fallbacks_ = nullptr;
   Counter* m_entries_scanned_ = nullptr;
   Counter* m_rids_kept_ = nullptr;
   Counter* m_scans_completed_ = nullptr;

@@ -109,7 +109,7 @@ Status DynamicRetrievalOperator::Open() {
   sorted_rows_.clear();
   sorted_pos_ = 0;
   sort_fallback_ = false;
-  DYNOPT_RETURN_IF_ERROR(engine_.Open(*params_));
+  DYNOPT_RETURN_IF_ERROR(engine_.Open(*params_, ctx_));
   if (spec_.order_by_column.has_value() && !engine_.delivers_order()) {
     // No order-needed index: materialize and sort on the projected
     // position of the order column.
@@ -149,43 +149,48 @@ Result<bool> DynamicRetrievalOperator::Next(std::vector<Value>* row) {
 }
 
 Result<RowOperatorPtr> CompilePlan(Database* db, const PlanNode& plan,
-                                   const ParamMap* params) {
+                                   const ParamMap* params, QueryContext* ctx) {
+  RowOperatorPtr op;
   switch (plan.kind) {
     case PlanNode::Kind::kRetrieve:
-      return RowOperatorPtr(std::make_unique<DynamicRetrievalOperator>(
-          db, plan.spec, plan.retrieval_options, params));
+      op = std::make_unique<DynamicRetrievalOperator>(
+          db, plan.spec, plan.retrieval_options, params);
+      break;
     case PlanNode::Kind::kSort: {
       DYNOPT_ASSIGN_OR_RETURN(RowOperatorPtr child,
-                              CompilePlan(db, *plan.child, params));
-      return RowOperatorPtr(
-          std::make_unique<SortOperator>(std::move(child), plan.column));
+                              CompilePlan(db, *plan.child, params, ctx));
+      op = std::make_unique<SortOperator>(std::move(child), plan.column);
+      break;
     }
     case PlanNode::Kind::kDistinct: {
       DYNOPT_ASSIGN_OR_RETURN(RowOperatorPtr child,
-                              CompilePlan(db, *plan.child, params));
-      return RowOperatorPtr(
-          std::make_unique<DistinctOperator>(std::move(child)));
+                              CompilePlan(db, *plan.child, params, ctx));
+      op = std::make_unique<DistinctOperator>(std::move(child));
+      break;
     }
     case PlanNode::Kind::kLimit: {
       DYNOPT_ASSIGN_OR_RETURN(RowOperatorPtr child,
-                              CompilePlan(db, *plan.child, params));
-      return RowOperatorPtr(
-          std::make_unique<LimitOperator>(std::move(child), plan.limit));
+                              CompilePlan(db, *plan.child, params, ctx));
+      op = std::make_unique<LimitOperator>(std::move(child), plan.limit);
+      break;
     }
     case PlanNode::Kind::kExists: {
       DYNOPT_ASSIGN_OR_RETURN(RowOperatorPtr child,
-                              CompilePlan(db, *plan.child, params));
-      return RowOperatorPtr(
-          std::make_unique<ExistsOperator>(std::move(child)));
+                              CompilePlan(db, *plan.child, params, ctx));
+      op = std::make_unique<ExistsOperator>(std::move(child));
+      break;
     }
     case PlanNode::Kind::kAggregate: {
       DYNOPT_ASSIGN_OR_RETURN(RowOperatorPtr child,
-                              CompilePlan(db, *plan.child, params));
-      return RowOperatorPtr(std::make_unique<AggregateOperator>(
-          std::move(child), plan.agg, plan.column));
+                              CompilePlan(db, *plan.child, params, ctx));
+      op = std::make_unique<AggregateOperator>(std::move(child), plan.agg,
+                                               plan.column);
+      break;
     }
   }
-  return Status::Internal("unknown plan node kind");
+  if (op == nullptr) return Status::Internal("unknown plan node kind");
+  op->set_context(ctx);
+  return op;
 }
 
 }  // namespace dynopt

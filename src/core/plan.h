@@ -68,6 +68,9 @@ void InferGoals(PlanNode* root, OptimizationGoal default_goal);
 /// Volcano leaf wrapping a DynamicRetrieval engine. Re-optimizes on every
 /// Open() with the current contents of `*params`. If the spec requests an
 /// order the engine cannot deliver, the operator sorts transparently.
+/// The attached governance context (set_context) is handed to the engine
+/// at each Open, so cancellation/deadline/budget and degraded fallback
+/// apply to the whole execution.
 class DynamicRetrievalOperator final : public RowOperator {
  public:
   DynamicRetrievalOperator(Database* db, RetrievalSpec spec,
@@ -88,9 +91,12 @@ class DynamicRetrievalOperator final : public RowOperator {
 };
 
 /// Lowers the plan to an operator tree. `params` must outlive the
-/// operators (host variables are read at each Open()).
+/// operators (host variables are read at each Open()). `ctx` (optional,
+/// must outlive the operators) governs every operator and retrieval
+/// engine in the tree.
 Result<RowOperatorPtr> CompilePlan(Database* db, const PlanNode& plan,
-                                   const ParamMap* params);
+                                   const ParamMap* params,
+                                   QueryContext* ctx = nullptr);
 
 }  // namespace dynopt
 

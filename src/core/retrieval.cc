@@ -43,6 +43,9 @@ DynamicRetrieval::DynamicRetrieval(Database* db, RetrievalSpec spec,
                                    RetrievalOptions options)
     : db_(db), spec_(std::move(spec)), options_(options) {
   if (spec_.restriction == nullptr) spec_.restriction = Predicate::True();
+  if (db_->metrics() != nullptr) {
+    m_fallbacks_ = db_->metrics()->counter("governance.strategy_fallbacks");
+  }
 }
 
 void DynamicRetrieval::EnterMode(Mode mode) {
@@ -57,7 +60,7 @@ void DynamicRetrieval::Verdict(std::string_view subject,
                std::string(detail), a, b);
 }
 
-Status DynamicRetrieval::Open(const ParamMap& params) {
+Status DynamicRetrieval::Open(const ParamMap& params, QueryContext* ctx) {
   params_ = params;
   queue_.clear();
   delivered_.clear();
@@ -78,13 +81,31 @@ Status DynamicRetrieval::Open(const ParamMap& params) {
   predicted_cost_ = 0;
   feedback_recorded_ = false;
   open_snapshot_ = db_->meter();
+  ctx_ = ctx;
+  fallback_armed_ = ctx != nullptr && ctx->degraded_fallback_enabled();
+  degraded_ = false;
+  single_is_tscan_ = false;
+  charged_reads_ = 0;
+  engine_accrued_ = CostMeter();
 
-  DYNOPT_ASSIGN_OR_RETURN(
-      analysis_,
+  auto analyzed =
       AnalyzeAccessPaths(spec_, params_, options_.initial,
                          options_.remember_order && !previous_order_.empty()
                              ? &previous_order_
-                             : nullptr));
+                             : nullptr);
+  if (!analyzed.ok()) {
+    // An index is unreadable before any tactic exists. The heap is a
+    // separate page population, so a Tscan still answers the query.
+    if (!CanDegrade(analyzed.status())) return analyzed.status();
+    analysis_ = AccessPathAnalysis();
+    tactic_ = Tactic::kStaticTscan;
+    ComputePredictions();
+    events_.Emit(TraceEventKind::kTacticChosen,
+                 std::string(TacticName(tactic_)), "", predicted_rows_,
+                 predicted_cost_);
+    return FallBackToTscan("analysis", analyzed.status());
+  }
+  analysis_ = std::move(*analyzed);
   TraceEvent(analysis_.ToString());
   events_.Emit(TraceEventKind::kAnalysis, "access-paths", "",
                static_cast<double>(analysis_.estimation_pages),
@@ -94,7 +115,12 @@ Status DynamicRetrieval::Open(const ParamMap& params) {
   TraceEvent("tactic: " + std::string(TacticName(tactic_)));
   events_.Emit(TraceEventKind::kTacticChosen, std::string(TacticName(tactic_)),
                "", predicted_rows_, predicted_cost_);
-  return SetUpTactic();
+  Status set_up = SetUpTactic();
+  if (!set_up.ok() && CanDegrade(set_up)) {
+    // E.g. the tiny-range shortcut's index probe hit the fault.
+    return FallBackToTscan(TacticName(tactic_), set_up);
+  }
+  return set_up;
 }
 
 void DynamicRetrieval::ComputePredictions() {
@@ -242,6 +268,7 @@ Status DynamicRetrieval::SetUpTactic() {
       MultiRangeCursor cursor(c.index->tree(), &c.ranges);
       std::string key;
       Rid rid;
+      MeterScope scope(db_->pool(), &engine_accrued_);
       for (;;) {
         DYNOPT_ASSIGN_OR_RETURN(bool more, cursor.Next(&key, &rid));
         if (!more) break;
@@ -254,6 +281,8 @@ Status DynamicRetrieval::SetUpTactic() {
 
     case Tactic::kStaticTscan:
       single_ = std::make_unique<TscanStepper>(db_->pool(), spec_, params_);
+      single_->set_context(ctx_);
+      single_is_tscan_ = true;
       EnterMode(Mode::kSingle);
       return Status::OK();
 
@@ -262,6 +291,7 @@ Status DynamicRetrieval::SetUpTactic() {
           analysis_.indexes[analysis_.best_self_sufficient];
       single_ = std::make_unique<SscanStepper>(db_->pool(), spec_, params_,
                                                c.index, c.ranges);
+      single_->set_context(ctx_);
       delivers_order_ = spec_.order_by_column.has_value() && c.order_needed;
       EnterMode(Mode::kSingle);
       return Status::OK();
@@ -271,6 +301,8 @@ Status DynamicRetrieval::SetUpTactic() {
       jscan_ = std::make_unique<Jscan>(db_, spec_, params_,
                                        jscan_candidates(-1), options_.jscan);
       jscan_->set_trace(&events_);
+      jscan_->set_context(ctx_);
+      jscan_->set_tolerate_io_faults(fallback_armed_);
       EnterMode(Mode::kBackground);
       return Status::OK();
 
@@ -278,6 +310,8 @@ Status DynamicRetrieval::SetUpTactic() {
       jscan_ = std::make_unique<Jscan>(db_, spec_, params_,
                                        jscan_candidates(-1), options_.jscan);
       jscan_->set_trace(&events_);
+      jscan_->set_context(ctx_);
+      jscan_->set_tolerate_io_faults(fallback_armed_);
       fgr_active_ = true;
       track_delivered_ = true;
       EnterMode(Mode::kRace);
@@ -287,6 +321,7 @@ Status DynamicRetrieval::SetUpTactic() {
       const IndexClassification& c = analysis_.indexes[analysis_.order_needed];
       fscan_fgr_ = std::make_unique<FscanStepper>(db_->pool(), spec_, params_,
                                                   c.index, c.ranges);
+      fscan_fgr_->set_context(ctx_);
       if (c.covered_residual != nullptr) {
         fscan_fgr_->SetScreen(c.covered_residual);
       }
@@ -302,6 +337,8 @@ Status DynamicRetrieval::SetUpTactic() {
       jscan_ = std::make_unique<Jscan>(db_, spec_, params_, std::move(rest),
                                        options_.jscan);
       jscan_->set_trace(&events_);
+      jscan_->set_context(ctx_);
+      jscan_->set_tolerate_io_faults(fallback_armed_);
       EnterMode(Mode::kRace);
       return Status::OK();
     }
@@ -311,11 +348,14 @@ Status DynamicRetrieval::SetUpTactic() {
           analysis_.indexes[analysis_.best_self_sufficient];
       sscan_fgr_ = std::make_unique<SscanStepper>(db_->pool(), spec_, params_,
                                                   c.index, c.ranges);
+      sscan_fgr_->set_context(ctx_);
       delivers_order_ = spec_.order_by_column.has_value() && c.order_needed;
       jscan_ = std::make_unique<Jscan>(
           db_, spec_, params_,
           jscan_candidates(analysis_.best_self_sufficient), options_.jscan);
       jscan_->set_trace(&events_);
+      jscan_->set_context(ctx_);
+      jscan_->set_tolerate_io_faults(fallback_armed_);
       track_delivered_ = true;
       EnterMode(Mode::kRace);
       return Status::OK();
@@ -339,11 +379,67 @@ Result<bool> DynamicRetrieval::Next(OutputRow* row) {
       RecordFeedback();
       return false;
     }
-    DYNOPT_RETURN_IF_ERROR(Pump());
+    Status st = Pump();
+    if (!st.ok()) return Fail(std::move(st));
   }
 }
 
+Status DynamicRetrieval::Fail(Status st) {
+  jscan_.reset();
+  single_.reset();
+  fscan_fgr_.reset();
+  sscan_fgr_.reset();
+  queue_.clear();
+  final_rids_.clear();
+  fgr_active_ = false;
+  mode_ = Mode::kDone;
+  events_.Emit(TraceEventKind::kStageTransition, "aborted",
+               std::string(st.message()));
+  return st;
+}
+
+Status DynamicRetrieval::PollGovernance() {
+  if (ctx_ == nullptr) return Status::OK();
+  uint64_t reads = engine_accrued_.logical_reads;
+  if (reads > charged_reads_) {
+    ctx_->ChargePagesRead(reads - charged_reads_);
+    charged_reads_ = reads;
+  }
+  return ctx_->Check();
+}
+
+Status DynamicRetrieval::FallBackToTscan(std::string_view subject,
+                                         const Status& cause) {
+  events_.Emit(TraceEventKind::kStrategyDisqualified, std::string(subject),
+               "io_fault: " + std::string(cause.message()));
+  Verdict("io-fault-fallback", subject);
+  Bump(m_fallbacks_);
+  TraceEvent(std::string(subject) +
+             " hit an I/O fault: degrading to tscan");
+  jscan_.reset();
+  fscan_fgr_.reset();
+  sscan_fgr_.reset();
+  final_rids_.clear();
+  final_pos_ = 0;
+  fgr_active_ = false;
+  delivers_order_ = false;
+  degraded_ = true;
+  single_ = std::make_unique<TscanStepper>(db_->pool(), spec_, params_);
+  single_->set_context(ctx_);
+  single_is_tscan_ = true;
+  EnterMode(Mode::kSingle);
+  return Status::OK();
+}
+
+void DynamicRetrieval::Enqueue(OutputRow row) {
+  // When the fallback net is armed, remember every RID handed out: a
+  // mid-flight degradation to Tscan must not re-deliver them.
+  if (fallback_armed_) delivered_.insert(row.rid);
+  queue_.push_back(std::move(row));
+}
+
 Status DynamicRetrieval::Pump() {
+  DYNOPT_RETURN_IF_ERROR(PollGovernance());
   switch (mode_) {
     case Mode::kSingle:
       return StepSingle();
@@ -361,12 +457,17 @@ Status DynamicRetrieval::Pump() {
 
 Status DynamicRetrieval::StepSingle() {
   std::vector<OutputRow> rows;
-  DYNOPT_ASSIGN_OR_RETURN(bool more, single_->Step(&rows));
-  for (auto& r : rows) {
-    if (track_delivered_ && delivered_.count(r.rid) > 0) continue;
-    queue_.push_back(std::move(r));
+  auto stepped = single_->Step(&rows);
+  if (!stepped.ok()) {
+    if (!CanDegrade(stepped.status())) return stepped.status();
+    std::string subject = single_->label();
+    return FallBackToTscan(subject, stepped.status());
   }
-  if (!more) {
+  for (auto& r : rows) {
+    if (AlreadyDelivered(r.rid)) continue;
+    Enqueue(std::move(r));
+  }
+  if (!*stepped) {
     EnterMode(Mode::kDone);
     TraceEvent(single_->label() + " completed retrieval");
   }
@@ -374,21 +475,30 @@ Status DynamicRetrieval::StepSingle() {
 }
 
 Status DynamicRetrieval::StepBackground() {
-  DYNOPT_RETURN_IF_ERROR(jscan_->RunToCompletion());
+  Status ran = jscan_->RunToCompletion();
+  if (!ran.ok()) {
+    if (!CanDegrade(ran)) return ran;
+    return FallBackToTscan("Jscan", ran);
+  }
   if (options_.remember_order && !jscan_->completed_order().empty()) {
     previous_order_ = jscan_->completed_order();
   }
   if (jscan_->phase() == Jscan::Phase::kComplete) {
-    DYNOPT_ASSIGN_OR_RETURN(std::vector<Rid> rids,
-                            jscan_->final_list()->ToSortedVector());
-    TraceEvent("jscan complete: " + std::to_string(rids.size()) +
+    auto rids = jscan_->final_list()->ToSortedVector();
+    if (!rids.ok()) {
+      if (!CanDegrade(rids.status())) return rids.status();
+      return FallBackToTscan("Jscan", rids.status());
+    }
+    TraceEvent("jscan complete: " + std::to_string(rids->size()) +
                " rids to final stage");
-    Verdict("jscan-complete", "", static_cast<double>(rids.size()));
-    return BeginFinalStage(std::move(rids));
+    Verdict("jscan-complete", "", static_cast<double>(rids->size()));
+    return BeginFinalStage(std::move(*rids));
   }
   TraceEvent("jscan recommended tscan");
   Verdict("jscan-recommends-tscan");
   single_ = std::make_unique<TscanStepper>(db_->pool(), spec_, params_);
+  single_->set_context(ctx_);
+  single_is_tscan_ = true;
   EnterMode(Mode::kSingle);
   return Status::OK();
 }
@@ -414,8 +524,9 @@ Status DynamicRetrieval::StepRace() {
   double fgr_cost = ForegroundCost();
   double bgr_cost = jscan_->accrued_live_cost(db_->cost_weights());
   if (bgr_cost <= options_.fgr_bgr_cost_ratio * fgr_cost) {
-    DYNOPT_RETURN_IF_ERROR(jscan_->Step().status());
-    return Status::OK();
+    Status st = jscan_->Step().status();
+    if (!st.ok() && CanDegrade(st)) return FallBackToTscan("Jscan", st);
+    return st;
   }
   return StepForeground();
 }
@@ -433,7 +544,9 @@ Status DynamicRetrieval::StepForeground() {
       }
       if (!rid.has_value()) {
         // Starved: nothing new to borrow, give the quantum to the Jscan.
-        DYNOPT_RETURN_IF_ERROR(jscan_->Step().status());
+        Status st = jscan_->Step().status();
+        if (!st.ok() && CanDegrade(st)) return FallBackToTscan("Jscan", st);
+        DYNOPT_RETURN_IF_ERROR(st);
         return Status::OK();
       }
       // Competition criteria for terminating the foreground (§7).
@@ -459,8 +572,14 @@ Status DynamicRetrieval::StepForeground() {
 
     case Tactic::kSorted: {
       std::vector<OutputRow> rows;
-      DYNOPT_ASSIGN_OR_RETURN(bool more, fscan_fgr_->Step(&rows));
-      for (auto& r : rows) queue_.push_back(std::move(r));
+      auto stepped = fscan_fgr_->Step(&rows);
+      if (!stepped.ok()) {
+        if (!CanDegrade(stepped.status())) return stepped.status();
+        std::string subject = fscan_fgr_->label();
+        return FallBackToTscan(subject, stepped.status());
+      }
+      bool more = *stepped;
+      for (auto& r : rows) Enqueue(std::move(r));
       if (!more) {
         TraceEvent("fscan completed first: jscan abandoned");
         Verdict("foreground-finished", "fscan");
@@ -471,10 +590,16 @@ Status DynamicRetrieval::StepForeground() {
 
     case Tactic::kIndexOnly: {
       std::vector<OutputRow> rows;
-      DYNOPT_ASSIGN_OR_RETURN(bool more, sscan_fgr_->Step(&rows));
+      auto stepped = sscan_fgr_->Step(&rows);
+      if (!stepped.ok()) {
+        if (!CanDegrade(stepped.status())) return stepped.status();
+        std::string subject = sscan_fgr_->label();
+        return FallBackToTscan(subject, stepped.status());
+      }
+      bool more = *stepped;
       for (auto& r : rows) {
         if (track_delivered_) delivered_.insert(r.rid);
-        queue_.push_back(std::move(r));
+        Enqueue(std::move(r));
       }
       if (!more) {
         TraceEvent("sscan completed first: jscan abandoned");
@@ -489,7 +614,7 @@ Status DynamicRetrieval::StepForeground() {
         Verdict("fgr-buffer-overflow", "sscan-retained",
                 static_cast<double>(delivered_.size()));
         track_delivered_ = false;
-        delivered_.clear();
+        if (!fallback_armed_) delivered_.clear();
         single_ = std::move(sscan_fgr_);
         EnterMode(Mode::kSingle);
       }
@@ -509,19 +634,24 @@ Status DynamicRetrieval::OnBackgroundSettled() {
   switch (tactic_) {
     case Tactic::kFastFirst:
       if (complete) {
-        DYNOPT_ASSIGN_OR_RETURN(std::vector<Rid> rids,
-                                jscan_->final_list()->ToSortedVector());
+        auto rids = jscan_->final_list()->ToSortedVector();
+        if (!rids.ok()) {
+          if (!CanDegrade(rids.status())) return rids.status();
+          return FallBackToTscan("Jscan", rids.status());
+        }
         TraceEvent("jscan complete during race: final stage (" +
-                   std::to_string(rids.size()) + " rids, " +
+                   std::to_string(rids->size()) + " rids, " +
                    std::to_string(delivered_.size()) + " already delivered)");
         Verdict("jscan-complete", "during race",
-                static_cast<double>(rids.size()),
+                static_cast<double>(rids->size()),
                 static_cast<double>(delivered_.size()));
-        return BeginFinalStage(std::move(rids));
+        return BeginFinalStage(std::move(*rids));
       }
       TraceEvent("jscan recommended tscan: foreground switches to tscan");
       Verdict("jscan-recommends-tscan", "foreground switches");
       single_ = std::make_unique<TscanStepper>(db_->pool(), spec_, params_);
+      single_->set_context(ctx_);
+      single_is_tscan_ = true;
       EnterMode(Mode::kSingle);  // delivered_ still filters duplicates
       return Status::OK();
 
@@ -558,13 +688,16 @@ Status DynamicRetrieval::OnBackgroundSettled() {
         double fin_cost = EstimateFetchCost(
             static_cast<double>(jscan_->final_list()->size()), spec_, w);
         if (fin_cost < ss_remaining) {
-          DYNOPT_ASSIGN_OR_RETURN(std::vector<Rid> rids,
-                                  jscan_->final_list()->ToSortedVector());
+          auto rids = jscan_->final_list()->ToSortedVector();
+          if (!rids.ok()) {
+            if (!CanDegrade(rids.status())) return rids.status();
+            return FallBackToTscan("Jscan", rids.status());
+          }
           TraceEvent("jscan won the race: sscan abandoned, final stage (" +
-                     std::to_string(rids.size()) + " rids)");
+                     std::to_string(rids->size()) + " rids)");
           Verdict("jscan-won", "sscan abandoned", fin_cost, ss_remaining);
           sscan_fgr_.reset();
-          return BeginFinalStage(std::move(rids));
+          return BeginFinalStage(std::move(*rids));
         }
         TraceEvent("jscan list too costly to fetch: sscan continues alone");
         Verdict("sscan-retained", "list too costly", fin_cost, ss_remaining);
@@ -573,7 +706,7 @@ Status DynamicRetrieval::OnBackgroundSettled() {
         Verdict("jscan-recommends-tscan", "sscan continues");
       }
       track_delivered_ = false;
-      delivered_.clear();
+      if (!fallback_armed_) delivered_.clear();
       single_ = std::move(sscan_fgr_);
       EnterMode(Mode::kSingle);
       return Status::OK();
@@ -598,11 +731,14 @@ Status DynamicRetrieval::StepFinal() {
     return Status::OK();
   }
   Rid rid = final_rids_[final_pos_++];
-  if (track_delivered_ && delivered_.count(rid) > 0) return Status::OK();
+  if (AlreadyDelivered(rid)) return Status::OK();
   return DeliverByRid(rid, /*record=*/false);
 }
 
 Status DynamicRetrieval::DeliverByRid(Rid rid, bool record) {
+  // Heap-page faults are not degradable: a fallback Tscan reads the same
+  // heap pages, so the typed error propagates to the caller instead.
+  MeterScope scope(db_->pool(), &engine_accrued_);
   auto fetched = spec_.table->Fetch(rid);
   if (!fetched.ok()) {
     if (fetched.status().IsNotFound()) return Status::OK();  // deleted row
@@ -614,7 +750,7 @@ Status DynamicRetrieval::DeliverByRid(Rid rid, bool record) {
   DYNOPT_ASSIGN_OR_RETURN(bool keep, spec_.restriction->Eval(view, params_));
   if (record) delivered_.insert(rid);
   if (keep) {
-    queue_.push_back(OutputRow{ProjectRecord(spec_, rec), rid});
+    Enqueue(OutputRow{ProjectRecord(spec_, rec), rid});
   }
   return Status::OK();
 }

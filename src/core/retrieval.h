@@ -39,6 +39,7 @@
 #include "catalog/database.h"
 #include "core/access_path.h"
 #include "core/jscan.h"
+#include "governance/query_context.h"
 #include "exec/retrieval_spec.h"
 #include "exec/steppers.h"
 #include "index/multi_range_cursor.h"
@@ -84,7 +85,13 @@ class DynamicRetrieval {
 
   /// Binds parameters and (re)optimizes. May be called repeatedly; each
   /// call is an independent execution that reuses learned index order.
-  Status Open(const ParamMap& params);
+  ///
+  /// `ctx` (optional, must outlive the execution) governs it: every pump
+  /// charges page reads and polls for cancellation/deadline/budget, and —
+  /// when the context allows degraded fallback — an I/O fault on an index
+  /// strategy disqualifies it and the execution continues on a Tscan
+  /// (already-delivered RIDs are deduplicated, so rows are exact).
+  Status Open(const ParamMap& params, QueryContext* ctx = nullptr);
 
   /// Delivers the next row; false at end of retrieval.
   Result<bool> Next(OutputRow* row);
@@ -93,6 +100,17 @@ class DynamicRetrieval {
   /// True when rows come out in the requested order (the plan layer adds
   /// a sort otherwise).
   bool delivers_order() const { return delivers_order_; }
+  /// True once this execution lost an index strategy to an I/O fault and
+  /// fell back to the surviving competitor. The delivered row *set* stays
+  /// exact (already-delivered RIDs are deduplicated), but a mid-flight
+  /// fallback forfeits index-order delivery: delivers_order() reports the
+  /// promise made at Open time, so order-sensitive callers must re-sort
+  /// when degraded() flips. Covers both engine-level fallbacks and scans
+  /// the Jscan disqualified internally (it records them in the trace).
+  bool degraded() const {
+    return degraded_ ||
+           events_.CountKind(TraceEventKind::kStrategyDisqualified) > 0;
+  }
   const std::vector<std::string>& trace() const { return trace_; }
   /// Typed trace of this execution (cleared by Open): the machine-readable
   /// twin of trace() — analysis, shortcuts, the chosen tactic, every stage
@@ -146,6 +164,25 @@ class DynamicRetrieval {
   /// Fetch+evaluate+deliver one RID (final stage / fast-first borrow).
   Status DeliverByRid(Rid rid, bool record_delivered);
   double ForegroundCost() const;
+  /// Charges pages read outside any stepper (final stage, fast-first
+  /// fetches, shortcuts) to ctx_ and polls it. No-op without a context.
+  Status PollGovernance();
+  /// True when `st` should degrade this execution (disqualify the faulted
+  /// strategy, continue on Tscan) instead of failing it.
+  bool CanDegrade(const Status& st) const {
+    return fallback_armed_ && !single_is_tscan_ && IsIoFault(st);
+  }
+  /// The degraded path: records the disqualification (trace + metrics) and
+  /// restarts delivery on a fresh Tscan; delivered_ filters duplicates.
+  Status FallBackToTscan(std::string_view subject, const Status& cause);
+  /// Error unwind: tears down every stepper and RID list so pins, spill
+  /// pages, and budget accounting release now — not when the engine object
+  /// eventually dies. Returns `st` for the caller to propagate.
+  Status Fail(Status st);
+  void Enqueue(OutputRow row);
+  bool AlreadyDelivered(Rid rid) const {
+    return (track_delivered_ || fallback_armed_) && delivered_.count(rid) > 0;
+  }
 
   Database* db_;
   RetrievalSpec spec_;
@@ -171,6 +208,14 @@ class DynamicRetrieval {
   std::unique_ptr<SscanStepper> sscan_fgr_; // Index-Only foreground
   CostMeter fgr_accrued_;                   // Fast-First foreground cost
   bool fgr_active_ = false;
+
+  QueryContext* ctx_ = nullptr;        // per-execution; set by Open
+  bool fallback_armed_ = false;        // ctx_ allows degraded fallback
+  bool degraded_ = false;
+  bool single_is_tscan_ = false;       // the last-resort strategy is running
+  uint64_t charged_reads_ = 0;         // engine-side reads charged to ctx_
+  CostMeter engine_accrued_;           // work done outside any stepper
+  Counter* m_fallbacks_ = nullptr;
 
   std::unordered_set<Rid> delivered_;
   bool track_delivered_ = false;

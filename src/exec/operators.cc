@@ -31,6 +31,7 @@ Status SortOperator::Open() {
       return Status::InvalidArgument("sort column beyond row arity");
     }
     rows_.push_back(row);
+    DYNOPT_RETURN_IF_ERROR(PollDrain(rows_.size()));
   }
   std::stable_sort(rows_.begin(), rows_.end(),
                    [this](const auto& a, const auto& b) {
@@ -91,6 +92,7 @@ Status DistinctOperator::Open() {
     DYNOPT_ASSIGN_OR_RETURN(bool more, child_->Next(&row));
     if (!more) break;
     rows_.push_back(row);
+    DYNOPT_RETURN_IF_ERROR(PollDrain(rows_.size()));
   }
   std::sort(rows_.begin(), rows_.end(), RowLess);
   rows_.erase(std::unique(rows_.begin(), rows_.end()), rows_.end());
@@ -121,6 +123,7 @@ Status AggregateOperator::Open() {
     DYNOPT_ASSIGN_OR_RETURN(bool more, child_->Next(&row));
     if (!more) break;
     count++;
+    DYNOPT_RETURN_IF_ERROR(PollDrain(static_cast<uint64_t>(count)));
     if (kind_ == AggregateKind::kCount) continue;
     if (col_ >= row.size()) {
       return Status::InvalidArgument("aggregate column beyond row arity");

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "expr/value.h"
+#include "governance/query_context.h"
 #include "util/status.h"
 
 namespace dynopt {
@@ -25,6 +26,19 @@ class RowOperator {
 
   /// Produces the next row; returns false at end of stream.
   virtual Result<bool> Next(std::vector<Value>* row) = 0;
+
+  /// Attaches governance (null detaches). Materializing operators poll it
+  /// at drain-loop batch boundaries, so a pipeline breaker cannot swallow
+  /// a cancellation between the retrieval leaf and the plan root.
+  void set_context(QueryContext* ctx) { ctx_ = ctx; }
+
+ protected:
+  /// Drain-loop batch boundary: polls every 64th drained row.
+  Status PollDrain(uint64_t rows_drained) {
+    if (ctx_ == nullptr || rows_drained % 64 != 0) return Status::OK();
+    return ctx_->Check();
+  }
+  QueryContext* ctx_ = nullptr;
 };
 
 using RowOperatorPtr = std::unique_ptr<RowOperator>;

@@ -40,6 +40,7 @@ Status HybridRidList::Append(Rid rid) {
     case Storage::kInline:
       if (size_ < options_.inline_capacity) {
         inline_buf_[size_++] = rid;
+        if (ctx_ != nullptr) ctx_->ChargeRidListBytes(sizeof(Rid));
         return Status::OK();
       }
       // Promote: copy the inline region into an allocated buffer.
@@ -52,6 +53,7 @@ Status HybridRidList::Append(Rid rid) {
       if (heap_buf_.size() < options_.memory_capacity) {
         heap_buf_.push_back(rid);
         size_++;
+        if (ctx_ != nullptr) ctx_->ChargeRidListBytes(sizeof(Rid));
         return Status::OK();
       }
       // Overflow: open the temporary table and build the bitmap over
@@ -60,16 +62,18 @@ Status HybridRidList::Append(Rid rid) {
         return Status::ResourceExhausted(
             "RID list exceeded memory capacity with no spill pool");
       }
-      spill_ = std::make_unique<TempRidFile>(pool_);
+      spill_ = std::make_unique<TempRidFile>(pool_, ctx_);
       bitmap_.assign((options_.bitmap_bits + 63) / 64, 0);
       for (const Rid& r : heap_buf_) SetBit(r);
       storage_ = Storage::kSpilled;
       [[fallthrough]];
-    case Storage::kSpilled:
-      DYNOPT_RETURN_IF_ERROR(spill_->Append(rid));
+    case Storage::kSpilled: {
+      Status st = spill_->Append(rid);
+      if (!st.ok()) return WithContext("RID-list spill append", st);
       SetBit(rid);
       size_++;
       return Status::OK();
+    }
   }
   return Status::Internal("unreachable RID storage state");
 }

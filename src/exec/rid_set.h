@@ -46,6 +46,11 @@ class HybridRidList {
   explicit HybridRidList(BufferPool* pool) : HybridRidList(pool, Options()) {}
   HybridRidList(BufferPool* pool, Options options);
 
+  /// Attaches governance accounting: in-memory appends charge RID-list
+  /// bytes, spill pages charge (and on destruction refund) spill bytes.
+  /// Call before the first Append.
+  void set_context(QueryContext* ctx) { ctx_ = ctx; }
+
   /// Appends a RID (duplicates are the caller's concern). Charges one
   /// rid_op; spilling charges real temp-table I/O through the pool.
   Status Append(Rid rid);
@@ -103,6 +108,7 @@ class HybridRidList {
   void SetBit(Rid rid);
 
   BufferPool* pool_;
+  QueryContext* ctx_ = nullptr;
   Options options_;
   Storage storage_ = Storage::kInline;
   bool sealed_ = false;

@@ -35,6 +35,7 @@ TscanStepper::TscanStepper(BufferPool* pool, const RetrievalSpec& spec,
 
 Result<bool> TscanStepper::Step(std::vector<OutputRow>* out) {
   if (exhausted_) return false;
+  DYNOPT_RETURN_IF_ERROR(PollGovernance());
   MeterScope scope(pool_, &accrued_);
   std::string bytes;
   Rid rid;
@@ -77,6 +78,7 @@ FscanStepper::FscanStepper(BufferPool* pool, const RetrievalSpec& spec,
 
 Result<bool> FscanStepper::Step(std::vector<OutputRow>* out) {
   if (exhausted_) return false;
+  DYNOPT_RETURN_IF_ERROR(PollGovernance());
   MeterScope scope(pool_, &accrued_);
   std::string key;
   Rid rid;
@@ -129,6 +131,7 @@ SscanStepper::SscanStepper(BufferPool* pool, const RetrievalSpec& spec,
 
 Result<bool> SscanStepper::Step(std::vector<OutputRow>* out) {
   if (exhausted_) return false;
+  DYNOPT_RETURN_IF_ERROR(PollGovernance());
   MeterScope scope(pool_, &accrued_);
   std::string key;
   Rid rid;

@@ -20,6 +20,7 @@
 #include "catalog/index.h"
 #include "exec/retrieval_spec.h"
 #include "exec/rid_set.h"
+#include "governance/query_context.h"
 #include "index/btree.h"
 #include "index/multi_range_cursor.h"
 #include "storage/heap_file.h"
@@ -57,7 +58,26 @@ class ScanStepper {
   double AccruedCost(const CostWeights& w) const { return accrued_.Cost(w); }
   const std::string& label() const { return label_; }
 
+  /// Attaches governance: every Step() begins by charging the pages read
+  /// since the last poll and checking the context — the "batch boundary"
+  /// where cancellation, deadlines, and budgets surface.
+  void set_context(QueryContext* ctx) { ctx_ = ctx; }
+  QueryContext* context() const { return ctx_; }
+
  protected:
+  /// Called at the top of every Step() override. Charges the accrued
+  /// logical-read delta to the context and polls it; the resulting typed
+  /// error (Cancelled/DeadlineExceeded/BudgetExceeded) propagates out of
+  /// Step() with no pins held — a stepper holds pins only *within* a step.
+  Status PollGovernance() {
+    if (ctx_ == nullptr) return Status::OK();
+    uint64_t reads = accrued_.logical_reads;
+    if (reads > charged_reads_) {
+      ctx_->ChargePagesRead(reads - charged_reads_);
+      charged_reads_ = reads;
+    }
+    return ctx_->Check();
+  }
   /// Binds the shared executor counters from `pool`'s attached registry
   /// (null pool or detached registry leaves them disabled).
   ScanStepper(std::string label, BufferPool* pool) : label_(std::move(label)) {
@@ -70,6 +90,8 @@ class ScanStepper {
   std::string label_;
   CostMeter accrued_;
   bool exhausted_ = false;
+  QueryContext* ctx_ = nullptr;
+  uint64_t charged_reads_ = 0;  // logical reads already charged to ctx_
   Counter* m_rows_screened_ = nullptr;   // restriction/screen evaluations
   Counter* m_rows_delivered_ = nullptr;  // rows pushed to the output queue
 };

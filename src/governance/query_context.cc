@@ -1,0 +1,121 @@
+#include "governance/query_context.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace dynopt {
+
+QueryContext::QueryContext(QueryGovernanceOptions options,
+                           MetricsRegistry* registry)
+    : options_(options) {
+  if (options_.deadline_micros > 0) {
+    has_deadline_ = true;
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::microseconds(options_.deadline_micros);
+  }
+  if (registry != nullptr) {
+    m_cancellations_ = registry->counter("governance.cancellations");
+    m_deadline_hits_ = registry->counter("governance.deadline_hits");
+    m_budget_hits_ = registry->counter("governance.budget_hits");
+  }
+}
+
+void QueryContext::SetDeadline(std::chrono::steady_clock::time_point deadline) {
+  std::lock_guard<std::mutex> lock(mu_);
+  has_deadline_ = true;
+  deadline_ = deadline;
+}
+
+void QueryContext::TripAfterPolls(uint64_t n, StatusCode code) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trip_after_polls_ = n;
+  trip_code_ = code;
+}
+
+Status QueryContext::Trip(StatusCode code, std::string msg) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tripped_.load(std::memory_order_relaxed) != StatusCode::kOk) {
+      return Status::FromCode(tripped_.load(std::memory_order_relaxed),
+                              trip_message_);
+    }
+    trip_message_ = std::move(msg);
+    tripped_.store(code, std::memory_order_release);
+  }
+  switch (code) {
+    case StatusCode::kCancelled:
+      Bump(m_cancellations_);
+      break;
+    case StatusCode::kDeadlineExceeded:
+      Bump(m_deadline_hits_);
+      break;
+    case StatusCode::kBudgetExceeded:
+      Bump(m_budget_hits_);
+      break;
+    default:
+      break;
+  }
+  return TrippedStatus();
+}
+
+Status QueryContext::TrippedStatus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Status::FromCode(tripped_.load(std::memory_order_relaxed),
+                          trip_message_);
+}
+
+Status QueryContext::Check() {
+  uint64_t poll = polls_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (tripped_.load(std::memory_order_acquire) != StatusCode::kOk) {
+    return TrippedStatus();
+  }
+
+  uint64_t trip_after;
+  StatusCode trip_code;
+  bool has_deadline;
+  std::chrono::steady_clock::time_point deadline;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    trip_after = trip_after_polls_;
+    trip_code = trip_code_;
+    has_deadline = has_deadline_;
+    deadline = deadline_;
+  }
+  if (trip_after != 0 && poll >= trip_after) {
+    return Trip(trip_code, "tripped by test hook at poll " +
+                               std::to_string(poll));
+  }
+  if (cancelled_.load(std::memory_order_relaxed)) {
+    return Trip(StatusCode::kCancelled, "query cancelled");
+  }
+  if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+    return Trip(StatusCode::kDeadlineExceeded,
+                "query deadline of " +
+                    std::to_string(options_.deadline_micros) +
+                    "us exceeded");
+  }
+
+  const QueryBudgets& b = options_.budgets;
+  uint64_t pages = pages_read_.load(std::memory_order_relaxed);
+  if (b.max_pages_read != 0 && pages > b.max_pages_read) {
+    return Trip(StatusCode::kBudgetExceeded,
+                "pages-read budget exceeded: " + std::to_string(pages) +
+                    " > " + std::to_string(b.max_pages_read));
+  }
+  uint64_t rid_bytes = rid_list_bytes_.load(std::memory_order_relaxed);
+  if (b.max_rid_list_bytes != 0 && rid_bytes > b.max_rid_list_bytes) {
+    return Trip(StatusCode::kBudgetExceeded,
+                "rid-list budget exceeded: " + std::to_string(rid_bytes) +
+                    "B > " + std::to_string(b.max_rid_list_bytes) + "B");
+  }
+  uint64_t spill = spill_bytes_.load(std::memory_order_relaxed);
+  if (b.max_spill_bytes != 0 && spill > b.max_spill_bytes) {
+    return Trip(StatusCode::kBudgetExceeded,
+                "spill budget exceeded: " + std::to_string(spill) + "B > " +
+                    std::to_string(b.max_spill_bytes) + "B");
+  }
+  return Status::OK();
+}
+
+}  // namespace dynopt

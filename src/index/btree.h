@@ -127,6 +127,14 @@ class BTree {
     /// Produces the entry under the cursor and advances. False at end.
     Result<bool> Next(std::string* key, Rid* rid);
 
+    /// Drops the leaf pin and parks the cursor at end; Seek() reopens it.
+    /// Callers that stop a scan early (range upper bound reached) must
+    /// close, or the pin outlives the scan.
+    void Close() {
+      guard_.Release();
+      exhausted_ = true;
+    }
+
    private:
     BTree* tree_ = nullptr;
     PageId leaf_ = kInvalidPageId;

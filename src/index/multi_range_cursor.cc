@@ -6,6 +6,9 @@ Result<bool> MultiRangeCursor::Next(std::string* key, Rid* rid) {
   if (exhausted_) return false;
   for (;;) {
     if (range_idx_ >= ranges_->ranges().size()) {
+      // The last range may have ended mid-leaf: drop the leaf pin now
+      // rather than when the owning stepper dies.
+      cursor_.Close();
       exhausted_ = true;
       return false;
     }
@@ -24,6 +27,7 @@ Result<bool> MultiRangeCursor::Next(std::string* key, Rid* rid) {
     if (!more) {
       // Tree itself is exhausted; later ranges can hold nothing either
       // (ranges ascend), but a fresh Seek would also just return nothing.
+      cursor_.Close();
       exhausted_ = true;
       return false;
     }

@@ -16,6 +16,8 @@ std::string_view TraceEventKindName(TraceEventKind kind) {
       return "competition-verdict";
     case TraceEventKind::kJscanIndexOutcome:
       return "jscan-index-outcome";
+    case TraceEventKind::kStrategyDisqualified:
+      return "strategy-disqualified";
   }
   return "?";
 }
@@ -38,6 +40,14 @@ const TraceEvent* TraceLog::Find(TraceEventKind kind,
     if (e.kind == kind && e.subject == subject) return &e;
   }
   return nullptr;
+}
+
+size_t TraceLog::CountKind(TraceEventKind kind) const {
+  size_t n = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind) n++;
+  }
+  return n;
 }
 
 std::vector<std::string> TraceLog::Subjects(TraceEventKind kind) const {

@@ -29,6 +29,7 @@ enum class TraceEventKind : uint8_t {
   kStageTransition,    // subject = entered stage ("race", "final", "done", ...)
   kCompetitionVerdict, // a run-time decision; subject = verdict tag
   kJscanIndexOutcome,  // subject = index name; a = entries scanned, b = kept
+  kStrategyDisqualified,  // subject = strategy; detail = reason (io_fault...)
 };
 
 std::string_view TraceEventKindName(TraceEventKind kind);
@@ -60,6 +61,8 @@ class TraceLog {
   const TraceEvent* Find(TraceEventKind kind, std::string_view subject) const;
   /// Subjects of all events of `kind`, in emission order.
   std::vector<std::string> Subjects(TraceEventKind kind) const;
+  /// Number of events of `kind`, any subject.
+  size_t CountKind(TraceEventKind kind) const;
 
   std::string ToJson() const;
 

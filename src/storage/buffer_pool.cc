@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
+#include <thread>
 
 namespace dynopt {
 
@@ -127,10 +129,31 @@ Result<PageGuard> BufferPool::Pin(PageId id) {
   Bump(miss_count_);
   DYNOPT_ASSIGN_OR_RETURN(uint32_t frame, GrabFrame(s));
   Frame& f = s.frames[frame];
-  Status read = store_->Read(id, &f.data);
+  Status read;
+  uint32_t attempts = 0;
+  for (;;) {
+    read = store_->Read(id, &f.data);
+    ++attempts;
+    // Only transient-looking faults (IOError) are worth retrying;
+    // Corruption is deterministic and InvalidArgument is a caller bug.
+    if (read.ok() || !read.IsIOError() || attempts > retry_.max_retries) {
+      break;
+    }
+    uint64_t backoff = static_cast<uint64_t>(retry_.base_backoff_micros)
+                       << (attempts - 1);
+    backoff = std::min<uint64_t>(backoff, retry_.max_backoff_micros);
+    Bump(io_retry_count_);
+    Bump(io_backoff_micros_, backoff);
+    if (backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+    }
+  }
   if (!read.ok()) {
     s.free_frames.push_back(frame);  // hand the grabbed frame back
-    return read;
+    Bump(io_fault_count_);
+    return WithContext("pin of page " + std::to_string(id) + " failed after " +
+                           std::to_string(attempts) + " attempt(s)",
+                       read);
   }
   meter_->physical_reads++;
   f.id = id;
@@ -183,12 +206,16 @@ void BufferPool::AttachMetrics(MetricsRegistry* registry) {
   metrics_ = registry;
   if (registry == nullptr) {
     hit_count_ = miss_count_ = eviction_count_ = writeback_count_ = nullptr;
+    io_retry_count_ = io_backoff_micros_ = io_fault_count_ = nullptr;
     return;
   }
   hit_count_ = registry->counter("buffer_pool.hits");
   miss_count_ = registry->counter("buffer_pool.misses");
   eviction_count_ = registry->counter("buffer_pool.evictions");
   writeback_count_ = registry->counter("buffer_pool.writebacks");
+  io_retry_count_ = registry->counter("governance.io_retries");
+  io_backoff_micros_ = registry->counter("governance.io_backoff_micros");
+  io_fault_count_ = registry->counter("governance.io_faults");
 }
 
 Status BufferPool::EvictAll() {
@@ -269,6 +296,46 @@ Result<size_t> BufferPool::ScrambleCache(Rng& rng, double fraction) {
     }
   }
   return evicted;
+}
+
+Status BufferPool::DiscardPage(PageId id) {
+  uint32_t si = static_cast<uint32_t>(ShardOf(id));
+  Shard& s = *shards_[si];
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.table.find(id);
+    if (it != s.table.end()) {
+      uint32_t frame = it->second;
+      Frame& f = s.frames[frame];
+      if (f.pins != 0) {
+        return Status::Internal("discard of pinned page " +
+                                std::to_string(id));
+      }
+      // Dropped, not evicted: the page's contents are dead by contract,
+      // so no write-back regardless of the dirty bit or WAL epoch.
+      s.table.erase(it);
+      s.lru.erase(f.lru_pos);
+      f.in_use = false;
+      f.id = kInvalidPageId;
+      f.dirty.store(false, std::memory_order_relaxed);
+      s.free_frames.push_back(frame);
+    }
+  }
+  Status freed = store_->Free(id);
+  if (freed.IsNotSupported()) return Status::OK();
+  return freed;
+}
+
+size_t BufferPool::PinnedPages() const {
+  size_t pinned = 0;
+  for (const auto& shard : shards_) {
+    const Shard& s = *shard;
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (uint32_t i = 0; i < s.frame_count; ++i) {
+      if (s.frames[i].in_use && s.frames[i].pins > 0) pinned++;
+    }
+  }
+  return pinned;
 }
 
 size_t BufferPool::cached_pages() const {

@@ -87,6 +87,17 @@ class BufferPool {
     uint64_t writebacks = 0;
   };
 
+  /// Bounded retry with exponential backoff for *transient* store read
+  /// faults (IOError). Corruption is never retried — a bad checksum does
+  /// not heal. The backoff sleep happens while holding the page's shard
+  /// lock: same-shard traffic waits behind it exactly as it would behind
+  /// the device, and other shards are unaffected.
+  struct IoRetryPolicy {
+    uint32_t max_retries = 3;          ///< extra attempts after the first
+    uint32_t base_backoff_micros = 50;
+    uint32_t max_backoff_micros = 2000;
+  };
+
   /// `capacity` is the total number of page frames; `meter` (optional)
   /// receives the I/O charges. `shards` must be a power of two (rounded
   /// down otherwise); 0 picks automatically: one shard per 64 frames,
@@ -100,10 +111,25 @@ class BufferPool {
   ~BufferPool();
 
   /// Pins page `id`, faulting it from the store if needed. Thread-safe.
+  /// Transient store IOErrors are retried per the IoRetryPolicy; the final
+  /// error (if any) carries the page id and attempt count.
   Result<PageGuard> Pin(PageId id);
 
   /// Allocates a fresh zeroed page in the store and pins it dirty.
   Result<PageGuard> NewPage();
+
+  /// Drops page `id` from the cache without write-back and returns it to
+  /// the store's free list (no-op on stores without reclamation). The page
+  /// must be dead to the caller — discarding a pinned page is an error.
+  /// Temp-spill teardown uses this; never call it on catalog/index pages.
+  Status DiscardPage(PageId id);
+
+  void set_retry_policy(const IoRetryPolicy& policy) { retry_ = policy; }
+  const IoRetryPolicy& retry_policy() const { return retry_; }
+
+  /// Total pins currently held across all shards (test support: a cleanly
+  /// unwound query leaves this at zero).
+  size_t PinnedPages() const;
 
   /// Writes back all dirty unpinned pages (retaining cache contents).
   /// Pinned pages are skipped — their holder may be mid-mutation; they are
@@ -233,6 +259,10 @@ class BufferPool {
   Counter* miss_count_ = nullptr;
   Counter* eviction_count_ = nullptr;
   Counter* writeback_count_ = nullptr;
+  Counter* io_retry_count_ = nullptr;
+  Counter* io_backoff_micros_ = nullptr;
+  Counter* io_fault_count_ = nullptr;
+  IoRetryPolicy retry_;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

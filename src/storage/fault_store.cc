@@ -1,0 +1,142 @@
+#include "storage/fault_store.h"
+
+#include <string>
+
+namespace dynopt {
+
+namespace {
+
+// splitmix64: the same cheap deterministic mixer the workload driver uses
+// for its streams; here it decides which pages a rate-based program hits.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::string_view PageClassName(PageClass c) {
+  switch (c) {
+    case PageClass::kHeap:
+      return "heap";
+    case PageClass::kIndex:
+      return "index";
+    case PageClass::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+FaultInjectingPageStore::FaultInjectingPageStore(
+    std::unique_ptr<PageStore> inner)
+    : inner_(std::move(inner)) {}
+
+PageId FaultInjectingPageStore::Allocate() { return inner_->Allocate(); }
+
+Status FaultInjectingPageStore::Write(PageId id, const PageData& src) {
+  return inner_->Write(id, src);
+}
+
+Status FaultInjectingPageStore::Free(PageId id) { return inner_->Free(id); }
+
+size_t FaultInjectingPageStore::page_count() const {
+  return inner_->page_count();
+}
+
+void FaultInjectingPageStore::ClassifyHeapPages(
+    const std::vector<PageId>& pages) {
+  std::lock_guard<std::mutex> lock(mu_);
+  heap_pages_.insert(pages.begin(), pages.end());
+}
+
+void FaultInjectingPageStore::FreezeClassification() {
+  std::lock_guard<std::mutex> lock(mu_);
+  index_watermark_ = static_cast<PageId>(inner_->page_count());
+  frozen_ = true;
+}
+
+PageClass FaultInjectingPageStore::Classify(PageId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (heap_pages_.count(id) > 0) return PageClass::kHeap;
+  if (frozen_ && id < index_watermark_) return PageClass::kIndex;
+  return PageClass::kOther;
+}
+
+void FaultInjectingPageStore::SetProgram(const FaultProgram& program) {
+  std::lock_guard<std::mutex> lock(mu_);
+  program_ = program;
+  transient_attempts_.clear();
+}
+
+uint64_t FaultInjectingPageStore::injected_faults() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_;
+}
+
+uint64_t FaultInjectingPageStore::total_reads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reads_;
+}
+
+bool FaultInjectingPageStore::PageInProgram(const FaultProgram& p,
+                                            PageId id) const {
+  // mu_ held by the caller.
+  if (!p.any_class) {
+    PageClass c = PageClass::kOther;
+    if (heap_pages_.count(id) > 0) {
+      c = PageClass::kHeap;
+    } else if (frozen_ && id < index_watermark_) {
+      c = PageClass::kIndex;
+    }
+    if (c != p.target) return false;
+  }
+  if (p.rate >= 1.0) return true;
+  // Top 53 bits as a uniform [0,1) draw.
+  double draw = static_cast<double>(Mix64(p.seed ^ id) >> 11) /
+                static_cast<double>(1ULL << 53);
+  return draw < p.rate;
+}
+
+Status FaultInjectingPageStore::Read(PageId id, PageData* dst) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++reads_;
+    if (program_.kind != FaultProgram::Kind::kNone &&
+        reads_ > program_.activate_after_reads &&
+        PageInProgram(program_, id)) {
+      std::string where = "page " + std::to_string(id) + " (" +
+                          std::string(PageClassName(
+                              heap_pages_.count(id) > 0 ? PageClass::kHeap
+                              : (frozen_ && id < index_watermark_)
+                                  ? PageClass::kIndex
+                                  : PageClass::kOther)) +
+                          ")";
+      switch (program_.kind) {
+        case FaultProgram::Kind::kPermanent:
+          ++injected_;
+          return Status::IOError("injected permanent I/O fault on " + where);
+        case FaultProgram::Kind::kCorrupt:
+          ++injected_;
+          return Status::Corruption("injected checksum mismatch on " + where);
+        case FaultProgram::Kind::kTransient: {
+          uint32_t& n = transient_attempts_[id];
+          if (n < program_.fail_reads) {
+            ++n;
+            ++injected_;
+            return Status::IOError("injected transient I/O fault on " +
+                                   where + ", attempt " + std::to_string(n));
+          }
+          n = 0;  // this read succeeds; the cycle restarts
+          break;
+        }
+        case FaultProgram::Kind::kNone:
+          break;
+      }
+    }
+  }
+  return inner_->Read(id, dst);
+}
+
+}  // namespace dynopt

@@ -1,0 +1,133 @@
+// FaultInjectingPageStore: a PageStore decorator that injects read faults.
+//
+// The runtime sibling of the durability layer's CrashController: where
+// crash points kill the process at write barriers, fault programs make the
+// *read path* misbehave the way real devices do — transient EIO that a
+// retry absorbs, permanent EIO, and checksum corruption. The decorator
+// wraps any inner store (MemPageStore for the fault matrix, FilePageStore
+// if a durable run wants faults too) and is driven by a seeded, per-page-
+// class program so every failure is reproducible.
+//
+// Page classes let a program target the structurally interesting pages:
+// faulting an *index* page exercises strategy disqualification (the
+// competition falls back to Tscan), faulting a *heap* page exercises the
+// typed-error path (there is no alternative way to fetch a record). The
+// harness classifies pages after building the database: heap pages are
+// named explicitly, everything else allocated before FreezeClassification()
+// is index, and later allocations (temp spill) are kOther.
+//
+// Transient faults are deterministic per page: each affected page fails
+// `fail_reads` consecutive reads, then succeeds once, then the cycle
+// restarts. A retry budget >= fail_reads therefore always recovers, and
+// one below it reliably does not — the property the retry tests pin down.
+
+#ifndef DYNOPT_STORAGE_FAULT_STORE_H_
+#define DYNOPT_STORAGE_FAULT_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "storage/page.h"
+#include "storage/page_store.h"
+#include "util/status.h"
+
+namespace dynopt {
+
+enum class PageClass : uint8_t { kHeap, kIndex, kOther };
+
+std::string_view PageClassName(PageClass c);
+
+struct FaultProgram {
+  enum class Kind : uint8_t {
+    kNone = 0,
+    kTransient,  ///< IOError for `fail_reads` consecutive reads, then ok
+    kPermanent,  ///< IOError on every read, forever
+    kCorrupt,    ///< Corruption on every read (not retryable)
+  };
+
+  Kind kind = Kind::kNone;
+  /// Class the program targets; kAnyClass (below) hits every class.
+  PageClass target = PageClass::kIndex;
+  bool any_class = false;
+  /// Fraction of target-class pages affected, chosen by seeded hash of the
+  /// page id — deterministic for a given (seed, rate).
+  double rate = 1.0;
+  uint64_t seed = 0xFA17;
+  /// kTransient: consecutive failed reads per cycle.
+  uint32_t fail_reads = 2;
+  /// The program arms only after this many total reads have passed through
+  /// the decorator — lets a test build/scan cleanly and fault mid-flight.
+  uint64_t activate_after_reads = 0;
+
+  static FaultProgram Transient(PageClass target, double rate,
+                                uint32_t fail_reads = 2) {
+    FaultProgram p;
+    p.kind = Kind::kTransient;
+    p.target = target;
+    p.rate = rate;
+    p.fail_reads = fail_reads;
+    return p;
+  }
+  static FaultProgram Permanent(PageClass target, double rate = 1.0) {
+    FaultProgram p;
+    p.kind = Kind::kPermanent;
+    p.target = target;
+    p.rate = rate;
+    return p;
+  }
+  static FaultProgram Corrupt(PageClass target, double rate = 1.0) {
+    FaultProgram p;
+    p.kind = Kind::kCorrupt;
+    p.target = target;
+    p.rate = rate;
+    return p;
+  }
+};
+
+class FaultInjectingPageStore : public PageStore {
+ public:
+  explicit FaultInjectingPageStore(std::unique_ptr<PageStore> inner);
+
+  PageId Allocate() override;
+  Status Read(PageId id, PageData* dst) const override;
+  Status Write(PageId id, const PageData& src) override;
+  Status Free(PageId id) override;
+  size_t page_count() const override;
+
+  /// Marks the given pages as heap pages (call once per table).
+  void ClassifyHeapPages(const std::vector<PageId>& pages);
+  /// Every page allocated so far and not marked heap becomes kIndex;
+  /// pages allocated afterwards are kOther (temp/scratch).
+  void FreezeClassification();
+  PageClass Classify(PageId id) const;
+
+  /// Installs a program (resetting transient attempt counters) or clears
+  /// it with a default-constructed (kNone) program.
+  void SetProgram(const FaultProgram& program);
+  void ClearProgram() { SetProgram(FaultProgram{}); }
+
+  uint64_t injected_faults() const;
+  uint64_t total_reads() const;
+
+ private:
+  bool PageInProgram(const FaultProgram& p, PageId id) const;
+
+  std::unique_ptr<PageStore> inner_;
+
+  mutable std::mutex mu_;
+  FaultProgram program_;
+  std::unordered_set<PageId> heap_pages_;
+  PageId index_watermark_ = 0;  // pages below it (non-heap) are kIndex
+  bool frozen_ = false;
+  mutable std::unordered_map<PageId, uint32_t> transient_attempts_;
+  mutable uint64_t reads_ = 0;
+  mutable uint64_t injected_ = 0;
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_STORAGE_FAULT_STORE_H_

@@ -1,7 +1,5 @@
 #include "storage/heap_file.h"
 
-#include <cassert>
-
 namespace dynopt {
 
 namespace {
@@ -35,11 +33,33 @@ void SetSlot(uint8_t* p, uint16_t slot, uint16_t offset, uint16_t len) {
   PageWrite<uint16_t>(p, SlotPos(slot) + 2, len);
 }
 
-size_t FreeSpace(const uint8_t* p) {
+// A page whose slot directory overlaps its record area did not come out of
+// this code — it is external corruption (bad device, torn write reaching
+// the cache), reported as a typed error rather than an abort.
+Result<size_t> FreeSpace(const uint8_t* p, PageId id) {
   size_t slots_end = kPageSize - kSlotSize * SlotCount(p);
   size_t free_off = FreeOff(p);
-  assert(slots_end >= free_off);
+  if (slots_end < free_off) {
+    return Status::Corruption(
+        "heap page " + std::to_string(id) +
+        ": slot directory overlaps record area (slots end at " +
+        std::to_string(slots_end) + ", free_off " + std::to_string(free_off) +
+        ")");
+  }
   return slots_end - free_off;
+}
+
+// Validates that a slot's record lies inside the page body.
+Status CheckRecordBounds(PageId id, uint16_t slot, uint16_t off,
+                         uint16_t len) {
+  if (static_cast<size_t>(off) + len > kPageSize || off < kHeaderSize) {
+    return Status::Corruption("heap page " + std::to_string(id) + " slot " +
+                              std::to_string(slot) +
+                              ": record extends past page bounds (off " +
+                              std::to_string(off) + ", len " +
+                              std::to_string(len) + ")");
+  }
+  return Status::OK();
 }
 
 void InitHeapPage(uint8_t* p) {
@@ -72,7 +92,8 @@ Result<Rid> HeapFile::Insert(std::string_view record) {
   }
   PageId last = pages_.back();
   DYNOPT_ASSIGN_OR_RETURN(PageGuard page, pool_->Pin(last));
-  if (FreeSpace(page.data()) < record.size() + kSlotSize) {
+  DYNOPT_ASSIGN_OR_RETURN(size_t free_space, FreeSpace(page.data(), last));
+  if (free_space < record.size() + kSlotSize) {
     page.Release();
     DYNOPT_ASSIGN_OR_RETURN(PageGuard fresh, pool_->NewPage());
     InitHeapPage(fresh.mutable_data());
@@ -101,6 +122,7 @@ Status HeapFile::Fetch(const Rid& rid, std::string* out) {
   uint16_t len = SlotLen(p, rid.slot);
   if (len == kTombstoneLen) return Status::NotFound("record deleted");
   uint16_t off = SlotOffset(p, rid.slot);
+  DYNOPT_RETURN_IF_ERROR(CheckRecordBounds(rid.page, rid.slot, off, len));
   out->assign(reinterpret_cast<const char*>(p) + off, len);
   return Status::OK();
 }
@@ -130,6 +152,7 @@ Result<bool> HeapFile::Cursor::Next(std::string* record, Rid* rid) {
       uint16_t len = SlotLen(p, slot);
       if (len == kTombstoneLen) continue;
       uint16_t off = SlotOffset(p, slot);
+      DYNOPT_RETURN_IF_ERROR(CheckRecordBounds(pid, slot, off, len));
       record->assign(reinterpret_cast<const char*>(p) + off, len);
       rid->page = pid;
       rid->slot = slot;

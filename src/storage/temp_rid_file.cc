@@ -2,10 +2,25 @@
 
 namespace dynopt {
 
+TempRidFile::~TempRidFile() {
+  for (PageId id : pages_) {
+    // Best-effort: a page that cannot be discarded (still pinned by a live
+    // cursor, contract violation) is leaked rather than corrupted.
+    pool_->DiscardPage(id).ok();
+  }
+  if (ctx_ != nullptr) {
+    ctx_->ReleaseSpillBytes(pages_.size() * kPageSize);
+  }
+}
+
 Status TempRidFile::Append(Rid rid) {
   if (pages_.empty() || last_page_fill_ == kRidsPerPage) {
-    DYNOPT_ASSIGN_OR_RETURN(PageGuard fresh, pool_->NewPage());
-    pages_.push_back(fresh.id());
+    auto fresh = pool_->NewPage();
+    if (!fresh.ok()) {
+      return WithContext("rid-list spill page allocation", fresh.status());
+    }
+    pages_.push_back(fresh->id());
+    if (ctx_ != nullptr) ctx_->ChargeSpillBytes(kPageSize);
     last_page_fill_ = 0;
   }
   DYNOPT_ASSIGN_OR_RETURN(PageGuard page, pool_->Pin(pages_.back()));

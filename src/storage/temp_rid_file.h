@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "governance/query_context.h"
 #include "storage/buffer_pool.h"
 #include "storage/page.h"
 #include "util/status.h"
@@ -24,12 +25,24 @@ class TempRidFile {
   static constexpr uint32_t kRidsPerPage =
       static_cast<uint32_t>((kPageSize - /*header*/ 8) / sizeof(uint64_t));
 
-  explicit TempRidFile(BufferPool* pool) : pool_(pool) {}
+  /// `ctx` (optional) is charged one page of spill bytes per spill page
+  /// allocated and refunded at destruction — live-spill accounting.
+  explicit TempRidFile(BufferPool* pool, QueryContext* ctx = nullptr)
+      : pool_(pool), ctx_(ctx) {}
+  TempRidFile(const TempRidFile&) = delete;
+  TempRidFile& operator=(const TempRidFile&) = delete;
+
+  /// Discards every spill page (no write-back) and returns it to the
+  /// store's free list, so early unwind — cancel, deadline, fault — leaks
+  /// neither pages nor budget. Any cursor must be destroyed first.
+  ~TempRidFile();
 
   /// Appends one RID.
   Status Append(Rid rid);
 
   uint64_t size() const { return count_; }
+  /// Spill footprint: whole pages, the unit the budget is charged in.
+  uint64_t bytes() const { return pages_.size() * kPageSize; }
 
   /// Forward cursor over the spilled RIDs in append order. Pins one page
   /// at a time (charges per page, not per RID).
@@ -61,6 +74,7 @@ class TempRidFile {
   static_assert(kRidsPerPage == (kPageSize - kHeaderSize) / sizeof(uint64_t));
 
   BufferPool* pool_;
+  QueryContext* ctx_;
   std::vector<PageId> pages_;
   uint64_t count_ = 0;
   uint32_t last_page_fill_ = 0;

@@ -26,6 +26,11 @@ enum class StatusCode : uint8_t {
   kNotSupported = 5,
   kResourceExhausted = 6,
   kInternal = 7,
+  // Governance codes: a query was stopped on purpose, not because the
+  // engine malfunctioned. They unwind through the same Status plumbing.
+  kCancelled = 8,
+  kDeadlineExceeded = 9,
+  kBudgetExceeded = 10,
 };
 
 /// Returns a stable human-readable name for a status code ("Ok", "NotFound"...).
@@ -62,6 +67,24 @@ class Status {
   static Status Internal(std::string msg = "") {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg = "") {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg = "") {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status BudgetExceeded(std::string msg = "") {
+    return Status(StatusCode::kBudgetExceeded, std::move(msg));
+  }
+
+  /// Rebuilds a status with an arbitrary code. Exists for decorators that
+  /// need to preserve a wrapped error's code while rewriting its message
+  /// (see WithContext below); `code` must not be kOk.
+  static Status FromCode(StatusCode code, std::string msg = "") {
+    assert(code != StatusCode::kOk);
+    if (code == StatusCode::kOk) code = StatusCode::kInternal;
+    return Status(code, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -73,6 +96,21 @@ class Status {
     return code_ == StatusCode::kResourceExhausted;
   }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsBudgetExceeded() const {
+    return code_ == StatusCode::kBudgetExceeded;
+  }
+
+  /// True for the three codes that stop a query on purpose (cancellation,
+  /// deadline, budget) rather than reporting an engine failure.
+  bool IsGovernance() const {
+    return code_ == StatusCode::kCancelled ||
+           code_ == StatusCode::kDeadlineExceeded ||
+           code_ == StatusCode::kBudgetExceeded;
+  }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
@@ -94,6 +132,18 @@ class Status {
 
 inline std::ostream& operator<<(std::ostream& os, const Status& s) {
   return os << s.ToString();
+}
+
+/// Returns `s` with "<context>: " prefixed to its message, preserving the
+/// code. OK statuses pass through untouched.
+inline Status WithContext(std::string_view context, const Status& s) {
+  if (s.ok()) return s;
+  std::string msg(context);
+  if (!s.message().empty()) {
+    msg += ": ";
+    msg += s.message();
+  }
+  return Status::FromCode(s.code(), std::move(msg));
 }
 
 /// A value or an error Status. Modeled after arrow::Result / absl::StatusOr.

@@ -1,5 +1,6 @@
 #include "workload/driver.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <thread>
@@ -27,7 +28,7 @@ class Session {
  public:
   Session(Database* db, Table* table, const SessionWorkloadOptions& opts,
           size_t index)
-      : opts_(opts), rng_(opts.seed * 1000003 + index * 7919 + 1) {
+      : db_(db), opts_(opts), rng_(opts.seed * 1000003 + index * 7919 + 1) {
     RetrievalSpec range_spec;
     range_spec.table = table;
     range_spec.restriction = Predicate::And(
@@ -65,7 +66,15 @@ class Session {
         params = {{"lo", Value(lo)}, {"hi", Value(hi)}, {"cap", Value(cap)}};
         engine = range_engine_.get();
       }
-      Status st = engine->Open(params);
+      // Governed mode: a fresh context per query, so deadlines and budgets
+      // reset at each statement boundary like a per-statement timeout.
+      std::unique_ptr<QueryContext> ctx;
+      if (opts_.governed) {
+        ctx = std::make_unique<QueryContext>(opts_.governance,
+                                             db_->metrics());
+      }
+      auto q_start = std::chrono::steady_clock::now();
+      Status st = engine->Open(params, ctx.get());
       uint64_t fold = 0;
       uint64_t rows = 0;
       if (st.ok()) {
@@ -83,8 +92,28 @@ class Session {
         }
       }
       if (!st.ok()) {
+        // Under governance, a tripped or I/O-failed query is an expected,
+        // isolated outcome: count it and keep the session alive. Anything
+        // else (logic errors, corruption of internal state) stays fatal.
+        if (opts_.governed && st.IsGovernance()) {
+          out.governance_trips++;
+          out.failed_queries++;
+          continue;
+        }
+        if (opts_.governed && IsIoFault(st)) {
+          out.io_failures++;
+          out.failed_queries++;
+          continue;
+        }
         out.error = st.ToString();
         return out;
+      }
+      if (engine->degraded()) out.degraded_queries++;
+      if (opts_.record_latencies) {
+        auto q_end = std::chrono::steady_clock::now();
+        out.latencies_micros.push_back(
+            std::chrono::duration<double, std::micro>(q_end - q_start)
+                .count());
       }
       out.queries++;
       out.rows += rows;
@@ -95,6 +124,7 @@ class Session {
   }
 
  private:
+  Database* db_;
   const SessionWorkloadOptions& opts_;
   Rng rng_;
   std::unique_ptr<DynamicRetrieval> range_engine_;
@@ -153,9 +183,25 @@ Result<SessionWorkloadReport> RunSessionWorkload(
   report.wall_seconds =
       std::chrono::duration<double>(end - start).count();
 
+  std::vector<double> latencies;
   for (const SessionOutcome& s : report.sessions) {
     report.total_queries += s.queries;
     report.total_rows += s.rows;
+    report.governance_trips += s.governance_trips;
+    report.io_failures += s.io_failures;
+    report.degraded_queries += s.degraded_queries;
+    latencies.insert(latencies.end(), s.latencies_micros.begin(),
+                     s.latencies_micros.end());
+  }
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    auto pct = [&](double p) {
+      size_t i = static_cast<size_t>(p * static_cast<double>(
+                                             latencies.size() - 1));
+      return latencies[i];
+    };
+    report.p50_latency_micros = pct(0.50);
+    report.p99_latency_micros = pct(0.99);
   }
   report.queries_per_second =
       report.wall_seconds > 0

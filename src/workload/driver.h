@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "catalog/database.h"
+#include "governance/query_context.h"
 #include "storage/buffer_pool.h"
 #include "util/status.h"
 
@@ -43,6 +44,15 @@ struct SessionWorkloadOptions {
   /// false: run the same session streams one after another on the calling
   /// thread (the determinism baseline and the 1-thread throughput anchor).
   bool concurrent = true;
+  /// Governed mode: every query runs under its own QueryContext built from
+  /// `governance` (deadline, budgets, degraded fallback). A governance trip
+  /// (cancel/deadline/budget) or a typed I/O failure is counted against the
+  /// query and the *session keeps going*; any other error still ends the
+  /// session. Ungoverned (false) preserves the original fail-fast runs.
+  bool governed = false;
+  QueryGovernanceOptions governance;
+  /// Collect per-query wall latencies (for the degradation bench).
+  bool record_latencies = false;
 };
 
 struct SessionOutcome {
@@ -50,9 +60,22 @@ struct SessionOutcome {
   uint64_t rows = 0;
   /// Order-insensitive fold of each query's result RIDs, chained in query
   /// order: equal hashes <=> identical result sets, query by query.
+  /// Only successful queries fold in, so the hash is comparable across
+  /// runs exactly when `failed_queries == 0`.
   uint64_t result_hash = 0;
-  /// First failure, empty when the session completed cleanly.
+  /// First fatal failure, empty when the session completed cleanly.
+  /// Governed mode: governance trips and I/O failures are not fatal.
   std::string error;
+  /// Queries stopped by their QueryContext (cancel/deadline/budget).
+  uint64_t governance_trips = 0;
+  /// Queries failed by a typed I/O error (EIO/corruption, no fallback).
+  uint64_t io_failures = 0;
+  uint64_t failed_queries = 0;  // trips + io failures
+  /// Queries that completed exactly but on a fallback strategy after an
+  /// I/O fault disqualified an index.
+  uint64_t degraded_queries = 0;
+  /// Per-query wall latencies (only when options.record_latencies).
+  std::vector<double> latencies_micros;
 };
 
 struct SessionWorkloadReport {
@@ -65,6 +88,14 @@ struct SessionWorkloadReport {
   std::vector<BufferPool::ShardStats> shard_deltas;
   /// Aggregate hit rate over the run: hits / (hits + misses).
   double hit_rate = 0;
+  /// Governed-mode aggregates (zero in ungoverned runs).
+  uint64_t governance_trips = 0;
+  uint64_t io_failures = 0;
+  uint64_t degraded_queries = 0;
+  /// Latency percentiles over all sessions' successful queries, in
+  /// microseconds; zero unless options.record_latencies.
+  double p50_latency_micros = 0;
+  double p99_latency_micros = 0;
 };
 
 /// Runs the session streams against `table` (FAMILIES shape: columns

@@ -1,0 +1,107 @@
+#include "workload/fault_scenario.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "workload/workload.h"
+
+namespace dynopt {
+namespace {
+
+uint64_t RegistryValue(Database* db, std::string_view name) {
+  MetricsRegistry* r = db->metrics();
+  return r != nullptr ? r->Value(name) : 0;
+}
+
+}  // namespace
+
+Result<FaultScenarioResult> RunFaultScenario(
+    const FaultProgram& program, const FaultScenarioOptions& options) {
+  // 1. FAMILIES over the injecting store. The store pointer stays valid:
+  // the database owns the decorator for its whole life.
+  auto owned = std::make_unique<FaultInjectingPageStore>(
+      std::make_unique<MemPageStore>());
+  FaultInjectingPageStore* faults = owned.get();
+  DatabaseOptions dbo;
+  dbo.pool_pages = options.pool_pages;
+  Database db(std::move(dbo), std::move(owned));
+  DYNOPT_ASSIGN_OR_RETURN(
+      Table * table, BuildFamilies(&db, options.rows, options.seed));
+  DYNOPT_RETURN_IF_ERROR(table->CreateIndex("by_id", {"id"}).status());
+  DYNOPT_RETURN_IF_ERROR(table->CreateIndex("by_age", {"age"}).status());
+  faults->ClassifyHeapPages(table->heap()->pages());
+  faults->FreezeClassification();
+
+  // 2. Golden serial run: fault-free, ungoverned, must be fully clean.
+  SessionWorkloadOptions golden_o;
+  golden_o.sessions = options.sessions;
+  golden_o.queries_per_session = options.queries_per_session;
+  golden_o.seed = options.seed;
+  golden_o.concurrent = false;
+  DYNOPT_ASSIGN_OR_RETURN(SessionWorkloadReport golden,
+                          RunSessionWorkload(&db, table, golden_o));
+  FaultScenarioResult res;
+  for (const SessionOutcome& s : golden.sessions) {
+    if (!s.error.empty()) {
+      return Status::Internal("golden session failed: " + s.error);
+    }
+    res.golden_hashes.push_back(s.result_hash);
+  }
+
+  // 3. Cold cache, program armed, governed concurrent replay.
+  DYNOPT_RETURN_IF_ERROR(db.pool()->EvictAll());
+  uint64_t retries0 = RegistryValue(&db, "governance.io_retries");
+  uint64_t faults0 = RegistryValue(&db, "governance.io_faults");
+  uint64_t fallbacks0 = RegistryValue(&db, "governance.strategy_fallbacks");
+  uint64_t injected0 = faults->injected_faults();
+  faults->SetProgram(program);
+
+  SessionWorkloadOptions faulted_o = golden_o;
+  faulted_o.concurrent = options.concurrent;
+  faulted_o.governed = true;
+  faulted_o.governance = options.governance;
+  auto ran = RunSessionWorkload(&db, table, faulted_o);
+  faults->ClearProgram();
+  DYNOPT_RETURN_IF_ERROR(ran.status());
+  res.faulted = std::move(*ran);
+
+  res.io_retries = RegistryValue(&db, "governance.io_retries") - retries0;
+  res.io_faults = RegistryValue(&db, "governance.io_faults") - faults0;
+  res.strategy_fallbacks =
+      RegistryValue(&db, "governance.strategy_fallbacks") - fallbacks0;
+  res.injected_faults = faults->injected_faults() - injected0;
+
+  // 4. The contract: typed failures only, and zero-failure sessions are
+  // bit-identical to golden.
+  for (size_t i = 0; i < res.faulted.sessions.size(); ++i) {
+    const SessionOutcome& s = res.faulted.sessions[i];
+    if (!s.error.empty()) {
+      return Status::Internal("session " + std::to_string(i) +
+                              " died on a non-typed error: " + s.error);
+    }
+    if (s.failed_queries == 0) {
+      res.clean_sessions++;
+      if (s.result_hash != res.golden_hashes[i]) {
+        return Status::Internal(
+            "session " + std::to_string(i) +
+            " had no failures but diverged from its golden hash");
+      }
+    } else {
+      res.sessions_with_failures++;
+    }
+  }
+
+  // Whatever the program did, every unwind must have been clean: no pinned
+  // pages survive a finished (or failed) query, and the pool's bookkeeping
+  // still balances.
+  if (db.pool()->PinnedPages() != 0) {
+    return Status::Internal("faulted run leaked " +
+                            std::to_string(db.pool()->PinnedPages()) +
+                            " pinned pages");
+  }
+  DYNOPT_RETURN_IF_ERROR(db.pool()->CheckInvariants());
+  return res;
+}
+
+}  // namespace dynopt

@@ -1,0 +1,72 @@
+// Fault-injection scenario: the availability sibling of the crash matrix.
+//
+// For one fault program, the scenario:
+//   1. builds an in-memory FAMILIES database over a FaultInjectingPageStore
+//      (indexes by_id/by_age), classifies its pages (heap vs index), and
+//      freezes the classification;
+//   2. records a *golden* serial, ungoverned, fault-free run of the session
+//      query streams — one result hash per session;
+//   3. cools the cache (EvictAll), arms the program, and replays the same
+//      streams concurrently under per-query governance with degraded
+//      fallback enabled.
+//
+// The contract: every session that reports zero failed queries must hash
+// identical to its golden twin — transparent retries and Tscan fallbacks
+// may change tactics, never results — and sessions that do lose queries
+// lose them to *typed* errors (governance or I/O), never aborts, while
+// the surviving sessions' hashes stay untouched. The fault-matrix test
+// asserts this across every program kind (transient/permanent/corrupt ×
+// heap/index).
+
+#ifndef DYNOPT_WORKLOAD_FAULT_SCENARIO_H_
+#define DYNOPT_WORKLOAD_FAULT_SCENARIO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/database.h"
+#include "storage/fault_store.h"
+#include "workload/driver.h"
+
+namespace dynopt {
+
+struct FaultScenarioOptions {
+  int64_t rows = 1500;
+  size_t sessions = 3;
+  size_t queries_per_session = 25;
+  uint64_t seed = 1234;
+  /// Small enough that the faulted run misses the cache and actually
+  /// reads through the injecting store.
+  size_t pool_pages = 96;
+  /// Run the faulted replay concurrently (one thread per session).
+  bool concurrent = true;
+  /// Per-query governance for the faulted run. Degraded fallback is what
+  /// turns a permanent index fault into a Tscan instead of an error.
+  QueryGovernanceOptions governance;
+};
+
+struct FaultScenarioResult {
+  /// Golden per-session result hashes (serial, fault-free, ungoverned).
+  std::vector<uint64_t> golden_hashes;
+  /// The governed replay with the program armed.
+  SessionWorkloadReport faulted;
+  /// Sessions with zero failed queries — each verified hash-equal golden.
+  uint64_t clean_sessions = 0;
+  uint64_t sessions_with_failures = 0;
+  /// governance.* counter deltas across the faulted run.
+  uint64_t io_retries = 0;
+  uint64_t io_faults = 0;
+  uint64_t strategy_fallbacks = 0;
+  /// Faults the store actually injected (0 means the program never bit).
+  uint64_t injected_faults = 0;
+};
+
+/// Runs the full scenario for `program`. Non-OK when the build fails, the
+/// golden run is not clean, a faulted session dies on a non-typed error,
+/// or a zero-failure session's hash diverges from golden.
+Result<FaultScenarioResult> RunFaultScenario(
+    const FaultProgram& program, const FaultScenarioOptions& options);
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_WORKLOAD_FAULT_SCENARIO_H_

@@ -1,0 +1,113 @@
+// Fault matrix: every fault program kind × page class runs the full
+// concurrent scenario (golden run, cold cache, governed faulted replay)
+// and must end in one of exactly two ways per query — success with the
+// golden result hash, or a clean typed error — with no pinned pages and
+// intact pool invariants afterwards. See workload/fault_scenario.h.
+
+#include <gtest/gtest.h>
+
+#include "workload/fault_scenario.h"
+
+namespace dynopt {
+namespace {
+
+FaultScenarioOptions SmallScenario() {
+  FaultScenarioOptions o;
+  o.rows = 1200;
+  o.sessions = 3;
+  o.queries_per_session = 20;
+  o.pool_pages = 96;
+  return o;
+}
+
+// Transient faults sit below the retry budget (fail_reads=2 < 3 retries):
+// the pool absorbs every one and all sessions must be bit-identical.
+
+TEST(FaultMatrixTest, TransientHeapFaultsAreAbsorbedByRetry) {
+  auto res = RunFaultScenario(
+      FaultProgram::Transient(PageClass::kHeap, 0.3), SmallScenario());
+  ASSERT_TRUE(res.ok()) << res.status();
+  EXPECT_GT(res->injected_faults, 0u);
+  EXPECT_EQ(res->clean_sessions, 3u);
+  EXPECT_EQ(res->sessions_with_failures, 0u);
+  EXPECT_GT(res->io_retries, 0u);
+  EXPECT_EQ(res->strategy_fallbacks, 0u);
+}
+
+TEST(FaultMatrixTest, TransientIndexFaultsAreAbsorbedByRetry) {
+  auto res = RunFaultScenario(
+      FaultProgram::Transient(PageClass::kIndex, 0.5), SmallScenario());
+  ASSERT_TRUE(res.ok()) << res.status();
+  EXPECT_GT(res->injected_faults, 0u);
+  EXPECT_EQ(res->clean_sessions, 3u);
+  EXPECT_GT(res->io_retries, 0u);
+}
+
+TEST(FaultMatrixTest, TransientFaultsOnEveryClassAreAbsorbed) {
+  FaultProgram p = FaultProgram::Transient(PageClass::kIndex, 0.2);
+  p.any_class = true;
+  auto res = RunFaultScenario(p, SmallScenario());
+  ASSERT_TRUE(res.ok()) << res.status();
+  EXPECT_EQ(res->clean_sessions, 3u);
+}
+
+// Permanent/corrupt index faults disqualify the index strategies; every
+// query must still succeed — hash-equal — on the Tscan fallback.
+
+TEST(FaultMatrixTest, PermanentIndexFaultDegradesToTscan) {
+  auto res = RunFaultScenario(
+      FaultProgram::Permanent(PageClass::kIndex, 1.0), SmallScenario());
+  ASSERT_TRUE(res.ok()) << res.status();
+  EXPECT_GT(res->injected_faults, 0u);
+  EXPECT_EQ(res->clean_sessions, 3u);
+  EXPECT_EQ(res->sessions_with_failures, 0u);
+  EXPECT_GE(res->strategy_fallbacks, 1u);
+  EXPECT_GT(res->faulted.degraded_queries, 0u);
+}
+
+TEST(FaultMatrixTest, CorruptIndexPagesDegradeToTscan) {
+  auto res = RunFaultScenario(
+      FaultProgram::Corrupt(PageClass::kIndex, 1.0), SmallScenario());
+  ASSERT_TRUE(res.ok()) << res.status();
+  EXPECT_GT(res->injected_faults, 0u);
+  EXPECT_EQ(res->clean_sessions, 3u);
+  EXPECT_GE(res->strategy_fallbacks, 1u);
+  // Corruption is never retried, so retries must not have exploded.
+  EXPECT_EQ(res->io_retries, 0u);
+}
+
+// Permanent/corrupt heap faults have no fallback: affected queries fail
+// with a typed error, sessions survive, and the untouched sessions stay
+// hash-equal to golden (the harness enforces both).
+
+TEST(FaultMatrixTest, PermanentHeapFaultsFailTypedOnly) {
+  auto res = RunFaultScenario(
+      FaultProgram::Permanent(PageClass::kHeap, 0.05), SmallScenario());
+  ASSERT_TRUE(res.ok()) << res.status();
+  EXPECT_GT(res->injected_faults, 0u);
+  EXPECT_EQ(res->clean_sessions + res->sessions_with_failures, 3u);
+  // Some queries must actually have hit the fault and failed typed.
+  EXPECT_GT(res->faulted.io_failures, 0u);
+}
+
+TEST(FaultMatrixTest, CorruptHeapFaultsFailTypedOnly) {
+  auto res = RunFaultScenario(
+      FaultProgram::Corrupt(PageClass::kHeap, 0.05), SmallScenario());
+  ASSERT_TRUE(res.ok()) << res.status();
+  EXPECT_GT(res->injected_faults, 0u);
+  EXPECT_EQ(res->clean_sessions + res->sessions_with_failures, 3u);
+  EXPECT_GT(res->faulted.io_failures, 0u);
+}
+
+// No faults at all: the governed concurrent replay is hash-identical.
+TEST(FaultMatrixTest, NoFaultProgramIsFullyClean) {
+  auto res = RunFaultScenario(FaultProgram{}, SmallScenario());
+  ASSERT_TRUE(res.ok()) << res.status();
+  EXPECT_EQ(res->injected_faults, 0u);
+  EXPECT_EQ(res->clean_sessions, 3u);
+  EXPECT_EQ(res->io_retries, 0u);
+  EXPECT_EQ(res->strategy_fallbacks, 0u);
+}
+
+}  // namespace
+}  // namespace dynopt

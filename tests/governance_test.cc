@@ -1,0 +1,767 @@
+// Governance tests: QueryContext units, fault-store determinism, buffer-
+// pool retry, spill accounting on early unwind, and the engine-level
+// cancellation/deadline/budget sweep plus degraded Tscan fallback.
+
+#include <chrono>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "catalog/database.h"
+#include "core/plan.h"
+#include "core/retrieval.h"
+#include "exec/rid_set.h"
+#include "governance/query_context.h"
+#include "obs/metrics.h"
+#include "storage/buffer_pool.h"
+#include "storage/fault_store.h"
+#include "storage/page_store.h"
+#include "storage/temp_rid_file.h"
+#include "util/rng.h"
+#include "workload/driver.h"
+#include "workload/workload.h"
+
+namespace dynopt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// QueryContext units.
+
+TEST(QueryContextTest, ChecksPassWithNoLimits) {
+  QueryContext ctx;
+  EXPECT_TRUE(ctx.Check().ok());
+  EXPECT_TRUE(ctx.Check().ok());
+  EXPECT_EQ(ctx.polls(), 2u);
+}
+
+TEST(QueryContextTest, CancelIsSticky) {
+  QueryContext ctx;
+  EXPECT_TRUE(ctx.Check().ok());
+  ctx.Cancel();
+  Status st = ctx.Check();
+  EXPECT_TRUE(st.IsCancelled()) << st;
+  // Sticky: every later poll returns the same typed error.
+  EXPECT_TRUE(ctx.Check().IsCancelled());
+  EXPECT_TRUE(ctx.Check().IsCancelled());
+}
+
+TEST(QueryContextTest, DeadlineInThePastTrips) {
+  QueryContext ctx;
+  ctx.SetDeadline(std::chrono::steady_clock::now() -
+                  std::chrono::milliseconds(1));
+  Status st = ctx.Check();
+  EXPECT_TRUE(st.IsDeadlineExceeded()) << st;
+  EXPECT_TRUE(ctx.Check().IsDeadlineExceeded());
+}
+
+TEST(QueryContextTest, DeadlineFromOptionsEventuallyTrips) {
+  QueryGovernanceOptions o;
+  o.deadline_micros = 1;  // expires essentially immediately
+  QueryContext ctx(o);
+  // Burn enough wall clock that 1us has certainly passed.
+  auto until = std::chrono::steady_clock::now() + std::chrono::milliseconds(2);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+  EXPECT_TRUE(ctx.Check().IsDeadlineExceeded());
+}
+
+TEST(QueryContextTest, PagesReadBudgetTrips) {
+  QueryGovernanceOptions o;
+  o.budgets.max_pages_read = 10;
+  QueryContext ctx(o);
+  ctx.ChargePagesRead(10);
+  EXPECT_TRUE(ctx.Check().ok());  // at the limit is still fine
+  ctx.ChargePagesRead(1);
+  Status st = ctx.Check();
+  EXPECT_TRUE(st.IsBudgetExceeded()) << st;
+  EXPECT_NE(st.message().find("pages"), std::string::npos) << st;
+}
+
+TEST(QueryContextTest, SpillBudgetIsLiveAndReleasable) {
+  QueryGovernanceOptions o;
+  o.budgets.max_spill_bytes = 2 * kPageSize;
+  QueryContext ctx(o);
+  ctx.ChargeSpillBytes(2 * kPageSize);
+  EXPECT_TRUE(ctx.Check().ok());
+  ctx.ReleaseSpillBytes(kPageSize);
+  ctx.ChargeSpillBytes(kPageSize);
+  EXPECT_TRUE(ctx.Check().ok());  // live spill never exceeded the cap
+  ctx.ChargeSpillBytes(2 * kPageSize);
+  EXPECT_TRUE(ctx.Check().IsBudgetExceeded());
+}
+
+TEST(QueryContextTest, RidListBudgetTrips) {
+  QueryGovernanceOptions o;
+  o.budgets.max_rid_list_bytes = 64;
+  QueryContext ctx(o);
+  ctx.ChargeRidListBytes(65);
+  EXPECT_TRUE(ctx.Check().IsBudgetExceeded());
+}
+
+TEST(QueryContextTest, TripAfterPollsFiresOnExactPoll) {
+  QueryContext ctx;
+  ctx.TripAfterPolls(3, StatusCode::kCancelled);
+  EXPECT_TRUE(ctx.Check().ok());
+  EXPECT_TRUE(ctx.Check().ok());
+  EXPECT_TRUE(ctx.Check().IsCancelled());
+  EXPECT_TRUE(ctx.Check().IsCancelled());
+}
+
+TEST(QueryContextTest, MetricsBumpOncePerTripNotPerPoll) {
+  MetricsRegistry registry;
+  QueryContext ctx(QueryGovernanceOptions{}, &registry);
+  ctx.Cancel();
+  EXPECT_TRUE(ctx.Check().IsCancelled());
+  EXPECT_TRUE(ctx.Check().IsCancelled());
+  EXPECT_TRUE(ctx.Check().IsCancelled());
+  EXPECT_EQ(registry.Value("governance.cancellations"), 1u);
+  EXPECT_EQ(registry.Value("governance.deadline_hits"), 0u);
+
+  QueryContext ctx2(QueryGovernanceOptions{}, &registry);
+  ctx2.SetDeadline(std::chrono::steady_clock::now() -
+                   std::chrono::milliseconds(1));
+  EXPECT_TRUE(ctx2.Check().IsDeadlineExceeded());
+  EXPECT_TRUE(ctx2.Check().IsDeadlineExceeded());
+  EXPECT_EQ(registry.Value("governance.deadline_hits"), 1u);
+}
+
+TEST(StatusGovernanceTest, TypedCodesAndContext) {
+  Status c = Status::FromCode(StatusCode::kCancelled, "stop");
+  Status d = Status::FromCode(StatusCode::kDeadlineExceeded, "late");
+  Status b = Status::FromCode(StatusCode::kBudgetExceeded, "broke");
+  EXPECT_TRUE(c.IsCancelled());
+  EXPECT_TRUE(d.IsDeadlineExceeded());
+  EXPECT_TRUE(b.IsBudgetExceeded());
+  EXPECT_TRUE(c.IsGovernance());
+  EXPECT_TRUE(d.IsGovernance());
+  EXPECT_TRUE(b.IsGovernance());
+  EXPECT_FALSE(Status::IOError("eio").IsGovernance());
+  EXPECT_FALSE(Status::OK().IsGovernance());
+
+  Status wrapped = WithContext("pin of page 7", Status::IOError("eio"));
+  EXPECT_TRUE(wrapped.IsIOError());
+  EXPECT_NE(wrapped.message().find("pin of page 7"), std::string::npos);
+  EXPECT_NE(wrapped.message().find("eio"), std::string::npos);
+
+  EXPECT_TRUE(IsIoFault(Status::IOError("x")));
+  EXPECT_TRUE(IsIoFault(Status::Corruption("x")));
+  EXPECT_FALSE(IsIoFault(Status::FromCode(StatusCode::kCancelled, "x")));
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectingPageStore.
+
+TEST(FaultStoreTest, TransientCycleIsDeterministic) {
+  FaultInjectingPageStore store(std::make_unique<MemPageStore>());
+  PageId id = store.Allocate();
+  PageData data{};
+  data[0] = 42;
+  ASSERT_TRUE(store.Write(id, data).ok());
+  store.FreezeClassification();  // no heap pages named: the page is kIndex
+  ASSERT_EQ(store.Classify(id), PageClass::kIndex);
+
+  store.SetProgram(FaultProgram::Transient(PageClass::kIndex, 1.0,
+                                           /*fail_reads=*/2));
+  PageData dst{};
+  // fail, fail, ok — and the cycle repeats.
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    EXPECT_TRUE(store.Read(id, &dst).IsIOError());
+    EXPECT_TRUE(store.Read(id, &dst).IsIOError());
+    Status ok = store.Read(id, &dst);
+    ASSERT_TRUE(ok.ok()) << ok;
+    EXPECT_EQ(dst[0], 42);
+  }
+  EXPECT_EQ(store.injected_faults(), 4u);
+  EXPECT_EQ(store.total_reads(), 6u);
+}
+
+TEST(FaultStoreTest, RateSelectsDeterministicSubset) {
+  FaultInjectingPageStore store(std::make_unique<MemPageStore>());
+  std::vector<PageId> ids;
+  PageData data{};
+  for (int i = 0; i < 200; ++i) {
+    PageId id = store.Allocate();
+    ASSERT_TRUE(store.Write(id, data).ok());
+    ids.push_back(id);
+  }
+  store.FreezeClassification();
+
+  auto failing_set = [&] {
+    std::set<PageId> failing;
+    PageData dst{};
+    for (PageId id : ids) {
+      if (!store.Read(id, &dst).ok()) failing.insert(id);
+    }
+    return failing;
+  };
+  store.SetProgram(FaultProgram::Permanent(PageClass::kIndex, 0.3));
+  std::set<PageId> first = failing_set();
+  store.ClearProgram();
+  store.SetProgram(FaultProgram::Permanent(PageClass::kIndex, 0.3));
+  std::set<PageId> second = failing_set();
+  EXPECT_EQ(first, second);  // seeded hash of the page id, not dice
+  // The rate is approximate but must not degenerate to none/all.
+  EXPECT_GT(first.size(), 20u);
+  EXPECT_LT(first.size(), 120u);
+}
+
+TEST(FaultStoreTest, ProgramTargetsOnlyItsClass) {
+  FaultInjectingPageStore store(std::make_unique<MemPageStore>());
+  PageData data{};
+  PageId heap_page = store.Allocate();
+  PageId index_page = store.Allocate();
+  ASSERT_TRUE(store.Write(heap_page, data).ok());
+  ASSERT_TRUE(store.Write(index_page, data).ok());
+  store.ClassifyHeapPages({heap_page});
+  store.FreezeClassification();
+  PageId other_page = store.Allocate();  // post-freeze => kOther
+  ASSERT_TRUE(store.Write(other_page, data).ok());
+
+  EXPECT_EQ(store.Classify(heap_page), PageClass::kHeap);
+  EXPECT_EQ(store.Classify(index_page), PageClass::kIndex);
+  EXPECT_EQ(store.Classify(other_page), PageClass::kOther);
+
+  store.SetProgram(FaultProgram::Permanent(PageClass::kIndex, 1.0));
+  PageData dst{};
+  EXPECT_TRUE(store.Read(heap_page, &dst).ok());
+  EXPECT_TRUE(store.Read(index_page, &dst).IsIOError());
+  EXPECT_TRUE(store.Read(other_page, &dst).ok());
+
+  FaultProgram any = FaultProgram::Permanent(PageClass::kIndex, 1.0);
+  any.any_class = true;
+  store.SetProgram(any);
+  EXPECT_TRUE(store.Read(heap_page, &dst).IsIOError());
+  EXPECT_TRUE(store.Read(other_page, &dst).IsIOError());
+}
+
+TEST(FaultStoreTest, ActivateAfterReadsDelaysTheProgram) {
+  FaultInjectingPageStore store(std::make_unique<MemPageStore>());
+  PageId id = store.Allocate();
+  PageData data{};
+  ASSERT_TRUE(store.Write(id, data).ok());
+  store.FreezeClassification();
+
+  FaultProgram p = FaultProgram::Permanent(PageClass::kIndex, 1.0);
+  p.activate_after_reads = 3;
+  store.SetProgram(p);
+  PageData dst{};
+  EXPECT_TRUE(store.Read(id, &dst).ok());
+  EXPECT_TRUE(store.Read(id, &dst).ok());
+  EXPECT_TRUE(store.Read(id, &dst).ok());
+  EXPECT_TRUE(store.Read(id, &dst).IsIOError());
+}
+
+TEST(FaultStoreTest, CorruptProgramReturnsCorruption) {
+  FaultInjectingPageStore store(std::make_unique<MemPageStore>());
+  PageId id = store.Allocate();
+  PageData data{};
+  ASSERT_TRUE(store.Write(id, data).ok());
+  store.FreezeClassification();
+  store.SetProgram(FaultProgram::Corrupt(PageClass::kIndex, 1.0));
+  PageData dst{};
+  EXPECT_TRUE(store.Read(id, &dst).IsCorruption());
+}
+
+// ---------------------------------------------------------------------------
+// Buffer-pool retry with backoff.
+
+struct RetryRig {
+  FaultInjectingPageStore store;
+  MetricsRegistry registry;
+  BufferPool pool;
+  PageId id = 0;
+
+  RetryRig()
+      : store(std::make_unique<MemPageStore>()), pool(&store, 8) {
+    pool.AttachMetrics(&registry);
+    auto g = pool.NewPage();
+    EXPECT_TRUE(g.ok());
+    id = g->id();
+    g->mutable_data()[0] = 7;
+    g->Release();
+    EXPECT_TRUE(pool.FlushAll().ok());
+    EXPECT_TRUE(pool.EvictAll().ok());
+    store.FreezeClassification();  // the page is kIndex
+  }
+};
+
+TEST(BufferPoolRetryTest, TransientFaultIsAbsorbedByRetry) {
+  RetryRig rig;
+  // fail_reads=2 < max_retries=3: the pin must succeed.
+  rig.store.SetProgram(
+      FaultProgram::Transient(PageClass::kIndex, 1.0, /*fail_reads=*/2));
+  auto g = rig.pool.Pin(rig.id);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->data()[0], 7);
+  EXPECT_EQ(rig.registry.Value("governance.io_retries"), 2u);
+  EXPECT_GT(rig.registry.Value("governance.io_backoff_micros"), 0u);
+  EXPECT_EQ(rig.registry.Value("governance.io_faults"), 0u);
+}
+
+TEST(BufferPoolRetryTest, ExhaustedRetriesReturnTypedErrorWithPageId) {
+  RetryRig rig;
+  rig.store.SetProgram(FaultProgram::Permanent(PageClass::kIndex, 1.0));
+  auto g = rig.pool.Pin(rig.id);
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsIOError()) << g.status();
+  // The error carries where it happened.
+  EXPECT_NE(g.status().message().find("page"), std::string::npos)
+      << g.status();
+  EXPECT_NE(g.status().message().find(std::to_string(rig.id)),
+            std::string::npos)
+      << g.status();
+  EXPECT_EQ(rig.registry.Value("governance.io_retries"),
+            rig.pool.retry_policy().max_retries);
+  EXPECT_EQ(rig.registry.Value("governance.io_faults"), 1u);
+  EXPECT_EQ(rig.pool.PinnedPages(), 0u);
+  EXPECT_TRUE(rig.pool.CheckInvariants().ok());
+}
+
+TEST(BufferPoolRetryTest, CorruptionIsNeverRetried) {
+  RetryRig rig;
+  rig.store.SetProgram(FaultProgram::Corrupt(PageClass::kIndex, 1.0));
+  auto g = rig.pool.Pin(rig.id);
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsCorruption()) << g.status();
+  EXPECT_EQ(rig.registry.Value("governance.io_retries"), 0u);
+  EXPECT_EQ(rig.store.total_reads(), 1u);  // exactly one attempt
+  EXPECT_EQ(rig.pool.PinnedPages(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Spill accounting on early unwind (the TempRidFile regression).
+
+TEST(TempRidFileTest, EarlyDestructionReturnsPagesAndBudget) {
+  MemPageStore store;
+  BufferPool pool(&store, 16);
+  QueryContext ctx;
+  const uint64_t rids = uint64_t{TempRidFile::kRidsPerPage} * 2 + 5;
+  size_t pages_before = 0;
+  {
+    TempRidFile file(&pool, &ctx);
+    for (uint64_t i = 0; i < rids; ++i) {
+      ASSERT_TRUE(file.Append(Rid::FromU64(i + 1)).ok());
+    }
+    EXPECT_EQ(file.bytes(), 3 * kPageSize);
+    EXPECT_EQ(ctx.spill_bytes(), 3 * kPageSize);
+    pages_before = store.page_count();
+    // `file` dies here mid-query — the early-unwind path.
+  }
+  EXPECT_EQ(ctx.spill_bytes(), 0u);  // budget returned
+  EXPECT_EQ(pool.PinnedPages(), 0u);
+  EXPECT_TRUE(pool.CheckInvariants().ok());
+
+  // The spill pages went back to the free list: an identical second spill
+  // reuses them instead of growing the store.
+  {
+    TempRidFile file(&pool, &ctx);
+    for (uint64_t i = 0; i < rids; ++i) {
+      ASSERT_TRUE(file.Append(Rid::FromU64(i + 1)).ok());
+    }
+    EXPECT_EQ(store.page_count(), pages_before);
+  }
+  EXPECT_EQ(ctx.spill_bytes(), 0u);
+}
+
+TEST(HybridRidListTest, SpilledListChargesAndRefundsContext) {
+  MemPageStore store;
+  BufferPool pool(&store, 16);
+  QueryContext ctx;
+  {
+    HybridRidList::Options o;
+    o.inline_capacity = 4;
+    o.memory_capacity = 16;
+    HybridRidList list(&pool, o);
+    list.set_context(&ctx);
+    for (uint64_t i = 0; i < 4096; ++i) {
+      ASSERT_TRUE(list.Append(Rid::FromU64(i + 1)).ok());
+    }
+    EXPECT_EQ(list.storage(), HybridRidList::Storage::kSpilled);
+    EXPECT_GT(ctx.rid_list_bytes(), 0u);
+    EXPECT_GT(ctx.spill_bytes(), 0u);
+  }
+  EXPECT_EQ(ctx.spill_bytes(), 0u);
+  EXPECT_EQ(pool.PinnedPages(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level governance: the poll-boundary sweep.
+
+// FAMILIES over a FaultInjectingPageStore, with by_id and by_age.
+struct FaultyFamilies {
+  FaultInjectingPageStore* faults = nullptr;
+  std::unique_ptr<Database> db;
+  Table* table = nullptr;
+
+  explicit FaultyFamilies(int n = 2000, size_t pool_pages = 64) {
+    auto store = std::make_unique<FaultInjectingPageStore>(
+        std::make_unique<MemPageStore>());
+    faults = store.get();
+    DatabaseOptions o;
+    o.pool_pages = pool_pages;
+    db = std::make_unique<Database>(std::move(o), std::move(store));
+    auto t = db->CreateTable(
+        "families", Schema({{"id", ValueType::kInt64},
+                            {"age", ValueType::kInt64},
+                            {"income", ValueType::kInt64},
+                            {"city", ValueType::kString}}));
+    EXPECT_TRUE(t.ok());
+    table = *t;
+    Rng rng(42);
+    for (int i = 0; i < n; ++i) {
+      int64_t age = rng.NextInt(0, 99);
+      int64_t income = rng.NextInt(0, 200000);
+      std::string city = "city" + std::to_string(rng.NextBounded(50));
+      EXPECT_TRUE(table->Insert(Record{int64_t{i}, age, income, city}).ok());
+    }
+    EXPECT_TRUE(table->CreateIndex("by_id", {"id"}).ok());
+    EXPECT_TRUE(table->CreateIndex("by_age", {"age"}).ok());
+    faults->ClassifyHeapPages(table->heap()->pages());
+    faults->FreezeClassification();
+  }
+
+  RetrievalSpec RangeSpec(
+      OptimizationGoal goal = OptimizationGoal::kTotalTime) {
+    RetrievalSpec s;
+    s.table = table;
+    s.restriction = Predicate::And(
+        {Predicate::Between(1, Operand::Literal(Value(int64_t{20})),
+                            Operand::Literal(Value(int64_t{45}))),
+         Predicate::Compare(2, CompareOp::kLt,
+                            Operand::Literal(Value(int64_t{120000})))});
+    s.projection = {0, 1, 2};
+    s.goal = goal;
+    return s;
+  }
+
+  // Covering age query: restriction and projection live entirely in by_age.
+  RetrievalSpec CoveringAgeSpec() {
+    RetrievalSpec s;
+    s.table = table;
+    s.restriction =
+        Predicate::Between(1, Operand::Literal(Value(int64_t{10})),
+                           Operand::Literal(Value(int64_t{60})));
+    s.projection = {1};
+    return s;
+  }
+};
+
+// Drains the engine; returns the first non-OK status (or OK at end).
+Status Drain(DynamicRetrieval* engine, std::multiset<uint64_t>* rids) {
+  OutputRow row;
+  for (;;) {
+    auto more = engine->Next(&row);
+    if (!more.ok()) return more.status();
+    if (!*more) return Status::OK();
+    if (rids != nullptr) rids->insert(row.rid.ToU64());
+  }
+}
+
+// Measures how many polls one clean execution makes, then replays it with
+// the context rigged to trip at every single poll boundary, asserting a
+// typed unwind (right code, no pinned pages, invariants hold) each time.
+void SweepTripBoundaries(FaultyFamilies* f, const RetrievalSpec& spec,
+                         StatusCode code) {
+  // Two probe runs: the first warms the cache, the second measures the
+  // poll count of the warm (hence deterministic) execution the sweep
+  // replays.
+  uint64_t total_polls = 0;
+  for (int i = 0; i < 2; ++i) {
+    QueryContext probe;
+    DynamicRetrieval engine(f->db.get(), spec);
+    ASSERT_TRUE(engine.Open({}, &probe).ok());
+    ASSERT_TRUE(Drain(&engine, nullptr).ok());
+    total_polls = probe.polls();
+  }
+  ASSERT_GT(total_polls, 3u) << "query too small to exercise boundaries";
+
+  for (uint64_t n = 1; n <= total_polls; ++n) {
+    QueryContext ctx;
+    ctx.TripAfterPolls(n, code);
+    DynamicRetrieval engine(f->db.get(), spec);
+    Status st = engine.Open({}, &ctx);
+    if (st.ok()) st = Drain(&engine, nullptr);
+    ASSERT_FALSE(st.ok()) << "poll " << n << " of " << total_polls
+                          << " never fired";
+    ASSERT_EQ(st.code(), code) << "poll " << n << ": " << st;
+    ASSERT_EQ(f->db->pool()->PinnedPages(), 0u) << "poll " << n;
+    Status inv = f->db->pool()->CheckInvariants();
+    ASSERT_TRUE(inv.ok()) << "poll " << n << ": " << inv;
+  }
+
+  // One past the last boundary: the hook never fires, the query completes.
+  QueryContext ctx;
+  ctx.TripAfterPolls(total_polls + 1, code);
+  DynamicRetrieval engine(f->db.get(), spec);
+  ASSERT_TRUE(engine.Open({}, &ctx).ok());
+  EXPECT_TRUE(Drain(&engine, nullptr).ok());
+  EXPECT_EQ(f->db->pool()->PinnedPages(), 0u);
+}
+
+TEST(EngineGovernanceTest, CancellationSweepBackgroundOnly) {
+  FaultyFamilies f;
+  SweepTripBoundaries(&f, f.RangeSpec(), StatusCode::kCancelled);
+}
+
+TEST(EngineGovernanceTest, CancellationSweepFastFirst) {
+  FaultyFamilies f;
+  SweepTripBoundaries(&f, f.RangeSpec(OptimizationGoal::kFastFirst),
+                      StatusCode::kCancelled);
+}
+
+TEST(EngineGovernanceTest, DeadlineSweepBackgroundOnly) {
+  FaultyFamilies f;
+  SweepTripBoundaries(&f, f.RangeSpec(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(EngineGovernanceTest, DeadlineSweepFastFirst) {
+  FaultyFamilies f;
+  SweepTripBoundaries(&f, f.RangeSpec(OptimizationGoal::kFastFirst),
+                      StatusCode::kDeadlineExceeded);
+}
+
+TEST(EngineGovernanceTest, PageBudgetTripsMidQuery) {
+  FaultyFamilies f;
+  QueryGovernanceOptions o;
+  o.budgets.max_pages_read = 2;  // a B-tree descent alone exceeds this
+  QueryContext ctx(o);
+  DynamicRetrieval engine(f.db.get(), f.RangeSpec());
+  Status st = engine.Open({}, &ctx);
+  if (st.ok()) st = Drain(&engine, nullptr);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsBudgetExceeded()) << st;
+  EXPECT_GT(ctx.pages_read(), 2u);
+  EXPECT_EQ(f.db->pool()->PinnedPages(), 0u);
+  EXPECT_TRUE(f.db->pool()->CheckInvariants().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Degraded fallback: an index I/O fault disqualifies the strategy and the
+// execution continues on Tscan with the identical result set.
+
+TEST(DegradedFallbackTest, PermanentIndexFaultFallsBackToTscan) {
+  FaultyFamilies f;
+  RetrievalSpec spec = f.RangeSpec();
+
+  DynamicRetrieval baseline_engine(f.db.get(), spec);
+  ASSERT_TRUE(baseline_engine.Open({}).ok());
+  std::multiset<uint64_t> baseline;
+  ASSERT_TRUE(Drain(&baseline_engine, &baseline).ok());
+  ASSERT_FALSE(baseline.empty());
+
+  ASSERT_TRUE(f.db->pool()->EvictAll().ok());
+  f.faults->SetProgram(FaultProgram::Permanent(PageClass::kIndex, 1.0));
+
+  QueryContext ctx;  // degraded fallback on by default
+  DynamicRetrieval engine(f.db.get(), spec);
+  Status st = engine.Open({}, &ctx);
+  ASSERT_TRUE(st.ok()) << st;
+  std::multiset<uint64_t> got;
+  ASSERT_TRUE(Drain(&engine, &got).ok());
+  f.faults->ClearProgram();
+
+  EXPECT_EQ(got, baseline);  // exact rows, degraded tactic
+  EXPECT_TRUE(engine.degraded());
+  EXPECT_GE(engine.events().CountKind(TraceEventKind::kStrategyDisqualified),
+            1u);
+  EXPECT_GE(f.db->metrics()->Value("governance.strategy_fallbacks"), 1u);
+  EXPECT_EQ(f.db->pool()->PinnedPages(), 0u);
+  EXPECT_TRUE(f.db->pool()->CheckInvariants().ok());
+}
+
+TEST(DegradedFallbackTest, MidFlightFaultKeepsRowsExact) {
+  FaultyFamilies f;
+  RetrievalSpec spec = f.CoveringAgeSpec();
+
+  DynamicRetrieval baseline_engine(f.db.get(), spec);
+  ASSERT_TRUE(baseline_engine.Open({}).ok());
+  std::multiset<uint64_t> baseline;
+  ASSERT_TRUE(Drain(&baseline_engine, &baseline).ok());
+  ASSERT_GT(baseline.size(), 100u);
+
+  ASSERT_TRUE(f.db->pool()->EvictAll().ok());
+  // Let the replay start clean and lose the index a few reads in.
+  FaultProgram p = FaultProgram::Permanent(PageClass::kIndex, 1.0);
+  p.activate_after_reads = f.faults->total_reads() + 4;
+  f.faults->SetProgram(p);
+
+  QueryContext ctx;
+  DynamicRetrieval engine(f.db.get(), spec);
+  Status st = engine.Open({}, &ctx);
+  if (st.ok()) st = Drain(&engine, nullptr);
+  ASSERT_TRUE(st.ok()) << st;
+  f.faults->ClearProgram();
+
+  // Replay once more for the row set (the dedup path), faulting again.
+  ASSERT_TRUE(f.db->pool()->EvictAll().ok());
+  p.activate_after_reads = f.faults->total_reads() + 4;
+  f.faults->SetProgram(p);
+  QueryContext ctx2;
+  DynamicRetrieval engine2(f.db.get(), spec);
+  ASSERT_TRUE(engine2.Open({}, &ctx2).ok());
+  std::multiset<uint64_t> got;
+  ASSERT_TRUE(Drain(&engine2, &got).ok());
+  f.faults->ClearProgram();
+
+  EXPECT_EQ(got, baseline);  // no lost rows, no duplicates
+  EXPECT_TRUE(engine2.degraded());
+  EXPECT_EQ(f.db->pool()->PinnedPages(), 0u);
+  EXPECT_TRUE(f.db->pool()->CheckInvariants().ok());
+}
+
+TEST(DegradedFallbackTest, HeapFaultStaysATypedError) {
+  FaultyFamilies f;
+  RetrievalSpec spec = f.RangeSpec();
+  ASSERT_TRUE(f.db->pool()->EvictAll().ok());
+  f.faults->SetProgram(FaultProgram::Permanent(PageClass::kHeap, 1.0));
+
+  QueryContext ctx;
+  DynamicRetrieval engine(f.db.get(), spec);
+  Status st = engine.Open({}, &ctx);
+  if (st.ok()) st = Drain(&engine, nullptr);
+  f.faults->ClearProgram();
+
+  // No alternative strategy avoids the heap: the query fails, typed.
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsIOError()) << st;
+  EXPECT_EQ(f.db->pool()->PinnedPages(), 0u);
+  EXPECT_TRUE(f.db->pool()->CheckInvariants().ok());
+}
+
+TEST(DegradedFallbackTest, DisabledFallbackPropagatesTheFault) {
+  FaultyFamilies f;
+  ASSERT_TRUE(f.db->pool()->EvictAll().ok());
+  f.faults->SetProgram(FaultProgram::Permanent(PageClass::kIndex, 1.0));
+
+  QueryGovernanceOptions o;
+  o.degraded_fallback = false;
+  QueryContext ctx(o);
+  DynamicRetrieval engine(f.db.get(), f.RangeSpec());
+  Status st = engine.Open({}, &ctx);
+  if (st.ok()) st = Drain(&engine, nullptr);
+  f.faults->ClearProgram();
+
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(IsIoFault(st)) << st;
+  EXPECT_EQ(f.db->pool()->PinnedPages(), 0u);
+  EXPECT_TRUE(f.db->pool()->CheckInvariants().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Plan-layer governance: CompilePlan threads the context into every
+// operator; materializing drains poll it.
+
+TEST(PlanGovernanceTest, SortDrainHonorsBudget) {
+  FaultyFamilies f;
+  auto plan = PlanNode::Sort(PlanNode::Retrieve(f.RangeSpec()), 1);
+  ParamMap params;
+
+  QueryGovernanceOptions o;
+  o.budgets.max_pages_read = 2;
+  QueryContext ctx(o);
+  auto op = CompilePlan(f.db.get(), *plan, &params, &ctx);
+  ASSERT_TRUE(op.ok()) << op.status();
+  Status st = (*op)->Open();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsBudgetExceeded()) << st;
+  EXPECT_EQ(f.db->pool()->PinnedPages(), 0u);
+
+  // Ungoverned compile of the same plan still works.
+  auto clean = CompilePlan(f.db.get(), *plan, &params);
+  ASSERT_TRUE(clean.ok());
+  ASSERT_TRUE((*clean)->Open().ok());
+  std::vector<Value> row;
+  size_t rows = 0;
+  for (;;) {
+    auto more = (*clean)->Next(&row);
+    ASSERT_TRUE(more.ok()) << more.status();
+    if (!*more) break;
+    rows++;
+  }
+  EXPECT_GT(rows, 0u);
+}
+
+TEST(PlanGovernanceTest, AggregateDrainPollsContext) {
+  FaultyFamilies f;
+  auto plan =
+      PlanNode::Aggregate(PlanNode::Retrieve(f.RangeSpec()),
+                          AggregateKind::kCount);
+  ParamMap params;
+  QueryContext ctx;
+  ctx.TripAfterPolls(1, StatusCode::kCancelled);
+  auto op = CompilePlan(f.db.get(), *plan, &params, &ctx);
+  ASSERT_TRUE(op.ok());
+  Status st = (*op)->Open();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsCancelled()) << st;
+  EXPECT_EQ(f.db->pool()->PinnedPages(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Workload driver: governed mode.
+
+TEST(DriverGovernanceTest, ImmediateDeadlineTripsEveryRangeQuery) {
+  Database db;
+  auto built = BuildFamilies(&db, 800, 42);
+  ASSERT_TRUE(built.ok());
+  Table* table = *built;
+  ASSERT_TRUE(table->CreateIndex("by_id", {"id"}).ok());
+  ASSERT_TRUE(table->CreateIndex("by_age", {"age"}).ok());
+
+  SessionWorkloadOptions o;
+  o.sessions = 2;
+  o.queries_per_session = 10;
+  o.concurrent = false;
+  o.point_fraction = 0.0;  // range queries always reach a poll
+  o.governed = true;
+  o.governance.deadline_micros = 1;
+  auto report = RunSessionWorkload(&db, table, o);
+  ASSERT_TRUE(report.ok()) << report.status();
+  for (const SessionOutcome& s : report->sessions) {
+    EXPECT_TRUE(s.error.empty()) << s.error;  // trips are never fatal
+  }
+  EXPECT_EQ(report->governance_trips, 20u);
+  EXPECT_EQ(report->total_queries, 0u);
+  EXPECT_EQ(db.pool()->PinnedPages(), 0u);
+  EXPECT_TRUE(db.pool()->CheckInvariants().ok());
+}
+
+TEST(DriverGovernanceTest, UnlimitedGovernanceMatchesUngovernedHashes) {
+  Database db;
+  auto built = BuildFamilies(&db, 800, 42);
+  ASSERT_TRUE(built.ok());
+  Table* table = *built;
+  ASSERT_TRUE(table->CreateIndex("by_id", {"id"}).ok());
+  ASSERT_TRUE(table->CreateIndex("by_age", {"age"}).ok());
+
+  SessionWorkloadOptions o;
+  o.sessions = 2;
+  o.queries_per_session = 15;
+  o.concurrent = false;
+  auto plain = RunSessionWorkload(&db, table, o);
+  ASSERT_TRUE(plain.ok());
+
+  o.governed = true;  // no deadline, no budgets: governance is a no-op
+  o.record_latencies = true;
+  auto governed = RunSessionWorkload(&db, table, o);
+  ASSERT_TRUE(governed.ok());
+
+  ASSERT_EQ(plain->sessions.size(), governed->sessions.size());
+  for (size_t i = 0; i < plain->sessions.size(); ++i) {
+    EXPECT_TRUE(governed->sessions[i].error.empty());
+    EXPECT_EQ(governed->sessions[i].failed_queries, 0u);
+    EXPECT_EQ(plain->sessions[i].result_hash,
+              governed->sessions[i].result_hash)
+        << "session " << i;
+  }
+  EXPECT_EQ(governed->governance_trips, 0u);
+  EXPECT_GT(governed->p50_latency_micros, 0.0);
+  EXPECT_GE(governed->p99_latency_micros, governed->p50_latency_micros);
+}
+
+}  // namespace
+}  // namespace dynopt
