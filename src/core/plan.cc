@@ -109,30 +109,57 @@ Status DynamicRetrievalOperator::Open() {
   sorted_rows_.clear();
   sorted_pos_ = 0;
   sort_fallback_ = false;
+  order_pos_.reset();
   DYNOPT_RETURN_IF_ERROR(engine_.Open(*params_, ctx_));
+  if (spec_.order_by_column.has_value()) {
+    auto it = std::find(spec_.projection.begin(), spec_.projection.end(),
+                        *spec_.order_by_column);
+    if (it != spec_.projection.end()) {
+      order_pos_ = static_cast<size_t>(it - spec_.projection.begin());
+    }
+  }
   if (spec_.order_by_column.has_value() && !engine_.delivers_order()) {
     // No order-needed index: materialize and sort on the projected
     // position of the order column.
-    auto it = std::find(spec_.projection.begin(), spec_.projection.end(),
-                        *spec_.order_by_column);
-    if (it == spec_.projection.end()) {
+    if (!order_pos_.has_value()) {
       return Status::InvalidArgument(
           "ORDER BY column must be projected for sort fallback");
     }
-    size_t pos = it - spec_.projection.begin();
-    OutputRow row;
-    for (;;) {
-      DYNOPT_ASSIGN_OR_RETURN(bool more, engine_.Next(&row));
-      if (!more) break;
-      sorted_rows_.push_back(std::move(row.values));
-    }
-    std::stable_sort(sorted_rows_.begin(), sorted_rows_.end(),
-                     [pos](const auto& a, const auto& b) {
-                       return TotalValueLess(a[pos], b[pos]);
-                     });
-    sort_fallback_ = true;
+    DYNOPT_ASSIGN_OR_RETURN(bool more, ResortRemainder(nullptr, nullptr));
+    (void)more;
   }
   return Status::OK();
+}
+
+Result<bool> DynamicRetrievalOperator::ResortRemainder(OutputRow* first,
+                                                       std::vector<Value>* row) {
+  if (!order_pos_.has_value()) {
+    // The engine degraded mid-flight and the order column is not
+    // projected: there is nothing to sort on, and streaming misordered
+    // rows would be silently wrong.
+    return Status::NotSupported(
+        "ordered retrieval degraded mid-flight but the ORDER BY column is "
+        "not projected: cannot restore order");
+  }
+  size_t pos = *order_pos_;
+  sorted_rows_.clear();
+  sorted_pos_ = 0;
+  if (first != nullptr) sorted_rows_.push_back(std::move(first->values));
+  OutputRow out;
+  for (;;) {
+    DYNOPT_ASSIGN_OR_RETURN(bool more, engine_.Next(&out));
+    if (!more) break;
+    sorted_rows_.push_back(std::move(out.values));
+  }
+  std::stable_sort(sorted_rows_.begin(), sorted_rows_.end(),
+                   [pos](const auto& a, const auto& b) {
+                     return TotalValueLess(a[pos], b[pos]);
+                   });
+  sort_fallback_ = true;
+  if (row == nullptr) return true;  // Open-time call: rows served later
+  if (sorted_pos_ >= sorted_rows_.size()) return false;
+  *row = sorted_rows_[sorted_pos_++];
+  return true;
 }
 
 Result<bool> DynamicRetrievalOperator::Next(std::vector<Value>* row) {
@@ -143,6 +170,14 @@ Result<bool> DynamicRetrievalOperator::Next(std::vector<Value>* row) {
   }
   OutputRow out;
   DYNOPT_ASSIGN_OR_RETURN(bool more, engine_.Next(&out));
+  if (spec_.order_by_column.has_value() && !engine_.delivers_order()) {
+    // The engine lost its ordered strategy to an I/O fault during this
+    // Next (degraded fallback flips delivers_order). Rows already emitted
+    // form a sorted prefix — the ordered scan delivered them in key order
+    // and the fallback deduplicates them — so sorting the remainder (this
+    // row plus everything still in the engine) continues the sequence.
+    return ResortRemainder(more ? &out : nullptr, row);
+  }
   if (!more) return false;
   *row = std::move(out.values);
   return true;

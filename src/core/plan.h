@@ -19,6 +19,7 @@
 #define DYNOPT_CORE_PLAN_H_
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "catalog/database.h"
@@ -70,7 +71,11 @@ void InferGoals(PlanNode* root, OptimizationGoal default_goal);
 /// order the engine cannot deliver, the operator sorts transparently.
 /// The attached governance context (set_context) is handed to the engine
 /// at each Open, so cancellation/deadline/budget and degraded fallback
-/// apply to the whole execution.
+/// apply to the whole execution. When a degraded fallback disqualifies the
+/// ordered strategy mid-flight, the operator notices delivers_order()
+/// flipping and sorts the remaining rows before handing them out (rows
+/// already emitted are a sorted prefix: the ordered scan delivered them in
+/// key order and the fallback deduplicates them).
 class DynamicRetrievalOperator final : public RowOperator {
  public:
   DynamicRetrievalOperator(Database* db, RetrievalSpec spec,
@@ -82,10 +87,15 @@ class DynamicRetrievalOperator final : public RowOperator {
   DynamicRetrieval* engine() { return &engine_; }
 
  private:
+  /// Drains the engine into sorted_rows_ (prepending `first` if non-null),
+  /// sorts on the order column, and serves the first remaining row.
+  Result<bool> ResortRemainder(OutputRow* first, std::vector<Value>* row);
+
   RetrievalSpec spec_;
   const ParamMap* params_;
   DynamicRetrieval engine_;
   bool sort_fallback_ = false;
+  std::optional<size_t> order_pos_;  // order column's projected position
   std::vector<std::vector<Value>> sorted_rows_;
   size_t sorted_pos_ = 0;
 };

@@ -431,10 +431,19 @@ Status DynamicRetrieval::FallBackToTscan(std::string_view subject,
   return Status::OK();
 }
 
+void DynamicRetrieval::RememberDelivered(Rid rid) {
+  if (delivered_.insert(rid).second && ctx_ != nullptr) {
+    ctx_->ChargeRidListBytes(sizeof(Rid));
+  }
+}
+
 void DynamicRetrieval::Enqueue(OutputRow row) {
-  // When the fallback net is armed, remember every RID handed out: a
-  // mid-flight degradation to Tscan must not re-deliver them.
-  if (fallback_armed_) delivered_.insert(row.rid);
+  // While the fallback net is armed and a fallback can still occur,
+  // remember every RID handed out: a mid-flight degradation to Tscan must
+  // not re-deliver them. The set is charged against the context's RID-list
+  // budget; recording stops once the last-resort Tscan or the final stage
+  // is running, from which no further fallback happens.
+  if (FallbackStillPossible()) RememberDelivered(row.rid);
   queue_.push_back(std::move(row));
 }
 
@@ -598,7 +607,7 @@ Status DynamicRetrieval::StepForeground() {
       }
       bool more = *stepped;
       for (auto& r : rows) {
-        if (track_delivered_) delivered_.insert(r.rid);
+        if (track_delivered_) RememberDelivered(r.rid);
         Enqueue(std::move(r));
       }
       if (!more) {
@@ -748,7 +757,7 @@ Status DynamicRetrieval::DeliverByRid(Rid rid, bool record) {
   RowView view(&rec);
   db_->pool()->meter_ptr()->record_evals++;
   DYNOPT_ASSIGN_OR_RETURN(bool keep, spec_.restriction->Eval(view, params_));
-  if (record) delivered_.insert(rid);
+  if (record) RememberDelivered(rid);
   if (keep) {
     Enqueue(OutputRow{ProjectRecord(spec_, rec), rid});
   }

@@ -103,10 +103,11 @@ class DynamicRetrieval {
   /// True once this execution lost an index strategy to an I/O fault and
   /// fell back to the surviving competitor. The delivered row *set* stays
   /// exact (already-delivered RIDs are deduplicated), but a mid-flight
-  /// fallback forfeits index-order delivery: delivers_order() reports the
-  /// promise made at Open time, so order-sensitive callers must re-sort
-  /// when degraded() flips. Covers both engine-level fallbacks and scans
-  /// the Jscan disqualified internally (it records them in the trace).
+  /// fallback forfeits index-order delivery: delivers_order() flips to
+  /// false, so order-sensitive callers must re-sort the remaining rows —
+  /// DynamicRetrievalOperator does exactly that. Covers both engine-level
+  /// fallbacks and scans the Jscan disqualified internally (it records
+  /// them in the trace).
   bool degraded() const {
     return degraded_ ||
            events_.CountKind(TraceEventKind::kStrategyDisqualified) > 0;
@@ -175,6 +176,16 @@ class DynamicRetrieval {
   /// The degraded path: records the disqualification (trace + metrics) and
   /// restarts delivery on a fresh Tscan; delivered_ filters duplicates.
   Status FallBackToTscan(std::string_view subject, const Status& cause);
+  /// True while a degraded fallback can still happen — once the last-resort
+  /// Tscan is running, or the final stage (which never falls back) has
+  /// begun, recording delivered RIDs for fallback dedup is pointless.
+  bool FallbackStillPossible() const {
+    return fallback_armed_ && !single_is_tscan_ && mode_ != Mode::kFinal &&
+           mode_ != Mode::kDone;
+  }
+  /// Inserts into delivered_, charging each new entry to the context's
+  /// RID-list budget so the dedup set cannot bypass the memory ceiling.
+  void RememberDelivered(Rid rid);
   /// Error unwind: tears down every stepper and RID list so pins, spill
   /// pages, and budget accounting release now — not when the engine object
   /// eventually dies. Returns `st` for the caller to propagate.

@@ -11,6 +11,7 @@ QueryContext::QueryContext(QueryGovernanceOptions options,
     : options_(options) {
   if (options_.deadline_micros > 0) {
     has_deadline_ = true;
+    deadline_allowance_micros_ = options_.deadline_micros;
     deadline_ = std::chrono::steady_clock::now() +
                 std::chrono::microseconds(options_.deadline_micros);
   }
@@ -25,6 +26,16 @@ void QueryContext::SetDeadline(std::chrono::steady_clock::time_point deadline) {
   std::lock_guard<std::mutex> lock(mu_);
   has_deadline_ = true;
   deadline_ = deadline;
+  // The diagnostic reports the allowance in effect, not whatever
+  // options_.deadline_micros said at construction.
+  auto now = std::chrono::steady_clock::now();
+  deadline_allowance_micros_ =
+      deadline > now
+          ? static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(deadline -
+                                                                      now)
+                    .count())
+          : 0;
 }
 
 void QueryContext::TripAfterPolls(uint64_t n, StatusCode code) {
@@ -75,12 +86,14 @@ Status QueryContext::Check() {
   StatusCode trip_code;
   bool has_deadline;
   std::chrono::steady_clock::time_point deadline;
+  uint64_t allowance;
   {
     std::lock_guard<std::mutex> lock(mu_);
     trip_after = trip_after_polls_;
     trip_code = trip_code_;
     has_deadline = has_deadline_;
     deadline = deadline_;
+    allowance = deadline_allowance_micros_;
   }
   if (trip_after != 0 && poll >= trip_after) {
     return Trip(trip_code, "tripped by test hook at poll " +
@@ -91,9 +104,9 @@ Status QueryContext::Check() {
   }
   if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
     return Trip(StatusCode::kDeadlineExceeded,
-                "query deadline of " +
-                    std::to_string(options_.deadline_micros) +
-                    "us exceeded");
+                allowance > 0 ? "query deadline of " +
+                                    std::to_string(allowance) + "us exceeded"
+                              : "query deadline exceeded");
   }
 
   const QueryBudgets& b = options_.budgets;

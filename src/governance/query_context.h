@@ -10,10 +10,11 @@
 // poll and releases its own pins and spill files on the way out.
 //
 // Budgets are charged by the components that consume the resource:
-// steppers charge pages read, HybridRidList charges in-memory RID bytes,
-// TempRidFile charges (and on destruction releases) spill bytes. Pages
-// read and RID bytes are cumulative for the query's lifetime; spill bytes
-// track live spill so early unwind returns them.
+// steppers charge pages read, HybridRidList and the engine's degraded-
+// fallback dedup set charge in-memory RID bytes, TempRidFile charges (and
+// on destruction releases) spill bytes. Pages read and RID bytes are
+// cumulative for the query's lifetime; spill bytes track live spill so
+// early unwind returns them.
 
 #ifndef DYNOPT_GOVERNANCE_QUERY_CONTEXT_H_
 #define DYNOPT_GOVERNANCE_QUERY_CONTEXT_H_
@@ -117,6 +118,9 @@ class QueryContext {
   std::atomic<bool> cancelled_{false};
   bool has_deadline_ = false;
   std::chrono::steady_clock::time_point deadline_{};
+  // Allowance behind deadline_ for diagnostics: options_.deadline_micros at
+  // construction, or the remaining time when SetDeadline replaced it.
+  uint64_t deadline_allowance_micros_ = 0;
 
   std::atomic<uint64_t> pages_read_{0};
   std::atomic<uint64_t> rid_list_bytes_{0};

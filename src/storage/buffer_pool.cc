@@ -113,12 +113,21 @@ Result<PageGuard> BufferPool::Pin(PageId id) {
   meter_->logical_reads++;
   uint32_t si = static_cast<uint32_t>(ShardOf(id));
   Shard& s = *shards_[si];
-  std::lock_guard<std::mutex> lock(s.mu);
-  auto it = s.table.find(id);
-  if (it != s.table.end()) {
+  std::unique_lock<std::mutex> lock(s.mu);
+  for (;;) {
+    auto it = s.table.find(id);
+    if (it == s.table.end()) break;
+    Frame& f = s.frames[it->second];
+    if (f.loading) {
+      // Another thread is faulting this page in (lock released across its
+      // device read and retry backoff). Wait for the outcome, then re-check:
+      // on a failed load the placeholder disappears and this thread reads
+      // the page itself (the fault may have been transient).
+      s.cv.wait(lock);
+      continue;
+    }
     s.stats.hits++;
     Bump(hit_count_);
-    Frame& f = s.frames[it->second];
     if (f.pins == 0) {
       s.lru.erase(f.lru_pos);
     }
@@ -129,6 +138,17 @@ Result<PageGuard> BufferPool::Pin(PageId id) {
   Bump(miss_count_);
   DYNOPT_ASSIGN_OR_RETURN(uint32_t frame, GrabFrame(s));
   Frame& f = s.frames[frame];
+  // Publish a pinned "loading" placeholder, then drop the shard lock across
+  // the device read: retry backoff for one faulty page must not stall
+  // unrelated pages that merely share a shard. Pins of this same page wait
+  // on the condvar above; the pin keeps every eviction path away.
+  f.id = id;
+  f.pins = 1;
+  f.dirty.store(false, std::memory_order_relaxed);
+  f.in_use = true;
+  f.loading = true;
+  s.table[id] = frame;
+  lock.unlock();
   Status read;
   uint32_t attempts = 0;
   for (;;) {
@@ -148,19 +168,24 @@ Result<PageGuard> BufferPool::Pin(PageId id) {
       std::this_thread::sleep_for(std::chrono::microseconds(backoff));
     }
   }
+  lock.lock();
+  f.loading = false;
   if (!read.ok()) {
+    // Roll the placeholder back; waiters wake, miss, and try the read
+    // themselves.
+    s.table.erase(id);
+    f.pins = 0;
+    f.in_use = false;
+    f.id = kInvalidPageId;
     s.free_frames.push_back(frame);  // hand the grabbed frame back
+    s.cv.notify_all();
     Bump(io_fault_count_);
     return WithContext("pin of page " + std::to_string(id) + " failed after " +
                            std::to_string(attempts) + " attempt(s)",
                        read);
   }
   meter_->physical_reads++;
-  f.id = id;
-  f.pins = 1;
-  f.dirty.store(false, std::memory_order_relaxed);
-  f.in_use = true;
-  s.table[id] = frame;
+  s.cv.notify_all();
   return PageGuard(this, si, frame, id);
 }
 

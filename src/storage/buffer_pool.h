@@ -27,6 +27,7 @@
 #define DYNOPT_STORAGE_BUFFER_POOL_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -89,9 +90,10 @@ class BufferPool {
 
   /// Bounded retry with exponential backoff for *transient* store read
   /// faults (IOError). Corruption is never retried — a bad checksum does
-  /// not heal. The backoff sleep happens while holding the page's shard
-  /// lock: same-shard traffic waits behind it exactly as it would behind
-  /// the device, and other shards are unaffected.
+  /// not heal. The shard lock is released across the read and its backoff
+  /// sleeps (the faulting frame is published as a pinned "loading"
+  /// placeholder), so a faulty page's retries stall only threads pinning
+  /// that same page — never unrelated traffic that shares its shard.
   struct IoRetryPolicy {
     uint32_t max_retries = 3;          ///< extra attempts after the first
     uint32_t base_backoff_micros = 50;
@@ -217,11 +219,16 @@ class BufferPool {
     // back only once flushable_epoch_ has caught up to it (WAL-before-data).
     std::atomic<uint64_t> dirty_epoch{0};
     bool in_use = false;
+    // True while the owning Pin() reads the page from the store with the
+    // shard lock released; the frame is pinned (never evicted) and other
+    // pins of the same page wait on the shard condvar. Guarded by s.mu.
+    bool loading = false;
     std::list<uint32_t>::iterator lru_pos;  // valid iff pins == 0 && in_use
   };
 
   struct Shard {
     mutable std::mutex mu;
+    std::condition_variable cv;  // signaled when a loading frame settles
     std::unique_ptr<Frame[]> frames;  // fixed at construction
     uint32_t frame_count = 0;
     std::vector<uint32_t> free_frames;

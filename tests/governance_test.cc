@@ -2,10 +2,13 @@
 // pool retry, spill accounting on early unwind, and the engine-level
 // cancellation/deadline/budget sweep plus degraded Tscan fallback.
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -332,6 +335,86 @@ TEST(BufferPoolRetryTest, CorruptionIsNeverRetried) {
   EXPECT_EQ(rig.pool.PinnedPages(), 0u);
 }
 
+// The retry backoff runs with the shard lock released: while one thread
+// burns through a faulty page's backoff schedule, pins of other pages in
+// the same shard must proceed.
+TEST(BufferPoolRetryTest, BackoffDoesNotBlockOtherPagesInShard) {
+  FaultInjectingPageStore store(std::make_unique<MemPageStore>());
+  BufferPool pool(&store, 8);  // < 128 frames: a single shard
+  ASSERT_EQ(pool.shard_count(), 1u);
+  PageId faulty = 0, healthy = 0;
+  for (int i = 0; i < 2; ++i) {
+    auto g = pool.NewPage();
+    ASSERT_TRUE(g.ok());
+    (i == 0 ? faulty : healthy) = g->id();
+    g->mutable_data()[0] = static_cast<uint8_t>(i + 1);
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+  ASSERT_TRUE(pool.EvictAll().ok());
+  store.ClassifyHeapPages({healthy});
+  store.FreezeClassification();  // `faulty` is kIndex, `healthy` is kHeap
+  store.SetProgram(FaultProgram::Permanent(PageClass::kIndex, 1.0));
+
+  BufferPool::IoRetryPolicy slow;
+  slow.max_retries = 5;
+  slow.base_backoff_micros = 40000;
+  slow.max_backoff_micros = 40000;  // ≥200ms of backoff on the faulty pin
+  pool.set_retry_policy(slow);
+
+  std::atomic<bool> started{false};
+  std::chrono::steady_clock::time_point faulty_done, healthy_done;
+  std::thread a([&] {
+    started.store(true, std::memory_order_release);
+    auto g = pool.Pin(faulty);
+    EXPECT_FALSE(g.ok());
+    faulty_done = std::chrono::steady_clock::now();
+  });
+  while (!started.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  {
+    auto g = pool.Pin(healthy);
+    ASSERT_TRUE(g.ok()) << g.status();
+    EXPECT_EQ(g->data()[0], 2);
+    healthy_done = std::chrono::steady_clock::now();
+  }
+  a.join();
+  // The healthy pin finished while the faulty one was still backing off.
+  EXPECT_LT(healthy_done, faulty_done);
+  EXPECT_EQ(pool.PinnedPages(), 0u);
+  EXPECT_TRUE(pool.CheckInvariants().ok());
+}
+
+// Concurrent pins of the same faulting page: exactly one thread performs
+// the load at a time, the rest wait on the placeholder; all observe the
+// typed error, the pool stays consistent, and a healthy replay succeeds.
+TEST(BufferPoolRetryTest, ConcurrentPinsOfFaultyPageAllFailTyped) {
+  RetryRig rig;
+  rig.store.SetProgram(FaultProgram::Permanent(PageClass::kIndex, 1.0));
+  constexpr int kThreads = 4;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      auto g = rig.pool.Pin(rig.id);
+      if (!g.ok() && g.status().IsIOError()) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), kThreads);
+  EXPECT_EQ(rig.pool.PinnedPages(), 0u);
+  EXPECT_TRUE(rig.pool.CheckInvariants().ok());
+
+  rig.store.ClearProgram();
+  auto g = rig.pool.Pin(rig.id);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->data()[0], 7);
+}
+
 // ---------------------------------------------------------------------------
 // Spill accounting on early unwind (the TempRidFile regression).
 
@@ -611,6 +694,126 @@ TEST(DegradedFallbackTest, MidFlightFaultKeepsRowsExact) {
   EXPECT_TRUE(engine2.degraded());
   EXPECT_EQ(f.db->pool()->PinnedPages(), 0u);
   EXPECT_TRUE(f.db->pool()->CheckInvariants().ok());
+}
+
+// An ordered retrieval that loses its ordered index mid-flight must not
+// stream the Tscan remainder as-is: the plan operator has to notice
+// delivers_order() flipping and sort what is left. The emitted prefix came
+// out of the ordered scan in key order, so the whole sequence stays sorted.
+TEST(DegradedFallbackTest, MidFlightFaultKeepsRowsOrdered) {
+  FaultyFamilies f;
+  RetrievalSpec spec = f.RangeSpec();
+  spec.order_by_column = 1;  // age; projected at position 1
+  auto plan = PlanNode::Retrieve(spec);
+  ParamMap params;
+
+  auto drain_ages = [](RowOperator* op, std::vector<int64_t>* ages,
+                       std::multiset<int64_t>* ids) -> Status {
+    std::vector<Value> row;
+    for (;;) {
+      auto more = op->Next(&row);
+      if (!more.ok()) return more.status();
+      if (!*more) return Status::OK();
+      ages->push_back(row[1].AsInt64());
+      if (ids != nullptr) ids->insert(row[0].AsInt64());
+    }
+  };
+
+  auto golden_op = CompilePlan(f.db.get(), *plan, &params);
+  ASSERT_TRUE(golden_op.ok()) << golden_op.status();
+  ASSERT_TRUE((*golden_op)->Open().ok());
+  std::vector<int64_t> golden_ages;
+  std::multiset<int64_t> golden_ids;
+  ASSERT_TRUE(drain_ages(golden_op->get(), &golden_ages, &golden_ids).ok());
+  ASSERT_GT(golden_ages.size(), 100u);
+  ASSERT_TRUE(std::is_sorted(golden_ages.begin(), golden_ages.end()));
+
+  // Probe how many store reads a cold ordered run spends in Open plus the
+  // first few rows, so the fault activates strictly mid-flight.
+  ASSERT_TRUE(f.db->pool()->EvictAll().ok());
+  uint64_t probe_start = f.faults->total_reads();
+  {
+    auto probe = CompilePlan(f.db.get(), *plan, &params);
+    ASSERT_TRUE(probe.ok());
+    ASSERT_TRUE((*probe)->Open().ok());
+    std::vector<Value> row;
+    for (int i = 0; i < 3; ++i) {
+      auto more = (*probe)->Next(&row);
+      ASSERT_TRUE(more.ok());
+      ASSERT_TRUE(*more);
+    }
+  }
+  uint64_t reads_through_first_rows = f.faults->total_reads() - probe_start;
+
+  ASSERT_TRUE(f.db->pool()->EvictAll().ok());
+  FaultProgram p = FaultProgram::Permanent(PageClass::kIndex, 1.0);
+  p.activate_after_reads = f.faults->total_reads() + reads_through_first_rows;
+  f.faults->SetProgram(p);
+
+  QueryContext ctx;
+  auto op = CompilePlan(f.db.get(), *plan, &params, &ctx);
+  ASSERT_TRUE(op.ok());
+  ASSERT_TRUE((*op)->Open().ok());
+  std::vector<int64_t> ages;
+  std::multiset<int64_t> ids;
+  Status st = drain_ages(op->get(), &ages, &ids);
+  f.faults->ClearProgram();
+  ASSERT_TRUE(st.ok()) << st;
+
+  auto* retrieve = static_cast<DynamicRetrievalOperator*>(op->get());
+  EXPECT_TRUE(retrieve->engine()->degraded());
+  EXPECT_TRUE(std::is_sorted(ages.begin(), ages.end()))
+      << "degraded ordered retrieval streamed misordered rows";
+  EXPECT_EQ(ids, golden_ids);  // no lost rows, no duplicates
+  EXPECT_EQ(f.db->pool()->PinnedPages(), 0u);
+  EXPECT_TRUE(f.db->pool()->CheckInvariants().ok());
+}
+
+// The fallback dedup set is real memory: it must be charged against the
+// RID-list budget instead of bypassing the governance ceiling.
+TEST(DegradedFallbackTest, DeliveredSetIsChargedToRidBudget) {
+  FaultyFamilies f;
+  RetrievalSpec spec = f.CoveringAgeSpec();  // large covering result
+
+  QueryContext ctx;
+  DynamicRetrieval engine(f.db.get(), spec);
+  ASSERT_TRUE(engine.Open({}, &ctx).ok());
+  ASSERT_TRUE(Drain(&engine, nullptr).ok());
+  // A fault-free governed query still records delivered RIDs while a
+  // fallback is possible, and every one of them is charged.
+  EXPECT_GT(ctx.rid_list_bytes(), 0u);
+
+  QueryGovernanceOptions o;
+  o.budgets.max_rid_list_bytes = 16 * sizeof(Rid);
+  QueryContext tight(o);
+  DynamicRetrieval engine2(f.db.get(), spec);
+  Status st = engine2.Open({}, &tight);
+  if (st.ok()) st = Drain(&engine2, nullptr);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsBudgetExceeded()) << st;
+  EXPECT_EQ(f.db->pool()->PinnedPages(), 0u);
+  EXPECT_TRUE(f.db->pool()->CheckInvariants().ok());
+}
+
+// A plain Tscan never falls back, so governed Tscans must not grow (or
+// charge for) the dedup set at all.
+TEST(DegradedFallbackTest, TscanDoesNotRecordDeliveredRids) {
+  FaultyFamilies f;
+  RetrievalSpec spec;
+  spec.table = f.table;
+  // Restricts only income (no index on income in FaultyFamilies): Tscan.
+  spec.restriction = Predicate::Compare(
+      2, CompareOp::kLt, Operand::Literal(Value(int64_t{120000})));
+  spec.projection = {0};
+
+  QueryContext ctx;
+  DynamicRetrieval engine(f.db.get(), spec);
+  ASSERT_TRUE(engine.Open({}, &ctx).ok());
+  ASSERT_EQ(engine.tactic(), Tactic::kStaticTscan);
+  std::multiset<uint64_t> rids;
+  ASSERT_TRUE(Drain(&engine, &rids).ok());
+  ASSERT_GT(rids.size(), 100u);
+  EXPECT_EQ(ctx.rid_list_bytes(), 0u);
 }
 
 TEST(DegradedFallbackTest, HeapFaultStaysATypedError) {
