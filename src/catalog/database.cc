@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "integrity/check.h"
+
 namespace dynopt {
 namespace {
 
@@ -20,10 +22,11 @@ namespace {
 // images are WAL-logged by the commit that rewrote them — page checksums
 // and torn-write protection come for free.
 
-constexpr uint32_t kCatalogMagic = 0x54435944u;  // 'DYCT'
 constexpr uint32_t kCatalogVersion = 1;
-constexpr size_t kChainHeaderSize = 12;
-constexpr size_t kChainCapacity = kPageSize - kChainHeaderSize;
+// Layout constants (kCatalogMagic, header size, capacity) live in
+// database.h so the integrity verifier can walk the chain independently.
+constexpr size_t kChainHeaderSize = kCatalogChainHeaderSize;
+constexpr size_t kChainCapacity = kCatalogChainCapacity;
 
 void PutU8(std::string* out, uint8_t v) {
   out->push_back(static_cast<char>(v));
@@ -123,6 +126,7 @@ Result<std::unique_ptr<Database>> Database::Create(DatabaseOptions options) {
   db->wal_ = std::move(wal);
   if (db->options_.observability) db->wal_->AttachMetrics(&db->metrics_);
   db->pool_.EnableWalOrdering();
+  db->AttachRepairer();
 
   // The first Commit writes the (empty) catalog, allocating the chain head
   // as the very first page — the fixed anchor Open() reads from.
@@ -159,12 +163,29 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options,
   DYNOPT_RETURN_IF_ERROR(
       RecoverFromWal(db->file_store_, db->wal_.get(), &stats, db->metrics()));
   if (recovery != nullptr) *recovery = stats;
+  // After recovery, so replayed images land directly and the repairer only
+  // ever serves the live read path (the WAL is empty at this instant; its
+  // coverage regrows with every commit).
+  db->AttachRepairer();
 
   if (db->store_->page_count() == 0) {
     return Status::NotFound("no committed database at " + db->options_.path);
   }
   DYNOPT_RETURN_IF_ERROR(db->LoadCatalog());
+
+  if (db->options_.verify_on_open) {
+    IntegrityReport report = CheckDatabase(db.get());
+    if (!report.clean()) {
+      return Status::Corruption("verify-on-open failed: " + report.Summary());
+    }
+  }
   return db;
+}
+
+void Database::AttachRepairer() {
+  repairer_ =
+      std::make_unique<WalPageRepairer>(store_.get(), wal_.get(), metrics());
+  pool_.set_repairer(repairer_.get());
 }
 
 Result<Table*> Database::CreateTable(std::string name, Schema schema) {

@@ -39,6 +39,7 @@
 #include "durability/file_page_store.h"
 #include "durability/recovery.h"
 #include "durability/wal.h"
+#include "integrity/repair.h"
 #include "obs/feedback.h"
 #include "obs/metrics.h"
 #include "storage/buffer_pool.h"
@@ -50,6 +51,15 @@ namespace dynopt {
 
 /// The catalog page chain is anchored at the first page ever allocated.
 inline constexpr PageId kCatalogRootPage = 0;
+
+/// Catalog chain page layout (see Database::WriteCatalog): [0..4) magic,
+/// [4..8) next page (kInvalidPageId ends the chain), [8..12) payload
+/// bytes, [12..) payload. Published so the integrity verifier can walk
+/// the chain independently of the loader.
+inline constexpr uint32_t kCatalogMagic = 0x54435944u;  // 'DYCT'
+inline constexpr size_t kCatalogChainHeaderSize = 12;
+inline constexpr size_t kCatalogChainCapacity =
+    kPageSize - kCatalogChainHeaderSize;
 
 struct DatabaseOptions {
   /// Buffer-pool frames (8 KiB each). The cache-to-data ratio is the main
@@ -76,6 +86,10 @@ struct DatabaseOptions {
   /// Fault-injection hooks for crash-recovery tests (not owned; may be
   /// null). See durability/crash.h.
   CrashController* crash = nullptr;
+  /// Run CheckDatabase after Open() loads the catalog and fail the open
+  /// with a typed Corruption (carrying the report summary) when the
+  /// database is not structurally clean. See integrity/check.h.
+  bool verify_on_open = true;
 };
 
 class Database {
@@ -114,6 +128,14 @@ class Database {
 
   Result<Table*> CreateTable(std::string name, Schema schema);
   Result<Table*> GetTable(std::string_view name);
+  /// Every table, in name order. The pointers stay valid for the
+  /// database's lifetime (tables are never dropped).
+  std::vector<Table*> ListTables() {
+    std::vector<Table*> out;
+    out.reserve(tables_.size());
+    for (auto& entry : tables_) out.push_back(entry.second.get());
+    return out;
+  }
 
   /// Makes everything mutated since the last commit durable: catalog +
   /// dirty page images into the WAL, one commit record, group-committed
@@ -133,6 +155,14 @@ class Database {
   Wal* wal() { return wal_.get(); }
   FilePageStore* file_store() { return file_store_; }
   CrashController* crash() { return options_.crash; }
+  /// Allocated-page watermark of the underlying store (both modes).
+  size_t page_count() const { return store_->page_count(); }
+  /// The catalog page chain as written/loaded; [0] == kCatalogRootPage.
+  /// Empty for in-memory databases (they never serialize a catalog).
+  const std::vector<PageId>& catalog_pages() const { return catalog_pages_; }
+  /// The self-healing read-path repairer; non-null iff durable(). See
+  /// integrity/repair.h for the quarantine surface tests poke at.
+  WalPageRepairer* repairer() { return repairer_.get(); }
 
   BufferPool* pool() { return &pool_; }
   const CostMeter& meter() const { return meter_; }
@@ -168,6 +198,9 @@ class Database {
   Status WriteCatalog();
   /// Reads and parses the chain, reconstructing tables_.
   Status LoadCatalog();
+  /// Durable databases only: builds the WAL-backed repairer and points the
+  /// pool's corrupt-read path at it.
+  void AttachRepairer();
 
   DatabaseOptions options_;
   std::unique_ptr<PageStore> store_;  // outlives pool_ (declared first)
@@ -176,6 +209,8 @@ class Database {
   CostMeter meter_;
   MetricsRegistry metrics_;   // before pool_: attached in the ctor body
   FeedbackStore feedback_;
+  // Before pool_, so the pool's raw repairer pointer dies first.
+  std::unique_ptr<WalPageRepairer> repairer_;
   BufferPool pool_;
   std::vector<PageId> catalog_pages_;  // the chain; [0] == kCatalogRootPage
   std::map<std::string, std::unique_ptr<Table>, std::less<>> tables_;

@@ -204,6 +204,8 @@ Status FilePageStore::Write(PageId id, const PageData& src) {
   return FullPwrite(fd_, frame, kFrameSize, FrameOffset(id));
 }
 
+uint64_t FilePageStore::FrameOffsetOf(PageId id) { return FrameOffset(id); }
+
 size_t FilePageStore::page_count() const {
   return page_count_.load(std::memory_order_acquire);
 }

@@ -86,6 +86,14 @@ class FilePageStore : public PageStore {
 
   const std::string& path() const { return path_; }
 
+  /// Byte offset of page `id`'s frame in the database file, and the size
+  /// of the per-frame header ahead of the page body. Published for the
+  /// integrity tooling: corruption-injection tests and the scrub bench
+  /// reach a specific page's on-disk bytes through these instead of
+  /// re-deriving the file layout.
+  static uint64_t FrameOffsetOf(PageId id);
+  static constexpr size_t kFrameHeaderBytes = 16;
+
  private:
   FilePageStore(std::string path, int fd, CrashController* crash)
       : path_(std::move(path)), fd_(fd), crash_(crash) {}

@@ -332,6 +332,30 @@ Status Wal::Reset() {
   return Status::OK();
 }
 
+Result<bool> Wal::LatestCommittedImage(PageId page, PageData* out) const {
+  // Stage the newest image seen for the page; promote it only when a
+  // commit record follows — the same staged->applied discipline recovery
+  // uses, collapsed to a single page.
+  bool staged = false;
+  bool found = false;
+  PageData pending;
+  DYNOPT_RETURN_IF_ERROR(Replay(
+      [&](const WalRecordView& rec) {
+        if (rec.type == WalRecordType::kPageImage && rec.page == page &&
+            rec.payload.size() == kPageSize) {
+          std::memcpy(pending.data(), rec.payload.data(), kPageSize);
+          staged = true;
+        } else if (rec.type == WalRecordType::kCommit && staged) {
+          std::memcpy(out->data(), pending.data(), kPageSize);
+          found = true;
+          staged = false;
+        }
+        return Status::OK();
+      },
+      nullptr));
+  return found;
+}
+
 uint64_t Wal::next_lsn() const {
   std::lock_guard<std::mutex> lock(mu_);
   return next_lsn_;

@@ -109,6 +109,17 @@ class Wal {
   Status Replay(const std::function<Status(const WalRecordView&)>& fn,
                 WalReplayStats* stats) const;
 
+  /// Scans the stable prefix of the log for the newest *committed* image
+  /// of `page`; returns true and fills `*out` when one exists. Images in
+  /// a batch whose commit record has not landed are ignored — a half-
+  /// appended batch parses as a torn tail — which is exactly what the
+  /// self-healing read path needs: WAL-before-data guarantees any page
+  /// that reached the data file belongs to a fully durable batch, so its
+  /// image is always inside the prefix this scan sees. Safe to call
+  /// concurrently with Commit(); must not race Reset() (checkpointing
+  /// owns the engine, like recovery).
+  Result<bool> LatestCommittedImage(PageId page, PageData* out) const;
+
   /// Empties the log (post-checkpoint): truncates to a fresh header whose
   /// start_lsn continues the sequence, and fsyncs.
   Status Reset();

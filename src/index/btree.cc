@@ -84,9 +84,16 @@ Result<PageId> BTree::DescendToLeaf(std::string_view key,
                                     std::vector<PathStep>* path) {
   Bump(m_descents_);
   PageId cur = root_;
-  for (;;) {
+  // The depth guard turns a corrupt child pointer that loops back on
+  // itself into a typed error instead of an infinite descent.
+  for (uint32_t depth = 0;; ++depth) {
+    if (depth >= height_) {
+      return Status::Corruption("descent exceeded tree height at page " +
+                                std::to_string(cur));
+    }
     Bump(m_node_reads_);
     DYNOPT_ASSIGN_OR_RETURN(PageGuard page, pool_->Pin(cur));
+    DYNOPT_RETURN_IF_ERROR(NodeRef::CheckHeader(page.data(), cur));
     NodeRef n(const_cast<uint8_t*>(page.data()));
     if (n.is_leaf()) return cur;
     uint16_t idx = n.ChildIndexFor(key, &pool_->meter_ptr()->key_compares);
@@ -293,6 +300,7 @@ Result<RangeEstimate> BTree::EstimateRange(const EncodedRange& range) {
   for (;;) {
     Bump(m_node_reads_);
     DYNOPT_ASSIGN_OR_RETURN(PageGuard page, pool_->Pin(cur));
+    DYNOPT_RETURN_IF_ERROR(NodeRef::CheckHeader(page.data(), cur));
     est.descent_pages++;
     NodeRef n(const_cast<uint8_t*>(page.data()));
     RelaxedCounter* cmp = &pool_->meter_ptr()->key_compares;
@@ -350,6 +358,7 @@ Result<uint64_t> BTree::RankOfKey(std::string_view key) {
   for (;;) {
     Bump(m_node_reads_);
     DYNOPT_ASSIGN_OR_RETURN(PageGuard page, pool_->Pin(cur));
+    DYNOPT_RETURN_IF_ERROR(NodeRef::CheckHeader(page.data(), cur));
     NodeRef n(const_cast<uint8_t*>(page.data()));
     RelaxedCounter* cmp = &pool_->meter_ptr()->key_compares;
     if (n.is_leaf()) {
@@ -391,6 +400,7 @@ Result<std::optional<IndexEntry>> BTree::SampleRange(const EncodedRange& range,
   for (;;) {
     Bump(m_node_reads_);
     DYNOPT_ASSIGN_OR_RETURN(PageGuard page, pool_->Pin(cur));
+    DYNOPT_RETURN_IF_ERROR(NodeRef::CheckHeader(page.data(), cur));
     NodeRef n(const_cast<uint8_t*>(page.data()));
     if (n.is_leaf()) {
       if (rem >= n.count()) {
@@ -424,6 +434,7 @@ Result<std::optional<IndexEntry>> BTree::SampleAcceptReject(Rng& rng) {
   for (;;) {
     Bump(m_node_reads_);
     DYNOPT_ASSIGN_OR_RETURN(PageGuard page, pool_->Pin(cur));
+    DYNOPT_RETURN_IF_ERROR(NodeRef::CheckHeader(page.data(), cur));
     NodeRef n(const_cast<uint8_t*>(page.data()));
     uint64_t slot = rng.NextBounded(max_fanout_seen_);
     if (slot >= n.count()) {
@@ -454,6 +465,13 @@ Result<bool> BTree::Cursor::Next(std::string* key, Rid* rid) {
   for (;;) {
     if (!guard_.valid() || guard_.id() != leaf_) {
       DYNOPT_ASSIGN_OR_RETURN(guard_, tree_->pool_->Pin(leaf_));
+      // The sibling link is raw bytes off the store: gate the new page
+      // before the accessors trust it.
+      DYNOPT_RETURN_IF_ERROR(NodeRef::CheckHeader(guard_.data(), leaf_));
+      if (!NodeRef(const_cast<uint8_t*>(guard_.data())).is_leaf()) {
+        return Status::Corruption("leaf chain points at non-leaf page " +
+                                  std::to_string(leaf_));
+      }
     }
     NodeRef n(const_cast<uint8_t*>(guard_.data()));
     if (pos_ < n.count()) {

@@ -50,6 +50,22 @@ class NodeRef {
 
   void Init(NodeType type, uint8_t level);
 
+  /// O(1) sanity check of node bytes as read off the store, before any
+  /// accessor touches them: recognizable type, type/level agreement,
+  /// bounded free_off / count / dead_bytes, and — for internal nodes — a
+  /// well-formed slot 0 carrying the −infinity sentinel (so ChildIndexFor
+  /// can never underflow). Descent and cursor paths run this on every
+  /// newly pinned node, which is what makes a mangled page surface as
+  /// typed Corruption instead of UB in the accessors below; the accessor
+  /// asserts only guard in-memory invariants after that gate.
+  static Status CheckHeader(const uint8_t* p, PageId id);
+
+  /// Full O(count) structural audit: CheckHeader plus every slot offset
+  /// and entry (key length + payload) landing inside the entry area
+  /// [header, free_off). The integrity verifier runs this before trusting
+  /// any entry of a node.
+  static Status CheckBytes(const uint8_t* p, PageId id);
+
   NodeType type() const { return static_cast<NodeType>(p_[0]); }
   bool is_leaf() const { return type() == NodeType::kLeaf; }
   uint8_t level() const { return p_[1]; }

@@ -1,0 +1,118 @@
+#include "integrity/scrub.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "catalog/database.h"
+#include "governance/query_context.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "storage/buffer_pool.h"
+
+namespace dynopt {
+
+std::string ScrubReport::ToString() const {
+  std::string s = "scrub: " + std::to_string(pages_scanned) + " pages, " +
+                  std::to_string(corrupt_pages) + " corrupt (" +
+                  std::to_string(repaired_pages) + " repaired, " +
+                  std::to_string(quarantined_pages) + " quarantined), " +
+                  std::to_string(io_error_pages) + " i/o errors";
+  if (budget_tripped) s += ", budget tripped";
+  return s;
+}
+
+ScrubReport RunScrubPass(Database* db, const ScrubOptions& options,
+                         TraceLog* trace) {
+  ScrubReport report;
+  BufferPool* pool = db->pool();
+  MetricsRegistry* metrics = db->metrics();
+  Counter* m_passes =
+      metrics != nullptr ? metrics->counter("integrity.scrub_passes") : nullptr;
+  Counter* m_pages =
+      metrics != nullptr ? metrics->counter("integrity.scrub_pages") : nullptr;
+  Counter* m_corrupt = metrics != nullptr
+                           ? metrics->counter("integrity.scrub_corrupt")
+                           : nullptr;
+  // The repairer bumps integrity.repairs on success; the delta across a
+  // pin distinguishes "repaired transparently" from "was never corrupt".
+  Counter* m_repairs =
+      metrics != nullptr ? metrics->counter("integrity.repairs") : nullptr;
+
+  QueryGovernanceOptions gov;
+  gov.budgets.max_pages_read = options.max_pages;
+  std::unique_ptr<QueryContext> ctx = db->NewQueryContext(gov);
+
+  const size_t store_pages = db->page_count();
+  report.next_page = store_pages == 0
+                         ? 0
+                         : options.start_page % static_cast<PageId>(store_pages);
+  const uint64_t want = options.max_pages == 0
+                            ? store_pages
+                            : std::min<uint64_t>(options.max_pages, store_pages);
+
+  for (uint64_t i = 0; i < want; ++i) {
+    if (!ctx->Check().ok()) {
+      report.budget_tripped = true;
+      break;
+    }
+    const PageId id = report.next_page;
+    const uint64_t repairs_before =
+        m_repairs != nullptr ? m_repairs->value.load()
+                             : 0;
+    {
+      Result<PageGuard> guard = pool->Pin(id);
+      report.pages_scanned++;
+      ctx->ChargePagesRead(1);
+      if (!guard.ok()) {
+        if (guard.status().IsCorruption()) {
+          // The repairer already tried and quarantined the page.
+          report.corrupt_pages++;
+          report.quarantined_pages++;
+          Bump(m_corrupt);
+          if (trace != nullptr) {
+            trace->Emit(TraceEventKind::kPageQuarantined, std::to_string(id),
+                        guard.status().message(), static_cast<double>(id));
+          }
+        } else {
+          report.io_error_pages++;
+        }
+      } else if (m_repairs != nullptr &&
+                 m_repairs->value.load() >
+                     repairs_before) {
+        // The pin succeeded only because the repairer rebuilt the frame
+        // from the WAL mid-pin.
+        report.corrupt_pages++;
+        report.repaired_pages++;
+        Bump(m_corrupt);
+        if (trace != nullptr) {
+          trace->Emit(TraceEventKind::kPageRepaired, std::to_string(id),
+                      std::string(), static_cast<double>(id));
+        }
+      }
+    }
+    report.next_page++;
+    if (report.next_page >= static_cast<PageId>(store_pages)) {
+      report.next_page = 0;
+      report.wrapped = true;
+    }
+    if (options.throttle_every != 0 && options.throttle_micros != 0 &&
+        (i + 1) % options.throttle_every == 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options.throttle_micros));
+    }
+  }
+
+  Bump(m_passes);
+  Bump(m_pages, report.pages_scanned);
+  if (trace != nullptr) {
+    trace->Emit(TraceEventKind::kScrubPass, "pass", report.ToString(),
+                static_cast<double>(report.pages_scanned),
+                static_cast<double>(report.corrupt_pages));
+  }
+  return report;
+}
+
+}  // namespace dynopt

@@ -1,0 +1,72 @@
+// Background scrubbing: sweep pages through the buffer pool so latent
+// checksum corruption is found (and self-healed) before a query trips on
+// it.
+//
+// A scrub pass walks page ids in order, pinning each through the pool —
+// which is the whole trick: the pin path verifies the stored checksum on a
+// cold read and routes any Corruption through the attached PageRepairer,
+// so scrubbing repairs as a side effect of looking. Pages already resident
+// are revalidated for free (they were verified on their way in), and the
+// pool's same-page serialization keeps the sweep safe next to concurrent
+// sessions and eviction write-backs.
+//
+// Each pass runs under a QueryContext so scrubbing is governed like any
+// query: a page budget bounds one pass, and a throttle (sleep every N
+// pages) keeps a background sweep from monopolizing the device. Passes
+// resume where the last one stopped (ScrubReport::next_page), so a
+// long-running scrubber covers the whole store round-robin.
+
+#ifndef DYNOPT_INTEGRITY_SCRUB_H_
+#define DYNOPT_INTEGRITY_SCRUB_H_
+
+#include <cstdint>
+#include <string>
+
+#include "storage/page.h"
+
+namespace dynopt {
+
+class Database;
+class TraceLog;
+
+struct ScrubOptions {
+  /// Pages to sweep in one pass; 0 = the whole store. Also the pass's
+  /// governance budget (max_pages_read).
+  uint64_t max_pages = 0;
+  /// Sleep after every this many pages (0 disables throttling).
+  uint32_t throttle_every = 64;
+  uint32_t throttle_micros = 0;
+  /// Where to start; wraps modulo the store size. Feed the previous
+  /// pass's next_page to sweep round-robin.
+  PageId start_page = 0;
+};
+
+struct ScrubReport {
+  uint64_t pages_scanned = 0;
+  /// Pages whose stored bytes failed verification (repaired + quarantined).
+  uint64_t corrupt_pages = 0;
+  uint64_t repaired_pages = 0;
+  uint64_t quarantined_pages = 0;
+  /// Pages that failed with a non-corruption error (device I/O trouble).
+  uint64_t io_error_pages = 0;
+  /// Where the next pass should start.
+  PageId next_page = 0;
+  /// The pass walked past the end of the store and wrapped to page 0.
+  bool wrapped = false;
+  /// The governance budget tripped before max_pages were swept.
+  bool budget_tripped = false;
+
+  std::string ToString() const;
+};
+
+/// Runs one scrub pass over `db`. Emits integrity.scrub_* metrics (when
+/// the database has a registry) and — with `trace` — kScrubPass plus a
+/// kPageRepaired / kPageQuarantined event per corrupt page. Safe to run
+/// alongside concurrent read sessions; like any reader it must not race
+/// Checkpoint (which resets the WAL under the repairer).
+ScrubReport RunScrubPass(Database* db, const ScrubOptions& options = {},
+                         TraceLog* trace = nullptr);
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_INTEGRITY_SCRUB_H_

@@ -18,6 +18,14 @@ std::string_view TraceEventKindName(TraceEventKind kind) {
       return "jscan-index-outcome";
     case TraceEventKind::kStrategyDisqualified:
       return "strategy-disqualified";
+    case TraceEventKind::kScrubPass:
+      return "scrub-pass";
+    case TraceEventKind::kPageRepaired:
+      return "page-repaired";
+    case TraceEventKind::kPageQuarantined:
+      return "page-quarantined";
+    case TraceEventKind::kIntegrityFinding:
+      return "integrity-finding";
   }
   return "?";
 }

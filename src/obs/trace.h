@@ -30,6 +30,10 @@ enum class TraceEventKind : uint8_t {
   kCompetitionVerdict, // a run-time decision; subject = verdict tag
   kJscanIndexOutcome,  // subject = index name; a = entries scanned, b = kept
   kStrategyDisqualified,  // subject = strategy; detail = reason (io_fault...)
+  kScrubPass,          // subject = "pass"; a = pages scanned, b = corrupt
+  kPageRepaired,       // subject = page id; a = page id
+  kPageQuarantined,    // subject = page id; a = page id; detail = cause
+  kIntegrityFinding,   // subject = finding kind; a = page id; detail = text
 };
 
 std::string_view TraceEventKindName(TraceEventKind kind);

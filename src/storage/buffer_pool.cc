@@ -168,6 +168,18 @@ Result<PageGuard> BufferPool::Pin(PageId id) {
       std::this_thread::sleep_for(std::chrono::microseconds(backoff));
     }
   }
+  if (read.IsCorruption() && repairer_ != nullptr) {
+    // The store's copy is provably damaged (checksum / frame mismatch).
+    // Give the repairer one shot at reconstructing the image — still with
+    // no shard lock held, so WAL scans and healing writes are legal here.
+    Status repaired = repairer_->Repair(id, read, &f.data);
+    if (repaired.ok()) {
+      Bump(repair_count_);
+      read = Status::OK();
+    } else {
+      read = repaired;  // typed verdict (quarantine) replaces the raw error
+    }
+  }
   lock.lock();
   f.loading = false;
   if (!read.ok()) {
@@ -194,7 +206,22 @@ Result<PageGuard> BufferPool::NewPage() {
   uint32_t si = static_cast<uint32_t>(ShardOf(id));
   Shard& s = *shards_[si];
   std::lock_guard<std::mutex> lock(s.mu);
-  DYNOPT_ASSIGN_OR_RETURN(uint32_t frame, GrabFrame(s));
+  uint32_t frame;
+  auto it = s.table.find(id);
+  if (it != s.table.end()) {
+    // A stale cached copy of a previously freed page (e.g. the scrubber
+    // pinned it moments before the store recycled the id). Reuse the frame
+    // in place — inserting a second mapping would orphan it.
+    frame = it->second;
+    Frame& stale = s.frames[frame];
+    if (stale.pins != 0 || stale.loading) {
+      return Status::Internal("allocated page " + std::to_string(id) +
+                              " is still pinned in the cache");
+    }
+    s.lru.erase(stale.lru_pos);
+  } else {
+    DYNOPT_ASSIGN_OR_RETURN(frame, GrabFrame(s));
+  }
   Frame& f = s.frames[frame];
   f.data.fill(0);
   f.id = id;
@@ -232,6 +259,7 @@ void BufferPool::AttachMetrics(MetricsRegistry* registry) {
   if (registry == nullptr) {
     hit_count_ = miss_count_ = eviction_count_ = writeback_count_ = nullptr;
     io_retry_count_ = io_backoff_micros_ = io_fault_count_ = nullptr;
+    repair_count_ = nullptr;
     return;
   }
   hit_count_ = registry->counter("buffer_pool.hits");
@@ -241,6 +269,7 @@ void BufferPool::AttachMetrics(MetricsRegistry* registry) {
   io_retry_count_ = registry->counter("governance.io_retries");
   io_backoff_micros_ = registry->counter("governance.io_backoff_micros");
   io_fault_count_ = registry->counter("governance.io_faults");
+  repair_count_ = registry->counter("integrity.pin_repairs");
 }
 
 Status BufferPool::EvictAll() {

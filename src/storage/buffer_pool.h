@@ -46,6 +46,24 @@ namespace dynopt {
 
 class BufferPool;
 
+/// Last-resort recovery hook for pages whose store read fails with
+/// Corruption (bad checksum / mangled frame). When one is attached, Pin()
+/// routes the failure here before giving up: a successful Repair fills
+/// `*out` with the reconstructed image (and typically heals the store copy
+/// as a side effect) and the pin proceeds as if the read had succeeded.
+/// An implementation that cannot reconstruct the page returns a typed
+/// error — conventionally Corruption carrying a "quarantined" marker — and
+/// that status is what the pinning query observes.
+///
+/// Repair() runs on the pinning thread with no pool locks held (the frame
+/// is a pinned "loading" placeholder), so it may perform I/O, but it must
+/// be safe to call concurrently from many threads.
+class PageRepairer {
+ public:
+  virtual ~PageRepairer() = default;
+  virtual Status Repair(PageId id, const Status& cause, PageData* out) = 0;
+};
+
 /// RAII pin on a buffered page. While alive, the page stays in memory and
 /// `data()` is stable. Mark dirty before mutation so eviction flushes it.
 /// A guard may be released from any thread; the data it exposes must not
@@ -90,8 +108,9 @@ class BufferPool {
 
   /// Bounded retry with exponential backoff for *transient* store read
   /// faults (IOError). Corruption is never retried — a bad checksum does
-  /// not heal. The shard lock is released across the read and its backoff
-  /// sleeps (the faulting frame is published as a pinned "loading"
+  /// not heal — but it is routed through the attached PageRepairer (if
+  /// any) before the pin fails. The shard lock is released across the read
+  /// and its backoff sleeps (the faulting frame is published as a "loading"
   /// placeholder), so a faulty page's retries stall only threads pinning
   /// that same page — never unrelated traffic that shares its shard.
   struct IoRetryPolicy {
@@ -128,6 +147,12 @@ class BufferPool {
 
   void set_retry_policy(const IoRetryPolicy& policy) { retry_ = policy; }
   const IoRetryPolicy& retry_policy() const { return retry_; }
+
+  /// Attaches the Corruption recovery hook (null detaches). Not owned; the
+  /// repairer must outlive every Pin() that may fault. Retries never touch
+  /// it — only a final Corruption verdict from the store is routed here.
+  void set_repairer(PageRepairer* repairer) { repairer_ = repairer; }
+  PageRepairer* repairer() const { return repairer_; }
 
   /// Total pins currently held across all shards (test support: a cleanly
   /// unwound query leaves this at zero).
@@ -269,7 +294,9 @@ class BufferPool {
   Counter* io_retry_count_ = nullptr;
   Counter* io_backoff_micros_ = nullptr;
   Counter* io_fault_count_ = nullptr;
+  Counter* repair_count_ = nullptr;
   IoRetryPolicy retry_;
+  PageRepairer* repairer_ = nullptr;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

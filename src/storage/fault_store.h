@@ -20,6 +20,17 @@
 // `fail_reads` consecutive reads, then succeeds once, then the cycle
 // restarts. A retry budget >= fail_reads therefore always recovers, and
 // one below it reliably does not — the property the retry tests pin down.
+//
+// The write path mirrors the read path with its own program: transient
+// write EIO (fails `fail_writes` consecutive writes per page, then lets
+// one through), permanent write EIO, and *torn writes* — the write
+// "succeeds" but only the first half of the image reaches the inner
+// store; the decorator remembers the page and reports Corruption on every
+// read of it until a later successful full write heals it, which is
+// exactly how a checksumming store surfaces a torn frame. The store has
+// no fsync operation of its own (FilePageStore::Sync and the WAL's fsync
+// are driven directly); sync-barrier failures are injected with the
+// durability layer's CrashController instead.
 
 #ifndef DYNOPT_STORAGE_FAULT_STORE_H_
 #define DYNOPT_STORAGE_FAULT_STORE_H_
@@ -27,6 +38,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -88,6 +100,51 @@ struct FaultProgram {
   }
 };
 
+/// Write-side twin of FaultProgram (see the file comment for semantics).
+struct WriteFaultProgram {
+  enum class Kind : uint8_t {
+    kNone = 0,
+    kTransient,  ///< IOError for `fail_writes` consecutive writes, then ok
+    kPermanent,  ///< IOError on every write, forever
+    kTorn,       ///< write reports success but half the image is lost;
+                 ///< reads then see Corruption until a full write heals it
+  };
+
+  Kind kind = Kind::kNone;
+  PageClass target = PageClass::kIndex;
+  bool any_class = false;
+  double rate = 1.0;
+  uint64_t seed = 0xFA17;
+  /// kTransient: consecutive failed writes per cycle.
+  uint32_t fail_writes = 2;
+  /// Arms only after this many total writes have passed through.
+  uint64_t activate_after_writes = 0;
+
+  static WriteFaultProgram Transient(PageClass target, double rate,
+                                     uint32_t fail_writes = 2) {
+    WriteFaultProgram p;
+    p.kind = Kind::kTransient;
+    p.target = target;
+    p.rate = rate;
+    p.fail_writes = fail_writes;
+    return p;
+  }
+  static WriteFaultProgram Permanent(PageClass target, double rate = 1.0) {
+    WriteFaultProgram p;
+    p.kind = Kind::kPermanent;
+    p.target = target;
+    p.rate = rate;
+    return p;
+  }
+  static WriteFaultProgram Torn(PageClass target, double rate = 1.0) {
+    WriteFaultProgram p;
+    p.kind = Kind::kTorn;
+    p.target = target;
+    p.rate = rate;
+    return p;
+  }
+};
+
 class FaultInjectingPageStore : public PageStore {
  public:
   explicit FaultInjectingPageStore(std::unique_ptr<PageStore> inner);
@@ -110,11 +167,23 @@ class FaultInjectingPageStore : public PageStore {
   void SetProgram(const FaultProgram& program);
   void ClearProgram() { SetProgram(FaultProgram{}); }
 
+  /// Installs the write-side program. Clearing it does not heal pages a
+  /// torn write already mangled — only a successful full write does.
+  void SetWriteProgram(const WriteFaultProgram& program);
+  void ClearWriteProgram() { SetWriteProgram(WriteFaultProgram{}); }
+
   uint64_t injected_faults() const;
   uint64_t total_reads() const;
+  uint64_t injected_write_faults() const;
+  uint64_t total_writes() const;
+  /// True while page `id` carries a torn (half-written) image.
+  bool IsTorn(PageId id) const;
 
  private:
-  bool PageInProgram(const FaultProgram& p, PageId id) const;
+  bool PageInProgram(PageClass target, bool any_class, double rate,
+                     uint64_t seed, PageId id) const;
+  PageClass ClassifyLocked(PageId id) const;
+  std::string Describe(PageId id) const;
 
   std::unique_ptr<PageStore> inner_;
 
@@ -126,6 +195,12 @@ class FaultInjectingPageStore : public PageStore {
   mutable std::unordered_map<PageId, uint32_t> transient_attempts_;
   mutable uint64_t reads_ = 0;
   mutable uint64_t injected_ = 0;
+
+  WriteFaultProgram write_program_;
+  std::unordered_map<PageId, uint32_t> transient_write_attempts_;
+  std::unordered_set<PageId> torn_pages_;
+  uint64_t writes_ = 0;
+  uint64_t injected_writes_ = 0;
 };
 
 }  // namespace dynopt

@@ -69,6 +69,38 @@ void InitHeapPage(uint8_t* p) {
 
 }  // namespace
 
+Status HeapFile::CheckPage(const uint8_t* p, PageId id,
+                           std::vector<uint16_t>* live_slots) {
+  uint16_t count = SlotCount(p);
+  size_t free_off = FreeOff(p);
+  if (static_cast<size_t>(count) * kSlotSize > kPageSize - kHeaderSize) {
+    return Status::Corruption("heap page " + std::to_string(id) +
+                              ": slot count " + std::to_string(count) +
+                              " overflows the page");
+  }
+  size_t slots_end = kPageSize - kSlotSize * count;
+  if (free_off < kHeaderSize || free_off > slots_end) {
+    return Status::Corruption("heap page " + std::to_string(id) +
+                              ": free_off " + std::to_string(free_off) +
+                              " outside [header, slot directory)");
+  }
+  for (uint16_t slot = 0; slot < count; ++slot) {
+    uint16_t len = SlotLen(p, slot);
+    if (len == kTombstoneLen) continue;
+    uint16_t off = SlotOffset(p, slot);
+    // Insert only ever places records below free_off, so the audit can
+    // hold slots to that tighter bound than the runtime fetch path does.
+    if (off < kHeaderSize || static_cast<size_t>(off) + len > free_off) {
+      return Status::Corruption(
+          "heap page " + std::to_string(id) + " slot " + std::to_string(slot) +
+          ": record [" + std::to_string(off) + ", " +
+          std::to_string(off + len) + ") outside the record area");
+    }
+    if (live_slots != nullptr) live_slots->push_back(slot);
+  }
+  return Status::OK();
+}
+
 Result<std::unique_ptr<HeapFile>> HeapFile::Create(BufferPool* pool) {
   std::unique_ptr<HeapFile> file(new HeapFile(pool));
   DYNOPT_ASSIGN_OR_RETURN(PageGuard page, pool->NewPage());

@@ -43,6 +43,15 @@ class HeapFile {
   uint64_t record_count() const { return record_count_; }
   const std::vector<PageId>& pages() const { return pages_; }
 
+  /// Full structural audit of one heap page: bounded slot directory,
+  /// bounded free_off, every live record inside [header, free_off). On
+  /// success appends the page's live slot indices to `*live_slots` (may be
+  /// null). This is the integrity verifier's entry point — stricter than
+  /// the runtime Fetch path, which only guards the bytes it is about to
+  /// dereference.
+  static Status CheckPage(const uint8_t* p, PageId id,
+                          std::vector<uint16_t>* live_slots);
+
   /// Forward cursor over live records in physical order. Holds a pin on
   /// the current page, so iterating records within one page is CPU-only
   /// and buffer charges accrue once per page (sequential-scan economics).

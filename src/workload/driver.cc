@@ -156,6 +156,27 @@ Result<SessionWorkloadReport> RunSessionWorkload(
 
   SessionWorkloadReport report;
   report.sessions.resize(options.sessions);
+
+  // The scrubber runs for the whole measured window and stops after the
+  // last session joins; its fields in `report` are written only by the
+  // scrubber thread and read only after the join below.
+  std::atomic<bool> scrub_stop{false};
+  std::thread scrubber;
+  if (options.scrub) {
+    scrubber = std::thread([&] {
+      ScrubOptions sopts = options.scrub_options;
+      while (!scrub_stop.load(std::memory_order_acquire)) {
+        ScrubReport r = RunScrubPass(db, sopts);
+        report.scrub_passes++;
+        report.scrub_pages += r.pages_scanned;
+        report.scrub_repaired += r.repaired_pages;
+        report.scrub_quarantined += r.quarantined_pages;
+        sopts.start_page = r.next_page;
+        if (r.pages_scanned == 0) std::this_thread::yield();
+      }
+    });
+  }
+
   auto start = std::chrono::steady_clock::now();
   if (options.concurrent) {
     // One thread per session, released together by a start gate so the
@@ -182,6 +203,11 @@ Result<SessionWorkloadReport> RunSessionWorkload(
   auto end = std::chrono::steady_clock::now();
   report.wall_seconds =
       std::chrono::duration<double>(end - start).count();
+
+  if (scrubber.joinable()) {
+    scrub_stop.store(true, std::memory_order_release);
+    scrubber.join();
+  }
 
   std::vector<double> latencies;
   for (const SessionOutcome& s : report.sessions) {

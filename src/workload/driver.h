@@ -26,6 +26,7 @@
 
 #include "catalog/database.h"
 #include "governance/query_context.h"
+#include "integrity/scrub.h"
 #include "storage/buffer_pool.h"
 #include "util/status.h"
 
@@ -53,6 +54,12 @@ struct SessionWorkloadOptions {
   QueryGovernanceOptions governance;
   /// Collect per-query wall latencies (for the degradation bench).
   bool record_latencies = false;
+  /// Run a background scrubber thread alongside the sessions: repeated
+  /// RunScrubPass sweeps (each resuming where the last stopped) until the
+  /// last session finishes. The scrubber is a reader like any session, so
+  /// the driver's read-only contract holds.
+  bool scrub = false;
+  ScrubOptions scrub_options;
 };
 
 struct SessionOutcome {
@@ -96,6 +103,11 @@ struct SessionWorkloadReport {
   /// microseconds; zero unless options.record_latencies.
   double p50_latency_micros = 0;
   double p99_latency_micros = 0;
+  /// Background-scrubber aggregates (zero unless options.scrub).
+  uint64_t scrub_passes = 0;
+  uint64_t scrub_pages = 0;
+  uint64_t scrub_repaired = 0;
+  uint64_t scrub_quarantined = 0;
 };
 
 /// Runs the session streams against `table` (FAMILIES shape: columns

@@ -186,6 +186,58 @@ TEST(WalTest, GroupCommitManyThreadsAllDurable) {
   EXPECT_LE(metrics.Value("wal.fsyncs"), metrics.Value("wal.commits"));
 }
 
+// A failed flush barrier must fail every commit in the group with a typed
+// error — group commit never converts a lost fsync into silent loss — and
+// the log stays poisoned for later commits even after the device recovers,
+// because the in-memory tail no longer matches the file.
+TEST(WalTest, FailedFlushPoisonsTheLogTyped) {
+  const std::string path = TempPath("wal_poison.wal");
+  ::unlink(path.c_str());
+  CrashController crash;
+  WalOptions options;
+  options.group_commit = true;
+  options.simulated_fsync_micros = 200;
+  auto wal = Wal::Open(path, options, &crash);
+  ASSERT_TRUE(wal.ok()) << wal.status();
+  ASSERT_TRUE((*wal)->CommitNote("durable").ok());
+  const uint64_t durable_before = (*wal)->durable_lsn();
+
+  crash.Arm(CrashPoint::kWalBeforeSync);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::vector<Status> results(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      results[t] = (*wal)->CommitNote("t" + std::to_string(t));
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(crash.crashed());
+  EXPECT_EQ(crash.fired(), CrashPoint::kWalBeforeSync);
+  for (const Status& st : results) {
+    EXPECT_FALSE(st.ok()) << "a commit in the failed group reported ok";
+  }
+  EXPECT_EQ((*wal)->durable_lsn(), durable_before);
+
+  // Device recovered — the log has not: commits keep failing typed.
+  crash.Reset();
+  Status later = (*wal)->CommitNote("after-recovery");
+  EXPECT_FALSE(later.ok());
+  EXPECT_EQ((*wal)->durable_lsn(), durable_before);
+
+  // The failed group's records may sit in the file (written, never
+  // synced) — like any crash tail, they may or may not survive a real
+  // power cut. What matters: the log is well-formed, the durable prefix
+  // is intact, and nothing past durable_lsn was acknowledged.
+  WalReplayStats stats;
+  ASSERT_TRUE(
+      (*wal)->Replay([](const WalRecordView&) { return Status::OK(); },
+                     &stats)
+          .ok());
+  EXPECT_GE(stats.commits, 1u);
+  EXPECT_FALSE(stats.torn_tail);
+}
+
 // --------------------------------------------------------- FilePageStore
 
 TEST(FilePageStoreTest, WriteReadPersistAcrossReopen) {

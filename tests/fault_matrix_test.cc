@@ -6,6 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "storage/fault_store.h"
+#include "storage/page_store.h"
 #include "workload/fault_scenario.h"
 
 namespace dynopt {
@@ -97,6 +101,92 @@ TEST(FaultMatrixTest, CorruptHeapFaultsFailTypedOnly) {
   EXPECT_GT(res->injected_faults, 0u);
   EXPECT_EQ(res->clean_sessions + res->sessions_with_failures, 3u);
   EXPECT_GT(res->faulted.io_failures, 0u);
+}
+
+// ---------------------------------------------------- write-side programs
+// The write path mirrors the read path: transient EIO that a retry clears,
+// permanent EIO, and torn writes that surface as Corruption on read until
+// a clean full write heals the frame.
+
+TEST(FaultMatrixTest, TransientWriteFaultsFailThenRecover) {
+  FaultInjectingPageStore store(std::make_unique<MemPageStore>());
+  const PageId id = store.Allocate();
+  store.FreezeClassification();  // everything allocated so far is kIndex
+
+  PageData page{};
+  page[0] = 1;
+  ASSERT_TRUE(store.Write(id, page).ok());
+
+  store.SetWriteProgram(
+      WriteFaultProgram::Transient(PageClass::kIndex, 1.0, 2));
+  page[0] = 2;
+  Status first = store.Write(id, page);
+  Status second = store.Write(id, page);
+  Status third = store.Write(id, page);
+  EXPECT_TRUE(first.IsIOError()) << first;
+  EXPECT_TRUE(second.IsIOError()) << second;
+  EXPECT_TRUE(third.ok()) << third;
+  EXPECT_EQ(store.injected_write_faults(), 2u);
+
+  // The failed writes never touched the inner store; the third did.
+  PageData read{};
+  ASSERT_TRUE(store.Read(id, &read).ok());
+  EXPECT_EQ(read[0], 2);
+}
+
+TEST(FaultMatrixTest, PermanentWriteFaultsAlwaysFailAndPreserveOldData) {
+  FaultInjectingPageStore store(std::make_unique<MemPageStore>());
+  const PageId id = store.Allocate();
+  store.FreezeClassification();
+
+  PageData page{};
+  page[0] = 7;
+  ASSERT_TRUE(store.Write(id, page).ok());
+
+  store.SetWriteProgram(WriteFaultProgram::Permanent(PageClass::kIndex));
+  page[0] = 8;
+  for (int i = 0; i < 3; ++i) {
+    Status s = store.Write(id, page);
+    EXPECT_TRUE(s.IsIOError()) << s;
+  }
+  EXPECT_EQ(store.injected_write_faults(), 3u);
+
+  PageData read{};
+  ASSERT_TRUE(store.Read(id, &read).ok());
+  EXPECT_EQ(read[0], 7);  // the old frame is intact
+}
+
+TEST(FaultMatrixTest, TornWritesReadAsCorruptionUntilHealed) {
+  FaultInjectingPageStore store(std::make_unique<MemPageStore>());
+  const PageId id = store.Allocate();
+  store.FreezeClassification();
+
+  PageData page{};
+  page[0] = 1;
+  page[kPageSize - 1] = 1;
+  ASSERT_TRUE(store.Write(id, page).ok());
+
+  store.SetWriteProgram(WriteFaultProgram::Torn(PageClass::kIndex));
+  page[0] = 2;
+  page[kPageSize - 1] = 2;
+  // The torn write *reports* success — that's the danger.
+  ASSERT_TRUE(store.Write(id, page).ok());
+  EXPECT_TRUE(store.IsTorn(id));
+  EXPECT_EQ(store.injected_write_faults(), 1u);
+
+  PageData read{};
+  Status r = store.Read(id, &read);
+  EXPECT_TRUE(r.IsCorruption()) << r;
+
+  // Clearing the program does not heal the frame; a full write does.
+  store.ClearWriteProgram();
+  Status still = store.Read(id, &read);
+  EXPECT_TRUE(still.IsCorruption()) << still;
+  ASSERT_TRUE(store.Write(id, page).ok());
+  EXPECT_FALSE(store.IsTorn(id));
+  ASSERT_TRUE(store.Read(id, &read).ok());
+  EXPECT_EQ(read[0], 2);
+  EXPECT_EQ(read[kPageSize - 1], 2);
 }
 
 // No faults at all: the governed concurrent replay is hash-identical.

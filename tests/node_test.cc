@@ -178,5 +178,96 @@ TEST(NodeTest, RandomizedOracle) {
   }
 }
 
+// ----------------------------------------------- malformed-bytes hardening
+// Store-sourced pages can hold anything; the decode path must answer with
+// a typed Corruption naming the page, never trip an assert or read out of
+// bounds. CheckHeader is the O(1) gate run on every descent, CheckBytes
+// the full audit the integrity checker runs.
+
+TEST(NodeTest, CheckHeaderAcceptsFreshNodes) {
+  NodePage leaf(NodeType::kLeaf);
+  ASSERT_TRUE(leaf.node.InsertLeafEntry(0, "k", Rid{1, 0}).ok());
+  EXPECT_TRUE(NodeRef::CheckHeader(leaf.data.data(), 42).ok());
+  EXPECT_TRUE(NodeRef::CheckBytes(leaf.data.data(), 42).ok());
+
+  NodePage internal(NodeType::kInternal, 2);
+  ASSERT_TRUE(internal.node.InsertInternalEntry(0, "", 7, 10).ok());
+  ASSERT_TRUE(internal.node.InsertInternalEntry(1, "m", 9, 10).ok());
+  EXPECT_TRUE(NodeRef::CheckHeader(internal.data.data(), 43).ok());
+  EXPECT_TRUE(NodeRef::CheckBytes(internal.data.data(), 43).ok());
+}
+
+TEST(NodeTest, CheckHeaderRejectsUnknownType) {
+  NodePage p(NodeType::kLeaf);
+  p.data[0] = 7;
+  Status st = NodeRef::CheckHeader(p.data.data(), 42);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsCorruption()) << st;
+  EXPECT_NE(st.message().find("42"), std::string::npos) << st;
+}
+
+TEST(NodeTest, CheckHeaderRejectsTypeLevelMismatch) {
+  NodePage leaf(NodeType::kLeaf);
+  leaf.data[1] = 3;  // leaves live at level 1 only
+  EXPECT_TRUE(NodeRef::CheckHeader(leaf.data.data(), 1).IsCorruption());
+
+  NodePage internal(NodeType::kInternal, 2);
+  ASSERT_TRUE(internal.node.InsertInternalEntry(0, "", 7, 10).ok());
+  internal.data[1] = 1;  // internal nodes start at level 2
+  EXPECT_TRUE(NodeRef::CheckHeader(internal.data.data(), 2).IsCorruption());
+}
+
+TEST(NodeTest, CheckHeaderRejectsFreeOffOutOfBounds) {
+  NodePage p(NodeType::kLeaf);
+  PageWrite<uint16_t>(p.data.data(), 4, 0xffff);
+  EXPECT_TRUE(NodeRef::CheckHeader(p.data.data(), 1).IsCorruption());
+  PageWrite<uint16_t>(p.data.data(), 4, 2);  // inside the header
+  EXPECT_TRUE(NodeRef::CheckHeader(p.data.data(), 1).IsCorruption());
+}
+
+TEST(NodeTest, CheckHeaderRejectsSlotDirectoryOverlap) {
+  NodePage p(NodeType::kLeaf);
+  ASSERT_TRUE(p.node.InsertLeafEntry(0, "k", Rid{1, 0}).ok());
+  PageWrite<uint16_t>(p.data.data(), 2, 0x7fff);  // absurd entry count
+  EXPECT_TRUE(NodeRef::CheckHeader(p.data.data(), 1).IsCorruption());
+}
+
+TEST(NodeTest, CheckHeaderRejectsDeadBytesOverflow) {
+  NodePage p(NodeType::kLeaf);
+  ASSERT_TRUE(p.node.InsertLeafEntry(0, "k", Rid{1, 0}).ok());
+  PageWrite<uint16_t>(p.data.data(), 6, 0x7fff);
+  EXPECT_TRUE(NodeRef::CheckHeader(p.data.data(), 1).IsCorruption());
+}
+
+TEST(NodeTest, CheckHeaderRejectsInternalWithoutSentinel) {
+  NodePage empty(NodeType::kInternal, 2);
+  EXPECT_TRUE(NodeRef::CheckHeader(empty.data.data(), 1).IsCorruption());
+
+  NodePage p(NodeType::kInternal, 2);
+  ASSERT_TRUE(p.node.InsertInternalEntry(0, "a", 7, 10).ok());
+  EXPECT_TRUE(NodeRef::CheckHeader(p.data.data(), 1).IsCorruption());
+}
+
+TEST(NodeTest, CheckBytesRejectsSlotOffsetOutsideEntryArea) {
+  NodePage p(NodeType::kLeaf);
+  ASSERT_TRUE(p.node.InsertLeafEntry(0, "k", Rid{1, 0}).ok());
+  ASSERT_TRUE(p.node.InsertLeafEntry(1, "m", Rid{2, 0}).ok());
+  // Point slot 1 into the page header.
+  PageWrite<uint16_t>(p.data.data(), kPageSize - 4, 2);
+  EXPECT_TRUE(NodeRef::CheckBytes(p.data.data(), 1).IsCorruption());
+  // Point it past free_off instead.
+  PageWrite<uint16_t>(p.data.data(), kPageSize - 4,
+                      PageRead<uint16_t>(p.data.data(), 4));
+  EXPECT_TRUE(NodeRef::CheckBytes(p.data.data(), 1).IsCorruption());
+}
+
+TEST(NodeTest, CheckBytesRejectsKeyLengthOverrun) {
+  NodePage p(NodeType::kLeaf);
+  ASSERT_TRUE(p.node.InsertLeafEntry(0, "key", Rid{1, 0}).ok());
+  uint16_t off = PageRead<uint16_t>(p.data.data(), kPageSize - 2);
+  PageWrite<uint16_t>(p.data.data(), off, 0x7fff);  // klen far past free_off
+  EXPECT_TRUE(NodeRef::CheckBytes(p.data.data(), 1).IsCorruption());
+}
+
 }  // namespace
 }  // namespace dynopt
