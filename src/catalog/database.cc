@@ -22,7 +22,9 @@ namespace {
 // images are WAL-logged by the commit that rewrote them — page checksums
 // and torn-write protection come for free.
 
-constexpr uint32_t kCatalogVersion = 1;
+// v1: tables only. v2 appends the profile-store blob (query-class
+// aggregates); v1 databases still open — they just start with no profiles.
+constexpr uint32_t kCatalogVersion = 2;
 // Layout constants (kCatalogMagic, header size, capacity) live in
 // database.h so the integrity verifier can walk the chain independently.
 constexpr size_t kChainHeaderSize = kCatalogChainHeaderSize;
@@ -268,6 +270,7 @@ Status Database::WriteCatalog() {
       PutTreeMeta(&blob, index->tree()->meta());
     }
   }
+  PutStr(&blob, profiles_.Serialize());
 
   size_t chunks =
       std::max<size_t>(1, (blob.size() + kChainCapacity - 1) / kChainCapacity);
@@ -321,7 +324,7 @@ Status Database::LoadCatalog() {
 
   CatalogReader r{blob};
   DYNOPT_ASSIGN_OR_RETURN(uint32_t version, r.U32());
-  if (version != kCatalogVersion) {
+  if (version != 1 && version != kCatalogVersion) {
     return Status::Corruption("unsupported catalog version " +
                               std::to_string(version));
   }
@@ -369,6 +372,12 @@ Status Database::LoadCatalog() {
         Table::Open(&pool_, name, Schema(std::move(columns)),
                     std::move(pages), record_count, index_metas));
     tables_[std::move(name)] = std::move(table);
+  }
+  if (version >= 2) {
+    DYNOPT_ASSIGN_OR_RETURN(std::string profile_blob, r.Str());
+    DYNOPT_RETURN_IF_ERROR(profiles_.Load(profile_blob));
+  } else {
+    profiles_.Clear();
   }
   if (!r.data.empty()) {
     return Status::Corruption("catalog blob has trailing bytes");

@@ -42,6 +42,7 @@
 #include "integrity/repair.h"
 #include "obs/feedback.h"
 #include "obs/metrics.h"
+#include "obs/profile_store.h"
 #include "storage/buffer_pool.h"
 #include "storage/page_store.h"
 #include "util/cost_meter.h"
@@ -178,6 +179,12 @@ class Database {
   FeedbackStore* feedback() {
     return options_.observability ? &feedback_ : nullptr;
   }
+  /// Durable per-query-class profile aggregates; null when observability
+  /// off. File-backed databases persist the store through the catalog, so
+  /// aggregates survive Close/Open.
+  ProfileStore* profiles() {
+    return options_.observability ? &profiles_ : nullptr;
+  }
   /// Registry as JSON with a fresh cost-meter snapshot folded in.
   std::string ExportMetricsJson() {
     SnapshotCostMeter(&metrics_, meter_);
@@ -209,6 +216,7 @@ class Database {
   CostMeter meter_;
   MetricsRegistry metrics_;   // before pool_: attached in the ctor body
   FeedbackStore feedback_;
+  ProfileStore profiles_;
   // Before pool_, so the pool's raw repairer pointer dies first.
   std::unique_ptr<WalPageRepairer> repairer_;
   BufferPool pool_;

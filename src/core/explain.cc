@@ -3,24 +3,9 @@
 #include <sstream>
 
 #include "obs/json.h"
+#include "obs/profile.h"
 
 namespace dynopt {
-
-namespace {
-
-std::string_view OutcomeName(Jscan::IndexOutcomeKind kind) {
-  switch (kind) {
-    case Jscan::IndexOutcomeKind::kCompleted:
-      return "completed";
-    case Jscan::IndexOutcomeKind::kDiscarded:
-      return "discarded";
-    case Jscan::IndexOutcomeKind::kSkipped:
-      return "skipped";
-  }
-  return "?";
-}
-
-}  // namespace
 
 std::string ExplainExecution(const DynamicRetrieval& engine,
                              const CostWeights& weights) {
@@ -59,7 +44,8 @@ std::string ExplainExecution(const DynamicRetrieval& engine,
     os << "  guaranteed best cost: " << jscan.guaranteed_best_cost()
        << " (tscan estimate " << jscan.tscan_cost_estimate() << ")\n";
     for (const auto& o : jscan.outcomes()) {
-      os << "  " << o.index_name << ": " << OutcomeName(o.kind) << ", "
+      os << "  " << o.index_name << ": " << Jscan::OutcomeKindName(o.kind)
+         << ", "
          << o.entries_scanned << " entries scanned, " << o.kept
          << " rids kept\n";
     }
@@ -119,7 +105,7 @@ std::string ExplainExecutionJson(const DynamicRetrieval& engine,
     for (const auto& o : jscan.outcomes()) {
       w.BeginObject();
       w.KV("index", o.index_name);
-      w.KV("outcome", OutcomeName(o.kind));
+      w.KV("outcome", Jscan::OutcomeKindName(o.kind));
       w.KV("entries_scanned", o.entries_scanned);
       w.KV("rids_kept", o.kept);
       w.EndObject();
@@ -142,6 +128,56 @@ std::string ExplainExecutionJson(const DynamicRetrieval& engine,
   w.KV("rid_ops", cost.rid_ops);
   w.EndObject();
 
+  w.EndObject();
+  return w.str();
+}
+
+std::string ExplainAnalyze(DynamicRetrieval& engine,
+                           const CostWeights& weights) {
+  engine.FinalizeProfile();
+  std::ostringstream os;
+  os << ExplainExecution(engine, weights);
+  if (engine.profile().active()) {
+    os << "profile:\n" << engine.profile().RenderTree();
+  }
+  if (const CompetitionSample* s = engine.competition_sample();
+      s != nullptr) {
+    os << "competition: winner=" << s->winner << " verdict=" << s->verdict
+       << " fg_cost=" << s->foreground_cost
+       << " bg_cost=" << s->background_cost
+       << " guaranteed_best=" << s->guaranteed_best
+       << " loser_cost=" << s->loser_cost()
+       << " disqualifications=" << s->disqualifications << "\n";
+  }
+  if (!engine.query_class().empty()) {
+    os << "query class: " << engine.query_class() << "\n";
+  }
+  return os.str();
+}
+
+std::string ExplainAnalyzeJson(DynamicRetrieval& engine,
+                               const CostWeights& weights) {
+  engine.FinalizeProfile();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("execution").Raw(ExplainExecutionJson(engine, weights));
+  if (engine.profile().active()) {
+    w.Key("profile");
+    WriteProfile(&w, engine.profile());
+  }
+  if (const CompetitionSample* s = engine.competition_sample();
+      s != nullptr) {
+    w.Key("competition").BeginObject();
+    w.KV("verdict", s->verdict);
+    w.KV("winner", s->winner);
+    w.KV("foreground_cost", s->foreground_cost);
+    w.KV("background_cost", s->background_cost);
+    w.KV("guaranteed_best", s->guaranteed_best);
+    w.KV("loser_cost", s->loser_cost());
+    w.KV("disqualifications", static_cast<uint64_t>(s->disqualifications));
+    w.EndObject();
+  }
+  w.KV("query_class", engine.query_class());
   w.EndObject();
   return w.str();
 }

@@ -27,6 +27,18 @@ std::string ExplainExecution(const DynamicRetrieval& engine,
 std::string ExplainExecutionJson(const DynamicRetrieval& engine,
                                  const CostWeights& weights = CostWeights());
 
+/// EXPLAIN ANALYZE: the execution report plus the span profile (per-span
+/// timings, estimated vs actual cardinalities), the competition sample,
+/// and the query-class key. Non-const: finalizes the profile, so it also
+/// works for executions abandoned mid-flight.
+std::string ExplainAnalyze(DynamicRetrieval& engine,
+                           const CostWeights& weights = CostWeights());
+
+/// ExplainAnalyze as one JSON document: {"execution": ..., "profile": ...,
+/// "competition": ..., "query_class": ...}.
+std::string ExplainAnalyzeJson(DynamicRetrieval& engine,
+                               const CostWeights& weights = CostWeights());
+
 }  // namespace dynopt
 
 #endif  // DYNOPT_CORE_EXPLAIN_H_

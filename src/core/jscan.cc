@@ -5,18 +5,17 @@
 
 namespace dynopt {
 
-namespace {
-
-std::string_view OutcomeKindName(Jscan::IndexOutcomeKind kind) {
+std::string_view Jscan::OutcomeKindName(IndexOutcomeKind kind) {
   switch (kind) {
-    case Jscan::IndexOutcomeKind::kCompleted: return "completed";
-    case Jscan::IndexOutcomeKind::kDiscarded: return "discarded";
-    case Jscan::IndexOutcomeKind::kSkipped: return "skipped";
+    case IndexOutcomeKind::kCompleted:
+      return "completed";
+    case IndexOutcomeKind::kDiscarded:
+      return "discarded";
+    case IndexOutcomeKind::kSkipped:
+      return "skipped";
   }
   return "?";
 }
-
-}  // namespace
 
 Jscan::Jscan(Database* db, const RetrievalSpec& spec, const ParamMap& params,
              std::vector<const IndexClassification*> candidates,

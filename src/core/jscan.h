@@ -82,6 +82,10 @@ class Jscan {
     uint64_t kept = 0;
   };
 
+  /// Stable slug for an outcome kind ("completed"/"discarded"/"skipped"),
+  /// shared by the explain renderer and the query profile.
+  static std::string_view OutcomeKindName(IndexOutcomeKind kind);
+
   /// `candidates` must outlive the Jscan; they come from the initial
   /// stage's jscan_order (ascending estimated RIDs). `params` (bound host
   /// variables) is used for index-screening evaluation.

@@ -183,49 +183,86 @@ Result<bool> DynamicRetrievalOperator::Next(std::vector<Value>* row) {
   return true;
 }
 
-Result<RowOperatorPtr> CompilePlan(Database* db, const PlanNode& plan,
-                                   const ParamMap* params, QueryContext* ctx) {
+namespace {
+
+/// Lowers one node; `profile` carries the retrieval leaf's QueryProfile up
+/// the recursion so operators above it can register their spans. Only one
+/// leaf exists per plan (single-table retrieval), so the last leaf wins.
+Result<RowOperatorPtr> CompileNode(Database* db, const PlanNode& plan,
+                                   const ParamMap* params, QueryContext* ctx,
+                                   QueryProfile** profile) {
   RowOperatorPtr op;
+  std::string_view name;
   switch (plan.kind) {
-    case PlanNode::Kind::kRetrieve:
-      op = std::make_unique<DynamicRetrievalOperator>(
+    case PlanNode::Kind::kRetrieve: {
+      auto leaf = std::make_unique<DynamicRetrievalOperator>(
           db, plan.spec, plan.retrieval_options, params);
-      break;
+      if (plan.retrieval_options.profile) {
+        *profile = leaf->engine()->profile_handle();
+      }
+      // The leaf itself is never wrapped: its engine owns the profile root
+      // and times itself, and callers downcast the plan root when the plan
+      // is a bare retrieval.
+      leaf->set_context(ctx);
+      return RowOperatorPtr(std::move(leaf));
+    }
     case PlanNode::Kind::kSort: {
-      DYNOPT_ASSIGN_OR_RETURN(RowOperatorPtr child,
-                              CompilePlan(db, *plan.child, params, ctx));
+      DYNOPT_ASSIGN_OR_RETURN(
+          RowOperatorPtr child,
+          CompileNode(db, *plan.child, params, ctx, profile));
       op = std::make_unique<SortOperator>(std::move(child), plan.column);
+      name = "sort";
       break;
     }
     case PlanNode::Kind::kDistinct: {
-      DYNOPT_ASSIGN_OR_RETURN(RowOperatorPtr child,
-                              CompilePlan(db, *plan.child, params, ctx));
+      DYNOPT_ASSIGN_OR_RETURN(
+          RowOperatorPtr child,
+          CompileNode(db, *plan.child, params, ctx, profile));
       op = std::make_unique<DistinctOperator>(std::move(child));
+      name = "distinct";
       break;
     }
     case PlanNode::Kind::kLimit: {
-      DYNOPT_ASSIGN_OR_RETURN(RowOperatorPtr child,
-                              CompilePlan(db, *plan.child, params, ctx));
+      DYNOPT_ASSIGN_OR_RETURN(
+          RowOperatorPtr child,
+          CompileNode(db, *plan.child, params, ctx, profile));
       op = std::make_unique<LimitOperator>(std::move(child), plan.limit);
+      name = "limit";
       break;
     }
     case PlanNode::Kind::kExists: {
-      DYNOPT_ASSIGN_OR_RETURN(RowOperatorPtr child,
-                              CompilePlan(db, *plan.child, params, ctx));
+      DYNOPT_ASSIGN_OR_RETURN(
+          RowOperatorPtr child,
+          CompileNode(db, *plan.child, params, ctx, profile));
       op = std::make_unique<ExistsOperator>(std::move(child));
+      name = "exists";
       break;
     }
     case PlanNode::Kind::kAggregate: {
-      DYNOPT_ASSIGN_OR_RETURN(RowOperatorPtr child,
-                              CompilePlan(db, *plan.child, params, ctx));
+      DYNOPT_ASSIGN_OR_RETURN(
+          RowOperatorPtr child,
+          CompileNode(db, *plan.child, params, ctx, profile));
       op = std::make_unique<AggregateOperator>(std::move(child), plan.agg,
                                                plan.column);
+      name = "aggregate";
       break;
     }
   }
   if (op == nullptr) return Status::Internal("unknown plan node kind");
   op->set_context(ctx);
+  if (*profile != nullptr) {
+    op = std::make_unique<ProfilingOperator>(std::move(op), std::string(name),
+                                             *profile);
+  }
   return op;
+}
+
+}  // namespace
+
+Result<RowOperatorPtr> CompilePlan(Database* db, const PlanNode& plan,
+                                   const ParamMap* params, QueryContext* ctx) {
+  QueryProfile* profile = nullptr;
+  return CompileNode(db, plan, params, ctx, &profile);
 }
 
 }  // namespace dynopt

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "exec/query_class.h"
+
 namespace dynopt {
 
 std::string_view TacticName(Tactic t) {
@@ -37,15 +39,59 @@ std::string_view ModeName(uint8_t mode) {
   return mode < 5 ? kNames[mode] : "?";
 }
 
+/// Maps a settle-verdict slug onto the strategy that ends up delivering
+/// the rows — the "winner" the CompetitionSample records.
+std::string WinnerForVerdict(std::string_view subject,
+                             std::string_view detail) {
+  if (subject == "foreground-finished") return std::string(detail);
+  if (subject == "jscan-won" || subject == "jscan-complete") return "jscan";
+  if (subject == "filter-installed") return "fscan+filter";
+  if (subject == "no-filter") return "fscan";
+  if (subject == "sscan-retained") return "sscan";
+  if (subject == "jscan-recommends-tscan" || subject == "io-fault-fallback") {
+    return "tscan";
+  }
+  if (subject == "fgr-buffer-overflow" || subject == "fgr-cost-limit") {
+    // Fast-first hands over to the background; index-only keeps the Sscan.
+    return detail == "sscan-retained" ? "sscan" : "jscan";
+  }
+  return std::string(subject);
+}
+
 }  // namespace
 
 DynamicRetrieval::DynamicRetrieval(Database* db, RetrievalSpec spec,
                                    RetrievalOptions options)
     : db_(db), spec_(std::move(spec)), options_(options) {
   if (spec_.restriction == nullptr) spec_.restriction = Predicate::True();
+  class_prefix_ = QueryClassPrefix(spec_);
+  profile_store_ = db_->profiles();
+  events_.set_capacity(options_.trace_capacity);
   if (db_->metrics() != nullptr) {
     m_fallbacks_ = db_->metrics()->counter("governance.strategy_fallbacks");
+    events_.set_dropped_counter(db_->metrics()->counter("obs.trace_dropped"));
+    m_repairs_ = db_->metrics()->counter("integrity.repairs");
+    m_pin_repairs_ = db_->metrics()->counter("integrity.pin_repairs");
   }
+}
+
+uint64_t DynamicRetrieval::RepairsNow() const {
+  uint64_t n = 0;
+  if (m_repairs_ != nullptr) n += m_repairs_->value.load();
+  if (m_pin_repairs_ != nullptr) n += m_pin_repairs_->value.load();
+  return n;
+}
+
+void DynamicRetrieval::ChargeSpan(ProfileSpan* span) {
+  if (span == charged_span_) return;  // fast path: zero clock reads
+  auto now = std::chrono::steady_clock::now();
+  if (charged_span_ != nullptr) {
+    charged_span_->elapsed_micros +=
+        std::chrono::duration<double, std::micro>(now - charged_since_)
+            .count();
+  }
+  charged_span_ = span;
+  charged_since_ = now;
 }
 
 void DynamicRetrieval::EnterMode(Mode mode) {
@@ -58,6 +104,20 @@ void DynamicRetrieval::Verdict(std::string_view subject,
                                std::string_view detail, double a, double b) {
   events_.Emit(TraceEventKind::kCompetitionVerdict, std::string(subject),
                std::string(detail), a, b);
+  // A verdict under a live competition span is the race settling: snapshot
+  // what each competitor had spent at that moment. Later verdicts (e.g. a
+  // fallback after the settle) overwrite — the sample reflects the last
+  // word. Steppers are still alive here; verdicts fire before moves.
+  if (options_.profile && span_competition_ != nullptr) {
+    have_sample_ = true;
+    sample_.verdict = std::string(subject);
+    sample_.winner = WinnerForVerdict(subject, detail);
+    sample_.foreground_cost = ForegroundCost();
+    if (jscan_ != nullptr) {
+      sample_.background_cost = jscan_->accrued_live_cost(db_->cost_weights());
+      sample_.guaranteed_best = jscan_->guaranteed_best_cost();
+    }
+  }
 }
 
 Status DynamicRetrieval::Open(const ParamMap& params, QueryContext* ctx) {
@@ -87,6 +147,22 @@ Status DynamicRetrieval::Open(const ParamMap& params, QueryContext* ctx) {
   single_is_tscan_ = false;
   charged_reads_ = 0;
   engine_accrued_ = CostMeter();
+  if (options_.profile) {
+    profile_.Begin("query");
+    open_time_ = std::chrono::steady_clock::now();
+    class_key_ = profile_store_ != nullptr
+                     ? class_prefix_ + QueryClassParamSuffix(params_)
+                     : std::string();
+  } else {
+    profile_.Clear();
+    class_key_.clear();
+  }
+  profile_finished_ = false;
+  span_single_ = span_fg_ = span_bg_ = span_final_ = nullptr;
+  span_competition_ = span_rows_ = charged_span_ = nullptr;
+  have_sample_ = false;
+  sample_ = CompetitionSample();
+  repairs_at_open_ = RepairsNow();
 
   auto analyzed =
       AnalyzeAccessPaths(spec_, params_, options_.initial,
@@ -180,20 +256,41 @@ void DynamicRetrieval::ComputePredictions() {
       predicted_cost_ = 0;
       break;
   }
+
+  if (profile_.active()) {
+    ProfileSpan* root = profile_.root();
+    root->detail = std::string(TacticName(tactic_));
+    root->estimated_rows = predicted_rows_;
+    root->estimated_cost = predicted_cost_;
+  }
 }
 
 void DynamicRetrieval::RecordFeedback() {
   if (feedback_recorded_) return;
   feedback_recorded_ = true;
-  FeedbackStore* store = db_->feedback();
-  if (store == nullptr || tactic_ == Tactic::kUndecided) return;
-  FeedbackRecord rec;
-  rec.label = std::string(TacticName(tactic_));
-  rec.predicted_rows = predicted_rows_;
-  rec.actual_rows = static_cast<double>(rows_delivered_);
-  rec.predicted_cost = predicted_cost_;
-  rec.actual_cost = CostSinceOpen().Cost(db_->cost_weights());
-  store->Record(std::move(rec));
+  FinalizeProfile();
+  if (tactic_ == Tactic::kUndecided) return;
+  double actual_cost = CostSinceOpen().Cost(db_->cost_weights());
+  if (FeedbackStore* store = db_->feedback(); store != nullptr) {
+    FeedbackRecord rec;
+    rec.label = std::string(TacticName(tactic_));
+    rec.predicted_rows = predicted_rows_;
+    rec.actual_rows = static_cast<double>(rows_delivered_);
+    rec.predicted_cost = predicted_cost_;
+    rec.actual_cost = actual_cost;
+    store->Record(std::move(rec));
+  }
+  if (profile_store_ != nullptr && options_.profile) {
+    ProfileStore::Sample s;
+    s.latency_micros =
+        profile_.active() ? profile_.root()->elapsed_micros : 0;
+    s.predicted_rows = predicted_rows_;
+    s.actual_rows = static_cast<double>(rows_delivered_);
+    s.predicted_cost = predicted_cost_;
+    s.actual_cost = actual_cost;
+    s.plan = std::string(TacticName(tactic_));
+    profile_store_->Record(class_key_, s);
+  }
 }
 
 Status DynamicRetrieval::DecideTactic() {
@@ -246,6 +343,18 @@ Status DynamicRetrieval::DecideTactic() {
 }
 
 Status DynamicRetrieval::SetUpTactic() {
+  // Strategy-span factory: null-safe (inactive profile → null parent →
+  // AddSpan returns null, and every attribution site tolerates null).
+  auto strategy_span = [&](ProfileSpan* parent, std::string_view name,
+                           double est_rows, double est_cost) {
+    ProfileSpan* s = profile_.AddSpan(parent, SpanKind::kStrategy, name);
+    if (s != nullptr) {
+      s->estimated_rows = est_rows;
+      s->estimated_cost = est_cost;
+    }
+    return s;
+  };
+
   auto jscan_candidates =
       [&](int exclude) -> std::vector<const IndexClassification*> {
     std::vector<const IndexClassification*> cands;
@@ -283,6 +392,9 @@ Status DynamicRetrieval::SetUpTactic() {
       single_ = std::make_unique<TscanStepper>(db_->pool(), spec_, params_);
       single_->set_context(ctx_);
       single_is_tscan_ = true;
+      span_single_ = strategy_span(profile_.root(), "tscan", predicted_rows_,
+                                   predicted_cost_);
+      span_rows_ = span_single_;
       EnterMode(Mode::kSingle);
       return Status::OK();
 
@@ -293,6 +405,9 @@ Status DynamicRetrieval::SetUpTactic() {
                                                c.index, c.ranges);
       single_->set_context(ctx_);
       delivers_order_ = spec_.order_by_column.has_value() && c.order_needed;
+      span_single_ = strategy_span(profile_.root(), "sscan", predicted_rows_,
+                                   predicted_cost_);
+      span_rows_ = span_single_;
       EnterMode(Mode::kSingle);
       return Status::OK();
     }
@@ -303,6 +418,7 @@ Status DynamicRetrieval::SetUpTactic() {
       jscan_->set_trace(&events_);
       jscan_->set_context(ctx_);
       jscan_->set_tolerate_io_faults(fallback_armed_);
+      span_bg_ = strategy_span(profile_.root(), "jscan", predicted_rows_, -1);
       EnterMode(Mode::kBackground);
       return Status::OK();
 
@@ -314,6 +430,13 @@ Status DynamicRetrieval::SetUpTactic() {
       jscan_->set_tolerate_io_faults(fallback_armed_);
       fgr_active_ = true;
       track_delivered_ = true;
+      span_competition_ =
+          profile_.AddSpan(profile_.root(), SpanKind::kCompetition, "race");
+      span_fg_ = strategy_span(span_competition_, "fast-first-fetch",
+                               predicted_rows_, -1);
+      span_bg_ = strategy_span(span_competition_, "jscan", predicted_rows_,
+                               predicted_cost_);
+      span_rows_ = span_fg_;
       EnterMode(Mode::kRace);
       return Status::OK();
 
@@ -331,6 +454,9 @@ Status DynamicRetrieval::SetUpTactic() {
         TraceEvent("sorted: no background candidates, plain Fscan");
         Verdict("no-background", "plain fscan");
         single_ = std::move(fscan_fgr_);
+        span_single_ = strategy_span(profile_.root(), "fscan",
+                                     predicted_rows_, predicted_cost_);
+        span_rows_ = span_single_;
         EnterMode(Mode::kSingle);
         return Status::OK();
       }
@@ -339,6 +465,13 @@ Status DynamicRetrieval::SetUpTactic() {
       jscan_->set_trace(&events_);
       jscan_->set_context(ctx_);
       jscan_->set_tolerate_io_faults(fallback_armed_);
+      span_competition_ =
+          profile_.AddSpan(profile_.root(), SpanKind::kCompetition, "race");
+      span_fg_ = strategy_span(span_competition_, "fscan", predicted_rows_,
+                               predicted_cost_);
+      span_bg_ = strategy_span(span_competition_, "jscan", predicted_rows_,
+                               -1);
+      span_rows_ = span_fg_;
       EnterMode(Mode::kRace);
       return Status::OK();
     }
@@ -357,6 +490,13 @@ Status DynamicRetrieval::SetUpTactic() {
       jscan_->set_context(ctx_);
       jscan_->set_tolerate_io_faults(fallback_armed_);
       track_delivered_ = true;
+      span_competition_ =
+          profile_.AddSpan(profile_.root(), SpanKind::kCompetition, "race");
+      span_fg_ = strategy_span(span_competition_, "sscan", predicted_rows_,
+                               predicted_cost_);
+      span_bg_ = strategy_span(span_competition_, "jscan", predicted_rows_,
+                               -1);
+      span_rows_ = span_fg_;
       EnterMode(Mode::kRace);
       return Status::OK();
     }
@@ -385,6 +525,7 @@ Result<bool> DynamicRetrieval::Next(OutputRow* row) {
 }
 
 Status DynamicRetrieval::Fail(Status st) {
+  FinalizeProfile();  // before teardown, while stepper costs are readable
   jscan_.reset();
   single_.reset();
   fscan_fgr_.reset();
@@ -427,6 +568,10 @@ Status DynamicRetrieval::FallBackToTscan(std::string_view subject,
   single_ = std::make_unique<TscanStepper>(db_->pool(), spec_, params_);
   single_->set_context(ctx_);
   single_is_tscan_ = true;
+  span_single_ =
+      profile_.AddSpan(profile_.root(), SpanKind::kStrategy, "tscan");
+  if (span_single_ != nullptr) span_single_->detail = "io-fault-fallback";
+  span_rows_ = span_single_;
   EnterMode(Mode::kSingle);
   return Status::OK();
 }
@@ -444,19 +589,28 @@ void DynamicRetrieval::Enqueue(OutputRow row) {
   // budget; recording stops once the last-resort Tscan or the final stage
   // is running, from which no further fallback happens.
   if (FallbackStillPossible()) RememberDelivered(row.rid);
+  if (span_rows_ != nullptr) span_rows_->actual_rows++;
   queue_.push_back(std::move(row));
 }
 
 Status DynamicRetrieval::Pump() {
   DYNOPT_RETURN_IF_ERROR(PollGovernance());
+  // Wall time accrues to the span of the strategy owning the quantum, but
+  // the clock is only read when ownership *changes* (ChargeSpan): quanta
+  // are entry-granular, and a clock pair per quantum alone blows the
+  // bench_profile 5% overhead gate. kRace charges inside StepRace, where
+  // the pacing decision knows which competitor moves.
   switch (mode_) {
     case Mode::kSingle:
+      ChargeSpan(span_single_);
       return StepSingle();
     case Mode::kBackground:
+      ChargeSpan(span_bg_);
       return StepBackground();
     case Mode::kRace:
       return StepRace();
     case Mode::kFinal:
+      ChargeSpan(span_final_);
       return StepFinal();
     case Mode::kDone:
       return Status::OK();
@@ -508,6 +662,10 @@ Status DynamicRetrieval::StepBackground() {
   single_ = std::make_unique<TscanStepper>(db_->pool(), spec_, params_);
   single_->set_context(ctx_);
   single_is_tscan_ = true;
+  span_single_ =
+      profile_.AddSpan(profile_.root(), SpanKind::kStrategy, "tscan");
+  if (span_single_ != nullptr) span_single_->detail = "jscan-recommends-tscan";
+  span_rows_ = span_single_;
   EnterMode(Mode::kSingle);
   return Status::OK();
 }
@@ -528,15 +686,18 @@ double DynamicRetrieval::ForegroundCost() const {
 
 Status DynamicRetrieval::StepRace() {
   if (jscan_->phase() != Jscan::Phase::kScanning) {
+    ChargeSpan(span_competition_);
     return OnBackgroundSettled();
   }
   double fgr_cost = ForegroundCost();
   double bgr_cost = jscan_->accrued_live_cost(db_->cost_weights());
   if (bgr_cost <= options_.fgr_bgr_cost_ratio * fgr_cost) {
+    ChargeSpan(span_bg_);
     Status st = jscan_->Step().status();
     if (!st.ok() && CanDegrade(st)) return FallBackToTscan("Jscan", st);
     return st;
   }
+  ChargeSpan(span_fg_);
   return StepForeground();
 }
 
@@ -625,6 +786,8 @@ Status DynamicRetrieval::StepForeground() {
         track_delivered_ = false;
         if (!fallback_armed_) delivered_.clear();
         single_ = std::move(sscan_fgr_);
+        span_single_ = span_fg_;
+        span_rows_ = span_fg_;
         EnterMode(Mode::kSingle);
       }
       return Status::OK();
@@ -661,6 +824,12 @@ Status DynamicRetrieval::OnBackgroundSettled() {
       single_ = std::make_unique<TscanStepper>(db_->pool(), spec_, params_);
       single_->set_context(ctx_);
       single_is_tscan_ = true;
+      span_single_ =
+          profile_.AddSpan(profile_.root(), SpanKind::kStrategy, "tscan");
+      if (span_single_ != nullptr) {
+        span_single_->detail = "jscan-recommends-tscan";
+      }
+      span_rows_ = span_single_;
       EnterMode(Mode::kSingle);  // delivered_ still filters duplicates
       return Status::OK();
 
@@ -670,11 +839,16 @@ Status DynamicRetrieval::OnBackgroundSettled() {
         Verdict("filter-installed", "",
                 static_cast<double>(jscan_->final_list()->size()));
         fscan_fgr_->SetPreFetchFilter(jscan_->final_list());
+        if (span_fg_ != nullptr) span_fg_->detail = "filter-installed";
       } else {
         TraceEvent("jscan found no useful filter: fscan continues plain");
         Verdict("no-filter");
       }
       single_ = std::move(fscan_fgr_);
+      // The winning foreground stepper carries on as the lone strategy;
+      // its span keeps accruing under the kSingle quantum timer.
+      span_single_ = span_fg_;
+      span_rows_ = span_fg_;
       EnterMode(Mode::kSingle);
       return Status::OK();
 
@@ -717,6 +891,8 @@ Status DynamicRetrieval::OnBackgroundSettled() {
       track_delivered_ = false;
       if (!fallback_armed_) delivered_.clear();
       single_ = std::move(sscan_fgr_);
+      span_single_ = span_fg_;
+      span_rows_ = span_fg_;
       EnterMode(Mode::kSingle);
       return Status::OK();
 
@@ -729,6 +905,12 @@ Status DynamicRetrieval::BeginFinalStage(std::vector<Rid> rids) {
   std::sort(rids.begin(), rids.end());
   final_rids_ = std::move(rids);
   final_pos_ = 0;
+  span_final_ =
+      profile_.AddSpan(profile_.root(), SpanKind::kStrategy, "final-fetch");
+  if (span_final_ != nullptr) {
+    span_final_->estimated_rows = static_cast<double>(final_rids_.size());
+  }
+  span_rows_ = span_final_;
   EnterMode(Mode::kFinal);
   return Status::OK();
 }
@@ -762,6 +944,106 @@ Status DynamicRetrieval::DeliverByRid(Rid rid, bool record) {
     Enqueue(OutputRow{ProjectRecord(spec_, rec), rid});
   }
   return Status::OK();
+}
+
+void DynamicRetrieval::FinalizeProfile() {
+  if (!profile_.active() || profile_finished_) return;
+  profile_finished_ = true;
+  ChargeSpan(nullptr);  // flush the open accrual into its span
+  const CostWeights& w = db_->cost_weights();
+
+  ProfileSpan* root = profile_.root();
+  root->elapsed_micros = std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - open_time_)
+                             .count();
+  root->actual_rows = rows_delivered_;
+  root->actual_cost = CostSinceOpen().Cost(w);
+
+  if (span_single_ != nullptr && single_ != nullptr) {
+    span_single_->actual_cost = single_->AccruedCost(w);
+  }
+  if (span_fg_ != nullptr && span_fg_ != span_single_) {
+    // The foreground lost (or the race is still running): its cost comes
+    // from its own meter; a settle move to single_ was handled above.
+    switch (tactic_) {
+      case Tactic::kFastFirst:
+        span_fg_->actual_cost = fgr_accrued_.Cost(w);
+        break;
+      case Tactic::kSorted:
+        if (fscan_fgr_ != nullptr) {
+          span_fg_->actual_cost = fscan_fgr_->AccruedCost(w);
+        }
+        break;
+      case Tactic::kIndexOnly:
+        if (sscan_fgr_ != nullptr) {
+          span_fg_->actual_cost = sscan_fgr_->AccruedCost(w);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  if (span_bg_ != nullptr) {
+    if (jscan_ != nullptr) {
+      span_bg_->actual_cost = jscan_->accrued_live_cost(w);
+    } else if (have_sample_) {
+      span_bg_->actual_cost = sample_.background_cost;
+    }
+    // Per-index children: the Jscan's own account of each index it
+    // scanned, discarded, or skipped, paired with the estimate that put
+    // the index into the preorder.
+    if (jscan_ != nullptr) {
+      for (const Jscan::IndexOutcome& o : jscan_->outcomes()) {
+        ProfileSpan* child =
+            profile_.AddSpan(span_bg_, SpanKind::kStrategy, o.index_name);
+        child->detail = std::string(Jscan::OutcomeKindName(o.kind));
+        child->actual_rows = o.kept;
+        child->work_units = o.entries_scanned;
+        for (const IndexClassification& c : analysis_.indexes) {
+          if (c.index != nullptr && c.index->name() == o.index_name) {
+            if (c.estimated) {
+              child->estimated_rows = c.estimate.estimated_rids;
+            }
+            break;
+          }
+        }
+      }
+    }
+  }
+  if (span_final_ != nullptr) {
+    span_final_->actual_cost = engine_accrued_.Cost(w);
+  }
+  if (span_competition_ != nullptr) {
+    if (have_sample_) {
+      span_competition_->detail =
+          "winner=" + sample_.winner + " verdict=" + sample_.verdict;
+    }
+    // A span's elapsed time is inclusive of its children; the competition
+    // span itself only timed the settle quantum until now.
+    double fg_e = span_fg_ != nullptr ? span_fg_->elapsed_micros : 0;
+    double bg_e = span_bg_ != nullptr ? span_bg_->elapsed_micros : 0;
+    span_competition_->elapsed_micros += fg_e + bg_e;
+    double fg_c = span_fg_ != nullptr ? span_fg_->actual_cost : 0;
+    double bg_c = span_bg_ != nullptr ? span_bg_->actual_cost : 0;
+    span_competition_->actual_cost = fg_c + bg_c;
+  }
+  sample_.disqualifications = static_cast<int>(
+      events_.EmittedCount(TraceEventKind::kStrategyDisqualified));
+
+  ProfileConsumption c;
+  if (ctx_ != nullptr) {
+    c.governed = true;
+    c.pages_read = ctx_->pages_read();
+    c.rid_list_bytes = ctx_->rid_list_bytes();
+    c.spill_bytes = ctx_->spill_bytes();
+    c.polls = ctx_->polls();
+  }
+  c.degraded = degraded();
+  c.disqualifications =
+      events_.EmittedCount(TraceEventKind::kStrategyDisqualified);
+  c.pages_repaired = RepairsNow() - repairs_at_open_;
+  c.trace_dropped = events_.dropped();
+  profile_.set_consumption(c);
 }
 
 }  // namespace dynopt

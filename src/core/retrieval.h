@@ -30,6 +30,7 @@
 #ifndef DYNOPT_CORE_RETRIEVAL_H_
 #define DYNOPT_CORE_RETRIEVAL_H_
 
+#include <chrono>
 #include <deque>
 #include <memory>
 #include <string>
@@ -37,12 +38,14 @@
 #include <vector>
 
 #include "catalog/database.h"
+#include "competition/competition.h"
 #include "core/access_path.h"
 #include "core/jscan.h"
 #include "governance/query_context.h"
 #include "exec/retrieval_spec.h"
 #include "exec/steppers.h"
 #include "index/multi_range_cursor.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace dynopt {
@@ -76,6 +79,13 @@ struct RetrievalOptions {
   /// Feed each execution's completed index order into the next one's
   /// estimation preorder (§5).
   bool remember_order = true;
+  /// Assemble a QueryProfile span tree alongside execution (the input to
+  /// ExplainAnalyze and the database's ProfileStore). Off, every profiling
+  /// site is a null-pointer branch and no clocks are read.
+  bool profile = true;
+  /// Trace ring capacity per execution; oldest events drop past it (see
+  /// obs/trace.h). Tests pin a small value to exercise drop accounting.
+  size_t trace_capacity = TraceLog::kDefaultCapacity;
 };
 
 class DynamicRetrieval {
@@ -109,8 +119,10 @@ class DynamicRetrieval {
   /// fallbacks and scans the Jscan disqualified internally (it records
   /// them in the trace).
   bool degraded() const {
+    // EmittedCount, not CountKind: disqualification events must register
+    // even if the trace ring has evicted them.
     return degraded_ ||
-           events_.CountKind(TraceEventKind::kStrategyDisqualified) > 0;
+           events_.EmittedCount(TraceEventKind::kStrategyDisqualified) > 0;
   }
   const std::vector<std::string>& trace() const { return trace_; }
   /// Typed trace of this execution (cleared by Open): the machine-readable
@@ -129,6 +141,25 @@ class DynamicRetrieval {
 
   /// Cost accrued by this execution so far (database-meter delta).
   CostMeter CostSinceOpen() const { return db_->meter() - open_snapshot_; }
+
+  /// This execution's span profile (inactive when options.profile is off).
+  const QueryProfile& profile() const { return profile_; }
+  /// Mutable handle for the plan compiler: operator wrappers above this
+  /// leaf register their spans here. Stable for the engine's lifetime.
+  QueryProfile* profile_handle() { return &profile_; }
+  /// Stamps end-of-execution figures into the profile (root elapsed/actual,
+  /// per-strategy costs, per-index jscan outcomes, context consumption).
+  /// Idempotent; called automatically at end of retrieval and on failure,
+  /// and by ExplainAnalyze for executions abandoned mid-flight.
+  void FinalizeProfile();
+  /// The observed race outcome; null when no competition ran (shortcuts,
+  /// static tactics, background-only) or profiling is off.
+  const CompetitionSample* competition_sample() const {
+    return have_sample_ ? &sample_ : nullptr;
+  }
+  /// The query-class key this execution records under ("" with profiling
+  /// off or no profile store attached). See exec/query_class.h.
+  const std::string& query_class() const { return class_key_; }
 
  private:
   enum class Mode : uint8_t {
@@ -165,6 +196,15 @@ class DynamicRetrieval {
   /// Fetch+evaluate+deliver one RID (final stage / fast-first borrow).
   Status DeliverByRid(Rid rid, bool record_delivered);
   double ForegroundCost() const;
+  /// Current db-wide repaired-page tally (read-path + pin-path); deltas
+  /// over an execution land in the profile's consumption block.
+  uint64_t RepairsNow() const;
+  /// Makes `span` the span wall-clock time accrues to. Reads the clock only
+  /// when the active span *changes* — steady modes (one strategy pumping
+  /// thousands of quanta) cost zero clock reads per quantum, which is what
+  /// keeps profiling under the bench_profile overhead gate. A null span
+  /// stops the accrual (profiling off, or finalize flush).
+  void ChargeSpan(ProfileSpan* span);
   /// Charges pages read outside any stepper (final stage, fast-first
   /// fetches, shortcuts) to ctx_ and polls it. No-op without a context.
   Status PollGovernance();
@@ -227,6 +267,29 @@ class DynamicRetrieval {
   uint64_t charged_reads_ = 0;         // engine-side reads charged to ctx_
   CostMeter engine_accrued_;           // work done outside any stepper
   Counter* m_fallbacks_ = nullptr;
+
+  // Profiling state. The span pointers index into profile_'s arena and are
+  // reset by Open; span_rows_ is whichever strategy span currently gets
+  // credit for enqueued rows.
+  QueryProfile profile_;
+  ProfileSpan* span_single_ = nullptr;
+  ProfileSpan* span_fg_ = nullptr;
+  ProfileSpan* span_bg_ = nullptr;
+  ProfileSpan* span_final_ = nullptr;
+  ProfileSpan* span_competition_ = nullptr;
+  ProfileSpan* span_rows_ = nullptr;
+  ProfileSpan* charged_span_ = nullptr;  // span currently accruing wall time
+  std::chrono::steady_clock::time_point charged_since_;
+  bool profile_finished_ = false;
+  std::chrono::steady_clock::time_point open_time_;
+  CompetitionSample sample_;
+  bool have_sample_ = false;
+  std::string class_prefix_;  // param-independent part of the class key
+  std::string class_key_;     // full key for the current execution
+  ProfileStore* profile_store_ = nullptr;  // db_->profiles(); may be null
+  Counter* m_repairs_ = nullptr;           // integrity.repairs
+  Counter* m_pin_repairs_ = nullptr;       // integrity.pin_repairs
+  uint64_t repairs_at_open_ = 0;
 
   std::unordered_set<Rid> delivered_;
   bool track_delivered_ = false;

@@ -1,6 +1,7 @@
 #include "exec/operators.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace dynopt {
 
@@ -171,6 +172,27 @@ Result<bool> AggregateOperator::Next(std::vector<Value>* row) {
   done_ = true;
   *row = result_;
   return true;
+}
+
+Status ProfilingOperator::Open() {
+  auto start = std::chrono::steady_clock::now();
+  Status st = child_->Open();
+  // Register after the child's Open: the retrieval leaf resets the profile
+  // in its own Open, and inner wrappers must register before outer ones.
+  span_ = profile_ != nullptr ? profile_->AddOperatorSpan(name_) : nullptr;
+  if (span_ != nullptr) {
+    span_->elapsed_micros += std::chrono::duration<double, std::micro>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+  }
+  return st;
+}
+
+Result<bool> ProfilingOperator::Next(std::vector<Value>* row) {
+  SpanTimer timer(span_);
+  auto more = child_->Next(row);
+  if (span_ != nullptr && more.ok() && *more) span_->actual_rows++;
+  return more;
 }
 
 }  // namespace dynopt

@@ -9,10 +9,12 @@
 #define DYNOPT_EXEC_OPERATORS_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "expr/value.h"
 #include "governance/query_context.h"
+#include "obs/profile.h"
 #include "util/status.h"
 
 namespace dynopt {
@@ -113,6 +115,33 @@ class AggregateOperator final : public RowOperator {
   size_t col_;
   bool done_ = false;
   std::vector<Value> result_;
+};
+
+/// Decorator: attributes an operator's Open and per-row Next time to a
+/// kOperator span in the retrieval leaf's QueryProfile. The span registers
+/// *after* the child's Open (the leaf's Open resets the profile), so
+/// wrappers register leaf-to-root and the spans nest into executed-plan
+/// shape. With profiling off the profile yields null spans and the wrapper
+/// degrades to a virtual-call passthrough.
+class ProfilingOperator final : public RowOperator {
+ public:
+  ProfilingOperator(RowOperatorPtr child, std::string name,
+                    QueryProfile* profile)
+      : child_(std::move(child)),
+        name_(std::move(name)),
+        profile_(profile) {}
+
+  Status Open() override;
+  Result<bool> Next(std::vector<Value>* row) override;
+
+  /// The wrapped operator (plan introspection, tests).
+  RowOperator* inner() { return child_.get(); }
+
+ private:
+  RowOperatorPtr child_;
+  std::string name_;
+  QueryProfile* profile_;
+  ProfileSpan* span_ = nullptr;
 };
 
 /// Test/bench helper: serves a fixed vector of rows.

@@ -1,0 +1,76 @@
+#include "exec/query_class.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+
+namespace dynopt {
+
+namespace {
+
+int MagnitudeBucket(uint64_t magnitude) {
+  // floor(log2(m + 1)): 0 -> 0, 1 -> 1, 2..3 -> 2, 4..7 -> 3, ...
+  return static_cast<int>(std::bit_width(magnitude + 1)) - 1;
+}
+
+}  // namespace
+
+int QueryClassValueBucket(const Value& v) {
+  if (v.is_string()) {
+    return MagnitudeBucket(v.AsString().size());
+  }
+  if (v.is_double()) {
+    double d = v.AsDouble();
+    if (!std::isfinite(d)) return 0;
+    double mag = std::floor(std::fabs(d));
+    int b = mag >= 1e18 ? 63
+                        : MagnitudeBucket(static_cast<uint64_t>(mag));
+    return d < 0 ? -b : b;
+  }
+  int64_t i = v.AsInt64();
+  uint64_t mag = i < 0 ? static_cast<uint64_t>(-(i + 1)) + 1
+                       : static_cast<uint64_t>(i);
+  int b = MagnitudeBucket(mag);
+  return i < 0 ? -b : b;
+}
+
+std::string QueryClassPrefix(const RetrievalSpec& spec) {
+  std::ostringstream os;
+  os << "t=" << (spec.table != nullptr ? spec.table->name() : "?");
+  os << ";p="
+     << (spec.restriction != nullptr ? spec.restriction->ShapeString()
+                                     : "TRUE");
+  os << ";proj=";
+  for (size_t i = 0; i < spec.projection.size(); ++i) {
+    if (i > 0) os << ",";
+    os << spec.projection[i];
+  }
+  os << ";ord=";
+  if (spec.order_by_column.has_value()) {
+    os << *spec.order_by_column;
+  } else {
+    os << "-";
+  }
+  os << ";goal=" << GoalName(spec.goal);
+  return os.str();
+}
+
+std::string QueryClassParamSuffix(const ParamMap& params) {
+  if (params.empty()) return std::string();
+  std::ostringstream os;
+  os << ";args=";
+  bool first = true;
+  for (const auto& [name, value] : params) {  // ParamMap: sorted by name
+    if (!first) os << ",";
+    first = false;
+    os << name << ":" << QueryClassValueBucket(value);
+  }
+  return os.str();
+}
+
+std::string QueryClassOf(const RetrievalSpec& spec, const ParamMap& params) {
+  return QueryClassPrefix(spec) + QueryClassParamSuffix(params);
+}
+
+}  // namespace dynopt

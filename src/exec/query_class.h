@@ -1,0 +1,39 @@
+// Query-class keys: the identity a ProfileStore aggregates under.
+//
+// A query class is "the same query modulo constants": same table, same
+// predicate shape (host-variable names kept, literal constants stripped to
+// "?"), same projection/order/goal — plus each bound parameter reduced to
+// a coarse magnitude bucket (log2 of |value|, log2 of string length). The
+// bucket suffix keeps classes selective enough to be useful — a 10-wide
+// BETWEEN and a 10000-wide BETWEEN genuinely are different workloads — and
+// coarse enough that a steady workload folds into a handful of classes
+// instead of one class per distinct constant.
+
+#ifndef DYNOPT_EXEC_QUERY_CLASS_H_
+#define DYNOPT_EXEC_QUERY_CLASS_H_
+
+#include <string>
+
+#include "exec/retrieval_spec.h"
+#include "expr/predicate.h"
+
+namespace dynopt {
+
+/// The parameter-independent part: table | predicate shape | projection |
+/// order | goal. Computable once per prepared statement.
+std::string QueryClassPrefix(const RetrievalSpec& spec);
+
+/// Magnitude bucket for one bound value: floor(log2(|v|+1)), negated for
+/// negative numbers; string values bucket by length.
+int QueryClassValueBucket(const Value& v);
+
+/// The per-execution suffix: each bound parameter's name and bucket, in
+/// name order (";args=lo:3,hi:3"). Empty ParamMap yields "".
+std::string QueryClassParamSuffix(const ParamMap& params);
+
+/// Full key: prefix + suffix.
+std::string QueryClassOf(const RetrievalSpec& spec, const ParamMap& params);
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_EXEC_QUERY_CLASS_H_

@@ -22,6 +22,11 @@ std::string Operand::ToString() const {
   return literal_.ToString();
 }
 
+std::string Operand::ShapeString() const {
+  if (is_host_var()) return ":" + var_name_;
+  return "?";
+}
+
 std::string_view CompareOpName(CompareOp op) {
   switch (op) {
     case CompareOp::kEq:
@@ -68,6 +73,7 @@ class TruePredicate final : public Predicate {
   }
   void CollectColumns(std::set<uint32_t>*) const override {}
   std::string ToString() const override { return "TRUE"; }
+  std::string ShapeString() const override { return "TRUE"; }
 };
 
 class ComparePredicate final : public Predicate {
@@ -110,6 +116,13 @@ class ComparePredicate final : public Predicate {
     return os.str();
   }
 
+  std::string ShapeString() const override {
+    std::ostringstream os;
+    os << "c" << col_ << " " << CompareOpName(op_) << " "
+       << operand_.ShapeString();
+    return os.str();
+  }
+
   uint32_t col() const { return col_; }
   CompareOp op() const { return op_; }
   const Operand& operand() const { return operand_; }
@@ -149,6 +162,13 @@ class BetweenPredicate final : public Predicate {
     return os.str();
   }
 
+  std::string ShapeString() const override {
+    std::ostringstream os;
+    os << "c" << col_ << " BETWEEN " << lo_.ShapeString() << " AND "
+       << hi_.ShapeString();
+    return os.str();
+  }
+
   uint32_t col() const { return col_; }
   const Operand& lo() const { return lo_; }
   const Operand& hi() const { return hi_; }
@@ -178,6 +198,10 @@ class ContainsPredicate final : public Predicate {
 
   std::string ToString() const override {
     return "c" + std::to_string(col_) + " CONTAINS \"" + needle_ + "\"";
+  }
+
+  std::string ShapeString() const override {
+    return "c" + std::to_string(col_) + " CONTAINS ?";
   }
 
  private:
@@ -212,6 +236,10 @@ class ModPredicate final : public Predicate {
     os << "c" << col_ << " % " << modulus_ << " = " << residue_;
     return os.str();
   }
+
+  // Modulus/residue are structural (never host-bound), so they stay in the
+  // shape: c0 % 2 = 0 and c0 % 7 = 3 are genuinely different queries.
+  std::string ShapeString() const override { return ToString(); }
 
  private:
   uint32_t col_;
@@ -251,6 +279,17 @@ class NaryPredicate final : public Predicate {
     return os.str();
   }
 
+  std::string ShapeString() const override {
+    std::ostringstream os;
+    os << "(";
+    for (size_t i = 0; i < children_.size(); ++i) {
+      if (i > 0) os << (kind() == Kind::kAnd ? " AND " : " OR ");
+      os << children_[i]->ShapeString();
+    }
+    os << ")";
+    return os.str();
+  }
+
   const std::vector<PredicateRef>& children() const { return children_; }
 
  private:
@@ -273,6 +312,10 @@ class NotPredicate final : public Predicate {
 
   std::string ToString() const override {
     return "NOT " + child_->ToString();
+  }
+
+  std::string ShapeString() const override {
+    return "NOT " + child_->ShapeString();
   }
 
   const PredicateRef& child() const { return child_; }

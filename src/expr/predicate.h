@@ -57,6 +57,10 @@ class Operand {
   Result<Value> Bind(const ParamMap& params) const;
 
   std::string ToString() const;
+  /// Like ToString, but with literal constants stripped to "?": host vars
+  /// keep their names (part of the query's identity), constants do not —
+  /// the operand's contribution to a query-class key.
+  std::string ShapeString() const;
 
  private:
   Value literal_;
@@ -114,6 +118,12 @@ class Predicate {
   virtual void CollectColumns(std::set<uint32_t>* cols) const = 0;
 
   virtual std::string ToString() const = 0;
+
+  /// The predicate's *shape*: same structure and host-variable names, but
+  /// literal constants stripped to "?". Two queries with the same shape are
+  /// the same query class (obs/profile_store.h) regardless of the concrete
+  /// constants compiled in.
+  virtual std::string ShapeString() const = 0;
 
   // ---- constructors ------------------------------------------------------
 

@@ -24,6 +24,10 @@ void BenchReport::AddMeter(std::string_view prefix, const CostMeter& meter) {
   Add(p + ".rid_ops", static_cast<double>(meter.rid_ops));
 }
 
+void BenchReport::AddJson(std::string_view key, std::string json) {
+  series_.emplace_back(std::string(key), std::move(json));
+}
+
 std::string BenchReport::ToJson() const {
   JsonWriter w;
   w.BeginObject();
@@ -33,6 +37,13 @@ std::string BenchReport::ToJson() const {
     w.KV(key, value);
   }
   w.EndObject();
+  if (!series_.empty()) {
+    w.Key("series").BeginObject();
+    for (const auto& [key, json] : series_) {
+      w.Key(key).Raw(json);
+    }
+    w.EndObject();
+  }
   w.EndObject();
   return w.str();
 }

@@ -25,6 +25,10 @@ class BenchReport {
   void Add(std::string_view key, double value);
   /// Adds the meter's counters as "<prefix>.physical_reads" etc.
   void AddMeter(std::string_view prefix, const CostMeter& meter);
+  /// Attaches a pre-rendered JSON document (array or object) under
+  /// "series.<key>" — how structured time series (e.g. the workload
+  /// telemetry ticker) ride along next to the flat figures.
+  void AddJson(std::string_view key, std::string json);
 
   std::string ToJson() const;
 
@@ -35,6 +39,7 @@ class BenchReport {
  private:
   std::string name_;
   std::vector<std::pair<std::string, double>> values_;
+  std::vector<std::pair<std::string, std::string>> series_;
 };
 
 }  // namespace dynopt

@@ -1,9 +1,11 @@
 // Workload-level ASCII dashboard.
 //
-// One call renders the registry's counters, its histograms (as sparklines
-// over bucket counts), the cost meter, and the feedback store's q-error
-// summaries as a terminal-friendly report — the human companion to the
-// JSON exports, built on util/ascii_chart.
+// One call renders the registry's counters (grouped into sections by
+// metric family — governance.*, integrity.*, wal.*, ...), its histograms
+// (sparklines plus shared-grid percentiles), the cost meter, the feedback
+// store's q-error summaries, and the per-query-class profile aggregates as
+// a terminal-friendly report — the human companion to the JSON exports,
+// built on util/ascii_chart.
 
 #ifndef DYNOPT_OBS_DASHBOARD_H_
 #define DYNOPT_OBS_DASHBOARD_H_
@@ -16,10 +18,13 @@
 
 namespace dynopt {
 
+class ProfileStore;
+
 struct DashboardOptions {
   std::string title = "observability dashboard";
   const CostMeter* meter = nullptr;         // optional cost snapshot
   const FeedbackStore* feedback = nullptr;  // optional q-error section
+  const ProfileStore* profiles = nullptr;   // optional query-class section
 };
 
 std::string RenderDashboard(const MetricsRegistry& metrics,

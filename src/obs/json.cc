@@ -141,4 +141,10 @@ JsonWriter& JsonWriter::Null() {
   return *this;
 }
 
+JsonWriter& JsonWriter::Raw(std::string_view json) {
+  Separate();
+  out_ += json;
+  return *this;
+}
+
 }  // namespace dynopt

@@ -38,6 +38,9 @@ class JsonWriter {
   JsonWriter& Uint(uint64_t value);
   JsonWriter& Bool(bool value);
   JsonWriter& Null();
+  /// Splices pre-rendered JSON (e.g. a document built by another writer)
+  /// in value position. The caller vouches for its validity.
+  JsonWriter& Raw(std::string_view json);
 
   /// Convenience: Key(key) + value.
   JsonWriter& KV(std::string_view key, std::string_view value) {

@@ -22,6 +22,74 @@ void Histogram::Observe(double value) {
   sum_ += value;
 }
 
+double Histogram::Percentile(double q) const {
+  std::vector<uint64_t> counts;
+  counts.reserve(buckets_.size());
+  for (const RelaxedCounter& c : buckets_) counts.push_back(c.load());
+  return PercentileFromBuckets(bounds_, counts, q);
+}
+
+double PercentileFromBuckets(const std::vector<double>& bounds,
+                             const std::vector<uint64_t>& counts, double q) {
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  double target = q * static_cast<double>(total);
+  double cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    double c = static_cast<double>(counts[i]);
+    if (cumulative + c >= target && c > 0) {
+      if (i >= bounds.size()) return bounds.empty() ? 0 : bounds.back();
+      double lo = i > 0 ? bounds[i - 1] : 0;
+      double hi = bounds[i];
+      double frac = c > 0 ? (target - cumulative) / c : 1.0;
+      return lo + frac * (hi - lo);
+    }
+    cumulative += c;
+  }
+  return bounds.empty() ? 0 : bounds.back();
+}
+
+double EstimatePercentile(const std::vector<double>& samples,
+                          const std::vector<double>& bounds, double q) {
+  std::vector<uint64_t> counts(bounds.size() + 1, 0);
+  for (double v : samples) {
+    size_t i =
+        std::lower_bound(bounds.begin(), bounds.end(), v) - bounds.begin();
+    counts[i]++;
+  }
+  return PercentileFromBuckets(bounds, counts, q);
+}
+
+namespace {
+
+std::vector<double> GeometricBounds125(double lo, double hi) {
+  std::vector<double> bounds;
+  for (double decade = lo; decade <= hi; decade *= 10) {
+    for (double m : {1.0, 2.0, 5.0}) {
+      if (decade * m > hi) break;
+      bounds.push_back(decade * m);
+    }
+  }
+  return bounds;
+}
+
+}  // namespace
+
+const std::vector<double>& LatencyBucketBounds() {
+  // 1us .. 5e8us (~8 minutes) in 1-2-5 steps: 27 buckets, ~±25% relative
+  // error anywhere on the grid — plenty for p50/p99 reporting.
+  static const std::vector<double> kBounds = GeometricBounds125(1.0, 5e8);
+  return kBounds;
+}
+
+const std::vector<double>& QErrorBucketBounds() {
+  // Q-errors start at 1 (perfect); everything past 1e6 is "hopeless".
+  static const std::vector<double> kBounds = GeometricBounds125(1.0, 1e6);
+  return kBounds;
+}
+
 Counter* MetricsRegistry::counter(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_by_name_.find(name);

@@ -57,6 +57,10 @@ class Histogram {
   uint64_t count() const { return count_; }
   double sum() const { return sum_; }
 
+  /// Estimated q-quantile (q in [0,1]) from the bucket loads — see
+  /// PercentileFromBuckets. A concurrent-read snapshot, not a cut.
+  double Percentile(double q) const;
+
  private:
   std::string name_;
   std::vector<double> bounds_;
@@ -106,6 +110,29 @@ class MetricsRegistry {
   std::map<std::string, Counter*, std::less<>> counters_by_name_;
   std::map<std::string, Histogram*, std::less<>> histograms_by_name_;
 };
+
+/// Estimates the q-quantile (q in [0,1]) from fixed-bucket counts
+/// (`counts.size() == bounds.size() + 1`; the extra entry is the overflow
+/// bucket) by linear interpolation inside the owning bucket. Returns 0 with
+/// no samples; a quantile landing in the overflow bucket returns the last
+/// bound — a floor, not a guess. This is the one percentile path shared by
+/// the dashboard, the workload driver, live telemetry, and bench reports,
+/// so "p99" means the same thing on every surface.
+double PercentileFromBuckets(const std::vector<double>& bounds,
+                             const std::vector<uint64_t>& counts, double q);
+
+/// Observes `samples` over `bounds` and estimates `q` — the shared
+/// percentile path for ad-hoc sample vectors (replaces per-call sorting).
+double EstimatePercentile(const std::vector<double>& samples,
+                          const std::vector<double>& bounds, double q);
+
+/// Shared latency grid: 1-2-5 geometric bounds in microseconds, 1us..5e8us.
+/// Every latency percentile in the system estimates from this grid, so
+/// figures stay comparable across the driver, telemetry, and benches.
+const std::vector<double>& LatencyBucketBounds();
+
+/// Shared q-error grid (1 = perfect estimate), geometric to 1e6.
+const std::vector<double>& QErrorBucketBounds();
 
 /// Copies a CostMeter's primitive-operation counters into "cost.*" gauges —
 /// how the dynamic execution metric shows up next to component metrics in

@@ -1,0 +1,73 @@
+#include "obs/telemetry.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/ascii_chart.h"
+
+namespace dynopt {
+
+void WriteTelemetry(JsonWriter* w,
+                    const std::vector<TelemetrySnapshot>& series) {
+  w->BeginArray();
+  for (const TelemetrySnapshot& s : series) {
+    w->BeginObject();
+    w->KV("t_seconds", s.t_seconds);
+    w->KV("active_sessions", s.active_sessions);
+    w->KV("queries_total", s.queries_total);
+    w->KV("rows_total", s.rows_total);
+    w->KV("interval_qps", s.interval_qps);
+    w->KV("p50_micros", s.p50_micros);
+    w->KV("p99_micros", s.p99_micros);
+    w->KV("pool_hit_rate", s.pool_hit_rate);
+    w->KV("fallbacks", s.fallbacks);
+    w->KV("governance_trips", s.governance_trips);
+    w->KV("io_faults", s.io_faults);
+    w->KV("scrub_pages", s.scrub_pages);
+    w->KV("pages_repaired", s.pages_repaired);
+    w->EndObject();
+  }
+  w->EndArray();
+}
+
+std::string TelemetryToJson(const std::vector<TelemetrySnapshot>& series) {
+  JsonWriter w;
+  WriteTelemetry(&w, series);
+  return w.str();
+}
+
+std::string RenderWorkloadTop(const std::vector<TelemetrySnapshot>& series,
+                              std::string_view title) {
+  std::ostringstream out;
+  out << "== " << title << " (" << series.size() << " snapshots) ==\n";
+  if (series.empty()) return out.str();
+  std::vector<double> qps;
+  qps.reserve(series.size());
+  for (const TelemetrySnapshot& s : series) qps.push_back(s.interval_qps);
+  out << "qps " << Sparkline(Downsample(qps, 60)) << "\n";
+  auto fmt = [](double v, const char* spec) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), spec, v);
+    return std::string(buf);
+  };
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(series.size());
+  for (const TelemetrySnapshot& s : series) {
+    rows.push_back({fmt(s.t_seconds, "%.2f"),
+                    std::to_string(s.active_sessions),
+                    std::to_string(s.queries_total),
+                    fmt(s.interval_qps, "%.0f"), fmt(s.p50_micros, "%.0f"),
+                    fmt(s.p99_micros, "%.0f"),
+                    fmt(100 * s.pool_hit_rate, "%.1f%%"),
+                    std::to_string(s.fallbacks + s.governance_trips),
+                    std::to_string(s.io_faults),
+                    std::to_string(s.scrub_pages),
+                    std::to_string(s.pages_repaired)});
+  }
+  out << FormatTable({"t(s)", "sess", "queries", "qps", "p50us", "p99us",
+                      "hit", "trips", "iofail", "scrub", "repair"},
+                     rows);
+  return out.str();
+}
+
+}  // namespace dynopt

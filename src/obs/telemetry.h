@@ -1,0 +1,50 @@
+// Live workload telemetry — periodic snapshots of a running workload.
+//
+// The driver's ticker thread samples shared counters on an interval and
+// emits one TelemetrySnapshot per tick: interval throughput and latency
+// percentiles (from the shared bucket grid, no per-query collection),
+// pool hit rate, and deltas of the governance / integrity metric families.
+// The series renders two ways: a JSON time series embedded in BENCH
+// reports, and an ASCII "top" view for terminals.
+
+#ifndef DYNOPT_OBS_TELEMETRY_H_
+#define DYNOPT_OBS_TELEMETRY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace dynopt {
+
+/// One ticker sample. Rate-style fields cover the interval since the
+/// previous snapshot; *_total fields are cumulative since workload start.
+struct TelemetrySnapshot {
+  double t_seconds = 0;  // since workload start
+  uint64_t active_sessions = 0;
+  uint64_t queries_total = 0;
+  uint64_t rows_total = 0;
+  double interval_qps = 0;
+  double p50_micros = 0;  // over queries finished in the interval
+  double p99_micros = 0;
+  double pool_hit_rate = 0;  // over the interval
+  uint64_t fallbacks = 0;          // governance.strategy_fallbacks delta
+  uint64_t governance_trips = 0;   // cancel+deadline+budget deltas
+  uint64_t io_faults = 0;          // governance.io_faults delta
+  uint64_t scrub_pages = 0;        // integrity.scrub_pages delta
+  uint64_t pages_repaired = 0;     // integrity repairs (incl. pin) delta
+};
+
+/// Renders the series as a JSON array into an in-progress writer.
+void WriteTelemetry(JsonWriter* w, const std::vector<TelemetrySnapshot>& series);
+std::string TelemetryToJson(const std::vector<TelemetrySnapshot>& series);
+
+/// ASCII "top": one row per snapshot plus a qps sparkline header.
+std::string RenderWorkloadTop(const std::vector<TelemetrySnapshot>& series,
+                              std::string_view title = "workload top");
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_OBS_TELEMETRY_H_

@@ -1,5 +1,7 @@
 #include "obs/trace.h"
 
+#include "obs/metrics.h"
+
 namespace dynopt {
 
 std::string_view TraceEventKindName(TraceEventKind kind) {
@@ -34,12 +36,30 @@ const TraceEvent& TraceLog::Emit(TraceEventKind kind, std::string subject,
                                  std::string detail, double a, double b) {
   events_.push_back(TraceEvent{next_seq_++, kind, std::move(subject),
                                std::move(detail), a, b});
+  emitted_[static_cast<size_t>(kind)]++;
+  EvictOverCapacity();
   return events_.back();
+}
+
+void TraceLog::set_capacity(size_t capacity) {
+  capacity_ = capacity;
+  EvictOverCapacity();
+}
+
+void TraceLog::EvictOverCapacity() {
+  if (capacity_ == 0) return;
+  while (events_.size() > capacity_) {
+    events_.pop_front();
+    dropped_++;
+    Bump(dropped_counter_);
+  }
 }
 
 void TraceLog::Clear() {
   events_.clear();
   next_seq_ = 0;
+  dropped_ = 0;
+  emitted_.fill(0);
 }
 
 const TraceEvent* TraceLog::Find(TraceEventKind kind,

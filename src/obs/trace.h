@@ -9,11 +9,19 @@
 // Events carry monotonic per-log sequence numbers instead of timestamps:
 // runs stay bit-deterministic, and ordering (the Fig 4 state machine) is
 // still fully reconstructible.
+//
+// The log is a bounded ring: past `capacity()` the oldest events drop (and
+// are tallied, optionally into an `obs.trace_dropped` counter) so a
+// long-running workload cannot grow a trace without bound. Lifetime kind
+// tallies (`EmittedCount`) survive eviction, so decision counts — e.g.
+// "was any strategy disqualified?" — stay exact even after wraparound.
 
 #ifndef DYNOPT_OBS_TRACE_H_
 #define DYNOPT_OBS_TRACE_H_
 
+#include <array>
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -21,6 +29,8 @@
 #include "obs/json.h"
 
 namespace dynopt {
+
+struct Counter;
 
 enum class TraceEventKind : uint8_t {
   kAnalysis,           // initial stage done; a = estimation pages, b = #indexes
@@ -47,16 +57,27 @@ struct TraceEvent {
   double b = 0;
 };
 
-/// Append-only event log. One log per retrieval execution (cleared on
-/// re-Open), or one per workload when aggregating.
+/// Bounded event log (ring buffer past `capacity()`). One log per retrieval
+/// execution (cleared on re-Open), or one per workload when aggregating.
 class TraceLog {
  public:
+  static constexpr size_t kDefaultCapacity = 4096;
+
   const TraceEvent& Emit(TraceEventKind kind, std::string subject,
                          std::string detail = std::string(), double a = 0,
                          double b = 0);
 
-  const std::vector<TraceEvent>& events() const { return events_; }
+  const std::deque<TraceEvent>& events() const { return events_; }
   void Clear();
+
+  /// Retention limit; 0 keeps everything. Shrinking evicts (and counts)
+  /// the oldest events immediately. Tests pin this for determinism.
+  void set_capacity(size_t capacity);
+  size_t capacity() const { return capacity_; }
+  /// Events evicted by the ring since the last Clear().
+  uint64_t dropped() const { return dropped_; }
+  /// Optional registry counter (obs.trace_dropped) bumped on each eviction.
+  void set_dropped_counter(Counter* counter) { dropped_counter_ = counter; }
 
   bool Contains(TraceEventKind kind, std::string_view subject) const {
     return Find(kind, subject) != nullptr;
@@ -65,14 +86,25 @@ class TraceLog {
   const TraceEvent* Find(TraceEventKind kind, std::string_view subject) const;
   /// Subjects of all events of `kind`, in emission order.
   std::vector<std::string> Subjects(TraceEventKind kind) const;
-  /// Number of events of `kind`, any subject.
+  /// Number of events of `kind` currently retained, any subject.
   size_t CountKind(TraceEventKind kind) const;
+  /// Number of events of `kind` ever emitted since Clear() — unlike
+  /// CountKind this survives ring eviction.
+  uint64_t EmittedCount(TraceEventKind kind) const {
+    return emitted_[static_cast<size_t>(kind)];
+  }
 
   std::string ToJson() const;
 
  private:
-  std::vector<TraceEvent> events_;
+  void EvictOverCapacity();
+
+  std::deque<TraceEvent> events_;
   uint64_t next_seq_ = 0;
+  size_t capacity_ = kDefaultCapacity;
+  uint64_t dropped_ = 0;
+  Counter* dropped_counter_ = nullptr;
+  std::array<uint64_t, 16> emitted_{};  // lifetime tallies, indexed by kind
 };
 
 /// Renders the log as a JSON array into an in-progress writer (for

@@ -6,11 +6,35 @@
 #include <thread>
 
 #include "core/retrieval.h"
+#include "obs/metrics.h"
+#include "util/atomic_counter.h"
 #include "util/rng.h"
 
 namespace dynopt {
 
 namespace {
+
+/// Counters shared between the sessions and the telemetry ticker — all
+/// relaxed atomics, bumped on the session threads' hot path and sampled
+/// (never reset) by the ticker, which works in deltas.
+struct LiveCounters {
+  RelaxedCounter queries;
+  RelaxedCounter rows;
+  std::atomic<uint64_t> active{0};
+  /// Completed-query latency tallies over the shared grid (same bucket
+  /// assignment as Histogram::Observe: first bound >= value).
+  std::vector<RelaxedCounter> latency_buckets;
+
+  LiveCounters() : latency_buckets(LatencyBucketBounds().size() + 1) {}
+
+  void ObserveLatency(double micros) {
+    const std::vector<double>& bounds = LatencyBucketBounds();
+    size_t i = static_cast<size_t>(
+        std::lower_bound(bounds.begin(), bounds.end(), micros) -
+        bounds.begin());
+    latency_buckets[i]++;
+  }
+};
 
 // 64-bit finalizer (splitmix64): RID sets fold through this so that a
 // missing row and a spurious row cannot cancel out under plain XOR of
@@ -27,28 +51,36 @@ uint64_t MixU64(uint64_t x) {
 class Session {
  public:
   Session(Database* db, Table* table, const SessionWorkloadOptions& opts,
-          size_t index)
-      : db_(db), opts_(opts), rng_(opts.seed * 1000003 + index * 7919 + 1) {
+          size_t index, LiveCounters* live)
+      : db_(db),
+        opts_(opts),
+        live_(live),
+        rng_(opts.seed * 1000003 + index * 7919 + 1) {
     RetrievalSpec range_spec;
     range_spec.table = table;
     range_spec.restriction = Predicate::And(
         {Predicate::Between(1, Operand::HostVar("lo"), Operand::HostVar("hi")),
          Predicate::Compare(2, CompareOp::kLt, Operand::HostVar("cap"))});
     range_spec.projection = {0, 1, 2};
-    range_engine_ = std::make_unique<DynamicRetrieval>(db, range_spec);
+    range_engine_ =
+        std::make_unique<DynamicRetrieval>(db, range_spec, opts.retrieval);
 
     RetrievalSpec point_spec;
     point_spec.table = table;
     point_spec.restriction =
         Predicate::Compare(0, CompareOp::kEq, Operand::HostVar("id"));
     point_spec.projection = {0};
-    point_engine_ = std::make_unique<DynamicRetrieval>(db, point_spec);
+    point_engine_ =
+        std::make_unique<DynamicRetrieval>(db, point_spec, opts.retrieval);
 
     row_count_ = static_cast<int64_t>(table->record_count());
   }
 
   SessionOutcome Run() {
     SessionOutcome out;
+    if (live_ != nullptr) {
+      live_->active.fetch_add(1, std::memory_order_relaxed);
+    }
     for (size_t q = 0; q < opts_.queries_per_session; ++q) {
       DynamicRetrieval* engine;
       ParamMap params;
@@ -106,19 +138,28 @@ class Session {
           continue;
         }
         out.error = st.ToString();
-        return out;
+        break;
       }
       if (engine->degraded()) out.degraded_queries++;
-      if (opts_.record_latencies) {
+      if (opts_.record_latencies || live_ != nullptr) {
         auto q_end = std::chrono::steady_clock::now();
-        out.latencies_micros.push_back(
+        double micros =
             std::chrono::duration<double, std::micro>(q_end - q_start)
-                .count());
+                .count();
+        if (opts_.record_latencies) out.latencies_micros.push_back(micros);
+        if (live_ != nullptr) live_->ObserveLatency(micros);
       }
       out.queries++;
       out.rows += rows;
+      if (live_ != nullptr) {
+        live_->queries++;
+        live_->rows.Add(rows);
+      }
       // Chain in query order so stream position matters.
       out.result_hash = MixU64(out.result_hash ^ fold ^ (rows + 1));
+    }
+    if (live_ != nullptr) {
+      live_->active.fetch_sub(1, std::memory_order_relaxed);
     }
     return out;
   }
@@ -126,6 +167,7 @@ class Session {
  private:
   Database* db_;
   const SessionWorkloadOptions& opts_;
+  LiveCounters* live_;  // shared with the ticker; null without telemetry
   Rng rng_;
   std::unique_ptr<DynamicRetrieval> range_engine_;
   std::unique_ptr<DynamicRetrieval> point_engine_;
@@ -147,11 +189,12 @@ Result<SessionWorkloadReport> RunSessionWorkload(
 
   // Construct sessions up front (engine construction does catalog work
   // that should not count toward throughput).
+  LiveCounters live;
   std::vector<std::unique_ptr<Session>> sessions;
   sessions.reserve(options.sessions);
   for (size_t i = 0; i < options.sessions; ++i) {
-    sessions.push_back(
-        std::make_unique<Session>(db, table, options, i));
+    sessions.push_back(std::make_unique<Session>(
+        db, table, options, i, options.telemetry ? &live : nullptr));
   }
 
   SessionWorkloadReport report;
@@ -173,6 +216,89 @@ Result<SessionWorkloadReport> RunSessionWorkload(
         report.scrub_quarantined += r.quarantined_pages;
         sopts.start_page = r.next_page;
         if (r.pages_scanned == 0) std::this_thread::yield();
+      }
+    });
+  }
+
+  // The telemetry ticker samples only lock-protected or atomic state
+  // (LiveCounters, shard_stats, metric counters), so it can run beside
+  // the sessions and the scrubber. Snapshots are deltas between samples;
+  // a final capture after the joins closes the series.
+  MetricsRegistry* metrics = db->metrics();
+  auto telemetry_t0 = std::chrono::steady_clock::now();
+  struct TelemetryPrev {
+    uint64_t queries = 0;
+    std::vector<uint64_t> buckets;
+    uint64_t hits = 0, misses = 0;
+    uint64_t fallbacks = 0, trips = 0, io_faults = 0;
+    uint64_t scrub_pages = 0, repairs = 0;
+  } prev;
+  prev.buckets.assign(LatencyBucketBounds().size() + 1, 0);
+  auto capture = [&] {
+    TelemetrySnapshot s;
+    auto now = std::chrono::steady_clock::now();
+    s.t_seconds = std::chrono::duration<double>(now - telemetry_t0).count();
+    s.active_sessions = live.active.load(std::memory_order_relaxed);
+    s.queries_total = live.queries.load();
+    s.rows_total = live.rows.load();
+    double dt = report.telemetry.empty()
+                    ? s.t_seconds
+                    : s.t_seconds - report.telemetry.back().t_seconds;
+    uint64_t dq = s.queries_total - prev.queries;
+    prev.queries = s.queries_total;
+    s.interval_qps = dt > 0 ? static_cast<double>(dq) / dt : 0;
+    std::vector<uint64_t> deltas(prev.buckets.size());
+    for (size_t i = 0; i < deltas.size(); ++i) {
+      uint64_t cur = live.latency_buckets[i].load();
+      deltas[i] = cur - prev.buckets[i];
+      prev.buckets[i] = cur;
+    }
+    s.p50_micros = PercentileFromBuckets(LatencyBucketBounds(), deltas, 0.50);
+    s.p99_micros = PercentileFromBuckets(LatencyBucketBounds(), deltas, 0.99);
+    uint64_t hits = 0, misses = 0;
+    for (size_t i = 0; i < pool->shard_count(); ++i) {
+      BufferPool::ShardStats st = pool->shard_stats(i);
+      hits += st.hits;
+      misses += st.misses;
+    }
+    uint64_t dh = hits - prev.hits, dm = misses - prev.misses;
+    prev.hits = hits;
+    prev.misses = misses;
+    s.pool_hit_rate = (dh + dm) > 0 ? static_cast<double>(dh) /
+                                          static_cast<double>(dh + dm)
+                                    : 0;
+    if (metrics != nullptr) {
+      auto delta = [](uint64_t* seen, uint64_t cur) {
+        uint64_t d = cur - *seen;
+        *seen = cur;
+        return d;
+      };
+      s.fallbacks = delta(&prev.fallbacks,
+                          metrics->Value("governance.strategy_fallbacks"));
+      s.governance_trips =
+          delta(&prev.trips, metrics->Value("governance.cancellations") +
+                                 metrics->Value("governance.deadline_hits") +
+                                 metrics->Value("governance.budget_hits"));
+      s.io_faults =
+          delta(&prev.io_faults, metrics->Value("governance.io_faults"));
+      s.scrub_pages =
+          delta(&prev.scrub_pages, metrics->Value("integrity.scrub_pages"));
+      s.pages_repaired =
+          delta(&prev.repairs, metrics->Value("integrity.repairs") +
+                                   metrics->Value("integrity.pin_repairs"));
+    }
+    report.telemetry.push_back(s);
+  };
+  std::atomic<bool> telemetry_stop{false};
+  std::thread ticker;
+  if (options.telemetry) {
+    uint64_t interval =
+        std::max<uint64_t>(options.telemetry_interval_micros, 1000);
+    ticker = std::thread([&, interval] {
+      while (!telemetry_stop.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::microseconds(interval));
+        if (telemetry_stop.load(std::memory_order_acquire)) break;
+        capture();
       }
     });
   }
@@ -208,6 +334,11 @@ Result<SessionWorkloadReport> RunSessionWorkload(
     scrub_stop.store(true, std::memory_order_release);
     scrubber.join();
   }
+  if (ticker.joinable()) {
+    telemetry_stop.store(true, std::memory_order_release);
+    ticker.join();
+    capture();  // close the series after every writer has stopped
+  }
 
   std::vector<double> latencies;
   for (const SessionOutcome& s : report.sessions) {
@@ -220,14 +351,12 @@ Result<SessionWorkloadReport> RunSessionWorkload(
                      s.latencies_micros.end());
   }
   if (!latencies.empty()) {
-    std::sort(latencies.begin(), latencies.end());
-    auto pct = [&](double p) {
-      size_t i = static_cast<size_t>(p * static_cast<double>(
-                                             latencies.size() - 1));
-      return latencies[i];
-    };
-    report.p50_latency_micros = pct(0.50);
-    report.p99_latency_micros = pct(0.99);
+    // Shared percentile path (obs/metrics): same grid as the telemetry
+    // ticker and the benches, so the figures line up across reports.
+    report.p50_latency_micros =
+        EstimatePercentile(latencies, LatencyBucketBounds(), 0.50);
+    report.p99_latency_micros =
+        EstimatePercentile(latencies, LatencyBucketBounds(), 0.99);
   }
   report.queries_per_second =
       report.wall_seconds > 0

@@ -25,8 +25,10 @@
 #include <vector>
 
 #include "catalog/database.h"
+#include "core/retrieval.h"
 #include "governance/query_context.h"
 #include "integrity/scrub.h"
+#include "obs/telemetry.h"
 #include "storage/buffer_pool.h"
 #include "util/status.h"
 
@@ -60,6 +62,16 @@ struct SessionWorkloadOptions {
   /// the driver's read-only contract holds.
   bool scrub = false;
   ScrubOptions scrub_options;
+  /// Run a telemetry ticker thread: every `telemetry_interval_micros` it
+  /// snapshots shared counters (throughput, latency percentiles off the
+  /// shared bucket grid, pool hit rate, governance/integrity deltas) into
+  /// the report's time series. Reads only atomics and metric counters, so
+  /// it is safe beside concurrent sessions and the scrubber.
+  bool telemetry = false;
+  uint64_t telemetry_interval_micros = 50000;
+  /// Engine options for every session's retrieval engines; the profiling
+  /// overhead bench flips `retrieval.profile` on and off here.
+  RetrievalOptions retrieval;
 };
 
 struct SessionOutcome {
@@ -108,6 +120,10 @@ struct SessionWorkloadReport {
   uint64_t scrub_pages = 0;
   uint64_t scrub_repaired = 0;
   uint64_t scrub_quarantined = 0;
+  /// Ticker time series (empty unless options.telemetry); the last
+  /// snapshot is a final capture taken after the sessions join, so the
+  /// series always covers the whole run.
+  std::vector<TelemetrySnapshot> telemetry;
 };
 
 /// Runs the session streams against `table` (FAMILIES shape: columns

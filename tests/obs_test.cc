@@ -15,6 +15,8 @@
 #include "obs/dashboard.h"
 #include "obs/feedback.h"
 #include "obs/metrics.h"
+#include "obs/profile_store.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "util/rng.h"
 
@@ -356,6 +358,42 @@ TEST(MetricsTest, DisabledObservabilityKeepsEngineWorking) {
   EXPECT_FALSE(e_off.events().events().empty());
 }
 
+TEST(MetricsTest, PercentileFromBucketsInterpolatesWithinBuckets) {
+  std::vector<double> bounds = {10, 20, 40};
+  // 10 samples in (10,20], none elsewhere: quantiles interpolate linearly
+  // across the owning bucket.
+  std::vector<uint64_t> counts = {0, 10, 0, 0};
+  EXPECT_DOUBLE_EQ(PercentileFromBuckets(bounds, counts, 0.5), 15.0);
+  EXPECT_DOUBLE_EQ(PercentileFromBuckets(bounds, counts, 1.0), 20.0);
+  // No samples at all: 0, not NaN.
+  EXPECT_DOUBLE_EQ(PercentileFromBuckets(bounds, {0, 0, 0, 0}, 0.5), 0.0);
+  // A quantile landing in the overflow bucket floors at the last bound.
+  EXPECT_DOUBLE_EQ(PercentileFromBuckets(bounds, {0, 0, 0, 5}, 0.99), 40.0);
+  // Monotone in q.
+  std::vector<uint64_t> mixed = {3, 4, 2, 1};
+  EXPECT_LE(PercentileFromBuckets(bounds, mixed, 0.5),
+            PercentileFromBuckets(bounds, mixed, 0.99));
+}
+
+TEST(MetricsTest, EstimatePercentileUsesTheSharedGrid) {
+  std::vector<double> samples = {100, 200, 300, 400, 50000};
+  const auto& grid = LatencyBucketBounds();
+  double p50 = EstimatePercentile(samples, grid, 0.50);
+  double p99 = EstimatePercentile(samples, grid, 0.99);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_GE(p99, p50);
+  // The bucketed estimate lands within the owning bucket of the true
+  // median (200): between the surrounding 1-2-5 grid bounds.
+  EXPECT_GE(p50, 100.0);
+  EXPECT_LE(p50, 500.0);
+  EXPECT_DOUBLE_EQ(EstimatePercentile({}, grid, 0.5), 0.0);
+  // Histogram::Percentile rides the same path.
+  MetricsRegistry r;
+  Histogram* h = r.histogram("lat", grid);
+  for (double s : samples) h->Observe(s);
+  EXPECT_DOUBLE_EQ(h->Percentile(0.50), p50);
+}
+
 TEST(MetricsTest, CostMeterSnapshotLandsInRegistry) {
   Families f(1000);
   DynamicRetrieval engine(&f.db, f.Spec(AgeBetween(0, 99), {0}));
@@ -427,6 +465,41 @@ TEST(FeedbackTest, EngineDepositsOneRecordPerExecution) {
   ASSERT_TRUE(engine.Open(params).ok());
   Drain(&engine);
   EXPECT_EQ(fb->size(), 2u);
+}
+
+// --------------------------------------------------------------- trace ring
+
+TEST(TraceRingTest, EvictsOldestCountsDropsAndKeepsLifetimeTallies) {
+  TraceLog log;
+  log.set_capacity(3);
+  Counter dropped{"obs.trace_dropped"};
+  log.set_dropped_counter(&dropped);
+  for (int i = 0; i < 5; ++i) {
+    log.Emit(TraceEventKind::kStageTransition, "s" + std::to_string(i));
+  }
+  ASSERT_EQ(log.events().size(), 3u);
+  EXPECT_EQ(log.dropped(), 2u);
+  EXPECT_EQ(dropped.value.load(), 2u);
+  // Oldest went first; sequence numbers keep their original values.
+  EXPECT_EQ(log.events().front().subject, "s2");
+  EXPECT_EQ(log.events().front().seq, 2u);
+  EXPECT_EQ(log.events().back().subject, "s4");
+  // Retained count differs from the eviction-proof lifetime tally.
+  EXPECT_EQ(log.CountKind(TraceEventKind::kStageTransition), 3u);
+  EXPECT_EQ(log.EmittedCount(TraceEventKind::kStageTransition), 5u);
+  // Shrinking the capacity evicts (and counts) immediately.
+  log.set_capacity(1);
+  EXPECT_EQ(log.events().size(), 1u);
+  EXPECT_EQ(log.dropped(), 4u);
+  // Clear resets drops; capacity 0 disables the ring.
+  log.Clear();
+  EXPECT_EQ(log.dropped(), 0u);
+  log.set_capacity(0);
+  for (int i = 0; i < 100; ++i) {
+    log.Emit(TraceEventKind::kAnalysis, "a");
+  }
+  EXPECT_EQ(log.events().size(), 100u);
+  EXPECT_EQ(log.dropped(), 0u);
 }
 
 // ------------------------------------------------------------ JSON exports
@@ -532,6 +605,97 @@ TEST(DashboardTest, RendersCountersHistogramsAndFeedback) {
   EXPECT_NE(board.find("workload"), std::string::npos);
   EXPECT_NE(board.find("buffer_pool.hits"), std::string::npos);
   EXPECT_NE(board.find("q-error"), std::string::npos);
+}
+
+TEST(DashboardTest, GroupsMetricFamiliesIntoSections) {
+  MetricsRegistry r;
+  r.counter("governance.strategy_fallbacks")->value += 3;
+  r.counter("governance.deadline_hits")->value += 1;
+  r.counter("integrity.repairs")->value += 2;
+  r.counter("durability.commits")->value += 4;
+  r.counter("wal.appends")->value += 9;
+  r.counter("obs.trace_dropped")->value += 7;
+  DashboardOptions opts;
+  opts.title = "families";
+  std::string board = RenderDashboard(r, opts);
+  // Each dotted prefix renders as its own "-- family --" section, and the
+  // section precedes its counters.
+  for (const char* family :
+       {"-- governance --", "-- integrity --", "-- durability --",
+        "-- wal --", "-- obs --"}) {
+    EXPECT_NE(board.find(family), std::string::npos) << board;
+  }
+  EXPECT_LT(board.find("-- governance --"),
+            board.find("governance.strategy_fallbacks"));
+  EXPECT_LT(board.find("-- integrity --"), board.find("integrity.repairs"));
+}
+
+TEST(DashboardTest, ProfileStoreSectionListsQueryClasses) {
+  MetricsRegistry r;
+  ProfileStore store;
+  store.Record("families|age BETWEEN ? AND ?",
+               {150.0, 10, 12, 5, 6, "background-only"});
+  DashboardOptions opts;
+  opts.title = "profiles";
+  opts.profiles = &store;
+  std::string board = RenderDashboard(r, opts);
+  EXPECT_NE(board.find("query classes (1)"), std::string::npos);
+  EXPECT_NE(board.find("families|age BETWEEN ? AND ?"), std::string::npos);
+  EXPECT_NE(board.find("background-only:1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- telemetry
+
+TEST(TelemetryExportTest, SeriesRendersAsJsonAndTop) {
+  std::vector<TelemetrySnapshot> series(2);
+  series[0].t_seconds = 0.05;
+  series[0].queries_total = 10;
+  series[0].interval_qps = 200;
+  series[0].p50_micros = 120;
+  series[0].p99_micros = 900;
+  series[0].pool_hit_rate = 0.75;
+  series[1].t_seconds = 0.10;
+  series[1].queries_total = 25;
+  series[1].interval_qps = 300;
+  series[1].fallbacks = 1;
+  series[1].pages_repaired = 2;
+
+  std::string json = TelemetryToJson(series);
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"t_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"interval_qps\""), std::string::npos);
+  EXPECT_NE(json.find("\"pool_hit_rate\""), std::string::npos);
+  EXPECT_TRUE(JsonChecker(TelemetryToJson({})).Valid());
+
+  std::string top = RenderWorkloadTop(series, "test workload");
+  EXPECT_NE(top.find("test workload"), std::string::npos);
+  EXPECT_NE(top.find("qps"), std::string::npos);
+}
+
+// ----------------------------------------------------------- explain analyze
+
+TEST(JsonExportTest, ExplainAnalyzeJsonParses) {
+  Families f(5000);
+  f.Index("by_age", {"age"});
+  f.Index("by_age_income", {"age", "income"});
+  DynamicRetrieval engine(
+      &f.db, f.Spec(Predicate::Between(1, Operand::Literal(Value(int64_t{10})),
+                                       Operand::Literal(Value(int64_t{40}))),
+                    {1, 2}));
+  ParamMap params;
+  ASSERT_TRUE(engine.Open(params).ok());
+  Drain(&engine);
+
+  std::string json = ExplainAnalyzeJson(engine, f.db.cost_weights());
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"profile\""), std::string::npos);
+  EXPECT_NE(json.find("\"competition\""), std::string::npos);
+  EXPECT_NE(json.find("\"query_class\""), std::string::npos);
+  // The profile's own exporters parse too.
+  EXPECT_TRUE(JsonChecker(engine.profile().ToJson()).Valid());
+  ProfileStore* store = f.db.profiles();
+  ASSERT_NE(store, nullptr);
+  EXPECT_TRUE(JsonChecker(store->ToJson()).Valid()) << store->ToJson();
 }
 
 }  // namespace
