@@ -4,10 +4,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <deque>
 #include <string>
 #include <vector>
 
 #include "catalog/database.h"
+#include "core/retrieval.h"
+#include "expr/predicate.h"
 #include "index/btree.h"
 #include "stats/selectivity_dist.h"
 #include "storage/buffer_pool.h"
@@ -155,6 +160,123 @@ void BM_BufferPoolMissEvict(benchmark::State& state) {
 }
 BENCHMARK(BM_BufferPoolMissEvict);
 
+// ----------------------------------------------------- vectorized Tscan
+//
+// Row-at-a-time reference vs the batched engine over the same table and
+// restriction. The reference mirrors the pre-vectorization TscanStepper
+// exactly: heap cursor, full-record deserialize (strings and all), RowView
+// Eval, per-row projection. The batched path goes through DynamicRetrieval
+// and gets column-skipping deserializes, selection-vector filtering, and
+// per-batch metering. main() gates on >= 2x between the two.
+
+struct TscanEnv {
+  Database db;
+  Table* table = nullptr;
+  RetrievalSpec spec;
+  ParamMap params;
+
+  explicit TscanEnv(int64_t rows)
+      : db(DatabaseOptions{.pool_pages = 8192}) {
+    auto t = db.CreateTable(
+        "families", Schema({{"id", ValueType::kInt64},
+                            {"age", ValueType::kInt64},
+                            {"income", ValueType::kInt64},
+                            {"city", ValueType::kString}}));
+    table = *t;
+    Rng rng(42);
+    for (int64_t i = 0; i < rows; ++i) {
+      int64_t age = rng.NextInt(0, 99);
+      int64_t income = rng.NextInt(0, 200000);
+      std::string city = "city" + std::to_string(rng.NextBounded(50));
+      table->Insert(Record{i, age, income, city}).ok();
+    }
+    spec.table = table;
+    spec.restriction = Predicate::And(
+        {Predicate::Between(1, Operand::Literal(Value(int64_t{20})),
+                            Operand::Literal(Value(int64_t{59}))),
+         Predicate::Compare(2, CompareOp::kLt,
+                            Operand::Literal(Value(int64_t{100000})))});
+    spec.projection = {0, 1};
+  }
+};
+
+TscanEnv* SharedTscanEnv() {
+  static TscanEnv env(120000);
+  return &env;
+}
+
+size_t TscanRowReference(TscanEnv* env) {
+  auto cursor = env->table->heap()->NewCursor();
+  BufferPool* pool = env->db.pool();
+  const Schema& schema = env->table->schema();
+  std::string bytes;
+  Rid rid;
+  Record record;
+  CostMeter accrued;
+  std::deque<OutputRow> queue;
+  size_t delivered = 0;
+  for (;;) {
+    // One seed-stepper step per row: meter snapshot/diff around the work,
+    // full-record deserialize, RowView Eval, survivors round-trip through
+    // the engine's output queue.
+    MeterScope scope(pool, &accrued);
+    auto more = cursor.Next(&bytes, &rid);
+    if (!more.ok() || !*more) break;
+    if (!DeserializeRecord(schema, bytes, &record).ok()) break;
+    RowView view(&record);
+    pool->meter_ptr()->record_evals++;
+    auto keep = env->spec.restriction->Eval(view, env->params);
+    if (!keep.ok() || !*keep) continue;
+    std::vector<Value> out;
+    out.reserve(env->spec.projection.size());
+    for (uint32_t c : env->spec.projection) out.push_back(record[c]);
+    queue.push_back(OutputRow{std::move(out), rid});
+    OutputRow row = std::move(queue.front());
+    queue.pop_front();
+    benchmark::DoNotOptimize(row);
+    delivered++;
+  }
+  benchmark::DoNotOptimize(accrued);
+  return delivered;
+}
+
+size_t TscanBatched(TscanEnv* env, size_t batch_size) {
+  RetrievalOptions opt;
+  opt.batch_size = batch_size;
+  DynamicRetrieval engine(&env->db, env->spec, opt);
+  if (!engine.Open(env->params).ok()) return 0;
+  OutputRow row;
+  size_t delivered = 0;
+  for (;;) {
+    auto more = engine.Next(&row);
+    if (!more.ok() || !*more) break;
+    delivered++;
+  }
+  return delivered;
+}
+
+void BM_TscanRestrictionRowRef(benchmark::State& state) {
+  TscanEnv* env = SharedTscanEnv();
+  size_t delivered = 0;
+  for (auto _ : state) delivered = TscanRowReference(env);
+  state.counters["delivered"] = static_cast<double>(delivered);
+}
+BENCHMARK(BM_TscanRestrictionRowRef)->Unit(benchmark::kMillisecond);
+
+void BM_TscanRestrictionBatch(benchmark::State& state) {
+  TscanEnv* env = SharedTscanEnv();
+  size_t delivered = 0;
+  for (auto _ : state) {
+    delivered = TscanBatched(env, static_cast<size_t>(state.range(0)));
+  }
+  state.counters["delivered"] = static_cast<double>(delivered);
+}
+BENCHMARK(BM_TscanRestrictionBatch)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_DistAndUnknown(benchmark::State& state) {
   auto u = SelectivityDist::Uniform();
   for (auto _ : state) {
@@ -164,6 +286,45 @@ void BM_DistAndUnknown(benchmark::State& state) {
 BENCHMARK(BM_DistAndUnknown)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+// Hard regression gate for the vectorized executor: the batched Tscan
+// restriction path must beat the row-at-a-time reference by at least 2x.
+// Returns non-zero (failing the bench run, and CI with it) when it does
+// not, or when the two paths disagree on delivered row counts.
+int RunTscanVectorizationGate() {
+  TscanEnv* env = SharedTscanEnv();
+  auto best_of = [](auto&& fn) {
+    double best = 1e300;
+    for (int i = 0; i < 5; ++i) {
+      auto t0 = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(fn());
+      auto t1 = std::chrono::steady_clock::now();
+      best = std::min(best,
+                      std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best;
+  };
+  size_t row_n = TscanRowReference(env);  // warm the buffer pool
+  size_t batch_n = TscanBatched(env, kDefaultBatchRows);
+  double row_t = best_of([&] { return TscanRowReference(env); });
+  double batch_t = best_of([&] { return TscanBatched(env, kDefaultBatchRows); });
+  double speedup = row_t / batch_t;
+  std::fprintf(stderr,
+               "Tscan restriction: row=%.2fms batch=%.2fms speedup=%.2fx "
+               "(gate >= 2.0x; delivered %zu/%zu)\n",
+               row_t * 1e3, batch_t * 1e3, speedup, row_n, batch_n);
+  if (batch_n != row_n) {
+    std::fprintf(stderr,
+                 "FAIL: row and batch paths delivered different row counts\n");
+    return 1;
+  }
+  if (speedup < 2.0) {
+    std::fprintf(stderr, "FAIL: vectorization speedup below the 2x gate\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace dynopt
 
 // Like BENCHMARK_MAIN(), but defaults the file reporter to
@@ -182,5 +343,5 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return dynopt::RunTscanVectorizationGate();
 }

@@ -2,6 +2,10 @@
 # Builds and runs every benchmark, collecting the BENCH_<name>.json
 # reports each one writes to its working directory into a single place.
 #
+# Two binaries double as regression gates and exit non-zero (failing this
+# script) when breached: bench_profile (profiling overhead <= 5%) and
+# bench_micro (batched Tscan restriction >= 2x over row-at-a-time).
+#
 # Usage: scripts/bench.sh [output-dir] [jobs]
 #   output-dir   where benchmarks run and reports land (default:
 #                bench-results/ at the repo root)

@@ -126,4 +126,38 @@ Status SecondaryIndex::DecodeKeyColumns(
   return Status::OK();
 }
 
+Status SecondaryIndex::DecodeKeyColumnsInto(std::string_view full_key,
+                                            ColumnVector* const* dests,
+                                            std::string* scratch) const {
+  std::string_view prefix;
+  DYNOPT_RETURN_IF_ERROR(SplitRidSuffix(full_key, &prefix).status());
+  for (uint32_t c : key_columns_) {
+    ColumnVector* dest = dests[c];
+    switch (schema_->column(c).type) {
+      case ValueType::kInt64: {
+        int64_t v;
+        DYNOPT_RETURN_IF_ERROR(DecodeInt64(&prefix, &v));
+        if (dest != nullptr) dest->AppendInt64(v);
+        break;
+      }
+      case ValueType::kDouble: {
+        double v;
+        DYNOPT_RETURN_IF_ERROR(DecodeDouble(&prefix, &v));
+        if (dest != nullptr) dest->AppendDouble(v);
+        break;
+      }
+      case ValueType::kString: {
+        scratch->clear();
+        DYNOPT_RETURN_IF_ERROR(DecodeString(&prefix, scratch));
+        if (dest != nullptr) dest->AppendString(*scratch);
+        break;
+      }
+    }
+  }
+  if (!prefix.empty()) {
+    return Status::Corruption("index key has trailing bytes before RID");
+  }
+  return Status::OK();
+}
+
 }  // namespace dynopt

@@ -60,6 +60,14 @@ class SecondaryIndex {
   Status DecodeKeyColumns(std::string_view full_key,
                           std::vector<std::optional<Value>>* sparse) const;
 
+  /// Batched twin of DecodeKeyColumns: appends each key column of
+  /// `full_key` to `dests[c]` (indexed by schema column; a null entry
+  /// skips that column). `scratch` is a reusable string-decode buffer so
+  /// steady-state scans avoid per-entry allocation.
+  Status DecodeKeyColumnsInto(std::string_view full_key,
+                              ColumnVector* const* dests,
+                              std::string* scratch) const;
+
   const std::string& name() const { return name_; }
   const std::vector<uint32_t>& key_columns() const { return key_columns_; }
   /// The set of columns an index-only scan can answer from.

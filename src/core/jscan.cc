@@ -70,6 +70,12 @@ std::unique_ptr<Jscan::ActiveScan> Jscan::StartScan(
   auto scan = std::make_unique<ActiveScan>(cand);
   scan->list = std::make_unique<HybridRidList>(db_->pool(), options_.rid_list);
   scan->list->set_context(ctx_);
+  if (cand->covered_residual != nullptr) {
+    std::set<uint32_t> cols;
+    cand->covered_residual->CollectColumns(&cols);
+    scan->keys.Configure(spec_.table->schema().num_columns(), cols,
+                         options_.batch_entries);
+  }
   borrow_generation_++;
   return scan;
 }
@@ -127,32 +133,53 @@ Status Jscan::Advance() {
 
 Result<bool> Jscan::StepScan(ActiveScan* scan) {
   MeterScope scope(db_->pool(), &scan->accrued);
-  std::string key;
-  Rid rid;
-  DYNOPT_ASSIGN_OR_RETURN(bool more, scan->cursor.Next(&key, &rid));
-  if (!more) {
+  scan_entries_.Clear();
+  DYNOPT_ASSIGN_OR_RETURN(
+      bool more,
+      scan->cursor.NextBatch(options_.batch_entries, &scan_entries_));
+  (void)more;
+  size_t n = scan_entries_.size();
+  if (n == 0) {
     scan->exhausted = true;
     return false;
   }
-  scan->entries_scanned++;
-  if (completed_list_ != nullptr && !completed_list_->MightContain(rid)) {
-    return true;  // filtered out: intersection drops it
+  scan->entries_scanned += n;
+  // Intersection filter: the previously completed list drops entries
+  // before they ever reach this scan's RID list.
+  scan_keep_.clear();
+  scan_keep_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (completed_list_ != nullptr &&
+        !completed_list_->MightContain(scan_entries_.rid(i))) {
+      continue;
+    }
+    scan_keep_.push_back(i);
   }
-  if (scan->cand->covered_residual != nullptr) {
-    // Index screening: reject from the key alone, before the entry ever
-    // reaches a RID list (and long before any record fetch).
-    std::vector<std::optional<Value>> sparse;
-    DYNOPT_RETURN_IF_ERROR(
-        scan->cand->index->DecodeKeyColumns(key, &sparse));
-    RowView view(&sparse);
-    db_->pool()->meter_ptr()->record_evals++;
-    DYNOPT_ASSIGN_OR_RETURN(bool pass,
-                            scan->cand->covered_residual->Eval(view, params_));
-    if (!pass) return true;
+  if (scan->cand->covered_residual != nullptr && !scan_keep_.empty()) {
+    // Vectorized index screening: reject from the keys alone, before the
+    // entries reach a RID list (and long before any record fetch).
+    scan->keys.Clear();
+    for (uint32_t i : scan_keep_) {
+      DYNOPT_RETURN_IF_ERROR(scan->cand->index->DecodeKeyColumnsInto(
+          scan_entries_.key(i), scan->keys.dests(), &decode_scratch_));
+      scan->keys.AddRow(scan_entries_.rid(i));
+    }
+    db_->pool()->meter_ptr()->record_evals += scan_keep_.size();
+    BatchView view(scan->keys.cols(), scan->keys.num_columns());
+    DYNOPT_RETURN_IF_ERROR(FilterSelection(*scan->cand->covered_residual,
+                                           view, params_, &scan_scratch_,
+                                           &scan->keys.sel()));
+    // keys row r corresponds to scan_keep_[r]; compact in place.
+    size_t kept = 0;
+    for (uint32_t r : scan->keys.sel()) scan_keep_[kept++] = scan_keep_[r];
+    scan_keep_.resize(kept);
   }
-  DYNOPT_RETURN_IF_ERROR(scan->list->Append(rid));
-  scan->kept++;
-  scan->kept_pages.insert(rid.page);
+  for (uint32_t i : scan_keep_) {
+    const Rid& rid = scan_entries_.rid(i);
+    DYNOPT_RETURN_IF_ERROR(scan->list->Append(rid));
+    scan->kept++;
+    scan->kept_pages.insert(rid.page);
+  }
   return true;
 }
 

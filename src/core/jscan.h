@@ -64,6 +64,10 @@ class Jscan {
     bool simultaneous_adjacent = true;
     /// false = [MoHa90] static-threshold baseline (no run-time switching).
     bool dynamic_thresholds = true;
+    /// Index entries each Step() harvests per scan — the batch quantum.
+    /// Alternation, spill dissolution, and discard checks happen at batch
+    /// boundaries. Tests pin 1 to recover entry-at-a-time interleaving.
+    uint64_t batch_entries = kDefaultBatchRows;
     HybridRidList::Options rid_list;
   };
 
@@ -164,6 +168,9 @@ class Jscan {
     /// Distinct heap pages among kept RIDs: the live clustering
     /// measurement the final-cost projection is built from (§3b).
     std::unordered_set<PageId> kept_pages;
+    /// Decoded key columns of the current batch's screen candidates
+    /// (configured at StartScan when a covered residual exists).
+    RowBatch keys;
 
     explicit ActiveScan(const IndexClassification* c)
         : cand(c), cursor(c->index->tree(), &c->ranges) {}
@@ -228,6 +235,12 @@ class Jscan {
   uint64_t borrow_generation_ = 0;
   uint64_t borrow_source_generation_ = ~uint64_t{0};
   size_t borrow_pos_ = 0;
+
+  // Batch scratch shared by StepScan calls (allocations recycled).
+  RidBatch scan_entries_;
+  BatchEvalScratch scan_scratch_;
+  std::string decode_scratch_;
+  std::vector<uint32_t> scan_keep_;  // batch indexes surviving the filter
 };
 
 }  // namespace dynopt

@@ -162,7 +162,7 @@ Result<bool> DynamicRetrievalOperator::ResortRemainder(OutputRow* first,
   return true;
 }
 
-Result<bool> DynamicRetrievalOperator::Next(std::vector<Value>* row) {
+Result<bool> DynamicRetrievalOperator::NextRow(std::vector<Value>* row) {
   if (sort_fallback_) {
     if (sorted_pos_ >= sorted_rows_.size()) return false;
     *row = sorted_rows_[sorted_pos_++];
@@ -172,7 +172,7 @@ Result<bool> DynamicRetrievalOperator::Next(std::vector<Value>* row) {
   DYNOPT_ASSIGN_OR_RETURN(bool more, engine_.Next(&out));
   if (spec_.order_by_column.has_value() && !engine_.delivers_order()) {
     // The engine lost its ordered strategy to an I/O fault during this
-    // Next (degraded fallback flips delivers_order). Rows already emitted
+    // pull (degraded fallback flips delivers_order). Rows already emitted
     // form a sorted prefix — the ordered scan delivered them in key order
     // and the fallback deduplicates them — so sorting the remainder (this
     // row plus everything still in the engine) continues the sequence.
@@ -181,6 +181,21 @@ Result<bool> DynamicRetrievalOperator::Next(std::vector<Value>* row) {
   if (!more) return false;
   *row = std::move(out.values);
   return true;
+}
+
+Result<bool> DynamicRetrievalOperator::NextBatch(
+    std::vector<std::vector<Value>>* batch, size_t max_rows) {
+  // The engine's queue already fills one engine-batch per pump; this loop
+  // just drains it row-wise, re-checking the degrade flag on every pull.
+  size_t n = 0;
+  std::vector<Value> row;
+  while (n < max_rows) {
+    DYNOPT_ASSIGN_OR_RETURN(bool more, NextRow(&row));
+    if (!more) break;
+    batch->push_back(std::move(row));
+    n++;
+  }
+  return n > 0;
 }
 
 namespace {

@@ -82,11 +82,14 @@ class DynamicRetrievalOperator final : public RowOperator {
                            RetrievalOptions options, const ParamMap* params);
 
   Status Open() override;
-  Result<bool> Next(std::vector<Value>* row) override;
+  Result<bool> NextBatch(std::vector<std::vector<Value>>* batch,
+                         size_t max_rows = kDefaultBatchRows) override;
 
   DynamicRetrieval* engine() { return &engine_; }
 
  private:
+  /// Produces the next engine row, handling mid-flight order degradation.
+  Result<bool> NextRow(std::vector<Value>* row);
   /// Drains the engine into sorted_rows_ (prepending `first` if non-null),
   /// sorts on the order column, and serves the first remaining row.
   Result<bool> ResortRemainder(OutputRow* first, std::vector<Value>* row);

@@ -64,6 +64,9 @@ DynamicRetrieval::DynamicRetrieval(Database* db, RetrievalSpec spec,
                                    RetrievalOptions options)
     : db_(db), spec_(std::move(spec)), options_(options) {
   if (spec_.restriction == nullptr) spec_.restriction = Predicate::True();
+  // One batch quantum governs the whole engine: steppers, Jscan harvests,
+  // and the final fetch stage all sample competition state at this grain.
+  options_.jscan.batch_entries = options_.batch_size;
   class_prefix_ = QueryClassPrefix(spec_);
   profile_store_ = db_->profiles();
   events_.set_capacity(options_.trace_capacity);
@@ -620,7 +623,7 @@ Status DynamicRetrieval::Pump() {
 
 Status DynamicRetrieval::StepSingle() {
   std::vector<OutputRow> rows;
-  auto stepped = single_->Step(&rows);
+  auto stepped = single_->Step(&rows, options_.batch_size);
   if (!stepped.ok()) {
     if (!CanDegrade(stepped.status())) return stepped.status();
     std::string subject = single_->label();
@@ -742,7 +745,7 @@ Status DynamicRetrieval::StepForeground() {
 
     case Tactic::kSorted: {
       std::vector<OutputRow> rows;
-      auto stepped = fscan_fgr_->Step(&rows);
+      auto stepped = fscan_fgr_->Step(&rows, options_.batch_size);
       if (!stepped.ok()) {
         if (!CanDegrade(stepped.status())) return stepped.status();
         std::string subject = fscan_fgr_->label();
@@ -760,7 +763,7 @@ Status DynamicRetrieval::StepForeground() {
 
     case Tactic::kIndexOnly: {
       std::vector<OutputRow> rows;
-      auto stepped = sscan_fgr_->Step(&rows);
+      auto stepped = sscan_fgr_->Step(&rows, options_.batch_size);
       if (!stepped.ok()) {
         if (!CanDegrade(stepped.status())) return stepped.status();
         std::string subject = sscan_fgr_->label();
@@ -905,6 +908,8 @@ Status DynamicRetrieval::BeginFinalStage(std::vector<Rid> rids) {
   std::sort(rids.begin(), rids.end());
   final_rids_ = std::move(rids);
   final_pos_ = 0;
+  final_batch_.Configure(spec_.table->schema().num_columns(),
+                         spec_.NeededColumns(), options_.batch_size);
   span_final_ =
       profile_.AddSpan(profile_.root(), SpanKind::kStrategy, "final-fetch");
   if (span_final_ != nullptr) {
@@ -921,9 +926,43 @@ Status DynamicRetrieval::StepFinal() {
     TraceEvent("final stage complete");
     return Status::OK();
   }
-  Rid rid = final_rids_[final_pos_++];
-  if (AlreadyDelivered(rid)) return Status::OK();
-  return DeliverByRid(rid, /*record=*/false);
+  // Batched final fetch: the RID list is already page-sorted, so one
+  // BatchReader pin covers every row on a page. Heap-page faults are not
+  // degradable (a fallback Tscan reads the same pages) — typed errors
+  // propagate to the caller.
+  MeterScope scope(db_->pool(), &engine_accrued_);
+  final_batch_.Clear();
+  const Schema& schema = spec_.table->schema();
+  HeapFile::BatchReader reader = spec_.table->heap()->NewBatchReader();
+  while (final_pos_ < final_rids_.size() &&
+         final_batch_.num_rows() < options_.batch_size) {
+    Rid rid = final_rids_[final_pos_++];
+    if (AlreadyDelivered(rid)) continue;
+    auto bytes = reader.Read(rid);
+    if (!bytes.ok()) {
+      if (bytes.status().IsNotFound()) continue;  // deleted row
+      return bytes.status();
+    }
+    DYNOPT_RETURN_IF_ERROR(
+        DeserializeRecordColumns(schema, *bytes, final_batch_.dests()));
+    final_batch_.AddRow(rid);
+  }
+  size_t n = final_batch_.num_rows();
+  if (n == 0) return Status::OK();  // next pump notices completion
+  db_->pool()->meter_ptr()->record_evals += n;
+  BatchView view(final_batch_.cols(), final_batch_.num_columns());
+  DYNOPT_RETURN_IF_ERROR(FilterSelection(*spec_.restriction, view, params_,
+                                         &final_scratch_, &final_batch_.sel()));
+  for (uint32_t r : final_batch_.sel()) {
+    OutputRow row;
+    row.values.reserve(spec_.projection.size());
+    for (uint32_t c : spec_.projection) {
+      row.values.push_back(final_batch_.col(c).ValueAt(r));
+    }
+    row.rid = final_batch_.rid(r);
+    Enqueue(std::move(row));
+  }
+  return Status::OK();
 }
 
 Status DynamicRetrieval::DeliverByRid(Rid rid, bool record) {

@@ -86,6 +86,11 @@ struct RetrievalOptions {
   /// Trace ring capacity per execution; oldest events drop past it (see
   /// obs/trace.h). Tests pin a small value to exercise drop accounting.
   size_t trace_capacity = TraceLog::kDefaultCapacity;
+  /// Input units (records / index entries) each stepper processes per
+  /// quantum — the batch size of the vectorized executor and the grain of
+  /// competition sampling, governance polls, and profiling charges. Tests
+  /// pin 1 to recover row-at-a-time interleaving.
+  size_t batch_size = kDefaultBatchRows;
 };
 
 class DynamicRetrieval {
@@ -296,6 +301,8 @@ class DynamicRetrieval {
 
   std::vector<Rid> final_rids_;
   size_t final_pos_ = 0;
+  RowBatch final_batch_;  // page-clustered final-stage fetch batch
+  BatchEvalScratch final_scratch_;
 
   std::deque<OutputRow> queue_;
 };

@@ -15,7 +15,33 @@ bool RowLess(const std::vector<Value>& a, const std::vector<Value>& b) {
   return a.size() < b.size();
 }
 
+/// Emits up to `max_rows` rows of a materialized vector through `*pos`.
+bool ServeMaterialized(std::vector<std::vector<Value>>* rows, size_t* pos,
+                       std::vector<std::vector<Value>>* batch,
+                       size_t max_rows) {
+  size_t n = 0;
+  while (*pos < rows->size() && n < max_rows) {
+    batch->push_back(std::move((*rows)[(*pos)++]));
+    n++;
+  }
+  return n > 0;
+}
+
 }  // namespace
+
+Result<bool> RowOperator::Next(std::vector<Value>* row) {
+  // A compliant NextBatch may legally return true with nothing appended
+  // (its whole input batch filtered away), so loop until a row or the end.
+  for (;;) {
+    shim_buf_.clear();
+    DYNOPT_ASSIGN_OR_RETURN(bool more, NextBatch(&shim_buf_, 1));
+    if (!shim_buf_.empty()) {
+      *row = std::move(shim_buf_.front());
+      return true;
+    }
+    if (!more) return false;
+  }
+}
 
 SortOperator::SortOperator(RowOperatorPtr child, size_t sort_col)
     : child_(std::move(child)), sort_col_(sort_col) {}
@@ -24,15 +50,18 @@ Status SortOperator::Open() {
   DYNOPT_RETURN_IF_ERROR(child_->Open());
   rows_.clear();
   pos_ = 0;
-  std::vector<Value> row;
+  std::vector<std::vector<Value>> batch;
   for (;;) {
-    DYNOPT_ASSIGN_OR_RETURN(bool more, child_->Next(&row));
-    if (!more) break;
-    if (sort_col_ >= row.size()) {
-      return Status::InvalidArgument("sort column beyond row arity");
+    batch.clear();
+    DYNOPT_ASSIGN_OR_RETURN(bool more, child_->NextBatch(&batch));
+    for (auto& row : batch) {
+      if (sort_col_ >= row.size()) {
+        return Status::InvalidArgument("sort column beyond row arity");
+      }
+      rows_.push_back(std::move(row));
     }
-    rows_.push_back(row);
-    DYNOPT_RETURN_IF_ERROR(PollDrain(rows_.size()));
+    if (!more) break;
+    DYNOPT_RETURN_IF_ERROR(PollDrain());
   }
   std::stable_sort(rows_.begin(), rows_.end(),
                    [this](const auto& a, const auto& b) {
@@ -41,10 +70,9 @@ Status SortOperator::Open() {
   return Status::OK();
 }
 
-Result<bool> SortOperator::Next(std::vector<Value>* row) {
-  if (pos_ >= rows_.size()) return false;
-  *row = rows_[pos_++];
-  return true;
+Result<bool> SortOperator::NextBatch(std::vector<std::vector<Value>>* batch,
+                                     size_t max_rows) {
+  return ServeMaterialized(&rows_, &pos_, batch, max_rows);
 }
 
 LimitOperator::LimitOperator(RowOperatorPtr child, uint64_t limit)
@@ -55,11 +83,15 @@ Status LimitOperator::Open() {
   return child_->Open();
 }
 
-Result<bool> LimitOperator::Next(std::vector<Value>* row) {
+Result<bool> LimitOperator::NextBatch(std::vector<std::vector<Value>>* batch,
+                                      size_t max_rows) {
   if (produced_ >= limit_) return false;
-  DYNOPT_ASSIGN_OR_RETURN(bool more, child_->Next(row));
-  if (!more) return false;
-  produced_++;
+  size_t want = static_cast<size_t>(
+      std::min<uint64_t>(max_rows, limit_ - produced_));
+  size_t before = batch->size();
+  DYNOPT_ASSIGN_OR_RETURN(bool more, child_->NextBatch(batch, want));
+  produced_ += batch->size() - before;
+  if (!more && batch->size() == before) return false;
   return true;
 }
 
@@ -71,13 +103,13 @@ Status ExistsOperator::Open() {
   return child_->Open();
 }
 
-Result<bool> ExistsOperator::Next(std::vector<Value>* row) {
-  if (done_) return false;
+Result<bool> ExistsOperator::NextBatch(std::vector<std::vector<Value>>* batch,
+                                       size_t max_rows) {
+  if (done_ || max_rows == 0) return false;
   done_ = true;
   std::vector<Value> ignored;
-  DYNOPT_ASSIGN_OR_RETURN(bool any, child_->Next(&ignored));
-  row->clear();
-  row->push_back(Value(static_cast<int64_t>(any ? 1 : 0)));
+  DYNOPT_ASSIGN_OR_RETURN(bool any, child_->NextOne(&ignored));
+  batch->push_back({Value(static_cast<int64_t>(any ? 1 : 0))});
   return true;
 }
 
@@ -88,22 +120,22 @@ Status DistinctOperator::Open() {
   DYNOPT_RETURN_IF_ERROR(child_->Open());
   rows_.clear();
   pos_ = 0;
-  std::vector<Value> row;
+  std::vector<std::vector<Value>> batch;
   for (;;) {
-    DYNOPT_ASSIGN_OR_RETURN(bool more, child_->Next(&row));
+    batch.clear();
+    DYNOPT_ASSIGN_OR_RETURN(bool more, child_->NextBatch(&batch));
+    for (auto& row : batch) rows_.push_back(std::move(row));
     if (!more) break;
-    rows_.push_back(row);
-    DYNOPT_RETURN_IF_ERROR(PollDrain(rows_.size()));
+    DYNOPT_RETURN_IF_ERROR(PollDrain());
   }
   std::sort(rows_.begin(), rows_.end(), RowLess);
   rows_.erase(std::unique(rows_.begin(), rows_.end()), rows_.end());
   return Status::OK();
 }
 
-Result<bool> DistinctOperator::Next(std::vector<Value>* row) {
-  if (pos_ >= rows_.size()) return false;
-  *row = rows_[pos_++];
-  return true;
+Result<bool> DistinctOperator::NextBatch(
+    std::vector<std::vector<Value>>* batch, size_t max_rows) {
+  return ServeMaterialized(&rows_, &pos_, batch, max_rows);
 }
 
 AggregateOperator::AggregateOperator(RowOperatorPtr child, AggregateKind kind,
@@ -119,37 +151,40 @@ Status AggregateOperator::Open() {
   double sum = 0;
   bool any = false;
   Value best;
-  std::vector<Value> row;
+  std::vector<std::vector<Value>> batch;
   for (;;) {
-    DYNOPT_ASSIGN_OR_RETURN(bool more, child_->Next(&row));
+    batch.clear();
+    DYNOPT_ASSIGN_OR_RETURN(bool more, child_->NextBatch(&batch));
+    for (const auto& row : batch) {
+      count++;
+      if (kind_ == AggregateKind::kCount) continue;
+      if (col_ >= row.size()) {
+        return Status::InvalidArgument("aggregate column beyond row arity");
+      }
+      const Value& v = row[col_];
+      switch (kind_) {
+        case AggregateKind::kSum:
+          if (v.is_int64()) {
+            sum += static_cast<double>(v.AsInt64());
+          } else if (v.is_double()) {
+            sum += v.AsDouble();
+          } else {
+            return Status::InvalidArgument("SUM over non-numeric column");
+          }
+          break;
+        case AggregateKind::kMin:
+          if (!any || TotalValueLess(v, best)) best = v;
+          break;
+        case AggregateKind::kMax:
+          if (!any || TotalValueLess(best, v)) best = v;
+          break;
+        case AggregateKind::kCount:
+          break;
+      }
+      any = true;
+    }
     if (!more) break;
-    count++;
-    DYNOPT_RETURN_IF_ERROR(PollDrain(static_cast<uint64_t>(count)));
-    if (kind_ == AggregateKind::kCount) continue;
-    if (col_ >= row.size()) {
-      return Status::InvalidArgument("aggregate column beyond row arity");
-    }
-    const Value& v = row[col_];
-    switch (kind_) {
-      case AggregateKind::kSum:
-        if (v.is_int64()) {
-          sum += static_cast<double>(v.AsInt64());
-        } else if (v.is_double()) {
-          sum += v.AsDouble();
-        } else {
-          return Status::InvalidArgument("SUM over non-numeric column");
-        }
-        break;
-      case AggregateKind::kMin:
-        if (!any || TotalValueLess(v, best)) best = v;
-        break;
-      case AggregateKind::kMax:
-        if (!any || TotalValueLess(best, v)) best = v;
-        break;
-      case AggregateKind::kCount:
-        break;
-    }
-    any = true;
+    DYNOPT_RETURN_IF_ERROR(PollDrain());
   }
   switch (kind_) {
     case AggregateKind::kCount:
@@ -167,10 +202,11 @@ Status AggregateOperator::Open() {
   return Status::OK();
 }
 
-Result<bool> AggregateOperator::Next(std::vector<Value>* row) {
-  if (done_) return false;
+Result<bool> AggregateOperator::NextBatch(
+    std::vector<std::vector<Value>>* batch, size_t max_rows) {
+  if (done_ || max_rows == 0) return false;
   done_ = true;
-  *row = result_;
+  batch->push_back(result_);
   return true;
 }
 
@@ -188,10 +224,14 @@ Status ProfilingOperator::Open() {
   return st;
 }
 
-Result<bool> ProfilingOperator::Next(std::vector<Value>* row) {
+Result<bool> ProfilingOperator::NextBatch(
+    std::vector<std::vector<Value>>* batch, size_t max_rows) {
   SpanTimer timer(span_);
-  auto more = child_->Next(row);
-  if (span_ != nullptr && more.ok() && *more) span_->actual_rows++;
+  size_t before = batch->size();
+  auto more = child_->NextBatch(batch, max_rows);
+  if (span_ != nullptr && more.ok()) {
+    span_->actual_rows += batch->size() - before;
+  }
   return more;
 }
 

@@ -1,9 +1,12 @@
-// Volcano-style row operators.
+// Volcano-style operators, batch-first.
 //
 // A thin pull-based executor sits above single-table retrieval so the goal
 // inference of §4 has real plans to walk: SORT / DISTINCT / aggregates are
 // pipeline breakers (total-time), LIMIT / EXISTS are early terminators
-// (fast-first). Rows are plain value vectors.
+// (fast-first). Rows are plain value vectors and move between operators in
+// batches (NextBatch); Next()/NextOne() is a one-row compatibility shim
+// that pulls without prefetch, so early terminators keep their fast-first
+// semantics.
 
 #ifndef DYNOPT_EXEC_OPERATORS_H_
 #define DYNOPT_EXEC_OPERATORS_H_
@@ -12,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/row_batch.h"
 #include "expr/value.h"
 #include "governance/query_context.h"
 #include "obs/profile.h"
@@ -23,11 +27,24 @@ class RowOperator {
  public:
   virtual ~RowOperator() = default;
 
-  /// Prepares the operator; must be called once before Next().
+  /// Prepares the operator; must be called once before pulling rows.
   virtual Status Open() = 0;
 
-  /// Produces the next row; returns false at end of stream.
-  virtual Result<bool> Next(std::vector<Value>* row) = 0;
+  /// Batch-first pull: appends up to `max_rows` rows to `*batch` (which is
+  /// not cleared). Returns false only when the stream is exhausted AND
+  /// this call appended nothing; a true return with zero appended rows is
+  /// legal (the batch filtered to nothing) and means "call again".
+  virtual Result<bool> NextBatch(std::vector<std::vector<Value>>* batch,
+                                 size_t max_rows = kDefaultBatchRows) = 0;
+
+  /// Row-compat shim: produces the next row; returns false at end of
+  /// stream. Pulls one row per call (no prefetch), so LIMIT/EXISTS keep
+  /// their early-termination latency.
+  Result<bool> Next(std::vector<Value>* row);
+
+  /// Alias for call sites that want the one-row intent spelled out,
+  /// mirroring ScanStepper::StepOne.
+  Result<bool> NextOne(std::vector<Value>* row) { return Next(row); }
 
   /// Attaches governance (null detaches). Materializing operators poll it
   /// at drain-loop batch boundaries, so a pipeline breaker cannot swallow
@@ -35,12 +52,15 @@ class RowOperator {
   void set_context(QueryContext* ctx) { ctx_ = ctx; }
 
  protected:
-  /// Drain-loop batch boundary: polls every 64th drained row.
-  Status PollDrain(uint64_t rows_drained) {
-    if (ctx_ == nullptr || rows_drained % 64 != 0) return Status::OK();
+  /// Drain-loop batch boundary: one governance poll per drained batch.
+  Status PollDrain() {
+    if (ctx_ == nullptr) return Status::OK();
     return ctx_->Check();
   }
   QueryContext* ctx_ = nullptr;
+
+ private:
+  std::vector<std::vector<Value>> shim_buf_;  // Next()'s one-row batch
 };
 
 using RowOperatorPtr = std::unique_ptr<RowOperator>;
@@ -50,7 +70,8 @@ class SortOperator final : public RowOperator {
  public:
   SortOperator(RowOperatorPtr child, size_t sort_col);
   Status Open() override;
-  Result<bool> Next(std::vector<Value>* row) override;
+  Result<bool> NextBatch(std::vector<std::vector<Value>>* batch,
+                         size_t max_rows = kDefaultBatchRows) override;
 
  private:
   RowOperatorPtr child_;
@@ -65,7 +86,8 @@ class LimitOperator final : public RowOperator {
  public:
   LimitOperator(RowOperatorPtr child, uint64_t limit);
   Status Open() override;
-  Result<bool> Next(std::vector<Value>* row) override;
+  Result<bool> NextBatch(std::vector<std::vector<Value>>* batch,
+                         size_t max_rows = kDefaultBatchRows) override;
 
  private:
   RowOperatorPtr child_;
@@ -74,12 +96,14 @@ class LimitOperator final : public RowOperator {
 };
 
 /// Emits one row [INT64 0|1]: whether the child produced any row. Stops
-/// the child after the first row (EXISTS semantics).
+/// the child after the first row (EXISTS semantics) — pulls through the
+/// one-row shim so the child never does a full batch of work.
 class ExistsOperator final : public RowOperator {
  public:
   explicit ExistsOperator(RowOperatorPtr child);
   Status Open() override;
-  Result<bool> Next(std::vector<Value>* row) override;
+  Result<bool> NextBatch(std::vector<std::vector<Value>>* batch,
+                         size_t max_rows = kDefaultBatchRows) override;
 
  private:
   RowOperatorPtr child_;
@@ -91,7 +115,8 @@ class DistinctOperator final : public RowOperator {
  public:
   explicit DistinctOperator(RowOperatorPtr child);
   Status Open() override;
-  Result<bool> Next(std::vector<Value>* row) override;
+  Result<bool> NextBatch(std::vector<std::vector<Value>>* batch,
+                         size_t max_rows = kDefaultBatchRows) override;
 
  private:
   RowOperatorPtr child_;
@@ -107,7 +132,8 @@ class AggregateOperator final : public RowOperator {
  public:
   AggregateOperator(RowOperatorPtr child, AggregateKind kind, size_t col = 0);
   Status Open() override;
-  Result<bool> Next(std::vector<Value>* row) override;
+  Result<bool> NextBatch(std::vector<std::vector<Value>>* batch,
+                         size_t max_rows = kDefaultBatchRows) override;
 
  private:
   RowOperatorPtr child_;
@@ -117,12 +143,13 @@ class AggregateOperator final : public RowOperator {
   std::vector<Value> result_;
 };
 
-/// Decorator: attributes an operator's Open and per-row Next time to a
+/// Decorator: attributes an operator's Open and per-batch pull time to a
 /// kOperator span in the retrieval leaf's QueryProfile. The span registers
 /// *after* the child's Open (the leaf's Open resets the profile), so
 /// wrappers register leaf-to-root and the spans nest into executed-plan
-/// shape. With profiling off the profile yields null spans and the wrapper
-/// degrades to a virtual-call passthrough.
+/// shape. One timer pair covers a whole batch; actual_rows advances by the
+/// batch's row count. With profiling off the profile yields null spans and
+/// the wrapper degrades to a virtual-call passthrough.
 class ProfilingOperator final : public RowOperator {
  public:
   ProfilingOperator(RowOperatorPtr child, std::string name,
@@ -132,7 +159,8 @@ class ProfilingOperator final : public RowOperator {
         profile_(profile) {}
 
   Status Open() override;
-  Result<bool> Next(std::vector<Value>* row) override;
+  Result<bool> NextBatch(std::vector<std::vector<Value>>* batch,
+                         size_t max_rows = kDefaultBatchRows) override;
 
   /// The wrapped operator (plan introspection, tests).
   RowOperator* inner() { return child_.get(); }
@@ -153,10 +181,14 @@ class VectorSourceOperator final : public RowOperator {
     pos_ = 0;
     return Status::OK();
   }
-  Result<bool> Next(std::vector<Value>* row) override {
-    if (pos_ >= rows_.size()) return false;
-    *row = rows_[pos_++];
-    return true;
+  Result<bool> NextBatch(std::vector<std::vector<Value>>* batch,
+                         size_t max_rows = kDefaultBatchRows) override {
+    size_t n = 0;
+    while (pos_ < rows_.size() && n < max_rows) {
+      batch->push_back(rows_[pos_++]);
+      n++;
+    }
+    return n > 0;
   }
 
  private:

@@ -20,6 +20,9 @@ uint64_t MixRid(uint64_t x) {
 
 HybridRidList::HybridRidList(BufferPool* pool, Options options)
     : pool_(pool), options_(options) {
+  if (pool_ != nullptr && pool_->metrics() != nullptr) {
+    m_reallocs_ = pool_->metrics()->counter("exec.realloc_count");
+  }
   options_.inline_capacity =
       std::min(options_.inline_capacity, inline_buf_.size());
   if (options_.memory_capacity < options_.inline_capacity) {
@@ -43,14 +46,18 @@ Status HybridRidList::Append(Rid rid) {
         if (ctx_ != nullptr) ctx_->ChargeRidListBytes(sizeof(Rid));
         return Status::OK();
       }
-      // Promote: copy the inline region into an allocated buffer.
-      heap_buf_.reserve(options_.inline_capacity * 2);
+      // Promote: copy the inline region into an allocated buffer sized
+      // for the whole in-memory region at once — the list grows to
+      // memory_capacity before spilling, so anything smaller buys a
+      // doubling-and-memcpy cascade inside the scan hot loop.
+      heap_buf_.reserve(options_.memory_capacity);
       heap_buf_.assign(inline_buf_.begin(),
                        inline_buf_.begin() + size_);
       storage_ = Storage::kHeap;
       [[fallthrough]];
     case Storage::kHeap:
       if (heap_buf_.size() < options_.memory_capacity) {
+        if (heap_buf_.size() == heap_buf_.capacity()) Bump(m_reallocs_);
         heap_buf_.push_back(rid);
         size_++;
         if (ctx_ != nullptr) ctx_->ChargeRidListBytes(sizeof(Rid));

@@ -109,6 +109,7 @@ class HybridRidList {
 
   BufferPool* pool_;
   QueryContext* ctx_ = nullptr;
+  Counter* m_reallocs_ = nullptr;  // exec.realloc_count (audit, should stay 0)
   Options options_;
   Storage storage_ = Storage::kInline;
   bool sealed_ = false;

@@ -1,5 +1,7 @@
 #include "exec/steppers.h"
 
+#include <algorithm>
+
 namespace dynopt {
 
 std::vector<Value> ProjectRecord(const RetrievalSpec& spec,
@@ -23,6 +25,32 @@ Result<std::vector<Value>> ProjectSparse(
   return out;
 }
 
+void EmitRow(const RetrievalSpec& spec, const RowBatch& batch, uint32_t r,
+             std::vector<OutputRow>* out) {
+  OutputRow row;
+  row.values.reserve(spec.projection.size());
+  for (uint32_t c : spec.projection) {
+    row.values.push_back(batch.col(c).ValueAt(r));
+  }
+  row.rid = batch.rid(r);
+  out->push_back(std::move(row));
+}
+
+ScanStepper::ScanStepper(std::string label, BufferPool* pool)
+    : label_(std::move(label)) {
+  if (pool != nullptr && pool->metrics() != nullptr) {
+    MetricsRegistry* m = pool->metrics();
+    m_rows_screened_ = m->counter("exec.rows_screened");
+    m_rows_delivered_ = m->counter("exec.rows_delivered");
+    m_batches_ = m->counter("exec.batches");
+    m_reallocs_ = m->counter("exec.realloc_count");
+    m_rows_per_batch_ = m->histogram(
+        "exec.rows_per_batch", {1, 4, 16, 64, 256, 1024, 4096});
+    m_selection_density_ = m->histogram(
+        "exec.selection_density", {1, 5, 10, 25, 50, 75, 90, 99});
+  }
+}
+
 // ------------------------------------------------------------------ Tscan
 
 TscanStepper::TscanStepper(BufferPool* pool, const RetrievalSpec& spec,
@@ -31,31 +59,45 @@ TscanStepper::TscanStepper(BufferPool* pool, const RetrievalSpec& spec,
       pool_(pool),
       spec_(spec),
       params_(params),
-      cursor_(spec.table->heap()->NewCursor()) {}
+      cursor_(spec.table->heap()->NewCursor()) {
+  batch_.Configure(spec.table->schema().num_columns(), spec.NeededColumns());
+}
 
-Result<bool> TscanStepper::Step(std::vector<OutputRow>* out) {
+Result<bool> TscanStepper::Step(std::vector<OutputRow>* out,
+                                size_t max_units) {
   if (exhausted_) return false;
   DYNOPT_RETURN_IF_ERROR(PollGovernance());
   MeterScope scope(pool_, &accrued_);
-  std::string bytes;
-  Rid rid;
-  DYNOPT_ASSIGN_OR_RETURN(bool more, cursor_.Next(&bytes, &rid));
-  if (!more) {
+  batch_.Clear();
+  const Schema& schema = spec_.table->schema();
+  // Harvest: deserialize needed columns straight off the pinned pages.
+  while (batch_.num_rows() < max_units) {
+    std::string_view bytes;
+    Rid rid;
+    DYNOPT_ASSIGN_OR_RETURN(bool more, cursor_.NextView(&bytes, &rid));
+    if (!more) break;
+    records_scanned_++;
+    DYNOPT_RETURN_IF_ERROR(
+        DeserializeRecordColumns(schema, bytes, batch_.dests()));
+    batch_.AddRow(rid);
+  }
+  size_t n = batch_.num_rows();
+  if (n == 0) {
     exhausted_ = true;
     return false;
   }
-  records_scanned_++;
-  Record record;
-  DYNOPT_RETURN_IF_ERROR(
-      DeserializeRecord(spec_.table->schema(), bytes, &record));
-  RowView view(&record);
-  pool_->meter_ptr()->record_evals++;
-  Bump(m_rows_screened_);
-  DYNOPT_ASSIGN_OR_RETURN(bool keep, spec_.restriction->Eval(view, params_));
-  if (keep) {
-    out->push_back(OutputRow{ProjectRecord(spec_, record), rid});
-    Bump(m_rows_delivered_);
-  }
+  // Filter: one vectorized restriction pass over the whole batch.
+  pool_->meter_ptr()->record_evals += n;
+  Bump(m_rows_screened_, n);
+  BatchView view(batch_.cols(), batch_.num_columns());
+  DYNOPT_RETURN_IF_ERROR(FilterSelection(*spec_.restriction, view, params_,
+                                         &scratch_, &batch_.sel()));
+  out->reserve(out->size() + batch_.sel().size());
+  size_t cap_reserved = out->capacity();
+  for (uint32_t r : batch_.sel()) EmitRow(spec_, batch_, r, out);
+  AuditRealloc(cap_reserved, out->capacity());
+  Bump(m_rows_delivered_, batch_.sel().size());
+  NoteBatch(n, batch_.sel().size());
   return true;
 }
 
@@ -74,45 +116,109 @@ FscanStepper::FscanStepper(BufferPool* pool, const RetrievalSpec& spec,
   if (pool->metrics() != nullptr) {
     m_records_fetched_ = pool->metrics()->counter("exec.records_fetched");
   }
+  rows_.Configure(spec.table->schema().num_columns(), spec.NeededColumns());
 }
 
-Result<bool> FscanStepper::Step(std::vector<OutputRow>* out) {
+void FscanStepper::SetScreen(PredicateRef screen) {
+  screen_ = std::move(screen);
+  if (screen_ != nullptr) {
+    // The screen only reads covered columns by construction; materialize
+    // exactly those from the decoded keys.
+    std::set<uint32_t> cols;
+    screen_->CollectColumns(&cols);
+    keys_.Configure(spec_.table->schema().num_columns(), cols);
+  }
+}
+
+Result<bool> FscanStepper::Step(std::vector<OutputRow>* out,
+                                size_t max_units) {
   if (exhausted_) return false;
   DYNOPT_RETURN_IF_ERROR(PollGovernance());
   MeterScope scope(pool_, &accrued_);
-  std::string key;
-  Rid rid;
-  DYNOPT_ASSIGN_OR_RETURN(bool more, cursor_.Next(&key, &rid));
-  if (!more) {
+  entries_.Clear();
+  DYNOPT_ASSIGN_OR_RETURN(bool more, cursor_.NextBatch(max_units, &entries_));
+  (void)more;
+  size_t n = entries_.size();
+  if (n == 0) {
     exhausted_ = true;
     return false;
   }
-  entries_scanned_++;
-  if (filter_ != nullptr && !filter_->MightContain(rid)) {
-    return true;  // rejected before the expensive fetch (Sorted tactic)
+  entries_scanned_ += n;
+
+  // Stage 1: pre-fetch RID filter (the Sorted tactic's Jscan cooperation).
+  survivors_.clear();
+  survivors_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (filter_ != nullptr && !filter_->MightContain(entries_.rid(i))) {
+      continue;  // rejected before the expensive fetch
+    }
+    survivors_.push_back(i);
   }
-  if (screen_ != nullptr) {
-    std::vector<std::optional<Value>> sparse;
-    DYNOPT_RETURN_IF_ERROR(index_->DecodeKeyColumns(key, &sparse));
-    RowView sview(&sparse);
-    pool_->meter_ptr()->record_evals++;
-    Bump(m_rows_screened_);
-    DYNOPT_ASSIGN_OR_RETURN(bool pass, screen_->Eval(sview, params_));
-    if (!pass) return true;  // screened out from the key alone
+
+  // Stage 2: index screening — evaluate the covered conjuncts over the
+  // decoded key columns, so failing entries never reach their fetch.
+  if (screen_ != nullptr && !survivors_.empty()) {
+    keys_.Clear();
+    for (uint32_t i : survivors_) {
+      DYNOPT_RETURN_IF_ERROR(index_->DecodeKeyColumnsInto(
+          entries_.key(i), keys_.dests(), &decode_scratch_));
+      keys_.AddRow(entries_.rid(i));
+    }
+    pool_->meter_ptr()->record_evals += survivors_.size();
+    Bump(m_rows_screened_, survivors_.size());
+    BatchView kview(keys_.cols(), keys_.num_columns());
+    DYNOPT_RETURN_IF_ERROR(FilterSelection(*screen_, kview, params_,
+                                           &scratch_, &keys_.sel()));
+    // keys_ row r corresponds to survivors_[r]; compact in place.
+    size_t kept = 0;
+    for (uint32_t r : keys_.sel()) survivors_[kept++] = survivors_[r];
+    survivors_.resize(kept);
   }
-  Record record;
-  DYNOPT_ASSIGN_OR_RETURN(record, spec_.table->Fetch(rid));
-  records_fetched_++;
-  Bump(m_records_fetched_);
-  RowView view(&record);
-  pool_->meter_ptr()->record_evals++;
-  Bump(m_rows_screened_);
-  DYNOPT_ASSIGN_OR_RETURN(bool keep, spec_.restriction->Eval(view, params_));
-  if (keep) {
-    out->push_back(OutputRow{ProjectRecord(spec_, record), rid});
-    rows_delivered_++;
-    Bump(m_rows_delivered_);
+
+  // Stage 3: page-clustered fetch — sort the surviving RIDs by (page,
+  // slot) so each heap page is pinned exactly once per batch.
+  fetch_order_.assign(survivors_.begin(), survivors_.end());
+  std::sort(fetch_order_.begin(), fetch_order_.end(),
+            [&](uint32_t a, uint32_t b) {
+              return entries_.rid(a) < entries_.rid(b);
+            });
+  rows_.Clear();
+  row_of_.assign(n, UINT32_MAX);
+  const Schema& schema = spec_.table->schema();
+  {
+    HeapFile::BatchReader reader = spec_.table->heap()->NewBatchReader();
+    for (uint32_t i : fetch_order_) {
+      DYNOPT_ASSIGN_OR_RETURN(std::string_view bytes,
+                              reader.Read(entries_.rid(i)));
+      DYNOPT_RETURN_IF_ERROR(
+          DeserializeRecordColumns(schema, bytes, rows_.dests()));
+      row_of_[i] = static_cast<uint32_t>(rows_.num_rows());
+      rows_.AddRow(entries_.rid(i));
+    }
   }
+  records_fetched_ += rows_.num_rows();
+  Bump(m_records_fetched_, rows_.num_rows());
+
+  // Stage 4: vectorized restriction over the fetched records, then emit
+  // in the original key order (index order is part of Fscan's contract).
+  if (rows_.num_rows() > 0) {
+    pool_->meter_ptr()->record_evals += rows_.num_rows();
+    Bump(m_rows_screened_, rows_.num_rows());
+    BatchView view(rows_.cols(), rows_.num_columns());
+    DYNOPT_RETURN_IF_ERROR(FilterSelection(*spec_.restriction, view, params_,
+                                           &scratch_, &rows_.sel()));
+    selected_.assign(rows_.num_rows(), 0);
+    for (uint32_t r : rows_.sel()) selected_[r] = 1;
+    out->reserve(out->size() + rows_.sel().size());
+    for (uint32_t i : survivors_) {
+      uint32_t r = row_of_[i];
+      if (r == UINT32_MAX || !selected_[r]) continue;
+      EmitRow(spec_, rows_, r, out);
+      rows_delivered_++;
+      Bump(m_rows_delivered_);
+    }
+  }
+  NoteBatch(n, rows_.sel().size());
   return true;
 }
 
@@ -127,32 +233,54 @@ SscanStepper::SscanStepper(BufferPool* pool, const RetrievalSpec& spec,
       params_(params),
       index_(index),
       ranges_(std::move(ranges)),
-      cursor_(index->tree(), &ranges_) {}
+      cursor_(index->tree(), &ranges_) {
+  // Materialize the needed columns the index covers; a needed-but-
+  // uncovered column keeps a null slot so touching it surfaces the same
+  // Internal error the sparse row path produced.
+  std::set<uint32_t> active;
+  for (uint32_t c : spec.NeededColumns()) {
+    if (index->covered_columns().count(c) != 0) active.insert(c);
+  }
+  keys_.Configure(spec.table->schema().num_columns(), active);
+}
 
-Result<bool> SscanStepper::Step(std::vector<OutputRow>* out) {
+Result<bool> SscanStepper::Step(std::vector<OutputRow>* out,
+                                size_t max_units) {
   if (exhausted_) return false;
   DYNOPT_RETURN_IF_ERROR(PollGovernance());
   MeterScope scope(pool_, &accrued_);
-  std::string key;
-  Rid rid;
-  DYNOPT_ASSIGN_OR_RETURN(bool more, cursor_.Next(&key, &rid));
-  if (!more) {
+  entries_.Clear();
+  DYNOPT_ASSIGN_OR_RETURN(bool more, cursor_.NextBatch(max_units, &entries_));
+  (void)more;
+  size_t n = entries_.size();
+  if (n == 0) {
     exhausted_ = true;
     return false;
   }
-  entries_scanned_++;
-  std::vector<std::optional<Value>> sparse;
-  DYNOPT_RETURN_IF_ERROR(index_->DecodeKeyColumns(key, &sparse));
-  RowView view(&sparse);
-  pool_->meter_ptr()->record_evals++;
-  Bump(m_rows_screened_);
-  DYNOPT_ASSIGN_OR_RETURN(bool keep, spec_.restriction->Eval(view, params_));
-  if (keep) {
-    DYNOPT_ASSIGN_OR_RETURN(std::vector<Value> values,
-                            ProjectSparse(spec_, sparse));
-    out->push_back(OutputRow{std::move(values), rid});
-    Bump(m_rows_delivered_);
+  entries_scanned_ += n;
+  keys_.Clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    DYNOPT_RETURN_IF_ERROR(index_->DecodeKeyColumnsInto(
+        entries_.key(i), keys_.dests(), &decode_scratch_));
+    keys_.AddRow(entries_.rid(i));
   }
+  pool_->meter_ptr()->record_evals += n;
+  Bump(m_rows_screened_, n);
+  BatchView view(keys_.cols(), keys_.num_columns());
+  DYNOPT_RETURN_IF_ERROR(FilterSelection(*spec_.restriction, view, params_,
+                                         &scratch_, &keys_.sel()));
+  if (!keys_.sel().empty()) {
+    // ProjectSparse's contract: every projection column must be covered.
+    for (uint32_t c : spec_.projection) {
+      if (keys_.cols()[c] == nullptr) {
+        return Status::Internal("projection column missing from sparse row");
+      }
+    }
+    out->reserve(out->size() + keys_.sel().size());
+    for (uint32_t r : keys_.sel()) EmitRow(spec_, keys_, r, out);
+    Bump(m_rows_delivered_, keys_.sel().size());
+  }
+  NoteBatch(n, keys_.sel().size());
   return true;
 }
 

@@ -20,6 +20,7 @@
 #include "catalog/index.h"
 #include "exec/retrieval_spec.h"
 #include "exec/rid_set.h"
+#include "exec/row_batch.h"
 #include "governance/query_context.h"
 #include "index/btree.h"
 #include "index/multi_range_cursor.h"
@@ -48,9 +49,18 @@ class ScanStepper {
  public:
   virtual ~ScanStepper() = default;
 
-  /// Performs one unit of work, appending any produced row to `*out`.
-  /// Returns false once the scan is exhausted (idempotent afterwards).
-  virtual Result<bool> Step(std::vector<OutputRow>* out) = 0;
+  /// Performs one *batch* of work — up to `max_units` input units (records
+  /// scanned / index entries read, NOT output rows) — appending every
+  /// produced row to `*out`. One governance poll, one meter scope, and one
+  /// metrics charge cover the whole batch; `max_units` is the competition
+  /// sampling quantum. Returns false once the scan is exhausted
+  /// (idempotent afterwards).
+  virtual Result<bool> Step(std::vector<OutputRow>* out,
+                            size_t max_units = kDefaultBatchRows) = 0;
+
+  /// Row-compat shim: exactly one unit of work per call (at most one
+  /// row out), for callers that want row-at-a-time pacing.
+  Result<bool> StepOne(std::vector<OutputRow>* out) { return Step(out, 1); }
 
   bool exhausted() const { return exhausted_; }
   /// Cost this scan has accrued so far (its private meter).
@@ -80,11 +90,22 @@ class ScanStepper {
   }
   /// Binds the shared executor counters from `pool`'s attached registry
   /// (null pool or detached registry leaves them disabled).
-  ScanStepper(std::string label, BufferPool* pool) : label_(std::move(label)) {
-    if (pool != nullptr && pool->metrics() != nullptr) {
-      m_rows_screened_ = pool->metrics()->counter("exec.rows_screened");
-      m_rows_delivered_ = pool->metrics()->counter("exec.rows_delivered");
-    }
+  ScanStepper(std::string label, BufferPool* pool);
+
+  /// Records one completed batch: `rows` input units processed, of which
+  /// `selected` survived the restriction.
+  void NoteBatch(size_t rows, size_t selected) {
+    if (rows == 0) return;
+    Bump(m_batches_);
+    Observe(m_rows_per_batch_, static_cast<double>(rows));
+    Observe(m_selection_density_,
+            100.0 * static_cast<double>(selected) / static_cast<double>(rows));
+  }
+
+  /// Realloc audit (exec.realloc_count): bumps when an audited container
+  /// grew despite its pre-reserve — should stay 0 in steady state.
+  void AuditRealloc(size_t cap_before, size_t cap_after) {
+    if (cap_after != cap_before) Bump(m_reallocs_);
   }
 
   std::string label_;
@@ -94,6 +115,10 @@ class ScanStepper {
   uint64_t charged_reads_ = 0;  // logical reads already charged to ctx_
   Counter* m_rows_screened_ = nullptr;   // restriction/screen evaluations
   Counter* m_rows_delivered_ = nullptr;  // rows pushed to the output queue
+  Counter* m_batches_ = nullptr;         // batches processed
+  Counter* m_reallocs_ = nullptr;        // audited hot-loop reallocations
+  Histogram* m_rows_per_batch_ = nullptr;
+  Histogram* m_selection_density_ = nullptr;  // % of batch rows surviving
 };
 
 /// Projects `record` (full, schema order) onto the spec's projection.
@@ -103,13 +128,22 @@ std::vector<Value> ProjectRecord(const RetrievalSpec& spec,
 Result<std::vector<Value>> ProjectSparse(
     const RetrievalSpec& spec, const std::vector<std::optional<Value>>& row);
 
-/// Full table scan: the classical sequential retrieval.
+/// Appends the projected OutputRow for row `r` of a column-major batch.
+/// Every projection column must be materialized in the batch.
+void EmitRow(const RetrievalSpec& spec, const RowBatch& batch, uint32_t r,
+             std::vector<OutputRow>* out);
+
+/// Full table scan: the classical sequential retrieval, batched: each
+/// Step deserializes up to `max_units` records column-wise straight off
+/// the pinned heap pages, then filters them with one vectorized
+/// restriction pass.
 class TscanStepper final : public ScanStepper {
  public:
   TscanStepper(BufferPool* pool, const RetrievalSpec& spec,
                const ParamMap& params);
 
-  Result<bool> Step(std::vector<OutputRow>* out) override;
+  Result<bool> Step(std::vector<OutputRow>* out,
+                    size_t max_units = kDefaultBatchRows) override;
 
   uint64_t records_scanned() const { return records_scanned_; }
 
@@ -118,6 +152,8 @@ class TscanStepper final : public ScanStepper {
   const RetrievalSpec& spec_;
   const ParamMap& params_;
   HeapFile::Cursor cursor_;
+  RowBatch batch_;
+  BatchEvalScratch scratch_;
   uint64_t records_scanned_ = 0;
 };
 
@@ -130,7 +166,8 @@ class FscanStepper final : public ScanStepper {
                const ParamMap& params, SecondaryIndex* index,
                RangeSet ranges);
 
-  Result<bool> Step(std::vector<OutputRow>* out) override;
+  Result<bool> Step(std::vector<OutputRow>* out,
+                    size_t max_units = kDefaultBatchRows) override;
 
   /// Installs a pre-fetch RID filter (must outlive the stepper; must be
   /// sealed). RIDs rejected by it skip the (expensive) record fetch.
@@ -139,7 +176,7 @@ class FscanStepper final : public ScanStepper {
   /// Installs an index-screening predicate: restriction conjuncts covered
   /// by the index's columns, evaluated from the key alone so failing
   /// entries never reach their record fetch.
-  void SetScreen(PredicateRef screen) { screen_ = std::move(screen); }
+  void SetScreen(PredicateRef screen);
 
   uint64_t entries_scanned() const { return entries_scanned_; }
   uint64_t records_fetched() const { return records_fetched_; }
@@ -158,6 +195,16 @@ class FscanStepper final : public ScanStepper {
   uint64_t entries_scanned_ = 0;
   uint64_t records_fetched_ = 0;
   uint64_t rows_delivered_ = 0;
+  // Batch state, reused across Steps (allocations recycled).
+  RidBatch entries_;
+  RowBatch keys_;  // decoded key columns of screen survivors
+  RowBatch rows_;  // fetched records, in page-clustered order
+  BatchEvalScratch scratch_;
+  std::string decode_scratch_;
+  std::vector<uint32_t> survivors_;    // entry indexes surviving filter+screen
+  std::vector<uint32_t> fetch_order_;  // survivors sorted by (page, slot)
+  std::vector<uint32_t> row_of_;       // entry index -> rows_ row
+  std::vector<uint8_t> selected_;      // rows_ row -> restriction verdict
 };
 
 /// Self-sufficient index scan: delivers results from index keys alone.
@@ -168,7 +215,8 @@ class SscanStepper final : public ScanStepper {
                const ParamMap& params, SecondaryIndex* index,
                RangeSet ranges);
 
-  Result<bool> Step(std::vector<OutputRow>* out) override;
+  Result<bool> Step(std::vector<OutputRow>* out,
+                    size_t max_units = kDefaultBatchRows) override;
 
   uint64_t entries_scanned() const { return entries_scanned_; }
 
@@ -180,6 +228,13 @@ class SscanStepper final : public ScanStepper {
   RangeSet ranges_;
   MultiRangeCursor cursor_;
   uint64_t entries_scanned_ = 0;
+  // Batch state, reused across Steps. keys_ materializes the needed
+  // columns the index covers; an uncovered needed column surfaces as the
+  // same Internal error the sparse row path produced.
+  RidBatch entries_;
+  RowBatch keys_;
+  BatchEvalScratch scratch_;
+  std::string decode_scratch_;
 };
 
 }  // namespace dynopt

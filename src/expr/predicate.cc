@@ -1,6 +1,7 @@
 #include "expr/predicate.h"
 
 #include <cassert>
+#include <cstring>
 #include <functional>
 #include <sstream>
 
@@ -65,11 +66,61 @@ Result<const Value*> RowView::Get(uint32_t col) const {
 
 namespace {
 
+bool OpHolds(CompareOp op, int c) {
+  switch (op) {
+    case CompareOp::kEq:
+      return c == 0;
+    case CompareOp::kNe:
+      return c != 0;
+    case CompareOp::kLt:
+      return c < 0;
+    case CompareOp::kLe:
+      return c <= 0;
+    case CompareOp::kGt:
+      return c > 0;
+    case CompareOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+/// Branch-free comparison over a flat typed column: the op dispatch happens
+/// once per batch, the inner loops compile to straight-line compares.
+template <typename T>
+void TypedCompareLoop(CompareOp op, const T* data, const uint32_t* sel,
+                      size_t n, T bound, uint8_t* mask) {
+  switch (op) {
+    case CompareOp::kEq:
+      for (size_t i = 0; i < n; ++i) mask[i] = data[sel[i]] == bound;
+      return;
+    case CompareOp::kNe:
+      for (size_t i = 0; i < n; ++i) mask[i] = data[sel[i]] != bound;
+      return;
+    case CompareOp::kLt:
+      for (size_t i = 0; i < n; ++i) mask[i] = data[sel[i]] < bound;
+      return;
+    case CompareOp::kLe:
+      for (size_t i = 0; i < n; ++i) mask[i] = data[sel[i]] <= bound;
+      return;
+    case CompareOp::kGt:
+      for (size_t i = 0; i < n; ++i) mask[i] = data[sel[i]] > bound;
+      return;
+    case CompareOp::kGe:
+      for (size_t i = 0; i < n; ++i) mask[i] = data[sel[i]] >= bound;
+      return;
+  }
+}
+
 class TruePredicate final : public Predicate {
  public:
   TruePredicate() : Predicate(Kind::kTrue) {}
   Result<bool> Eval(const RowView&, const ParamMap&) const override {
     return true;
+  }
+  Status EvalBatch(const BatchView&, const ParamMap&, const uint32_t*,
+                   size_t n, uint8_t* mask) const override {
+    std::memset(mask, 1, n);
+    return Status::OK();
   }
   void CollectColumns(std::set<uint32_t>*) const override {}
   std::string ToString() const override { return "TRUE"; }
@@ -103,6 +154,41 @@ class ComparePredicate final : public Predicate {
         return c >= 0;
     }
     return Status::Internal("unreachable compare op");
+  }
+
+  Status EvalBatch(const BatchView& view, const ParamMap& params,
+                   const uint32_t* sel, size_t n,
+                   uint8_t* mask) const override {
+    if (n == 0) return Status::OK();
+    DYNOPT_ASSIGN_OR_RETURN(const ColumnVector* cv, view.Get(col_));
+    DYNOPT_ASSIGN_OR_RETURN(Value bound, operand_.Bind(params));
+    switch (cv->mode()) {
+      case ColumnVector::Mode::kInt64:
+        if (!bound.is_int64()) break;
+        TypedCompareLoop(op_, cv->i64_data(), sel, n, bound.AsInt64(), mask);
+        return Status::OK();
+      case ColumnVector::Mode::kDouble:
+        if (!bound.is_double()) break;
+        TypedCompareLoop(op_, cv->f64_data(), sel, n, bound.AsDouble(), mask);
+        return Status::OK();
+      case ColumnVector::Mode::kString: {
+        if (!bound.is_string()) break;
+        const std::string& b = bound.AsString();
+        for (size_t i = 0; i < n; ++i) {
+          mask[i] = OpHolds(op_, cv->StringAt(sel[i]).compare(b));
+        }
+        return Status::OK();
+      }
+      case ColumnVector::Mode::kMixed:
+        for (size_t i = 0; i < n; ++i) {
+          DYNOPT_ASSIGN_OR_RETURN(int c, cv->ValueAt(sel[i]).Compare(bound));
+          mask[i] = OpHolds(op_, c);
+        }
+        return Status::OK();
+      case ColumnVector::Mode::kEmpty:
+        break;
+    }
+    return Status::InvalidArgument("comparing mismatched value types");
   }
 
   void CollectColumns(std::set<uint32_t>* cols) const override {
@@ -151,6 +237,49 @@ class BetweenPredicate final : public Predicate {
     return ch <= 0;
   }
 
+  Status EvalBatch(const BatchView& view, const ParamMap& params,
+                   const uint32_t* sel, size_t n,
+                   uint8_t* mask) const override {
+    if (n == 0) return Status::OK();
+    DYNOPT_ASSIGN_OR_RETURN(const ColumnVector* cv, view.Get(col_));
+    DYNOPT_ASSIGN_OR_RETURN(Value lo, lo_.Bind(params));
+    DYNOPT_ASSIGN_OR_RETURN(Value hi, hi_.Bind(params));
+    switch (cv->mode()) {
+      case ColumnVector::Mode::kInt64:
+        if (lo.is_int64()) {
+          return TypedBetween(cv->i64_data(), sel, n, lo.AsInt64(),
+                              hi.is_int64(),
+                              hi.is_int64() ? hi.AsInt64() : int64_t{0}, mask);
+        }
+        break;
+      case ColumnVector::Mode::kDouble:
+        if (lo.is_double()) {
+          return TypedBetween(cv->f64_data(), sel, n, lo.AsDouble(),
+                              hi.is_double(),
+                              hi.is_double() ? hi.AsDouble() : 0.0, mask);
+        }
+        break;
+      case ColumnVector::Mode::kString:
+      case ColumnVector::Mode::kMixed:
+        // Per-element path: string compares are not branch-free anyway, and
+        // mixed columns need per-row type checks.
+        for (size_t i = 0; i < n; ++i) {
+          Value v = cv->ValueAt(sel[i]);
+          DYNOPT_ASSIGN_OR_RETURN(int cl, v.Compare(lo));
+          if (cl < 0) {
+            mask[i] = 0;
+            continue;
+          }
+          DYNOPT_ASSIGN_OR_RETURN(int ch, v.Compare(hi));
+          mask[i] = ch <= 0;
+        }
+        return Status::OK();
+      case ColumnVector::Mode::kEmpty:
+        break;
+    }
+    return Status::InvalidArgument("comparing mismatched value types");
+  }
+
   void CollectColumns(std::set<uint32_t>* cols) const override {
     cols->insert(col_);
   }
@@ -174,6 +303,29 @@ class BetweenPredicate final : public Predicate {
   const Operand& hi() const { return hi_; }
 
  private:
+  /// Row semantics per element: a hi-bound type mismatch only surfaces on
+  /// rows that pass the lo bound (the row path short-circuits `v < lo`
+  /// before ever comparing hi), so a batch errors iff some selected row
+  /// reaches the hi compare.
+  template <typename T>
+  static Status TypedBetween(const T* data, const uint32_t* sel, size_t n,
+                             T lo, bool hi_matches, T hi, uint8_t* mask) {
+    if (hi_matches) {
+      for (size_t i = 0; i < n; ++i) {
+        T v = data[sel[i]];
+        mask[i] = static_cast<uint8_t>(v >= lo) & static_cast<uint8_t>(v <= hi);
+      }
+      return Status::OK();
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (data[sel[i]] >= lo) {
+        return Status::InvalidArgument("comparing mismatched value types");
+      }
+    }
+    std::memset(mask, 0, n);
+    return Status::OK();
+  }
+
   uint32_t col_;
   Operand lo_;
   Operand hi_;
@@ -190,6 +342,31 @@ class ContainsPredicate final : public Predicate {
       return Status::InvalidArgument("CONTAINS on non-string column");
     }
     return v->AsString().find(needle_) != std::string::npos;
+  }
+
+  Status EvalBatch(const BatchView& view, const ParamMap&,
+                   const uint32_t* sel, size_t n,
+                   uint8_t* mask) const override {
+    if (n == 0) return Status::OK();
+    DYNOPT_ASSIGN_OR_RETURN(const ColumnVector* cv, view.Get(col_));
+    switch (cv->mode()) {
+      case ColumnVector::Mode::kString:
+        for (size_t i = 0; i < n; ++i) {
+          mask[i] = cv->StringAt(sel[i]).find(needle_) != std::string::npos;
+        }
+        return Status::OK();
+      case ColumnVector::Mode::kMixed:
+        for (size_t i = 0; i < n; ++i) {
+          Value v = cv->ValueAt(sel[i]);
+          if (!v.is_string()) {
+            return Status::InvalidArgument("CONTAINS on non-string column");
+          }
+          mask[i] = v.AsString().find(needle_) != std::string::npos;
+        }
+        return Status::OK();
+      default:
+        return Status::InvalidArgument("CONTAINS on non-string column");
+    }
   }
 
   void CollectColumns(std::set<uint32_t>* cols) const override {
@@ -227,6 +404,39 @@ class ModPredicate final : public Predicate {
     return m == residue_;
   }
 
+  Status EvalBatch(const BatchView& view, const ParamMap&,
+                   const uint32_t* sel, size_t n,
+                   uint8_t* mask) const override {
+    if (n == 0) return Status::OK();
+    if (modulus_ == 0) return Status::InvalidArgument("MOD by zero");
+    DYNOPT_ASSIGN_OR_RETURN(const ColumnVector* cv, view.Get(col_));
+    int64_t adjust = modulus_ < 0 ? -modulus_ : modulus_;
+    switch (cv->mode()) {
+      case ColumnVector::Mode::kInt64: {
+        const int64_t* data = cv->i64_data();
+        for (size_t i = 0; i < n; ++i) {
+          int64_t m = data[sel[i]] % modulus_;
+          m += adjust & -static_cast<int64_t>(m < 0);  // branch-free fixup
+          mask[i] = m == residue_;
+        }
+        return Status::OK();
+      }
+      case ColumnVector::Mode::kMixed:
+        for (size_t i = 0; i < n; ++i) {
+          Value v = cv->ValueAt(sel[i]);
+          if (!v.is_int64()) {
+            return Status::InvalidArgument("MOD on non-int column");
+          }
+          int64_t m = v.AsInt64() % modulus_;
+          if (m < 0) m += adjust;
+          mask[i] = m == residue_;
+        }
+        return Status::OK();
+      default:
+        return Status::InvalidArgument("MOD on non-int column");
+    }
+  }
+
   void CollectColumns(std::set<uint32_t>* cols) const override {
     cols->insert(col_);
   }
@@ -262,6 +472,41 @@ class NaryPredicate final : public Predicate {
       if (!is_and && v) return true;
     }
     return is_and;
+  }
+
+  Status EvalBatch(const BatchView& view, const ParamMap& params,
+                   const uint32_t* sel, size_t n,
+                   uint8_t* mask) const override {
+    if (n == 0) return Status::OK();
+    bool is_and = kind() == Kind::kAnd;
+    // Every row starts at the identity; children progressively decide rows
+    // and the undecided set narrows, so a later child never evaluates a row
+    // an earlier one already settled — exactly the row path's
+    // short-circuit, batched.
+    std::memset(mask, is_and ? 1 : 0, n);
+    std::vector<uint32_t> live(n);
+    for (size_t i = 0; i < n; ++i) live[i] = static_cast<uint32_t>(i);
+    std::vector<uint32_t> sub_sel;
+    std::vector<uint8_t> sub_mask;
+    for (const auto& child : children_) {
+      if (live.empty()) break;
+      sub_sel.resize(live.size());
+      sub_mask.resize(live.size());
+      for (size_t j = 0; j < live.size(); ++j) sub_sel[j] = sel[live[j]];
+      DYNOPT_RETURN_IF_ERROR(child->EvalBatch(
+          view, params, sub_sel.data(), sub_sel.size(), sub_mask.data()));
+      size_t m = 0;
+      for (size_t j = 0; j < live.size(); ++j) {
+        bool v = sub_mask[j] != 0;
+        if (is_and ? !v : v) {
+          mask[live[j]] = is_and ? 0 : 1;  // decided now
+        } else {
+          live[m++] = live[j];  // still undecided
+        }
+      }
+      live.resize(m);
+    }
+    return Status::OK();
   }
 
   void CollectColumns(std::set<uint32_t>* cols) const override {
@@ -304,6 +549,14 @@ class NotPredicate final : public Predicate {
   Result<bool> Eval(const RowView& row, const ParamMap& params) const override {
     DYNOPT_ASSIGN_OR_RETURN(bool v, child_->Eval(row, params));
     return !v;
+  }
+
+  Status EvalBatch(const BatchView& view, const ParamMap& params,
+                   const uint32_t* sel, size_t n,
+                   uint8_t* mask) const override {
+    DYNOPT_RETURN_IF_ERROR(child_->EvalBatch(view, params, sel, n, mask));
+    for (size_t i = 0; i < n; ++i) mask[i] = mask[i] == 0;
+    return Status::OK();
   }
 
   void CollectColumns(std::set<uint32_t>* cols) const override {
@@ -468,6 +721,44 @@ PredicateRef Predicate::Or(std::vector<PredicateRef> children) {
 
 PredicateRef Predicate::Not(PredicateRef child) {
   return std::make_shared<NotPredicate>(std::move(child));
+}
+
+namespace {
+
+/// Keeps only the selection entries whose mask bit is set.
+void CompactSelection(const uint8_t* mask, std::vector<uint32_t>* sel) {
+  size_t out = 0;
+  for (size_t i = 0; i < sel->size(); ++i) {
+    (*sel)[out] = (*sel)[i];
+    out += mask[i] != 0;
+  }
+  sel->resize(out);
+}
+
+}  // namespace
+
+Status FilterSelection(const Predicate& pred, const BatchView& view,
+                       const ParamMap& params, BatchEvalScratch* scratch,
+                       std::vector<uint32_t>* sel) {
+  if (sel->empty()) return Status::OK();
+  if (pred.kind() == Predicate::Kind::kAnd) {
+    // Evaluate conjunct by conjunct, compacting between conjuncts so later
+    // (typically more expensive) conjuncts only see surviving rows.
+    const auto& nary = static_cast<const NaryPredicate&>(pred);
+    for (const auto& child : nary.children()) {
+      scratch->mask.resize(sel->size());
+      DYNOPT_RETURN_IF_ERROR(child->EvalBatch(
+          view, params, sel->data(), sel->size(), scratch->mask.data()));
+      CompactSelection(scratch->mask.data(), sel);
+      if (sel->empty()) return Status::OK();
+    }
+    return Status::OK();
+  }
+  scratch->mask.resize(sel->size());
+  DYNOPT_RETURN_IF_ERROR(pred.EvalBatch(view, params, sel->data(),
+                                        sel->size(), scratch->mask.data()));
+  CompactSelection(scratch->mask.data(), sel);
+  return Status::OK();
 }
 
 Result<EncodedRange> ExtractRange(const PredicateRef& pred, uint32_t col,

@@ -90,6 +90,31 @@ class RowView {
   const std::vector<std::optional<Value>>* sparse_ = nullptr;
 };
 
+/// Column-major view of a row batch for vectorized evaluation: `cols[c]`
+/// is the flat vector holding column `c`, or null when the batch does not
+/// materialize that column (index-only batches, skipped projections).
+/// Mirrors RowView's sparse semantics — touching an absent column is an
+/// Internal error, never a silent miss.
+class BatchView {
+ public:
+  BatchView(const ColumnVector* const* cols, size_t num_cols)
+      : cols_(cols), num_cols_(num_cols) {}
+
+  /// The vector for column `col`; Internal error when absent.
+  Result<const ColumnVector*> Get(uint32_t col) const {
+    if (col >= num_cols_ || cols_[col] == nullptr) {
+      return Status::Internal(
+          "predicate evaluated on batch lacking column " +
+          std::to_string(col));
+    }
+    return cols_[col];
+  }
+
+ private:
+  const ColumnVector* const* cols_;
+  size_t num_cols_;
+};
+
 class Predicate;
 using PredicateRef = std::shared_ptr<const Predicate>;
 
@@ -113,6 +138,16 @@ class Predicate {
   /// Evaluates under `row` with host variables bound from `params`.
   virtual Result<bool> Eval(const RowView& row,
                             const ParamMap& params) const = 0;
+
+  /// Vectorized twin of Eval: for each i in [0, n) sets `mask[i]` to the
+  /// truth value on row `sel[i]` of `view`. Host variables bind once per
+  /// batch (not once per row) and leaf comparisons run as tight typed
+  /// loops; AND/OR children progressively narrow the rows they evaluate,
+  /// preserving row-path short-circuit semantics (a later child is never
+  /// evaluated on a row an earlier child already decided).
+  virtual Status EvalBatch(const BatchView& view, const ParamMap& params,
+                           const uint32_t* sel, size_t n,
+                           uint8_t* mask) const = 0;
 
   /// Adds every column the predicate reads to `*cols`.
   virtual void CollectColumns(std::set<uint32_t>* cols) const = 0;
@@ -145,6 +180,20 @@ class Predicate {
  private:
   Kind kind_;
 };
+
+/// Reusable buffers for FilterSelection (one per stepper, cleared per
+/// batch) so steady-state batch evaluation performs no allocations.
+struct BatchEvalScratch {
+  std::vector<uint8_t> mask;
+};
+
+/// Filters `*sel` in place: evaluates `pred` over the selected rows of
+/// `view` and keeps only the passing indexes. A top-level AND is evaluated
+/// conjunct by conjunct with the selection compacted between conjuncts, so
+/// later (more expensive) conjuncts only see survivors.
+Status FilterSelection(const Predicate& pred, const BatchView& view,
+                       const ParamMap& params, BatchEvalScratch* scratch,
+                       std::vector<uint32_t>* sel);
 
 /// Derives the tightest [lo, hi) encoded range that `pred` implies for
 /// `col`, under the given bindings (the hull of ExtractRangeSet). Returns

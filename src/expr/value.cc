@@ -70,6 +70,128 @@ std::string Value::ToString() const {
   return os.str();
 }
 
+void ColumnVector::Reserve(size_t n) {
+  switch (mode_) {
+    case Mode::kEmpty:
+    case Mode::kInt64:
+      i64_.reserve(n);
+      break;
+    case Mode::kDouble:
+      f64_.reserve(n);
+      break;
+    case Mode::kString:
+      str_.reserve(n);
+      break;
+    case Mode::kMixed:
+      mixed_.reserve(n);
+      break;
+  }
+}
+
+void ColumnVector::DemoteToMixed() {
+  mixed_.clear();
+  mixed_.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) mixed_.push_back(ValueAt(i));
+  mode_ = Mode::kMixed;
+}
+
+void ColumnVector::AppendInt64(int64_t v) {
+  if (mode_ == Mode::kEmpty) mode_ = Mode::kInt64;
+  if (mode_ == Mode::kInt64) {
+    i64_.push_back(v);
+    size_++;
+    return;
+  }
+  Append(Value(v));
+}
+
+void ColumnVector::AppendDouble(double v) {
+  if (mode_ == Mode::kEmpty) mode_ = Mode::kDouble;
+  if (mode_ == Mode::kDouble) {
+    f64_.push_back(v);
+    size_++;
+    return;
+  }
+  Append(Value(v));
+}
+
+void ColumnVector::AppendString(std::string_view v) {
+  if (mode_ == Mode::kEmpty) mode_ = Mode::kString;
+  if (mode_ == Mode::kString) {
+    if (size_ < str_.size()) {
+      str_[size_].assign(v);  // recycle the slot's allocation
+    } else {
+      str_.emplace_back(v);
+    }
+    size_++;
+    return;
+  }
+  Append(Value(std::string(v)));
+}
+
+void ColumnVector::Append(const Value& v) {
+  switch (mode_) {
+    case Mode::kEmpty:
+    case Mode::kInt64:
+      if (v.is_int64()) {
+        AppendInt64(v.AsInt64());
+        return;
+      }
+      break;
+    case Mode::kDouble:
+      if (v.is_double()) {
+        AppendDouble(v.AsDouble());
+        return;
+      }
+      break;
+    case Mode::kString:
+      if (v.is_string()) {
+        AppendString(v.AsString());
+        return;
+      }
+      break;
+    case Mode::kMixed:
+      mixed_.push_back(v);
+      size_++;
+      return;
+  }
+  DemoteToMixed();
+  mixed_.push_back(v);
+  size_++;
+}
+
+Value ColumnVector::ValueAt(size_t i) const {
+  switch (mode_) {
+    case Mode::kInt64:
+      return Value(i64_[i]);
+    case Mode::kDouble:
+      return Value(f64_[i]);
+    case Mode::kString:
+      return Value(str_[i]);
+    case Mode::kMixed:
+      return mixed_[i];
+    case Mode::kEmpty:
+      break;
+  }
+  return Value();
+}
+
+ValueType ColumnVector::TypeAt(size_t i) const {
+  switch (mode_) {
+    case Mode::kInt64:
+      return ValueType::kInt64;
+    case Mode::kDouble:
+      return ValueType::kDouble;
+    case Mode::kString:
+      return ValueType::kString;
+    case Mode::kMixed:
+      return mixed_[i].type();
+    case Mode::kEmpty:
+      break;
+  }
+  return ValueType::kInt64;
+}
+
 Result<uint32_t> Schema::ColumnIndex(std::string_view name) const {
   for (uint32_t i = 0; i < columns_.size(); ++i) {
     if (columns_[i].name == name) return i;
@@ -152,6 +274,45 @@ Status DeserializeRecord(const Schema& schema, std::string_view data,
         DYNOPT_RETURN_IF_ERROR(ReadU32(&data, &len));
         if (data.size() < len) return Status::Corruption("record truncated");
         out->emplace_back(std::string(data.substr(0, len)));
+        data.remove_prefix(len);
+        break;
+      }
+    }
+  }
+  if (!data.empty()) return Status::Corruption("trailing bytes in record");
+  return Status::OK();
+}
+
+Status DeserializeRecordColumns(const Schema& schema, std::string_view data,
+                                ColumnVector* const* dests) {
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    ColumnVector* dest = dests[i];
+    switch (schema.column(i).type) {
+      case ValueType::kInt64: {
+        if (data.size() < 8) return Status::Corruption("record truncated");
+        if (dest != nullptr) {
+          int64_t v;
+          std::memcpy(&v, data.data(), 8);
+          dest->AppendInt64(v);
+        }
+        data.remove_prefix(8);
+        break;
+      }
+      case ValueType::kDouble: {
+        if (data.size() < 8) return Status::Corruption("record truncated");
+        if (dest != nullptr) {
+          double v;
+          std::memcpy(&v, data.data(), 8);
+          dest->AppendDouble(v);
+        }
+        data.remove_prefix(8);
+        break;
+      }
+      case ValueType::kString: {
+        uint32_t len;
+        DYNOPT_RETURN_IF_ERROR(ReadU32(&data, &len));
+        if (data.size() < len) return Status::Corruption("record truncated");
+        if (dest != nullptr) dest->AppendString(data.substr(0, len));
         data.remove_prefix(len);
         break;
       }

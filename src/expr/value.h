@@ -79,6 +79,61 @@ class Schema {
 /// A full record: one Value per schema column.
 using Record = std::vector<Value>;
 
+/// Flat, SIMD-friendly column storage for batched execution: one typed
+/// array per column instead of one Value variant per cell. A vector starts
+/// empty, adopts the type of its first append, and exposes raw `int64_t*`
+/// / `double*` data for the branch-free predicate loops. Appending a
+/// mismatched type demotes the vector to a generic Value array (needed by
+/// operator-level batches over heterogeneous test rows); batch evaluation
+/// then falls back to per-element Value semantics.
+///
+/// String slots are recycled across Clear() — `AppendString` assigns into
+/// an already-allocated std::string where one exists, so a steady-state
+/// scan performs no per-row allocations for string columns.
+class ColumnVector {
+ public:
+  enum class Mode : uint8_t { kEmpty, kInt64, kDouble, kString, kMixed };
+
+  size_t size() const { return size_; }
+  Mode mode() const { return mode_; }
+  bool is_mixed() const { return mode_ == Mode::kMixed; }
+
+  /// Drops all elements but keeps every allocation (string slots included).
+  void Clear() {
+    size_ = 0;
+    mode_ = Mode::kEmpty;
+    i64_.clear();
+    f64_.clear();
+    mixed_.clear();
+  }
+  void Reserve(size_t n);
+
+  void AppendInt64(int64_t v);
+  void AppendDouble(double v);
+  void AppendString(std::string_view v);
+  void Append(const Value& v);
+
+  /// Raw typed data; valid only in the matching mode.
+  const int64_t* i64_data() const { return i64_.data(); }
+  const double* f64_data() const { return f64_.data(); }
+  const std::string& StringAt(size_t i) const { return str_[i]; }
+
+  /// Element `i` as a Value (copies; use the typed accessors in hot loops).
+  Value ValueAt(size_t i) const;
+  /// Element type at `i` (per-element in mixed mode, uniform otherwise).
+  ValueType TypeAt(size_t i) const;
+
+ private:
+  void DemoteToMixed();
+
+  Mode mode_ = Mode::kEmpty;
+  size_t size_ = 0;
+  std::vector<int64_t> i64_;
+  std::vector<double> f64_;
+  std::vector<std::string> str_;  // size_ may trail str_.size() (slot reuse)
+  std::vector<Value> mixed_;
+};
+
 /// Total order over values of any types (type tag first, then value):
 /// used by sort/distinct operators where columns are homogeneous anyway.
 inline bool TotalValueLess(const Value& a, const Value& b) {
@@ -94,6 +149,14 @@ Status SerializeRecord(const Schema& schema, const Record& record,
 /// Parses bytes produced by SerializeRecord.
 Status DeserializeRecord(const Schema& schema, std::string_view data,
                          Record* out);
+
+/// Column-skipping deserialization for batched scans: appends column `i`
+/// of the record to `dests[i]`, where a null entry skips that column
+/// without materializing it (the encoding is skippable: numerics are fixed
+/// 8 bytes, strings carry a length prefix). `dests` must hold
+/// `schema.num_columns()` entries.
+Status DeserializeRecordColumns(const Schema& schema, std::string_view data,
+                                ColumnVector* const* dests);
 
 }  // namespace dynopt
 

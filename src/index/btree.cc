@@ -491,6 +491,48 @@ Result<bool> BTree::Cursor::Next(std::string* key, Rid* rid) {
   }
 }
 
+Result<bool> BTree::Cursor::NextBatch(std::string_view hi, size_t max,
+                                      RidBatch* out, bool* bound_hit) {
+  *bound_hit = false;
+  if (exhausted_) return false;
+  out->Reserve(out->size() + max);
+  auto* compares = &tree_->pool_->meter_ptr()->key_compares;
+  size_t n = 0;
+  for (;;) {
+    if (!guard_.valid() || guard_.id() != leaf_) {
+      DYNOPT_ASSIGN_OR_RETURN(guard_, tree_->pool_->Pin(leaf_));
+      DYNOPT_RETURN_IF_ERROR(NodeRef::CheckHeader(guard_.data(), leaf_));
+      if (!NodeRef(const_cast<uint8_t*>(guard_.data())).is_leaf()) {
+        return Status::Corruption("leaf chain points at non-leaf page " +
+                                  std::to_string(leaf_));
+      }
+    }
+    NodeRef node(const_cast<uint8_t*>(guard_.data()));
+    uint16_t count = node.count();
+    while (pos_ < count && n < max) {
+      std::string_view key = node.Key(pos_);
+      (*compares)++;  // per-entry CPU touch, same rate as row-path Next
+      if (!hi.empty() && key >= hi) {
+        // Leave the cursor parked on the bounding entry; the caller
+        // either reseeks for the next range or closes.
+        *bound_hit = true;
+        return false;
+      }
+      out->Append(key, node.LeafRid(pos_));
+      pos_++;
+      n++;
+    }
+    if (n >= max) return true;
+    leaf_ = node.next_leaf();
+    pos_ = 0;
+    if (leaf_ == kInvalidPageId) {
+      guard_.Release();
+      exhausted_ = true;
+      return false;
+    }
+  }
+}
+
 Status BTree::ValidateNode(PageId id, uint32_t expected_level,
                            const std::string& lo, const std::string& hi,
                            uint64_t* leaf_entries, uint64_t* nodes,

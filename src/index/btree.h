@@ -34,6 +34,7 @@
 
 #include "index/encoded_range.h"
 #include "index/node.h"
+#include "index/rid_batch.h"
 #include "storage/buffer_pool.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -126,6 +127,15 @@ class BTree {
 
     /// Produces the entry under the cursor and advances. False at end.
     Result<bool> Next(std::string* key, Rid* rid);
+
+    /// Batched Next: appends up to `max` entries to `*out`, copying a
+    /// whole leaf's qualifying entries per page pin instead of re-entering
+    /// the cursor per entry. Stops early when a key reaches `hi`
+    /// (exclusive encoded upper bound; empty = unbounded), setting
+    /// `*bound_hit`. Returns true when the batch filled and more entries
+    /// may remain; false when the scan is over (tree end or bound hit).
+    Result<bool> NextBatch(std::string_view hi, size_t max, RidBatch* out,
+                           bool* bound_hit);
 
     /// Drops the leaf pin and parks the cursor at end; Seek() reopens it.
     /// Callers that stop a scan early (range upper bound reached) must

@@ -27,6 +27,12 @@ class MultiRangeCursor {
   /// False at the end of the last range.
   Result<bool> Next(std::string* key, Rid* rid);
 
+  /// Batched Next: appends entries (across range boundaries) to `*out`
+  /// until it holds `max` entries or every range is exhausted. Returns
+  /// true when more entries may remain. Entries already in `*out` count
+  /// toward `max`.
+  Result<bool> NextBatch(size_t max, RidBatch* out);
+
  private:
   BTree* tree_;
   const RangeSet* ranges_;

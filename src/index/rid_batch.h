@@ -1,0 +1,55 @@
+// RidBatch: a leaf-copy batch of (encoded key, rid) index entries.
+//
+// The index-side unit of the batched executor: B+-tree cursors harvest a
+// whole leaf's qualifying entries into a RidBatch under a single page pin,
+// so the buffer pool is locked once per leaf rather than once per entry.
+// Key strings are recycled across Clear() — steady-state scans perform no
+// per-entry allocation.
+
+#ifndef DYNOPT_INDEX_RID_BATCH_H_
+#define DYNOPT_INDEX_RID_BATCH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/page.h"
+
+namespace dynopt {
+
+class RidBatch {
+ public:
+  void Reserve(size_t n) {
+    keys_.reserve(n);
+    rids_.reserve(n);
+  }
+
+  void Clear() {
+    size_ = 0;
+    rids_.clear();
+  }
+
+  void Append(std::string_view key, const Rid& rid) {
+    if (size_ < keys_.size()) {
+      keys_[size_].assign(key);  // recycle the slot's allocation
+    } else {
+      keys_.emplace_back(key);
+    }
+    size_++;
+    rids_.push_back(rid);
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const std::string& key(size_t i) const { return keys_[i]; }
+  const Rid& rid(size_t i) const { return rids_[i]; }
+
+ private:
+  size_t size_ = 0;
+  std::vector<std::string> keys_;  // size_ may trail keys_.size()
+  std::vector<Rid> rids_;
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_INDEX_RID_BATCH_H_

@@ -172,6 +172,13 @@ Status HeapFile::Delete(const Rid& rid) {
 }
 
 Result<bool> HeapFile::Cursor::Next(std::string* record, Rid* rid) {
+  std::string_view view;
+  DYNOPT_ASSIGN_OR_RETURN(bool more, NextView(&view, rid));
+  if (more) record->assign(view);
+  return more;
+}
+
+Result<bool> HeapFile::Cursor::NextView(std::string_view* record, Rid* rid) {
   while (page_index_ < file_->pages_.size()) {
     PageId pid = file_->pages_[page_index_];
     if (!guard_.valid() || guard_.id() != pid) {
@@ -185,7 +192,7 @@ Result<bool> HeapFile::Cursor::Next(std::string* record, Rid* rid) {
       if (len == kTombstoneLen) continue;
       uint16_t off = SlotOffset(p, slot);
       DYNOPT_RETURN_IF_ERROR(CheckRecordBounds(pid, slot, off, len));
-      record->assign(reinterpret_cast<const char*>(p) + off, len);
+      *record = std::string_view(reinterpret_cast<const char*>(p) + off, len);
       rid->page = pid;
       rid->slot = slot;
       return true;
@@ -195,6 +202,20 @@ Result<bool> HeapFile::Cursor::Next(std::string* record, Rid* rid) {
   }
   guard_.Release();
   return false;
+}
+
+Result<std::string_view> HeapFile::BatchReader::Read(const Rid& rid) {
+  if (!rid.valid()) return Status::NotFound("invalid rid");
+  if (!guard_.valid() || guard_.id() != rid.page) {
+    DYNOPT_ASSIGN_OR_RETURN(guard_, file_->pool_->Pin(rid.page));
+  }
+  const uint8_t* p = guard_.data();
+  if (rid.slot >= SlotCount(p)) return Status::NotFound("slot out of range");
+  uint16_t len = SlotLen(p, rid.slot);
+  if (len == kTombstoneLen) return Status::NotFound("record deleted");
+  uint16_t off = SlotOffset(p, rid.slot);
+  DYNOPT_RETURN_IF_ERROR(CheckRecordBounds(rid.page, rid.slot, off, len));
+  return std::string_view(reinterpret_cast<const char*>(p) + off, len);
 }
 
 }  // namespace dynopt

@@ -64,6 +64,11 @@ class HeapFile {
     /// Advances to the next live record. Returns false at end of file.
     Result<bool> Next(std::string* record, Rid* rid);
 
+    /// Like Next but yields a view into the pinned page instead of
+    /// copying — the batched Tscan deserializes straight from the page.
+    /// The view is invalidated by the next cursor call or Reset().
+    Result<bool> NextView(std::string_view* record, Rid* rid);
+
     /// Restarts from the beginning.
     void Reset() {
       page_index_ = 0;
@@ -79,6 +84,30 @@ class HeapFile {
   };
 
   Cursor NewCursor() { return Cursor(this); }
+
+  /// Page-clustered random reads for batched fetches. Callers sort each
+  /// RID batch by (page, slot) and stream it through Read(): the reader
+  /// keeps the current page pinned, so the sharded pool is locked once
+  /// per distinct page rather than once per row. Returned views are
+  /// invalidated by the next Read() that changes pages (sorted input
+  /// keeps every view of one page valid until the batch moves on).
+  class BatchReader {
+   public:
+    explicit BatchReader(HeapFile* file) : file_(file) {}
+
+    /// The record at `rid` as a view into the pinned page.
+    /// NotFound for deleted/invalid rids (same contract as Fetch).
+    Result<std::string_view> Read(const Rid& rid);
+
+    /// Drops the current pin.
+    void Release() { guard_.Release(); }
+
+   private:
+    HeapFile* file_;
+    PageGuard guard_;
+  };
+
+  BatchReader NewBatchReader() { return BatchReader(this); }
 
  private:
   explicit HeapFile(BufferPool* pool) : pool_(pool) {}

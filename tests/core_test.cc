@@ -483,7 +483,11 @@ TEST(JscanTest, MisorderedCandidatesGetReordered) {
 TEST(JscanTest, BorrowedRidsComeFromTheLiveList) {
   auto pred = AgeBetween(10, 15);
   JscanFixture jf(8000, pred, {"age"});
-  Jscan jscan(&jf.f.db, jf.spec, jf.params, jf.Candidates(), Jscan::Options());
+  // Entry-at-a-time quantum: borrowing must observe the list *while* it
+  // grows, before any batch-boundary competition verdict retires it.
+  Jscan::Options jopt;
+  jopt.batch_entries = 1;
+  Jscan jscan(&jf.f.db, jf.spec, jf.params, jf.Candidates(), jopt);
   std::set<uint64_t> borrowed;
   for (int i = 0; i < 100000 && jscan.phase() == Jscan::Phase::kScanning;
        ++i) {
@@ -692,6 +696,7 @@ TEST(RaceTest, FastFirstBufferOverflowFallsBackToBackground) {
   RetrievalOptions opt;
   opt.fgr_buffer_capacity = 8;   // force the overflow quickly
   opt.fgr_bgr_cost_ratio = 0.0;  // starve the background: fgr races ahead
+  opt.batch_size = 1;  // row-at-a-time: the race must outlive the borrows
   RetrievalSpec spec =
       f.Spec(AgeBetween(10, 15), {0, 1}, OptimizationGoal::kFastFirst);
   DynamicRetrieval engine(&f.db, spec, opt);
@@ -872,6 +877,7 @@ TEST(RaceTest, FastFirstCostLimitTriggersFallback) {
   RetrievalOptions opt;
   opt.fgr_cost_limit_fraction = 1e-6;  // any fetch busts the limit
   opt.fgr_bgr_cost_ratio = 0.0;        // foreground goes first
+  opt.batch_size = 1;  // row-at-a-time: the race must outlive the borrows
   RetrievalSpec spec =
       f.Spec(AgeBetween(10, 15), {0, 1}, OptimizationGoal::kFastFirst);
   DynamicRetrieval engine(&f.db, spec, opt);

@@ -705,6 +705,9 @@ TEST(DegradedFallbackTest, MidFlightFaultKeepsRowsOrdered) {
   RetrievalSpec spec = f.RangeSpec();
   spec.order_by_column = 1;  // age; projected at position 1
   auto plan = PlanNode::Retrieve(spec);
+  // Row-at-a-time quantum: the read-count probe below calibrates the fault
+  // to land mid-flight, which requires per-row paced store reads.
+  plan->retrieval_options.batch_size = 1;
   ParamMap params;
 
   auto drain_ages = [](RowOperator* op, std::vector<int64_t>* ages,

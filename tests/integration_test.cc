@@ -145,7 +145,11 @@ TEST(IntegrationTest, CacheInterferenceRaisesAndSpreadsCost) {
                          Operand::Literal(Value(int64_t{5000})));
   spec.projection = {0, 2};
   ParamMap params;
-  DynamicRetrieval engine(&db, spec);
+  // Row-at-a-time quantum: the skew being measured is per-row random
+  // page access; batched page-clustered fetches flatten it by design.
+  RetrievalOptions opt;
+  opt.batch_size = 1;
+  DynamicRetrieval engine(&db, spec, opt);
 
   auto run_cost = [&]() {
     CostMeter before = db.meter();
