@@ -1,0 +1,371 @@
+// Learned selectivity: convergence, competition flips, persistence, safety.
+//
+// Part 1 — convergence gate. A correlated FAMILIES variant (income derived
+// from age) breaks the estimator's independence assumption, so a repeated
+// parametric query class (age BETWEEN :lo AND :hi, income < :cap) carries a
+// persistent cardinality miss. The class is swept cold (frozen, empty
+// model), then learned over several epochs, then swept warm (frozen again,
+// reads only). The issue gates warm median q-error <= 0.5x cold — the
+// feedback loop must at least halve the class's estimation error.
+//
+// Part 2 — competition flip. The LearningFlipTest scenario at bench scale:
+// a CPU-heavy residual makes the analytic Sscan estimate optimistic; cold
+// the §7 settle retains the Sscan, warm the learned full-run cost flips the
+// verdict to the Jscan list. Gate: >= 1 flip, identical result sets.
+//
+// Part 3 — persistence gate. The learned model must round-trip the catalog
+// byte-identically across Database::Close/Open.
+//
+// Part 4 — safety gate. Controlled mode must not diverge from a learning
+// run in results: identical parametric streams over identical data, equal
+// per-session result hashes, zero learning.* activity on the controlled DB.
+//
+// Reported to BENCH_learning.json:
+//   convergence.cold_median_qerr / warm_median_qerr / ratio   (gate <= 0.5)
+//   flip.flips                                                (gate >= 1)
+//   persist.byte_identical                                    (gate == 1)
+//   safety.hashes_equal                                       (gate == 1)
+//   learning.classes / observations / overrides
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/database.h"
+#include "core/retrieval.h"
+#include "learning/selectivity_model.h"
+#include "obs/bench_report.h"
+#include "obs/dashboard.h"
+#include "obs/feedback.h"
+#include "workload/driver.h"
+#include "workload/workload.h"
+
+namespace dynopt {
+namespace {
+
+constexpr int64_t kRows = 20000;
+
+double Median(std::vector<double> v) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+std::multiset<uint64_t> Drain(DynamicRetrieval* engine, bool* ok) {
+  std::multiset<uint64_t> rids;
+  OutputRow row;
+  for (;;) {
+    auto more = engine->Next(&row);
+    if (!more.ok()) {
+      *ok = false;
+      return rids;
+    }
+    if (!*more) break;
+    rids.insert(row.rid.ToU64());
+  }
+  return rids;
+}
+
+// One sweep of the parametric class; returns per-query rows q-errors
+// (corrected prediction vs delivered rows).
+bool Sweep(DynamicRetrieval* engine, std::vector<double>* q_errors) {
+  for (int64_t lo : {10, 25, 40, 55, 70}) {
+    for (int64_t width : {10, 20, 30}) {
+      ParamMap p{{"lo", Value(lo)},
+                 {"hi", Value(lo + width)},
+                 {"cap", Value(lo + 20)}};
+      if (!engine->Open(p).ok()) return false;
+      bool ok = true;
+      auto rids = Drain(engine, &ok);
+      if (!ok) return false;
+      if (q_errors != nullptr) {
+        q_errors->push_back(QError(engine->predicted_rows(),
+                                   static_cast<double>(rids.size())));
+      }
+    }
+  }
+  return true;
+}
+
+bool Run(int* exit_code) {
+  std::printf("=== learned selectivity: convergence, flips, persistence ===\n\n");
+  BenchReport report("learning");
+
+  // ---- Part 1: convergence on a correlated class.
+  // income = age + noise(0..40): the independence assumption misprices
+  // And(age range, income cap) by the correlation factor.
+  TableSpec ts;
+  ts.name = "families";
+  ts.columns = {
+      {{"id", ValueType::kInt64}, SequentialInt()},
+      {{"age", ValueType::kInt64}, UniformInt(0, 99)},
+      {{"income", ValueType::kInt64}, DerivedInt(1, 40)},
+      {{"city", ValueType::kString}, CategoricalString("city", 50)},
+  };
+  Database db(DatabaseOptions{.pool_pages = 4096});
+  auto table = BuildTable(&db, ts, kRows, 42);
+  if (!table.ok() || !(*table)->CreateIndex("by_age", {"age"}).ok()) {
+    std::printf("build failed\n");
+    return false;
+  }
+  std::printf("database: %lld rows, income derived from age (correlated)\n\n",
+              static_cast<long long>(kRows));
+
+  RetrievalSpec spec;
+  spec.table = *table;
+  spec.restriction = Predicate::And(
+      {Predicate::Between(1, Operand::HostVar("lo"), Operand::HostVar("hi")),
+       Predicate::Compare(2, CompareOp::kLt, Operand::HostVar("cap"))});
+  spec.projection = {0, 1, 2};
+  DynamicRetrieval engine(&db, spec);
+  SelectivityModel* model = db.learning();
+
+  // Cold: reads enabled but the model is empty — pure analytic estimates.
+  model->set_mode(LearningMode::kFrozen);
+  std::vector<double> cold;
+  if (!Sweep(&engine, &cold)) {
+    std::printf("cold sweep failed\n");
+    return false;
+  }
+  // Learn: several epochs of the same parametric stream.
+  model->set_mode(LearningMode::kLearn);
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    if (!Sweep(&engine, nullptr)) {
+      std::printf("learn epoch failed\n");
+      return false;
+    }
+  }
+  // Warm: frozen again — corrections applied, nothing absorbed.
+  model->set_mode(LearningMode::kFrozen);
+  std::vector<double> warm;
+  if (!Sweep(&engine, &warm)) {
+    std::printf("warm sweep failed\n");
+    return false;
+  }
+  double cold_median = Median(cold);
+  double warm_median = Median(warm);
+  double ratio = cold_median > 0 ? warm_median / cold_median : 1.0;
+  std::printf("%14s %18s\n", "sweep", "median rows q-err");
+  std::printf("%14s %18.2f\n", "cold", cold_median);
+  std::printf("%14s %18.2f\n", "warm", warm_median);
+  std::printf("\nconvergence ratio: %.2f (issue gates <= 0.5)\n\n", ratio);
+  report.Add("convergence.cold_median_qerr", cold_median);
+  report.Add("convergence.warm_median_qerr", warm_median);
+  report.Add("convergence.ratio", ratio);
+  if (ratio > 0.5) {
+    std::printf("CONVERGENCE GATE FAILED: %.2f > 0.5\n", ratio);
+    *exit_code = 1;
+  }
+  report.Add("learning.classes", static_cast<double>(model->size()));
+  report.Add("learning.observations",
+             static_cast<double>(model->observations()));
+
+  // ---- Part 2: learned strategy cost flips the §7 settle.
+  DatabaseOptions flip_dbo;
+  flip_dbo.pool_pages = 4096;
+  flip_dbo.cost_weights.record_eval = 5.0;  // CPU-heavy residual
+  Database flip_db(flip_dbo);
+  auto flip_table = BuildFamilies(&flip_db, 8000, 42);
+  if (!flip_table.ok() ||
+      !(*flip_table)->CreateIndex("by_age_income", {"age", "income"}).ok() ||
+      !(*flip_table)->CreateIndex("by_income", {"income"}).ok()) {
+    std::printf("flip build failed\n");
+    return false;
+  }
+  RetrievalSpec flip_spec;
+  flip_spec.table = *flip_table;
+  flip_spec.restriction = Predicate::And(
+      {Predicate::Between(1, Operand::Literal(Value(int64_t{2})),
+                          Operand::Literal(Value(int64_t{97}))),
+       Predicate::Compare(2, CompareOp::kLt,
+                          Operand::Literal(Value(int64_t{3000})))});
+  flip_spec.projection = {1, 2};
+  RetrievalOptions flip_opt;
+  flip_opt.fgr_buffer_capacity = 256;  // let the race reach the settle
+  DynamicRetrieval flip_engine(&flip_db, flip_spec, flip_opt);
+  flip_db.learning()->set_mode(LearningMode::kLearn);
+
+  auto verdict_of = [](const DynamicRetrieval& e) -> std::string {
+    for (const char* v : {"jscan-won", "sscan-retained",
+                          "jscan-recommends-tscan"}) {
+      if (e.events().Contains(TraceEventKind::kCompetitionVerdict, v)) {
+        return v;
+      }
+    }
+    return "none";
+  };
+
+  bool ok = true;
+  if (!flip_engine.Open({}).ok()) return false;
+  auto flip_cold = Drain(&flip_engine, &ok);
+  std::string cold_verdict = verdict_of(flip_engine);
+  if (!flip_engine.Open({}).ok()) return false;
+  auto flip_warm = Drain(&flip_engine, &ok);
+  std::string warm_verdict = verdict_of(flip_engine);
+  if (!ok) {
+    std::printf("flip drains failed\n");
+    return false;
+  }
+  int flips = (cold_verdict == "sscan-retained" &&
+               warm_verdict == "jscan-won" && flip_cold == flip_warm)
+                  ? 1
+                  : 0;
+  std::printf("flip: cold verdict %-16s warm verdict %-16s rows %zu\n",
+              cold_verdict.c_str(), warm_verdict.c_str(), flip_warm.size());
+  uint64_t overrides =
+      flip_db.metrics() != nullptr
+          ? flip_db.metrics()->Value("learning.competition_overrides")
+          : 0;
+  std::printf("plan-choice flips: %d (issue gates >= 1), overrides: %llu\n\n",
+              flips, static_cast<unsigned long long>(overrides));
+  report.Add("flip.flips", flips);
+  report.Add("flip.result_rows", static_cast<double>(flip_warm.size()));
+  report.Add("learning.overrides", static_cast<double>(overrides));
+  if (flips < 1) {
+    std::printf("FLIP GATE FAILED: cold=%s warm=%s equal_results=%d\n",
+                cold_verdict.c_str(), warm_verdict.c_str(),
+                flip_cold == flip_warm ? 1 : 0);
+    *exit_code = 1;
+  }
+
+  // ---- Part 3: byte-identical persistence through the catalog.
+  const std::string path = "BENCH_learning_scratch.db";
+  ::unlink(path.c_str());
+  ::unlink((path + ".wal").c_str());
+  DatabaseOptions popts;
+  popts.path = path;
+  popts.pool_pages = 512;
+  std::string blob_before;
+  {
+    auto pdb = Database::Create(popts);
+    if (!pdb.ok()) {
+      std::printf("persist create failed\n");
+      return false;
+    }
+    auto ptable = BuildFamilies(pdb->get(), 800, 42);
+    if (!ptable.ok() || !(*ptable)->CreateIndex("by_age", {"age"}).ok()) {
+      std::printf("persist build failed\n");
+      return false;
+    }
+    (*pdb)->learning()->set_mode(LearningMode::kLearn);
+    RetrievalSpec pspec;
+    pspec.table = *ptable;
+    pspec.restriction = Predicate::Between(1, Operand::HostVar("lo"),
+                                           Operand::HostVar("hi"));
+    pspec.projection = {0, 1};
+    DynamicRetrieval pengine(pdb->get(), pspec);
+    for (int round = 0; round < 2; ++round) {
+      for (int64_t lo : {10, 30, 50}) {
+        ParamMap p{{"lo", Value(lo)}, {"hi", Value(lo + 10)}};
+        if (!pengine.Open(p).ok()) return false;
+        Drain(&pengine, &ok);
+      }
+    }
+    blob_before = (*pdb)->learning()->Serialize();
+    if (!(*pdb)->Close().ok()) return false;
+  }
+  int byte_identical = 0;
+  {
+    auto pdb = Database::Open(popts);
+    if (!pdb.ok()) {
+      std::printf("persist reopen failed\n");
+      return false;
+    }
+    byte_identical =
+        (*pdb)->learning()->Serialize() == blob_before ? 1 : 0;
+    (*pdb)->Close().ok();
+  }
+  ::unlink(path.c_str());
+  ::unlink((path + ".wal").c_str());
+  std::printf("persistence: model blob %s across Close/Open (%zu bytes)\n\n",
+              byte_identical ? "byte-identical" : "DIVERGED",
+              blob_before.size());
+  report.Add("persist.byte_identical", byte_identical);
+  report.Add("persist.blob_bytes", static_cast<double>(blob_before.size()));
+  if (byte_identical != 1) {
+    std::printf("PERSISTENCE GATE FAILED\n");
+    *exit_code = 1;
+  }
+
+  // ---- Part 4: controlled vs learn — identical results, inert counters.
+  SessionWorkloadOptions wopts;
+  wopts.sessions = 2;
+  wopts.queries_per_session = 60;
+  wopts.seed = 99;
+  wopts.parametric = true;
+  wopts.concurrent = false;
+  Database cdb(DatabaseOptions{.pool_pages = 1024});
+  auto ct = BuildFamilies(&cdb, 4000, 42);
+  if (!ct.ok() || !(*ct)->CreateIndex("by_id", {"id"}).ok() ||
+      !(*ct)->CreateIndex("by_age", {"age"}).ok()) {
+    return false;
+  }
+  auto creport = RunSessionWorkload(&cdb, *ct, wopts);
+  Database ldb(DatabaseOptions{.pool_pages = 1024});
+  auto lt = BuildFamilies(&ldb, 4000, 42);
+  if (!lt.ok() || !(*lt)->CreateIndex("by_id", {"id"}).ok() ||
+      !(*lt)->CreateIndex("by_age", {"age"}).ok()) {
+    return false;
+  }
+  ldb.learning()->set_mode(LearningMode::kLearn);
+  auto lreport = RunSessionWorkload(&ldb, *lt, wopts);
+  if (!creport.ok() || !lreport.ok()) {
+    std::printf("safety workloads failed\n");
+    return false;
+  }
+  int hashes_equal = 1;
+  for (size_t i = 0; i < creport->sessions.size(); ++i) {
+    if (creport->sessions[i].result_hash != lreport->sessions[i].result_hash ||
+        !creport->sessions[i].error.empty() ||
+        !lreport->sessions[i].error.empty()) {
+      hashes_equal = 0;
+    }
+  }
+  uint64_t controlled_activity =
+      cdb.metrics() != nullptr
+          ? cdb.metrics()->Value("learning.observations") +
+                cdb.metrics()->Value("learning.lookups") +
+                cdb.metrics()->Value("learning.corrections_applied")
+          : 0;
+  std::printf("safety: controlled/learn result hashes %s, controlled "
+              "learning activity: %llu\n\n",
+              hashes_equal ? "equal" : "DIVERGED",
+              static_cast<unsigned long long>(controlled_activity));
+  report.Add("safety.hashes_equal", hashes_equal);
+  report.Add("safety.controlled_activity",
+             static_cast<double>(controlled_activity));
+  if (hashes_equal != 1 || controlled_activity != 0) {
+    std::printf("SAFETY GATE FAILED\n");
+    *exit_code = 1;
+  }
+
+  // ---- Dashboard: the learning section over the convergence DB.
+  DashboardOptions dopts;
+  dopts.title = "learned selectivity";
+  dopts.learning_mode = std::string(LearningModeName(model->mode()));
+  dopts.learning = model->DashboardRows();
+  if (db.metrics() != nullptr) {
+    std::printf("%s\n", RenderDashboard(*db.metrics(), dopts).c_str());
+  }
+
+  report.WriteFile();
+  std::printf(
+      "\nThe estimation-feedback loop is closed: executions deposit what\n"
+      "really happened, later executions of the class spend it — tighter\n"
+      "estimates, and when the evidence is strong enough, a different\n"
+      "winner in the §7 competition.\n");
+  return true;
+}
+
+}  // namespace
+}  // namespace dynopt
+
+int main() {
+  int exit_code = 0;
+  if (!dynopt::Run(&exit_code)) return 2;
+  return exit_code;
+}

@@ -24,7 +24,8 @@ namespace {
 
 // v1: tables only. v2 appends the profile-store blob (query-class
 // aggregates); v1 databases still open — they just start with no profiles.
-constexpr uint32_t kCatalogVersion = 2;
+// v2 added the profile-store blob; v3 the learned-selectivity model blob.
+constexpr uint32_t kCatalogVersion = 3;
 // Layout constants (kCatalogMagic, header size, capacity) live in
 // database.h so the integrity verifier can walk the chain independently.
 constexpr size_t kChainHeaderSize = kCatalogChainHeaderSize;
@@ -271,6 +272,7 @@ Status Database::WriteCatalog() {
     }
   }
   PutStr(&blob, profiles_.Serialize());
+  PutStr(&blob, learning_.Serialize());
 
   size_t chunks =
       std::max<size_t>(1, (blob.size() + kChainCapacity - 1) / kChainCapacity);
@@ -324,7 +326,7 @@ Status Database::LoadCatalog() {
 
   CatalogReader r{blob};
   DYNOPT_ASSIGN_OR_RETURN(uint32_t version, r.U32());
-  if (version != 1 && version != kCatalogVersion) {
+  if (version < 1 || version > kCatalogVersion) {
     return Status::Corruption("unsupported catalog version " +
                               std::to_string(version));
   }
@@ -378,6 +380,12 @@ Status Database::LoadCatalog() {
     DYNOPT_RETURN_IF_ERROR(profiles_.Load(profile_blob));
   } else {
     profiles_.Clear();
+  }
+  if (version >= 3) {
+    DYNOPT_ASSIGN_OR_RETURN(std::string learning_blob, r.Str());
+    DYNOPT_RETURN_IF_ERROR(learning_.Load(learning_blob));
+  } else {
+    learning_.Clear();
   }
   if (!r.data.empty()) {
     return Status::Corruption("catalog blob has trailing bytes");

@@ -40,6 +40,7 @@
 #include "durability/recovery.h"
 #include "durability/wal.h"
 #include "integrity/repair.h"
+#include "learning/selectivity_model.h"
 #include "obs/feedback.h"
 #include "obs/metrics.h"
 #include "obs/profile_store.h"
@@ -109,7 +110,10 @@ class Database {
               options_.pool_shards) {
     // Attach before any table/index/stepper exists: they bind their
     // counters from pool()->metrics() at construction.
-    if (options_.observability) pool_.AttachMetrics(&metrics_);
+    if (options_.observability) {
+      pool_.AttachMetrics(&metrics_);
+      learning_.AttachMetrics(&metrics_);
+    }
   }
 
   Database(const Database&) = delete;
@@ -185,6 +189,11 @@ class Database {
   ProfileStore* profiles() {
     return options_.observability ? &profiles_ : nullptr;
   }
+  /// Learned selectivity corrections (always available — mode defaults to
+  /// controlled, which is inert). File-backed databases persist the model
+  /// through the catalog, byte-identically across Close/Open; the mode is
+  /// an operator decision and is NOT persisted.
+  SelectivityModel* learning() { return &learning_; }
   /// Registry as JSON with a fresh cost-meter snapshot folded in.
   std::string ExportMetricsJson() {
     SnapshotCostMeter(&metrics_, meter_);
@@ -217,6 +226,7 @@ class Database {
   MetricsRegistry metrics_;   // before pool_: attached in the ctor body
   FeedbackStore feedback_;
   ProfileStore profiles_;
+  SelectivityModel learning_;
   // Before pool_, so the pool's raw repairer pointer dies first.
   std::unique_ptr<WalPageRepairer> repairer_;
   BufferPool pool_;

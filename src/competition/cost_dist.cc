@@ -80,4 +80,58 @@ double EmpiricalCost::Sample(Rng& rng) const {
 
 double EmpiricalCost::MaxCost() const { return sorted_.back(); }
 
+ShrunkCost::ShrunkCost(std::shared_ptr<const CostDistribution> prior,
+                       double observed_mean, double weight)
+    : prior_(std::move(prior)),
+      m_(observed_mean),
+      w_(std::clamp(weight, 0.0, 1.0 - 1e-9)) {
+  assert(prior_ != nullptr);
+}
+
+double ShrunkCost::Mean() const {
+  // E[(1−w)X + wm] — linearity; the quantile map is affine in X.
+  return (1.0 - w_) * prior_->Mean() + w_ * m_;
+}
+
+double ShrunkCost::Cdf(double x) const {
+  return prior_->Cdf((x - w_ * m_) / (1.0 - w_));
+}
+
+double ShrunkCost::Quantile(double p) const {
+  return (1.0 - w_) * prior_->Quantile(p) + w_ * m_;
+}
+
+double ShrunkCost::MeanBelow(double x) const {
+  double y = (x - w_ * m_) / (1.0 - w_);
+  if (prior_->Cdf(y) <= 0.0) return 0.0;
+  return (1.0 - w_) * prior_->MeanBelow(y) + w_ * m_;
+}
+
+double ShrunkCost::Sample(Rng& rng) const {
+  return (1.0 - w_) * prior_->Sample(rng) + w_ * m_;
+}
+
+double ShrunkCost::MaxCost() const {
+  return (1.0 - w_) * prior_->MaxCost() + w_ * m_;
+}
+
+double FitHyperbolaToMean(double mean, double cmax) {
+  assert(cmax > 0);
+  // Mean(b) = a·cmax − b with a = 1/ln((cmax+b)/b) is increasing in b,
+  // ranging over (0, cmax/2): b→0 gives mean→0, b→∞ gives mean→cmax/2.
+  double lo_mean = 1e-6 * cmax;
+  double hi_mean = 0.4999 * cmax;
+  mean = std::clamp(mean, lo_mean, hi_mean);
+  double lo = 1e-12 * cmax, hi = cmax;
+  auto mean_at = [cmax](double b) {
+    return cmax / std::log((cmax + b) / b) - b;
+  };
+  while (mean_at(hi) < mean) hi *= 2.0;
+  for (int i = 0; i < 200 && hi - lo > 1e-12 * hi; ++i) {
+    double mid = 0.5 * (lo + hi);
+    (mean_at(mid) < mean ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
 }  // namespace dynopt

@@ -1,8 +1,10 @@
 #include "core/retrieval.h"
 
 #include <algorithm>
+#include <memory>
 #include <sstream>
 
+#include "competition/cost_dist.h"
 #include "exec/query_class.h"
 
 namespace dynopt {
@@ -69,6 +71,7 @@ DynamicRetrieval::DynamicRetrieval(Database* db, RetrievalSpec spec,
   options_.jscan.batch_entries = options_.batch_size;
   class_prefix_ = QueryClassPrefix(spec_);
   profile_store_ = db_->profiles();
+  learning_ = db_->learning();
   events_.set_capacity(options_.trace_capacity);
   if (db_->metrics() != nullptr) {
     m_fallbacks_ = db_->metrics()->counter("governance.strategy_fallbacks");
@@ -142,7 +145,11 @@ Status DynamicRetrieval::Open(const ParamMap& params, QueryContext* ctx) {
   rows_delivered_ = 0;
   predicted_rows_ = 0;
   predicted_cost_ = 0;
+  raw_predicted_rows_ = 0;
+  raw_predicted_cost_ = 0;
   feedback_recorded_ = false;
+  features_ = QueryClassFeatures(params_);
+  learn_key_ = class_prefix_ + QueryClassParamSuffix(params_);
   open_snapshot_ = db_->meter();
   ctx_ = ctx;
   fallback_armed_ = ctx != nullptr && ctx->degraded_fallback_enabled();
@@ -225,39 +232,58 @@ void DynamicRetrieval::ComputePredictions() {
         entries, std::max(c.index->tree()->AvgFanout(), 1.0), w);
   };
 
-  switch (tactic_) {
-    case Tactic::kShortcutEmpty:
-      predicted_cost_ = 0;
-      break;
-    case Tactic::kShortcutTiny:
-      predicted_cost_ = EstimateFetchCost(rows, spec_, w);
-      break;
-    case Tactic::kStaticTscan:
-      predicted_cost_ = EstimateTscanCost(spec_, w);
-      break;
-    case Tactic::kStaticSscan:
-    case Tactic::kIndexOnly:
-      predicted_cost_ =
-          index_scan_cost(analysis_.indexes[analysis_.best_self_sufficient]);
-      break;
-    case Tactic::kSorted:
-      predicted_cost_ =
-          index_scan_cost(analysis_.indexes[analysis_.order_needed]) +
-          EstimateFetchCost(rows, spec_, w);
-      break;
-    case Tactic::kBackgroundOnly:
-    case Tactic::kFastFirst: {
-      // First Jscan candidate's scan plus fetching the predicted list.
-      double scan = analysis_.jscan_order.empty()
-                        ? 0.0
-                        : index_scan_cost(
-                              analysis_.indexes[analysis_.jscan_order[0]]);
-      predicted_cost_ = scan + EstimateFetchCost(rows, spec_, w);
-      break;
+  // Cost as a function of the cardinality estimate, so a learned rows
+  // correction flows into the fetch-dependent terms.
+  auto cost_for = [&](double nrows) -> double {
+    switch (tactic_) {
+      case Tactic::kShortcutEmpty:
+        return 0;
+      case Tactic::kShortcutTiny:
+        return EstimateFetchCost(nrows, spec_, w);
+      case Tactic::kStaticTscan:
+        return EstimateTscanCost(spec_, w);
+      case Tactic::kStaticSscan:
+      case Tactic::kIndexOnly:
+        return index_scan_cost(
+            analysis_.indexes[analysis_.best_self_sufficient]);
+      case Tactic::kSorted:
+        return index_scan_cost(analysis_.indexes[analysis_.order_needed]) +
+               EstimateFetchCost(nrows, spec_, w);
+      case Tactic::kBackgroundOnly:
+      case Tactic::kFastFirst: {
+        // First Jscan candidate's scan plus fetching the predicted list.
+        double scan = analysis_.jscan_order.empty()
+                          ? 0.0
+                          : index_scan_cost(
+                                analysis_.indexes[analysis_.jscan_order[0]]);
+        return scan + EstimateFetchCost(nrows, spec_, w);
+      }
+      case Tactic::kUndecided:
+        return 0;
     }
-    case Tactic::kUndecided:
-      predicted_cost_ = 0;
-      break;
+    return 0;
+  };
+
+  raw_predicted_rows_ = rows;
+  raw_predicted_cost_ = cost_for(rows);
+  predicted_rows_ = rows;
+  predicted_cost_ = raw_predicted_cost_;
+
+  // Learned correction (nullopt in controlled mode, for unknown classes,
+  // and below the sample floor). Applied to the raw analytic estimate only
+  // — the model always learns against raw predictions, so corrections
+  // cannot compound across executions.
+  if (learning_ != nullptr && tactic_ != Tactic::kShortcutEmpty &&
+      tactic_ != Tactic::kUndecided) {
+    if (auto corr = learning_->Lookup(class_prefix_, features_)) {
+      predicted_rows_ = rows * corr->rows_factor;
+      predicted_cost_ = cost_for(predicted_rows_) * corr->cost_factor;
+      events_.Emit(TraceEventKind::kLearnedCorrectionApplied, "estimate",
+                   "rows x" + std::to_string(corr->rows_factor) + " cost x" +
+                       std::to_string(corr->cost_factor),
+                   predicted_rows_, raw_predicted_rows_);
+      learning_->NoteApplied(class_prefix_);
+    }
   }
 
   if (profile_.active()) {
@@ -293,6 +319,27 @@ void DynamicRetrieval::RecordFeedback() {
     s.actual_cost = actual_cost;
     s.plan = std::string(TacticName(tactic_));
     profile_store_->Record(class_key_, s);
+  }
+  // The learning write path (no-op unless the model is in learn mode):
+  // harvest this execution's actuals against the raw predictions, and —
+  // when one strategy ran to completion — its measured full-run cost under
+  // the full class key, the figure the §3 competition narrows around.
+  if (learning_ != nullptr) {
+    learning_->Observe(class_prefix_, features_, raw_predicted_rows_,
+                       static_cast<double>(rows_delivered_),
+                       raw_predicted_cost_, actual_cost);
+    if (mode_ == Mode::kDone) {
+      ScanStepper* winner =
+          single_ != nullptr      ? single_.get()
+          : sscan_fgr_ != nullptr ? static_cast<ScanStepper*>(sscan_fgr_.get())
+          : fscan_fgr_ != nullptr ? static_cast<ScanStepper*>(fscan_fgr_.get())
+                                  : nullptr;
+      if (winner != nullptr && winner->exhausted()) {
+        learning_->ObserveStrategyCost(learn_key_, winner->label(),
+                                       winner->AccruedCost(
+                                           db_->cost_weights()));
+      }
+    }
   }
 }
 
@@ -873,7 +920,40 @@ Status DynamicRetrieval::OnBackgroundSettled() {
             std::max(0.0, ss_total - sscan_fgr_->AccruedCost(w));
         double fin_cost = EstimateFetchCost(
             static_cast<double>(jscan_->final_list()->size()), spec_, w);
-        if (fin_cost < ss_remaining) {
+        // Learned narrowing (§3): when past executions of this class ran
+        // the Sscan to completion, re-express the analytic remaining cost
+        // as an L-shaped prior and shrink it toward the measured mean. The
+        // narrowed mean replaces the analytic one in the abandon decision —
+        // a learned correction can change who wins the competition.
+        double ss_used = ss_remaining;
+        if (learning_ != nullptr) {
+          if (auto learned = learning_->LookupStrategyCost(
+                  learn_key_, sscan_fgr_->label())) {
+            double learned_remaining = std::max(
+                0.0, learned->mean_cost - sscan_fgr_->AccruedCost(w));
+            double span =
+                std::max({ss_remaining, learned_remaining, 1.0});
+            double cmax = 2.2 * span;  // both means feasible (< cmax/2)
+            auto prior = std::make_shared<TruncatedHyperbolaCost>(
+                FitHyperbolaToMean(std::max(ss_remaining, 1e-3), cmax),
+                cmax);
+            double weight =
+                static_cast<double>(learned->samples) /
+                (static_cast<double>(learned->samples) + 1.0);
+            ShrunkCost narrowed(prior, learned_remaining, weight);
+            ss_used = narrowed.Mean();
+            TraceEvent("learned sscan cost narrows remaining estimate: " +
+                       std::to_string(ss_remaining) + " -> " +
+                       std::to_string(ss_used));
+            events_.Emit(TraceEventKind::kLearnedCorrectionApplied,
+                         "competition", sscan_fgr_->label(), ss_used,
+                         ss_remaining);
+            if ((fin_cost < ss_used) != (fin_cost < ss_remaining)) {
+              learning_->NoteCompetitionOverride();
+            }
+          }
+        }
+        if (fin_cost < ss_used) {
           auto rids = jscan_->final_list()->ToSortedVector();
           if (!rids.ok()) {
             if (!CanDegrade(rids.status())) return rids.status();
@@ -881,12 +961,12 @@ Status DynamicRetrieval::OnBackgroundSettled() {
           }
           TraceEvent("jscan won the race: sscan abandoned, final stage (" +
                      std::to_string(rids->size()) + " rids)");
-          Verdict("jscan-won", "sscan abandoned", fin_cost, ss_remaining);
+          Verdict("jscan-won", "sscan abandoned", fin_cost, ss_used);
           sscan_fgr_.reset();
           return BeginFinalStage(std::move(*rids));
         }
         TraceEvent("jscan list too costly to fetch: sscan continues alone");
-        Verdict("sscan-retained", "list too costly", fin_cost, ss_remaining);
+        Verdict("sscan-retained", "list too costly", fin_cost, ss_used);
       } else {
         TraceEvent("jscan recommended tscan: sscan (safer) continues alone");
         Verdict("jscan-recommends-tscan", "sscan continues");

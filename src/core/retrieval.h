@@ -141,8 +141,14 @@ class DynamicRetrieval {
   uint64_t rows_delivered() const { return rows_delivered_; }
   /// Pre-execution predictions behind the kTacticChosen event; compared
   /// against actuals in the database's FeedbackStore at end of retrieval.
+  /// When the database's SelectivityModel has a learned correction for this
+  /// query class (learn/frozen mode), these are the *corrected* figures; the
+  /// raw_* accessors keep the uncorrected analytic estimates — also what
+  /// the model learns from, so corrections never compound on themselves.
   double predicted_rows() const { return predicted_rows_; }
   double predicted_cost() const { return predicted_cost_; }
+  double raw_predicted_rows() const { return raw_predicted_rows_; }
+  double raw_predicted_cost() const { return raw_predicted_cost_; }
 
   /// Cost accrued by this execution so far (database-meter delta).
   CostMeter CostSinceOpen() const { return db_->meter() - open_snapshot_; }
@@ -256,7 +262,14 @@ class DynamicRetrieval {
   uint64_t rows_delivered_ = 0;
   double predicted_rows_ = 0;
   double predicted_cost_ = 0;
+  double raw_predicted_rows_ = 0;
+  double raw_predicted_cost_ = 0;
   bool feedback_recorded_ = false;
+
+  // Learned-selectivity loop (db_->learning(); inert in controlled mode).
+  SelectivityModel* learning_ = nullptr;
+  std::vector<double> features_;  // QueryClassFeatures(params_), per Open
+  std::string learn_key_;         // full class key (prefix + param suffix)
 
   std::unique_ptr<Jscan> jscan_;
   std::unique_ptr<ScanStepper> single_;     // kSingle stepper

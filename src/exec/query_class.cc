@@ -73,4 +73,29 @@ std::string QueryClassOf(const RetrievalSpec& spec, const ParamMap& params) {
   return QueryClassPrefix(spec) + QueryClassParamSuffix(params);
 }
 
+double QueryClassValueFeature(const Value& v) {
+  if (v.is_string()) {
+    return std::log2(static_cast<double>(v.AsString().size()) + 1.0);
+  }
+  if (v.is_double()) {
+    double d = v.AsDouble();
+    if (!std::isfinite(d)) return 0.0;
+    double f = std::log2(std::fabs(d) + 1.0);
+    return d < 0 ? -f : f;
+  }
+  int64_t i = v.AsInt64();
+  double mag = i < 0 ? -static_cast<double>(i) : static_cast<double>(i);
+  double f = std::log2(mag + 1.0);
+  return i < 0 ? -f : f;
+}
+
+std::vector<double> QueryClassFeatures(const ParamMap& params) {
+  std::vector<double> features;
+  features.reserve(params.size());
+  for (const auto& [name, value] : params) {  // ParamMap: sorted by name
+    features.push_back(QueryClassValueFeature(value));
+  }
+  return features;
+}
+
 }  // namespace dynopt

@@ -13,6 +13,7 @@
 #define DYNOPT_EXEC_QUERY_CLASS_H_
 
 #include <string>
+#include <vector>
 
 #include "exec/retrieval_spec.h"
 #include "expr/predicate.h"
@@ -33,6 +34,16 @@ std::string QueryClassParamSuffix(const ParamMap& params);
 
 /// Full key: prefix + suffix.
 std::string QueryClassOf(const RetrievalSpec& spec, const ParamMap& params);
+
+/// Continuous analogue of QueryClassValueBucket: signed log2(|v|+1)
+/// magnitude (log2 of string length). Where the bucket collapses 4..7 to
+/// one key, the feature keeps 5 and 7 distinguishable — this is the
+/// coordinate the learned-selectivity kNN measures distance in.
+double QueryClassValueFeature(const Value& v);
+
+/// One feature per bound parameter, name order (matching the suffix).
+/// Empty ParamMap yields an empty vector.
+std::vector<double> QueryClassFeatures(const ParamMap& params);
 
 }  // namespace dynopt
 

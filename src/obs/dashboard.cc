@@ -90,6 +90,21 @@ std::string RenderDashboard(const MetricsRegistry& metrics,
        << Sparkline(Downsample(errors, 60)) << "\n";
   }
 
+  if (!options.learning.empty()) {
+    os << "-- learned selectivity (" << options.learning.size()
+       << " classes, mode=" << options.learning_mode << ") --\n";
+    std::vector<std::vector<std::string>> rows;
+    for (const LearningClassRow& r : options.learning) {
+      rows.push_back({r.class_key, std::to_string(r.samples),
+                      Fmt(r.rows_q_error), Fmt(r.rows_factor),
+                      Fmt(r.cost_factor),
+                      std::to_string(r.corrections_applied)});
+    }
+    os << FormatTable({"class", "samples", "rows-qerr", "rows-factor",
+                       "cost-factor", "applied"},
+                      rows);
+  }
+
   if (options.profiles != nullptr && options.profiles->size() > 0) {
     os << "-- query classes (" << options.profiles->size() << ") --\n";
     std::vector<std::vector<std::string>> rows;

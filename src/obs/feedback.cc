@@ -16,6 +16,18 @@ void FeedbackStore::Record(FeedbackRecord record) {
   record.cost_q_error = QError(record.predicted_cost, record.actual_cost);
   std::lock_guard<std::mutex> lock(mu_);
   records_.push_back(std::move(record));
+  total_recorded_++;
+  while (capacity_ != 0 && records_.size() > capacity_) {
+    records_.pop_front();
+  }
+}
+
+void FeedbackStore::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+  while (capacity_ != 0 && records_.size() > capacity_) {
+    records_.pop_front();
+  }
 }
 
 FeedbackStore::ErrorSummary FeedbackStore::Summarize(

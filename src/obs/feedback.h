@@ -15,6 +15,7 @@
 #define DYNOPT_OBS_FEEDBACK_H_
 
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -41,16 +42,36 @@ struct FeedbackRecord {
 /// Record() and the summary queries are internally locked, so concurrent
 /// sessions may deposit feedback into one shared store. records() returns
 /// an unguarded reference — read it only while no session is running.
+///
+/// The store keeps a sliding window of the most recent `capacity()` records
+/// (default 4096); older records are evicted, so the summaries describe the
+/// *recent* workload rather than the whole history — after data drift,
+/// ancient feedback ages out of every statistic instead of dominating them
+/// forever. total_recorded() still counts every deposit ever made.
 class FeedbackStore {
  public:
-  /// Computes the record's q-errors and appends it. Thread-safe.
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  /// Computes the record's q-errors and appends it, evicting the oldest
+  /// record when the window is full. Thread-safe.
   void Record(FeedbackRecord record);
 
   size_t size() const {
     std::lock_guard<std::mutex> lock(mu_);
     return records_.size();
   }
-  const std::vector<FeedbackRecord>& records() const { return records_; }
+  /// Lifetime deposit count, including evicted records.
+  uint64_t total_recorded() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_recorded_;
+  }
+  size_t capacity() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return capacity_;
+  }
+  /// Sets the window size (0 = unbounded) and evicts down to it.
+  void set_capacity(size_t capacity);
+  const std::deque<FeedbackRecord>& records() const { return records_; }
   void Clear() {
     std::lock_guard<std::mutex> lock(mu_);
     records_.clear();
@@ -76,7 +97,9 @@ class FeedbackStore {
   static ErrorSummary Summarize(std::vector<double> errors);
 
   mutable std::mutex mu_;
-  std::vector<FeedbackRecord> records_;
+  std::deque<FeedbackRecord> records_;
+  size_t capacity_ = kDefaultCapacity;
+  uint64_t total_recorded_ = 0;
 };
 
 void WriteFeedback(JsonWriter* w, const FeedbackStore& store);

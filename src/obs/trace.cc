@@ -28,6 +28,8 @@ std::string_view TraceEventKindName(TraceEventKind kind) {
       return "page-quarantined";
     case TraceEventKind::kIntegrityFinding:
       return "integrity-finding";
+    case TraceEventKind::kLearnedCorrectionApplied:
+      return "learned-correction-applied";
   }
   return "?";
 }

@@ -44,6 +44,8 @@ enum class TraceEventKind : uint8_t {
   kPageRepaired,       // subject = page id; a = page id
   kPageQuarantined,    // subject = page id; a = page id; detail = cause
   kIntegrityFinding,   // subject = finding kind; a = page id; detail = text
+  kLearnedCorrectionApplied,  // subject = "estimate"/"competition"; a =
+                              // corrected rows or cost, b = raw value
 };
 
 std::string_view TraceEventKindName(TraceEventKind kind);

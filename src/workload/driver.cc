@@ -84,7 +84,18 @@ class Session {
     for (size_t q = 0; q < opts_.queries_per_session; ++q) {
       DynamicRetrieval* engine;
       ParamMap params;
-      if (rng_.NextDouble() < opts_.point_fraction) {
+      if (opts_.parametric) {
+        // Same query class every time; only the host variables move. The
+        // range width sweeps the log2 buckets so every bucket of the class
+        // keeps receiving fresh observations.
+        int64_t lo = rng_.NextInt(0, 99);
+        int64_t hi =
+            lo + (int64_t{1} << (q % std::max<size_t>(
+                                         opts_.parametric_buckets, 1)));
+        params = {{"lo", Value(lo)}, {"hi", Value(hi)},
+                  {"cap", Value(int64_t{240000})}};
+        engine = range_engine_.get();
+      } else if (rng_.NextDouble() < opts_.point_fraction) {
         // Point query; a miss (id past the table) ~1/8 of the time.
         int64_t id = rng_.NextBounded(8) == 0
                          ? row_count_ + rng_.NextInt(1, 1000)
