@@ -70,8 +70,7 @@ uint64_t Metric(Database* db, std::string_view name) {
   return r != nullptr ? r->Value(name) : 0;
 }
 
-Result<SessionWorkloadReport> RunGoverned(Setup& s, uint64_t deadline_micros,
-                                          bool record_latencies) {
+Result<SessionWorkloadReport> RunGoverned(Setup& s, uint64_t deadline_micros) {
   if (Status st = s.db->pool()->EvictAll(); !st.ok()) return st;
   SessionWorkloadOptions opts;
   opts.sessions = kSessions;
@@ -80,7 +79,6 @@ Result<SessionWorkloadReport> RunGoverned(Setup& s, uint64_t deadline_micros,
   opts.concurrent = true;
   opts.governed = true;
   opts.governance.deadline_micros = deadline_micros;
-  opts.record_latencies = record_latencies;
   return RunSessionWorkload(s.db.get(), s.table, opts);
 }
 
@@ -117,7 +115,7 @@ void Run() {
     } else {
       s.faults->ClearProgram();
     }
-    auto r = RunGoverned(s, /*deadline_micros=*/0, false);
+    auto r = RunGoverned(s, /*deadline_micros=*/0);
     s.faults->ClearProgram();
     if (!r.ok()) {
       std::printf("run failed: %s\n", r.status().ToString().c_str());
@@ -149,7 +147,7 @@ void Run() {
               "p50_us", "p99_us");
   for (uint64_t deadline : {uint64_t{0}, uint64_t{2000}}) {
     s.faults->SetProgram(p);
-    auto r = RunGoverned(s, deadline, /*record_latencies=*/true);
+    auto r = RunGoverned(s, deadline);
     s.faults->ClearProgram();
     if (!r.ok()) {
       std::printf("run failed: %s\n", r.status().ToString().c_str());

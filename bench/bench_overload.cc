@@ -1,0 +1,326 @@
+// Sustained overload: metastability without admission control, goodput
+// retention with it.
+//
+// The classic failure this bench reproduces: an open-loop workload offers
+// 2x the engine's measured capacity, and the ungoverned engine admits
+// everything — every query executes, every query completes later than the
+// one before, and goodput (success within the deadline, measured from the
+// *scheduled* arrival) collapses toward zero even though the engine never
+// stops running flat out. The same offered load through the
+// AdmissionController sheds the hopeless fraction typed-and-instantly and
+// keeps the admitted remainder inside its deadline.
+//
+// Phases:
+//   capacity   closed-loop concurrent run: measured qps + latency, which
+//              sizes the deadline and the overload arrival rate
+//   plateau    open-loop at 0.9x capacity through the governor: the
+//              pre-overload goodput baseline
+//   overload   the same streams at 2.0x capacity, governed vs ungoverned
+//   recovery   light load on the same governor: the ladder steps back up
+//   golden     an unloaded serial replay: every query the governed
+//              overloaded run completed must hash identically
+//
+// Gates (non-zero exit on failure):
+//   governed goodput retention >= 70% of the plateau
+//   ungoverned goodput retention < 40% (the motivation must reproduce)
+//   governed admitted p99 <= 2x deadline (the tail stays bounded)
+//   every shed is typed Overloaded (any other error fails the session)
+//   the brownout ladder steps down AND back up in the trace
+//   golden result hashes match wherever both runs completed a query
+//
+// Reported to BENCH_overload.json.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "catalog/database.h"
+#include "governance/admission.h"
+#include "obs/bench_report.h"
+#include "workload/driver.h"
+#include "workload/workload.h"
+
+namespace dynopt {
+namespace {
+
+constexpr int64_t kRows = 8000;
+constexpr size_t kSessions = 4;
+constexpr size_t kCapacityQueries = 80;
+constexpr size_t kOverloadQueries = 400;
+constexpr uint32_t kDeviceLatencyMicros = 5;
+
+struct Setup {
+  MemPageStore* inner = nullptr;
+  std::unique_ptr<Database> db;
+  Table* table = nullptr;
+};
+
+Setup Build() {
+  Setup s;
+  auto inner = std::make_unique<MemPageStore>();
+  s.inner = inner.get();
+  DatabaseOptions o;
+  o.pool_pages = 256;  // small pool: load actually reaches the device
+  s.db = std::make_unique<Database>(std::move(o), std::move(inner));
+  auto table = BuildFamilies(s.db.get(), kRows, 42);
+  if (!table.ok()) return s;
+  if (!(*table)->CreateIndex("by_id", {"id"}).ok()) return s;
+  if (!(*table)->CreateIndex("by_age", {"age"}).ok()) return s;
+  s.table = *table;
+  s.inner->set_simulated_latency(kDeviceLatencyMicros, kDeviceLatencyMicros);
+  return s;
+}
+
+SessionWorkloadOptions BaseOptions(size_t queries) {
+  SessionWorkloadOptions o;
+  o.sessions = kSessions;
+  o.queries_per_session = queries;
+  o.seed = 4242;
+  o.concurrent = true;
+  return o;
+}
+
+bool SessionsClean(const SessionWorkloadReport& r, const char* label) {
+  bool clean = true;
+  for (const SessionOutcome& s : r.sessions) {
+    if (!s.error.empty()) {
+      std::printf("%s: session error (untyped failure): %s\n", label,
+                  s.error.c_str());
+      clean = false;
+    }
+  }
+  return clean;
+}
+
+bool Run(int* exit_code) {
+  std::printf("=== admission control under 2x sustained overload ===\n\n");
+  Setup s = Build();
+  if (s.table == nullptr) {
+    std::printf("setup failed\n");
+    return false;
+  }
+  BenchReport report("overload");
+  std::printf("FAMILIES %lld rows, %zu sessions, simulated device %uus\n\n",
+              static_cast<long long>(kRows), kSessions, kDeviceLatencyMicros);
+
+  // ---- capacity: closed-loop, no governor. Sizes everything downstream.
+  auto cap = RunSessionWorkload(s.db.get(), s.table, BaseOptions(kCapacityQueries));
+  if (!cap.ok() || !SessionsClean(*cap, "capacity")) {
+    std::printf("capacity run failed\n");
+    return false;
+  }
+  double capacity_qps = cap->queries_per_second;
+  // Deadline: generous against the measured tail (so the plateau is nearly
+  // all goodput) but capped well below the overload phase's scheduled span —
+  // sustained 2x load must accumulate lateness past it, or the metastable
+  // failure cannot show inside the bench's window.
+  uint64_t deadline_micros = std::clamp<uint64_t>(
+      static_cast<uint64_t>(cap->p99_latency_micros * 4), 5000, 20000);
+  std::printf("capacity %.0f qps, p50 %.0fus p99 %.0fus -> deadline %lluus\n",
+              capacity_qps, cap->p50_latency_micros, cap->p99_latency_micros,
+              static_cast<unsigned long long>(deadline_micros));
+  report.Add("capacity.qps", capacity_qps);
+  report.Add("capacity.p99_micros", cap->p99_latency_micros);
+  report.Add("capacity.deadline_micros", static_cast<double>(deadline_micros));
+
+  auto interval_for = [&](double load_factor) {
+    double per_session_qps = capacity_qps * load_factor / kSessions;
+    return std::max<uint64_t>(
+        static_cast<uint64_t>(1e6 / std::max(per_session_qps, 1.0)), 1);
+  };
+
+  AdmissionOptions ao;
+  ao.concurrency_slots = static_cast<uint32_t>(kSessions);
+  ao.queue_capacity = 8;
+  ao.target_p99_micros = deadline_micros / 2;
+  ao.min_dwell_updates = 16;
+  ao.latency_window = 32;
+  ao.base.deadline_micros = deadline_micros;
+  AdmissionController governor(ao, s.db->metrics());
+
+  // ---- plateau: 0.9x capacity through the governor.
+  SessionWorkloadOptions plateau_opts = BaseOptions(kCapacityQueries);
+  plateau_opts.open_loop = true;
+  plateau_opts.arrival_interval_micros = interval_for(0.9);
+  plateau_opts.governor = &governor;
+  plateau_opts.goodput_deadline_micros = deadline_micros;
+  auto plateau = RunSessionWorkload(s.db.get(), s.table, plateau_opts);
+  if (!plateau.ok() || !SessionsClean(*plateau, "plateau")) {
+    std::printf("plateau run failed\n");
+    return false;
+  }
+  double plateau_goodput = plateau->goodput_qps;
+  std::printf("plateau (0.9x): %.0f goodput qps (%llu/%llu queries, "
+              "%llu shed)\n",
+              plateau_goodput,
+              static_cast<unsigned long long>(plateau->goodput_queries),
+              static_cast<unsigned long long>(
+                  kSessions * kCapacityQueries),
+              static_cast<unsigned long long>(plateau->shed_queries));
+  report.Add("plateau.goodput_qps", plateau_goodput);
+  if (plateau_goodput <= 0) {
+    std::printf("GATE FAILED: plateau produced no goodput\n");
+    *exit_code = 1;
+    return true;
+  }
+
+  // ---- overload: the same streams at 2x capacity, governed.
+  SessionWorkloadOptions over_opts = BaseOptions(kOverloadQueries);
+  over_opts.open_loop = true;
+  over_opts.arrival_interval_micros = interval_for(2.0);
+  over_opts.governor = &governor;
+  over_opts.goodput_deadline_micros = deadline_micros;
+  over_opts.record_query_hashes = true;
+  over_opts.scrub = true;  // the scrubber must yield, not compete
+  auto governed = RunSessionWorkload(s.db.get(), s.table, over_opts);
+  bool typed_ok = governed.ok() && SessionsClean(*governed, "governed");
+  if (!governed.ok()) {
+    std::printf("governed overload run failed\n");
+    return false;
+  }
+  double governed_retention = governed->goodput_qps / plateau_goodput;
+
+  // ---- overload, ungoverned control: same arrivals, no governor.
+  SessionWorkloadOptions raw_opts = over_opts;
+  raw_opts.governor = nullptr;
+  raw_opts.record_query_hashes = false;
+  raw_opts.scrub = false;
+  auto raw = RunSessionWorkload(s.db.get(), s.table, raw_opts);
+  if (!raw.ok() || !SessionsClean(*raw, "ungoverned")) {
+    std::printf("ungoverned overload run failed\n");
+    return false;
+  }
+  double raw_retention = raw->goodput_qps / plateau_goodput;
+
+  std::printf("\n%12s %14s %10s %10s %10s %12s\n", "overload 2x", "goodput_qps",
+              "retained", "shed", "p99_us", "scrub_defer");
+  std::printf("%12s %14.0f %9.0f%% %10llu %10.0f %12llu\n", "governed",
+              governed->goodput_qps, governed_retention * 100,
+              static_cast<unsigned long long>(governed->shed_queries),
+              governed->p99_latency_micros,
+              static_cast<unsigned long long>(governed->scrub_deferred));
+  std::printf("%12s %14.0f %9.0f%% %10llu %10.0f %12s\n", "ungoverned",
+              raw->goodput_qps, raw_retention * 100,
+              static_cast<unsigned long long>(raw->shed_queries),
+              raw->p99_latency_micros, "-");
+  report.Add("overload_governed.goodput_qps", governed->goodput_qps);
+  report.Add("overload_governed.retention", governed_retention);
+  report.Add("overload_governed.shed",
+             static_cast<double>(governed->shed_queries));
+  report.Add("overload_governed.p99_micros", governed->p99_latency_micros);
+  report.Add("overload_governed.scrub_deferred",
+             static_cast<double>(governed->scrub_deferred));
+  report.Add("overload_ungoverned.goodput_qps", raw->goodput_qps);
+  report.Add("overload_ungoverned.retention", raw_retention);
+  report.Add("overload_ungoverned.p99_micros", raw->p99_latency_micros);
+
+  // ---- recovery: light load on the same governor steps the ladder up.
+  SessionWorkloadOptions light_opts = BaseOptions(40);
+  light_opts.open_loop = true;
+  light_opts.arrival_interval_micros = interval_for(0.5);
+  light_opts.governor = &governor;
+  light_opts.goodput_deadline_micros = deadline_micros;
+  auto light = RunSessionWorkload(s.db.get(), s.table, light_opts);
+  if (!light.ok() || !SessionsClean(*light, "recovery")) {
+    std::printf("recovery run failed\n");
+    return false;
+  }
+  uint64_t steps_down = s.db->metrics()->Value("admission.brownout_steps_down");
+  uint64_t steps_up = s.db->metrics()->Value("admission.brownout_steps_up");
+  bool stepped_down =
+      governor.trace().Contains(TraceEventKind::kBrownoutStep, "down");
+  bool stepped_up =
+      governor.trace().Contains(TraceEventKind::kBrownoutStep, "up");
+  std::printf("\nbrownout: %llu steps down, %llu steps up, final level %u\n",
+              static_cast<unsigned long long>(steps_down),
+              static_cast<unsigned long long>(steps_up),
+              static_cast<unsigned>(governor.level()));
+  report.Add("recovery.steps_down", static_cast<double>(steps_down));
+  report.Add("recovery.steps_up", static_cast<double>(steps_up));
+  report.Add("recovery.final_level",
+             static_cast<double>(static_cast<uint8_t>(governor.level())));
+
+  // ---- golden: unloaded serial replay of the overloaded streams.
+  SessionWorkloadOptions gold_opts = BaseOptions(kOverloadQueries);
+  gold_opts.concurrent = false;
+  gold_opts.record_query_hashes = true;
+  auto gold = RunSessionWorkload(s.db.get(), s.table, gold_opts);
+  if (!gold.ok() || !SessionsClean(*gold, "golden")) {
+    std::printf("golden replay failed\n");
+    return false;
+  }
+  uint64_t compared = 0, mismatched = 0;
+  for (size_t i = 0; i < kSessions; ++i) {
+    const auto& got = governed->sessions[i].query_hashes;
+    const auto& want = gold->sessions[i].query_hashes;
+    for (size_t q = 0; q < std::min(got.size(), want.size()); ++q) {
+      if (got[q] == kShedQueryHash || got[q] == kFailedQueryHash) continue;
+      if (want[q] == kShedQueryHash || want[q] == kFailedQueryHash) continue;
+      compared++;
+      if (got[q] != want[q]) mismatched++;
+    }
+  }
+  std::printf("golden: %llu admitted results compared, %llu mismatched\n",
+              static_cast<unsigned long long>(compared),
+              static_cast<unsigned long long>(mismatched));
+  report.Add("golden.compared", static_cast<double>(compared));
+  report.Add("golden.mismatched", static_cast<double>(mismatched));
+
+  // ---- gates.
+  std::printf("\n");
+  if (governed_retention < 0.70) {
+    std::printf("GATE FAILED: governed retention %.0f%% < 70%%\n",
+                governed_retention * 100);
+    *exit_code = 1;
+  }
+  if (raw_retention >= 0.40) {
+    std::printf("GATE FAILED: ungoverned retention %.0f%% >= 40%% "
+                "(overload did not reproduce)\n",
+                raw_retention * 100);
+    *exit_code = 1;
+  }
+  if (governed->p99_latency_micros >
+      static_cast<double>(2 * deadline_micros)) {
+    std::printf("GATE FAILED: governed p99 %.0fus > 2x deadline %lluus\n",
+                governed->p99_latency_micros,
+                static_cast<unsigned long long>(2 * deadline_micros));
+    *exit_code = 1;
+  }
+  if (!typed_ok) {
+    std::printf("GATE FAILED: a shed or failure was not typed\n");
+    *exit_code = 1;
+  }
+  if (governed->shed_queries == 0) {
+    std::printf("GATE FAILED: 2x overload shed nothing\n");
+    *exit_code = 1;
+  }
+  if (!stepped_down || !stepped_up) {
+    std::printf("GATE FAILED: brownout ladder did not step %s\n",
+                !stepped_down ? "down" : "back up");
+    *exit_code = 1;
+  }
+  if (compared == 0 || mismatched != 0) {
+    std::printf("GATE FAILED: golden hashes (%llu compared, %llu mismatched)\n",
+                static_cast<unsigned long long>(compared),
+                static_cast<unsigned long long>(mismatched));
+    *exit_code = 1;
+  }
+  if (*exit_code == 0) std::printf("all overload gates passed\n");
+
+  if (!report.WriteFile()) {
+    std::printf("warning: could not write BENCH_overload.json\n");
+  } else {
+    std::printf("wrote BENCH_overload.json\n");
+  }
+  return true;
+}
+
+}  // namespace
+}  // namespace dynopt
+
+int main() {
+  int exit_code = 0;
+  if (!dynopt::Run(&exit_code)) return 2;
+  return exit_code;
+}

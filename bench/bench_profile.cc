@@ -116,7 +116,6 @@ bool Run(int* exit_code) {
   SessionWorkloadOptions tw = on;
   tw.queries_per_session = 400;
   tw.governed = true;
-  tw.record_latencies = true;
   tw.telemetry = true;
   tw.telemetry_interval_micros = 5000;
   auto tr = RunSessionWorkload(&db, *table, tw);

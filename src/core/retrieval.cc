@@ -127,6 +127,10 @@ void DynamicRetrieval::Verdict(std::string_view subject,
 }
 
 Status DynamicRetrieval::Open(const ParamMap& params, QueryContext* ctx) {
+  // Publish the governing context thread-locally for the duration of the
+  // call: the buffer pool's interruptible retry backoff looks it up with
+  // CurrentQueryContext() so a Cancel() or deadline can wake the wait.
+  ScopedQueryContext current(ctx);
   params_ = params;
   queue_.clear();
   delivered_.clear();
@@ -155,6 +159,7 @@ Status DynamicRetrieval::Open(const ParamMap& params, QueryContext* ctx) {
   fallback_armed_ = ctx != nullptr && ctx->degraded_fallback_enabled();
   degraded_ = false;
   single_is_tscan_ = false;
+  brownout_plain_fscan_ = false;
   charged_reads_ = 0;
   engine_accrued_ = CostMeter();
   if (options_.profile) {
@@ -197,6 +202,7 @@ Status DynamicRetrieval::Open(const ParamMap& params, QueryContext* ctx) {
                static_cast<double>(analysis_.estimation_pages),
                static_cast<double>(analysis_.indexes.size()));
   DYNOPT_RETURN_IF_ERROR(DecideTactic());
+  MaybePinBrownoutStrategy();
   ComputePredictions();
   TraceEvent("tactic: " + std::string(TacticName(tactic_)));
   events_.Emit(TraceEventKind::kTacticChosen, std::string(TacticName(tactic_)),
@@ -392,6 +398,49 @@ Status DynamicRetrieval::DecideTactic() {
   return Status::OK();
 }
 
+void DynamicRetrieval::MaybePinBrownoutStrategy() {
+  if (ctx_ == nullptr || !ctx_->brownout_pin_strategy()) return;
+  switch (tactic_) {
+    case Tactic::kSorted:
+      // Order must survive the pin, so the only safe target is the ordered
+      // foreground itself: drop the background candidates and run the
+      // degenerate plain-Fscan arm of the Sorted tactic.
+      brownout_plain_fscan_ = true;
+      Verdict("brownout-pinned", "fscan");
+      return;
+    case Tactic::kFastFirst:
+    case Tactic::kBackgroundOnly:
+    case Tactic::kIndexOnly:
+      break;  // unordered competitions: pin by learned cost below
+    default:
+      return;  // shortcuts and static tactics already run one strategy
+  }
+  if (learning_ == nullptr) return;
+  // Per-strategy cost accounts are keyed by stepper label ("Tscan",
+  // "Sscan(<index>)") under the full class key — the PR 8 read path.
+  std::optional<SelectivityModel::StrategyCost> sscan;
+  if (analysis_.best_self_sufficient >= 0) {
+    sscan = learning_->LookupStrategyCost(
+        learn_key_,
+        "Sscan(" +
+            analysis_.indexes[analysis_.best_self_sufficient].index->name() +
+            ")");
+  }
+  std::optional<SelectivityModel::StrategyCost> tscan =
+      learning_->LookupStrategyCost(learn_key_, "Tscan");
+  if (!sscan.has_value() && !tscan.has_value()) return;
+  if (sscan.has_value() &&
+      (!tscan.has_value() || sscan->mean_cost <= tscan->mean_cost)) {
+    tactic_ = Tactic::kStaticSscan;
+    Verdict("brownout-pinned", "sscan", sscan->mean_cost,
+            static_cast<double>(sscan->samples));
+  } else {
+    tactic_ = Tactic::kStaticTscan;
+    Verdict("brownout-pinned", "tscan", tscan->mean_cost,
+            static_cast<double>(tscan->samples));
+  }
+}
+
 Status DynamicRetrieval::SetUpTactic() {
   // Strategy-span factory: null-safe (inactive profile → null parent →
   // AddSpan returns null, and every attribution site tolerates null).
@@ -500,6 +549,7 @@ Status DynamicRetrieval::SetUpTactic() {
       }
       delivers_order_ = true;
       auto rest = jscan_candidates(analysis_.order_needed);
+      if (brownout_plain_fscan_) rest.clear();
       if (rest.empty()) {
         TraceEvent("sorted: no background candidates, plain Fscan");
         Verdict("no-background", "plain fscan");
@@ -558,6 +608,7 @@ Status DynamicRetrieval::SetUpTactic() {
 }
 
 Result<bool> DynamicRetrieval::Next(OutputRow* row) {
+  ScopedQueryContext current(ctx_);  // see Open(): wakes retry backoff
   for (;;) {
     if (!queue_.empty()) {
       *row = std::move(queue_.front());

@@ -192,6 +192,13 @@ class DynamicRetrieval {
   /// Reports predicted vs actual to the database's feedback store (once).
   void RecordFeedback();
   Status DecideTactic();
+  /// Brownout mode (ctx_->brownout_pin_strategy(), set by the admission
+  /// governor): a competition tactic is replaced by the cheapest *learned*
+  /// single strategy for this query class — discovery is exactly the work
+  /// a browned-out engine skips. Sorted pins to its ordered foreground
+  /// (plain Fscan); other races pin to sscan/tscan by the PR 8 per-strategy
+  /// cost account. With no learned account the race runs as usual.
+  void MaybePinBrownoutStrategy();
   Status SetUpTactic();
   /// One scheduling quantum; may enqueue rows.
   Status Pump();
@@ -282,6 +289,7 @@ class DynamicRetrieval {
   bool fallback_armed_ = false;        // ctx_ allows degraded fallback
   bool degraded_ = false;
   bool single_is_tscan_ = false;       // the last-resort strategy is running
+  bool brownout_plain_fscan_ = false;  // Sorted pinned to its foreground
   uint64_t charged_reads_ = 0;         // engine-side reads charged to ctx_
   CostMeter engine_accrued_;           // work done outside any stepper
   Counter* m_fallbacks_ = nullptr;

@@ -1,0 +1,303 @@
+#include "governance/admission.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace dynopt {
+
+namespace {
+
+constexpr uint64_t kMinLeaseBytes = 64ull << 10;
+
+uint64_t MicrosBetween(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  if (b <= a) return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(b - a).count());
+}
+
+}  // namespace
+
+std::string_view BrownoutLevelName(BrownoutLevel level) {
+  switch (level) {
+    case BrownoutLevel::kNormal:
+      return "normal";
+    case BrownoutLevel::kShrinkBudgets:
+      return "shrink-budgets";
+    case BrownoutLevel::kPinStrategy:
+      return "pin-strategy";
+    case BrownoutLevel::kDeferScrub:
+      return "defer-scrub";
+    case BrownoutLevel::kShed:
+      return "shed";
+  }
+  return "?";
+}
+
+AdmissionController::Ticket& AdmissionController::Ticket::operator=(
+    Ticket&& o) noexcept {
+  if (this != &o) {
+    if (controller_ != nullptr) controller_->Abandon(id_, lease_bytes_);
+    controller_ = o.controller_;
+    context_ = std::move(o.context_);
+    id_ = o.id_;
+    lease_bytes_ = o.lease_bytes_;
+    queue_wait_micros_ = o.queue_wait_micros_;
+    level_ = o.level_;
+    o.controller_ = nullptr;
+  }
+  return *this;
+}
+
+AdmissionController::Ticket::~Ticket() {
+  if (controller_ != nullptr) controller_->Abandon(id_, lease_bytes_);
+}
+
+AdmissionController::AdmissionController(AdmissionOptions options,
+                                         MetricsRegistry* registry)
+    : options_(options),
+      registry_(registry),
+      retry_budget_(options.retry_tokens) {
+  arbiter_.slots = std::max<uint32_t>(options_.concurrency_slots, 1);
+  arbiter_.pool_bytes = options_.memory_pool_bytes;
+  arbiter_.pool_available = options_.memory_pool_bytes;
+  if (registry_ != nullptr) {
+    m_requests_ = registry_->counter("admission.requests");
+    m_admitted_ = registry_->counter("admission.admitted");
+    m_queued_ = registry_->counter("admission.queued");
+    m_shed_ = registry_->counter("admission.shed");
+    m_queue_wait_micros_ = registry_->counter("admission.queue_wait_micros");
+    m_steps_down_ = registry_->counter("admission.brownout_steps_down");
+    m_steps_up_ = registry_->counter("admission.brownout_steps_up");
+    m_revocations_ = registry_->counter("admission.lease_revocations");
+    registry_->Set("admission.brownout_level", 0);
+    registry_->Set("admission.queue_depth", 0);
+  }
+}
+
+uint64_t AdmissionController::LeaseSizeLocked(BrownoutLevel level) const {
+  uint64_t nominal = options_.lease_bytes;
+  if (level >= BrownoutLevel::kShrinkBudgets) nominal /= 2;
+  nominal = std::max(nominal, kMinLeaseBytes);
+  // Carve what the pool can cover, but never hand out an *unlimited*
+  // budget because the pool ran dry — a floor-sized lease over-commits a
+  // little instead, and the tightened Check() still bounds the query.
+  return std::max(std::min(nominal, arbiter_.pool_available), kMinLeaseBytes);
+}
+
+QueryBudgets AdmissionController::BudgetsAtLocked(BrownoutLevel level,
+                                                  uint64_t lease) const {
+  QueryBudgets b = options_.base.budgets;
+  b.max_rid_list_bytes = std::max<uint64_t>(lease / 2, 1);
+  b.max_spill_bytes = std::max<uint64_t>(lease / 2, 1);
+  if (options_.page_budget > 0) {
+    uint64_t pages = options_.page_budget;
+    if (level >= BrownoutLevel::kShrinkBudgets) pages /= 2;
+    b.max_pages_read = std::max<uint64_t>(pages, 1);
+  }
+  return b;
+}
+
+Status AdmissionController::ShedLocked(std::string_view reason) {
+  Bump(m_shed_);
+  trace_.Emit(TraceEventKind::kQueryShed, std::string(reason), "",
+              static_cast<double>(queue_depth_),
+              static_cast<double>(level_));
+  return Status::Overloaded("admission shed (" + std::string(reason) +
+                            "): queue depth " + std::to_string(queue_depth_) +
+                            ", brownout " +
+                            std::string(BrownoutLevelName(level_)));
+}
+
+Result<AdmissionController::Ticket> AdmissionController::AdmitAt(
+    std::chrono::steady_clock::time_point arrival) {
+  bool has_deadline = options_.base.deadline_micros > 0;
+  auto deadline =
+      arrival + std::chrono::microseconds(options_.base.deadline_micros);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  Bump(m_requests_);
+  // Behind-schedule arrivals (open-loop drivers date queries from their
+  // scheduled arrival) may be dead before they reach the queue.
+  if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+    return ShedLocked("deadline-consumed");
+  }
+  if (arbiter_.slots_in_use >= arbiter_.slots) {
+    // At the top of the ladder there is no queue: an arrival that cannot
+    // run now fails now, which is the cheapest possible outcome for a
+    // system already past its capacity.
+    if (level_ >= BrownoutLevel::kShed) return ShedLocked("brownout-shed");
+    if (queue_depth_ >= options_.queue_capacity) {
+      return ShedLocked("queue-full");
+    }
+    queue_depth_++;
+    Bump(m_queued_);
+    trace_.Emit(TraceEventKind::kAdmissionQueued, "wait", "",
+                static_cast<double>(queue_depth_));
+    if (registry_ != nullptr) {
+      registry_->Set("admission.queue_depth", queue_depth_);
+    }
+    while (arbiter_.slots_in_use >= arbiter_.slots) {
+      if (has_deadline) {
+        if (std::chrono::steady_clock::now() >= deadline) {
+          queue_depth_--;
+          if (registry_ != nullptr) {
+            registry_->Set("admission.queue_depth", queue_depth_);
+          }
+          return ShedLocked("deadline-consumed");
+        }
+        cv_.wait_until(lock, deadline);
+      } else {
+        cv_.wait(lock);
+      }
+    }
+    queue_depth_--;
+    if (registry_ != nullptr) {
+      registry_->Set("admission.queue_depth", queue_depth_);
+    }
+  }
+
+  // Grant: slot + lease + context, all dated from `arrival`.
+  arbiter_.slots_in_use++;
+  uint64_t lease = LeaseSizeLocked(level_);
+  arbiter_.pool_available -= std::min(lease, arbiter_.pool_available);
+
+  auto now = std::chrono::steady_clock::now();
+  QueryGovernanceOptions g = options_.base;
+  if (has_deadline) {
+    // The queue wait already consumed part of the allowance; the context
+    // gets only the remainder (at least 1us — 0 would mean "no deadline").
+    g.deadline_micros = std::max<uint64_t>(MicrosBetween(now, deadline), 1);
+  }
+  g.budgets = BudgetsAtLocked(level_, lease);
+  g.brownout_pin_strategy = level_ >= BrownoutLevel::kPinStrategy;
+
+  Ticket t;
+  t.controller_ = this;
+  t.context_ = std::make_unique<QueryContext>(g, registry_);
+  t.id_ = next_ticket_id_++;
+  t.lease_bytes_ = lease;
+  t.queue_wait_micros_ = MicrosBetween(arrival, now);
+  t.level_ = level_;
+  live_[t.id_] = t.context_.get();
+  Bump(m_admitted_);
+  Bump(m_queue_wait_micros_, t.queue_wait_micros_);
+  return t;
+}
+
+void AdmissionController::ReleaseLocked(uint64_t id, uint64_t lease) {
+  live_.erase(id);
+  if (arbiter_.slots_in_use > 0) arbiter_.slots_in_use--;
+  arbiter_.pool_available =
+      std::min(arbiter_.pool_available + lease, arbiter_.pool_bytes);
+}
+
+void AdmissionController::Abandon(uint64_t id, uint64_t lease) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ReleaseLocked(id, lease);
+  }
+  cv_.notify_all();
+}
+
+void AdmissionController::Finish(Ticket&& ticket, double latency_micros) {
+  if (ticket.controller_ == nullptr) return;
+  uint64_t id = ticket.id_;
+  uint64_t lease = ticket.lease_bytes_;
+  ticket.controller_ = nullptr;  // disarm the destructor's Abandon
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ReleaseLocked(id, lease);
+    UpdateSignalLocked(latency_micros);
+  }
+  ticket.context_.reset();
+  cv_.notify_all();
+}
+
+void AdmissionController::UpdateSignalLocked(double latency_micros) {
+  latencies_.push_back(latency_micros);
+  while (latencies_.size() > std::max<size_t>(options_.latency_window, 1)) {
+    latencies_.pop_front();
+  }
+  // p99 over the window: the window is small (default 128), so a sort of a
+  // copy under the lock is cheaper than maintaining an order statistic.
+  std::vector<double> sorted(latencies_.begin(), latencies_.end());
+  std::sort(sorted.begin(), sorted.end());
+  double p99 = sorted[static_cast<size_t>(
+      static_cast<double>(sorted.size() - 1) * 0.99)];
+  double target = static_cast<double>(
+      std::max<uint64_t>(options_.target_p99_micros, 1));
+  double queue_ratio =
+      options_.queue_capacity > 0
+          ? static_cast<double>(queue_depth_) /
+                static_cast<double>(options_.queue_capacity)
+          : 0;
+  double raw = p99 / target + queue_ratio;
+  pressure_ += options_.ewma_alpha * (raw - pressure_);
+  updates_since_step_++;
+
+  if (updates_since_step_ < std::max<uint32_t>(options_.min_dwell_updates, 1))
+    return;
+  if (pressure_ > options_.step_down_pressure &&
+      level_ < BrownoutLevel::kShed) {
+    StepLocked(static_cast<BrownoutLevel>(static_cast<uint8_t>(level_) + 1),
+               /*down=*/true);
+  } else if (pressure_ < options_.step_up_pressure &&
+             level_ > BrownoutLevel::kNormal) {
+    StepLocked(static_cast<BrownoutLevel>(static_cast<uint8_t>(level_) - 1),
+               /*down=*/false);
+  }
+}
+
+void AdmissionController::StepLocked(BrownoutLevel to, bool down) {
+  level_ = to;
+  updates_since_step_ = 0;
+  Bump(down ? m_steps_down_ : m_steps_up_);
+  trace_.Emit(TraceEventKind::kBrownoutStep, down ? "down" : "up",
+              std::string(BrownoutLevelName(to)),
+              static_cast<double>(static_cast<uint8_t>(to)), pressure_);
+  if (registry_ != nullptr) {
+    registry_->Set("admission.brownout_level", static_cast<uint8_t>(to));
+  }
+  if (down && to >= BrownoutLevel::kShrinkBudgets) {
+    // Revoke in-flight leases: every live context is tightened to the new
+    // level's ceilings; a query already past them trips at its next poll.
+    uint64_t lease = LeaseSizeLocked(to);
+    QueryBudgets tighter = BudgetsAtLocked(to, lease);
+    for (auto& [id, ctx] : live_) {
+      ctx->TightenBudgets(tighter);
+    }
+    Bump(m_revocations_, live_.size());
+  }
+}
+
+BrownoutLevel AdmissionController::level() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return level_;
+}
+
+bool AdmissionController::scrubber_deferred() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return level_ >= BrownoutLevel::kDeferScrub;
+}
+
+double AdmissionController::pressure() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pressure_;
+}
+
+size_t AdmissionController::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_depth_;
+}
+
+ResourceArbiter AdmissionController::arbiter() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return arbiter_;
+}
+
+}  // namespace dynopt

@@ -1,0 +1,237 @@
+// Admission control and adaptive brownout — the process-wide overload
+// governor.
+//
+// PRs 1-8 governed queries one at a time: each QueryContext carries its own
+// deadline and budgets, uncoordinated with every other session's. Nothing
+// stood between arriving load and the engine, so sustained overload went
+// metastable the classic way — every query admitted, every queue growing,
+// every completion late, goodput asymptoting to zero while the engine runs
+// flat out. The AdmissionController is the missing layer: it owns the
+// global resources (execution slots + a shared memory pool) and decides,
+// per arriving query, to admit, queue, degrade, or shed.
+//
+//   Admit    a free slot: the query runs under a context whose RID/spill
+//            budgets are a revocable lease carved from the shared pool.
+//   Queue    no slot: wait in a bounded, deadline-aware queue. A query
+//            whose queue wait has already consumed its deadline is shed
+//            *immediately* with the typed Overloaded status — it never
+//            executes, so a hopeless query costs the engine nothing.
+//   Degrade  the overload signal (queue depth + admitted-p99 vs. target,
+//            EWMA-smoothed) climbs a brownout ladder: shrink per-query
+//            budgets (revoking in-flight leases), pin competitions to the
+//            cheapest learned strategy (skip discovery under pressure),
+//            defer the background scrubber, and cap concurrent I/O-retry
+//            backoff through the shared RetryBudget.
+//   Shed     at the top of the ladder, arrivals without an immediately
+//            free slot fail typed instead of queueing at all.
+//
+// The ladder steps back up as pressure clears (hysteresis: distinct
+// down/up thresholds plus a dwell), and every step is a typed trace event,
+// so "did the governor brown out and recover" is an assertable fact.
+
+#ifndef DYNOPT_GOVERNANCE_ADMISSION_H_
+#define DYNOPT_GOVERNANCE_ADMISSION_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+
+#include "governance/query_context.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace dynopt {
+
+struct Counter;
+class MetricsRegistry;
+
+/// The brownout ladder, mildest first. Each level includes every measure
+/// below it (level >= kPinStrategy also shrinks budgets, and so on).
+enum class BrownoutLevel : uint8_t {
+  kNormal = 0,        ///< full budgets, competitions race
+  kShrinkBudgets = 1, ///< per-query leases and page budgets halve; in-flight
+                      ///< leases are revoked (tightened) too
+  kPinStrategy = 2,   ///< competitions pin to the cheapest learned strategy
+  kDeferScrub = 3,    ///< the background scrubber yields its I/O
+  kShed = 4,          ///< arrivals without a free slot fail typed at once
+};
+
+std::string_view BrownoutLevelName(BrownoutLevel level);
+
+struct AdmissionOptions {
+  /// Global execution slots: queries running concurrently.
+  uint32_t concurrency_slots = 4;
+  /// Bounded admission queue; an arrival past this depth is shed.
+  size_t queue_capacity = 16;
+  /// Shared memory pool leases are carved from.
+  uint64_t memory_pool_bytes = 64ull << 20;
+  /// Nominal per-query lease at kNormal (split between RID-list and spill
+  /// budgets); halves at kShrinkBudgets and above.
+  uint64_t lease_bytes = 4ull << 20;
+  /// Nominal per-query pages-read budget; 0 leaves the base option's value.
+  /// Halves at kShrinkBudgets and above.
+  uint64_t page_budget = 0;
+  /// The overload signal's latency target: admitted-query p99 at or below
+  /// this reads as "healthy".
+  uint64_t target_p99_micros = 50000;
+  /// EWMA smoothing for the pressure signal (weight of the newest sample).
+  double ewma_alpha = 0.3;
+  /// Pressure above this steps the ladder down (toward kShed)...
+  double step_down_pressure = 1.5;
+  /// ...and below this steps back up (toward kNormal). Keep a gap between
+  /// the two — that hysteresis is what stops the ladder from flapping.
+  double step_up_pressure = 0.7;
+  /// Completions between ladder moves (dwell), so one slow query cannot
+  /// ratchet the ladder by itself.
+  uint32_t min_dwell_updates = 8;
+  /// Tokens in the shared I/O-retry bucket (see RetryBudget); attach it to
+  /// the BufferPool to cap concurrent fault-retry backoff.
+  uint32_t retry_tokens = 2;
+  /// Admitted-latency window the p99 is computed over.
+  size_t latency_window = 128;
+  /// Per-query governance template. `deadline_micros` is measured from
+  /// *arrival* — queue wait consumes it — and the admitted context gets
+  /// only the remainder. Budgets are overridden by the lease.
+  QueryGovernanceOptions base;
+};
+
+/// Global resource ownership: the execution slots and the shared memory
+/// pool that per-query leases are carved from. Guarded by the controller's
+/// mutex; exposed as a snapshot for tests and telemetry.
+struct ResourceArbiter {
+  uint32_t slots = 0;
+  uint32_t slots_in_use = 0;
+  uint64_t pool_bytes = 0;
+  uint64_t pool_available = 0;
+};
+
+class AdmissionController {
+ public:
+  /// An admitted query's grip on the governor: one execution slot, one
+  /// memory lease, and the QueryContext built from both. Move-only;
+  /// destroying an unfinished ticket releases the slot and lease without
+  /// feeding the latency signal (an abandoned query).
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& o) noexcept { *this = std::move(o); }
+    Ticket& operator=(Ticket&& o) noexcept;
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket();
+
+    bool valid() const { return controller_ != nullptr; }
+    /// The governed context for this execution (owned by the ticket; stays
+    /// valid until Finish() or destruction).
+    QueryContext* context() const { return context_.get(); }
+    uint64_t queue_wait_micros() const { return queue_wait_micros_; }
+    uint64_t lease_bytes() const { return lease_bytes_; }
+    /// The ladder level in effect when this query was admitted.
+    BrownoutLevel level() const { return level_; }
+
+   private:
+    friend class AdmissionController;
+    AdmissionController* controller_ = nullptr;
+    std::unique_ptr<QueryContext> context_;
+    uint64_t id_ = 0;
+    uint64_t lease_bytes_ = 0;
+    uint64_t queue_wait_micros_ = 0;
+    BrownoutLevel level_ = BrownoutLevel::kNormal;
+  };
+
+  /// `registry` may be null; when present the admission.* family (counters
+  /// plus brownout_level / queue_depth gauges) is maintained, and admitted
+  /// contexts bump the usual governance.* trip counters.
+  explicit AdmissionController(AdmissionOptions options,
+                               MetricsRegistry* registry = nullptr);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Requests admission for a query arriving now. Blocks in the bounded
+  /// queue while all slots are busy; returns the typed Overloaded status —
+  /// without ever executing anything — when the queue is full, the queue
+  /// wait consumes the query's deadline, or the ladder sits at kShed with
+  /// no free slot.
+  Result<Ticket> Admit() { return AdmitAt(std::chrono::steady_clock::now()); }
+  /// Admission with an explicit arrival time: open-loop drivers date a
+  /// query from its scheduled arrival, so time spent behind schedule counts
+  /// against the deadline exactly like queue wait.
+  Result<Ticket> AdmitAt(std::chrono::steady_clock::time_point arrival);
+
+  /// Completes an admitted query: releases its slot and lease, feeds
+  /// `latency_micros` (arrival to completion) into the overload signal,
+  /// and steps the brownout ladder if the smoothed pressure crossed a
+  /// threshold. Call for successful *and* tripped queries — both occupied
+  /// a slot, both inform the signal.
+  void Finish(Ticket&& ticket, double latency_micros);
+
+  BrownoutLevel level() const;
+  /// True at kDeferScrub and above: background scrub passes should yield.
+  bool scrubber_deferred() const;
+  /// The shared I/O-retry token bucket; attach to the BufferPool with
+  /// set_retry_budget(). Stable for the controller's lifetime.
+  RetryBudget* retry_budget() { return &retry_budget_; }
+
+  double pressure() const;
+  size_t queue_depth() const;
+  ResourceArbiter arbiter() const;
+
+  /// Admission/shed/brownout trace events (kAdmissionQueued, kQueryShed,
+  /// kBrownoutStep). Emissions are serialized by the controller's mutex;
+  /// read it when the workload has quiesced.
+  const TraceLog& trace() const { return trace_; }
+
+ private:
+  /// mu_ held. Sheds the arrival: counters, trace, typed status.
+  Status ShedLocked(std::string_view reason);
+  /// mu_ held. Updates the EWMA pressure from the latency window + queue
+  /// depth and steps the ladder (with dwell + hysteresis) if warranted.
+  void UpdateSignalLocked(double latency_micros);
+  void StepLocked(BrownoutLevel to, bool down);
+  /// mu_ held. The per-query budgets at `level` (lease split + page cap).
+  QueryBudgets BudgetsAtLocked(BrownoutLevel level, uint64_t lease) const;
+  uint64_t LeaseSizeLocked(BrownoutLevel level) const;
+  void ReleaseLocked(uint64_t id, uint64_t lease);
+  /// Ticket teardown without a latency sample (abandoned execution).
+  void Abandon(uint64_t id, uint64_t lease);
+
+  const AdmissionOptions options_;
+  MetricsRegistry* registry_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  // signaled when a slot frees
+  ResourceArbiter arbiter_;
+  size_t queue_depth_ = 0;
+  uint64_t next_ticket_id_ = 1;
+  // Live admitted contexts, for lease revocation when the ladder steps
+  // down. The ticket owns the context; entries are erased before the
+  // owning unique_ptr dies.
+  std::unordered_map<uint64_t, QueryContext*> live_;
+
+  BrownoutLevel level_ = BrownoutLevel::kNormal;
+  double pressure_ = 0;
+  uint32_t updates_since_step_ = 0;
+  std::deque<double> latencies_;  // sliding admitted-latency window
+
+  TraceLog trace_;
+  RetryBudget retry_budget_;
+
+  Counter* m_requests_ = nullptr;
+  Counter* m_admitted_ = nullptr;
+  Counter* m_queued_ = nullptr;
+  Counter* m_shed_ = nullptr;
+  Counter* m_queue_wait_micros_ = nullptr;
+  Counter* m_steps_down_ = nullptr;
+  Counter* m_steps_up_ = nullptr;
+  Counter* m_revocations_ = nullptr;
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_GOVERNANCE_ADMISSION_H_

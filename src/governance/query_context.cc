@@ -8,7 +8,7 @@ namespace dynopt {
 
 QueryContext::QueryContext(QueryGovernanceOptions options,
                            MetricsRegistry* registry)
-    : options_(options) {
+    : options_(options), budgets_(options.budgets) {
   if (options_.deadline_micros > 0) {
     has_deadline_ = true;
     deadline_allowance_micros_ = options_.deadline_micros;
@@ -20,6 +20,47 @@ QueryContext::QueryContext(QueryGovernanceOptions options,
     m_deadline_hits_ = registry->counter("governance.deadline_hits");
     m_budget_hits_ = registry->counter("governance.budget_hits");
   }
+}
+
+void QueryContext::Cancel() {
+  // The store is racy-cheap; the lock closes the window against a
+  // WaitInterruptible() that checked the flag and is about to sleep.
+  cancelled_.store(true, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+  }
+  cv_.notify_all();
+}
+
+void QueryContext::TightenBudgets(const QueryBudgets& tighter) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto shrink = [](uint64_t* cur, uint64_t t) {
+    if (t != 0 && (*cur == 0 || t < *cur)) *cur = t;
+  };
+  shrink(&budgets_.max_pages_read, tighter.max_pages_read);
+  shrink(&budgets_.max_rid_list_bytes, tighter.max_rid_list_bytes);
+  shrink(&budgets_.max_spill_bytes, tighter.max_spill_bytes);
+}
+
+QueryBudgets QueryContext::budgets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return budgets_;
+}
+
+Status QueryContext::WaitInterruptible(uint64_t micros) {
+  auto until =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(micros);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Don't outsleep the query's own deadline; waking at it turns the wait
+    // into a deadline trip at the Check() below instead of wasted time.
+    if (has_deadline_ && deadline_ < until) until = deadline_;
+    cv_.wait_until(lock, until, [&] {
+      return cancelled_.load(std::memory_order_relaxed) ||
+             tripped_.load(std::memory_order_relaxed) != StatusCode::kOk;
+    });
+  }
+  return Check();
 }
 
 void QueryContext::SetDeadline(std::chrono::steady_clock::time_point deadline) {
@@ -54,6 +95,7 @@ Status QueryContext::Trip(StatusCode code, std::string msg) {
     trip_message_ = std::move(msg);
     tripped_.store(code, std::memory_order_release);
   }
+  cv_.notify_all();  // wake any interruptible wait; the trip is published
   switch (code) {
     case StatusCode::kCancelled:
       Bump(m_cancellations_);
@@ -87,6 +129,7 @@ Status QueryContext::Check() {
   bool has_deadline;
   std::chrono::steady_clock::time_point deadline;
   uint64_t allowance;
+  QueryBudgets b;
   {
     std::lock_guard<std::mutex> lock(mu_);
     trip_after = trip_after_polls_;
@@ -94,6 +137,7 @@ Status QueryContext::Check() {
     has_deadline = has_deadline_;
     deadline = deadline_;
     allowance = deadline_allowance_micros_;
+    b = budgets_;  // live ceilings — the governor may have tightened them
   }
   if (trip_after != 0 && poll >= trip_after) {
     return Trip(trip_code, "tripped by test hook at poll " +
@@ -109,7 +153,6 @@ Status QueryContext::Check() {
                               : "query deadline exceeded");
   }
 
-  const QueryBudgets& b = options_.budgets;
   uint64_t pages = pages_read_.load(std::memory_order_relaxed);
   if (b.max_pages_read != 0 && pages > b.max_pages_read) {
     return Trip(StatusCode::kBudgetExceeded,
@@ -130,5 +173,18 @@ Status QueryContext::Check() {
   }
   return Status::OK();
 }
+
+namespace {
+thread_local QueryContext* g_current_query_context = nullptr;
+}  // namespace
+
+QueryContext* CurrentQueryContext() { return g_current_query_context; }
+
+ScopedQueryContext::ScopedQueryContext(QueryContext* ctx)
+    : prev_(g_current_query_context) {
+  g_current_query_context = ctx;
+}
+
+ScopedQueryContext::~ScopedQueryContext() { g_current_query_context = prev_; }
 
 }  // namespace dynopt

@@ -21,6 +21,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -47,6 +48,11 @@ struct QueryGovernanceOptions {
   /// that strategy and the retrieval falls back to a surviving competitor
   /// (typically Tscan) instead of failing the query.
   bool degraded_fallback = true;
+  /// Brownout mode (set by the admission governor under pressure): the
+  /// retrieval pins itself to the cheapest *learned* strategy for its query
+  /// class instead of racing competitors — skip discovery, spend nothing on
+  /// the losers. A class with no learned strategy cost races as usual.
+  bool brownout_pin_strategy = false;
 };
 
 class QueryContext {
@@ -60,8 +66,9 @@ class QueryContext {
   QueryContext& operator=(const QueryContext&) = delete;
 
   /// Requests cooperative cancellation. Safe from any thread; the query
-  /// observes it at its next Check().
-  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  /// observes it at its next Check(), and any WaitInterruptible() in
+  /// progress (e.g. a buffer-pool retry backoff) wakes immediately.
+  void Cancel();
   bool cancel_requested() const {
     return cancelled_.load(std::memory_order_relaxed);
   }
@@ -74,6 +81,22 @@ class QueryContext {
   /// typed error is returned forever (sticky), so callers can poll from
   /// several layers without double-reporting.
   Status Check();
+
+  /// Sleeps up to `micros`, waking early on Cancel(), an earlier trip, or
+  /// the query's deadline. Returns OK when the full wait elapsed (the
+  /// caller may proceed, e.g. retry a faulted read) and the typed trip
+  /// status when governance ended the wait — backoff sleeps become
+  /// interruptible instead of running their full course on a dead query.
+  Status WaitInterruptible(uint64_t micros);
+
+  /// Revocable-lease support for the admission governor: lowers any
+  /// non-zero ceiling in `tighter` that is below (or replaces an unlimited)
+  /// current budget. Budgets only ever shrink through this path, so a
+  /// charge already checked against the old ceiling re-trips at the next
+  /// Check(). Zero fields in `tighter` leave that ceiling alone.
+  void TightenBudgets(const QueryBudgets& tighter);
+  /// Current (possibly tightened) ceilings.
+  QueryBudgets budgets() const;
 
   // -- budget charging (relaxed atomics; verified at the next Check()) --
   void ChargePagesRead(uint64_t n) {
@@ -104,6 +127,7 @@ class QueryContext {
   bool degraded_fallback_enabled() const {
     return options_.degraded_fallback;
   }
+  bool brownout_pin_strategy() const { return options_.brownout_pin_strategy; }
   const QueryGovernanceOptions& options() const { return options_; }
 
   /// Test hook: the Nth Check() (1-based) trips with `code`, exercising
@@ -115,6 +139,9 @@ class QueryContext {
   Status TrippedStatus() const;
 
   QueryGovernanceOptions options_;
+  // Live ceilings; start at options_.budgets, only shrink (TightenBudgets).
+  // Guarded by mu_ — Check() already takes it for the deadline fields.
+  QueryBudgets budgets_;
   std::atomic<bool> cancelled_{false};
   bool has_deadline_ = false;
   std::chrono::steady_clock::time_point deadline_{};
@@ -134,6 +161,7 @@ class QueryContext {
   // code is published, so readers that see a non-OK code see the message.
   std::atomic<StatusCode> tripped_{StatusCode::kOk};
   mutable std::mutex mu_;
+  std::condition_variable cv_;  // signaled by Cancel() and Trip()
   std::string trip_message_;
 
   Counter* m_cancellations_ = nullptr;
@@ -146,6 +174,50 @@ class QueryContext {
 inline bool IsIoFault(const Status& s) {
   return s.IsIOError() || s.IsCorruption();
 }
+
+/// Global token bucket capping how many queries may sit in fault-retry
+/// backoff at once. Without it, a slow or flapping device turns every
+/// pinned session into a synchronized retry storm; with it, a query that
+/// cannot get a token fails its pin typed immediately (and degrades or
+/// falls back) instead of dogpiling. Attached to the BufferPool by the
+/// admission governor; a pool without one keeps the PR 4 behavior.
+class RetryBudget {
+ public:
+  explicit RetryBudget(uint32_t tokens) : tokens_(static_cast<int32_t>(tokens)) {}
+
+  bool TryAcquire() {
+    int32_t cur = tokens_.load(std::memory_order_relaxed);
+    while (cur > 0) {
+      if (tokens_.compare_exchange_weak(cur, cur - 1,
+                                        std::memory_order_acq_rel)) {
+        return true;
+      }
+    }
+    return false;
+  }
+  void Release() { tokens_.fetch_add(1, std::memory_order_acq_rel); }
+  int32_t available() const { return tokens_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int32_t> tokens_;
+};
+
+/// The context governing the query running on this thread, or null. Deep
+/// layers with no QueryContext parameter (the buffer pool's retry backoff)
+/// consult it so their waits become interruptible. Scoped, re-entrant, and
+/// strictly thread-local: DynamicRetrieval installs it around Open()/Next().
+QueryContext* CurrentQueryContext();
+
+class ScopedQueryContext {
+ public:
+  explicit ScopedQueryContext(QueryContext* ctx);
+  ~ScopedQueryContext();
+  ScopedQueryContext(const ScopedQueryContext&) = delete;
+  ScopedQueryContext& operator=(const ScopedQueryContext&) = delete;
+
+ private:
+  QueryContext* prev_;
+};
 
 }  // namespace dynopt
 

@@ -25,6 +25,10 @@ void WriteTelemetry(JsonWriter* w,
     w->KV("io_faults", s.io_faults);
     w->KV("scrub_pages", s.scrub_pages);
     w->KV("pages_repaired", s.pages_repaired);
+    w->KV("admitted", s.admitted);
+    w->KV("shed", s.shed);
+    w->KV("queue_depth", s.queue_depth);
+    w->KV("brownout_level", s.brownout_level);
     w->EndObject();
   }
   w->EndArray();
@@ -62,10 +66,14 @@ std::string RenderWorkloadTop(const std::vector<TelemetrySnapshot>& series,
                     std::to_string(s.fallbacks + s.governance_trips),
                     std::to_string(s.io_faults),
                     std::to_string(s.scrub_pages),
-                    std::to_string(s.pages_repaired)});
+                    std::to_string(s.pages_repaired),
+                    std::to_string(s.shed),
+                    std::to_string(s.queue_depth),
+                    std::to_string(s.brownout_level)});
   }
   out << FormatTable({"t(s)", "sess", "queries", "qps", "p50us", "p99us",
-                      "hit", "trips", "iofail", "scrub", "repair"},
+                      "hit", "trips", "iofail", "scrub", "repair", "shed",
+                      "queue", "brown"},
                      rows);
   return out.str();
 }

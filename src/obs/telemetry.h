@@ -35,6 +35,11 @@ struct TelemetrySnapshot {
   uint64_t io_faults = 0;          // governance.io_faults delta
   uint64_t scrub_pages = 0;        // integrity.scrub_pages delta
   uint64_t pages_repaired = 0;     // integrity repairs (incl. pin) delta
+  // Admission-governor fields (zero when no governor is attached).
+  uint64_t admitted = 0;           // admission.admitted delta
+  uint64_t shed = 0;               // admission.shed delta
+  uint64_t queue_depth = 0;        // admission.queue_depth gauge
+  uint64_t brownout_level = 0;     // admission.brownout_level gauge
 };
 
 /// Renders the series as a JSON array into an in-progress writer.

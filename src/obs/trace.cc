@@ -30,6 +30,12 @@ std::string_view TraceEventKindName(TraceEventKind kind) {
       return "integrity-finding";
     case TraceEventKind::kLearnedCorrectionApplied:
       return "learned-correction-applied";
+    case TraceEventKind::kAdmissionQueued:
+      return "admission-queued";
+    case TraceEventKind::kQueryShed:
+      return "query-shed";
+    case TraceEventKind::kBrownoutStep:
+      return "brownout-step";
   }
   return "?";
 }

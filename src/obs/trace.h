@@ -46,6 +46,9 @@ enum class TraceEventKind : uint8_t {
   kIntegrityFinding,   // subject = finding kind; a = page id; detail = text
   kLearnedCorrectionApplied,  // subject = "estimate"/"competition"; a =
                               // corrected rows or cost, b = raw value
+  kAdmissionQueued,    // subject = "wait"; a = queue depth after enqueue
+  kQueryShed,          // subject = shed reason; a = queue depth at shed
+  kBrownoutStep,       // subject = "down"/"up"; a = new level, b = pressure
 };
 
 std::string_view TraceEventKindName(TraceEventKind kind);

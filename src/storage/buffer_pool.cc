@@ -32,7 +32,36 @@ size_t FloorPow2(size_t n) {
   return p;
 }
 
+// splitmix64 finalizer for the backoff jitter draw.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
+
+uint64_t JitteredBackoffMicros(const BufferPool::IoRetryPolicy& policy,
+                               PageId id, uint32_t attempt) {
+  if (attempt == 0) attempt = 1;
+  uint64_t backoff = static_cast<uint64_t>(policy.base_backoff_micros)
+                     << (std::min(attempt, 32u) - 1);
+  backoff = std::min<uint64_t>(backoff, policy.max_backoff_micros);
+  double f = std::clamp(policy.jitter_fraction, 0.0, 1.0);
+  if (f > 0 && backoff > 0) {
+    // Top 53 bits of a seeded hash of (page, attempt) as a uniform [0,1)
+    // draw — stateless, lock-free, and replayable for a given seed.
+    double u = static_cast<double>(
+                   Mix64(policy.jitter_seed ^ (static_cast<uint64_t>(id) << 8) ^
+                         attempt) >>
+                   11) /
+               static_cast<double>(1ULL << 53);
+    backoff = static_cast<uint64_t>(
+        static_cast<double>(backoff) * (1.0 - f + 2.0 * f * u));
+  }
+  return backoff;
+}
 
 PageGuard& PageGuard::operator=(PageGuard&& o) noexcept {
   if (this != &o) {
@@ -151,6 +180,7 @@ Result<PageGuard> BufferPool::Pin(PageId id) {
   lock.unlock();
   Status read;
   uint32_t attempts = 0;
+  QueryContext* query = CurrentQueryContext();
   for (;;) {
     read = store_->Read(id, &f.data);
     ++attempts;
@@ -159,14 +189,32 @@ Result<PageGuard> BufferPool::Pin(PageId id) {
     if (read.ok() || !read.IsIOError() || attempts > retry_.max_retries) {
       break;
     }
-    uint64_t backoff = static_cast<uint64_t>(retry_.base_backoff_micros)
-                       << (attempts - 1);
-    backoff = std::min<uint64_t>(backoff, retry_.max_backoff_micros);
+    // A backoff sleep needs a token from the global retry budget (when one
+    // is attached): under pressure, retries fail fast instead of dogpiling
+    // the device with synchronized re-reads.
+    if (retry_budget_ != nullptr && !retry_budget_->TryAcquire()) {
+      Bump(retry_denied_count_);
+      read = WithContext("retry budget exhausted", read);
+      break;
+    }
+    uint64_t backoff = JitteredBackoffMicros(retry_, id, attempts);
     Bump(io_retry_count_);
     Bump(io_backoff_micros_, backoff);
     if (backoff > 0) {
-      std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+      if (query != nullptr) {
+        // Interruptible: Cancel() or deadline expiry on the pinning query
+        // wakes the sleep and the pin fails with the typed trip status.
+        Status woke = query->WaitInterruptible(backoff);
+        if (!woke.ok()) {
+          if (retry_budget_ != nullptr) retry_budget_->Release();
+          read = woke;
+          break;
+        }
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+      }
     }
+    if (retry_budget_ != nullptr) retry_budget_->Release();
   }
   if (read.IsCorruption() && repairer_ != nullptr) {
     // The store's copy is provably damaged (checksum / frame mismatch).
@@ -191,7 +239,9 @@ Result<PageGuard> BufferPool::Pin(PageId id) {
     f.id = kInvalidPageId;
     s.free_frames.push_back(frame);  // hand the grabbed frame back
     s.cv.notify_all();
-    Bump(io_fault_count_);
+    // A governance trip mid-backoff is not a device fault; only I/O
+    // verdicts count toward governance.io_faults.
+    if (IsIoFault(read)) Bump(io_fault_count_);
     return WithContext("pin of page " + std::to_string(id) + " failed after " +
                            std::to_string(attempts) + " attempt(s)",
                        read);
@@ -259,7 +309,7 @@ void BufferPool::AttachMetrics(MetricsRegistry* registry) {
   if (registry == nullptr) {
     hit_count_ = miss_count_ = eviction_count_ = writeback_count_ = nullptr;
     io_retry_count_ = io_backoff_micros_ = io_fault_count_ = nullptr;
-    repair_count_ = nullptr;
+    retry_denied_count_ = repair_count_ = nullptr;
     return;
   }
   hit_count_ = registry->counter("buffer_pool.hits");
@@ -269,6 +319,7 @@ void BufferPool::AttachMetrics(MetricsRegistry* registry) {
   io_retry_count_ = registry->counter("governance.io_retries");
   io_backoff_micros_ = registry->counter("governance.io_backoff_micros");
   io_fault_count_ = registry->counter("governance.io_faults");
+  retry_denied_count_ = registry->counter("governance.retry_denied");
   repair_count_ = registry->counter("integrity.pin_repairs");
 }
 

@@ -35,6 +35,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "governance/query_context.h"
 #include "obs/metrics.h"
 #include "storage/page.h"
 #include "storage/page_store.h"
@@ -113,10 +114,21 @@ class BufferPool {
   /// and its backoff sleeps (the faulting frame is published as a "loading"
   /// placeholder), so a faulty page's retries stall only threads pinning
   /// that same page — never unrelated traffic that shares its shard.
+  /// Backoff sleeps are (a) jittered — a seeded hash of (page, attempt)
+  /// spreads concurrent retriers of one hot page so they do not re-arrive
+  /// in lockstep — and (b) interruptible: when the pinning thread runs
+  /// under a QueryContext (ScopedQueryContext), Cancel() or deadline expiry
+  /// wakes the sleep and the pin fails with the typed governance status
+  /// instead of serving out the full backoff on a dead query.
   struct IoRetryPolicy {
     uint32_t max_retries = 3;          ///< extra attempts after the first
     uint32_t base_backoff_micros = 50;
     uint32_t max_backoff_micros = 2000;
+    /// Each sleep is scaled by a deterministic factor in
+    /// [1 - jitter_fraction, 1 + jitter_fraction]. 0 recovers the exact
+    /// exponential ladder.
+    double jitter_fraction = 0.25;
+    uint64_t jitter_seed = 0x9E3779B9;
   };
 
   /// `capacity` is the total number of page frames; `meter` (optional)
@@ -147,6 +159,14 @@ class BufferPool {
 
   void set_retry_policy(const IoRetryPolicy& policy) { retry_ = policy; }
   const IoRetryPolicy& retry_policy() const { return retry_; }
+
+  /// Attaches the process-wide retry token bucket (null detaches). While
+  /// attached, a pin must hold a token across each backoff sleep; when none
+  /// is available the pin stops retrying and fails typed immediately
+  /// (governance.retry_denied counts these) — a slow device cannot turn
+  /// every session into a synchronized retry storm. Not owned.
+  void set_retry_budget(RetryBudget* budget) { retry_budget_ = budget; }
+  RetryBudget* retry_budget() const { return retry_budget_; }
 
   /// Attaches the Corruption recovery hook (null detaches). Not owned; the
   /// repairer must outlive every Pin() that may fault. Retries never touch
@@ -294,11 +314,20 @@ class BufferPool {
   Counter* io_retry_count_ = nullptr;
   Counter* io_backoff_micros_ = nullptr;
   Counter* io_fault_count_ = nullptr;
+  Counter* retry_denied_count_ = nullptr;
   Counter* repair_count_ = nullptr;
   IoRetryPolicy retry_;
+  RetryBudget* retry_budget_ = nullptr;
   PageRepairer* repairer_ = nullptr;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
+
+/// The jittered backoff for retry `attempt` (1-based) of a pin of `id`:
+/// base << (attempt-1), capped at max, scaled by a deterministic seeded
+/// factor in [1 - jitter_fraction, 1 + jitter_fraction]. Pure function —
+/// exposed so tests can pin the exact schedule.
+uint64_t JitteredBackoffMicros(const BufferPool::IoRetryPolicy& policy,
+                               PageId id, uint32_t attempt);
 
 }  // namespace dynopt
 

@@ -1,6 +1,8 @@
 #include "storage/fault_store.h"
 
+#include <chrono>
 #include <string>
+#include <thread>
 
 namespace dynopt {
 
@@ -131,6 +133,11 @@ uint64_t FaultInjectingPageStore::total_reads() const {
   return reads_;
 }
 
+uint64_t FaultInjectingPageStore::slow_reads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_reads_;
+}
+
 uint64_t FaultInjectingPageStore::injected_write_faults() const {
   std::lock_guard<std::mutex> lock(mu_);
   return injected_writes_;
@@ -172,6 +179,7 @@ bool FaultInjectingPageStore::PageInProgram(PageClass target, bool any_class,
 }
 
 Status FaultInjectingPageStore::Read(PageId id, PageData* dst) const {
+  uint32_t slow_micros = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++reads_;
@@ -203,10 +211,19 @@ Status FaultInjectingPageStore::Read(PageId id, PageData* dst) const {
           n = 0;  // this read succeeds; the cycle restarts
           break;
         }
+        case FaultProgram::Kind::kSlowRead:
+          // The spike is served after the lock drops: a slow device stalls
+          // its own readers, not every reader of the store.
+          ++slow_reads_;
+          slow_micros = program_.slow_micros;
+          break;
         case FaultProgram::Kind::kNone:
           break;
       }
     }
+  }
+  if (slow_micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(slow_micros));
   }
   return inner_->Read(id, dst);
 }

@@ -59,6 +59,8 @@ struct FaultProgram {
     kTransient,  ///< IOError for `fail_reads` consecutive reads, then ok
     kPermanent,  ///< IOError on every read, forever
     kCorrupt,    ///< Corruption on every read (not retryable)
+    kSlowRead,   ///< latency spike of `slow_micros`, no error — a degraded
+                 ///< device, the pressure source for overload tests
   };
 
   Kind kind = Kind::kNone;
@@ -71,6 +73,9 @@ struct FaultProgram {
   uint64_t seed = 0xFA17;
   /// kTransient: consecutive failed reads per cycle.
   uint32_t fail_reads = 2;
+  /// kSlowRead: added latency per affected read. The sleep happens with no
+  /// decorator lock held, so slow pages stall only their own readers.
+  uint32_t slow_micros = 200;
   /// The program arms only after this many total reads have passed through
   /// the decorator — lets a test build/scan cleanly and fault mid-flight.
   uint64_t activate_after_reads = 0;
@@ -96,6 +101,15 @@ struct FaultProgram {
     p.kind = Kind::kCorrupt;
     p.target = target;
     p.rate = rate;
+    return p;
+  }
+  static FaultProgram SlowRead(PageClass target, double rate,
+                               uint32_t slow_micros) {
+    FaultProgram p;
+    p.kind = Kind::kSlowRead;
+    p.target = target;
+    p.rate = rate;
+    p.slow_micros = slow_micros;
     return p;
   }
 };
@@ -174,6 +188,9 @@ class FaultInjectingPageStore : public PageStore {
 
   uint64_t injected_faults() const;
   uint64_t total_reads() const;
+  /// Reads a kSlowRead program delayed (not counted as injected faults —
+  /// nothing failed).
+  uint64_t slow_reads() const;
   uint64_t injected_write_faults() const;
   uint64_t total_writes() const;
   /// True while page `id` carries a torn (half-written) image.
@@ -195,6 +212,7 @@ class FaultInjectingPageStore : public PageStore {
   mutable std::unordered_map<PageId, uint32_t> transient_attempts_;
   mutable uint64_t reads_ = 0;
   mutable uint64_t injected_ = 0;
+  mutable uint64_t slow_reads_ = 0;
 
   WriteFaultProgram write_program_;
   std::unordered_map<PageId, uint32_t> transient_write_attempts_;

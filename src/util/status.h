@@ -31,6 +31,11 @@ enum class StatusCode : uint8_t {
   kCancelled = 8,
   kDeadlineExceeded = 9,
   kBudgetExceeded = 10,
+  /// Shed by the admission governor before execution: the system is over
+  /// capacity (queue full, or queue wait consumed the query's deadline).
+  /// Not a governance trip — the query never ran — and not an engine
+  /// failure: the canonical client reaction is to back off and retry.
+  kOverloaded = 11,
 };
 
 /// Returns a stable human-readable name for a status code ("Ok", "NotFound"...).
@@ -76,6 +81,9 @@ class Status {
   static Status BudgetExceeded(std::string msg = "") {
     return Status(StatusCode::kBudgetExceeded, std::move(msg));
   }
+  static Status Overloaded(std::string msg = "") {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
 
   /// Rebuilds a status with an arbitrary code. Exists for decorators that
   /// need to preserve a wrapped error's code while rewriting its message
@@ -103,6 +111,7 @@ class Status {
   bool IsBudgetExceeded() const {
     return code_ == StatusCode::kBudgetExceeded;
   }
+  bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
 
   /// True for the three codes that stop a query on purpose (cancellation,
   /// deadline, budget) rather than reporting an engine failure.

@@ -46,6 +46,12 @@ uint64_t MixU64(uint64_t x) {
   return x ^ (x >> 31);
 }
 
+/// Bounded uniform sample of successful-query latencies. Capacity is
+/// fixed so a million-query session costs the same memory as a thousand-
+/// query one; the replacement draws come from a side rng, never from the
+/// stream rng, so collecting latencies cannot perturb the query stream.
+constexpr size_t kLatencyReservoirCap = 2048;
+
 /// One session: its own prepared statements, rng, and outcome. The stream
 /// is generated inside Run(), so it depends only on (seed, index).
 class Session {
@@ -55,7 +61,8 @@ class Session {
       : db_(db),
         opts_(opts),
         live_(live),
-        rng_(opts.seed * 1000003 + index * 7919 + 1) {
+        rng_(opts.seed * 1000003 + index * 7919 + 1),
+        reservoir_rng_(opts.seed * 9176 + index * 131 + 7) {
     RetrievalSpec range_spec;
     range_spec.table = table;
     range_spec.restriction = Predicate::And(
@@ -76,7 +83,7 @@ class Session {
     row_count_ = static_cast<int64_t>(table->record_count());
   }
 
-  SessionOutcome Run() {
+  SessionOutcome Run(std::chrono::steady_clock::time_point go) {
     SessionOutcome out;
     if (live_ != nullptr) {
       live_->active.fetch_add(1, std::memory_order_relaxed);
@@ -109,15 +116,45 @@ class Session {
         params = {{"lo", Value(lo)}, {"hi", Value(hi)}, {"cap", Value(cap)}};
         engine = range_engine_.get();
       }
-      // Governed mode: a fresh context per query, so deadlines and budgets
-      // reset at each statement boundary like a per-statement timeout.
+      // Scheduled arrival. Open-loop: query k of this session arrives at
+      // go + k*interval no matter how the engine is doing; a session that
+      // is behind schedule issues immediately with the original (past)
+      // stamp, so lateness counts against the query like queue wait.
+      auto arrival = std::chrono::steady_clock::now();
+      if (opts_.open_loop) {
+        arrival = go + std::chrono::microseconds(
+                           q * opts_.arrival_interval_micros);
+        std::this_thread::sleep_until(arrival);  // no-op when behind
+      }
+      // The governing context: a governor ticket when one is attached, a
+      // fresh per-query context in plain governed mode (deadlines and
+      // budgets reset at each statement boundary), else none.
       std::unique_ptr<QueryContext> ctx;
-      if (opts_.governed) {
+      AdmissionController::Ticket ticket;
+      QueryContext* qctx = nullptr;
+      if (opts_.governor != nullptr) {
+        auto admitted = opts_.governor->AdmitAt(arrival);
+        if (!admitted.ok()) {
+          if (!admitted.status().IsOverloaded()) {
+            // The governor sheds with Overloaded and nothing else; any
+            // other status is a bug worth failing the session over.
+            out.error = admitted.status().ToString();
+            break;
+          }
+          out.shed_queries++;
+          if (opts_.record_query_hashes) {
+            out.query_hashes.push_back(kShedQueryHash);
+          }
+          continue;
+        }
+        ticket = std::move(*admitted);
+        qctx = ticket.context();
+      } else if (opts_.governed) {
         ctx = std::make_unique<QueryContext>(opts_.governance,
                                              db_->metrics());
+        qctx = ctx.get();
       }
-      auto q_start = std::chrono::steady_clock::now();
-      Status st = engine->Open(params, ctx.get());
+      Status st = engine->Open(params, qctx);
       uint64_t fold = 0;
       uint64_t rows = 0;
       if (st.ok()) {
@@ -134,40 +171,58 @@ class Session {
           rows++;
         }
       }
+      // Wall latency from scheduled arrival — the figure an open-loop
+      // client experiences, and the one the governor's signal feeds on.
+      auto q_end = std::chrono::steady_clock::now();
+      double micros =
+          std::chrono::duration<double, std::micro>(q_end - arrival).count();
+      if (ticket.valid()) {
+        // Successful and tripped queries both occupied a slot; both feed
+        // the overload signal.
+        opts_.governor->Finish(std::move(ticket), micros);
+      }
       if (!st.ok()) {
         // Under governance, a tripped or I/O-failed query is an expected,
         // isolated outcome: count it and keep the session alive. Anything
         // else (logic errors, corruption of internal state) stays fatal.
-        if (opts_.governed && st.IsGovernance()) {
+        bool tolerant = opts_.governed || opts_.governor != nullptr;
+        if (tolerant && st.IsGovernance()) {
           out.governance_trips++;
           out.failed_queries++;
+          if (opts_.record_query_hashes) {
+            out.query_hashes.push_back(kFailedQueryHash);
+          }
           continue;
         }
-        if (opts_.governed && IsIoFault(st)) {
+        if (tolerant && IsIoFault(st)) {
           out.io_failures++;
           out.failed_queries++;
+          if (opts_.record_query_hashes) {
+            out.query_hashes.push_back(kFailedQueryHash);
+          }
           continue;
         }
         out.error = st.ToString();
         break;
       }
       if (engine->degraded()) out.degraded_queries++;
-      if (opts_.record_latencies || live_ != nullptr) {
-        auto q_end = std::chrono::steady_clock::now();
-        double micros =
-            std::chrono::duration<double, std::micro>(q_end - q_start)
-                .count();
-        if (opts_.record_latencies) out.latencies_micros.push_back(micros);
-        if (live_ != nullptr) live_->ObserveLatency(micros);
-      }
+      ObserveReservoir(&out, micros);
+      if (live_ != nullptr) live_->ObserveLatency(micros);
       out.queries++;
       out.rows += rows;
+      if (opts_.goodput_deadline_micros == 0 ||
+          micros <= static_cast<double>(opts_.goodput_deadline_micros)) {
+        out.goodput_queries++;
+      }
       if (live_ != nullptr) {
         live_->queries++;
         live_->rows.Add(rows);
       }
       // Chain in query order so stream position matters.
       out.result_hash = MixU64(out.result_hash ^ fold ^ (rows + 1));
+      if (opts_.record_query_hashes) {
+        out.query_hashes.push_back(MixU64(fold ^ (rows + 1)));
+      }
     }
     if (live_ != nullptr) {
       live_->active.fetch_sub(1, std::memory_order_relaxed);
@@ -176,10 +231,24 @@ class Session {
   }
 
  private:
+  /// Uniform bounded sample (classic reservoir): below the cap every
+  /// latency is kept; past it, sample n replaces a random slot with
+  /// probability cap/n.
+  void ObserveReservoir(SessionOutcome* out, double micros) {
+    out->latency_samples_seen++;
+    if (out->latencies_micros.size() < kLatencyReservoirCap) {
+      out->latencies_micros.push_back(micros);
+      return;
+    }
+    uint64_t j = reservoir_rng_.NextBounded(out->latency_samples_seen);
+    if (j < kLatencyReservoirCap) out->latencies_micros[j] = micros;
+  }
+
   Database* db_;
   const SessionWorkloadOptions& opts_;
   LiveCounters* live_;  // shared with the ticker; null without telemetry
   Rng rng_;
+  Rng reservoir_rng_;
   std::unique_ptr<DynamicRetrieval> range_engine_;
   std::unique_ptr<DynamicRetrieval> point_engine_;
   int64_t row_count_ = 0;
@@ -220,6 +289,14 @@ Result<SessionWorkloadReport> RunSessionWorkload(
     scrubber = std::thread([&] {
       ScrubOptions sopts = options.scrub_options;
       while (!scrub_stop.load(std::memory_order_acquire)) {
+        if (options.governor != nullptr &&
+            options.governor->scrubber_deferred()) {
+          // Brownout at kDeferScrub or above: the scrubber yields its I/O
+          // to the foreground and checks back in shortly.
+          report.scrub_deferred++;
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          continue;
+        }
         ScrubReport r = RunScrubPass(db, sopts);
         report.scrub_passes++;
         report.scrub_pages += r.pages_scanned;
@@ -243,6 +320,7 @@ Result<SessionWorkloadReport> RunSessionWorkload(
     uint64_t hits = 0, misses = 0;
     uint64_t fallbacks = 0, trips = 0, io_faults = 0;
     uint64_t scrub_pages = 0, repairs = 0;
+    uint64_t admitted = 0, shed = 0;
   } prev;
   prev.buckets.assign(LatencyBucketBounds().size() + 1, 0);
   auto capture = [&] {
@@ -297,6 +375,10 @@ Result<SessionWorkloadReport> RunSessionWorkload(
       s.pages_repaired =
           delta(&prev.repairs, metrics->Value("integrity.repairs") +
                                    metrics->Value("integrity.pin_repairs"));
+      s.admitted = delta(&prev.admitted, metrics->Value("admission.admitted"));
+      s.shed = delta(&prev.shed, metrics->Value("admission.shed"));
+      s.queue_depth = metrics->Value("admission.queue_depth");
+      s.brownout_level = metrics->Value("admission.brownout_level");
     }
     report.telemetry.push_back(s);
   };
@@ -317,8 +399,11 @@ Result<SessionWorkloadReport> RunSessionWorkload(
   auto start = std::chrono::steady_clock::now();
   if (options.concurrent) {
     // One thread per session, released together by a start gate so the
-    // wall clock covers only overlapped execution.
+    // wall clock covers only overlapped execution. `go_time` (the shared
+    // origin of every open-loop arrival schedule) is written before the
+    // release store, so the acquire loop makes it visible to every thread.
     std::atomic<bool> go{false};
+    std::chrono::steady_clock::time_point go_time;
     std::vector<std::thread> threads;
     threads.reserve(options.sessions);
     for (size_t i = 0; i < options.sessions; ++i) {
@@ -326,15 +411,18 @@ Result<SessionWorkloadReport> RunSessionWorkload(
         while (!go.load(std::memory_order_acquire)) {
           std::this_thread::yield();
         }
-        report.sessions[i] = sessions[i]->Run();
+        report.sessions[i] = sessions[i]->Run(go_time);
       });
     }
     start = std::chrono::steady_clock::now();
+    go_time = start;
     go.store(true, std::memory_order_release);
     for (std::thread& t : threads) t.join();
   } else {
     for (size_t i = 0; i < options.sessions; ++i) {
-      report.sessions[i] = sessions[i]->Run();
+      // Serial replay: each session's schedule restarts at its own run,
+      // so open-loop timing never changes the stream (or its hashes).
+      report.sessions[i] = sessions[i]->Run(std::chrono::steady_clock::now());
     }
   }
   auto end = std::chrono::steady_clock::now();
@@ -358,6 +446,8 @@ Result<SessionWorkloadReport> RunSessionWorkload(
     report.governance_trips += s.governance_trips;
     report.io_failures += s.io_failures;
     report.degraded_queries += s.degraded_queries;
+    report.shed_queries += s.shed_queries;
+    report.goodput_queries += s.goodput_queries;
     latencies.insert(latencies.end(), s.latencies_micros.begin(),
                      s.latencies_micros.end());
   }
@@ -372,6 +462,10 @@ Result<SessionWorkloadReport> RunSessionWorkload(
   report.queries_per_second =
       report.wall_seconds > 0
           ? static_cast<double>(report.total_queries) / report.wall_seconds
+          : 0;
+  report.goodput_qps =
+      report.wall_seconds > 0
+          ? static_cast<double>(report.goodput_queries) / report.wall_seconds
           : 0;
 
   uint64_t hits = 0, misses = 0;

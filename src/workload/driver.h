@@ -26,6 +26,7 @@
 
 #include "catalog/database.h"
 #include "core/retrieval.h"
+#include "governance/admission.h"
 #include "governance/query_context.h"
 #include "integrity/scrub.h"
 #include "obs/telemetry.h"
@@ -61,8 +62,29 @@ struct SessionWorkloadOptions {
   /// session. Ungoverned (false) preserves the original fail-fast runs.
   bool governed = false;
   QueryGovernanceOptions governance;
-  /// Collect per-query wall latencies (for the degradation bench).
-  bool record_latencies = false;
+  /// Admission-governed mode: every query passes through this controller
+  /// before executing — admitted queries run under the ticket's context
+  /// (overriding `governed`/`governance`), shed queries are counted and
+  /// never executed. The driver does not own the controller; the caller
+  /// wires its RetryBudget to the pool and reads its trace afterwards.
+  AdmissionController* governor = nullptr;
+  /// Open-loop arrival mode: session i's query k is *scheduled* at
+  /// go + k * arrival_interval_micros, independent of how long earlier
+  /// queries took — the load does not politely slow down when the engine
+  /// does, which is what makes sustained overload reproducible. A session
+  /// that falls behind schedule issues its next query immediately with the
+  /// original (past) arrival stamp, so queue wait and lateness are charged
+  /// against the query exactly as a real open-loop client would see them.
+  bool open_loop = false;
+  uint64_t arrival_interval_micros = 1000;
+  /// Goodput accounting: a query counts as goodput when it completes
+  /// successfully within this allowance measured from its *scheduled*
+  /// arrival (not from Open). 0 disables the distinction (every success
+  /// is goodput). Applies to governed and ungoverned runs alike, so an
+  /// ungoverned overload control is measured by the same yardstick.
+  uint64_t goodput_deadline_micros = 0;
+  /// Per-query result hashes in stream order (see SessionOutcome).
+  bool record_query_hashes = false;
   /// Run a background scrubber thread alongside the sessions: repeated
   /// RunScrubPass sweeps (each resuming where the last stopped) until the
   /// last session finishes. The scrubber is a reader like any session, so
@@ -100,9 +122,29 @@ struct SessionOutcome {
   /// Queries that completed exactly but on a fallback strategy after an
   /// I/O fault disqualified an index.
   uint64_t degraded_queries = 0;
-  /// Per-query wall latencies (only when options.record_latencies).
+  /// Queries the admission governor refused (typed Overloaded) — they
+  /// never executed, and are not failed_queries.
+  uint64_t shed_queries = 0;
+  /// Successful queries inside the goodput allowance (== queries when
+  /// options.goodput_deadline_micros is 0).
+  uint64_t goodput_queries = 0;
+  /// Bounded reservoir of successful-query wall latencies (micros),
+  /// measured from scheduled arrival; always collected. The reservoir
+  /// keeps a uniform sample once latency_samples_seen exceeds its cap,
+  /// drawn from a side rng so the query stream itself is untouched.
   std::vector<double> latencies_micros;
+  uint64_t latency_samples_seen = 0;
+  /// Stream-order per-query result hashes (options.record_query_hashes):
+  /// a completed query contributes a deterministic fold of its result
+  /// set, a shed query kShedQueryHash, any other failure kFailedQueryHash.
+  /// Two runs of the same stream must agree at every index where *both*
+  /// hold a real hash — the golden-result check under load.
+  std::vector<uint64_t> query_hashes;
 };
+
+/// Sentinels in SessionOutcome::query_hashes.
+inline constexpr uint64_t kShedQueryHash = ~0ull;
+inline constexpr uint64_t kFailedQueryHash = ~0ull - 1;
 
 struct SessionWorkloadReport {
   double wall_seconds = 0;
@@ -118,12 +160,20 @@ struct SessionWorkloadReport {
   uint64_t governance_trips = 0;
   uint64_t io_failures = 0;
   uint64_t degraded_queries = 0;
-  /// Latency percentiles over all sessions' successful queries, in
-  /// microseconds; zero unless options.record_latencies.
+  /// Admission-governor aggregates (zero without options.governor).
+  uint64_t shed_queries = 0;
+  /// Successful queries within the goodput allowance, and their rate.
+  uint64_t goodput_queries = 0;
+  double goodput_qps = 0;
+  /// Latency percentiles over all sessions' reservoirs (successful
+  /// queries, micros from scheduled arrival); always computed.
   double p50_latency_micros = 0;
   double p99_latency_micros = 0;
   /// Background-scrubber aggregates (zero unless options.scrub).
   uint64_t scrub_passes = 0;
+  /// Scrub passes skipped because the governor held the ladder at
+  /// kDeferScrub or above.
+  uint64_t scrub_deferred = 0;
   uint64_t scrub_pages = 0;
   uint64_t scrub_repaired = 0;
   uint64_t scrub_quarantined = 0;

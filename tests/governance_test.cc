@@ -269,6 +269,41 @@ TEST(FaultStoreTest, CorruptProgramReturnsCorruption) {
   EXPECT_TRUE(store.Read(id, &dst).IsCorruption());
 }
 
+// kSlowRead injects latency, not errors: the read succeeds, the page is
+// intact, injected_faults stays zero, and only the seeded subset of pages
+// is affected — the pressure source for the overload benches.
+TEST(FaultStoreTest, SlowReadDelaysWithoutError) {
+  FaultInjectingPageStore store(std::make_unique<MemPageStore>());
+  std::vector<PageId> pages;
+  for (int i = 0; i < 32; ++i) {
+    PageId id = store.Allocate();
+    PageData data{};
+    data[0] = static_cast<uint8_t>(i);
+    ASSERT_TRUE(store.Write(id, data).ok());
+    pages.push_back(id);
+  }
+  store.FreezeClassification();
+  store.SetProgram(
+      FaultProgram::SlowRead(PageClass::kIndex, 0.5, /*slow_micros=*/300));
+
+  auto t0 = std::chrono::steady_clock::now();
+  PageData dst{};
+  for (PageId id : pages) {
+    ASSERT_TRUE(store.Read(id, &dst).ok());  // never an error
+  }
+  auto elapsed = std::chrono::steady_clock::now() - t0;
+  uint64_t slow = store.slow_reads();
+  EXPECT_GT(slow, 0u);
+  EXPECT_LT(slow, 32u);  // rate 0.5 hits a strict, seeded subset
+  EXPECT_EQ(store.injected_faults(), 0u);
+  EXPECT_GE(elapsed, std::chrono::microseconds(300 * slow / 2));
+
+  // Deterministic: the same program delays the same pages.
+  uint64_t first_pass = slow;
+  for (PageId id : pages) ASSERT_TRUE(store.Read(id, &dst).ok());
+  EXPECT_EQ(store.slow_reads(), 2 * first_pass);
+}
+
 // ---------------------------------------------------------------------------
 // Buffer-pool retry with backoff.
 
@@ -413,6 +448,175 @@ TEST(BufferPoolRetryTest, ConcurrentPinsOfFaultyPageAllFailTyped) {
   auto g = rig.pool.Pin(rig.id);
   ASSERT_TRUE(g.ok()) << g.status();
   EXPECT_EQ(g->data()[0], 7);
+}
+
+// ---------------------------------------------------------------------------
+// Jittered, interruptible, token-capped retry backoff (overload governor).
+
+TEST(BufferPoolRetryTest, JitteredBackoffIsDeterministicAndBounded) {
+  BufferPool::IoRetryPolicy p;
+  p.base_backoff_micros = 100;
+  p.max_backoff_micros = 800;
+  p.jitter_fraction = 0.25;
+  // Exact replay: the draw is a pure function of (policy, page, attempt).
+  for (uint32_t attempt = 1; attempt <= 6; ++attempt) {
+    EXPECT_EQ(JitteredBackoffMicros(p, 42, attempt),
+              JitteredBackoffMicros(p, 42, attempt));
+  }
+  // Bounds: within +/- jitter_fraction of the capped exponential base.
+  for (PageId id = 0; id < 64; ++id) {
+    for (uint32_t attempt = 1; attempt <= 6; ++attempt) {
+      uint64_t base = std::min<uint64_t>(
+          uint64_t{p.base_backoff_micros} << (attempt - 1),
+          p.max_backoff_micros);
+      uint64_t v = JitteredBackoffMicros(p, id, attempt);
+      EXPECT_GE(v, static_cast<uint64_t>(static_cast<double>(base) * 0.74));
+      EXPECT_LE(v, static_cast<uint64_t>(static_cast<double>(base) * 1.26));
+    }
+  }
+  // Different pages draw different jitter — the anti-retry-storm property:
+  // a shard's worth of faulty pages must not wake in lockstep.
+  std::set<uint64_t> distinct;
+  for (PageId id = 0; id < 64; ++id) {
+    distinct.insert(JitteredBackoffMicros(p, id, 3));
+  }
+  EXPECT_GT(distinct.size(), 8u);
+  // jitter_fraction 0 reproduces the plain exponential schedule exactly.
+  p.jitter_fraction = 0;
+  EXPECT_EQ(JitteredBackoffMicros(p, 7, 1), 100u);
+  EXPECT_EQ(JitteredBackoffMicros(p, 7, 4), 800u);
+}
+
+// A Cancel() on the governing query must cut a long backoff schedule
+// short: the pin returns the typed trip status promptly instead of
+// sleeping out the full schedule.
+TEST(BufferPoolRetryTest, BackoffIsCancellable) {
+  RetryRig rig;
+  rig.store.SetProgram(FaultProgram::Permanent(PageClass::kIndex, 1.0));
+  BufferPool::IoRetryPolicy slow;
+  slow.max_retries = 5;
+  slow.base_backoff_micros = 200000;
+  slow.max_backoff_micros = 200000;  // ~1s of sleeping if never interrupted
+  rig.pool.set_retry_policy(slow);
+
+  QueryContext ctx;
+  std::atomic<bool> started{false};
+  Status pin_status;
+  auto t0 = std::chrono::steady_clock::now();
+  std::thread worker([&] {
+    // The pool discovers the governing query the same way the engine
+    // installs it: through the thread-local ScopedQueryContext.
+    ScopedQueryContext current(&ctx);
+    started.store(true, std::memory_order_release);
+    auto g = rig.pool.Pin(rig.id);
+    EXPECT_FALSE(g.ok());
+    pin_status = g.status();
+  });
+  while (!started.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ctx.Cancel();
+  worker.join();
+  auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_TRUE(pin_status.IsCancelled()) << pin_status;
+  EXPECT_LT(waited, std::chrono::milliseconds(500));
+  EXPECT_EQ(rig.pool.PinnedPages(), 0u);
+  EXPECT_TRUE(rig.pool.CheckInvariants().ok());
+}
+
+// A deadline expiring mid-backoff wakes the wait the same way.
+TEST(BufferPoolRetryTest, BackoffHonorsDeadlineExpiry) {
+  RetryRig rig;
+  rig.store.SetProgram(FaultProgram::Permanent(PageClass::kIndex, 1.0));
+  BufferPool::IoRetryPolicy slow;
+  slow.max_retries = 5;
+  slow.base_backoff_micros = 200000;
+  slow.max_backoff_micros = 200000;
+  rig.pool.set_retry_policy(slow);
+
+  QueryContext ctx;
+  ctx.SetDeadline(std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(30));
+  auto t0 = std::chrono::steady_clock::now();
+  Status pin_status;
+  {
+    ScopedQueryContext current(&ctx);
+    pin_status = rig.pool.Pin(rig.id).status();
+  }
+  auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_TRUE(pin_status.IsDeadlineExceeded()) << pin_status;
+  EXPECT_LT(waited, std::chrono::milliseconds(500));
+  EXPECT_EQ(rig.pool.PinnedPages(), 0u);
+}
+
+// The shared RetryBudget caps how many pins may back off at once; a pin
+// denied a token fails typed instead of sleeping, and the token returns
+// to the bucket after the wait.
+TEST(BufferPoolRetryTest, RetryBudgetExhaustionDeniesBackoff) {
+  RetryRig rig;
+  rig.store.SetProgram(
+      FaultProgram::Transient(PageClass::kIndex, 1.0, /*fail_reads=*/2));
+  RetryBudget empty(0);
+  rig.pool.set_retry_budget(&empty);
+  auto g = rig.pool.Pin(rig.id);
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsIOError()) << g.status();
+  EXPECT_NE(g.status().message().find("retry budget"), std::string::npos)
+      << g.status();
+  EXPECT_EQ(rig.registry.Value("governance.retry_denied"), 1u);
+  EXPECT_EQ(rig.registry.Value("governance.io_retries"), 0u);
+
+  // With tokens available the same fault is absorbed, and every borrowed
+  // token comes back.
+  RetryBudget tokens(2);
+  rig.pool.set_retry_budget(&tokens);
+  auto g2 = rig.pool.Pin(rig.id);
+  ASSERT_TRUE(g2.ok()) << g2.status();
+  EXPECT_EQ(tokens.available(), 2);
+  rig.pool.set_retry_budget(nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Sticky-trip races: concurrent Cancel() vs. a budget trip must resolve to
+// exactly one stable typed error with its counter bumped exactly once.
+// (Runs under TSan in CI via the QueryContext filter.)
+
+TEST(QueryContextTest, ConcurrentCancelAndBudgetTripHasOneStableWinner) {
+  for (int round = 0; round < 64; ++round) {
+    MetricsRegistry registry;
+    QueryGovernanceOptions o;
+    o.budgets.max_pages_read = 1;
+    QueryContext ctx(o, &registry);
+    std::atomic<int> gate{0};
+    std::thread canceller([&] {
+      gate.fetch_add(1, std::memory_order_acq_rel);
+      while (gate.load(std::memory_order_acquire) < 2) {
+      }
+      ctx.Cancel();
+      (void)ctx.Check();
+    });
+    std::thread tripper([&] {
+      gate.fetch_add(1, std::memory_order_acq_rel);
+      while (gate.load(std::memory_order_acquire) < 2) {
+      }
+      ctx.ChargePagesRead(2);
+      (void)ctx.Check();
+    });
+    canceller.join();
+    tripper.join();
+    Status first = ctx.Check();
+    ASSERT_FALSE(first.ok());
+    EXPECT_TRUE(first.IsCancelled() || first.IsBudgetExceeded()) << first;
+    // First trip wins and stays won.
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(ctx.Check().code(), first.code());
+    }
+    EXPECT_EQ(registry.Value("governance.cancellations") +
+                  registry.Value("governance.budget_hits"),
+              1u)
+        << "round " << round;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -952,7 +1156,6 @@ TEST(DriverGovernanceTest, UnlimitedGovernanceMatchesUngovernedHashes) {
   ASSERT_TRUE(plain.ok());
 
   o.governed = true;  // no deadline, no budgets: governance is a no-op
-  o.record_latencies = true;
   auto governed = RunSessionWorkload(&db, table, o);
   ASSERT_TRUE(governed.ok());
 

@@ -547,7 +547,6 @@ TEST(TelemetryTest, ConcurrentProfilingAndTelemetryUnderLoad) {
   options.queries_per_session = 40;
   options.concurrent = true;
   options.governed = true;
-  options.record_latencies = true;
   options.telemetry = true;
   options.telemetry_interval_micros = 1000;
   auto report = RunSessionWorkload(&f.db, f.table, options);
