@@ -2,9 +2,11 @@
 # Builds and runs every benchmark, collecting the BENCH_<name>.json
 # reports each one writes to its working directory into a single place.
 #
-# Two binaries double as regression gates and exit non-zero (failing this
-# script) when breached: bench_profile (profiling overhead <= 5%) and
-# bench_micro (batched Tscan restriction >= 2x over row-at-a-time).
+# Three binaries double as regression gates and exit non-zero (failing
+# this script) when breached: bench_profile (profiling overhead <= 5%),
+# bench_micro (batched Tscan restriction >= 2x over row-at-a-time), and
+# bench_replication (standby apply rate >= 0.5x the primary commit rate,
+# plus the failover scenario with its measured RTO).
 #
 # Usage: scripts/bench.sh [output-dir] [jobs]
 #   output-dir   where benchmarks run and reports land (default:

@@ -26,6 +26,6 @@ echo "== thread-sanitizer config (build-tsan/, concurrency tests) =="
 cmake -S "$root" -B "$root/build-tsan" -DDYNOPT_SANITIZE=thread >/dev/null
 cmake --build "$root/build-tsan" -j "$jobs"
 ctest --test-dir "$root/build-tsan" --output-on-failure -j "$jobs" \
-  -R '(RelaxedCounter|MetricsTest|ShardedPool|SessionWorkload|BufferPool|Wal|Durability|Crash|Governance|FaultMatrix|QueryContext|Integrity|Scrub|RepairMatrix|Profile|Telemetry|Batch|Learning|Admission|Overload)'
+  -R '(RelaxedCounter|MetricsTest|ShardedPool|SessionWorkload|BufferPool|Wal|Durability|Crash|Governance|FaultMatrix|QueryContext|Integrity|Scrub|RepairMatrix|Profile|Telemetry|Batch|Learning|Admission|Overload|Replication|Standby|Failover)'
 
 echo "== all checks passed =="

@@ -130,6 +130,20 @@ Result<std::unique_ptr<Database>> Database::Create(DatabaseOptions options) {
   if (db->options_.observability) db->wal_->AttachMetrics(&db->metrics_);
   db->pool_.EnableWalOrdering();
   db->AttachRepairer();
+  if (!db->options_.archive_dir.empty()) {
+    WalArchiveOptions archive_options;
+    archive_options.segment_bytes = db->options_.archive_segment_bytes;
+    DYNOPT_ASSIGN_OR_RETURN(
+        db->archive_,
+        WalArchive::Create(db->options_.archive_dir, archive_options));
+    db->archive_->set_crash(db->options_.crash);
+    if (db->options_.observability) {
+      db->archive_->AttachMetrics(&db->metrics_);
+    }
+    // Attach before the first Commit: archived history must start at the
+    // very first record.
+    db->wal_->AttachSink(db->archive_.get());
+  }
 
   // The first Commit writes the (empty) catalog, allocating the chain head
   // as the very first page — the fixed anchor Open() reads from.
@@ -148,9 +162,37 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options,
   }
   DYNOPT_ASSIGN_OR_RETURN(std::unique_ptr<FilePageStore> store,
                           FilePageStore::Open(options.path, options.crash));
+  std::unique_ptr<WalArchive> archive;
   WalOptions wal_options;
   wal_options.group_commit = options.group_commit;
   wal_options.simulated_fsync_micros = options.simulated_fsync_micros;
+  if (!options.archive_dir.empty()) {
+    WalArchiveOptions archive_options;
+    archive_options.segment_bytes = options.archive_segment_bytes;
+    DYNOPT_ASSIGN_OR_RETURN(
+        archive, WalArchive::Open(options.archive_dir, archive_options));
+    // Timeline fence: the archive's manifest names the one history line
+    // that may continue. A superblock on another timeline is a stale
+    // primary overtaken by a promote (or a detached PITR clone, stamped
+    // timeline 0) and must never write again.
+    uint64_t file_timeline = store->superblock().timeline;
+    if (file_timeline != archive->timeline()) {
+      return Status::Fenced(
+          "database file " + options.path + " is on timeline " +
+          std::to_string(file_timeline) + " but archive " +
+          options.archive_dir + " is on timeline " +
+          std::to_string(archive->timeline()) +
+          (file_timeline == 0
+               ? " (this file is a detached restore clone)"
+               : " (a standby was promoted; this primary is stale)"));
+    }
+    // A fresh WAL continues the archived LSN sequence (a just-promoted
+    // standby has no log yet); a torn tail at or below the sealed floor is
+    // media damage inside sealed history, refused typed by Wal::Open.
+    wal_options.initial_start_lsn = archive->durable_end_lsn() + 1;
+    wal_options.sealed_floor_lsn = archive->sealed_through_lsn();
+    archive->set_crash(options.crash);
+  }
   DYNOPT_ASSIGN_OR_RETURN(
       std::unique_ptr<Wal> wal,
       Wal::Open(options.path + ".wal", wal_options, options.crash));
@@ -158,14 +200,32 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options,
   std::unique_ptr<Database> db(
       new Database(std::move(options), std::move(store)));
   db->file_store_ = static_cast<FilePageStore*>(db->store_.get());
+  db->archive_ = std::move(archive);
   db->wal_ = std::move(wal);
   if (db->options_.observability) db->wal_->AttachMetrics(&db->metrics_);
   db->pool_.EnableWalOrdering();
 
   RecoveryStats stats;
-  DYNOPT_RETURN_IF_ERROR(
-      RecoverFromWal(db->file_store_, db->wal_.get(), &stats, db->metrics()));
+  RecoveryOptions recovery_options;
+  if (db->archive_ != nullptr) {
+    recovery_options.archived_durable_lsn = db->archive_->durable_end_lsn();
+    recovery_options.archive_sink = db->archive_.get();
+  }
+  DYNOPT_RETURN_IF_ERROR(RecoverFromWal(db->file_store_, db->wal_.get(),
+                                        &stats, db->metrics(),
+                                        recovery_options));
   if (recovery != nullptr) *recovery = stats;
+  if (db->archive_ != nullptr) {
+    // Recovery rolled back any uncommitted WAL tail and restarted the LSN
+    // sequence at last_commit + 1; drop the matching archived suffix so
+    // the archive never resurrects records the primary discarded.
+    DYNOPT_RETURN_IF_ERROR(
+        db->archive_->TruncateTailTo(db->wal_->durable_lsn()));
+    if (db->options_.observability) {
+      db->archive_->AttachMetrics(&db->metrics_);
+    }
+    db->wal_->AttachSink(db->archive_.get());
+  }
   // After recovery, so replayed images land directly and the repairer only
   // ever serves the live read path (the WAL is empty at this instant; its
   // coverage regrows with every commit).
@@ -192,6 +252,9 @@ void Database::AttachRepairer() {
 }
 
 Result<Table*> Database::CreateTable(std::string name, Schema schema) {
+  if (read_only_) {
+    return Status::NotSupported("read-only database: CreateTable refused");
+  }
   if (tables_.find(name) != tables_.end()) {
     return Status::InvalidArgument("table name already in use");
   }
@@ -211,6 +274,9 @@ Result<Table*> Database::GetTable(std::string_view name) {
 }
 
 Status Database::Commit() {
+  if (read_only_) {
+    return Status::NotSupported("read-only database: Commit refused");
+  }
   if (wal_ == nullptr) return Status::OK();
   DYNOPT_RETURN_IF_ERROR(WriteCatalog());
 
@@ -233,6 +299,9 @@ Status Database::Commit() {
 }
 
 Status Database::Checkpoint() {
+  if (read_only_) {
+    return Status::NotSupported("read-only database: Checkpoint refused");
+  }
   if (wal_ == nullptr) return Status::OK();
   DYNOPT_RETURN_IF_ERROR(Commit());
   DYNOPT_RETURN_IF_ERROR(pool_.FlushAll());
@@ -245,7 +314,20 @@ Status Database::Checkpoint() {
   return wal_->Reset();
 }
 
-Status Database::Close() { return Checkpoint(); }
+Status Database::Close() {
+  if (read_only_) return Status::OK();  // nothing to persist, by contract
+  return Checkpoint();
+}
+
+Status Database::ArchiveBaseImage() {
+  if (wal_ == nullptr || archive_ == nullptr) {
+    return Status::NotSupported("ArchiveBaseImage needs an attached archive");
+  }
+  DYNOPT_RETURN_IF_ERROR(Checkpoint());
+  // Checkpoint quiesced the file (pool flushed, store synced, superblock
+  // bumped), so the on-disk bytes are exactly the durable-LSN state.
+  return archive_->WriteBaseImage(wal_->durable_lsn(), options_.path);
+}
 
 Status Database::WriteCatalog() {
   std::string blob;

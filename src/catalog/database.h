@@ -42,6 +42,7 @@
 #include "integrity/repair.h"
 #include "learning/selectivity_model.h"
 #include "obs/feedback.h"
+#include "replication/archive.h"
 #include "obs/metrics.h"
 #include "obs/profile_store.h"
 #include "storage/buffer_pool.h"
@@ -92,6 +93,14 @@ struct DatabaseOptions {
   /// with a typed Corruption (carrying the report summary) when the
   /// database is not structurally clean. See integrity/check.h.
   bool verify_on_open = true;
+  /// Continuous WAL archiving (replication/archive.h). Non-empty: every
+  /// commit batch is appended to the archive at this directory before it
+  /// is acknowledged, and Open() refuses a superblock whose timeline the
+  /// archive has fenced off (typed Fenced — this file is a stale primary
+  /// or a detached PITR clone).
+  std::string archive_dir;
+  /// Archive segment-roll threshold; see WalArchiveOptions.
+  uint64_t archive_segment_bytes = 256 * 1024;
 };
 
 class Database {
@@ -159,6 +168,27 @@ class Database {
   bool durable() const { return wal_ != nullptr; }
   Wal* wal() { return wal_.get(); }
   FilePageStore* file_store() { return file_store_; }
+  /// The attached WAL archive; null unless options.archive_dir was set.
+  WalArchive* archive() { return archive_.get(); }
+
+  /// Read-only guard rail (warm standby): while set, CreateTable, Commit
+  /// and Checkpoint fail typed (NotSupported), the buffer pool refuses
+  /// page allocation, and Close() is a no-op. Queries keep running.
+  void SetReadOnly(bool read_only) {
+    read_only_ = read_only;
+    pool_.SetReadOnly(read_only);
+  }
+  bool read_only() const { return read_only_; }
+
+  /// Re-reads the catalog chain from the (current) pages, rebuilding
+  /// tables_. The standby calls this after applying a redo batch that
+  /// rewrote catalog pages; every Table* handed out before is invalidated.
+  Status ReloadCatalog() { return LoadCatalog(); }
+
+  /// Checkpoints, then copies the quiesced database file into the archive
+  /// as the base image for the current durable LSN — the restore anchor
+  /// for point-in-time recovery. Requires an attached archive.
+  Status ArchiveBaseImage();
   CrashController* crash() { return options_.crash; }
   /// Allocated-page watermark of the underlying store (both modes).
   size_t page_count() const { return store_->page_count(); }
@@ -221,7 +251,11 @@ class Database {
   DatabaseOptions options_;
   std::unique_ptr<PageStore> store_;  // outlives pool_ (declared first)
   FilePageStore* file_store_ = nullptr;  // store_ downcast; null in-memory
+  // Before wal_: the log holds a raw sink pointer into the archive, so the
+  // log must die first.
+  std::unique_ptr<WalArchive> archive_;
   std::unique_ptr<Wal> wal_;             // null for in-memory databases
+  bool read_only_ = false;
   CostMeter meter_;
   MetricsRegistry metrics_;   // before pool_: attached in the ctor body
   FeedbackStore feedback_;

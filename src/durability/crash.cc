@@ -20,6 +20,12 @@ std::string_view CrashPointName(CrashPoint p) {
       return "checkpoint_before_superblock";
     case CrashPoint::kCheckpointAfterSuperblock:
       return "checkpoint_after_superblock";
+    case CrashPoint::kArchiveAppend:
+      return "archive_append";
+    case CrashPoint::kStandbyApplySegment:
+      return "standby_apply_segment";
+    case CrashPoint::kPromoteBeforeSuperblock:
+      return "promote_before_superblock";
   }
   return "unknown";
 }

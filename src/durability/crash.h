@@ -34,8 +34,21 @@ enum class CrashPoint : uint8_t {
   kStoreSync,                // during the data-file fsync
   kCheckpointBeforeSuperblock,  // data durable, superblock not yet bumped
   kCheckpointAfterSuperblock,   // superblock bumped, WAL not yet reset
+  // Replication points. kArchiveAppend fires on the primary between the
+  // WAL fsync and the archive append, so the batch is locally durable but
+  // never shipped — the commit is unacknowledged and must not survive a
+  // failover. The standby points fire on the warm standby's own store:
+  // mid segment apply (pages written, replay LSN not yet persisted) and
+  // mid promote (timeline fenced, superblock not yet rewritten).
+  kArchiveAppend,
+  kStandbyApplySegment,
+  kPromoteBeforeSuperblock,
 };
 
+/// The local crash-recovery matrix (reopen the same file, redo from the
+/// WAL). The replication points are exercised by their own matrices —
+/// kFailoverCrashPoints in workload/failover_scenario.h and the standby
+/// points directly — because they never fire in an unreplicated run.
 inline constexpr CrashPoint kAllCrashPoints[] = {
     CrashPoint::kWalBeforeWrite,
     CrashPoint::kWalTornWrite,

@@ -15,7 +15,7 @@ namespace {
 
 constexpr uint32_t kFrameMagic = 0x47505944u;  // 'DYPG'
 constexpr uint32_t kSuperMagic = 0x42535944u;  // 'DYSB'
-constexpr uint32_t kSuperVersion = 1;
+constexpr uint32_t kSuperVersion = 2;
 constexpr size_t kSuperSlotSize = 4096;
 constexpr size_t kFrameHeaderSize = 16;
 constexpr size_t kFrameSize = kFrameHeaderSize + kPageSize;
@@ -58,25 +58,39 @@ Result<size_t> FullPread(int fd, void* data, size_t n, uint64_t offset) {
   return got;
 }
 
-// Superblock slot layout:
+// Superblock slot layout (v2):
 //   [0..4)   u32 magic 'DYSB'
 //   [4..8)   u32 version
 //   [8..16)  u64 seq
 //   [16..24) u64 page_count
-//   [24..32) u64 checksum over [0..24)
+//   [24..32) u64 timeline        (v2; v1 slots stop at the checksum here)
+//   [32..40) u64 replay_lsn      (v2)
+//   [40..48) u64 checksum over [0..40)   (v1: [24..32) over [0..24))
 void EncodeSuperblock(const Superblock& sb, uint8_t* slot) {
   std::memset(slot, 0, kSuperSlotSize);
   PageWrite<uint32_t>(slot, 0, kSuperMagic);
   PageWrite<uint32_t>(slot, 4, kSuperVersion);
   PageWrite<uint64_t>(slot, 8, sb.seq);
   PageWrite<uint64_t>(slot, 16, sb.page_count);
-  PageWrite<uint64_t>(slot, 24, Fnv1a64(slot, 24));
+  PageWrite<uint64_t>(slot, 24, sb.timeline);
+  PageWrite<uint64_t>(slot, 32, sb.replay_lsn);
+  PageWrite<uint64_t>(slot, 40, Fnv1a64(slot, 40));
 }
 
 bool DecodeSuperblock(const uint8_t* slot, Superblock* out) {
   if (PageRead<uint32_t>(slot, 0) != kSuperMagic) return false;
-  if (PageRead<uint32_t>(slot, 4) != kSuperVersion) return false;
-  if (PageRead<uint64_t>(slot, 24) != Fnv1a64(slot, 24)) return false;
+  uint32_t version = PageRead<uint32_t>(slot, 4);
+  if (version < 1 || version > kSuperVersion) return false;
+  if (version == 1) {
+    // Pre-replication slot: no timeline/replay fields; first timeline.
+    if (PageRead<uint64_t>(slot, 24) != Fnv1a64(slot, 24)) return false;
+    out->timeline = 1;
+    out->replay_lsn = 0;
+  } else {
+    if (PageRead<uint64_t>(slot, 40) != Fnv1a64(slot, 40)) return false;
+    out->timeline = PageRead<uint64_t>(slot, 24);
+    out->replay_lsn = PageRead<uint64_t>(slot, 32);
+  }
   out->seq = PageRead<uint64_t>(slot, 8);
   out->page_count = PageRead<uint64_t>(slot, 16);
   return true;
@@ -235,6 +249,8 @@ Status FilePageStore::WriteSuperblock() {
   Superblock next;
   next.seq = super_.seq + 1;
   next.page_count = page_count_.load(std::memory_order_acquire);
+  next.timeline = super_.timeline;
+  next.replay_lsn = super_.replay_lsn;
   uint8_t slot[kSuperSlotSize];
   EncodeSuperblock(next, slot);
   uint64_t offset = (next.seq & 1) != 0 ? 0 : kSuperSlotSize;
@@ -250,6 +266,13 @@ Status FilePageStore::WriteSuperblock() {
 Superblock FilePageStore::superblock() const {
   std::lock_guard<std::mutex> lock(super_mu_);
   return super_;
+}
+
+void FilePageStore::SetReplicationState(uint64_t timeline,
+                                        uint64_t replay_lsn) {
+  std::lock_guard<std::mutex> lock(super_mu_);
+  super_.timeline = timeline;
+  super_.replay_lsn = replay_lsn;
 }
 
 }  // namespace dynopt

@@ -48,6 +48,15 @@ namespace dynopt {
 struct Superblock {
   uint64_t seq = 0;         // checkpoint sequence; 0 = never checkpointed
   uint64_t page_count = 0;  // allocated pages as of that checkpoint
+  // Replication fields (superblock v2; v1 slots decode with the defaults).
+  /// Which life of the archived history this file belongs to. Promote()
+  /// bumps it in lockstep with the archive manifest, which is how a stale
+  /// primary is fenced: its superblock timeline no longer matches.
+  uint64_t timeline = 1;
+  /// Warm standby only: the highest archived commit LSN whose images are
+  /// durably applied to this file. 0 on a primary. Standby restart resumes
+  /// apply from here; re-applying past it is idempotent (redo images).
+  uint64_t replay_lsn = 0;
 };
 
 class FilePageStore : public PageStore {
@@ -83,6 +92,11 @@ class FilePageStore : public PageStore {
 
   /// The superblock as loaded at Open / last successfully written.
   Superblock superblock() const;
+
+  /// Sets the replication fields carried by the *next* WriteSuperblock()
+  /// (and every one after, until changed). The standby stamps replay_lsn
+  /// per apply batch; Promote() stamps the new timeline.
+  void SetReplicationState(uint64_t timeline, uint64_t replay_lsn);
 
   const std::string& path() const { return path_; }
 

@@ -6,7 +6,8 @@
 namespace dynopt {
 
 Status RecoverFromWal(FilePageStore* store, Wal* wal, RecoveryStats* stats,
-                      MetricsRegistry* metrics) {
+                      MetricsRegistry* metrics,
+                      const RecoveryOptions& options) {
   RecoveryStats local;
   RecoveryStats* s = stats != nullptr ? stats : &local;
   *s = RecoveryStats();
@@ -17,10 +18,27 @@ Status RecoverFromWal(FilePageStore* store, Wal* wal, RecoveryStats* stats,
   std::unordered_map<PageId, PageData> staged;
   std::unordered_map<PageId, PageData> apply;
   size_t needed_pages = 0;
+  uint64_t first_record_lsn = 0;
+  uint64_t last_commit_lsn = 0;
+
+  // Catch-up archiving: records past the archive's durable end, collected
+  // per in-flight transaction and kept only once their commit lands — an
+  // uncommitted tail is discarded locally, so it must never be shipped.
+  const uint64_t archived = options.archived_durable_lsn;
+  std::string catch_up;
+  std::string catch_up_pending;
+  uint64_t catch_up_records = 0;
+  uint64_t catch_up_pending_records = 0;
 
   WalReplayStats replay_stats;
   Status st = wal->Replay(
       [&](const WalRecordView& rec) -> Status {
+        if (first_record_lsn == 0) first_record_lsn = rec.lsn;
+        if (options.archive_sink != nullptr && rec.lsn > archived) {
+          WalAppendRecord(&catch_up_pending, rec.type, rec.lsn, rec.page,
+                          rec.payload);
+          ++catch_up_pending_records;
+        }
         switch (rec.type) {
           case WalRecordType::kPageImage: {
             if (rec.payload.size() != kPageSize) {
@@ -41,6 +59,11 @@ Status RecoverFromWal(FilePageStore* store, Wal* wal, RecoveryStats* stats,
                   reinterpret_cast<const uint8_t*>(rec.payload.data()), 0);
               needed_pages = std::max<size_t>(needed_pages, count);
             }
+            last_commit_lsn = rec.lsn;
+            catch_up.append(catch_up_pending);
+            catch_up_records += catch_up_pending_records;
+            catch_up_pending.clear();
+            catch_up_pending_records = 0;
             ++s->wal_commits;
             break;
           }
@@ -57,6 +80,15 @@ Status RecoverFromWal(FilePageStore* store, Wal* wal, RecoveryStats* stats,
   // replay runs; either sighting counts.
   s->torn_tail = replay_stats.torn_tail || wal->tail_was_torn();
 
+  // Ship the WAL-durable-but-unarchived committed suffix before the log
+  // resets; otherwise those commits would survive locally but vanish from
+  // the archive's history for good.
+  if (options.archive_sink != nullptr && !catch_up.empty()) {
+    DYNOPT_RETURN_IF_ERROR(options.archive_sink->AppendDurableBatch(
+        catch_up, archived + 1, last_commit_lsn));
+    s->records_rearchived = catch_up_records;
+  }
+
   store->EnsureAllocated(needed_pages);
   for (const auto& [page, img] : apply) {
     DYNOPT_RETURN_IF_ERROR(store->Write(page, img));
@@ -64,12 +96,22 @@ Status RecoverFromWal(FilePageStore* store, Wal* wal, RecoveryStats* stats,
   }
   DYNOPT_RETURN_IF_ERROR(store->Sync());
   DYNOPT_RETURN_IF_ERROR(store->WriteSuperblock());
-  DYNOPT_RETURN_IF_ERROR(wal->Reset());
+  // Restart the LSN sequence right after the last commit: LSNs consumed by
+  // a discarded (uncommitted) tail are reused by the next transaction, so
+  // the archive's dense sequence continues without a hole.
+  uint64_t restart_lsn = last_commit_lsn > 0
+                             ? last_commit_lsn + 1
+                             : (first_record_lsn > 0 ? first_record_lsn : 0);
+  DYNOPT_RETURN_IF_ERROR(wal->Reset(restart_lsn));
 
   if (metrics != nullptr) {
     Bump(metrics->counter("durability.recoveries"));
     Bump(metrics->counter("durability.recovered_commits"), s->wal_commits);
     Bump(metrics->counter("durability.recovered_pages"), s->pages_applied);
+    if (s->records_rearchived > 0) {
+      Bump(metrics->counter("replication.records_rearchived"),
+           s->records_rearchived);
+    }
   }
   return Status::OK();
 }

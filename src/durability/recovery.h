@@ -35,6 +35,27 @@ struct RecoveryStats {
   uint64_t wal_bytes = 0;    // valid WAL bytes scanned
   uint64_t pages_applied = 0;  // distinct pages rewritten from images
   bool torn_tail = false;      // the log ended in a torn/incomplete record
+  /// Committed records that were WAL-durable but missing from the archive
+  /// (crash between the WAL fsync and the archive append) and were
+  /// re-appended during recovery — see RecoveryOptions::archive_sink.
+  uint64_t records_rearchived = 0;
+};
+
+/// Archive coupling for archived databases (both fields default to "no
+/// archive attached").
+struct RecoveryOptions {
+  /// Highest LSN the archive holds durably (sealed segments + the valid
+  /// tail of the unsealed current segment). A WAL end-of-log tear is only
+  /// benign when it lies strictly beyond this; a mismatch at or below the
+  /// archive's *sealed* floor is refused earlier, by Wal::Open (see
+  /// WalOptions::sealed_floor_lsn).
+  uint64_t archived_durable_lsn = 0;
+  /// When set, the committed suffix the WAL holds beyond
+  /// archived_durable_lsn is re-appended here before the log resets. A
+  /// crash can land between the WAL fsync and the archive append, leaving
+  /// a commit locally durable but unshipped; without this catch-up the
+  /// archive would diverge from the primary forever.
+  WalSink* archive_sink = nullptr;
 };
 
 /// Replays `wal` into `store` (see file comment), then checkpoints:
@@ -42,7 +63,8 @@ struct RecoveryStats {
 /// bumps durability.recoveries / durability.recovered_commits /
 /// durability.recovered_pages.
 Status RecoverFromWal(FilePageStore* store, Wal* wal, RecoveryStats* stats,
-                      MetricsRegistry* metrics = nullptr);
+                      MetricsRegistry* metrics = nullptr,
+                      const RecoveryOptions& options = RecoveryOptions());
 
 }  // namespace dynopt
 

@@ -38,21 +38,6 @@ uint64_t GetU64(const uint8_t* p) {
   return v;
 }
 
-/// Serializes one record (header + payload) onto `out`.
-void AppendRecord(std::string* out, WalRecordType type, uint64_t lsn,
-                  PageId page, std::string_view payload) {
-  size_t header_at = out->size();
-  PutU32(out, kRecordMagic);
-  PutU32(out, static_cast<uint32_t>(type));
-  PutU64(out, lsn);
-  PutU32(out, page);
-  PutU32(out, static_cast<uint32_t>(payload.size()));
-  uint64_t sum = Fnv1a64(out->data() + header_at, 24);
-  sum = Fnv1a64(payload.data(), payload.size(), sum);
-  PutU64(out, sum);
-  out->append(payload.data(), payload.size());
-}
-
 Status FullPwrite(int fd, const char* data, size_t n, uint64_t offset) {
   while (n > 0) {
     ssize_t w = ::pwrite(fd, data, n, static_cast<off_t>(offset));
@@ -70,6 +55,64 @@ Status FullPwrite(int fd, const char* data, size_t n, uint64_t offset) {
 
 }  // namespace
 
+void WalAppendRecord(std::string* out, WalRecordType type, uint64_t lsn,
+                     PageId page, std::string_view payload) {
+  size_t header_at = out->size();
+  PutU32(out, kRecordMagic);
+  PutU32(out, static_cast<uint32_t>(type));
+  PutU64(out, lsn);
+  PutU32(out, page);
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  uint64_t sum = Fnv1a64(out->data() + header_at, 24);
+  sum = Fnv1a64(payload.data(), payload.size(), sum);
+  PutU64(out, sum);
+  out->append(payload.data(), payload.size());
+}
+
+Status WalScanRecords(std::string_view bytes, uint64_t expected_first_lsn,
+                      const std::function<Status(const WalRecordView&)>& fn,
+                      size_t* valid_bytes, bool* torn) {
+  size_t offset = 0;
+  uint64_t expected_lsn = expected_first_lsn;
+  bool tail_torn = false;
+  for (;;) {
+    if (bytes.size() - offset < kRecordHeaderSize) {
+      tail_torn = bytes.size() > offset;
+      break;
+    }
+    const auto* rec = reinterpret_cast<const uint8_t*>(bytes.data()) + offset;
+    uint32_t payload_len = GetU32(rec + 20);
+    uint64_t lsn = GetU64(rec + 8);
+    if (GetU32(rec) != kRecordMagic || lsn != expected_lsn ||
+        payload_len > (kPageSize + 64) ||
+        bytes.size() - offset - kRecordHeaderSize < payload_len) {
+      tail_torn = true;
+      break;
+    }
+    std::string_view payload = bytes.substr(offset + kRecordHeaderSize,
+                                            payload_len);
+    uint64_t sum = Fnv1a64(rec, 24);
+    sum = Fnv1a64(payload.data(), payload.size(), sum);
+    if (sum != GetU64(rec + 24)) {
+      tail_torn = true;
+      break;
+    }
+    if (fn != nullptr) {
+      WalRecordView view;
+      view.type = static_cast<WalRecordType>(GetU32(rec + 4));
+      view.lsn = lsn;
+      view.page = GetU32(rec + 16);
+      view.payload = payload;
+      DYNOPT_RETURN_IF_ERROR(fn(view));
+    }
+    offset += kRecordHeaderSize + payload_len;
+    expected_lsn++;
+  }
+  if (valid_bytes != nullptr) *valid_bytes = offset;
+  if (torn != nullptr) *torn = tail_torn;
+  return Status::OK();
+}
+
 Result<std::unique_ptr<Wal>> Wal::Open(std::string path, WalOptions options,
                                        CrashController* crash) {
   int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
@@ -82,10 +125,12 @@ Result<std::unique_ptr<Wal>> Wal::Open(std::string path, WalOptions options,
   off_t end = ::lseek(fd, 0, SEEK_END);
   if (end < 0) return Status::IOError("wal lseek failed");
   if (end == 0) {
-    DYNOPT_RETURN_IF_ERROR(wal->WriteHeader(/*start_lsn=*/1));
+    uint64_t first = options.initial_start_lsn > 0 ? options.initial_start_lsn
+                                                   : 1;
+    DYNOPT_RETURN_IF_ERROR(wal->WriteHeader(first));
     if (::fsync(fd) != 0) return Status::IOError("wal header fsync failed");
-    wal->next_lsn_ = 1;
-    wal->durable_lsn_ = 0;
+    wal->next_lsn_ = first;
+    wal->durable_lsn_ = first - 1;
     wal->size_ = kHeaderSize;
     return wal;
   }
@@ -113,6 +158,20 @@ Result<std::unique_ptr<Wal>> Wal::Open(std::string path, WalOptions options,
   wal->durable_lsn_ = wal->next_lsn_ - 1;
   wal->size_ = kHeaderSize + stats.bytes;
   wal->tail_was_torn_ = stats.torn_tail;
+  // A torn tail is normally the benign signature of a crash mid-append.
+  // But when the tear sits at or below the archive's sealed floor, these
+  // are checksum-failing bytes inside history the manifest says is sealed
+  // — media damage. Truncating would silently shorten archived history,
+  // so fail typed instead; the archive still holds the authoritative copy.
+  if (stats.torn_tail && wal->next_lsn_ <= options.sealed_floor_lsn) {
+    return Status::Corruption(
+        "wal torn at lsn " + std::to_string(wal->next_lsn_) +
+        " but the archive manifest seals through lsn " +
+        std::to_string(options.sealed_floor_lsn) +
+        "; refusing to truncate sealed history (gap [" +
+        std::to_string(wal->next_lsn_) + ", " +
+        std::to_string(options.sealed_floor_lsn) + "])");
+  }
   // Discard a torn tail for good: later appends land at size_, and a
   // leftover sliver of the dead run's garbage must not outlive them.
   if (stats.torn_tail && static_cast<uint64_t>(end) > wal->size_) {
@@ -127,6 +186,11 @@ Result<std::unique_ptr<Wal>> Wal::Open(std::string path, WalOptions options,
 
 Wal::~Wal() {
   if (fd_ >= 0) ::close(fd_);
+}
+
+void Wal::AttachSink(WalSink* sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = sink;
 }
 
 void Wal::AttachMetrics(MetricsRegistry* registry) {
@@ -189,13 +253,13 @@ Status Wal::Commit(
   // Serialize this transaction's records into the shared pending buffer
   // under the lock (LSNs are assigned here, densely).
   for (const auto& [id, data] : pages) {
-    AppendRecord(&pending_, WalRecordType::kPageImage, next_lsn_++, id,
+    WalAppendRecord(&pending_, WalRecordType::kPageImage, next_lsn_++, id,
                  std::string_view(reinterpret_cast<const char*>(data->data()),
                                   data->size()));
     Bump(m_records_);
   }
   uint64_t my_lsn = next_lsn_++;
-  AppendRecord(&pending_, WalRecordType::kCommit, my_lsn, kInvalidPageId,
+  WalAppendRecord(&pending_, WalRecordType::kCommit, my_lsn, kInvalidPageId,
                payload);
   Bump(m_records_);
   Bump(m_commits_);
@@ -207,11 +271,19 @@ Status Wal::Commit(
     batch.swap(pending_);
     pending_commits_ = 0;
     uint64_t offset = size_;
+    uint64_t first_lsn = durable_lsn_ + 1;
     Status st = WriteAndSync(batch, offset);
+    if (st.ok() && sink_ != nullptr) {
+      st = sink_->AppendDurableBatch(batch, first_lsn, my_lsn);
+    }
     if (st.ok()) {
       size_ = offset + batch.size();
       durable_lsn_ = my_lsn;
       Observe(m_group_size_, 1);
+    } else {
+      // Locally durable but unarchived (or not even written): either way
+      // the commit was never acknowledged, so poison like a failed flush.
+      last_error_ = st;
     }
     return st;
   }
@@ -232,9 +304,17 @@ Status Wal::Commit(
   pending_commits_ = 0;
   uint64_t batch_last_lsn = next_lsn_ - 1;
   uint64_t offset = size_;
+  uint64_t batch_first_lsn = durable_lsn_ + 1;
+  WalSink* sink = sink_;
   lk.unlock();
 
   Status st = WriteAndSync(batch, offset);
+  // Semi-synchronous shipping: the batch must reach the archive before any
+  // committer in it is acknowledged, so an acked commit can never be lost
+  // to a failover (and an unacked one never shipped ahead of its ack).
+  if (st.ok() && sink != nullptr) {
+    st = sink->AppendDurableBatch(batch, batch_first_lsn, batch_last_lsn);
+  }
 
   lk.lock();
   flush_in_progress_ = false;
@@ -315,7 +395,7 @@ Status Wal::Replay(const std::function<Status(const WalRecordView&)>& fn,
   return Status::OK();
 }
 
-Status Wal::Reset() {
+Status Wal::Reset(uint64_t restart_lsn) {
   std::lock_guard<std::mutex> lock(mu_);
   if (crash_ != nullptr && crash_->crashed()) {
     return Status::IOError("simulated crash: wal is offline");
@@ -323,6 +403,7 @@ Status Wal::Reset() {
   if (::ftruncate(fd_, 0) != 0) {
     return Status::IOError("wal ftruncate failed");
   }
+  if (restart_lsn != 0) next_lsn_ = restart_lsn;
   DYNOPT_RETURN_IF_ERROR(WriteHeader(next_lsn_));
   if (::fsync(fd_) != 0) return Status::IOError("wal fsync failed");
   pending_.clear();

@@ -58,6 +58,17 @@ struct WalOptions {
   /// simulated latency, this models the rotational/flash flush cost that a
   /// fast test filesystem hides, so group-commit batching is measurable.
   uint32_t simulated_fsync_micros = 0;
+  /// First LSN of a freshly created (empty) log file. A promoted standby
+  /// seeds this with applied_lsn + 1 so the new timeline's records continue
+  /// the archive's dense LSN sequence. Ignored for existing files.
+  uint64_t initial_start_lsn = 1;
+  /// Highest LSN the archive holds in *sealed* (manifest-listed) segments.
+  /// Open() normally truncates a torn tail and moves on; but a tear at or
+  /// below this floor means checksum-failing bytes inside history the
+  /// manifest says is sealed — media damage, not a crash mid-append — so
+  /// Open() refuses with a typed Corruption naming the LSN gap instead of
+  /// silently truncating archived history. 0 = no archive, always truncate.
+  uint64_t sealed_floor_lsn = 0;
 };
 
 enum class WalRecordType : uint32_t {
@@ -80,6 +91,35 @@ struct WalReplayStats {
   uint64_t commits = 0;
   uint64_t bytes = 0;      // bytes of valid records scanned
   bool torn_tail = false;  // trailing bytes failed validation (discarded)
+};
+
+/// Serializes one record (32-byte header + payload) in the on-disk format
+/// onto `out`. Shared by the WAL's commit path and the archive's recovery
+/// catch-up, so re-archived records are byte-identical to the originals.
+void WalAppendRecord(std::string* out, WalRecordType type, uint64_t lsn,
+                     PageId page, std::string_view payload);
+
+/// Scans back-to-back serialized records from a buffer, validating magic,
+/// checksum, and the dense LSN sequence from `expected_first_lsn`. Stops
+/// cleanly at the first invalid byte: `*valid_bytes` is the length of the
+/// valid prefix and `*torn` whether invalid bytes followed it. `fn` (may
+/// be null) sees each valid record; a non-OK status from it aborts the
+/// scan and is returned. This is the archive-segment reader: standby
+/// apply and point-in-time restore both parse segments through it.
+Status WalScanRecords(std::string_view bytes, uint64_t expected_first_lsn,
+                      const std::function<Status(const WalRecordView&)>& fn,
+                      size_t* valid_bytes, bool* torn);
+
+/// A durable-batch observer wired into the commit path. After a batch of
+/// records [first_lsn, last_lsn] survives the WAL fsync, the sink gets the
+/// exact batch bytes *before* any committer is acknowledged; a sink error
+/// poisons the log like a failed flush (no ack over an unarchived commit).
+/// The WAL archive (replication/archive.h) is the one implementation.
+class WalSink {
+ public:
+  virtual ~WalSink() = default;
+  virtual Status AppendDurableBatch(std::string_view bytes,
+                                    uint64_t first_lsn, uint64_t last_lsn) = 0;
 };
 
 class Wal {
@@ -121,8 +161,11 @@ class Wal {
   Result<bool> LatestCommittedImage(PageId page, PageData* out) const;
 
   /// Empties the log (post-checkpoint): truncates to a fresh header whose
-  /// start_lsn continues the sequence, and fsyncs.
-  Status Reset();
+  /// start_lsn continues the sequence, and fsyncs. A nonzero `restart_lsn`
+  /// restarts the sequence there instead — recovery passes its last
+  /// committed LSN + 1 so LSNs consumed by a discarded (uncommitted) tail
+  /// are reused rather than skipped, keeping the archive's sequence dense.
+  Status Reset(uint64_t restart_lsn = 0);
 
   uint64_t next_lsn() const;
   uint64_t durable_lsn() const;
@@ -136,6 +179,12 @@ class Wal {
   /// Binds wal.* counters and the group-size histogram. Call before
   /// commit traffic; null detaches.
   void AttachMetrics(MetricsRegistry* registry);
+
+  /// Attaches the durable-batch sink (the WAL archive; not owned; null
+  /// detaches). Call before commit traffic. Once attached, a commit is
+  /// acknowledged only after its batch reaches both the log file and the
+  /// sink; a sink failure poisons the log exactly like a failed flush.
+  void AttachSink(WalSink* sink);
 
  private:
   Wal(std::string path, int fd, const WalOptions& options,
@@ -152,6 +201,7 @@ class Wal {
   int fd_ = -1;
   WalOptions options_;
   CrashController* crash_ = nullptr;
+  WalSink* sink_ = nullptr;  // archive; appended after fsync, before ack
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -29,6 +29,8 @@ void WriteTelemetry(JsonWriter* w,
     w->KV("shed", s.shed);
     w->KV("queue_depth", s.queue_depth);
     w->KV("brownout_level", s.brownout_level);
+    w->KV("applied_lsn", s.applied_lsn);
+    w->KV("lag_bytes", s.lag_bytes);
     w->EndObject();
   }
   w->EndArray();
@@ -69,11 +71,13 @@ std::string RenderWorkloadTop(const std::vector<TelemetrySnapshot>& series,
                     std::to_string(s.pages_repaired),
                     std::to_string(s.shed),
                     std::to_string(s.queue_depth),
-                    std::to_string(s.brownout_level)});
+                    std::to_string(s.brownout_level),
+                    std::to_string(s.applied_lsn),
+                    std::to_string(s.lag_bytes)});
   }
   out << FormatTable({"t(s)", "sess", "queries", "qps", "p50us", "p99us",
                       "hit", "trips", "iofail", "scrub", "repair", "shed",
-                      "queue", "brown"},
+                      "queue", "brown", "lsn", "lag"},
                      rows);
   return out.str();
 }

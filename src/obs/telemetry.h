@@ -40,6 +40,9 @@ struct TelemetrySnapshot {
   uint64_t shed = 0;               // admission.shed delta
   uint64_t queue_depth = 0;        // admission.queue_depth gauge
   uint64_t brownout_level = 0;     // admission.brownout_level gauge
+  // Replication fields (zero when no standby is attached).
+  uint64_t applied_lsn = 0;        // replication.applied_lsn gauge
+  uint64_t lag_bytes = 0;          // replication.lag_bytes gauge
 };
 
 /// Renders the series as a JSON array into an in-progress writer.

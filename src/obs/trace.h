@@ -49,6 +49,9 @@ enum class TraceEventKind : uint8_t {
   kAdmissionQueued,    // subject = "wait"; a = queue depth after enqueue
   kQueryShed,          // subject = shed reason; a = queue depth at shed
   kBrownoutStep,       // subject = "down"/"up"; a = new level, b = pressure
+  kSegmentSealed,      // subject = segment label; a = end lsn, b = bytes
+  kSegmentApplied,     // subject = segment label; a = applied lsn, b = commits
+  kStandbyPromoted,    // subject = "promote"; a = new timeline, b = applied lsn
 };
 
 std::string_view TraceEventKindName(TraceEventKind kind);
@@ -109,7 +112,7 @@ class TraceLog {
   size_t capacity_ = kDefaultCapacity;
   uint64_t dropped_ = 0;
   Counter* dropped_counter_ = nullptr;
-  std::array<uint64_t, 16> emitted_{};  // lifetime tallies, indexed by kind
+  std::array<uint64_t, 32> emitted_{};  // lifetime tallies, indexed by kind
 };
 
 /// Renders the log as a JSON array into an in-progress writer (for

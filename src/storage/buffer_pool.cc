@@ -252,6 +252,11 @@ Result<PageGuard> BufferPool::Pin(PageId id) {
 }
 
 Result<PageGuard> BufferPool::NewPage() {
+  if (read_only_) {
+    return Status::NotSupported(
+        "buffer pool is read-only (warm standby): page allocation would "
+        "desynchronize the store watermark from applied redo");
+  }
   PageId id = store_->Allocate();
   uint32_t si = static_cast<uint32_t>(ShardOf(id));
   Shard& s = *shards_[si];

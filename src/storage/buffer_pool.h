@@ -148,8 +148,17 @@ class BufferPool {
   /// error (if any) carries the page id and attempt count.
   Result<PageGuard> Pin(PageId id);
 
-  /// Allocates a fresh zeroed page in the store and pins it dirty.
+  /// Allocates a fresh zeroed page in the store and pins it dirty. Fails
+  /// typed (NotSupported) on a read-only pool — see SetReadOnly().
   Result<PageGuard> NewPage();
+
+  /// Read-only guard rail for warm standbys: while set, NewPage() fails
+  /// typed instead of allocating. A standby's store watermark must move
+  /// only through applied redo; a query spilling temp pages there would
+  /// silently desynchronize the page count from the primary's commits.
+  /// Pin() stays available — reads (and read-path repair) are the point.
+  void SetReadOnly(bool read_only) { read_only_ = read_only; }
+  bool read_only() const { return read_only_; }
 
   /// Drops page `id` from the cache without write-back and returns it to
   /// the store's free list (no-op on stores without reclamation). The page
@@ -300,6 +309,7 @@ class BufferPool {
   size_t capacity_;
   uint32_t shard_shift_;  // ShardOf = hash(id) >> shard_shift_ (64 = 1 shard)
   bool wal_ordering_ = false;
+  bool read_only_ = false;  // see SetReadOnly()
   // MarkDirty stamps frames with mutation_epoch_; SnapshotDirtyPages bumps
   // it; MarkCommittedUpTo advances flushable_epoch_ toward it.
   std::atomic<uint64_t> mutation_epoch_{1};

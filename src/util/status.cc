@@ -28,6 +28,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "BudgetExceeded";
     case StatusCode::kOverloaded:
       return "Overloaded";
+    case StatusCode::kFenced:
+      return "Fenced";
   }
   return "Unknown";
 }

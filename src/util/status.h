@@ -36,6 +36,12 @@ enum class StatusCode : uint8_t {
   /// Not a governance trip — the query never ran — and not an engine
   /// failure: the canonical client reaction is to back off and retry.
   kOverloaded = 11,
+  /// A replication timeline fence rejected the operation: a promoted
+  /// standby bumped the archive's timeline, and a stale primary (or a
+  /// stale archive handle) tried to keep writing history under the old
+  /// one. The write never happened; the correct reaction is to stop
+  /// acting as primary. See replication/archive.h.
+  kFenced = 12,
 };
 
 /// Returns a stable human-readable name for a status code ("Ok", "NotFound"...).
@@ -84,6 +90,9 @@ class Status {
   static Status Overloaded(std::string msg = "") {
     return Status(StatusCode::kOverloaded, std::move(msg));
   }
+  static Status Fenced(std::string msg = "") {
+    return Status(StatusCode::kFenced, std::move(msg));
+  }
 
   /// Rebuilds a status with an arbitrary code. Exists for decorators that
   /// need to preserve a wrapped error's code while rewriting its message
@@ -112,6 +121,7 @@ class Status {
     return code_ == StatusCode::kBudgetExceeded;
   }
   bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
+  bool IsFenced() const { return code_ == StatusCode::kFenced; }
 
   /// True for the three codes that stop a query on purpose (cancellation,
   /// deadline, budget) rather than reporting an engine failure.

@@ -76,6 +76,11 @@ Result<uint64_t> WorkloadResultHash(Database* db, Table* table,
                                     size_t queries_per_session,
                                     uint64_t seed);
 
+/// The second commit's rows (ids start_row .. start_row + extra). Values
+/// are arbitrary but reproducible — golden and crashed runs (and the
+/// failover scenario's) must insert byte-identical records.
+Status InsertScenarioRows(Table* table, int64_t start_row, int64_t extra);
+
 /// Runs the full scenario for `point`. Fails (non-OK) when the point never
 /// fired, recovery failed, or the recovered hash matches neither state.
 Result<CrashScenarioResult> RunCrashRestartScenario(

@@ -379,6 +379,8 @@ Result<SessionWorkloadReport> RunSessionWorkload(
       s.shed = delta(&prev.shed, metrics->Value("admission.shed"));
       s.queue_depth = metrics->Value("admission.queue_depth");
       s.brownout_level = metrics->Value("admission.brownout_level");
+      s.applied_lsn = metrics->Value("replication.applied_lsn");
+      s.lag_bytes = metrics->Value("replication.lag_bytes");
     }
     report.telemetry.push_back(s);
   };

@@ -1,0 +1,210 @@
+#include "workload/failover_scenario.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <memory>
+#include <utility>
+
+#include "replication/standby.h"
+#include "workload/workload.h"
+
+namespace dynopt {
+namespace {
+
+struct BuiltDb {
+  std::unique_ptr<Database> db;
+  Table* table = nullptr;
+};
+
+/// Fresh file-backed FAMILIES database through its first (PRE) commit,
+/// optionally archiving into `archive_dir`.
+Result<BuiltDb> Build(const FailoverScenarioOptions& options,
+                      const std::string& path, CrashController* crash,
+                      const std::string& archive_dir) {
+  DatabaseOptions dbo;
+  dbo.pool_pages = options.pool_pages;
+  dbo.path = path;
+  dbo.crash = crash;
+  dbo.archive_dir = archive_dir;
+  dbo.archive_segment_bytes = options.archive_segment_bytes;
+  DYNOPT_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                          Database::Create(std::move(dbo)));
+  DYNOPT_ASSIGN_OR_RETURN(Table * table,
+                          BuildFamilies(db.get(), options.rows, options.seed));
+  DYNOPT_RETURN_IF_ERROR(table->CreateIndex("by_id", {"id"}).status());
+  DYNOPT_RETURN_IF_ERROR(table->CreateIndex("by_age", {"age"}).status());
+  DYNOPT_RETURN_IF_ERROR(db->Commit());
+  return BuiltDb{std::move(db), table};
+}
+
+}  // namespace
+
+CrashOutcome ExpectedFailoverOutcome(CrashPoint point) {
+  switch (point) {
+    case CrashPoint::kWalBeforeWrite:
+    case CrashPoint::kWalTornWrite:
+    case CrashPoint::kWalBeforeSync:
+    case CrashPoint::kWalAfterSync:
+    case CrashPoint::kArchiveAppend:
+      // Acknowledgement requires the archive append to complete; none of
+      // these points let it, so the commit must not survive failover —
+      // even where local recovery (kWalAfterSync) would have replayed it.
+      return CrashOutcome::kPreState;
+    case CrashPoint::kStorePageWrite:
+    case CrashPoint::kStoreSync:
+    case CrashPoint::kCheckpointBeforeSuperblock:
+    case CrashPoint::kCheckpointAfterSuperblock:
+      // The commit was archived and acknowledged before the checkpoint
+      // began; losing it would break the ack contract.
+      return CrashOutcome::kPostState;
+    case CrashPoint::kStandbyApplySegment:
+    case CrashPoint::kPromoteBeforeSuperblock:
+      // Standby-side points never arm inside a primary commit.
+      return CrashOutcome::kPostState;
+  }
+  return CrashOutcome::kPostState;
+}
+
+Result<FailoverScenarioResult> RunFailoverScenario(
+    CrashPoint point, const FailoverScenarioOptions& options) {
+  if (options.path.empty()) {
+    return Status::InvalidArgument("failover scenario needs options.path");
+  }
+  FailoverScenarioResult res;
+  res.point = point;
+  const std::string archive_dir = options.path + ".archive";
+  const std::string standby_path = options.path + ".standby";
+
+  // 1. Golden twin (no archive): hash the two committed states.
+  {
+    DYNOPT_ASSIGN_OR_RETURN(
+        BuiltDb g, Build(options, options.path + ".golden", nullptr, ""));
+    DYNOPT_ASSIGN_OR_RETURN(
+        res.pre_hash,
+        WorkloadResultHash(g.db.get(), g.table, options.sessions,
+                           options.queries_per_session, options.seed));
+    DYNOPT_RETURN_IF_ERROR(
+        InsertScenarioRows(g.table, options.rows, options.extra_rows));
+    DYNOPT_RETURN_IF_ERROR(g.db->Commit());
+    DYNOPT_ASSIGN_OR_RETURN(
+        res.post_hash,
+        WorkloadResultHash(g.db.get(), g.table, options.sessions,
+                           options.queries_per_session, options.seed));
+  }
+
+  // 2. Archived primary, identical sequence, point armed across
+  //    commit 2 + checkpoint. The dead file is never reopened: the
+  //    standby knows only what the archive durably holds.
+  CrashController crash;
+  {
+    DYNOPT_ASSIGN_OR_RETURN(BuiltDb p,
+                            Build(options, options.path, &crash, archive_dir));
+    crash.Arm(point);
+    Status st = InsertScenarioRows(p.table, options.rows, options.extra_rows);
+    if (st.ok()) st = p.db->Commit();
+    if (st.ok() && !crash.crashed()) st = p.db->Checkpoint();
+    if (!crash.crashed()) {
+      return Status::Internal("crash point " +
+                              std::string(CrashPointName(point)) +
+                              " never fired (status: " + st.ToString() + ")");
+    }
+    res.crash_fired = true;
+  }
+
+  // 3. Warm standby catches up through the (possibly hostile) transport.
+  ::unlink(standby_path.c_str());
+  ::unlink((standby_path + ".wal").c_str());
+  StandbyOptions so;
+  so.path = standby_path;
+  so.pool_pages = options.pool_pages;
+  DYNOPT_ASSIGN_OR_RETURN(std::unique_ptr<StandbyDatabase> standby,
+                          StandbyDatabase::Open(std::move(so), archive_dir));
+  LogShipperOptions lo;
+  lo.faults = options.faults;
+  LogShipper shipper(archive_dir, standby.get(), lo);
+  DYNOPT_RETURN_IF_ERROR(shipper.PumpUntilCaughtUp().status());
+  res.shipping = shipper.stats();
+
+  // 4. Promote and reopen as the new primary (the RTO clock runs from
+  //    the decision to fail over until the first query stream answers).
+  const auto rto_start = std::chrono::steady_clock::now();
+  DYNOPT_ASSIGN_OR_RETURN(StandbyPromotion promo, standby->Promote());
+  res.new_timeline = promo.new_timeline;
+  res.applied_lsn = promo.applied_lsn;
+  standby.reset();
+
+  DatabaseOptions ndbo;
+  ndbo.pool_pages = options.pool_pages;
+  ndbo.path = standby_path;
+  ndbo.archive_dir = archive_dir;
+  ndbo.archive_segment_bytes = options.archive_segment_bytes;
+  DYNOPT_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                          Database::Open(std::move(ndbo)));
+  DYNOPT_ASSIGN_OR_RETURN(Table * table, db->GetTable("families"));
+  res.promoted_rows = table->record_count();
+  DYNOPT_ASSIGN_OR_RETURN(
+      res.promoted_hash,
+      WorkloadResultHash(db.get(), table, options.sessions,
+                         options.queries_per_session, options.seed));
+  res.failover_micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - rto_start)
+          .count());
+
+  // 5a. The promoted state must be exactly one golden state, and the one
+  //     the acknowledgement semantics predict.
+  const uint64_t pre_rows = static_cast<uint64_t>(options.rows);
+  const uint64_t post_rows =
+      static_cast<uint64_t>(options.rows + options.extra_rows);
+  if (res.promoted_hash == res.pre_hash && res.promoted_rows == pre_rows) {
+    res.outcome = CrashOutcome::kPreState;
+  } else if (res.promoted_hash == res.post_hash &&
+             res.promoted_rows == post_rows) {
+    res.outcome = CrashOutcome::kPostState;
+  } else {
+    return Status::Internal(
+        "promoted state matches neither committed state (point " +
+        std::string(CrashPointName(point)) + ", rows " +
+        std::to_string(res.promoted_rows) + ")");
+  }
+  if (res.outcome != ExpectedFailoverOutcome(point)) {
+    return Status::Internal(
+        "point " + std::string(CrashPointName(point)) + " promoted the " +
+        (res.outcome == CrashOutcome::kPreState ? "PRE" : "POST") +
+        " state but acknowledgement semantics require " +
+        (ExpectedFailoverOutcome(point) == CrashOutcome::kPreState ? "PRE"
+                                                                   : "POST"));
+  }
+
+  // 5b. Continuity: the new timeline accepts fresh commits (WAL and
+  //     archive continue at applied + 1 without a gap).
+  DYNOPT_RETURN_IF_ERROR(InsertScenarioRows(
+      table, static_cast<int64_t>(res.promoted_rows), /*extra=*/50));
+  DYNOPT_RETURN_IF_ERROR(db->Commit());
+
+  // 5c. Fencing: the dead primary belongs to the old timeline; reopening
+  //     it against the fenced archive must fail typed.
+  {
+    DatabaseOptions sdbo;
+    sdbo.pool_pages = options.pool_pages;
+    sdbo.path = options.path;
+    sdbo.archive_dir = archive_dir;
+    sdbo.archive_segment_bytes = options.archive_segment_bytes;
+    Result<std::unique_ptr<Database>> stale = Database::Open(std::move(sdbo));
+    if (stale.ok()) {
+      return Status::Internal(
+          "stale primary reopened against the fenced archive (point " +
+          std::string(CrashPointName(point)) + ")");
+    }
+    if (!stale.status().IsFenced()) {
+      return Status::Internal(
+          "stale primary failed with the wrong type (want Fenced): " +
+          stale.status().ToString());
+    }
+    res.stale_primary_fenced = true;
+  }
+  return res;
+}
+
+}  // namespace dynopt

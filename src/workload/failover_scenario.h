@@ -1,0 +1,107 @@
+// Failover scenario: the end-to-end replication correctness harness.
+//
+// Extends the PR 3 crash matrix across the replication boundary. For one
+// crash point, the scenario:
+//   1. builds a *golden* FAMILIES database and hashes its two committed
+//      states — PRE (first commit) and POST (second commit);
+//   2. replays the identical sequence against an *archived* primary with
+//      the crash point armed inside the second commit, so the primary
+//      dies mid-workload and is never reopened;
+//   3. ships the archive into a warm standby (optionally through the
+//      seeded fault injector), promotes it onto the next timeline, and
+//      reopens the promoted file as the new primary;
+//   4. re-runs the surviving session streams against the new primary and
+//      requires the result hash to equal exactly one golden state — the
+//      one the point's acknowledgement semantics predict;
+//   5. proves continuity (a fresh commit on the new timeline succeeds)
+//      and fencing (reopening the dead primary against the fenced
+//      archive fails typed Fenced).
+//
+// The acknowledgement rule splits the matrix differently than local
+// recovery: a commit is acknowledged only after its batch is archived,
+// so every point that fires before AppendDurableBatch returns — the WAL
+// points *and* kArchiveAppend — must surface PRE on the promoted primary
+// even though local recovery of the dead file would have replayed POST.
+// Acked commits survive failover; unacked writes never resurrect.
+
+#ifndef DYNOPT_WORKLOAD_FAILOVER_SCENARIO_H_
+#define DYNOPT_WORKLOAD_FAILOVER_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+
+#include "durability/crash.h"
+#include "replication/log_shipper.h"
+#include "workload/crash_scenario.h"
+
+namespace dynopt {
+
+/// The points the failover matrix arms inside the primary's second
+/// commit. kArchiveAppend joins the PR 3 set: it is the first point whose
+/// local-recovery and failover outcomes diverge.
+inline constexpr CrashPoint kFailoverCrashPoints[] = {
+    CrashPoint::kWalBeforeWrite,
+    CrashPoint::kWalTornWrite,
+    CrashPoint::kWalBeforeSync,
+    CrashPoint::kWalAfterSync,
+    CrashPoint::kArchiveAppend,
+    CrashPoint::kStorePageWrite,
+    CrashPoint::kStoreSync,
+    CrashPoint::kCheckpointBeforeSuperblock,
+    CrashPoint::kCheckpointAfterSuperblock,
+};
+
+/// Which golden state the *promoted* primary must match. PRE for every
+/// point at or before the archive append (the commit was never
+/// acknowledged, so it must not survive failover); POST for the store /
+/// checkpoint points (the commit was archived and acknowledged before
+/// they fire, so losing it would break the ack contract).
+CrashOutcome ExpectedFailoverOutcome(CrashPoint point);
+
+struct FailoverScenarioOptions {
+  /// Primary database file. Derived paths — `path + ".golden"`,
+  /// `path + ".standby"`, and the archive directory `path + ".archive"` —
+  /// are overwritten.
+  std::string path;
+  int64_t rows = 1500;
+  int64_t extra_rows = 400;
+  size_t sessions = 2;
+  size_t queries_per_session = 20;
+  uint64_t seed = 1234;
+  size_t pool_pages = 1024;
+  /// Small segments so the workload seals several (exercises manifest
+  /// catch-up, not just tail shipping).
+  uint64_t archive_segment_bytes = 64 * 1024;
+  /// Delivery faults injected while the standby catches up.
+  ShipperFaultOptions faults;
+};
+
+struct FailoverScenarioResult {
+  CrashPoint point = CrashPoint::kWalBeforeWrite;
+  bool crash_fired = false;
+  CrashOutcome outcome = CrashOutcome::kPreState;  // state actually matched
+  uint64_t pre_hash = 0;
+  uint64_t post_hash = 0;
+  uint64_t promoted_hash = 0;
+  uint64_t promoted_rows = 0;
+  uint64_t new_timeline = 0;
+  uint64_t applied_lsn = 0;
+  /// Reopening the dead primary against the fenced archive failed typed.
+  bool stale_primary_fenced = false;
+  /// Promote() start to the new primary answering its first query stream
+  /// (the recovery-time-objective the bench reports).
+  uint64_t failover_micros = 0;
+  ShipperStats shipping;
+};
+
+/// Runs the full scenario for `point`. Fails (non-OK) when the point
+/// never fired, shipping or promotion failed, the promoted hash matches
+/// neither golden state, the matched state disagrees with
+/// ExpectedFailoverOutcome, continuity was broken, or the stale primary
+/// was not fenced.
+Result<FailoverScenarioResult> RunFailoverScenario(
+    CrashPoint point, const FailoverScenarioOptions& options);
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_WORKLOAD_FAILOVER_SCENARIO_H_
